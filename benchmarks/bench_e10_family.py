@@ -1,0 +1,12 @@
+"""Bench E10: the whole communication-reduction family on one model."""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.experiments.family import run as run_e10
+
+
+def test_e10_family(benchmark):
+    """Regenerate the family depth/slope tables."""
+    run_and_report(benchmark, run_e10)

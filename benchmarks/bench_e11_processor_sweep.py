@@ -1,0 +1,25 @@
+"""Bench E11: finite-processor sweep over compiled solver DAGs.
+
+Also times the schedule simulator itself (it event-steps thousands of
+malleable tasks per call).
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.experiments.processor_sweep import run as run_e11
+from repro.machine.cg_dag import build_cg_dag
+from repro.machine.scheduler import simulate_schedule
+
+
+def test_e11_processor_sweep(benchmark):
+    """Regenerate the finite-P makespan table."""
+    run_and_report(benchmark, run_e11)
+
+
+def test_e11_kernel_schedule_simulation(benchmark):
+    """Time one schedule simulation (CG, 24 iterations, P = 4096)."""
+    graph = build_cg_dag(2**14, 5, 24).graph
+    result = benchmark(lambda: simulate_schedule(graph, 4096))
+    assert result.makespan > 0

@@ -1,0 +1,44 @@
+"""Bench E12: the matrix powers kernel trade-off.
+
+Also microbenchmarks the kernel against the naive k-round power
+computation (sequential wall time; the communication saving is in the
+stats, the compute overhead is here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_and_report
+
+from repro.experiments.powers_kernel import run as run_e12
+from repro.sparse.generators import poisson2d
+from repro.sparse.matrix_powers import MatrixPowersKernel, RowPartition
+from repro.util.rng import default_rng
+
+
+def test_e12_powers_kernel(benchmark):
+    """Regenerate the redundancy/communication table."""
+    run_and_report(benchmark, run_e12)
+
+
+def test_e12_kernel_compute(benchmark):
+    """Time one kernel application (poisson2d(24), 4 blocks, k = 4)."""
+    a = poisson2d(24)
+    kernel = MatrixPowersKernel(a, RowPartition.uniform(a.nrows, 4), 4)
+    x = default_rng(1).standard_normal(a.nrows)
+    out = benchmark(lambda: kernel.compute(x))
+    assert np.all(np.isfinite(out))
+
+
+def test_e12_kernel_naive_powers(benchmark):
+    """Baseline: the k-round global computation of the same powers."""
+    a = poisson2d(24)
+    x = default_rng(1).standard_normal(a.nrows)
+
+    def naive():
+        out = [x]
+        for _ in range(4):
+            out.append(a.matvec(out[-1]))
+        return out
+
+    benchmark(naive)

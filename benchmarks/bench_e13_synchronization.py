@@ -1,0 +1,40 @@
+"""Bench E13: executed synchronization accounting.
+
+Also times the distributed solvers themselves (simulation overhead per
+iteration: block bookkeeping + instant collectives).
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.core.stopping import StoppingCriterion
+from repro.distributed import distributed_cg, distributed_pipelined_vr
+from repro.experiments.synchronization import run as run_e13
+from repro.sparse.generators import poisson2d
+from repro.util.rng import default_rng
+
+
+def test_e13_synchronization(benchmark):
+    """Regenerate the blocking-collectives table."""
+    run_and_report(benchmark, run_e13)
+
+
+def test_e13_kernel_distributed_cg(benchmark):
+    """Time one distributed CG solve (poisson2d(16), P = 4)."""
+    a = poisson2d(16)
+    b = default_rng(1).standard_normal(a.nrows)
+    stop = StoppingCriterion(rtol=1e-6, max_iter=400)
+    res, _ = benchmark(lambda: distributed_cg(a, b, nranks=4, stop=stop))
+    assert res.converged
+
+
+def test_e13_kernel_distributed_vr(benchmark):
+    """Time one distributed pipelined VR solve (poisson2d(16), k = 2)."""
+    a = poisson2d(16)
+    b = default_rng(1).standard_normal(a.nrows)
+    stop = StoppingCriterion(rtol=1e-6, max_iter=400)
+    res, _ = benchmark(
+        lambda: distributed_pipelined_vr(a, b, k=2, nranks=4, stop=stop)
+    )
+    assert res.converged

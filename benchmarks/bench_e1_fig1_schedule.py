@@ -1,0 +1,16 @@
+"""Bench E1: regenerate Figure 1 (pipelined data movement trace).
+
+Times the traced pipelined solve that the figure is rendered from; the
+report (printed with ``-s``) contains the reproduced diagram.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.experiments.fig1_schedule import run as run_e1
+
+
+def test_e1_figure1_schedule(benchmark):
+    """Regenerate and verify Figure 1's launch/consume diagonal."""
+    run_and_report(benchmark, run_e1)

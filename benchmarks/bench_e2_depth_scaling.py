@@ -1,0 +1,30 @@
+"""Bench E2: per-iteration parallel time, Θ(log N) vs Θ(log log N).
+
+Regenerates the abstract's headline table on the machine model and also
+times the DAG compilation itself across N (the simulator must scale to
+the big-N sweeps).
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.experiments.depth_scaling import run as run_e2
+from repro.machine.schedule import measure_cg_depth, measure_vr_depth
+
+
+def test_e2_depth_scaling(benchmark):
+    """Regenerate the depth-per-iteration table and fits."""
+    run_and_report(benchmark, run_e2)
+
+
+def test_e2_kernel_cg_dag_compile(benchmark):
+    """Time compiling + measuring one classical CG DAG point."""
+    result = benchmark(lambda: measure_cg_depth(2**20, 5))
+    assert result.per_iteration > 0
+
+
+def test_e2_kernel_vr_dag_compile(benchmark):
+    """Time compiling + measuring one pipelined VR DAG point (k = 20)."""
+    result = benchmark(lambda: measure_vr_depth(2**20, 5, 20))
+    assert result.per_iteration > 0

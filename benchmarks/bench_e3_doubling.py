@@ -1,0 +1,12 @@
+"""Bench E3: Section 3's doubling claim (k = 1 vs classical)."""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.experiments.doubling import run as run_e3
+
+
+def test_e3_doubling(benchmark):
+    """Regenerate the k=1 speedup table (slopes 2 vs 1 per log2 N)."""
+    run_and_report(benchmark, run_e3)

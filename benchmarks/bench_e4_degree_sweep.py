@@ -1,0 +1,12 @@
+"""Bench E4: the max(log d, log log N) row-degree sweep."""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.experiments.degree_sweep import run as run_e4
+
+
+def test_e4_degree_sweep(benchmark):
+    """Regenerate the degree-sweep table and crossover check."""
+    run_and_report(benchmark, run_e4)

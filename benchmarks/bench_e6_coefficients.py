@@ -1,0 +1,35 @@
+"""Bench E6: relation (*) -- symbolic degrees and numeric exactness.
+
+Also times the symbolic composition (exact polynomial arithmetic grows
+quickly with k; the bench documents the practical ceiling) and the
+numeric coefficient evaluation used inside the pipelined solver.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.core.coefficients import (
+    star_coefficients_numeric,
+    star_coefficients_symbolic,
+)
+from repro.experiments.coefficient_degrees import run as run_e6
+
+
+def test_e6_coefficient_degrees(benchmark):
+    """Regenerate the degree table and (*) exactness check."""
+    run_and_report(benchmark, run_e6)
+
+
+def test_e6_kernel_symbolic_composition_k3(benchmark):
+    """Time the exact symbolic composition at k = 3."""
+    sc = benchmark(lambda: star_coefficients_symbolic(3, target="mu0"))
+    assert max(sc.max_degree_per_variable().values()) <= 2
+
+
+def test_e6_kernel_numeric_composition_k8(benchmark):
+    """Time the float composition at k = 8 (what the solver does)."""
+    lams = [0.3 + 0.01 * j for j in range(8)]
+    alphas = [0.5 + 0.02 * j for j in range(8)]
+    sc = benchmark(lambda: star_coefficients_numeric(lams, alphas, target="mu0"))
+    assert sc.num_nonzero() > 0

@@ -1,0 +1,18 @@
+"""Bench E7: equivalence (E7a) and finite-precision stability (E7b)."""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.experiments.equivalence import run as run_e7a
+from repro.experiments.stability import run as run_e7b
+
+
+def test_e7a_equivalence(benchmark):
+    """Regenerate the cross-solver agreement table."""
+    run_and_report(benchmark, run_e7a)
+
+
+def test_e7b_stability(benchmark):
+    """Regenerate the drift-growth and mitigation tables."""
+    run_and_report(benchmark, run_e7b)

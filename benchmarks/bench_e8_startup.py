@@ -1,0 +1,19 @@
+"""Bench E8: startup transient depth and break-even iteration count."""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.experiments.startup_cost import break_even_iterations
+from repro.experiments.startup_cost import run as run_e8
+
+
+def test_e8_startup(benchmark):
+    """Regenerate the startup/break-even table."""
+    run_and_report(benchmark, run_e8)
+
+
+def test_e8_kernel_break_even_search(benchmark):
+    """Time the doubling+bisection break-even search at one point."""
+    be = benchmark(lambda: break_even_iterations(2**16, 5, 16))
+    assert be is not None and be > 0

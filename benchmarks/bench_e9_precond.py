@@ -1,0 +1,12 @@
+"""Bench E9: preconditioned Van Rosendale CG parity with classical PCG."""
+
+from __future__ import annotations
+
+from conftest import run_and_report
+
+from repro.experiments.preconditioning import run as run_e9
+
+
+def test_e9_preconditioning(benchmark):
+    """Regenerate the preconditioner parity table."""
+    run_and_report(benchmark, run_e9)

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_e*.py`` file regenerates one experiment from DESIGN.md's
+index (the paper's figure/claims) under pytest-benchmark timing, and the
+kernel files time the primitive operations the cost model prices.  Run:
+
+    pytest benchmarks/ --benchmark-only
+
+Pass ``-s`` to also see the regenerated experiment tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.generators import poisson2d
+from repro.util.rng import default_rng
+
+
+@pytest.fixture(scope="session")
+def poisson_bench():
+    """A mid-size Poisson system shared by solver benchmarks."""
+    a = poisson2d(40)  # n = 1600
+    b = default_rng(99).standard_normal(a.nrows)
+    return a, b
+
+
+def run_and_report(benchmark, run_fn, **kwargs):
+    """Benchmark an experiment's run() and print its report table."""
+    report = benchmark.pedantic(
+        lambda: run_fn(fast=True, **kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    assert report.passed, f"experiment failed reproduction:\n{report.render()}"
+    return report

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""The communication-reduction family: convergence AND depth, one run.
+
+Solves the same problem with every implemented variant -- classical CG,
+three-term CG, Chronopoulos--Gear, s-step (monomial and Chebyshev bases),
+Ghysels--Vanroose pipelined CG, and both Van Rosendale forms -- then
+compiles each to the machine model and prints the per-iteration depth
+beside the measured iteration count: the numerics/parallelism trade of
+the whole subfield in two columns.
+
+Run:  python examples/family_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import StoppingCriterion, conjugate_gradient, pipelined_vr_cg, poisson2d
+from repro.core.vr_cg import vr_conjugate_gradient
+from repro.machine import (
+    build_cg_dag,
+    build_cgcg_dag,
+    build_gv_dag,
+    build_sstep_dag,
+    build_vr_eager_dag,
+    build_vr_pipelined_dag,
+    per_cg_step_depth,
+)
+from repro.util.tables import Table
+from repro.variants import (
+    chronopoulos_gear_cg,
+    ghysels_vanroose_cg,
+    sstep_cg,
+    three_term_cg,
+)
+
+
+def main(grid: int = 20, log2n_model: int = 20) -> None:
+    """Solve with every variant; print iterations and model depth."""
+    a = poisson2d(grid)
+    rng = np.random.default_rng(13)
+    b = rng.standard_normal(a.nrows)
+    stop = StoppingCriterion(rtol=1e-8, max_iter=4000)
+
+    n_model = 2**log2n_model
+    k = log2n_model
+    d = a.max_row_degree()
+    s = 4
+
+    depth = {
+        "cg": build_cg_dag(n_model, d, 24).per_iteration_depth(),
+        "three-term": build_cg_dag(n_model, d, 24).per_iteration_depth(),
+        "cg-cg": build_cgcg_dag(n_model, d, 24).per_iteration_depth(),
+        "gv": build_gv_dag(n_model, d, 24).per_iteration_depth(),
+        "sstep": per_cg_step_depth(build_sstep_dag(n_model, d, s, 20), s),
+        "vr-pipelined": build_vr_pipelined_dag(
+            n_model, d, k, 3 * k + 12
+        ).per_iteration_depth(),
+        "vr-eager": build_vr_eager_dag(
+            n_model, d, k, 3 * k + 12
+        ).per_iteration_depth(warmup=k + 2),
+    }
+
+    runs = [
+        ("cg", conjugate_gradient(a, b, stop=stop)),
+        ("three-term", three_term_cg(a, b, stop=stop)),
+        ("cg-cg", chronopoulos_gear_cg(a, b, stop=stop)),
+        ("gv", ghysels_vanroose_cg(a, b, stop=stop)),
+        (f"sstep(s={s}, monomial)", sstep_cg(a, b, s=s, stop=stop)),
+        (
+            f"sstep(s={s}, chebyshev)",
+            sstep_cg(a, b, s=s, basis="chebyshev", stop=stop),
+        ),
+        ("vr-pipelined", pipelined_vr_cg(a, b, k=3, stop=stop)),
+        (
+            "vr-eager",
+            vr_conjugate_gradient(a, b, k=3, stop=stop, replace_drift_tol=1e-6),
+        ),
+    ]
+
+    table = Table(
+        ["variant", "iterations", "true residual",
+         f"model depth/iter (N=2^{log2n_model})"],
+        title=f"family study: {a.nrows}x{a.nrows} Poisson, rtol 1e-8",
+    )
+    for label, res in runs:
+        base = label.split("(")[0]
+        table.add(
+            label,
+            res.iterations,
+            res.true_residual_norm,
+            depth.get(base, depth.get("sstep", float("nan"))),
+        )
+    print(table.render())
+    print()
+    print("reading guide: every variant solves the same system in nearly")
+    print("the same number of iterations (they are all CG algebraically);")
+    print("the depth column is where they differ -- each strategy removes")
+    print("a different share of the log(N) reduction latency, and the Van")
+    print("Rosendale look-ahead is the only one that removes it entirely.")
+    print()
+
+    # The pre-CG landscape: why the paper optimizes CG rather than using
+    # a reduction-free method in the first place.
+    from repro.core.lanczos import estimate_spectrum_via_cg
+    from repro.variants import chebyshev_iteration, jacobi_solve, sor_solve
+
+    bounds = estimate_spectrum_via_cg(a, b, iterations=12)
+    deep_stop = StoppingCriterion(rtol=1e-8, max_iter=60000)
+    baseline = Table(
+        ["method", "iterations", "reductions per iteration", "note"],
+        title="classical baselines on the same problem",
+    )
+    cg_iters = runs[0][1].iterations
+    baseline.add("cg", cg_iters, 2, "adaptive, the paper's target")
+    cheb = chebyshev_iteration(a, b, bounds, stop=deep_stop, check_every=10)
+    baseline.add("chebyshev", cheb.iterations, 0.1,
+                 "reduction-free, needs bounds, worst-case rate")
+    jac = jacobi_solve(a, b, omega=0.8, stop=deep_stop, check_every=10)
+    baseline.add("jacobi(0.8)", jac.iterations, 0.1, "fully parallel sweep")
+    sor = sor_solve(a, b, omega=1.6, stop=deep_stop, check_every=10)
+    baseline.add("sor(1.6)", sor.iterations, 0.1, "depth-n sweep chain")
+    print(baseline.render())
+    print()
+    print("chebyshev is the reduction-free alternative -- but it needs")
+    print("spectrum bounds and pays the worst-case rate, which is why the")
+    print("paper restructures CG instead of abandoning it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The sandbox this repository is developed in has no ``wheel`` package and no
+network, so PEP 660 editable installs (which require ``bdist_wheel``) fail.
+This shim lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+fall back to the classic ``setup.py develop`` path.  All real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,261 @@
+"""Command line interface: ``python -m repro <command>``.
+
+Three commands for downstream users who want the solvers without writing
+Python:
+
+* ``solve`` -- solve ``A x = b`` where A comes from a MatrixMarket file or
+  a built-in generator, with any solver in the family.
+* ``info`` -- structural/spectral statistics of a matrix.
+* ``generate`` -- write a model-problem matrix to a MatrixMarket file.
+
+(The experiment harness has its own entry point,
+``python -m repro.experiments``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pipeline import pipelined_vr_cg
+from repro.core.standard import conjugate_gradient
+from repro.core.stopping import StoppingCriterion
+from repro.core.vr_cg import vr_conjugate_gradient
+from repro.precond import (
+    ICholPrecond,
+    IdentityPrecond,
+    JacobiPrecond,
+    SSORPrecond,
+    preconditioned_cg,
+    vr_pcg,
+)
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.generators import (
+    anisotropic2d,
+    banded_spd,
+    poisson1d,
+    poisson2d,
+    poisson3d,
+)
+from repro.sparse.mmio import read_matrix_market, write_matrix_market
+from repro.sparse.stats import matrix_stats
+from repro.util.rng import default_rng
+from repro.variants import (
+    chronopoulos_gear_cg,
+    ghysels_vanroose_cg,
+    sstep_cg,
+    three_term_cg,
+)
+
+__all__ = ["main", "build_parser"]
+
+_GENERATORS = {
+    "poisson1d": lambda size: poisson1d(size),
+    "poisson2d": lambda size: poisson2d(size),
+    "poisson2d9": lambda size: poisson2d(size, stencil=9),
+    "poisson3d": lambda size: poisson3d(size),
+    "anisotropic2d": lambda size: anisotropic2d(size, epsilon=0.02),
+    "banded": lambda size: banded_spd(size, 4, seed=0),
+}
+
+
+def _load_matrix(args) -> CSRMatrix:
+    if args.matrix is not None:
+        return read_matrix_market(Path(args.matrix))
+    if args.generate is not None:
+        return _GENERATORS[args.generate](args.size)
+    raise SystemExit("one of --matrix or --generate is required")
+
+
+def _load_rhs(args, n: int) -> np.ndarray:
+    if getattr(args, "rhs", None) is not None:
+        data = np.loadtxt(args.rhs, dtype=np.float64).ravel()
+        if data.size != n:
+            raise SystemExit(
+                f"right-hand side has {data.size} entries, matrix has {n} rows"
+            )
+        return data
+    return default_rng(args.seed).standard_normal(n)
+
+
+def _solve(args) -> int:
+    a = _load_matrix(args)
+    b = _load_rhs(args, a.nrows)
+    stop = StoppingCriterion(rtol=args.rtol, max_iter=args.max_iter)
+
+    solver = args.solver
+    if args.precond == "chebyshev":
+        from repro.core.lanczos import estimate_spectrum_via_cg
+        from repro.precond.polynomial import (
+            ChebyshevPolyPrecond,
+            polynomial_pcg,
+            vr_poly_pcg,
+        )
+
+        bounds = estimate_spectrum_via_cg(a, b, iterations=12)
+        m = ChebyshevPolyPrecond(a, bounds, degree=args.poly_degree)
+        if solver == "cg":
+            result = polynomial_pcg(a, b, m, stop=stop)
+        elif solver == "vr":
+            result = vr_poly_pcg(
+                a, b, m, k=args.k, stop=stop,
+                replace_every=args.replace_every or 10,
+            )
+        else:
+            raise SystemExit(
+                "chebyshev preconditioning supports solvers cg/vr, "
+                f"not {solver}"
+            )
+        print(result.summary())
+        if args.out is not None:
+            np.savetxt(args.out, result.x)
+            print(f"solution written to {args.out}")
+        return 0 if result.converged else 1
+
+    precond = None
+    if args.precond != "none":
+        precond = {
+            "identity": lambda: IdentityPrecond(),
+            "jacobi": lambda: JacobiPrecond(a),
+            "ssor": lambda: SSORPrecond(a, omega=args.omega),
+            "ic0": lambda: ICholPrecond(a),
+        }[args.precond]()
+
+    if precond is not None:
+        if solver == "cg":
+            result = preconditioned_cg(a, b, precond, stop=stop)
+        elif solver == "vr":
+            result = vr_pcg(
+                a, b, precond, k=args.k, stop=stop,
+                replace_every=args.replace_every,
+            )
+        else:
+            raise SystemExit(
+                f"preconditioning is supported for solvers cg/vr, not {solver}"
+            )
+    else:
+        # Without any explicit stabilization the pure eager algorithm
+        # drifts (see EXPERIMENTS.md E7b); default the CLI to adaptive
+        # replacement so `solve --solver vr` just works.
+        drift_tol = args.drift_tol
+        if args.solver == "vr" and args.replace_every is None and drift_tol is None:
+            drift_tol = 1e-6
+        runners = {
+            "cg": lambda: conjugate_gradient(a, b, stop=stop),
+            "vr": lambda: vr_conjugate_gradient(
+                a, b, k=args.k, stop=stop, replace_every=args.replace_every,
+                replace_drift_tol=drift_tol,
+            ),
+            "pipelined-vr": lambda: pipelined_vr_cg(a, b, k=max(args.k, 1), stop=stop),
+            "three-term": lambda: three_term_cg(a, b, stop=stop),
+            "cg-cg": lambda: chronopoulos_gear_cg(a, b, stop=stop),
+            "gv": lambda: ghysels_vanroose_cg(a, b, stop=stop),
+            "sstep": lambda: sstep_cg(a, b, s=max(args.k, 1), stop=stop),
+        }
+        result = runners[solver]()
+
+    print(result.summary())
+    if args.out is not None:
+        np.savetxt(args.out, result.x)
+        print(f"solution written to {args.out}")
+    return 0 if result.converged else 1
+
+
+def _info(args) -> int:
+    a = _load_matrix(args)
+    stats = matrix_stats(a, estimate_spectrum=not args.no_spectrum)
+    print(f"order           : {stats.n}")
+    print(f"nonzeros        : {stats.nnz}")
+    print(f"max row degree  : {stats.max_degree}")
+    print(f"avg row degree  : {stats.avg_degree:.2f}")
+    print(f"symmetric       : {stats.symmetric}")
+    if not args.no_spectrum:
+        print(f"lambda range    : [{stats.lambda_min:.4e}, {stats.lambda_max:.4e}]")
+        print(f"cond estimate   : {stats.condition_estimate:.4e}")
+    return 0
+
+
+def _generate(args) -> int:
+    a = _GENERATORS[args.kind](args.size)
+    write_matrix_market(
+        a, Path(args.out), symmetric=True,
+        comment=f"repro generator: {args.kind}(size={args.size})",
+    )
+    print(f"wrote {a.nrows}x{a.ncols} matrix ({a.nnz} nnz) to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Van Rosendale (1983) CG reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_matrix_source(p) -> None:
+        p.add_argument("--matrix", help="MatrixMarket file with an SPD matrix")
+        p.add_argument(
+            "--generate", choices=sorted(_GENERATORS),
+            help="use a built-in model problem instead of a file",
+        )
+        p.add_argument("--size", type=int, default=32,
+                       help="generator size parameter (grid side / order)")
+
+    solve = sub.add_parser("solve", help="solve A x = b")
+    add_matrix_source(solve)
+    solve.add_argument(
+        "--solver",
+        choices=["cg", "vr", "pipelined-vr", "three-term", "cg-cg", "gv", "sstep"],
+        default="vr",
+    )
+    solve.add_argument("--k", type=int, default=2,
+                       help="look-ahead parameter (s for sstep)")
+    solve.add_argument("--rtol", type=float, default=1e-8)
+    solve.add_argument("--max-iter", type=int, default=None)
+    solve.add_argument("--replace-every", type=int, default=None,
+                       help="periodic residual replacement interval")
+    solve.add_argument("--drift-tol", type=float, default=None,
+                       help="adaptive residual replacement tolerance "
+                            "(solver vr defaults to 1e-6 when no "
+                            "stabilization flag is given)")
+    solve.add_argument(
+        "--precond",
+        choices=["none", "identity", "jacobi", "ssor", "ic0", "chebyshev"],
+        default="none",
+    )
+    solve.add_argument("--omega", type=float, default=1.0, help="SSOR relaxation")
+    solve.add_argument("--poly-degree", type=int, default=4,
+                       help="Chebyshev polynomial preconditioner degree")
+    solve.add_argument("--rhs", help="text file with the right-hand side")
+    solve.add_argument("--seed", type=int, default=0,
+                       help="seed for the random right-hand side")
+    solve.add_argument("--out", help="write the solution vector to this file")
+    solve.set_defaults(func=_solve)
+
+    info = sub.add_parser("info", help="matrix statistics")
+    add_matrix_source(info)
+    info.add_argument("--no-spectrum", action="store_true",
+                      help="skip eigenvalue estimation")
+    info.set_defaults(func=_info)
+
+    gen = sub.add_parser("generate", help="write a model problem to a file")
+    gen.add_argument("kind", choices=sorted(_GENERATORS))
+    gen.add_argument("out", help="output MatrixMarket path")
+    gen.add_argument("--size", type=int, default=32)
+    gen.set_defaults(func=_generate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,341 @@
+"""The composed k-step recurrence relation (*) and its coefficients.
+
+Section 4 of the paper states that ``(rⁿ, rⁿ)`` can be written as
+
+.. code-block:: text
+
+    (rⁿ,rⁿ) = Σ_{i=0}^{2k} aᵢ (r^{n-k}, Aⁱ r^{n-k})
+            + Σ_{i=0}^{2k} bᵢ (r^{n-k}, Aⁱ p^{n-k})          (*)
+            + Σ_{i=0}^{2k} cᵢ (p^{n-k}, Aⁱ p^{n-k})
+
+with coefficients ``aᵢ, bᵢ, cᵢ`` polynomial in the CG parameters of the
+intervening iterations, and Section 5 adds that each coefficient is at most
+*quadratic in each parameter separately* (claim C4).
+
+The derivation here makes that concrete: a single iteration advances the
+stacked moment vector ``m = [μ | ν | σ]`` by a **linear** map
+``mⁿ⁺¹ = T(λn, αn+1) · mⁿ`` (plus two direct entries that, by the banded
+structure of T, never influence the ``μ₀``/``σ₁`` outputs within the
+look-ahead horizon -- verified by :func:`reachable_indices`).  Composing k
+such maps and reading off one row *is* relation (*):
+
+.. code-block:: text
+
+    row(μ₀) of  T(λ_{n-1}, α_n) · ... · T(λ_{n-k}, α_{n-k+1})
+
+This module builds T numerically (floats, for use inside the pipelined
+solver) and symbolically (over :mod:`repro.poly`, for the degree audit).
+A pleasing structural fact falls out of the audit: the ``μ₀`` row does not
+involve ``α_n`` at all -- which is exactly what breaks the apparent
+circularity ``α_n = μ₀ⁿ/μ₀ⁿ⁻¹`` in the pipelined evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.poly.matrix import PolyMatrix
+from repro.poly.multipoly import MultiPoly, poly_const, poly_var
+from repro.util.validation import require_nonnegative_int, require_positive_int
+
+__all__ = [
+    "state_size",
+    "mu_index",
+    "nu_index",
+    "sigma_index",
+    "one_step_matrix_numeric",
+    "one_step_matrix_symbolic",
+    "composed_numeric",
+    "composed_symbolic",
+    "reachable_indices",
+    "StarCoefficients",
+    "star_coefficients_numeric",
+    "star_coefficients_symbolic",
+]
+
+
+# ----------------------------------------------------------------------
+# State layout: m = [ mu_0..mu_{2W} | nu_0..nu_{2W+1} | sigma_0..sigma_{2W+2} ]
+# ----------------------------------------------------------------------
+
+def state_size(w: int) -> int:
+    """Length of the stacked moment vector for window parameter ``w``."""
+    return 6 * w + 6
+
+
+def mu_index(w: int, i: int) -> int:
+    """Position of ``μᵢ`` in the stacked state (``0 <= i <= 2w``)."""
+    if not 0 <= i <= 2 * w:
+        raise IndexError(f"mu index {i} outside window 0..{2 * w}")
+    return i
+
+
+def nu_index(w: int, i: int) -> int:
+    """Position of ``νᵢ`` in the stacked state (``0 <= i <= 2w+1``)."""
+    if not 0 <= i <= 2 * w + 1:
+        raise IndexError(f"nu index {i} outside window 0..{2 * w + 1}")
+    return (2 * w + 1) + i
+
+
+def sigma_index(w: int, i: int) -> int:
+    """Position of ``σᵢ`` in the stacked state (``0 <= i <= 2w+2``)."""
+    if not 0 <= i <= 2 * w + 2:
+        raise IndexError(f"sigma index {i} outside window 0..{2 * w + 2}")
+    return (2 * w + 1) + (2 * w + 2) + i
+
+
+def inexact_rows(w: int) -> list[int]:
+    """State rows whose one-step update needs the direct inner products.
+
+    ``ν_{2w+1}``, ``σ_{2w+1}`` and ``σ_{2w+2}`` cannot be advanced by the
+    pure-linear map (their recurrences read past the window top); in the
+    solver they are fed by the two direct dots.  The composed-coefficient
+    analysis must never route through them -- :func:`reachable_indices`
+    checks that.
+    """
+    return [
+        nu_index(w, 2 * w + 1),
+        sigma_index(w, 2 * w + 1),
+        sigma_index(w, 2 * w + 2),
+    ]
+
+
+# ----------------------------------------------------------------------
+# One-step transfer matrix
+# ----------------------------------------------------------------------
+
+def _fill_one_step(mat, w: int, lam, alpha, *, zero, set_entry) -> None:
+    """Shared construction of T for numeric and symbolic backends.
+
+    Encodes exactly the recurrences of :mod:`repro.core.moments`::
+
+        mu_i'    = mu_i - 2 lam nu_{i+1} + lam^2 sigma_{i+2}
+        nu_i'    = mu_i' + alpha (nu_i - lam sigma_{i+1})
+        sigma_i' = mu_i' + 2 alpha (nu_i - lam sigma_{i+1}) + alpha^2 sigma_i
+
+    Rows listed by :func:`inexact_rows` are left identically zero.
+    """
+    lam2 = lam * lam
+    alpha2 = alpha * alpha
+    # mu rows: i = 0..2w (all exact).
+    for i in range(2 * w + 1):
+        row = mu_index(w, i)
+        set_entry(row, mu_index(w, i), 1)
+        set_entry(row, nu_index(w, i + 1), -2 * lam)
+        set_entry(row, sigma_index(w, i + 2), lam2)
+    # nu rows: i = 0..2w exact (i = 2w+1 is direct-fed).
+    for i in range(2 * w + 1):
+        row = nu_index(w, i)
+        set_entry(row, mu_index(w, i), 1)
+        set_entry(row, nu_index(w, i + 1), -2 * lam)
+        set_entry(row, sigma_index(w, i + 2), lam2)
+        set_entry(row, nu_index(w, i), alpha)
+        set_entry(row, sigma_index(w, i + 1), -alpha * lam)
+    # sigma rows: i = 0..2w exact (2w+1 and 2w+2 are direct-fed).
+    for i in range(2 * w + 1):
+        row = sigma_index(w, i)
+        set_entry(row, mu_index(w, i), 1)
+        set_entry(row, nu_index(w, i + 1), -2 * lam)
+        set_entry(row, sigma_index(w, i + 2), lam2)
+        set_entry(row, nu_index(w, i), 2 * alpha)
+        set_entry(row, sigma_index(w, i + 1), -2 * alpha * lam)
+        set_entry(row, sigma_index(w, i), alpha2, accumulate=True)
+
+
+def one_step_matrix_numeric(w: int, lam: float, alpha: float) -> np.ndarray:
+    """The pure-linear one-step map ``T(λ, α)`` as a float matrix.
+
+    Rows needing direct inputs are zero; callers must stay within the
+    reachable-index envelope (see :func:`reachable_indices`).
+    """
+    w = require_nonnegative_int(w, "w")
+    size = state_size(w)
+    t = np.zeros((size, size))
+
+    def set_entry(r: int, c: int, v, accumulate: bool = False) -> None:
+        if accumulate:
+            t[r, c] += float(v)
+        else:
+            t[r, c] = float(v)
+
+    _fill_one_step(t, w, float(lam), float(alpha), zero=0.0, set_entry=set_entry)
+    return t
+
+
+def one_step_matrix_symbolic(w: int, lam_name: str, alpha_name: str) -> PolyMatrix:
+    """``T`` over the polynomial ring, with named parameters."""
+    w = require_nonnegative_int(w, "w")
+    size = state_size(w)
+    t = PolyMatrix.zeros(size, size)
+    lam = poly_var(lam_name)
+    alpha = poly_var(alpha_name)
+
+    def set_entry(r: int, c: int, v, accumulate: bool = False) -> None:
+        value = v if isinstance(v, MultiPoly) else poly_const(v)
+        if accumulate:
+            t.set(r, c, t[r, c] + value)
+        else:
+            t.set(r, c, value)
+
+    _fill_one_step(t, w, lam, alpha, zero=poly_const(0), set_entry=set_entry)
+    return t
+
+
+# ----------------------------------------------------------------------
+# Composition
+# ----------------------------------------------------------------------
+
+def composed_numeric(w: int, lams: Sequence[float], alphas: Sequence[float]) -> np.ndarray:
+    """Product ``T(λ_k, α_k) ⋯ T(λ_1, α_1)`` applied oldest step first.
+
+    ``lams[j]``/``alphas[j]`` are the parameters of step ``j`` (taking the
+    state at iteration ``m+j`` from the state at ``m+j-1`` via
+    ``λ_{m+j-1}`` and ``α_{m+j}``).
+    """
+    if len(lams) != len(alphas):
+        raise ValueError("lams and alphas must have equal length")
+    size = state_size(w)
+    out = np.eye(size)
+    for lam, alpha in zip(lams, alphas):
+        out = one_step_matrix_numeric(w, lam, alpha) @ out
+    return out
+
+
+def composed_symbolic(k: int, *, w: int | None = None) -> PolyMatrix:
+    """Symbolic composition over ``k`` steps with parameters ``l1..lk`` /
+    ``a1..ak`` (step ``j`` uses ``λ = lj``, ``α = aj``).
+
+    The window defaults to ``w = k + 1`` so that both target rows (``μ₀``
+    and ``σ₁``) stay strictly inside the exact region of every factor.
+    """
+    k = require_positive_int(k, "k")
+    w = (k + 1) if w is None else require_nonnegative_int(w, "w")
+    out = PolyMatrix.identity(state_size(w))
+    for j in range(1, k + 1):
+        out = one_step_matrix_symbolic(w, f"l{j}", f"a{j}") @ out
+    return out
+
+
+def reachable_indices(w: int, start_row: int, steps: int) -> set[int]:
+    """State indices a composed row can read after ``steps`` compositions.
+
+    Walks the dependency structure of T backwards (who does each row read
+    from?) and returns the closure.  Used to *prove* in tests that the
+    ``μ₀``/``σ₁`` rows never touch the direct-fed rows, i.e. that the pure
+    linear composition is exact for them.
+    """
+    structure = one_step_matrix_numeric(w, 1.0, 1.0) != 0.0
+    frontier = {start_row}
+    for _ in range(steps):
+        nxt: set[int] = set()
+        for row in frontier:
+            nxt.update(np.flatnonzero(structure[row]).tolist())
+        frontier = nxt
+    return frontier
+
+
+# ----------------------------------------------------------------------
+# The (*) coefficients
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StarCoefficients:
+    """Coefficients of relation (*) for one target moment.
+
+    ``a[i]``, ``b[i]``, ``c[i]`` multiply ``(r, Aⁱr)``, ``(r, Aⁱp)`` and
+    ``(p, Aⁱp)`` at iteration ``n-k`` respectively.  Entries are floats
+    (numeric extraction) or :class:`~repro.poly.MultiPoly` (symbolic).
+    """
+
+    target: str
+    k: int
+    a: tuple
+    b: tuple
+    c: tuple
+
+    def evaluate(self, mu: np.ndarray, nu: np.ndarray, sigma: np.ndarray) -> float:
+        """Numerically apply (*) to a moment window's arrays.
+
+        This is the summation whose parallel depth is ``log(6k+6)`` --
+        the ``log log N`` term of claim C7.
+        """
+        total = 0.0
+        for coeff, values in ((self.a, mu), (self.b, nu), (self.c, sigma)):
+            for i, ci in enumerate(coeff):
+                fi = float(ci.constant_value()) if isinstance(ci, MultiPoly) else float(ci)
+                if fi != 0.0:
+                    total += fi * float(values[i])
+        return total
+
+    def max_degree_per_variable(self) -> dict[str, int]:
+        """Maximum separate degree over all symbolic coefficients (C4)."""
+        degrees: dict[str, int] = {}
+        for coeff in (self.a, self.b, self.c):
+            for ci in coeff:
+                if isinstance(ci, MultiPoly):
+                    for v, d in ci.max_degree_per_variable().items():
+                        if degrees.get(v, 0) < d:
+                            degrees[v] = d
+        return degrees
+
+    def num_nonzero(self) -> int:
+        """Count of structurally nonzero coefficients (summation width)."""
+        count = 0
+        for coeff in (self.a, self.b, self.c):
+            for ci in coeff:
+                nz = (not ci.is_zero) if isinstance(ci, MultiPoly) else (ci != 0)
+                count += bool(nz)
+        return count
+
+
+def _extract_star(row_getter, w: int, k: int, target: str) -> StarCoefficients:
+    """Slice one composed row into the (a, b, c) families of (*).
+
+    The reachable envelope guarantees entries beyond order ``2k`` (``2k+1``
+    for the σ-family of the ``σ₁`` target) vanish; we keep ``0..2k+1`` of
+    each family so tests can assert the vanishing explicitly.
+    """
+    top = 2 * k + 1
+    a = tuple(row_getter(mu_index(w, i)) for i in range(min(top, 2 * w) + 1))
+    b = tuple(row_getter(nu_index(w, i)) for i in range(min(top, 2 * w + 1) + 1))
+    c = tuple(row_getter(sigma_index(w, i)) for i in range(min(top, 2 * w + 2) + 1))
+    return StarCoefficients(target=target, k=k, a=a, b=b, c=c)
+
+
+def star_coefficients_numeric(
+    lams: Sequence[float], alphas: Sequence[float], *, target: str = "mu0"
+) -> StarCoefficients:
+    """Numeric (*) coefficients for a concrete parameter history.
+
+    Parameters
+    ----------
+    lams, alphas:
+        The k step parameters, oldest first (see :func:`composed_numeric`).
+    target:
+        ``"mu0"`` for the ``(rⁿ,rⁿ)`` relation, ``"sigma1"`` for the
+        analogous ``(pⁿ,Apⁿ)`` relation.
+    """
+    k = len(lams)
+    if k == 0:
+        raise ValueError("need at least one step")
+    w = k + 1
+    composed = composed_numeric(w, lams, alphas)
+    row_idx = mu_index(w, 0) if target == "mu0" else sigma_index(w, 1)
+    if target not in ("mu0", "sigma1"):
+        raise ValueError(f"unknown target {target!r}")
+    row = composed[row_idx]
+    return _extract_star(lambda j: float(row[j]), w, k, target)
+
+
+def star_coefficients_symbolic(k: int, *, target: str = "mu0") -> StarCoefficients:
+    """Symbolic (*) coefficients with parameters ``l1..lk`` / ``a1..ak``."""
+    if target not in ("mu0", "sigma1"):
+        raise ValueError(f"unknown target {target!r}")
+    w = k + 1
+    composed = composed_symbolic(k, w=w)
+    row_idx = mu_index(w, 0) if target == "mu0" else sigma_index(w, 1)
+    row = composed.row(row_idx)
+    return _extract_star(lambda j: row[j], w, k, target)

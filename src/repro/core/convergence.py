@@ -1,0 +1,107 @@
+"""Classical CG convergence theory, as executable checks.
+
+The textbook bound (Hestenes--Stiefel's method analyzed via Chebyshev
+polynomials): with ``κ = λmax/λmin``,
+
+.. code-block:: text
+
+    ‖eⁿ‖_A ≤ 2 ((√κ − 1)/(√κ + 1))ⁿ ‖e⁰‖_A
+
+This module evaluates the bound, estimates iteration counts from it, and
+checks a recorded solve against it -- used by the test suite to validate
+every solver in the family against theory (a solver that converges
+*faster* than classical CG's bound is fine; slower is a bug), and by the
+examples to annotate measured histories.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.sparse.linop import as_operator
+from repro.util.validation import as_1d_float_array
+
+__all__ = [
+    "cg_error_bound",
+    "iterations_for_tolerance",
+    "a_norm_error_history",
+    "check_against_bound",
+]
+
+
+def cg_error_bound(kappa: float, n: int) -> float:
+    """The relative A-norm error bound after n CG iterations.
+
+    ``2·((√κ−1)/(√κ+1))ⁿ``, capped at 1 for n = 0 consistency.
+    """
+    if kappa < 1.0:
+        raise ValueError(f"condition number must be >= 1, got {kappa}")
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if kappa == 1.0:
+        return 0.0 if n > 0 else 1.0
+    rho = (math.sqrt(kappa) - 1.0) / (math.sqrt(kappa) + 1.0)
+    return min(2.0 * rho**n, 1.0) if n > 0 else 1.0
+
+
+def iterations_for_tolerance(kappa: float, tol: float) -> int:
+    """Smallest n with ``cg_error_bound(kappa, n) <= tol``.
+
+    The familiar ``O(√κ · log(1/tol))`` estimate, computed exactly.
+    """
+    if not 0.0 < tol < 1.0:
+        raise ValueError(f"tol must lie in (0, 1), got {tol}")
+    if kappa == 1.0:
+        return 1
+    rho = (math.sqrt(kappa) - 1.0) / (math.sqrt(kappa) + 1.0)
+    return max(1, math.ceil(math.log(tol / 2.0) / math.log(rho)))
+
+
+def a_norm_error_history(
+    a: Any, b: np.ndarray, iterates: Sequence[np.ndarray]
+) -> list[float]:
+    """``‖xⁿ − x*‖_A`` for each recorded iterate.
+
+    ``x*`` is obtained by a dense solve -- keep the problems small.
+    """
+    op = as_operator(a)
+    b = as_1d_float_array(b, "b")
+    n = b.shape[0]
+    dense = np.array([op.matvec(e) for e in np.eye(n)]).T
+    x_star = np.linalg.solve(dense, b)
+    out = []
+    for x in iterates:
+        e = np.asarray(x, dtype=np.float64) - x_star
+        out.append(float(np.sqrt(max(e @ (dense @ e), 0.0))))
+    return out
+
+
+def check_against_bound(
+    a: Any,
+    b: np.ndarray,
+    iterates: Sequence[np.ndarray],
+    *,
+    slack: float = 1.05,
+) -> bool:
+    """True iff the recorded iterates satisfy the Chebyshev bound.
+
+    ``slack`` absorbs rounding in the A-norm evaluation.  Any CG-family
+    solver computing the true CG iterates must pass; a method that beats
+    the bound (superlinear convergence from spectrum clustering) passes
+    too -- the bound is one-sided.
+    """
+    errors = a_norm_error_history(a, b, iterates)
+    if not errors or errors[0] == 0.0:
+        return True
+    op = as_operator(a)
+    n = b.shape[0]
+    dense = np.array([op.matvec(e) for e in np.eye(n)]).T
+    w = np.linalg.eigvalsh(0.5 * (dense + dense.T))
+    kappa = float(w[-1] / w[0])
+    return all(
+        err / errors[0] <= slack * cg_error_bound(kappa, i)
+        for i, err in enumerate(errors)
+    )

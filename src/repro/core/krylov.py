@@ -1,0 +1,108 @@
+"""Krylov basis construction and conditioning diagnostics.
+
+The numerical fate of every method in this repository is governed by the
+conditioning of a Krylov basis: the Van Rosendale moment window holds the
+Gram data of the monomial basis ``{r, Ar, ..., A^{2k}r}``, and s-step CG
+solves small systems in its basis's Gram matrix.  This module provides
+the bases (monomial, Chebyshev, Newton) and the diagnostic that explains
+the drift measurements of E7b quantitatively: the Gram matrix condition
+number grows geometrically in the basis length for the monomial basis and
+polynomially for the scaled Chebyshev one.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.sparse.linop import as_operator
+from repro.util.validation import as_1d_float_array, require_positive_int
+
+__all__ = [
+    "monomial_basis",
+    "chebyshev_basis",
+    "newton_basis",
+    "basis_condition",
+    "gram_matrix",
+]
+
+
+def monomial_basis(a: Any, v: np.ndarray, length: int) -> np.ndarray:
+    """``[v, Av, ..., A^{length-1}v]`` as an ``(n, length)`` array."""
+    op = as_operator(a)
+    v = as_1d_float_array(v, "v")
+    length = require_positive_int(length, "length")
+    basis = np.empty((v.size, length))
+    basis[:, 0] = v
+    for j in range(1, length):
+        basis[:, j] = op.matvec(basis[:, j - 1])
+    return basis
+
+
+def chebyshev_basis(
+    a: Any, v: np.ndarray, length: int, lam_min: float, lam_max: float
+) -> np.ndarray:
+    """``[T₀(Â)v, ..., T_{length-1}(Â)v]`` with the spectrum-shifted Â."""
+    op = as_operator(a)
+    v = as_1d_float_array(v, "v")
+    length = require_positive_int(length, "length")
+    if lam_max <= lam_min:
+        raise ValueError("lam_max must exceed lam_min")
+    theta = lam_max + lam_min
+    delta = lam_max - lam_min
+    basis = np.empty((v.size, length))
+    basis[:, 0] = v
+    if length > 1:
+        basis[:, 1] = (2.0 * op.matvec(v) - theta * v) / delta
+    for j in range(2, length):
+        hat = (2.0 * op.matvec(basis[:, j - 1]) - theta * basis[:, j - 1]) / delta
+        basis[:, j] = 2.0 * hat - basis[:, j - 2]
+    return basis
+
+
+def newton_basis(
+    a: Any, v: np.ndarray, length: int, shifts: np.ndarray
+) -> np.ndarray:
+    """``[v, (A−θ₁I)v, (A−θ₂I)(A−θ₁I)v, ...]`` with the given shifts.
+
+    The communication-avoiding Krylov literature's other standard basis;
+    ``shifts`` are typically Leja-ordered Ritz values.  Needs
+    ``length - 1`` shifts.
+    """
+    op = as_operator(a)
+    v = as_1d_float_array(v, "v")
+    length = require_positive_int(length, "length")
+    shifts = np.asarray(shifts, dtype=np.float64).ravel()
+    if shifts.size < length - 1:
+        raise ValueError(
+            f"need at least {length - 1} shifts, got {shifts.size}"
+        )
+    basis = np.empty((v.size, length))
+    basis[:, 0] = v
+    for j in range(1, length):
+        basis[:, j] = op.matvec(basis[:, j - 1]) - shifts[j - 1] * basis[:, j - 1]
+    return basis
+
+
+def gram_matrix(basis: np.ndarray) -> np.ndarray:
+    """``BᵀB`` of a basis block (the object the fused reductions build)."""
+    if basis.ndim != 2:
+        raise ValueError("basis must be a 2-D (n, length) array")
+    return basis.T @ basis
+
+
+def basis_condition(basis: np.ndarray) -> float:
+    """2-norm condition number of the basis (via its Gram spectrum).
+
+    ``cond(B)² = cond(BᵀB)``; returns ``inf`` for numerically rank
+    deficient bases -- exactly the breakdown regime of s-step CG and of
+    the high-order Van Rosendale moments.
+    """
+    g = gram_matrix(basis)
+    w = np.linalg.eigvalsh(g)
+    w_min = float(w[0])
+    w_max = float(w[-1])
+    if w_min <= 0.0 or w_max <= 0.0:
+        return float("inf")
+    return float(np.sqrt(w_max / w_min))

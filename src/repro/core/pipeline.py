@@ -1,0 +1,378 @@
+"""The pipelined Van Rosendale iteration and its data-movement trace.
+
+:mod:`repro.core.vr_cg` implements the *eager* refinement of the paper's
+Section 5 (scalar recurrences advance the moment window step by step, two
+direct inner products per iteration).  This module implements the iteration
+the way Section 5 *narrates* it and Figure 1 draws it:
+
+* at iteration ``m``, as soon as ``r^m`` and ``p^m`` exist, **all** the
+  inner products ``(r^m, Aⁱr^m)``, ``(r^m, Aⁱp^m)``, ``(p^m, Aⁱp^m)`` are
+  *launched* -- on the paper's machine their ``log N`` fan-ins complete
+  k iterations later;
+* the coefficients of relation (*) are accumulated **in pipelined fashion**
+  as each parameter pair ``(λ_s, α_{s+1})`` becomes available -- one banded
+  matrix multiply per iteration per in-flight target (constant depth);
+* at iteration ``n = m + k``, the arrived moment values are *consumed*:
+  the pre-composed coefficient rows are dotted against them (the
+  ``log(6k+6)`` summation of claim C7) to produce ``μ₀ⁿ`` -- and, after the
+  ratio ``αn = μ₀ⁿ/μ₀ⁿ⁻¹``, the ``σ₁ⁿ`` row and thus ``λn``.
+
+The apparent circularity -- the last composition step is
+``T(λ_{n-1}, α_n)`` but ``α_n`` needs ``μ₀ⁿ`` -- is broken by the
+structural fact (verified symbolically in the test suite) that the ``μ₀``
+row of the composed map does not involve ``α_n``: we extract it with a
+placeholder, form the ratio, and only then finalize the ``σ₁`` row.
+
+Every launch and consume is recorded in a :class:`PipelineTrace`, from
+which :mod:`repro.experiments.fig1_schedule` re-renders Figure 1.  A
+:class:`LaunchLedger` enforces the timing discipline: reading a moment
+value before its fan-in would have completed on the paper's machine raises,
+so the trace is not merely decorative -- the solver provably never uses a
+value earlier than the parallel machine could provide it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.coefficients import (
+    mu_index,
+    one_step_matrix_numeric,
+    sigma_index,
+    state_size,
+)
+from repro.core.moments import window_from_powers
+from repro.core.powers import PowerBlock
+from repro.core.results import CGResult, StopReason
+from repro.core.stopping import StoppingCriterion
+from repro.sparse.linop import as_operator
+from repro.util.counters import add_scalar_flops
+from repro.util.kernels import axpy, norm
+from repro.util.validation import (
+    as_1d_float_array,
+    check_square_operator,
+    require_positive_int,
+)
+
+__all__ = ["pipelined_vr_cg", "PipelineTrace", "TraceEvent", "LaunchLedger"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One data-movement event in the iteration pipeline.
+
+    Attributes
+    ----------
+    kind:
+        ``"launch"`` (inner products start their fan-ins), ``"consume"``
+        (their values enter the (*) summation), or ``"coeff_update"``
+        (one pipelined coefficient composition step).
+    iteration:
+        The iteration at which the event happens.
+    source_iteration:
+        For consumes/coefficient updates: the iteration whose state the
+        event refers to (the launch iteration).
+    count:
+        Number of scalar values involved (6k+6 moments per launch).
+    """
+
+    kind: str
+    iteration: int
+    source_iteration: int
+    count: int
+
+
+@dataclass
+class PipelineTrace:
+    """The full launch/consume record of a pipelined solve (Figure 1)."""
+
+    k: int
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def launches(self) -> list[TraceEvent]:
+        """All launch events, in iteration order."""
+        return [e for e in self.events if e.kind == "launch"]
+
+    def consumes(self) -> list[TraceEvent]:
+        """All consume events, in iteration order."""
+        return [e for e in self.events if e.kind == "consume"]
+
+    def verify_lookahead(self) -> bool:
+        """Check every consume reads a launch exactly ``k`` iterations old
+        (the diagonal data flow of Figure 1)."""
+        return all(
+            e.iteration - e.source_iteration == self.k for e in self.consumes()
+        )
+
+
+class LaunchLedger:
+    """Models inner-product fan-in latency: values launched at iteration
+    ``m`` may not be read before iteration ``m + k``.
+
+    The numerical values exist immediately (we are simulating), but
+    :meth:`read` refuses to return them early -- turning the paper's timing
+    argument into an enforced invariant.
+    """
+
+    def __init__(self, k: int) -> None:
+        self._k = int(k)
+        self._slots: dict[int, np.ndarray] = {}
+
+    def launch(self, iteration: int, values: np.ndarray) -> None:
+        """Record values whose fan-ins start at ``iteration``."""
+        if iteration in self._slots:
+            raise ValueError(f"iteration {iteration} already launched")
+        self._slots[iteration] = np.asarray(values, dtype=np.float64)
+
+    def read(self, source_iteration: int, *, at_iteration: int) -> np.ndarray:
+        """Fetch values launched at ``source_iteration``; raises if the
+        fan-in would not have completed yet (``at < source + k``)."""
+        if at_iteration - source_iteration < self._k:
+            raise RuntimeError(
+                f"inner products launched at iteration {source_iteration} are"
+                f" not available at iteration {at_iteration}"
+                f" (look-ahead k={self._k})"
+            )
+        return self._slots[source_iteration]
+
+    def discard_before(self, iteration: int) -> None:
+        """Free slots older than ``iteration`` (bounded memory)."""
+        for key in [k for k in self._slots if k < iteration]:
+            del self._slots[key]
+
+
+class _CoefficientPipeline:
+    """The in-flight composed coefficient matrices, one per future target.
+
+    ``matrices[t]`` accumulates ``T_s ⋯ T_{t-k+1}`` as the steps ``s``
+    complete; by iteration ``t`` it covers steps ``t-k+1 .. t-1`` and only
+    the final factor ``T_t`` remains (applied at consume time, split into
+    the α-free ``μ₀`` row and the full ``σ₁`` row).
+    """
+
+    def __init__(self, k: int, w: int) -> None:
+        self._k = int(k)
+        self._size = state_size(w)
+        self._w = w
+        self.matrices: dict[int, np.ndarray] = {}
+
+    def open_target(self, t: int) -> None:
+        """Begin accumulating for target iteration ``t``."""
+        self.matrices[t] = np.eye(self._size)
+
+    def push_step(self, s: int, lam_prev: float, alpha_s: float) -> int:
+        """Fold the completed step ``s`` (map ``T(λ_{s-1}, α_s)``) into
+        every in-flight target whose span contains it; returns how many
+        targets were updated (for the trace)."""
+        t_mat = one_step_matrix_numeric(self._w, lam_prev, alpha_s)
+        updated = 0
+        for t, m in self.matrices.items():
+            if t - self._k + 1 <= s <= t - 1:
+                self.matrices[t] = t_mat @ m
+                add_scalar_flops(6 * self._size * self._size)
+                updated += 1
+        return updated
+
+    def consume(
+        self, t: int, lam_prev: float, state: np.ndarray, mu0_prev: float
+    ) -> tuple[float, float, float]:
+        """Finish target ``t``: produce ``(μ₀ᵗ, αₜ, σ₁ᵗ)`` from the base
+        state ``m^{t-k}``.
+
+        The final factor ``T(λ_{t-1}, α_t)`` is applied in two stages:
+        the ``μ₀`` row first with a placeholder ``α`` (it provably does not
+        depend on ``α_t``), then -- once ``α_t`` is known from the ratio --
+        the ``σ₁`` row with the true value.
+        """
+        base = self.matrices.pop(t)
+        t_placeholder = one_step_matrix_numeric(self._w, lam_prev, 0.0)
+        mu_row = t_placeholder[mu_index(self._w, 0)] @ base
+        mu0 = float(mu_row @ state)
+        add_scalar_flops(2 * self._size)
+        alpha_t = mu0 / mu0_prev
+        t_full = one_step_matrix_numeric(self._w, lam_prev, alpha_t)
+        sigma_row = t_full[sigma_index(self._w, 1)] @ base
+        sigma1 = float(sigma_row @ state)
+        add_scalar_flops(2 * self._size)
+        return mu0, alpha_t, sigma1
+
+
+def pipelined_vr_cg(
+    a: Any,
+    b: np.ndarray,
+    *,
+    k: int = 2,
+    x0: np.ndarray | None = None,
+    stop: StoppingCriterion | None = None,
+    trace: PipelineTrace | None = None,
+) -> CGResult:
+    """Solve ``A x = b`` with the fully pipelined Van Rosendale iteration.
+
+    Semantics follow the paper's Section 5 narration: all moments of
+    iteration ``m`` are launched as direct inner products at ``m`` and
+    consumed through the pipelined (*) coefficients at ``m + k``.  During
+    the first ``k`` iterations (the paper's "initial start up") the scalars
+    are taken from the launched values directly -- on the paper's machine
+    this is the transient in which the pipeline fills.
+
+    Parameters
+    ----------
+    a, b, x0, stop:
+        As in :func:`repro.core.vr_cg.vr_conjugate_gradient`.
+    k:
+        Look-ahead depth (``k >= 1``; ``k = 0`` has no pipeline and is the
+        eager solver's territory).
+    trace:
+        A :class:`PipelineTrace` to fill with launch/consume events; pass
+        one to reproduce Figure 1.
+
+    Returns
+    -------
+    CGResult
+        With ``label = "pipelined-vr-cg(k=...)"``.
+    """
+    op = as_operator(a)
+    b = as_1d_float_array(b, "b")
+    n = check_square_operator(op, b.shape[0])
+    k = require_positive_int(k, "k")
+    stop = stop or StoppingCriterion()
+    if trace is not None and trace.k != k:
+        raise ValueError(f"trace.k={trace.k} does not match solver k={k}")
+
+    x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
+    b_norm = norm(b)
+
+    # Startup: powers of r0 (= p0) and the launch of iteration 0's moments.
+    r0 = b - op.matvec(x)
+    powers = PowerBlock.startup(op, r0, k)
+    w = k  # ledger states use the solver's own window parameter
+    ledger = LaunchLedger(k)
+    pipeline = _CoefficientPipeline(k, w)
+
+    def _launch(iteration: int) -> np.ndarray:
+        window = window_from_powers(k, powers.r_powers, powers.p_powers,
+                                    label="pipeline_launch_dot")
+        state = window.stacked()
+        ledger.launch(iteration, state)
+        if trace is not None:
+            trace.events.append(
+                TraceEvent("launch", iteration, iteration, state.size)
+            )
+        return state
+
+    state0 = _launch(0)
+    mu0_cur = float(state0[mu_index(w, 0)])
+    sigma1_cur = float(state0[sigma_index(w, 1)])
+    res_norms = [float(np.sqrt(max(mu0_cur, 0.0)))]
+    alphas: list[float] = []
+    lambdas: list[float] = []
+
+    def _result(reason: StopReason, iterations: int) -> CGResult:
+        true_res = norm(b - op.matvec(x))
+        # Exit verification against false convergence of the recurred
+        # residual (see the eager solver for rationale).
+        if reason is StopReason.CONVERGED and true_res > 100.0 * stop.threshold(b_norm):
+            reason = StopReason.BREAKDOWN
+        return CGResult(
+            x=x,
+            converged=reason is StopReason.CONVERGED,
+            stop_reason=reason,
+            iterations=iterations,
+            residual_norms=res_norms,
+            alphas=alphas,
+            lambdas=lambdas,
+            true_residual_norm=true_res,
+            label=f"pipelined-vr-cg(k={k})",
+        )
+
+    if stop.is_met(res_norms[0], b_norm):
+        return _result(StopReason.CONVERGED, 0)
+
+    for t in range(1, k + 1):
+        pipeline.open_target(t)
+
+    reason = StopReason.MAX_ITER
+    iterations = 0
+    budget = stop.budget(n)
+
+    for step in range(budget):
+        niter = step  # completed iterations so far; now performing n -> n+1
+        if sigma1_cur <= 0.0 or mu0_cur <= 0.0:
+            reason = StopReason.BREAKDOWN
+            break
+        lam = mu0_cur / sigma1_cur
+        add_scalar_flops(1)
+        lambdas.append(lam)
+        axpy(lam, powers.p, x, out=x)
+        iterations += 1
+
+        # Advance the vector pipeline to iteration n+1.
+        powers.advance_r(lam)
+
+        target = niter + 1
+        if target <= k:
+            # Startup transient: the coefficient pipeline has not filled;
+            # scalars come from the (already launched) direct values of the
+            # *current* front -- i.e. computed with zero look-ahead, which
+            # is exactly the paper's "initial start up" serialization.
+            pipeline.matrices.pop(target, None)  # consumed by the transient
+            window = window_from_powers(k, powers.r_powers, powers.p_powers,
+                                        label="startup_front_dot")
+            mu0_next = float(window.mu[0])
+        else:
+            base_state = ledger.read(target - k, at_iteration=target)
+            mu0_next, _alpha_pipe, sigma1_next_pipe = pipeline.consume(
+                target, lam, base_state, mu0_cur
+            )
+            if trace is not None:
+                trace.events.append(
+                    TraceEvent("consume", target, target - k, base_state.size)
+                )
+
+        res_norms.append(float(np.sqrt(max(mu0_next, 0.0))))
+        if stop.is_met(res_norms[-1], b_norm):
+            reason = StopReason.CONVERGED
+            break
+        if mu0_next <= 0.0 or not np.isfinite(mu0_next):
+            reason = StopReason.BREAKDOWN
+            break
+
+        alpha_next = mu0_next / mu0_cur
+        add_scalar_flops(1)
+        alphas.append(alpha_next)
+
+        powers.advance_p(op, alpha_next)
+
+        if target <= k:
+            window = window_from_powers(k, powers.r_powers, powers.p_powers,
+                                        label="startup_front_dot")
+            sigma1_next = float(window.sigma[1])
+            state_next = window.stacked()
+            # Even during startup the launches happen on schedule so the
+            # pipeline fills behind the transient.
+            ledger.launch(target, state_next)
+            if trace is not None:
+                trace.events.append(
+                    TraceEvent("launch", target, target, state_next.size)
+                )
+        else:
+            sigma1_next = sigma1_next_pipe
+            _launch(target)
+
+        # Fold the just-completed step into the in-flight coefficients and
+        # open the next target.
+        updated = pipeline.push_step(target, lam, alpha_next)
+        if trace is not None and updated:
+            trace.events.append(
+                TraceEvent("coeff_update", target, target, updated)
+            )
+        pipeline.open_target(target + k)
+        ledger.discard_before(target - k + 1)
+
+        mu0_cur = mu0_next
+        sigma1_cur = sigma1_next
+
+    return _result(reason, iterations)

@@ -1,0 +1,83 @@
+"""Solver result containers.
+
+Every solver in :mod:`repro.core` and :mod:`repro.variants` returns a
+:class:`CGResult` so experiments can compare algorithms uniformly: the
+solution, convergence flag, per-iteration scalar histories (the CG
+parameters ``α``/``λ`` the paper's recurrences are built from), and the
+residual-norm history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["CGResult", "StopReason"]
+
+
+class StopReason(Enum):
+    """Why the iteration stopped."""
+
+    CONVERGED = "converged"
+    MAX_ITER = "max_iterations"
+    BREAKDOWN = "breakdown"
+
+
+@dataclass
+class CGResult:
+    """Outcome of a CG-type solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    converged:
+        True when the stopping criterion was met within the budget.
+    stop_reason:
+        Why the loop exited (converged / budget exhausted / numerical
+        breakdown such as a non-positive recurred ``(r, r)``).
+    iterations:
+        Number of iterations performed (an iteration updates ``x`` once).
+    residual_norms:
+        ``‖r⁰‖, ‖r¹‖, ...`` as *seen by the algorithm* -- for the Van
+        Rosendale solver these come from the recurred moment ``μ₀``, so
+        comparing them with ``true_residual_norm`` quantifies the
+        finite-precision drift measured in experiment E7.
+    alphas, lambdas:
+        The CG parameter histories ``α₁, α₂, ...`` and ``λ₀, λ₁, ...``
+        (paper notation).  These feed the coefficient pipeline analysis.
+    true_residual_norm:
+        ``‖b - Ax‖`` recomputed from scratch at exit.
+    label:
+        Human-readable solver name for experiment tables.
+    """
+
+    x: np.ndarray
+    converged: bool
+    stop_reason: StopReason
+    iterations: int
+    residual_norms: list[float] = field(default_factory=list)
+    alphas: list[float] = field(default_factory=list)
+    lambdas: list[float] = field(default_factory=list)
+    true_residual_norm: float = float("nan")
+    label: str = "cg"
+
+    @property
+    def final_recurred_residual(self) -> float:
+        """Last algorithm-visible residual norm."""
+        return self.residual_norms[-1] if self.residual_norms else float("nan")
+
+    @property
+    def residual_drift(self) -> float:
+        """|recurred − true| residual gap at exit (stability metric, E7)."""
+        return abs(self.final_recurred_residual - self.true_residual_norm)
+
+    def summary(self) -> str:
+        """One-line description for logs and example scripts."""
+        return (
+            f"{self.label}: {self.stop_reason.value} after "
+            f"{self.iterations} iterations, "
+            f"final true residual {self.true_residual_norm:.3e}"
+        )

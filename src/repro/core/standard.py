@@ -1,0 +1,135 @@
+"""Classical conjugate gradient iteration (the paper's Section 2 baseline).
+
+This is the exact algorithmic form the paper restructures::
+
+    λn    = (rⁿ, rⁿ) / (pⁿ, Apⁿ)
+    uⁿ⁺¹  = uⁿ + λn pⁿ
+    rⁿ⁺¹  = rⁿ − λn Apⁿ
+    αn+1  = (rⁿ⁺¹, rⁿ⁺¹) / (rⁿ, rⁿ)
+    pⁿ⁺¹  = rⁿ⁺¹ + αn+1 pⁿ
+
+with ``p⁰ = r⁰``.  Note the paper's ``λ`` is the step length usually
+written ``α`` in modern texts, and its ``α`` is the direction-update scalar
+usually written ``β``; we keep the *paper's* names throughout the
+repository so the recurrence derivations read against the source.
+
+The solver records the full ``α``/``λ`` histories because the Van Rosendale
+coefficient machinery (claims C3/C4) is exercised against real parameter
+sequences from this baseline, and because equivalence testing (E7) compares
+the two solvers parameter-by-parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.results import CGResult, StopReason
+from repro.core.stopping import StoppingCriterion
+from repro.sparse.linop import as_operator
+from repro.util.kernels import axpy, dot, norm
+from repro.util.validation import as_1d_float_array, check_square_operator
+
+__all__ = ["conjugate_gradient"]
+
+
+def conjugate_gradient(
+    a: Any,
+    b: np.ndarray,
+    *,
+    x0: np.ndarray | None = None,
+    stop: StoppingCriterion | None = None,
+    record_iterates: list[np.ndarray] | None = None,
+) -> CGResult:
+    """Solve the SPD system ``A x = b`` by classical (Hestenes--Stiefel) CG.
+
+    Parameters
+    ----------
+    a:
+        SPD operator: our CSR/ELL matrices, a dense symmetric array, a
+        scipy sparse matrix, or any :class:`repro.sparse.LinearOperator`.
+    b:
+        Right-hand side.
+    x0:
+        Initial guess (defaults to zero).
+    stop:
+        Stopping rule; defaults to ``StoppingCriterion()``.
+    record_iterates:
+        When a list is supplied, a copy of every iterate ``xⁿ`` (including
+        ``x⁰``) is appended to it -- the equivalence experiment compares
+        iterates, not just final answers.
+
+    Returns
+    -------
+    CGResult
+        With ``alphas`` = ``[α₁, α₂, ...]`` and ``lambdas`` = ``[λ₀, λ₁,
+        ...]`` in the paper's notation.
+    """
+    op = as_operator(a)
+    b = as_1d_float_array(b, "b")
+    n = check_square_operator(op, b.shape[0])
+    stop = stop or StoppingCriterion()
+
+    x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
+    if record_iterates is not None:
+        record_iterates.append(x.copy())
+
+    b_norm = norm(b)
+    r = b - op.matvec(x)
+    p = r.copy()
+    rr = dot(r, r)
+    res_norms = [float(np.sqrt(max(rr, 0.0)))]
+    alphas: list[float] = []
+    lambdas: list[float] = []
+
+    if stop.is_met(res_norms[0], b_norm):
+        return CGResult(
+            x=x,
+            converged=True,
+            stop_reason=StopReason.CONVERGED,
+            iterations=0,
+            residual_norms=res_norms,
+            alphas=alphas,
+            lambdas=lambdas,
+            true_residual_norm=norm(b - op.matvec(x)),
+            label="cg",
+        )
+
+    reason = StopReason.MAX_ITER
+    budget = stop.budget(n)
+    iterations = 0
+    for _ in range(budget):
+        ap = op.matvec(p)
+        pap = dot(p, ap)
+        if pap <= 0.0:
+            reason = StopReason.BREAKDOWN
+            break
+        lam = rr / pap
+        lambdas.append(lam)
+        axpy(lam, p, x, out=x)
+        axpy(-lam, ap, r, out=r)
+        iterations += 1
+        if record_iterates is not None:
+            record_iterates.append(x.copy())
+        rr_new = dot(r, r)
+        res_norms.append(float(np.sqrt(max(rr_new, 0.0))))
+        if stop.is_met(res_norms[-1], b_norm):
+            reason = StopReason.CONVERGED
+            break
+        alpha = rr_new / rr
+        alphas.append(alpha)
+        axpy(alpha, p, r, out=p)  # p = r + alpha * p
+        rr = rr_new
+
+    return CGResult(
+        x=x,
+        converged=reason is StopReason.CONVERGED,
+        stop_reason=reason,
+        iterations=iterations,
+        residual_norms=res_norms,
+        alphas=alphas,
+        lambdas=lambdas,
+        true_residual_norm=norm(b - op.matvec(x)),
+        label="cg",
+    )

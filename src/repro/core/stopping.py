@@ -1,0 +1,57 @@
+"""Stopping criteria for CG-type iterations.
+
+A single small policy object shared by every solver so that cross-algorithm
+comparisons (classical CG vs Van Rosendale CG vs the later variants) stop
+under *identical* rules -- otherwise iteration-count comparisons would be
+meaningless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require_positive_int
+
+__all__ = ["StoppingCriterion"]
+
+
+@dataclass(frozen=True)
+class StoppingCriterion:
+    """Relative-residual stopping rule with an iteration budget.
+
+    The iteration stops successfully when ``‖rⁿ‖ ≤ max(rtol·‖b‖, atol)``,
+    and unsuccessfully when ``max_iter`` iterations have been performed.
+
+    Attributes
+    ----------
+    rtol:
+        Relative tolerance against the right-hand-side norm.
+    atol:
+        Absolute floor (guards the ``b = 0`` corner).
+    max_iter:
+        Iteration budget; ``None`` defaults to ``10·n`` at solve time.
+    """
+
+    rtol: float = 1e-8
+    atol: float = 0.0
+    max_iter: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rtol < 0 or self.atol < 0:
+            raise ValueError("tolerances must be non-negative")
+        if self.rtol == 0 and self.atol == 0:
+            raise ValueError("at least one of rtol/atol must be positive")
+        if self.max_iter is not None:
+            require_positive_int(self.max_iter, "max_iter")
+
+    def threshold(self, b_norm: float) -> float:
+        """The absolute residual-norm threshold for this right-hand side."""
+        return max(self.rtol * b_norm, self.atol)
+
+    def budget(self, n: int) -> int:
+        """Iteration budget for an order-``n`` system."""
+        return self.max_iter if self.max_iter is not None else 10 * n
+
+    def is_met(self, residual_norm: float, b_norm: float) -> bool:
+        """Whether ``residual_norm`` satisfies the criterion."""
+        return residual_norm <= self.threshold(b_norm)

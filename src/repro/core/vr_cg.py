@@ -1,0 +1,273 @@
+"""Van Rosendale's restructured conjugate gradient iteration.
+
+This is the paper's new algorithm (Section 5): classical CG with every
+inner product except two per iteration replaced by the scalar moment
+recurrences of :mod:`repro.core.moments`, the operand vectors maintained as
+the Krylov power block of :mod:`repro.core.powers`, and the CG scalars
+``λn, αn+1`` read off the recurred moments.
+
+In exact arithmetic the iterates are *identical* to classical CG -- the
+restructuring is purely algebraic -- and the point of the exercise is that
+the only length-N reductions left per iteration are two inner products
+whose operands exist ``k`` iterations before their results are needed, so
+on a parallel machine their ``log N`` fan-in latency overlaps the iteration
+pipeline (measured on the machine model in :mod:`repro.machine`).
+
+Finite precision is the honest cost: the recurred ``μ₀`` drifts from the
+true ``(r, r)`` as iterations accumulate, increasingly so for large ``k``
+(large top moment orders behave like powers of the spectral radius).  The
+solver therefore supports periodic *residual replacement* -- rebuilding the
+power block and moment window from a fresh ``r = b − Au`` -- which restores
+classical-CG-grade accuracy at the price of ``k+2`` extra matvecs per
+replacement.  The stability experiment (E7) quantifies the trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.moments import MomentWindow, initial_window, window_from_powers
+from repro.core.powers import PowerBlock
+from repro.core.results import CGResult, StopReason
+from repro.core.stopping import StoppingCriterion
+from repro.sparse.linop import LinearOperator, as_operator
+from repro.util.counters import add_scalar_flops
+from repro.util.kernels import axpy, dot, norm
+from repro.util.validation import (
+    as_1d_float_array,
+    check_square_operator,
+    require_nonnegative_int,
+)
+
+__all__ = ["vr_conjugate_gradient", "VRState"]
+
+# Recurred residual growth beyond this factor over max(‖r⁰‖, ‖b‖) is
+# treated as finite-precision divergence (breakdown), not slow progress.
+_DIVERGENCE_FACTOR = 1e8
+
+
+@dataclass
+class VRState:
+    """Live state of the Van Rosendale iteration, exposed to observers.
+
+    Attributes
+    ----------
+    iteration:
+        Completed iteration count ``n``.
+    window:
+        Current :class:`MomentWindow` (moments of ``rⁿ, pⁿ``).
+    powers:
+        Current :class:`PowerBlock`.
+    x:
+        Current iterate ``uⁿ``.
+    """
+
+    iteration: int
+    window: MomentWindow
+    powers: PowerBlock
+    x: np.ndarray
+
+
+def _startup(op: LinearOperator, b: np.ndarray, x: np.ndarray, k: int) -> tuple[PowerBlock, MomentWindow]:
+    """Run the paper's start-up: build powers of ``r⁰`` and the moment window."""
+    r0 = b - op.matvec(x)
+    powers = PowerBlock.startup(op, r0, k)
+    window = initial_window(k, powers.r_powers)
+    return powers, window
+
+
+def vr_conjugate_gradient(
+    a: Any,
+    b: np.ndarray,
+    *,
+    k: int = 2,
+    x0: np.ndarray | None = None,
+    stop: StoppingCriterion | None = None,
+    replace_every: int | None = None,
+    replace_drift_tol: float | None = None,
+    observer: Callable[[VRState], None] | None = None,
+    record_iterates: list[np.ndarray] | None = None,
+) -> CGResult:
+    """Solve the SPD system ``A x = b`` by Van Rosendale's restructured CG.
+
+    Parameters
+    ----------
+    a:
+        SPD operator (anything :func:`repro.sparse.as_operator` accepts).
+    b:
+        Right-hand side.
+    k:
+        The paper's look-ahead parameter (``k >= 0``).  ``k = 0`` already
+        decouples the two classical inner products (the Chronopoulos--Gear
+        rediscovery); the paper's headline setting is ``k ≈ log₂ N``.
+    x0:
+        Initial guess (defaults to zero).
+    stop:
+        Stopping rule shared with the classical solver.
+    replace_every:
+        Rebuild the power block and moment window from a fresh true
+        residual every this many iterations (residual replacement).
+        ``None`` disables replacement -- the paper's pure algorithm.
+    replace_drift_tol:
+        Adaptive replacement trigger.  The scalar-recurred ``μ₀`` is
+        compared against ``(R₀, R₀)`` computed directly from the
+        vector-recurred residual (whose first-order recurrence drifts far
+        more slowly); when the relative gap exceeds this tolerance a
+        replacement is performed.  Costs one extra length-N inner product
+        per iteration while enabled -- the *three*-dot variant.  (The
+        tempting zero-cost detector ``|ν₀ − μ₀|`` is useless: since
+        ``λ = μ₀/σ₁`` is formed from the same recurred values, the
+        invariant ``ν₀ = μ₀`` is self-preserving to rounding even while
+        both drift from the truth -- measured, see DESIGN.md §6.)
+        Composable with ``replace_every``; ``None`` disables it.
+    observer:
+        Optional callback invoked with the :class:`VRState` after every
+        iteration; the pipeline tracer (Figure 1) and the stability probes
+        hook in here.
+    record_iterates:
+        When a list is supplied, every iterate (including ``x⁰``) is
+        appended -- used by the equivalence experiment E7.
+
+    Returns
+    -------
+    CGResult
+        ``residual_norms`` holds the *recurred* ``√μ₀`` values the
+        algorithm itself sees; ``true_residual_norm`` is recomputed at
+        exit, and their gap is the stability metric.
+    """
+    op = as_operator(a)
+    b = as_1d_float_array(b, "b")
+    n = check_square_operator(op, b.shape[0])
+    k = require_nonnegative_int(k, "k")
+    stop = stop or StoppingCriterion()
+    if replace_every is not None and replace_every < 1:
+        raise ValueError(f"replace_every must be >= 1, got {replace_every}")
+    if replace_drift_tol is not None and replace_drift_tol <= 0:
+        raise ValueError(
+            f"replace_drift_tol must be positive, got {replace_drift_tol}"
+        )
+
+    x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
+    if record_iterates is not None:
+        record_iterates.append(x.copy())
+
+    b_norm = norm(b)
+    powers, window = _startup(op, b, x, k)
+
+    res_norms = [float(np.sqrt(max(window.rr, 0.0)))]
+    alphas: list[float] = []
+    lambdas: list[float] = []
+
+    def _result(reason: StopReason, iterations: int) -> CGResult:
+        true_res = norm(b - op.matvec(x))
+        # Exit verification: the recurred residual can drift below the
+        # threshold while the true residual has not -- a false convergence
+        # any production implementation must catch.  One extra matvec
+        # (already needed for diagnostics) at exit, none per iteration.
+        if reason is StopReason.CONVERGED and true_res > 100.0 * stop.threshold(b_norm):
+            reason = StopReason.BREAKDOWN
+        return CGResult(
+            x=x,
+            converged=reason is StopReason.CONVERGED,
+            stop_reason=reason,
+            iterations=iterations,
+            residual_norms=res_norms,
+            alphas=alphas,
+            lambdas=lambdas,
+            true_residual_norm=true_res,
+            label=f"vr-cg(k={k})",
+        )
+
+    if stop.is_met(res_norms[0], b_norm):
+        return _result(StopReason.CONVERGED, 0)
+
+    reason = StopReason.MAX_ITER
+    iterations = 0
+    since_replacement = 0
+    budget = stop.budget(n)
+
+    for _ in range(budget):
+        mu0 = window.rr
+        sigma1 = window.pap
+        if sigma1 <= 0.0 or mu0 <= 0.0:
+            # The recurred quadratic forms must stay positive for an SPD
+            # system; a sign flip means finite-precision breakdown.
+            reason = StopReason.BREAKDOWN
+            break
+
+        lam = window.lam()
+        lambdas.append(lam)
+
+        # x update uses the plain direction vector (power 0).
+        axpy(lam, powers.p, x, out=x)
+        iterations += 1
+        since_replacement += 1
+        if record_iterates is not None:
+            record_iterates.append(x.copy())
+
+        # --- advance the residual powers: R_i <- R_i - lam * P_{i+1} ----
+        powers.advance_r(lam)
+
+        # --- mu recurrence (needs lam only), then the alpha ratio --------
+        mu_new = window.advance_mu(lam)
+        mu0_new = float(mu_new[0])
+        res_norms.append(float(np.sqrt(max(mu0_new, 0.0))))
+        if stop.is_met(res_norms[-1], b_norm):
+            reason = StopReason.CONVERGED
+            break
+        if mu0_new <= 0.0 or not np.isfinite(mu0_new):
+            reason = StopReason.BREAKDOWN
+            break
+        if res_norms[-1] > _DIVERGENCE_FACTOR * max(res_norms[0], b_norm):
+            # The recurred residual exploding far beyond its start is a
+            # finite-precision divergence, not slow convergence.
+            reason = StopReason.BREAKDOWN
+            break
+        alpha_next = mu0_new / mu0
+        add_scalar_flops(1)
+        alphas.append(alpha_next)
+
+        # --- direct dot #1 (top mu) is available now: r^{n+1} powers ----
+        mu_top = powers.direct_mu_top()
+
+        # --- advance direction powers (one matvec), then direct dot #2 --
+        powers.advance_p(op, alpha_next)
+        sigma_top = powers.direct_sigma_top()
+
+        # --- scalar window advance --------------------------------------
+        window = window.advanced(lam, alpha_next, mu_top, sigma_top, mu_new_body=mu_new)
+
+        # --- optional residual replacement -------------------------------
+        drift_triggered = False
+        if replace_drift_tol is not None:
+            rr_direct = dot(powers.r, powers.r, label="drift_check_dot")
+            if rr_direct > 0:
+                drift = abs(window.rr - rr_direct) / rr_direct
+                drift_triggered = drift > replace_drift_tol
+        if (
+            replace_every is not None and since_replacement >= replace_every
+        ) or drift_triggered:
+            # Recompute the true residual but KEEP the conjugate direction:
+            # replacement refreshes finite-precision drift without
+            # restarting the Krylov space.
+            r_true = b - op.matvec(x)
+            powers = PowerBlock.rebuild(op, r_true, powers.p.copy(), k)
+            window = window_from_powers(k, powers.r_powers, powers.p_powers)
+            # Sanity of the retained direction: CG maintains (r, p) =
+            # (r, r); the rebuilt window computes both directly.  A gross
+            # violation (e.g. after a transient fault corrupted the
+            # trajectory) means p is no longer a valid CG direction and
+            # the step formula lam = mu0/sigma1 would not descend --
+            # restart the Krylov space from the true residual instead.
+            mu0_fresh, nu0_fresh = float(window.mu[0]), float(window.nu[0])
+            if abs(nu0_fresh - mu0_fresh) > 0.5 * abs(mu0_fresh):
+                powers, window = _startup(op, b, x, k)
+            since_replacement = 0
+
+        if observer is not None:
+            observer(VRState(iteration=iterations, window=window, powers=powers, x=x))
+
+    return _result(reason, iterations)

@@ -1,0 +1,153 @@
+"""A simulated message-passing communicator.
+
+The machine model (:mod:`repro.machine`) measures *depth*; this layer
+measures *communication semantics*: how many synchronizing collectives
+per iteration each solver actually issues, which of them block, and how
+many words move.  It is an in-process simulation -- all "ranks" live in
+one interpreter and execute in lockstep -- but the accounting and the
+availability rules are those of a real MPI program (mpi4py's vocabulary:
+``allreduce`` ~ ``MPI.Allreduce``, ``iallreduce`` ~ ``MPI.Iallreduce``
+with the completion test deferred).
+
+The key rule, mirroring :class:`repro.core.pipeline.LaunchLedger` one
+level down: a nonblocking reduction started at iteration ``t`` with
+latency ``L`` may not be waited on before iteration ``t + L`` without
+*blocking* -- the simulator charges a blocking synchronization if code
+reads it early, so solvers that claim latency hiding must demonstrate it
+under accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import require_nonnegative_int, require_positive_int
+
+__all__ = ["CommStats", "PendingReduction", "SimComm"]
+
+
+@dataclass
+class CommStats:
+    """Communication accounting of one simulated run.
+
+    Attributes
+    ----------
+    blocking_allreduces:
+        Collectives whose result was consumed at the iteration they were
+        issued (full latency on the critical path) -- classical CG's two
+        per iteration.
+    hidden_allreduces:
+        Nonblocking collectives whose result was consumed only after
+        their declared latency had elapsed (off the critical path).
+    forced_waits:
+        Nonblocking collectives consumed *early* -- the simulator allows
+        it but books the blocking cost; a latency-hiding solver must
+        show zero here.
+    halo_exchanges:
+        Neighbour exchanges (one per distributed matvec).
+    words_reduced / words_exchanged:
+        Payload volumes.
+    """
+
+    blocking_allreduces: int = 0
+    hidden_allreduces: int = 0
+    forced_waits: int = 0
+    halo_exchanges: int = 0
+    words_reduced: int = 0
+    words_exchanged: int = 0
+
+    def synchronizations_on_critical_path(self) -> int:
+        """Blocking collectives plus forced early waits."""
+        return self.blocking_allreduces + self.forced_waits
+
+
+@dataclass
+class PendingReduction:
+    """Handle for a nonblocking reduction in flight."""
+
+    value: np.ndarray
+    issued_at: int
+    latency: int
+    comm: "SimComm"
+    consumed: bool = field(default=False, repr=False)
+
+    def wait(self) -> np.ndarray:
+        """Consume the result at the communicator's current iteration.
+
+        Books ``hidden`` when the latency has elapsed, ``forced_wait``
+        (a real synchronization) when consumed early.
+        """
+        if self.consumed:
+            raise RuntimeError("reduction result already consumed")
+        self.consumed = True
+        if self.comm.iteration - self.issued_at >= self.latency:
+            self.comm.stats.hidden_allreduces += 1
+        else:
+            self.comm.stats.forced_waits += 1
+        return self.value
+
+    @property
+    def ready(self) -> bool:
+        """Whether the declared latency has elapsed."""
+        return self.comm.iteration - self.issued_at >= self.latency
+
+
+class SimComm:
+    """Simulated communicator over ``nranks`` lockstep ranks.
+
+    Reductions take *per-rank partial* arrays (shape ``(nranks, ...)`` or
+    a list of scalars/arrays, one per rank) and return the global sum --
+    the simulation computes it instantly, the accounting records what a
+    real machine would have paid.
+    """
+
+    def __init__(self, nranks: int, *, reduction_latency: int = 1) -> None:
+        self.nranks = require_positive_int(nranks, "nranks")
+        self.reduction_latency = require_nonnegative_int(
+            reduction_latency, "reduction_latency"
+        )
+        self.iteration = 0
+        self.stats = CommStats()
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    def advance_iteration(self) -> None:
+        """One solver iteration completed (the latency clock)."""
+        self.iteration += 1
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def _sum_partials(self, partials) -> np.ndarray:
+        arr = np.asarray(partials, dtype=np.float64)
+        if arr.shape[0] != self.nranks:
+            raise ValueError(
+                f"expected one partial per rank ({self.nranks}), got {arr.shape}"
+            )
+        return arr.sum(axis=0)
+
+    def allreduce(self, partials) -> np.ndarray:
+        """Blocking sum-allreduce of per-rank partials."""
+        result = self._sum_partials(partials)
+        self.stats.blocking_allreduces += 1
+        self.stats.words_reduced += int(np.size(result))
+        return result
+
+    def iallreduce(self, partials, *, latency: int | None = None) -> PendingReduction:
+        """Nonblocking sum-allreduce; ``wait()`` applies the availability
+        rule.  ``latency`` defaults to the communicator's
+        ``reduction_latency`` (in solver iterations)."""
+        result = self._sum_partials(partials)
+        self.stats.words_reduced += int(np.size(result))
+        lat = self.reduction_latency if latency is None else int(latency)
+        return PendingReduction(
+            value=result, issued_at=self.iteration, latency=lat, comm=self
+        )
+
+    def record_halo_exchange(self, words: int) -> None:
+        """Book one neighbour exchange of ``words`` vector entries."""
+        self.stats.halo_exchanges += 1
+        self.stats.words_exchanged += int(words)

@@ -1,0 +1,465 @@
+"""Distributed solvers with communication accounting.
+
+SPMD implementations of the solver family over the simulated
+communicator, structured exactly as their mpi4py counterparts would be
+(rank-local vector arithmetic, partial dot products + allreduce, halo
+exchange inside the matvec).  What they measure that the sequential
+solvers cannot: **synchronizations per iteration**.
+
+* :func:`distributed_cg` -- two *blocking* allreduces per iteration (the
+  paper's problem, executable).
+* :func:`distributed_cgcg` -- Chronopoulos--Gear: the two reductions fuse
+  into one blocking allreduce per iteration.
+* :func:`distributed_pipelined_vr` -- the paper's algorithm: every moment
+  reduction is *nonblocking* with k iterations to complete; the steady
+  state performs **zero** blocking synchronizations per iteration (the
+  accounting proves it -- a forced early wait would be booked).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coefficients import mu_index, sigma_index
+from repro.core.pipeline import _CoefficientPipeline
+from repro.core.results import CGResult, StopReason
+from repro.core.stopping import StoppingCriterion
+from repro.distributed.comm import PendingReduction, SimComm
+from repro.distributed.data import BlockVector, DistributedCSR
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.matrix_powers import RowPartition
+from repro.util.validation import as_1d_float_array, require_positive_int
+
+__all__ = [
+    "distributed_cg",
+    "distributed_cgcg",
+    "distributed_sstep",
+    "distributed_pipelined_vr",
+]
+
+
+def _setup(a: CSRMatrix, b: np.ndarray, nranks: int):
+    b = as_1d_float_array(b, "b")
+    part = RowPartition.uniform(b.shape[0], nranks)
+    return DistributedCSR(a, part), BlockVector.from_global(b, part), part
+
+
+def distributed_cg(
+    a: CSRMatrix,
+    b: np.ndarray,
+    *,
+    nranks: int = 4,
+    stop: StoppingCriterion | None = None,
+) -> tuple[CGResult, SimComm]:
+    """Classical CG, SPMD form: 2 blocking allreduces + 1 halo per iter."""
+    stop = stop or StoppingCriterion()
+    dist_a, b_vec, part = _setup(a, b, nranks)
+    comm = SimComm(nranks)
+
+    x = BlockVector.zeros(part)
+    b_norm = float(np.sqrt(comm.allreduce(b_vec.dot_partials(b_vec))))
+    r = b_vec.copy()  # x0 = 0
+    p = r.copy()
+    rr = float(comm.allreduce(r.dot_partials(r)))
+    res_norms = [float(np.sqrt(max(rr, 0.0)))]
+    lambdas: list[float] = []
+    alphas: list[float] = []
+
+    reason = StopReason.MAX_ITER
+    iterations = 0
+    if stop.is_met(res_norms[0], b_norm):
+        reason = StopReason.CONVERGED
+    else:
+        for _ in range(stop.budget(part.n)):
+            ap = dist_a.matvec(p, comm)
+            pap = float(comm.allreduce(p.dot_partials(ap)))
+            if pap <= 0:
+                reason = StopReason.BREAKDOWN
+                break
+            lam = rr / pap
+            lambdas.append(lam)
+            x.axpy_inplace(lam, p)
+            r.axpy_inplace(-lam, ap)
+            iterations += 1
+            comm.advance_iteration()
+            rr_new = float(comm.allreduce(r.dot_partials(r)))
+            res_norms.append(float(np.sqrt(max(rr_new, 0.0))))
+            if stop.is_met(res_norms[-1], b_norm):
+                reason = StopReason.CONVERGED
+                break
+            alpha = rr_new / rr
+            alphas.append(alpha)
+            p.scale_add(alpha, r)
+            rr = rr_new
+
+    result = CGResult(
+        x=x.to_global(),
+        converged=reason is StopReason.CONVERGED,
+        stop_reason=reason,
+        iterations=iterations,
+        residual_norms=res_norms,
+        alphas=alphas,
+        lambdas=lambdas,
+        true_residual_norm=float(np.linalg.norm(b - a.matvec(x.to_global()))),
+        label=f"dist-cg(P={nranks})",
+    )
+    return result, comm
+
+
+def distributed_cgcg(
+    a: CSRMatrix,
+    b: np.ndarray,
+    *,
+    nranks: int = 4,
+    stop: StoppingCriterion | None = None,
+) -> tuple[CGResult, SimComm]:
+    """Chronopoulos--Gear, SPMD form: ONE blocking allreduce per iteration
+    (both partial dots ride the same collective)."""
+    stop = stop or StoppingCriterion()
+    dist_a, b_vec, part = _setup(a, b, nranks)
+    comm = SimComm(nranks)
+
+    x = BlockVector.zeros(part)
+    r = b_vec.copy()
+    w = dist_a.matvec(r, comm)
+    fused = comm.allreduce(
+        np.stack([r.dot_partials(r), r.dot_partials(w)], axis=1)
+    )
+    rr, rar = float(fused[0]), float(fused[1])
+    b_norm = float(np.sqrt(rr))  # x0 = 0 -> ||b|| = ||r0||
+    res_norms = [float(np.sqrt(max(rr, 0.0)))]
+    lambdas: list[float] = []
+    alphas: list[float] = []
+
+    p = BlockVector.zeros(part)
+    s = BlockVector.zeros(part)
+    lam = 0.0
+    reason = StopReason.MAX_ITER
+    iterations = 0
+    if stop.is_met(res_norms[0], b_norm):
+        reason = StopReason.CONVERGED
+    else:
+        for it in range(stop.budget(part.n)):
+            if it == 0:
+                beta = 0.0
+                if rar <= 0:
+                    reason = StopReason.BREAKDOWN
+                    break
+                lam = rr / rar
+            else:
+                beta = rr / rr_prev
+                denom = rar - (beta / lam) * rr
+                if denom <= 0:
+                    reason = StopReason.BREAKDOWN
+                    break
+                lam = rr / denom
+                alphas.append(beta)
+            lambdas.append(lam)
+            p.scale_add(beta, r)
+            s.scale_add(beta, w)
+            x.axpy_inplace(lam, p)
+            r.axpy_inplace(-lam, s)
+            iterations += 1
+            comm.advance_iteration()
+            w = dist_a.matvec(r, comm)
+            rr_prev = rr
+            fused = comm.allreduce(
+                np.stack([r.dot_partials(r), r.dot_partials(w)], axis=1)
+            )
+            rr, rar = float(fused[0]), float(fused[1])
+            res_norms.append(float(np.sqrt(max(rr, 0.0))))
+            if stop.is_met(res_norms[-1], b_norm):
+                reason = StopReason.CONVERGED
+                break
+
+    result = CGResult(
+        x=x.to_global(),
+        converged=reason is StopReason.CONVERGED,
+        stop_reason=reason,
+        iterations=iterations,
+        residual_norms=res_norms,
+        alphas=alphas,
+        lambdas=lambdas,
+        true_residual_norm=float(np.linalg.norm(b - a.matvec(x.to_global()))),
+        label=f"dist-cgcg(P={nranks})",
+    )
+    return result, comm
+
+
+def distributed_sstep(
+    a: CSRMatrix,
+    b: np.ndarray,
+    *,
+    s: int = 4,
+    nranks: int = 4,
+    stop: StoppingCriterion | None = None,
+) -> tuple[CGResult, SimComm]:
+    """s-step CG, SPMD form: TWO blocking allreduces per s CG steps.
+
+    Phase 1 fuses ``W = PᵀAP`` and ``g = Pᵀr`` into one collective; after
+    the block step, phase 2 fuses the conjugation cross-block
+    ``(AP)ᵀK`` with the new residual norm into a second.  Amortized
+    ``2/s`` synchronizations per CG step (the two phases are genuinely
+    dependent -- the new basis needs the new residual).  The small solves
+    are replicated on every rank, standard s-step practice.
+    """
+    stop = stop or StoppingCriterion()
+    s = require_positive_int(s, "s")
+    dist_a, b_vec, part = _setup(a, b, nranks)
+    comm = SimComm(nranks)
+
+    def krylov_block(r: BlockVector) -> tuple[list[BlockVector], list[BlockVector]]:
+        k_blk = [r.copy()]
+        ak_blk = []
+        for i in range(s):
+            ak_blk.append(dist_a.matvec(k_blk[i], comm))
+            if i + 1 < s:
+                k_blk.append(ak_blk[i].copy())
+        return k_blk, ak_blk
+
+    x = BlockVector.zeros(part)
+    r = b_vec.copy()
+    rr0 = float(comm.allreduce(r.dot_partials(r)))
+    b_norm = float(np.sqrt(max(rr0, 0.0)))
+    res_norms = [b_norm]
+    reason = StopReason.MAX_ITER
+    cg_steps = 0
+
+    if stop.is_met(res_norms[0], b_norm):
+        reason = StopReason.CONVERGED
+    else:
+        p_blk, ap_blk = krylov_block(r)
+        max_outer = (stop.budget(part.n) + s - 1) // s
+        for _ in range(max_outer):
+            # phase 1: fused [W | g]
+            cols = [
+                p_blk[i].dot_partials(ap_blk[j])
+                for i in range(s)
+                for j in range(s)
+            ] + [p_blk[i].dot_partials(r) for i in range(s)]
+            fused = comm.allreduce(np.stack(cols, axis=1))
+            w_mat = fused[: s * s].reshape(s, s)
+            g_vec = fused[s * s :]
+            try:
+                coeffs = np.linalg.solve(w_mat, g_vec)
+            except np.linalg.LinAlgError:
+                reason = StopReason.BREAKDOWN
+                break
+            if not np.all(np.isfinite(coeffs)):
+                reason = StopReason.BREAKDOWN
+                break
+            for i in range(s):
+                x.axpy_inplace(float(coeffs[i]), p_blk[i])
+                r.axpy_inplace(-float(coeffs[i]), ap_blk[i])
+            cg_steps += s
+            comm.advance_iteration()
+
+            # phase 2: new basis from the NEW residual, fused [cross | rr]
+            k_blk, ak_blk = krylov_block(r)
+            cols = [
+                ap_blk[i].dot_partials(k_blk[j])
+                for i in range(s)
+                for j in range(s)
+            ] + [r.dot_partials(r)]
+            fused = comm.allreduce(np.stack(cols, axis=1))
+            cross = fused[: s * s].reshape(s, s)
+            rr = float(fused[-1])
+            res_norms.append(float(np.sqrt(max(rr, 0.0))))
+            if stop.is_met(res_norms[-1], b_norm):
+                reason = StopReason.CONVERGED
+                break
+            if not np.isfinite(res_norms[-1]) or res_norms[-1] > 1e8 * b_norm:
+                reason = StopReason.BREAKDOWN
+                break
+            try:
+                b_mat = np.linalg.solve(w_mat, cross)
+            except np.linalg.LinAlgError:
+                reason = StopReason.BREAKDOWN
+                break
+            new_p = []
+            new_ap = []
+            for j in range(s):
+                pj = k_blk[j].copy()
+                apj = ak_blk[j].copy()
+                for i in range(s):
+                    pj.axpy_inplace(-float(b_mat[i, j]), p_blk[i])
+                    apj.axpy_inplace(-float(b_mat[i, j]), ap_blk[i])
+                new_p.append(pj)
+                new_ap.append(apj)
+            p_blk, ap_blk = new_p, new_ap
+
+    x_global = x.to_global()
+    result = CGResult(
+        x=x_global,
+        converged=reason is StopReason.CONVERGED,
+        stop_reason=reason,
+        iterations=cg_steps,
+        residual_norms=res_norms,
+        alphas=[],
+        lambdas=[],
+        true_residual_norm=float(np.linalg.norm(b - a.matvec(x_global))),
+        label=f"dist-sstep(s={s},P={nranks})",
+    )
+    return result, comm
+
+
+def _window_partials(
+    k: int, r_pows: list[BlockVector], p_pows: list[BlockVector]
+) -> np.ndarray:
+    """Per-rank partials of the stacked moment state ``[μ | ν | σ]``.
+
+    Moment order i splits as ``(A^{i//2} u, A^{(i+1)//2} v)`` -- the same
+    symmetric power splitting the sequential window uses -- and each
+    entry's partial is a rank-local block dot.
+    """
+    nranks = r_pows[0].partition.nblocks
+    width = 6 * k + 6
+    out = np.zeros((nranks, width))
+    col = 0
+    for i in range(2 * k + 1):  # mu
+        out[:, col] = r_pows[i // 2].dot_partials(r_pows[i - i // 2])
+        col += 1
+    for i in range(2 * k + 2):  # nu
+        out[:, col] = r_pows[i // 2].dot_partials(p_pows[i - i // 2])
+        col += 1
+    for i in range(2 * k + 3):  # sigma
+        out[:, col] = p_pows[i // 2].dot_partials(p_pows[i - i // 2])
+        col += 1
+    return out
+
+
+def distributed_pipelined_vr(
+    a: CSRMatrix,
+    b: np.ndarray,
+    *,
+    k: int = 2,
+    nranks: int = 4,
+    stop: StoppingCriterion | None = None,
+    use_matrix_powers_kernel: bool = False,
+) -> tuple[CGResult, SimComm]:
+    """Pipelined Van Rosendale CG, SPMD form.
+
+    All moment reductions are issued as *nonblocking* collectives with a
+    k-iteration completion window; the steady state consumes only ready
+    handles, so ``stats.synchronizations_on_critical_path()`` counts only
+    the startup transient -- the executable form of the paper's claim
+    that inner-product latency leaves the iteration's critical path.
+
+    With ``use_matrix_powers_kernel=True`` the startup power block is
+    built by the communication-avoiding matrix powers kernel
+    (:mod:`repro.sparse.matrix_powers`): ONE ghost fetch replaces the
+    ``k+2`` startup halo exchanges, at the cost of the kernel's redundant
+    surface flops -- the E12 trade applied inside the E13 solver.
+    """
+    stop = stop or StoppingCriterion()
+    k = require_positive_int(k, "k")
+    dist_a, b_vec, part = _setup(a, b, nranks)
+    comm = SimComm(nranks, reduction_latency=k)
+    w = k  # state layout parameter
+
+    x = BlockVector.zeros(part)
+    if use_matrix_powers_kernel:
+        # startup powers of r0 = p0 with a single k+2-hop ghost fetch
+        from repro.sparse.matrix_powers import MatrixPowersKernel
+
+        kernel = MatrixPowersKernel(a, part, k + 2)
+        comm.record_halo_exchange(kernel.stats().ghost_words)
+        powers_global = kernel.compute(b_vec.to_global())
+        r_pows = [
+            BlockVector.from_global(powers_global[i], part) for i in range(k + 2)
+        ]
+        p_pows = [v.copy() for v in r_pows]
+        p_pows.append(BlockVector.from_global(powers_global[k + 2], part))
+    else:
+        # startup: powers of r0 = p0 (k+2 halo-exchanged matvecs)
+        r_pows = [b_vec.copy()]
+        for i in range(k + 1):
+            r_pows.append(dist_a.matvec(r_pows[-1], comm))
+        p_pows = [v.copy() for v in r_pows]
+        p_pows.append(dist_a.matvec(p_pows[-1], comm))
+
+    pipeline = _CoefficientPipeline(k, w)
+    pending: dict[int, PendingReduction] = {}
+
+    def launch(iteration: int) -> None:
+        partials = _window_partials(k, r_pows, p_pows)
+        pending[iteration] = comm.iallreduce(partials)
+
+    # iteration 0's front values: blocking (the startup serialization).
+    # The first pipelined consume reads the launch from loop step 0, so
+    # no separate launch is needed here.
+    front = comm.allreduce(_window_partials(k, r_pows, p_pows))
+    mu0 = float(front[mu_index(w, 0)])
+    sigma1 = float(front[sigma_index(w, 1)])
+    b_norm = float(np.sqrt(max(mu0, 0.0)))  # x0 = 0
+    res_norms = [b_norm]
+    lambdas: list[float] = []
+    alphas: list[float] = []
+    for t in range(1, k + 1):
+        pipeline.open_target(t)
+
+    reason = StopReason.MAX_ITER
+    iterations = 0
+    if stop.is_met(res_norms[0], b_norm):
+        reason = StopReason.CONVERGED
+    else:
+        for step in range(stop.budget(part.n)):
+            if mu0 <= 0 or sigma1 <= 0:
+                reason = StopReason.BREAKDOWN
+                break
+            lam = mu0 / sigma1
+            lambdas.append(lam)
+            x.axpy_inplace(lam, p_pows[0])
+            iterations += 1
+
+            # vector pipeline (rank-local except the one matvec)
+            for i in range(k + 2):
+                r_pows[i].axpy_inplace(-lam, p_pows[i + 1])
+
+            target = step + 1
+            if target <= k:
+                pipeline.matrices.pop(target, None)
+                front = comm.allreduce(_window_partials(k, r_pows, p_pows))
+                mu0_next = float(front[mu_index(w, 0)])
+            else:
+                state = pending.pop(target - k).wait()
+                mu0_next, _, sigma1_pipe = pipeline.consume(
+                    target, lam, state, mu0
+                )
+            res_norms.append(float(np.sqrt(max(mu0_next, 0.0))))
+            if stop.is_met(res_norms[-1], b_norm):
+                reason = StopReason.CONVERGED
+                break
+            if mu0_next <= 0 or not np.isfinite(mu0_next):
+                reason = StopReason.BREAKDOWN
+                break
+            alpha = mu0_next / mu0
+            alphas.append(alpha)
+            for i in range(k + 2):
+                p_pows[i].scale_add(alpha, r_pows[i])
+            p_pows[k + 2] = dist_a.matvec(p_pows[k + 1], comm)
+
+            if target <= k:
+                front = comm.allreduce(_window_partials(k, r_pows, p_pows))
+                sigma1_next = float(front[sigma_index(w, 1)])
+            else:
+                sigma1_next = sigma1_pipe
+            launch(target)
+            pipeline.push_step(target, lam, alpha)
+            pipeline.open_target(target + k)
+            comm.advance_iteration()
+            mu0, sigma1 = mu0_next, sigma1_next
+
+    x_global = x.to_global()
+    result = CGResult(
+        x=x_global,
+        converged=reason is StopReason.CONVERGED,
+        stop_reason=reason,
+        iterations=iterations,
+        residual_norms=res_norms,
+        alphas=alphas,
+        lambdas=lambdas,
+        true_residual_norm=float(np.linalg.norm(b - a.matvec(x_global))),
+        label=f"dist-pipelined-vr(k={k},P={nranks})",
+    )
+    return result, comm

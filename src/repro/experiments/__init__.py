@@ -1,0 +1,52 @@
+"""Experiment harness: one module per reproduced claim/figure.
+
+Importing this package registers every experiment in
+:data:`repro.experiments.EXPERIMENTS`; ``python -m repro.experiments``
+runs them all and prints the EXPERIMENTS.md blocks.
+
+Index (see DESIGN.md section 4 for the full mapping):
+
+====== =========== ==========================================================
+exp id paper claim summary
+====== =========== ==========================================================
+E1     Figure 1    pipelined data movement, measured launch/consume trace
+E2     C1+C7       depth/iteration: Θ(log N) vs Θ(log log N)
+E3     C2          one-step recurrence doubles parallel speed
+E4     C7          max(log d, log log N) row-degree sweep
+E5     C5+C6+C8    counted matvecs/direct-dots/flops per iteration
+E6     C3+C4       relation (*): symbolic degrees + numeric exactness
+E7a    equivalence iterate/parameter agreement across the solver family
+E7b    stability   finite-precision drift and its mitigations
+E8     C7(startup) startup transient depth and break-even point
+E9     extension   preconditioned VR-CG parity with PCG
+E10    extension   whole communication-reduction family on one model
+E11    extension   finite-processor sweep: when the restructuring pays
+E12    extension   matrix powers kernel: one-communication power blocks
+E13    extension   distributed execution: blocking collectives counted
+====== =========== ==========================================================
+"""
+
+from repro.experiments import (  # noqa: F401  (registration side effects)
+    coefficient_degrees,
+    degree_sweep,
+    depth_scaling,
+    doubling,
+    equivalence,
+    family,
+    fig1_schedule,
+    powers_kernel,
+    preconditioning,
+    processor_sweep,
+    stability,
+    startup_cost,
+    synchronization,
+    work_accounting,
+)
+from repro.experiments.common import (
+    EXPERIMENTS,
+    ExperimentReport,
+    render_all,
+    run_all,
+)
+
+__all__ = ["EXPERIMENTS", "ExperimentReport", "render_all", "run_all"]

@@ -1,0 +1,48 @@
+"""CLI entry point: ``python -m repro.experiments [--full] [ids...]``.
+
+Runs the registered experiments (all by default, or the ids given on the
+command line) and prints their rendered reports -- the exact blocks
+recorded in EXPERIMENTS.md.  ``--full`` switches from the CI-scale sweeps
+to the full sweeps used for the committed numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import EXPERIMENTS, render_all, run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run experiments, print reports; returns the number
+    of failed experiments (0 = all reproduced)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures/claims (see DESIGN.md).",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        help=f"experiment ids to run (default: all of {sorted(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full sweeps instead of the fast CI-scale ones",
+    )
+    args = parser.parse_args(argv)
+
+    only = args.ids or None
+    reports = run_all(fast=not args.full, only=only)
+    print(render_all(reports))
+    failures = [r.exp_id for r in reports if not r.passed]
+    if failures:
+        print(f"\nFAILED experiments: {failures}", file=sys.stderr)
+    else:
+        print(f"\nAll {len(reports)} experiments reproduced.", file=sys.stderr)
+    return len(failures)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Experiment harness shared infrastructure.
+
+Every experiment module exposes ``run(fast=True) -> ExperimentReport`` and
+registers itself in :data:`EXPERIMENTS`.  Reports carry paper-claim vs
+measured-outcome pairs plus the raw tables, and render as the ASCII blocks
+recorded in EXPERIMENTS.md.  ``fast=True`` shrinks sweeps to CI scale;
+``fast=False`` is the full sweep used to produce the committed numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.util.tables import Table
+
+__all__ = ["ExperimentReport", "EXPERIMENTS", "register", "run_all", "render_all"]
+
+
+@dataclass
+class ExperimentReport:
+    """Outcome of one reproduction experiment.
+
+    Attributes
+    ----------
+    exp_id:
+        DESIGN.md experiment id (``"E2"``).
+    claim:
+        The paper claim being tested (``"C1"``, ``"F1"`` ...).
+    title:
+        Human-readable description.
+    tables:
+        The regenerated result tables.
+    findings:
+        Paper-vs-measured bullet statements.
+    passed:
+        Whether the quantitative reproduction criteria held.
+    """
+
+    exp_id: str
+    claim: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    findings: list[str] = field(default_factory=list)
+    passed: bool = True
+
+    def render(self) -> str:
+        """ASCII block: header, findings, tables."""
+        status = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"[{self.exp_id}] {self.title}",
+            f"claim: {self.claim}   status: {status}",
+            "-" * 72,
+        ]
+        for finding in self.findings:
+            lines.append(f"* {finding}")
+        for table in self.tables:
+            lines.append("")
+            lines.append(table.render())
+        return "\n".join(lines)
+
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {}
+
+
+def register(exp_id: str):
+    """Decorator registering an experiment ``run`` function by id."""
+
+    def deco(fn: Callable[..., ExperimentReport]):
+        if exp_id in EXPERIMENTS:
+            raise ValueError(f"duplicate experiment id {exp_id}")
+        EXPERIMENTS[exp_id] = fn
+        return fn
+
+    return deco
+
+
+def run_all(*, fast: bool = True, only: Iterable[str] | None = None) -> list[ExperimentReport]:
+    """Run every registered experiment (or the ``only`` subset) in id order."""
+    ids = sorted(EXPERIMENTS) if only is None else list(only)
+    reports = []
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            raise KeyError(f"unknown experiment {exp_id!r}")
+        reports.append(EXPERIMENTS[exp_id](fast=fast))
+    return reports
+
+
+def render_all(reports: Iterable[ExperimentReport]) -> str:
+    """Concatenate rendered reports with separators."""
+    blocks = [r.render() for r in reports]
+    sep = "\n\n" + "=" * 72 + "\n\n"
+    return sep.join(blocks)

@@ -1,0 +1,127 @@
+"""E10 -- extension: the communication-reduction family, one table.
+
+Places the paper in its subfield by compiling every implemented variant
+to the machine model and measuring per-(CG-)iteration depth across N:
+
+* classical CG                      -- 2·log N + log d + c  (slope 2)
+* three-term CG                     -- same dependencies as classical
+* Chronopoulos--Gear (fused dots)   -- log N + log d + c    (slope 1)
+* Ghysels--Vanroose (overlapped)    -- max(log N, log d) + c (slope 1,
+  smaller constant)
+* s-step CG                         -- log N / s + log d + c (slope 1/s)
+* Van Rosendale pipelined (k=log N) -- 2·log(6k+6) + c = Θ(log log N)
+* Van Rosendale eager               -- Θ(1)
+
+The honest summary the table supports: at practical N the constants make
+s-step and the eager VR form fastest; the paper's pipelined form is the
+only *unbounded-N* winner among the historically published algorithms,
+and the eager refinement (also in the paper!) dominates everything in
+depth while losing in numerical stability (E7b) -- no free lunch, but the
+paper's core thesis (inner-product fan-ins need not bound CG) is
+confirmed across the whole family.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport, register
+from repro.machine.cg_dag import build_cg_dag
+from repro.machine.schedule import fit_log_slope
+from repro.machine.variants_dag import (
+    build_cgcg_dag,
+    build_gv_dag,
+    build_sstep_dag,
+    per_cg_step_depth,
+)
+from repro.machine.vr_dag import build_vr_eager_dag, build_vr_pipelined_dag
+from repro.util.tables import Table
+
+__all__ = ["run"]
+
+
+@register("E10")
+def run(*, fast: bool = True, d: int = 5, s: int = 4) -> ExperimentReport:
+    """Compile and measure every variant across N."""
+    exponents = [10, 16, 22] if fast else [8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28]
+    table = Table(
+        ["N", "cg", "cg-cg", "ghysels-vanroose", f"sstep(s={s})",
+         "vr-pipelined(k=logN)", "vr-eager"],
+        title=f"E10: per-iteration depth across the family (d={d})",
+    )
+    ns = []
+    series: dict[str, list[float]] = {
+        name: [] for name in ("cg", "cgcg", "gv", "sstep", "vr", "eager")
+    }
+    for e in exponents:
+        n = 2**e
+        k = e
+        cg = build_cg_dag(n, d, 24).per_iteration_depth()
+        cgcg = build_cgcg_dag(n, d, 24).per_iteration_depth()
+        gv = build_gv_dag(n, d, 24).per_iteration_depth()
+        ss = per_cg_step_depth(build_sstep_dag(n, d, s, 20), s)
+        vr = build_vr_pipelined_dag(n, d, k, 3 * k + 12).per_iteration_depth()
+        eager = build_vr_eager_dag(n, d, k, 3 * k + 12).per_iteration_depth(
+            warmup=k + 2
+        )
+        table.add(n, cg, cgcg, gv, ss, vr, eager)
+        ns.append(n)
+        for name, val in zip(
+            ("cg", "cgcg", "gv", "sstep", "vr", "eager"),
+            (cg, cgcg, gv, ss, vr, eager),
+        ):
+            series[name].append(val)
+
+    slopes = {
+        name: fit_log_slope(ns, vals)[0] for name, vals in series.items()
+    }
+    slope_table = Table(
+        ["variant", "measured slope per log2 N", "expected"],
+        title="E10: depth growth rates",
+    )
+    expected = {
+        "cg": 2.0,
+        "cgcg": 1.0,
+        "gv": 1.0,
+        "sstep": 1.0 / s,
+        "vr": 0.0,  # log log: ~0.1-0.2 over this range
+        "eager": 0.0,
+    }
+    for name in ("cg", "cgcg", "gv", "sstep", "vr", "eager"):
+        slope_table.add(name, slopes[name], expected[name])
+
+    passed = (
+        abs(slopes["cg"] - 2.0) < 0.2
+        and abs(slopes["cgcg"] - 1.0) < 0.2
+        and abs(slopes["gv"] - 1.0) < 0.2
+        and abs(slopes["sstep"] - 1.0 / s) < 0.15
+        and slopes["vr"] < 0.4
+        and abs(slopes["eager"]) < 0.05
+        # ordering at the largest N: vr and eager beat all slope>0 methods
+        and series["vr"][-1] < series["cgcg"][-1]
+        and series["eager"][-1] < series["sstep"][-1] + 2
+    )
+
+    findings = [
+        "extension: the paper's restructuring, its k=0 special case "
+        "(Chronopoulos-Gear 1989), the production pipelined CG "
+        "(Ghysels-Vanroose 2014) and s-step CG, all compiled to the same "
+        "machine model.",
+        f"measured growth per log2(N): cg {slopes['cg']:.2f}, fused-dot "
+        f"{slopes['cgcg']:.2f}, overlapped {slopes['gv']:.2f}, "
+        f"s-step(1/s={1 / s:.2f}) {slopes['sstep']:.2f}, VR-pipelined "
+        f"{slopes['vr']:.2f}, VR-eager {slopes['eager']:.2f} -- each "
+        "strategy removes exactly the fraction of the reduction latency "
+        "its construction promises.",
+        "only the Van Rosendale look-ahead removes the fan-in from the "
+        "recurrent cycle entirely; constants make s-step/eager-VR "
+        "faster at practical N, but both flat-depth methods pay in "
+        "numerical stability (E7b) -- the trade the subfield has been "
+        "negotiating since this paper.",
+    ]
+    return ExperimentReport(
+        exp_id="E10",
+        claim="extension (subfield map)",
+        title="The communication-reduction family on one machine model",
+        tables=[table, slope_table],
+        findings=findings,
+        passed=passed,
+    )

@@ -1,0 +1,103 @@
+"""E11 -- extension: how many processors before the restructuring pays?
+
+The paper assumes "N or more processors" and neglects the work cost of
+its own restructuring.  The finite-P scheduler quantifies both honestly:
+
+* the pipelined form launches all ``6k+6`` moment products per iteration
+  -- roughly ``3(2k+1)×`` the inner-product *work* of classical CG -- so
+  with few processors it is strictly slower (work-bound regime);
+* the eager form does the same two dots as classical CG (plus the
+  ``2k+5``-vector power block), so its overhead is mild;
+* as P grows, all algorithms hit their depth floors, and the ordering
+  flips to the E2/E10 depth story.
+
+We sweep P from 4 to beyond N on compiled DAGs and tabulate makespans,
+locating each crossover.  This is the reproduction's answer to the
+paper's implicit "given sufficiently many processors" -- with a number.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport, register
+from repro.machine.cg_dag import build_cg_dag
+from repro.machine.scheduler import simulate_schedule
+from repro.machine.vr_dag import build_vr_eager_dag, build_vr_pipelined_dag
+from repro.util.tables import Table
+
+__all__ = ["run"]
+
+
+@register("E11")
+def run(*, fast: bool = True, log2n: int = 14, d: int = 5) -> ExperimentReport:
+    """Sweep processor counts over compiled CG / VR DAGs."""
+    n = 2**log2n
+    k = log2n
+    iters = 24
+    cg = build_cg_dag(n, d, iters)
+    vr = build_vr_pipelined_dag(n, d, k, iters + 2 * k)
+    eager = build_vr_eager_dag(n, d, k, iters + 2 * k)
+
+    exps = [2, 6, 10, 14, 18, 22] if fast else [2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24]
+    table = Table(
+        ["P", "cg makespan/iter", "vr-pipelined/iter", "vr-eager/iter",
+         "pipelined work-bound", "eager beats cg"],
+        title=f"E11: finite-P makespans, N=2^{log2n}, k={k}, d={d}",
+    )
+    vr_iters = iters + 2 * k
+    crossover_pipe = None
+    crossover_eager = None
+    rows = []
+    for e in exps:
+        p = 2**e
+        mc = simulate_schedule(cg.graph, p).makespan / iters
+        mv = simulate_schedule(vr.graph, p).makespan / vr_iters
+        me = simulate_schedule(eager.graph, p).makespan / vr_iters
+        work_bound = mv > 1.5 * vr.graph.critical_path_length() / vr_iters
+        eager_wins = me < mc
+        table.add(f"2^{e}", mc, mv, me, work_bound, eager_wins)
+        rows.append((p, mc, mv, me))
+        if crossover_pipe is None and mv <= mc:
+            crossover_pipe = p
+        if crossover_eager is None and eager_wins:
+            crossover_eager = p
+
+    work_ratio = vr.graph.total_work() / cg.graph.total_work() * (iters / vr_iters)
+    eager_ratio = eager.graph.total_work() / cg.graph.total_work() * (iters / vr_iters)
+
+    # Criteria: at tiny P the pipelined form must be slower (work bound);
+    # at the largest P both VR forms must be at least competitive.
+    p_small = rows[0]
+    p_large = rows[-1]
+    passed = (
+        p_small[2] > p_small[1]  # pipelined slower than cg when work-bound
+        and p_large[3] <= p_large[1] + 1  # eager at least matches cg at huge P
+        and crossover_eager is not None
+        and work_ratio > 5.0  # the work price is real and visible
+        and eager_ratio < work_ratio  # eager is the cheap one
+    )
+
+    findings = [
+        "paper: 'given sufficiently many processors, the summation "
+        "fan-ins will dominate' -- but never prices its own extra work.",
+        f"measured: the pipelined form performs {work_ratio:.0f}x classical "
+        "CG's per-iteration work (all 6k+6 moment launches), so it is "
+        "slower until the machine stops being work-bound"
+        + (
+            f"; crossover at P ~ {crossover_pipe}."
+            if crossover_pipe
+            else " within this sweep (needs P beyond it)."
+        ),
+        f"measured: the eager form costs only {eager_ratio:.1f}x classical "
+        f"work and overtakes classical CG at P ~ {crossover_eager} -- the "
+        "practical realization for mid-scale machines.",
+        "at P >= N both flat-depth forms sit on their depth floors and the "
+        "E2 ordering holds -- the paper's regime, now with the price tag.",
+    ]
+    return ExperimentReport(
+        exp_id="E11",
+        claim="extension (finite P)",
+        title="Processor-count sweep: when does the restructuring pay?",
+        tables=[table],
+        findings=findings,
+        passed=passed,
+    )

@@ -1,0 +1,133 @@
+"""E13 -- extension: synchronization counts, executed.
+
+The machine model argues about depth; this experiment runs the solvers
+under message-passing *semantics* (the simulated communicator of
+:mod:`repro.distributed`) and counts actual synchronizing collectives:
+
+* classical CG must pay ~2 blocking allreduces per iteration;
+* Chronopoulos--Gear fuses them into ~1;
+* the pipelined Van Rosendale algorithm must pay **zero** blocking
+  collectives in steady state -- every moment reduction is nonblocking
+  with k iterations of slack, and the communicator books a *forced wait*
+  if any result is consumed early.  Zero forced waits across every run
+  is the strictest executable statement of the paper's thesis this
+  repository makes: the inner products literally never synchronize the
+  iteration.
+
+All solvers must simultaneously produce the sequential CG solution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.standard import conjugate_gradient
+from repro.core.stopping import StoppingCriterion
+from repro.distributed import (
+    distributed_cg,
+    distributed_cgcg,
+    distributed_pipelined_vr,
+    distributed_sstep,
+)
+from repro.experiments.common import ExperimentReport, register
+from repro.sparse.generators import poisson2d
+from repro.util.rng import default_rng
+from repro.util.tables import Table
+
+__all__ = ["run"]
+
+
+@register("E13")
+def run(*, fast: bool = True, nranks: int = 4, k: int = 3) -> ExperimentReport:
+    """Count synchronizations per iteration for each distributed solver."""
+    grid = 12 if fast else 24
+    a = poisson2d(grid)
+    b = default_rng(55).standard_normal(a.nrows)
+    # rtol sits where the pure pipelined form converges drift-free at
+    # both problem sizes; deep-convergence robustness is E7b's topic,
+    # synchronization counting is this experiment's.
+    stop = StoppingCriterion(rtol=1e-8 if fast else 1e-6, max_iter=2000)
+    ref = conjugate_gradient(a, b, stop=stop)
+    ref_norm = float(np.linalg.norm(ref.x))
+
+    table = Table(
+        ["solver", "iters", "blocking/iter", "hidden/iter", "forced waits",
+         "halos/iter", "sol err vs seq"],
+        title=f"E13: synchronization accounting, poisson2d({grid}), "
+        f"P={nranks}, k={k}",
+    )
+    rows = {}
+    for name, runner in [
+        ("dist-cg", lambda: distributed_cg(a, b, nranks=nranks, stop=stop)),
+        ("dist-cgcg", lambda: distributed_cgcg(a, b, nranks=nranks, stop=stop)),
+        (
+            "dist-sstep(s=4)",
+            lambda: distributed_sstep(a, b, s=4, nranks=nranks, stop=stop),
+        ),
+        (
+            "dist-pipelined-vr",
+            lambda: distributed_pipelined_vr(a, b, k=k, nranks=nranks, stop=stop),
+        ),
+    ]:
+        res, comm = runner()
+        iters = max(res.iterations, 1)
+        s = comm.stats
+        err = float(np.linalg.norm(res.x - ref.x)) / ref_norm
+        rows[name] = (res, s, err)
+        table.add(
+            name,
+            res.iterations,
+            round(s.blocking_allreduces / iters, 3),
+            round(s.hidden_allreduces / iters, 3),
+            s.forced_waits,
+            round(s.halo_exchanges / iters, 3),
+            err,
+        )
+
+    cg_res, cg_stats, cg_err = rows["dist-cg"]
+    cgcg_res, cgcg_stats, cgcg_err = rows["dist-cgcg"]
+    ss_res, ss_stats, ss_err = rows["dist-sstep(s=4)"]
+    _vr_res, vr_stats, vr_err = rows["dist-pipelined-vr"]
+
+    # Steady-state blocking collectives of the VR form: total minus the
+    # startup transient (1 initial front + 2 per fill iteration).
+    vr_startup_budget = 2 * k + 1
+    vr_steady_blocking = vr_stats.blocking_allreduces - vr_startup_budget
+
+    passed = (
+        all(r.converged for r, _, _ in rows.values())
+        and max(cg_err, cgcg_err, ss_err, vr_err) < 1e-5
+        and 1.9 <= cg_stats.blocking_allreduces / cg_res.iterations <= 2.2
+        and 0.95 <= cgcg_stats.blocking_allreduces / cgcg_res.iterations <= 1.15
+        # s-step: two dependent collectives per s steps (2/s amortized)
+        and ss_stats.blocking_allreduces / ss_res.iterations <= 2.0 / 4 + 0.2
+        and vr_steady_blocking <= 0
+        and vr_stats.forced_waits == 0
+    )
+
+    findings = [
+        "paper: the inner product fan-ins dominate CG on parallel "
+        "machines; the restructuring takes them off the iteration's "
+        "critical path.",
+        f"measured (executed, not modelled): classical CG pays "
+        f"{cg_stats.blocking_allreduces / cg_res.iterations:.2f} blocking "
+        f"collectives per iteration, Chronopoulos-Gear "
+        f"{cgcg_stats.blocking_allreduces / cgcg_res.iterations:.2f}, "
+        f"s-step(s=4) {ss_stats.blocking_allreduces / ss_res.iterations:.2f} "
+        f"(= 2/s), the pipelined VR form {vr_stats.blocking_allreduces} "
+        f"total -- all in the k={k} startup transient, ZERO in steady state.",
+        f"measured: {vr_stats.hidden_allreduces} nonblocking reductions "
+        "completed within their k-iteration windows; the communicator "
+        "would book a forced wait for any early read and booked "
+        f"{vr_stats.forced_waits}.",
+        "all four distributed solvers reproduce the sequential CG "
+        "solution to < 1e-5 relative.",
+    ]
+    return ExperimentReport(
+        exp_id="E13",
+        claim="extension (executed synchronization)",
+        title="Distributed execution: blocking collectives per iteration",
+        tables=[table],
+        findings=findings,
+        passed=passed,
+    )

@@ -1,0 +1,77 @@
+"""The simulated data-flow machine (the paper's parallel computer).
+
+The paper's evaluation substrate is an idealized 1983 parallel machine:
+``>= N`` processors, binary fan-in summations, negligible communication.
+We cannot run on that hardware, so -- per the reproduction's substitution
+policy (DESIGN.md) -- we build the cost algebra it implies: algorithms are
+compiled into task DAGs whose node depths follow the paper's model
+(``log N`` per inner product, ``log d`` per sparse matvec row), and the
+paper's "parallel time" claims become longest-path measurements.
+
+* :mod:`repro.machine.costmodel` -- the depth/work price list.
+* :mod:`repro.machine.dag` -- task graphs, critical paths, Brent bounds.
+* :mod:`repro.machine.ops` -- priced macro-operation builders.
+* :mod:`repro.machine.cg_dag` -- compiled classical CG.
+* :mod:`repro.machine.vr_dag` -- compiled Van Rosendale CG (pipelined and
+  eager forms).
+* :mod:`repro.machine.schedule` -- sweeps, steady-state extraction, fits.
+* :mod:`repro.machine.gantt` -- ASCII pipeline/Figure-1 rendering.
+"""
+
+from repro.machine.cg_dag import CGDagResult, build_cg_dag
+from repro.machine.costmodel import CostModel
+from repro.machine.dag import TaskGraph, TaskNode
+from repro.machine.gantt import render_figure1, render_pipeline_trace
+from repro.machine.ops import OpBuilder
+from repro.machine.schedule import (
+    DepthMeasurement,
+    fit_log_slope,
+    fit_loglog_slope,
+    measure_cg_depth,
+    measure_eager_depth,
+    measure_vr_depth,
+    optimal_lookahead,
+)
+from repro.machine.export import to_dot, to_json, write_dot, write_json
+from repro.machine.pcg_dag import build_pcg_dag, precond_depth
+from repro.machine.scheduler import ScheduleResult, simulate_schedule
+from repro.machine.variants_dag import (
+    build_cgcg_dag,
+    build_gv_dag,
+    build_sstep_dag,
+    per_cg_step_depth,
+)
+from repro.machine.vr_dag import VRDagResult, build_vr_eager_dag, build_vr_pipelined_dag
+
+__all__ = [
+    "to_dot",
+    "to_json",
+    "write_dot",
+    "write_json",
+    "build_pcg_dag",
+    "precond_depth",
+    "ScheduleResult",
+    "simulate_schedule",
+    "build_cgcg_dag",
+    "build_gv_dag",
+    "build_sstep_dag",
+    "per_cg_step_depth",
+    "CGDagResult",
+    "build_cg_dag",
+    "CostModel",
+    "TaskGraph",
+    "TaskNode",
+    "render_figure1",
+    "render_pipeline_trace",
+    "OpBuilder",
+    "DepthMeasurement",
+    "fit_log_slope",
+    "fit_loglog_slope",
+    "measure_cg_depth",
+    "measure_eager_depth",
+    "measure_vr_depth",
+    "optimal_lookahead",
+    "VRDagResult",
+    "build_vr_eager_dag",
+    "build_vr_pipelined_dag",
+]

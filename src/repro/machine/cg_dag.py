@@ -1,0 +1,104 @@
+"""Task-DAG compilation of classical conjugate gradient iteration.
+
+Builds the dependence graph of M iterations of the Section 2 algorithm,
+exposing the serialization the paper attacks: within one iteration the two
+inner products cannot overlap -- ``(rⁿ⁺¹, rⁿ⁺¹)`` needs ``rⁿ⁺¹`` which
+needs ``λn`` which needs ``(pⁿ, Apⁿ)`` -- so each iteration carries two
+full ``log N`` fan-ins on its critical cycle (claim C1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.costmodel import CostModel
+from repro.machine.dag import TaskGraph
+from repro.machine.ops import OpBuilder
+
+__all__ = ["CGDagResult", "build_cg_dag"]
+
+
+@dataclass(frozen=True)
+class CGDagResult:
+    """A compiled solver DAG plus its per-iteration markers.
+
+    Attributes
+    ----------
+    graph:
+        The task graph.
+    lambda_nodes:
+        Node id of each iteration's ``λn`` scalar -- the marker whose
+        finish-time differences measure steady-state time per iteration.
+    x_nodes:
+        Node id of each iteration's solution update.
+    """
+
+    graph: TaskGraph
+    lambda_nodes: list[int]
+    x_nodes: list[int]
+
+    def lambda_finish_times(self) -> list[int]:
+        """Finish time of every iteration's λ."""
+        return [self.graph.finish_time(i) for i in self.lambda_nodes]
+
+    def per_iteration_depth(self, *, warmup: int = 2) -> float:
+        """Steady-state depth per iteration (excludes ``warmup`` leading
+        iterations)."""
+        return TaskGraph.per_iteration_depth(
+            self.lambda_finish_times(), warmup=warmup
+        )
+
+
+def build_cg_dag(
+    n: int,
+    d: int,
+    iterations: int,
+    *,
+    cm: CostModel | None = None,
+    nnz: int | None = None,
+) -> CGDagResult:
+    """Compile ``iterations`` steps of classical CG on an order-n system.
+
+    Parameters
+    ----------
+    n:
+        Vector length (the paper's N; depth of each dot is ``~log₂ n``).
+    d:
+        Maximum nonzeros per matrix row (depth of each matvec ``~log₂ d``).
+    iterations:
+        Number of CG iterations to unroll.
+    cm:
+        Machine cost model (defaults to the paper's: unit flops, free
+        communication).
+    nnz:
+        Matrix nonzeros for work accounting (defaults to ``n·d``).
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    g = TaskGraph()
+    ops = OpBuilder(g, cm or CostModel(), n, d, nnz)
+
+    # Startup: r0 = b - A x0 (one matvec + one axpy), p0 = r0, rr0.
+    x = g.add("x0", 0, kind="input")
+    ax0 = ops.spmv("A@x0", [x], tag=0)
+    r = ops.axpy("r0=b-Ax0", [ax0], tag=0)
+    p = r  # p0 = r0: same data, no op
+    rr = ops.dot("(r0,r0)", [r], tag=0)
+
+    lambda_nodes: list[int] = []
+    x_nodes: list[int] = []
+
+    for it in range(iterations):
+        ap = ops.spmv(f"A@p{it}", [p], tag=it)
+        pap = ops.dot(f"(p{it},Ap{it})", [p, ap], tag=it)
+        lam = ops.scalar(f"lam{it}", [rr, pap], tag=it)
+        lambda_nodes.append(lam)
+        x = ops.axpy(f"x{it + 1}", [x, p, lam], tag=it)
+        x_nodes.append(x)
+        r_new = ops.axpy(f"r{it + 1}", [r, ap, lam], tag=it)
+        rr_new = ops.dot(f"(r{it + 1},r{it + 1})", [r_new], tag=it)
+        alpha = ops.scalar(f"alpha{it + 1}", [rr_new, rr], tag=it)
+        p = ops.axpy(f"p{it + 1}", [r_new, p, alpha], tag=it)
+        r, rr = r_new, rr_new
+
+    return CGDagResult(graph=g, lambda_nodes=lambda_nodes, x_nodes=x_nodes)

@@ -1,0 +1,105 @@
+"""Depth cost model for the simulated data-flow machine.
+
+The paper reasons about an idealized parallel computer: at least N
+processors, binary fan-in summations (an inner product of length N costs
+``c·log N``), communication cost neglected.  This module encodes exactly
+that cost algebra, with the constants exposed so experiments can vary them
+(e.g. to add a per-level communication latency the paper sets to zero and
+check the conclusions are robust to it).
+
+All costs are *depths* -- lengths along dependence chains in units of one
+floating point operation time -- matching the quantity the paper's claims
+bound.  Work (total operation count) is tracked separately by the task
+graph for finite-processor Brent bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+def _clog2(x: int) -> int:
+    """``ceil(log2 x)`` with ``clog2(1) = 0`` and ``clog2(0) = 0``."""
+    if x <= 1:
+        return 0
+    return int(math.ceil(math.log2(x)))
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Depth costs of the primitive machine operations.
+
+    Attributes
+    ----------
+    flop_depth:
+        Depth of one scalar floating point operation (the paper's unit
+        ``c``; default 1).
+    fanin_level_latency:
+        Extra latency per level of a reduction tree beyond the flop at
+        that level.  The paper neglects communication, so the default is
+        0; setting it > 0 models tree networks with per-hop cost.
+    broadcast_latency:
+        Depth to broadcast one scalar to all processors.  The paper
+        implicitly takes 0 (concurrent-read machine); settable for
+        exclusive-read studies.
+    """
+
+    flop_depth: int = 1
+    fanin_level_latency: int = 0
+    broadcast_latency: int = 0
+
+    def __post_init__(self) -> None:
+        if self.flop_depth < 1:
+            raise ValueError("flop_depth must be >= 1")
+        if self.fanin_level_latency < 0 or self.broadcast_latency < 0:
+            raise ValueError("latencies must be non-negative")
+
+    # -- primitive depths ------------------------------------------------
+    def reduction_depth(self, width: int) -> int:
+        """Fan-in sum of ``width`` values: ``ceil(log2 width)`` levels."""
+        levels = _clog2(width)
+        return levels * (self.flop_depth + self.fanin_level_latency)
+
+    def dot_depth(self, n: int) -> int:
+        """Inner product of length n: pointwise multiply + fan-in.
+
+        For ``n`` large this is the paper's ``c·log N``.
+        """
+        return self.flop_depth + self.reduction_depth(n)
+
+    def spmv_depth(self, row_degree: int) -> int:
+        """Sparse matvec with at most ``row_degree`` nonzeros per row: the
+        per-row gather-multiply plus a degree-wide fan-in, all rows in
+        parallel -- the paper's ``log d`` term."""
+        return self.flop_depth + self.reduction_depth(max(row_degree, 1))
+
+    def elementwise_depth(self) -> int:
+        """Vector op applied independently per entry (axpy, scale): one
+        flop level with all entries in parallel, plus the broadcast of the
+        scalar coefficient."""
+        return self.flop_depth + self.broadcast_latency
+
+    def scalar_depth(self, flops: int = 1) -> int:
+        """A chain of ``flops`` dependent scalar operations."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops * self.flop_depth
+
+    # -- work helpers ----------------------------------------------------
+    @staticmethod
+    def dot_work(n: int) -> int:
+        """Total flops of a length-n inner product."""
+        return max(2 * n - 1, 0)
+
+    @staticmethod
+    def spmv_work(nnz: int, nrows: int) -> int:
+        """Total flops of a sparse matvec."""
+        return max(2 * nnz - nrows, 0)
+
+    @staticmethod
+    def elementwise_work(n: int, flops_per_entry: int = 2) -> int:
+        """Total flops of an elementwise vector op."""
+        return flops_per_entry * n

@@ -1,0 +1,188 @@
+"""Task graphs with critical-path analysis.
+
+The machine model's central object: algorithms are compiled (by the
+builders in :mod:`repro.machine.cg_dag` and :mod:`repro.machine.vr_dag`)
+into directed acyclic graphs of macro-operations, each carrying a *depth*
+(dependence-chain length on the unlimited-processor machine) and a *work*
+(total flops).  The paper's parallel-time claims are then measured as
+longest paths.
+
+Nodes are added in dependency order (an edge may only point to an existing
+node), so the graph is topologically sorted by construction and the
+longest-path computation is a single vectorized-ish forward sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["TaskGraph", "TaskNode"]
+
+
+@dataclass(frozen=True)
+class TaskNode:
+    """One macro-operation in the task graph.
+
+    Attributes
+    ----------
+    index:
+        Position in the graph (also the node id).
+    label:
+        Human-readable name (``"dot(r,r)@12"``).
+    depth:
+        Dependence depth of the operation itself.
+    work:
+        Total flops it performs (for Brent bounds).
+    deps:
+        Indices of nodes that must finish first.
+    kind:
+        Free-form category (``"dot"``, ``"spmv"``, ``"axpy"``,
+        ``"scalar"``, ``"reduce"``) used by per-kind accounting.
+    tag:
+        Optional structured tag, e.g. the iteration number.
+    """
+
+    index: int
+    label: str
+    depth: int
+    work: int
+    deps: tuple[int, ...]
+    kind: str
+    tag: int | None = None
+
+
+class TaskGraph:
+    """An append-only DAG with longest-path (critical path) queries."""
+
+    def __init__(self) -> None:
+        self._nodes: list[TaskNode] = []
+        self._finish: list[int] = []  # earliest finish time of each node
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        label: str,
+        depth: int,
+        *,
+        work: int = 0,
+        deps: Iterable[int] = (),
+        kind: str = "op",
+        tag: int | None = None,
+    ) -> int:
+        """Append a node; returns its id.
+
+        ``deps`` must reference already-added nodes -- this keeps the
+        graph topologically ordered by construction.
+        """
+        deps_t = tuple(int(d) for d in deps)
+        index = len(self._nodes)
+        for d in deps_t:
+            if not 0 <= d < index:
+                raise ValueError(f"dependency {d} does not exist yet (node {index})")
+        if depth < 0 or work < 0:
+            raise ValueError("depth and work must be non-negative")
+        node = TaskNode(index, label, int(depth), int(work), deps_t, kind, tag)
+        self._nodes.append(node)
+        start = max((self._finish[d] for d in deps_t), default=0)
+        self._finish.append(start + node.depth)
+        return index
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, index: int) -> TaskNode:
+        """The node with the given id."""
+        return self._nodes[index]
+
+    def finish_time(self, index: int) -> int:
+        """Earliest finish time of a node on unlimited processors."""
+        return self._finish[index]
+
+    def critical_path_length(self) -> int:
+        """Longest path through the whole graph (= parallel time on the
+        paper's unlimited-processor machine)."""
+        return max(self._finish, default=0)
+
+    def total_work(self) -> int:
+        """Sum of flops across all nodes."""
+        return sum(n.work for n in self._nodes)
+
+    def work_by_kind(self) -> dict[str, int]:
+        """Total work per node kind."""
+        out: dict[str, int] = {}
+        for n in self._nodes:
+            out[n.kind] = out.get(n.kind, 0) + n.work
+        return out
+
+    def count_kind(self, kind: str) -> int:
+        """Number of nodes of a given kind."""
+        return sum(1 for n in self._nodes if n.kind == kind)
+
+    def brent_time(self, processors: int) -> float:
+        """Greedy-schedule upper bound: ``depth + work / P`` (Brent).
+
+        The machine model's finite-processor story: with P processors a
+        greedy schedule finishes within ``T_inf + W/P``; combined with the
+        trivial lower bound ``max(T_inf, W/P)`` this brackets achievable
+        time within a factor of 2.
+        """
+        if processors < 1:
+            raise ValueError("processors must be >= 1")
+        return float(self.critical_path_length()) + self.total_work() / processors
+
+    def critical_path_kind_histogram(self) -> dict[str, int]:
+        """Depth contributed by each node kind along one critical path.
+
+        The 'where does the time go' view: for classical CG the histogram
+        is dominated by ``dot``; for pipelined VR-CG by ``reduce`` and
+        ``scalar`` -- the measured form of the paper's argument.
+        """
+        hist: dict[str, int] = {}
+        for node in self.critical_path_nodes():
+            hist[node.kind] = hist.get(node.kind, 0) + node.depth
+        return hist
+
+    def critical_path_nodes(self) -> list[TaskNode]:
+        """One longest path, sink to source reversed into program order."""
+        if not self._nodes:
+            return []
+        # Start from a node achieving the maximum finish time.
+        best = max(range(len(self._nodes)), key=self._finish.__getitem__)
+        path = [best]
+        while True:
+            node = self._nodes[path[-1]]
+            if not node.deps:
+                break
+            # Follow the dependency whose finish time dominates the start.
+            pred = max(node.deps, key=self._finish.__getitem__)
+            path.append(pred)
+        path.reverse()
+        return [self._nodes[i] for i in path]
+
+    # ------------------------------------------------------------------
+    # Steady-state analysis
+    # ------------------------------------------------------------------
+    @staticmethod
+    def per_iteration_depth(
+        finish_times: Sequence[int], *, warmup: int = 2, cooldown: int = 0
+    ) -> float:
+        """Asymptotic depth per iteration from marker finish times.
+
+        ``finish_times[j]`` is the finish time of iteration ``j``'s marker
+        node (e.g. its ``λ`` scalar).  The first ``warmup`` markers (the
+        pipeline-fill transient the paper calls "initial start up") and
+        the last ``cooldown`` are excluded; the rest is fit by the slope
+        ``(T_last − T_first)/(count − 1)``.
+        """
+        usable = list(finish_times[warmup : len(finish_times) - cooldown or None])
+        if len(usable) < 2:
+            raise ValueError(
+                f"need at least 2 steady-state markers, got {len(usable)}"
+            )
+        return (usable[-1] - usable[0]) / (len(usable) - 1)

@@ -1,0 +1,105 @@
+"""Task-graph export: GraphViz DOT and JSON.
+
+The compiled solver DAGs are the evidence behind every depth claim; these
+exporters let users inspect them with standard tooling (``dot -Tsvg``,
+``jq``) instead of trusting our critical-path numbers.  Critical-path
+nodes are highlighted in the DOT output, so the dependence cycle the
+paper's argument turns on is literally visible.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+from repro.machine.dag import TaskGraph
+
+__all__ = ["to_dot", "to_json", "write_dot", "write_json"]
+
+_KIND_COLORS = {
+    "dot": "#e8950c",      # reductions: the paper's villain
+    "spmv": "#3b7dd8",
+    "axpy": "#7fb069",
+    "scalar": "#9b6dbf",
+    "reduce": "#d64550",   # the (*) summation
+    "coeff": "#5ab4ac",
+    "input": "#bbbbbb",
+    "join": "#bbbbbb",
+}
+
+
+def to_dot(graph: TaskGraph, *, max_nodes: int = 2000) -> str:
+    """Render the graph as GraphViz DOT.
+
+    Nodes carry their depth as a label suffix; critical-path nodes get a
+    bold red outline.  Graphs beyond ``max_nodes`` are rejected (render a
+    shorter compilation instead -- a 4-iteration DAG shows the structure).
+    """
+    if len(graph) > max_nodes:
+        raise ValueError(
+            f"graph has {len(graph)} nodes; rebuild with fewer iterations "
+            f"(limit {max_nodes})"
+        )
+    critical = {node.index for node in graph.critical_path_nodes()}
+    lines = [
+        "digraph tasks {",
+        "  rankdir=TB;",
+        '  node [shape=box, style="rounded,filled", fontname="Helvetica"];',
+    ]
+    for i in range(len(graph)):
+        node = graph.node(i)
+        color = _KIND_COLORS.get(node.kind, "#dddddd")
+        outline = ' color="#c0141c", penwidth=3,' if i in critical else ""
+        label = f"{node.label}\\nd={node.depth}"
+        lines.append(
+            f'  n{i} [label="{label}",{outline} fillcolor="{color}"];'
+        )
+    for i in range(len(graph)):
+        for dep in graph.node(i).deps:
+            lines.append(f"  n{dep} -> n{i};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_json(graph: TaskGraph) -> str:
+    """Serialize the graph (nodes, deps, finish times, summary) as JSON."""
+    payload = {
+        "summary": {
+            "nodes": len(graph),
+            "critical_path": graph.critical_path_length(),
+            "total_work": graph.total_work(),
+            "work_by_kind": graph.work_by_kind(),
+        },
+        "nodes": [
+            {
+                "id": node.index,
+                "label": node.label,
+                "kind": node.kind,
+                "depth": node.depth,
+                "work": node.work,
+                "deps": list(node.deps),
+                "finish": graph.finish_time(node.index),
+                "tag": node.tag,
+            }
+            for node in (graph.node(i) for i in range(len(graph)))
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def write_dot(graph: TaskGraph, target: str | TextIO, **kwargs) -> None:
+    """Write DOT output to a path or file object."""
+    _write(to_dot(graph, **kwargs), target)
+
+
+def write_json(graph: TaskGraph, target: str | TextIO) -> None:
+    """Write JSON output to a path or file object."""
+    _write(to_json(graph), target)
+
+
+def _write(content: str, target: str | TextIO) -> None:
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as fh:
+            fh.write(content)
+    else:
+        target.write(content)

@@ -1,0 +1,154 @@
+"""Macro-operation builders over a task graph.
+
+Thin helpers that add one node per algorithmic primitive with the depth
+and work the :class:`repro.machine.costmodel.CostModel` assigns.  The DAG
+builders in :mod:`repro.machine.cg_dag` / :mod:`repro.machine.vr_dag`
+compose these; nothing else should call ``TaskGraph.add`` directly, so the
+cost algebra stays in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.machine.costmodel import CostModel
+from repro.machine.dag import TaskGraph
+
+__all__ = ["OpBuilder"]
+
+
+@dataclass
+class OpBuilder:
+    """Adds cost-model-priced primitives to a task graph.
+
+    Attributes
+    ----------
+    graph:
+        The target :class:`TaskGraph`.
+    cm:
+        The machine cost model.
+    n:
+        Vector length (the paper's N).
+    d:
+        Max nonzeros per matrix row (the paper's d).
+    nnz:
+        Matrix nonzeros (for work accounting; defaults to ``n·d``).
+    """
+
+    graph: TaskGraph
+    cm: CostModel
+    n: int
+    d: int
+    nnz: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.d < 1:
+            raise ValueError("n and d must be >= 1")
+        if self.nnz is None:
+            self.nnz = self.n * self.d
+
+    # -- length-N primitives ----------------------------------------------
+    def dot(self, label: str, deps: Iterable[int], *, tag: int | None = None) -> int:
+        """Inner product of two length-N vectors: the paper's c·log N op."""
+        return self.graph.add(
+            label,
+            self.cm.dot_depth(self.n),
+            work=self.cm.dot_work(self.n),
+            deps=deps,
+            kind="dot",
+            tag=tag,
+        )
+
+    def fused_dots(
+        self, label: str, count: int, deps: Iterable[int], *, tag: int | None = None
+    ) -> int:
+        """``count`` independent inner products launched together.
+
+        Depth equals a single dot (they fan in concurrently on disjoint
+        processor groups); work is ``count`` times larger.  This models
+        the launch of all ``6k+6`` moment products at iteration ``n-k``.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return self.graph.add(
+            label,
+            self.cm.dot_depth(self.n),
+            work=count * self.cm.dot_work(self.n),
+            deps=deps,
+            kind="dot",
+            tag=tag,
+        )
+
+    def axpy(self, label: str, deps: Iterable[int], *, tag: int | None = None,
+             rows: int = 1) -> int:
+        """Elementwise vector update (optionally ``rows`` block rows at
+        once, e.g. the whole power block -- same depth, more work)."""
+        return self.graph.add(
+            label,
+            self.cm.elementwise_depth(),
+            work=rows * self.cm.elementwise_work(self.n),
+            deps=deps,
+            kind="axpy",
+            tag=tag,
+        )
+
+    def spmv(self, label: str, deps: Iterable[int], *, tag: int | None = None) -> int:
+        """Sparse matvec: depth ``1 + log d``."""
+        return self.graph.add(
+            label,
+            self.cm.spmv_depth(self.d),
+            work=self.cm.spmv_work(self.nnz, self.n),
+            deps=deps,
+            kind="spmv",
+            tag=tag,
+        )
+
+    # -- scalar primitives -------------------------------------------------
+    def scalar(self, label: str, deps: Iterable[int], *, flops: int = 1,
+               tag: int | None = None) -> int:
+        """Dependent chain of scalar flops (division for λ, ratio for α)."""
+        return self.graph.add(
+            label,
+            self.cm.scalar_depth(flops),
+            work=flops,
+            deps=deps,
+            kind="scalar",
+            tag=tag,
+        )
+
+    def reduce(self, label: str, width: int, deps: Iterable[int], *,
+               tag: int | None = None) -> int:
+        """Fan-in sum of ``width`` already-available scalars -- the (*)
+        summation whose depth ``log(6k+6)`` is the paper's log log N term.
+
+        Depth includes one multiply level (coefficient × moment) before
+        the fan-in.
+        """
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        return self.graph.add(
+            label,
+            self.cm.flop_depth + self.cm.reduction_depth(width),
+            work=2 * width - 1,
+            deps=deps,
+            kind="reduce",
+            tag=tag,
+        )
+
+    def coeff_update(self, label: str, deps: Iterable[int], *, width: int,
+                     tag: int | None = None) -> int:
+        """One pipelined coefficient composition step.
+
+        Folding ``T(λ_s, α_{s+1})`` into an in-flight composed matrix:
+        each output entry is a ≤ 6-term combination (T is banded), so the
+        depth is a small constant; the work is ~6 flops per matrix entry.
+        """
+        return self.graph.add(
+            label,
+            self.cm.scalar_depth(2) + self.cm.reduction_depth(6),
+            work=6 * width * width,
+            deps=deps,
+            kind="coeff",
+            tag=tag,
+        )

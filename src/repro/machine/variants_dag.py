@@ -1,0 +1,180 @@
+"""Task-DAG compilation of the descendant CG variants.
+
+Compiled for the family-comparison experiment (E10): where does each
+communication-reduction strategy land between classical CG's
+``2·log N + log d`` and Van Rosendale's ``log log N`` per iteration?
+
+* :func:`build_cgcg_dag` -- Chronopoulos--Gear: both inner products are on
+  the same fresh vectors, so they share one fan-in level; expected
+  ``log N + log d + c`` per iteration (one synchronization, still on the
+  cycle).
+* :func:`build_gv_dag` -- Ghysels--Vanroose pipelined CG: the reductions
+  overlap the matvec ``q = Aw``; expected ``max(log N, log d) + c``.
+* :func:`build_sstep_dag` -- s-step CG: one fused Gram reduction and one
+  small solve per s steps, but the s matvecs within an outer step chain
+  sequentially; expected ``(log N + c_solve)/s + (1 + log d)`` per CG
+  step.
+
+Only Van Rosendale's look-ahead removes the reduction from the recurrent
+cycle *entirely*; these builders make that comparison measurable.
+"""
+
+from __future__ import annotations
+
+from repro.machine.cg_dag import CGDagResult
+from repro.machine.costmodel import CostModel
+from repro.machine.dag import TaskGraph
+from repro.machine.ops import OpBuilder
+
+__all__ = ["build_cgcg_dag", "build_gv_dag", "build_sstep_dag"]
+
+
+def build_cgcg_dag(
+    n: int,
+    d: int,
+    iterations: int,
+    *,
+    cm: CostModel | None = None,
+    nnz: int | None = None,
+) -> CGDagResult:
+    """Compile Chronopoulos--Gear CG: one fused dot pair per iteration."""
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    g = TaskGraph()
+    ops = OpBuilder(g, cm or CostModel(), n, d, nnz)
+
+    x = g.add("x0", 0, kind="input")
+    ax0 = ops.spmv("A@x0", [x], tag=0)
+    r = ops.axpy("r0=b-Ax0", [ax0], tag=0)
+    w = ops.spmv("w0=A@r0", [r], tag=0)
+    dots = ops.fused_dots("(r,r)+(r,w)@0", 2, [r, w], tag=0)
+
+    p = g.add("p0=0", 0, kind="input")
+    s_vec = g.add("s0=0", 0, kind="input")
+    lam_prev = dots  # placeholder dependency for iteration 0's lam
+    lambda_nodes: list[int] = []
+    x_nodes: list[int] = []
+
+    for it in range(iterations):
+        # beta and lam both come from the fused dot results plus the
+        # previous lam (scalar recurrence for (p, Ap)).
+        lam = ops.scalar(f"lam{it}", [dots, lam_prev], flops=3, tag=it)
+        lambda_nodes.append(lam)
+        p = ops.axpy(f"p{it + 1}", [r, p, lam], tag=it)
+        s_vec = ops.axpy(f"s{it + 1}", [w, s_vec, lam], tag=it)
+        x = ops.axpy(f"x{it + 1}", [x, p, lam], tag=it)
+        x_nodes.append(x)
+        r = ops.axpy(f"r{it + 1}", [r, s_vec, lam], tag=it)
+        w = ops.spmv(f"w{it + 1}", [r], tag=it)
+        dots = ops.fused_dots(f"(r,r)+(r,w)@{it + 1}", 2, [r, w], tag=it)
+        lam_prev = lam
+
+    return CGDagResult(graph=g, lambda_nodes=lambda_nodes, x_nodes=x_nodes)
+
+
+def build_gv_dag(
+    n: int,
+    d: int,
+    iterations: int,
+    *,
+    cm: CostModel | None = None,
+    nnz: int | None = None,
+) -> CGDagResult:
+    """Compile Ghysels--Vanroose pipelined CG: dots overlap the matvec.
+
+    The fused reductions of iteration ``it`` and the matvec ``q = Aw`` are
+    both launched from the same state and meet at the scalar update, so
+    the per-iteration cycle costs ``max(dot, spmv) + c``.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    g = TaskGraph()
+    ops = OpBuilder(g, cm or CostModel(), n, d, nnz)
+
+    x = g.add("x0", 0, kind="input")
+    ax0 = ops.spmv("A@x0", [x], tag=0)
+    r = ops.axpy("r0=b-Ax0", [ax0], tag=0)
+    w = ops.spmv("w0=A@r0", [r], tag=0)
+
+    z = g.add("z0=0", 0, kind="input")
+    s_vec = g.add("s0=0", 0, kind="input")
+    p = g.add("p0=0", 0, kind="input")
+    lambda_nodes: list[int] = []
+    x_nodes: list[int] = []
+    alpha_prev: int | None = None
+
+    for it in range(iterations):
+        dots = ops.fused_dots(f"(r,r)+(w,r)@{it}", 2, [r, w], tag=it)
+        q = ops.spmv(f"q{it}=A@w", [w], tag=it)  # concurrent with dots
+        alpha_deps = [dots] + ([alpha_prev] if alpha_prev is not None else [])
+        alpha = ops.scalar(f"alpha{it}", alpha_deps, flops=3, tag=it)
+        lambda_nodes.append(alpha)
+        z = ops.axpy(f"z{it + 1}", [q, z, alpha], tag=it)
+        s_vec = ops.axpy(f"s{it + 1}", [w, s_vec, alpha], tag=it)
+        p = ops.axpy(f"p{it + 1}", [r, p, alpha], tag=it)
+        x = ops.axpy(f"x{it + 1}", [x, p, alpha], tag=it)
+        x_nodes.append(x)
+        r = ops.axpy(f"r{it + 1}", [r, s_vec, alpha], tag=it)
+        w = ops.axpy(f"w{it + 1}", [w, z, alpha], tag=it)
+        alpha_prev = alpha
+
+    return CGDagResult(graph=g, lambda_nodes=lambda_nodes, x_nodes=x_nodes)
+
+
+def build_sstep_dag(
+    n: int,
+    d: int,
+    s: int,
+    outer_steps: int,
+    *,
+    cm: CostModel | None = None,
+    nnz: int | None = None,
+) -> CGDagResult:
+    """Compile s-step CG: one fused Gram reduction per s CG steps.
+
+    Markers are placed once per *outer* step; divide finish-time slopes by
+    s for per-CG-step figures (``per_cg_step_depth`` below does this).
+    """
+    if s < 1 or outer_steps < 1:
+        raise ValueError("s and outer_steps must be >= 1")
+    g = TaskGraph()
+    ops = OpBuilder(g, cm or CostModel(), n, d, nnz)
+    gram_width = s * s + 2 * s  # W, g and the cross block, fused
+
+    x = g.add("x0", 0, kind="input")
+    ax0 = ops.spmv("A@x0", [x], tag=0)
+    r = ops.axpy("r0=b-Ax0", [ax0], tag=0)
+
+    def krylov_block(base: int, tag: int) -> int:
+        node = base
+        for i in range(s):
+            node = ops.spmv(f"A^{i + 1}block@{tag}", [node], tag=tag)
+        return node
+
+    p_blk = krylov_block(r, 0)
+    lambda_nodes: list[int] = []
+    x_nodes: list[int] = []
+
+    for it in range(outer_steps):
+        gram = ops.fused_dots(f"gram@{it}", gram_width, [p_blk, r], tag=it)
+        solve = ops.scalar(
+            f"solve@{it}", [gram], flops=max(2 * s, 4), tag=it
+        )  # small Cholesky: O(s) depth
+        lambda_nodes.append(solve)
+        x = ops.axpy(f"x@{it + 1}", [x, p_blk, solve], tag=it)
+        x_nodes.append(x)
+        r = ops.axpy(f"r@{it + 1}", [r, p_blk, solve], tag=it)
+        k_blk = krylov_block(r, it + 1)
+        p_blk = ops.axpy(f"P@{it + 1}", [k_blk, p_blk, solve], tag=it)
+
+    return CGDagResult(graph=g, lambda_nodes=lambda_nodes, x_nodes=x_nodes)
+
+
+def per_cg_step_depth(res: CGDagResult, s: int, *, warmup: int = 2) -> float:
+    """Per-CG-step steady depth of an s-step DAG (outer slope / s)."""
+    return TaskGraph.per_iteration_depth(
+        res.lambda_finish_times(), warmup=warmup
+    ) / s
+
+
+__all__.append("per_cg_step_depth")

@@ -1,0 +1,294 @@
+"""Task-DAG compilation of the Van Rosendale iteration (both forms).
+
+Two builders:
+
+* :func:`build_vr_pipelined_dag` -- the algorithm as the paper presents it
+  (Section 5 / Figure 1): all moments of iteration ``m`` launch as direct
+  inner products at ``m``; coefficients of relation (*) compose pipelined,
+  one banded step per iteration; at ``m+k`` the arrived values enter the
+  ``log(6k+6)``-deep summations producing ``μ₀``/``σ₁``.  Its steady-state
+  per-iteration depth is ``max(O(log d), O(log k))`` -- with ``k = log N``
+  the paper's ``max(log d, log log N)`` (claim C7), and with ``k = 1`` the
+  Section 3 "doubling" construction (claim C2).
+
+* :func:`build_vr_eager_dag` -- the eager refinement implemented by
+  :mod:`repro.core.vr_cg`, compiled at *per-moment* granularity so the
+  k-step slack of the two direct inner products is visible to the critical
+  path: a direct dot launched at iteration ``n`` feeds the window top,
+  whose influence cascades down two moment orders per iteration and
+  reaches the ``λ`` cycle only ``k`` iterations later.  Its steady-state
+  depth is *constant* in N (for ``k ≳ log N / const``) -- asymptotically
+  stronger than the paper's pipelined form, a structural observation the
+  ablation experiment pairs with its far worse numerical stability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.costmodel import CostModel
+from repro.machine.dag import TaskGraph
+from repro.machine.ops import OpBuilder
+
+__all__ = ["build_vr_pipelined_dag", "build_vr_eager_dag", "VRDagResult"]
+
+
+@dataclass(frozen=True)
+class VRDagResult:
+    """Compiled VR solver DAG with markers and startup boundary.
+
+    Attributes
+    ----------
+    graph, lambda_nodes, x_nodes:
+        As in :class:`repro.machine.cg_dag.CGDagResult`.
+    k:
+        Look-ahead parameter the DAG was compiled with.
+    startup_finish:
+        Finish time of the start-up phase (power block built, first
+        moments available) -- E8 measures this against steady state.
+    """
+
+    graph: TaskGraph
+    lambda_nodes: list[int]
+    x_nodes: list[int]
+    k: int
+    startup_finish: int
+
+    def lambda_finish_times(self) -> list[int]:
+        """Finish time of every iteration's λ."""
+        return [self.graph.finish_time(i) for i in self.lambda_nodes]
+
+    def per_iteration_depth(self, *, warmup: int | None = None) -> float:
+        """Steady-state depth per iteration.
+
+        The default warmup skips the pipeline-fill transient (``k + 2``
+        iterations), which the paper's "after an initial start up"
+        explicitly excludes.
+        """
+        warmup = (self.k + 2) if warmup is None else warmup
+        return TaskGraph.per_iteration_depth(
+            self.lambda_finish_times(), warmup=warmup
+        )
+
+
+def _startup_block(ops: OpBuilder, g: TaskGraph, k: int) -> tuple[int, int, int, int]:
+    """Common start-up: build the power block of r0 sequentially.
+
+    Returns ``(x, r_block, p_block, p_top)`` node ids.  Depth is dominated
+    by ``k + 2`` dependent matvecs -- the paper's start-up transient.
+    """
+    x = g.add("x0", 0, kind="input")
+    ax0 = ops.spmv("A@x0", [x], tag=-1)
+    r_block = ops.axpy("r0=b-Ax0", [ax0], tag=-1)
+    prev = r_block
+    for i in range(1, k + 2):
+        prev = ops.spmv(f"A^{i}r0", [prev], tag=-1)
+    # The block node: all powers assembled (depth 0 join).
+    r_assembled = g.add("Rblock0", 0, deps=[r_block, prev], kind="join")
+    p_top = ops.spmv("A^{k+2}p0", [prev], tag=-1)
+    return x, r_assembled, r_assembled, p_top
+
+
+def build_vr_pipelined_dag(
+    n: int,
+    d: int,
+    k: int,
+    iterations: int,
+    *,
+    cm: CostModel | None = None,
+    nnz: int | None = None,
+) -> VRDagResult:
+    """Compile the pipelined Van Rosendale iteration (paper form).
+
+    Parameters mirror :func:`repro.machine.cg_dag.build_cg_dag` plus the
+    look-ahead ``k >= 1``.
+    """
+    if k < 1:
+        raise ValueError("pipelined form needs k >= 1")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    g = TaskGraph()
+    ops = OpBuilder(g, cm or CostModel(), n, d, nnz)
+    width = 6 * k + 6
+
+    x, r_blk, p_blk, p_top = _startup_block(ops, g, k)
+    launch: dict[int, int] = {}
+    launch[0] = ops.fused_dots("launch@0", width, [r_blk, p_blk, p_top], tag=0)
+    startup_finish = g.finish_time(launch[0])
+    mu0 = launch[0]
+    sigma1 = launch[0]
+
+    # coeff[t]: latest composition node for in-flight target t.
+    coeff: dict[int, int | None] = {t: None for t in range(1, k + 1)}
+
+    lambda_nodes: list[int] = []
+    x_nodes: list[int] = []
+
+    for it in range(iterations):
+        lam = ops.scalar(f"lam{it}", [mu0, sigma1], tag=it)
+        lambda_nodes.append(lam)
+        x = ops.axpy(f"x{it + 1}", [x, p_blk, lam], tag=it)
+        x_nodes.append(x)
+
+        r_blk_new = ops.axpy(
+            f"Rblock{it + 1}", [r_blk, p_blk, p_top, lam], rows=k + 2, tag=it
+        )
+
+        target = it + 1
+        if target <= k:
+            # Startup transient: scalars from fresh front dots (full
+            # fan-in latency on the critical path -- the serial fill).
+            coeff.pop(target, None)
+            mu0_next = ops.dot(f"front_mu@{target}", [r_blk_new], tag=it)
+            alpha = ops.scalar(f"alpha{target}", [mu0_next, mu0], tag=it)
+            p_blk_new = ops.axpy(
+                f"Pblock{target}", [r_blk_new, p_blk, alpha], rows=k + 2, tag=it
+            )
+            p_top_new = ops.spmv(f"Ptop{target}", [p_blk_new], tag=it)
+            sigma1_next = ops.dot(
+                f"front_sigma@{target}", [p_blk_new, p_top_new], tag=it
+            )
+        else:
+            base = launch[target - k]
+            prior = coeff.pop(target)
+            mu_deps = [lam] + ([prior] if prior is not None else [])
+            mu_final = ops.coeff_update(
+                f"coeff_mu_final@{target}", mu_deps, width=width, tag=it
+            )
+            mu0_next = ops.reduce(f"mu0@{target}", width, [base, mu_final], tag=it)
+            alpha = ops.scalar(f"alpha{target}", [mu0_next, mu0], tag=it)
+            sigma_final = ops.coeff_update(
+                f"coeff_sigma_final@{target}",
+                [lam, alpha] + ([prior] if prior is not None else []),
+                width=width,
+                tag=it,
+            )
+            sigma1_next = ops.reduce(
+                f"sigma1@{target}", width, [base, sigma_final], tag=it
+            )
+            p_blk_new = ops.axpy(
+                f"Pblock{target}", [r_blk_new, p_blk, alpha], rows=k + 2, tag=it
+            )
+            p_top_new = ops.spmv(f"Ptop{target}", [p_blk_new], tag=it)
+
+        launch[target] = ops.fused_dots(
+            f"launch@{target}", width, [r_blk_new, p_blk_new, p_top_new], tag=it
+        )
+        launch.pop(target - k, None)
+
+        # Fold step `target` (parameters lam_{target-1} = lam, alpha_target
+        # = alpha) into every in-flight composed coefficient matrix.
+        for t in list(coeff):
+            if t - k + 1 <= target <= t - 1:
+                prior = coeff[t]
+                deps = [lam, alpha] + ([prior] if prior is not None else [])
+                coeff[t] = ops.coeff_update(
+                    f"coeff@{t}+step{target}", deps, width=width, tag=it
+                )
+        coeff[target + k] = None
+
+        r_blk, p_blk, p_top = r_blk_new, p_blk_new, p_top_new
+        mu0, sigma1 = mu0_next, sigma1_next
+
+    return VRDagResult(
+        graph=g,
+        lambda_nodes=lambda_nodes,
+        x_nodes=x_nodes,
+        k=k,
+        startup_finish=startup_finish,
+    )
+
+
+def build_vr_eager_dag(
+    n: int,
+    d: int,
+    k: int,
+    iterations: int,
+    *,
+    cm: CostModel | None = None,
+    nnz: int | None = None,
+) -> VRDagResult:
+    """Compile the eager (two-direct-dot) Van Rosendale iteration at
+    per-moment granularity.
+
+    Every window entry is its own scalar node, so the critical path sees
+    the true dataflow: the two direct dots per iteration feed only the
+    window *tops*, and their values cascade down two moment orders per
+    iteration -- reaching the ``λ`` cycle ``k`` iterations after launch.
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    g = TaskGraph()
+    ops = OpBuilder(g, cm or CostModel(), n, d, nnz)
+
+    x, r_blk, p_blk, p_top = _startup_block(ops, g, k)
+    seed = ops.fused_dots("startup_moments", 6 * k + 6, [r_blk, p_blk, p_top], tag=0)
+    startup_finish = g.finish_time(seed)
+
+    # Per-entry scalar nodes of the current window.
+    mu = [seed] * (2 * k + 1)
+    nu = [seed] * (2 * k + 2)
+    sigma = [seed] * (2 * k + 3)
+
+    lambda_nodes: list[int] = []
+    x_nodes: list[int] = []
+
+    for it in range(iterations):
+        lam = ops.scalar(f"lam{it}", [mu[0], sigma[1]], tag=it)
+        lambda_nodes.append(lam)
+        x = ops.axpy(f"x{it + 1}", [x, p_blk, lam], tag=it)
+        x_nodes.append(x)
+        r_blk_new = ops.axpy(
+            f"Rblock{it + 1}", [r_blk, p_blk, p_top, lam], rows=k + 2, tag=it
+        )
+
+        # mu recurrence: depends on lam and three old entries; all orders
+        # advance in parallel (depth = the 3-level expression tree).
+        mu_new = [
+            ops.scalar(
+                f"mu{i}@{it + 1}", [mu[i], nu[i + 1], sigma[i + 2], lam],
+                flops=3, tag=it,
+            )
+            for i in range(2 * k + 1)
+        ]
+        alpha = ops.scalar(f"alpha{it + 1}", [mu_new[0], mu[0]], tag=it)
+
+        # Direct dot #1 feeds the nu/sigma tops.
+        t1 = ops.dot(f"direct_mu_top@{it + 1}", [r_blk_new], tag=it)
+
+        p_blk_new = ops.axpy(
+            f"Pblock{it + 1}", [r_blk_new, p_blk, alpha], rows=k + 2, tag=it
+        )
+        p_top_new = ops.spmv(f"Ptop{it + 1}", [p_blk_new], tag=it)
+        t2 = ops.dot(f"direct_sigma_top@{it + 1}", [p_blk_new], tag=it)
+
+        nu_new = [
+            ops.scalar(
+                f"nu{i}@{it + 1}",
+                [mu_new[i] if i <= 2 * k else t1, nu[i], sigma[i + 1], alpha, lam],
+                flops=3, tag=it,
+            )
+            for i in range(2 * k + 2)
+        ]
+        sigma_new = [
+            ops.scalar(
+                f"sigma{i}@{it + 1}",
+                [mu_new[i] if i <= 2 * k else t1, nu[i], sigma[i + 1], sigma[i],
+                 alpha, lam],
+                flops=3, tag=it,
+            )
+            for i in range(2 * k + 2)
+        ] + [ops.scalar(f"sigma{2 * k + 2}@{it + 1}", [t2], flops=1, tag=it)]
+
+        mu, nu, sigma = mu_new, nu_new, sigma_new
+        r_blk, p_blk, p_top = r_blk_new, p_blk_new, p_top_new
+
+    return VRDagResult(
+        graph=g,
+        lambda_nodes=lambda_nodes,
+        x_nodes=x_nodes,
+        k=k,
+        startup_finish=startup_finish,
+    )

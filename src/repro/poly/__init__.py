@@ -1,0 +1,12 @@
+"""Exact multivariate polynomial ring.
+
+Built to verify the paper's Section 5 degree claim (C4) mechanically: the
+one-step moment recurrences are composed symbolically over this ring in
+:mod:`repro.core.coefficients`, and the resulting coefficient polynomials
+are inspected for their degree in each CG parameter separately.
+"""
+
+from repro.poly.matrix import PolyMatrix
+from repro.poly.multipoly import MultiPoly, poly_const, poly_var
+
+__all__ = ["MultiPoly", "poly_const", "poly_var", "PolyMatrix"]

@@ -1,0 +1,105 @@
+"""Dense matrices over the polynomial ring.
+
+The one-step moment recurrence is a linear map whose entries are (small)
+polynomials in the CG parameters of that step; composing k of those maps is
+a product of matrices over the ring of :class:`repro.poly.MultiPoly`.
+This module provides just enough matrix machinery over an arbitrary ring --
+multiplication, row extraction, and row-vector application -- for the
+coefficient analysis in :mod:`repro.core.coefficients`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.poly.multipoly import MultiPoly, poly_const
+
+__all__ = ["PolyMatrix"]
+
+
+class PolyMatrix:
+    """A dense rectangular matrix of :class:`MultiPoly` entries."""
+
+    def __init__(self, rows: Sequence[Sequence[MultiPoly]]) -> None:
+        if not rows or not rows[0]:
+            raise ValueError("PolyMatrix must be non-empty")
+        ncols = len(rows[0])
+        for r in rows:
+            if len(r) != ncols:
+                raise ValueError("ragged rows in PolyMatrix")
+        self._rows: list[list[MultiPoly]] = [
+            [e if isinstance(e, MultiPoly) else poly_const(e) for e in r]
+            for r in rows
+        ]
+
+    @classmethod
+    def zeros(cls, nrows: int, ncols: int) -> "PolyMatrix":
+        """An all-zero matrix."""
+        zero = poly_const(0)
+        return cls([[zero] * ncols for _ in range(nrows)])
+
+    @classmethod
+    def identity(cls, n: int) -> "PolyMatrix":
+        """The identity over the polynomial ring."""
+        one, zero = poly_const(1), poly_const(0)
+        return cls([[one if i == j else zero for j in range(n)] for i in range(n)])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(nrows, ncols)``."""
+        return (len(self._rows), len(self._rows[0]))
+
+    def __getitem__(self, key: tuple[int, int]) -> MultiPoly:
+        i, j = key
+        return self._rows[i][j]
+
+    def set(self, i: int, j: int, value: MultiPoly) -> None:
+        """Assign one entry (builder convenience)."""
+        self._rows[i][j] = value if isinstance(value, MultiPoly) else poly_const(value)
+
+    def row(self, i: int) -> list[MultiPoly]:
+        """A copy of row ``i``."""
+        return list(self._rows[i])
+
+    def __matmul__(self, other: "PolyMatrix") -> "PolyMatrix":
+        n, k = self.shape
+        k2, m = other.shape
+        if k != k2:
+            raise ValueError(f"shape mismatch: {self.shape} @ {other.shape}")
+        out = PolyMatrix.zeros(n, m)
+        for i in range(n):
+            left = self._rows[i]
+            for j in range(m):
+                acc = poly_const(0)
+                for t in range(k):
+                    lt = left[t]
+                    rt = other._rows[t][j]
+                    if lt.is_zero or rt.is_zero:
+                        continue
+                    acc = acc + lt * rt
+                out.set(i, j, acc)
+        return out
+
+    def apply_row(self, i: int, vector: Sequence[float]) -> float:
+        """Numerically evaluate ``row(i) · vector`` for constant rows."""
+        row = self._rows[i]
+        if len(vector) != len(row):
+            raise ValueError("vector length does not match matrix width")
+        return sum(
+            float(e.constant_value()) * float(v) for e, v in zip(row, vector)
+        )
+
+    def evaluate(self, env: dict[str, float]) -> list[list[float]]:
+        """Evaluate every entry at a parameter binding."""
+        return [[e.evaluate(env) for e in row] for row in self._rows]
+
+    def max_degree_per_variable(self) -> dict[str, int]:
+        """Maximum separate degree of each variable over all entries --
+        the quantity claim C4 bounds by 2."""
+        degrees: dict[str, int] = {}
+        for row in self._rows:
+            for e in row:
+                for v, d in e.max_degree_per_variable().items():
+                    if degrees.get(v, 0) < d:
+                        degrees[v] = d
+        return degrees

@@ -1,0 +1,219 @@
+"""Sparse multivariate polynomial arithmetic with exact coefficients.
+
+The paper's Section 5 claims that the coefficients of the k-step recurrence
+relation (*) are polynomials in the CG parameters
+``{α_{n-1}..α_{n-k}, λ_{n-1}..λ_{n-k}}`` that are *at most quadratic in each
+parameter separately*.  Verifying that claim mechanically requires composing
+the one-step recurrence maps symbolically, which requires a small exact
+polynomial ring -- this module.
+
+Terms are stored sparsely as ``{monomial: coefficient}`` where a monomial is
+a frozen, sorted tuple of ``(variable, exponent)`` pairs.  Coefficients stay
+in whatever exact numeric tower the inputs use (``int`` or
+:class:`fractions.Fraction`); the one-step maps have integer coefficients,
+so every composed coefficient is verified over ℤ with no rounding at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from numbers import Number
+from typing import Mapping
+
+__all__ = ["MultiPoly", "poly_const", "poly_var"]
+
+Monomial = tuple[tuple[str, int], ...]
+
+
+def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
+    """Multiply two monomials (merge sorted exponent lists)."""
+    exps: dict[str, int] = dict(a)
+    for var, exp in b:
+        exps[var] = exps.get(var, 0) + exp
+    return tuple(sorted((v, e) for v, e in exps.items() if e != 0))
+
+
+@dataclass(frozen=True)
+class MultiPoly:
+    """An immutable sparse multivariate polynomial.
+
+    Construct via :func:`poly_var` / :func:`poly_const` and combine with the
+    usual operators.  Example::
+
+        lam = poly_var("l")
+        p = (1 - 2 * lam) ** 2
+        assert p.degree_in("l") == 2
+    """
+
+    terms: Mapping[Monomial, Number]
+
+    def __post_init__(self) -> None:
+        cleaned = {m: c for m, c in self.terms.items() if c != 0}
+        object.__setattr__(self, "terms", cleaned)
+
+    # ------------------------------------------------------------------
+    # Ring operations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(other) -> "MultiPoly":
+        if isinstance(other, MultiPoly):
+            return other
+        if isinstance(other, Number):
+            return poly_const(other)
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other) -> "MultiPoly":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        terms = dict(self.terms)
+        for m, c in other.terms.items():
+            terms[m] = terms.get(m, 0) + c
+        return MultiPoly(terms)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "MultiPoly":
+        return MultiPoly({m: -c for m, c in self.terms.items()})
+
+    def __sub__(self, other) -> "MultiPoly":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self + (-other)
+
+    def __rsub__(self, other) -> "MultiPoly":
+        return self._coerce(other) - self
+
+    def __mul__(self, other) -> "MultiPoly":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        terms: dict[Monomial, Number] = {}
+        for ma, ca in self.terms.items():
+            for mb, cb in other.terms.items():
+                m = _mono_mul(ma, mb)
+                terms[m] = terms.get(m, 0) + ca * cb
+        return MultiPoly(terms)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent: int) -> "MultiPoly":
+        if exponent < 0 or exponent != int(exponent):
+            raise ValueError(f"exponent must be a non-negative integer, got {exponent}")
+        result = poly_const(1)
+        base = self
+        e = int(exponent)
+        while e:
+            if e & 1:
+                result = result * base
+            base = base * base
+            e >>= 1
+        return result
+
+    def __eq__(self, other) -> bool:
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return dict(self.terms) == dict(other.terms)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.terms.items()))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_zero(self) -> bool:
+        """True when the polynomial has no nonzero terms."""
+        return not self.terms
+
+    @property
+    def is_constant(self) -> bool:
+        """True when the polynomial has no variables."""
+        return all(m == () for m in self.terms)
+
+    def constant_value(self) -> Number:
+        """The value of a constant polynomial (raises otherwise)."""
+        if not self.is_constant:
+            raise ValueError(f"{self} is not constant")
+        return self.terms.get((), 0)
+
+    def variables(self) -> set[str]:
+        """All variables appearing with nonzero exponent."""
+        return {var for m in self.terms for var, _ in m}
+
+    def degree_in(self, var: str) -> int:
+        """Highest exponent of ``var`` in any term -- the paper's 'degree
+        in each parameter separately' (claim C4)."""
+        best = 0
+        for m in self.terms:
+            for v, e in m:
+                if v == var and e > best:
+                    best = e
+        return best
+
+    def total_degree(self) -> int:
+        """Highest total degree of any term."""
+        return max((sum(e for _, e in m) for m in self.terms), default=0)
+
+    def max_degree_per_variable(self) -> dict[str, int]:
+        """Map every variable to its separate degree."""
+        return {v: self.degree_in(v) for v in self.variables()}
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        """Evaluate numerically; every variable must be bound in ``env``."""
+        missing = self.variables() - set(env)
+        if missing:
+            raise KeyError(f"unbound variables: {sorted(missing)}")
+        total = 0.0
+        for m, c in self.terms.items():
+            value = float(c)
+            for var, exp in m:
+                value *= float(env[var]) ** exp
+            total += value
+        return total
+
+    def substitute(self, bindings: Mapping[str, "MultiPoly | Number"]) -> "MultiPoly":
+        """Substitute polynomials (or numbers) for variables."""
+        result = poly_const(0)
+        for m, c in self.terms.items():
+            term = poly_const(c)
+            for var, exp in m:
+                if var in bindings:
+                    bound = MultiPoly._coerce(bindings[var])
+                    term = term * bound**exp
+                else:
+                    term = term * poly_var(var) ** exp
+            result = result + term
+        return result
+
+    def num_terms(self) -> int:
+        """Number of stored monomials."""
+        return len(self.terms)
+
+    def __repr__(self) -> str:
+        if self.is_zero:
+            return "0"
+        parts = []
+        for m, c in sorted(self.terms.items()):
+            mono = "*".join(
+                f"{v}^{e}" if e > 1 else v for v, e in m
+            )
+            if mono:
+                parts.append(f"{c}*{mono}" if c != 1 else mono)
+            else:
+                parts.append(str(c))
+        return " + ".join(parts)
+
+
+def poly_const(value: Number) -> MultiPoly:
+    """The constant polynomial ``value``."""
+    return MultiPoly({(): value} if value != 0 else {})
+
+
+def poly_var(name: str) -> MultiPoly:
+    """The polynomial consisting of the single variable ``name``."""
+    if not name:
+        raise ValueError("variable name must be non-empty")
+    return MultiPoly({((name, 1),): 1})

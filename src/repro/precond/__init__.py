@@ -1,0 +1,32 @@
+"""Preconditioning substrate.
+
+Implements the preconditioners the paper's introduction gestures at
+("various preconditioning techniques") in both applied (``M⁻¹r``) and
+split (``M = EEᵀ``) forms, and the drivers that run classical PCG and the
+Van Rosendale solvers on the split operator (experiment E9).
+"""
+
+from repro.precond.base import Preconditioner, SplitPreconditioner, split_operator
+from repro.precond.ic0 import ICholPrecond, ic0_factor
+from repro.precond.identity import IdentityPrecond
+from repro.precond.jacobi import JacobiPrecond
+from repro.precond.pcg import pipelined_vr_pcg, preconditioned_cg, vr_pcg
+from repro.precond.polynomial import ChebyshevPolyPrecond, polynomial_pcg, vr_poly_pcg
+from repro.precond.ssor import SSORPrecond
+
+__all__ = [
+    "Preconditioner",
+    "SplitPreconditioner",
+    "split_operator",
+    "ICholPrecond",
+    "ic0_factor",
+    "IdentityPrecond",
+    "JacobiPrecond",
+    "pipelined_vr_pcg",
+    "preconditioned_cg",
+    "vr_pcg",
+    "SSORPrecond",
+    "ChebyshevPolyPrecond",
+    "polynomial_pcg",
+    "vr_poly_pcg",
+]

@@ -1,0 +1,77 @@
+"""Preconditioner interfaces.
+
+The paper notes CG "can be quite efficient when coupled with various
+preconditioning techniques"; the restructured algorithm must therefore
+compose with preconditioning to be adoptable.  Two interfaces coexist:
+
+* **Applied form** -- ``apply(r) = M⁻¹ r``, what classical PCG consumes.
+* **Split form** -- a factor ``E`` with ``M = E Eᵀ``, giving the
+  symmetrically preconditioned operator ``Ã = E⁻¹ A E⁻ᵀ``, which is again
+  SPD.  Running *any* unmodified CG variant on ``Ã`` is mathematically
+  PCG, so the Van Rosendale machinery (whose recurrences require a fixed
+  SPD operator) extends to the preconditioned case with zero re-derivation
+  -- this is the route :func:`repro.precond.pcg.vr_pcg` takes and
+  experiment E9 validates.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.sparse.linop import CallableOperator, LinearOperator
+
+__all__ = ["Preconditioner", "SplitPreconditioner", "split_operator"]
+
+
+@runtime_checkable
+class Preconditioner(Protocol):
+    """Applied-form interface: ``apply(r) = M⁻¹ r``."""
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """Return ``M⁻¹ r``."""
+        ...
+
+
+@runtime_checkable
+class SplitPreconditioner(Protocol):
+    """Split-form interface: a factor ``E`` with ``M = E Eᵀ``."""
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """Return ``M⁻¹ r = E⁻ᵀ E⁻¹ r``."""
+        ...
+
+    def solve_factor(self, v: np.ndarray) -> np.ndarray:
+        """Return ``E⁻¹ v``."""
+        ...
+
+    def solve_factor_t(self, v: np.ndarray) -> np.ndarray:
+        """Return ``E⁻ᵀ v``."""
+        ...
+
+
+def split_operator(
+    a: LinearOperator, m: SplitPreconditioner, *, row_degree: int | None = None
+) -> CallableOperator:
+    """The symmetrically preconditioned SPD operator ``Ã = E⁻¹ A E⁻ᵀ``.
+
+    Any solver in this package can consume the result directly.  Solutions
+    of ``Ã x̃ = E⁻¹ b`` map back via ``x = E⁻ᵀ x̃`` (handled by
+    :func:`repro.precond.pcg.vr_pcg`).
+
+    ``row_degree`` overrides the depth-model degree the wrapped operator
+    reports; by default it inherits the degree of ``a`` (appropriate for
+    diagonal splits, optimistic for triangular ones -- the machine model
+    treats triangular solves separately).
+    """
+    n = a.shape[0]
+    degree = row_degree
+    if degree is None:
+        get_degree = getattr(a, "max_row_degree", None)
+        degree = get_degree() if callable(get_degree) else n
+
+    def _matvec(v: np.ndarray) -> np.ndarray:
+        return m.solve_factor(a.matvec(m.solve_factor_t(v)))
+
+    return CallableOperator(n, _matvec, row_degree=degree)

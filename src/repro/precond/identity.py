@@ -1,0 +1,28 @@
+"""The trivial preconditioner (M = I).
+
+Exists so preconditioned code paths can be exercised and benchmarked with
+the preconditioner's effect factored out: PCG with :class:`IdentityPrecond`
+must reproduce plain CG exactly, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["IdentityPrecond"]
+
+
+class IdentityPrecond:
+    """``M = I``: both applied and split forms are the identity."""
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """Return ``r`` (copied, so callers may mutate safely)."""
+        return np.array(r, dtype=np.float64, copy=True)
+
+    def solve_factor(self, v: np.ndarray) -> np.ndarray:
+        """``E⁻¹ v = v``."""
+        return np.array(v, dtype=np.float64, copy=True)
+
+    def solve_factor_t(self, v: np.ndarray) -> np.ndarray:
+        """``E⁻ᵀ v = v``."""
+        return np.array(v, dtype=np.float64, copy=True)

@@ -1,0 +1,98 @@
+"""Graph Laplacian generators (networkx-backed).
+
+Graph Laplacians give SPD-after-shift test matrices with *irregular* row
+degrees -- the complement to the fixed-stencil grids in
+:mod:`repro.sparse.generators`.  The degree-sweep experiment (E4) uses
+random regular graphs to dial the per-row degree ``d`` directly, since
+claim C7's depth bound ``max(log d, log log N)`` is a statement about ``d``.
+
+networkx is an optional dependency of the package; importing this module
+without it raises a clear error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOBuilder
+from repro.sparse.csr import CSRMatrix
+from repro.util.validation import require_positive_int
+
+__all__ = ["graph_laplacian", "random_regular_laplacian", "grid_graph_laplacian"]
+
+
+def _require_networkx():
+    try:
+        import networkx as nx
+    except ImportError as exc:  # pragma: no cover - nx installed in CI
+        raise ImportError(
+            "graph Laplacian generators require networkx; "
+            "install repro[graphs]"
+        ) from exc
+    return nx
+
+
+def graph_laplacian(graph, *, shift: float = 0.0) -> CSRMatrix:
+    """Laplacian ``L = D - W`` of a networkx graph, plus ``shift·I``.
+
+    The Laplacian is symmetric positive *semi*-definite; pass a positive
+    ``shift`` to make it definite (CG requires SPD).
+    """
+    nx = _require_networkx()
+    nodes = list(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    if n == 0:
+        raise ValueError("graph must have at least one node")
+    b = COOBuilder(n, n)
+    degree = np.zeros(n)
+    rows, cols, vals = [], [], []
+    for u, v, data in graph.edges(data=True):
+        w = float(data.get("weight", 1.0))
+        iu, iv = index[u], index[v]
+        if iu == iv:
+            continue
+        rows += [iu, iv]
+        cols += [iv, iu]
+        vals += [-w, -w]
+        degree[iu] += w
+        degree[iv] += w
+    if rows:
+        b.add_batch(
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(cols, dtype=np.int64),
+            np.asarray(vals, dtype=np.float64),
+        )
+    idx = np.arange(n, dtype=np.int64)
+    b.add_batch(idx, idx, degree + float(shift))
+    return b.to_csr()
+
+
+def random_regular_laplacian(
+    n: int, degree: int, *, shift: float = 1.0, seed: int = 0
+) -> CSRMatrix:
+    """Shifted Laplacian of a random ``degree``-regular graph on n nodes.
+
+    Row degree of the matrix is exactly ``degree + 1`` (neighbours plus the
+    diagonal), which is what the E4 degree sweep dials.
+    """
+    nx = _require_networkx()
+    n = require_positive_int(n, "n")
+    degree = require_positive_int(degree, "degree")
+    if degree >= n:
+        raise ValueError(f"degree {degree} must be < n {n}")
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even for a regular graph")
+    if shift <= 0:
+        raise ValueError("shift must be positive for an SPD matrix")
+    g = nx.random_regular_graph(degree, n, seed=seed)
+    return graph_laplacian(g, shift=shift)
+
+
+def grid_graph_laplacian(nx_dim: int, ny_dim: int, *, shift: float = 1.0) -> CSRMatrix:
+    """Shifted Laplacian of the 2-D grid graph (equals shifted 5-pt Poisson)."""
+    nx = _require_networkx()
+    g = nx.grid_2d_graph(
+        require_positive_int(nx_dim, "nx_dim"), require_positive_int(ny_dim, "ny_dim")
+    )
+    return graph_laplacian(g, shift=shift)

@@ -1,0 +1,147 @@
+"""Abstract linear operator protocol.
+
+The Van Rosendale machinery in :mod:`repro.core` only needs three things
+from its matrix: a square ``shape``, a ``matvec``, and (for the machine
+model) a ``max_row_degree``.  Wrapping these behind a small protocol lets
+the same solver run on our CSR matrices, on dense arrays, on scipy sparse
+matrices, and on implicitly-defined operators such as the symmetrically
+preconditioned ``E⁻¹AE⁻ᵀ`` from :mod:`repro.precond` -- which is how the
+preconditioned VR-CG extension works without re-deriving the recurrences.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.util.counters import add_matvec
+
+__all__ = ["LinearOperator", "CallableOperator", "DenseOperator", "as_operator"]
+
+
+@runtime_checkable
+class LinearOperator(Protocol):
+    """Anything with a square ``shape`` and a ``matvec``."""
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n, n)`` operator dimensions."""
+        ...
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Apply the operator to a vector."""
+        ...
+
+
+class CallableOperator:
+    """Wrap a plain function ``x -> Ax`` as a :class:`LinearOperator`.
+
+    Parameters
+    ----------
+    n:
+        Operator dimension.
+    fn:
+        The matvec implementation.
+    row_degree:
+        Value reported by :meth:`max_row_degree`; used only by the machine
+        model's depth accounting.  Defaults to ``n`` (dense).
+    nnz:
+        Nonzeros booked per application on the operation counter.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        fn: Callable[[np.ndarray], np.ndarray],
+        *,
+        row_degree: int | None = None,
+        nnz: int | None = None,
+    ) -> None:
+        self._n = int(n)
+        self._fn = fn
+        self._row_degree = int(row_degree) if row_degree is not None else int(n)
+        self._nnz = int(nnz) if nnz is not None else int(n) * self._row_degree
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n, n)``."""
+        return (self._n, self._n)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Apply the wrapped function (not separately counted: the wrapped
+        function is expected to do its own booking if it uses our kernels)."""
+        y = self._fn(np.asarray(x, dtype=np.float64))
+        return np.asarray(y, dtype=np.float64)
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def max_row_degree(self) -> int:
+        """Declared row degree for depth modelling."""
+        return self._row_degree
+
+
+class DenseOperator:
+    """A dense symmetric matrix as a counted operator (tests/small cases)."""
+
+    def __init__(self, a: np.ndarray) -> None:
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(f"expected a square matrix, got shape {a.shape}")
+        self._a = a
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n, n)``."""
+        return self._a.shape
+
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying dense array (read-only view semantics by courtesy)."""
+        return self._a
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` with counter booking (dense row degree = n)."""
+        n = self._a.shape[0]
+        add_matvec(n * n, n)
+        return self._a @ np.asarray(x, dtype=np.float64)
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def max_row_degree(self) -> int:
+        """Dense: every row has n entries."""
+        return self._a.shape[0]
+
+
+def as_operator(a: Any) -> LinearOperator:
+    """Coerce ``a`` into a :class:`LinearOperator`.
+
+    Accepts our CSR/ELL matrices (returned unchanged), dense numpy arrays
+    (wrapped in :class:`DenseOperator`), scipy sparse matrices (wrapped in
+    a counted callable), or any object already satisfying the protocol.
+    """
+    if isinstance(a, np.ndarray):
+        return DenseOperator(a)
+    try:
+        import scipy.sparse as sp
+
+        if sp.issparse(a):
+            csr = a.tocsr()
+            n = csr.shape[0]
+            if csr.shape[0] != csr.shape[1]:
+                raise ValueError("operator must be square")
+            degree = int(np.diff(csr.indptr).max()) if csr.nnz else 0
+
+            def _mv(x: np.ndarray, _csr=csr) -> np.ndarray:
+                add_matvec(_csr.nnz, _csr.shape[0])
+                return _csr @ x
+
+            op = CallableOperator(n, _mv, row_degree=degree, nnz=csr.nnz)
+            return op
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        pass
+    if isinstance(a, LinearOperator):
+        return a
+    raise TypeError(f"cannot interpret {type(a).__name__} as a linear operator")

@@ -1,0 +1,110 @@
+"""Minimal MatrixMarket coordinate I/O.
+
+A self-contained reader/writer for the ``%%MatrixMarket matrix coordinate``
+format, so users can bring their own SPD test matrices without scipy's I/O
+stack.  Supports ``real`` entries with ``general`` or ``symmetric``
+storage, which covers the SPD matrices this repository cares about.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.sparse.coo import coo_arrays_to_csr_parts
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_HEADER = "%%MatrixMarket matrix coordinate real"
+
+
+def read_matrix_market(source: str | Path | TextIO) -> CSRMatrix:
+    """Parse a MatrixMarket coordinate file into a :class:`CSRMatrix`.
+
+    ``symmetric`` storage is expanded to full storage (the mirror of every
+    off-diagonal entry is inserted).
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="ascii") as fh:
+            return read_matrix_market(fh)
+
+    header = source.readline().strip()
+    parts = header.split()
+    if (
+        len(parts) < 5
+        or parts[0] != "%%MatrixMarket"
+        or parts[1].lower() != "matrix"
+        or parts[2].lower() != "coordinate"
+        or parts[3].lower() != "real"
+    ):
+        raise ValueError(f"unsupported MatrixMarket header: {header!r}")
+    symmetry = parts[4].lower()
+    if symmetry not in ("general", "symmetric"):
+        raise ValueError(f"unsupported symmetry {symmetry!r}")
+
+    size_line = source.readline()
+    while size_line.startswith("%"):
+        size_line = source.readline()
+    try:
+        nrows_s, ncols_s, nnz_s = size_line.split()
+        nrows, ncols, nnz = int(nrows_s), int(ncols_s), int(nnz_s)
+    except ValueError as exc:
+        raise ValueError(f"malformed size line: {size_line!r}") from exc
+
+    body = np.loadtxt(source, ndmin=2) if nnz else np.zeros((0, 3))
+    if body.shape[0] != nnz or (nnz and body.shape[1] != 3):
+        raise ValueError(
+            f"expected {nnz} 'row col value' lines, got array {body.shape}"
+        )
+    rows = body[:, 0].astype(np.int64) - 1  # MatrixMarket is 1-based
+    cols = body[:, 1].astype(np.int64) - 1
+    vals = body[:, 2].astype(np.float64)
+
+    if symmetry == "symmetric":
+        off = rows != cols
+        rows = np.concatenate([rows, cols[off]])
+        cols = np.concatenate([cols, body[:, 0].astype(np.int64)[off] - 1])
+        vals = np.concatenate([vals, vals[off]])
+
+    indptr, indices, data = coo_arrays_to_csr_parts(rows, cols, vals, nrows, ncols)
+    return CSRMatrix(nrows, ncols, indptr, indices, data)
+
+
+def write_matrix_market(
+    matrix: CSRMatrix,
+    target: str | Path | TextIO,
+    *,
+    symmetric: bool = False,
+    comment: str | None = None,
+) -> None:
+    """Write a :class:`CSRMatrix` in MatrixMarket coordinate format.
+
+    With ``symmetric=True`` only the lower triangle is stored (the matrix
+    must actually be symmetric; this is checked).
+    """
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="ascii") as fh:
+            write_matrix_market(matrix, fh, symmetric=symmetric, comment=comment)
+        return
+
+    m = matrix
+    if symmetric:
+        if not m.is_symmetric():
+            raise ValueError("symmetric=True but the matrix is not symmetric")
+        m = m.lower_triangle()
+    kind = "symmetric" if symmetric else "general"
+    target.write(f"{_HEADER} {kind}\n")
+    if comment:
+        for line in comment.splitlines():
+            target.write(f"% {line}\n")
+    target.write(f"{m.nrows} {m.ncols} {m.nnz}\n")
+    row_of = np.repeat(np.arange(m.nrows), np.diff(m.indptr))
+    buf = io.StringIO()
+    for r, c, v in zip(row_of + 1, m.indices + 1, m.data):
+        # repr of a Python float round-trips exactly through the parser
+        buf.write(f"{r} {c} {float(v)!r}\n")
+    target.write(buf.getvalue())

@@ -1,0 +1,169 @@
+"""Symmetric matrix reordering (reverse Cuthill--McKee), from scratch.
+
+Bandwidth-reducing permutations were the standard preprocessing of the
+paper's era (they make banded storage and triangular solves cheap, and
+shrink the SSOR/IC substitution windows).  Included as substrate so the
+preconditioning pipeline is complete: ``rcm_permutation`` computes the
+ordering, ``permute_symmetric`` applies it to a CSR matrix, and solutions
+map back with the inverse permutation.
+
+The algorithm is the classic BFS with degree-sorted neighbour visits,
+started from a pseudo-peripheral vertex found by repeated eccentricity
+ascent, reversed at the end (George's improvement of Cuthill--McKee).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import coo_arrays_to_csr_parts
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "rcm_permutation",
+    "permute_symmetric",
+    "bandwidth",
+    "pseudo_peripheral_vertex",
+]
+
+
+def bandwidth(a: CSRMatrix) -> int:
+    """Maximum ``|i - j|`` over stored entries (0 for diagonal matrices)."""
+    if a.nnz == 0:
+        return 0
+    row_of = np.repeat(np.arange(a.nrows), np.diff(a.indptr))
+    return int(np.abs(row_of - a.indices).max())
+
+
+def _bfs_levels(a: CSRMatrix, root: int) -> tuple[np.ndarray, int]:
+    """BFS level of every vertex reachable from ``root`` (-1 elsewhere);
+    returns (levels, eccentricity)."""
+    levels = np.full(a.nrows, -1, dtype=np.int64)
+    levels[root] = 0
+    frontier = [root]
+    depth = 0
+    while frontier:
+        nxt = []
+        for u in frontier:
+            start, end = a.indptr[u], a.indptr[u + 1]
+            for v in a.indices[start:end]:
+                if levels[v] < 0:
+                    levels[v] = levels[u] + 1
+                    nxt.append(int(v))
+        if nxt:
+            depth += 1
+        frontier = nxt
+    return levels, depth
+
+
+def pseudo_peripheral_vertex(a: CSRMatrix, *, start: int = 0) -> int:
+    """A vertex of (near-)maximal eccentricity, by eccentricity ascent.
+
+    Repeatedly BFS from the current candidate and jump to a minimum-degree
+    vertex of the last level until the eccentricity stops growing -- the
+    standard George--Liu heuristic for a good RCM start.
+    """
+    if not 0 <= start < a.nrows:
+        raise ValueError(f"start vertex {start} out of range")
+    degrees = a.row_degrees()
+    current = start
+    levels, ecc = _bfs_levels(a, current)
+    while True:
+        last_level = np.flatnonzero(levels == ecc)
+        if last_level.size == 0:
+            return current
+        candidate = int(last_level[np.argmin(degrees[last_level])])
+        new_levels, new_ecc = _bfs_levels(a, candidate)
+        if new_ecc <= ecc:
+            return candidate if new_ecc == ecc else current
+        current, levels, ecc = candidate, new_levels, new_ecc
+
+
+def rcm_permutation(a: CSRMatrix) -> np.ndarray:
+    """Reverse Cuthill--McKee ordering of a symmetric CSR matrix.
+
+    Returns ``perm`` such that ``perm[new_index] = old_index``.  Handles
+    disconnected graphs by restarting from a pseudo-peripheral vertex of
+    each unvisited component.
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("RCM requires a square (symmetric) matrix")
+    n = a.nrows
+    degrees = a.row_degrees()
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+
+    while len(order) < n:
+        unvisited = np.flatnonzero(~visited)
+        # restrict the pseudo-peripheral search to this component by
+        # starting at its minimum-degree vertex
+        root = int(unvisited[np.argmin(degrees[unvisited])])
+        root = _component_peripheral(a, root, visited)
+        visited[root] = True
+        queue = [root]
+        order.append(root)
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            start, end = a.indptr[u], a.indptr[u + 1]
+            neighbours = [int(v) for v in a.indices[start:end] if not visited[v]]
+            neighbours.sort(key=lambda v: (degrees[v], v))
+            for v in neighbours:
+                visited[v] = True
+                queue.append(v)
+                order.append(v)
+
+    perm = np.asarray(order[::-1], dtype=np.int64)  # the "reverse" in RCM
+    return perm
+
+
+def _component_peripheral(a: CSRMatrix, root: int, visited: np.ndarray) -> int:
+    """Pseudo-peripheral vertex within ``root``'s unvisited component."""
+    degrees = a.row_degrees()
+    current = root
+    ecc = -1
+    while True:
+        levels = np.full(a.nrows, -1, dtype=np.int64)
+        levels[current] = 0
+        frontier = [current]
+        depth = 0
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in a.indices[a.indptr[u] : a.indptr[u + 1]]:
+                    if levels[v] < 0 and not visited[v]:
+                        levels[v] = levels[u] + 1
+                        nxt.append(int(v))
+            if nxt:
+                depth += 1
+            frontier = nxt
+        if depth <= ecc:
+            return current
+        ecc = depth
+        last = np.flatnonzero(levels == depth)
+        if last.size == 0:
+            return current
+        current = int(last[np.argmin(degrees[last])])
+
+
+def permute_symmetric(a: CSRMatrix, perm: np.ndarray) -> CSRMatrix:
+    """Apply ``P A Pᵀ`` where ``perm[new] = old``.
+
+    The result's ``(i, j)`` entry is ``a[perm[i], perm[j]]``.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    n = a.nrows
+    if a.nrows != a.ncols:
+        raise ValueError("symmetric permutation requires a square matrix")
+    if sorted(perm.tolist()) != list(range(n)):
+        raise ValueError("perm must be a permutation of 0..n-1")
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[perm] = np.arange(n)
+    row_of = np.repeat(np.arange(n), np.diff(a.indptr))
+    new_rows = inverse[row_of]
+    new_cols = inverse[a.indices]
+    indptr, indices, data = coo_arrays_to_csr_parts(
+        new_rows, new_cols, a.data.copy(), n, n
+    )
+    return CSRMatrix(n, n, indptr, indices, data)

@@ -1,0 +1,54 @@
+"""Shared low-level utilities.
+
+This subpackage contains the pieces every other subsystem leans on:
+
+* :mod:`repro.util.counters` -- a thread-local operation counter that
+  instruments every dot product, axpy and matrix--vector product executed
+  through the :mod:`repro.util.kernels` wrappers.  The counters are how the
+  work-accounting experiments (claims C5/C6/C8 of the paper) are measured
+  rather than asserted.
+* :mod:`repro.util.kernels` -- thin, instrumented wrappers over the numpy
+  vector kernels (``dot``, ``axpy``, ``norm`` ...).  All solver code calls
+  these instead of raw numpy so the counters see every operation.
+* :mod:`repro.util.rng` -- deterministic random-generator helpers so tests,
+  examples and benchmarks are reproducible bit-for-bit across runs.
+* :mod:`repro.util.validation` -- argument checking helpers shared by the
+  public API surface.
+* :mod:`repro.util.tables` -- fixed-width ASCII table rendering used by the
+  experiment harness to print the paper-style result tables.
+"""
+
+from repro.util.counters import (
+    OpCounts,
+    counting,
+    current_counts,
+    reset_counts,
+)
+from repro.util.kernels import axpy, axpby, dot, norm, scale
+from repro.util.rng import default_rng, spd_test_matrix
+from repro.util.tables import Table, format_float, render_rows
+from repro.util.validation import (
+    as_1d_float_array,
+    check_square_operator,
+    require_positive_int,
+)
+
+__all__ = [
+    "OpCounts",
+    "counting",
+    "current_counts",
+    "reset_counts",
+    "axpy",
+    "axpby",
+    "dot",
+    "norm",
+    "scale",
+    "default_rng",
+    "spd_test_matrix",
+    "Table",
+    "format_float",
+    "render_rows",
+    "as_1d_float_array",
+    "check_square_operator",
+    "require_positive_int",
+]

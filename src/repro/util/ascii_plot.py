@@ -1,0 +1,112 @@
+"""ASCII charts for terminal-native result presentation.
+
+The examples and experiment reports run in environments without plotting
+stacks (this repository is offline-first), so convergence histories and
+sweeps are rendered as fixed-width ASCII: a log-scale line chart for
+residual histories and a horizontal bar chart for categorical
+comparisons.  Deliberately tiny: two chart types, no styling options
+beyond dimensions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart", "bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _finite_positive(values: Sequence[float]) -> list[float]:
+    return [v for v in values if v > 0 and math.isfinite(v)]
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    height: int = 12,
+    width: int = 60,
+    logy: bool = True,
+    title: str | None = None,
+    ylabel: str = "",
+) -> str:
+    """Render one or more y-series (x = index) as an ASCII line chart.
+
+    ``logy`` plots log₁₀(y) -- the natural scale for residual histories.
+    Non-positive values are skipped in log mode.  Each series gets a
+    marker from ``o x + * ...``; a legend line maps them back.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if height < 3 or width < 10:
+        raise ValueError("chart too small")
+
+    def transform(v: float) -> float | None:
+        if logy:
+            return math.log10(v) if v > 0 and math.isfinite(v) else None
+        return v if math.isfinite(v) else None
+
+    all_vals = [
+        t
+        for vals in series.values()
+        for v in vals
+        if (t := transform(v)) is not None
+    ]
+    if not all_vals:
+        raise ValueError("no plottable values")
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+    max_len = max(len(v) for v in series.values())
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, vals), marker in zip(series.items(), _MARKERS):
+        for i, v in enumerate(vals):
+            t = transform(v)
+            if t is None:
+                continue
+            col = 0 if max_len == 1 else round(i * (width - 1) / (max_len - 1))
+            row = round((hi - t) * (height - 1) / (hi - lo))
+            grid[row][col] = marker
+
+    def ytick(row: int) -> str:
+        value = hi - row * (hi - lo) / (height - 1)
+        return f"1e{value:+.1f}" if logy else f"{value:.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height):
+        label = ytick(r) if r in (0, height // 2, height - 1) else ""
+        lines.append(f"{label:>9} |" + "".join(grid[r]))
+    lines.append(" " * 9 + " +" + "-" * width)
+    lines.append(" " * 11 + f"0{'iteration'.center(width - 10)}{max_len - 1}")
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" " * 11 + legend)
+    if ylabel:
+        lines.append(" " * 11 + f"(y: {ylabel}{', log scale' if logy else ''})")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    fmt: str = "{:.3g}",
+) -> str:
+    """Horizontal bar chart of labelled non-negative values."""
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v < 0 or not math.isfinite(v) for v in values.values()):
+        raise ValueError("bar_chart takes finite non-negative values")
+    peak = max(values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, v in values.items():
+        bar = "#" * max(1 if v > 0 else 0, round(v / peak * width))
+        lines.append(f"{name:>{label_w}} | {bar} {fmt.format(v)}")
+    return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Thread-local operation counting.
+
+The paper's Section 6 makes three quantitative work claims about the
+restructured algorithm (one matrix--vector product per iteration, two
+directly-computed inner products per iteration, and sequential flop count
+essentially equal to classical CG).  Rather than asserting these in prose we
+*measure* them: every vector kernel in :mod:`repro.util.kernels` and every
+sparse matvec in :mod:`repro.sparse` reports into the ambient
+:class:`OpCounts` instance, and the work-accounting experiment (E5) simply
+reads the totals.
+
+Counting is scoped with the :func:`counting` context manager so that nested
+measurements (e.g. a benchmark around a solver around a preconditioner) do
+not double-book: each ``with counting() as c:`` block gets a fresh counter
+pushed onto a thread-local stack, and *all* counters on the stack are
+incremented, so an outer scope still sees work done inside inner scopes.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields
+from typing import Iterator
+
+__all__ = [
+    "OpCounts",
+    "counting",
+    "current_counts",
+    "reset_counts",
+    "add_dot",
+    "add_axpy",
+    "add_matvec",
+    "add_scalar_flops",
+]
+
+
+@dataclass
+class OpCounts:
+    """Totals of the primitive operations executed inside a counting scope.
+
+    Attributes
+    ----------
+    dots:
+        Number of full-length inner products computed *directly* (i.e. by an
+        actual reduction over vector entries, as opposed to values obtained
+        through the scalar recurrences).
+    dot_flops:
+        Floating point operations spent in those inner products
+        (``2n - 1`` per length-``n`` dot).
+    axpys:
+        Number of vector update kernels (``axpy``/``axpby``/``scale``).
+    axpy_flops:
+        Flops spent in vector updates.
+    matvecs:
+        Number of (sparse) matrix--vector products.
+    matvec_flops:
+        Flops spent in matrix--vector products (``2 nnz - nrows`` for CSR).
+    scalar_flops:
+        Flops spent on scalar work -- notably the moment recurrences of the
+        Van Rosendale algorithm.  Kept separate because the paper's claim C8
+        is that the *vector* work is unchanged while the scalar overhead is
+        O(k) per iteration.
+    """
+
+    dots: int = 0
+    dot_flops: int = 0
+    axpys: int = 0
+    axpy_flops: int = 0
+    matvecs: int = 0
+    matvec_flops: int = 0
+    scalar_flops: int = 0
+    _labels: dict[str, int] = field(default_factory=dict, repr=False)
+
+    @property
+    def total_flops(self) -> int:
+        """All floating point operations booked in this scope."""
+        return (
+            self.dot_flops + self.axpy_flops + self.matvec_flops + self.scalar_flops
+        )
+
+    @property
+    def vector_flops(self) -> int:
+        """Flops on length-N data only (excludes scalar recurrence work)."""
+        return self.dot_flops + self.axpy_flops + self.matvec_flops
+
+    def labelled(self, label: str) -> int:
+        """Return the count booked under ``label`` (0 if never booked)."""
+        return self._labels.get(label, 0)
+
+    def book_label(self, label: str, amount: int = 1) -> None:
+        """Increment a free-form named counter (e.g. ``"direct_dot"``)."""
+        self._labels[label] = self._labels.get(label, 0) + amount
+
+    def snapshot(self) -> "OpCounts":
+        """Return an independent copy of the current totals."""
+        copy = OpCounts(
+            dots=self.dots,
+            dot_flops=self.dot_flops,
+            axpys=self.axpys,
+            axpy_flops=self.axpy_flops,
+            matvecs=self.matvecs,
+            matvec_flops=self.matvec_flops,
+            scalar_flops=self.scalar_flops,
+        )
+        copy._labels = dict(self._labels)
+        return copy
+
+    def __sub__(self, other: "OpCounts") -> "OpCounts":
+        diff = OpCounts()
+        for f in fields(OpCounts):
+            if f.name == "_labels":
+                continue
+            setattr(diff, f.name, getattr(self, f.name) - getattr(other, f.name))
+        diff._labels = {
+            k: self._labels.get(k, 0) - other._labels.get(k, 0)
+            for k in set(self._labels) | set(other._labels)
+        }
+        return diff
+
+
+class _CounterStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[OpCounts] = []
+
+
+_STACK = _CounterStack()
+
+
+@contextmanager
+def counting() -> Iterator[OpCounts]:
+    """Push a fresh :class:`OpCounts` scope; yields the live counter.
+
+    Example
+    -------
+    >>> from repro.util import counting, dot
+    >>> import numpy as np
+    >>> with counting() as c:
+    ...     _ = dot(np.ones(8), np.ones(8))
+    >>> c.dots
+    1
+    """
+    counter = OpCounts()
+    _STACK.stack.append(counter)
+    try:
+        yield counter
+    finally:
+        _STACK.stack.remove(counter)
+
+
+def current_counts() -> OpCounts | None:
+    """The innermost active counter, or ``None`` outside any scope."""
+    return _STACK.stack[-1] if _STACK.stack else None
+
+
+def reset_counts() -> None:
+    """Drop every active counting scope (test isolation helper)."""
+    _STACK.stack.clear()
+
+
+def _each() -> list[OpCounts]:
+    return _STACK.stack
+
+
+def add_dot(n: int, label: str | None = None) -> None:
+    """Book one direct inner product over length-``n`` vectors."""
+    for c in _each():
+        c.dots += 1
+        c.dot_flops += max(2 * n - 1, 0)
+        if label is not None:
+            c.book_label(label)
+
+
+def add_axpy(n: int, flops_per_entry: int = 2) -> None:
+    """Book one vector-update kernel over length-``n`` vectors."""
+    for c in _each():
+        c.axpys += 1
+        c.axpy_flops += flops_per_entry * n
+
+
+def add_matvec(nnz: int, nrows: int, label: str | None = None) -> None:
+    """Book one sparse matrix--vector product with ``nnz`` nonzeros."""
+    for c in _each():
+        c.matvecs += 1
+        c.matvec_flops += max(2 * nnz - nrows, 0)
+        if label is not None:
+            c.book_label(label)
+
+
+def add_scalar_flops(flops: int) -> None:
+    """Book scalar (length-independent) floating point work."""
+    for c in _each():
+        c.scalar_flops += flops

@@ -1,0 +1,97 @@
+"""Fixed-width ASCII table rendering.
+
+The experiment harness (:mod:`repro.experiments`) prints its results as
+paper-style tables; this module is the single formatter they share so all
+experiment output lines up identically.  It is dependency-free on purpose:
+the repository must run offline with only the scientific stack installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_float", "render_rows"]
+
+
+def format_float(value: float, *, width: int = 10, sig: int = 4) -> str:
+    """Format a float compactly: fixed-point when reasonable, else e-notation."""
+    if value != value:  # NaN
+        return "nan".rjust(width)
+    av = abs(value)
+    if value == int(value) and av < 1e12:
+        return f"{int(value)}".rjust(width)
+    if 1e-3 <= av < 1e6 or value == 0.0:
+        return f"{value:.{sig}g}".rjust(width)
+    return f"{value:.{max(sig - 1, 1)}e}".rjust(width)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format_float(value).strip()
+    return str(value)
+
+
+def render_rows(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Table:
+    """Accumulating table: add rows as an experiment sweeps, render once.
+
+    Example
+    -------
+    >>> t = Table(["N", "depth"], title="per-iteration depth")
+    >>> t.add(1024, 21.0)
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    per-iteration depth
+    ...
+    """
+
+    headers: Sequence[str]
+    title: str | None = None
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add(self, *cells: Any) -> None:
+        """Append one row; cell count must match the headers."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """Render the accumulated rows as ASCII."""
+        return render_rows(self.headers, self.rows, title=self.title)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by header name (for assertions in tests)."""
+        idx = list(self.headers).index(name)
+        return [row[idx] for row in self.rows]

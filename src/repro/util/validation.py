@@ -1,0 +1,68 @@
+"""Argument validation shared across the public API.
+
+These helpers centralize the error messages users see, so every solver and
+generator fails the same way for the same misuse.  They are intentionally
+strict: the solvers in :mod:`repro.core` are numerical kernels and silent
+shape coercion there hides real bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "as_1d_float_array",
+    "check_square_operator",
+    "require_positive_int",
+    "require_nonnegative_int",
+]
+
+
+def as_1d_float_array(x: Any, name: str = "array") -> np.ndarray:
+    """Coerce ``x`` to a contiguous 1-D float64 array, validating shape."""
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return np.ascontiguousarray(arr)
+
+
+def check_square_operator(op: Any, n: int | None = None) -> int:
+    """Validate that ``op`` exposes a square ``shape`` and return its size.
+
+    Accepts anything with a ``shape`` attribute of the form ``(m, m)`` --
+    our own CSR matrices, dense numpy arrays, scipy sparse matrices, or
+    the abstract operators in :mod:`repro.precond.base`.
+    """
+    shape = getattr(op, "shape", None)
+    if shape is None or len(shape) != 2:
+        raise TypeError(f"operator must expose a 2-D shape, got {shape!r}")
+    rows, cols = shape
+    if rows != cols:
+        raise ValueError(f"operator must be square, got shape {shape}")
+    if n is not None and rows != n:
+        raise ValueError(
+            f"operator size {rows} does not match vector length {n}"
+        )
+    return int(rows)
+
+
+def require_positive_int(value: Any, name: str) -> int:
+    """Validate ``value`` as a strictly positive integer and return it."""
+    ivalue = int(value)
+    if ivalue != value or ivalue <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return ivalue
+
+
+def require_nonnegative_int(value: Any, name: str) -> int:
+    """Validate ``value`` as a non-negative integer and return it."""
+    ivalue = int(value)
+    if ivalue != value or ivalue < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+    return ivalue

@@ -1,0 +1,45 @@
+"""Related CG variants: predecessors and descendants of the paper.
+
+The paper seeded the communication-avoiding / pipelined Krylov subfield;
+this subpackage implements the neighbouring algorithms the experiments
+compare against:
+
+* :func:`three_term_cg` -- classical reformulation with the *same* data
+  dependencies (shows reformulation alone does not help).
+* :func:`chronopoulos_gear_cg` -- the 1989 method that is exactly the
+  ``k = 0`` window of the Van Rosendale machinery (two fused dots, one
+  synchronization per iteration).
+* :func:`sstep_cg` -- s-step CG (Chronopoulos--Gear 1989): batches s CG
+  steps behind one fused Gram-matrix reduction.
+* :func:`ghysels_vanroose_cg` -- the 2014 pipelined CG used in production
+  (one-deep overlap of reductions behind the matvec).
+* :func:`chebyshev_iteration` -- the classical *inner-product-free*
+  competitor: zero reductions per iteration, at the price of needing
+  spectrum bounds and converging at CG's worst-case rate.
+* :mod:`repro.variants.stationary` -- Jacobi/GS/SOR/Richardson, the
+  methods of the paper's Adams [1982] reference.
+"""
+
+from repro.variants.chebyshev_solver import chebyshev_iteration
+from repro.variants.chronopoulos_gear import chronopoulos_gear_cg
+from repro.variants.pipelined_cg import ghysels_vanroose_cg
+from repro.variants.sstep import sstep_cg
+from repro.variants.stationary import (
+    gauss_seidel_solve,
+    jacobi_solve,
+    richardson_solve,
+    sor_solve,
+)
+from repro.variants.three_term import three_term_cg
+
+__all__ = [
+    "chebyshev_iteration",
+    "chronopoulos_gear_cg",
+    "gauss_seidel_solve",
+    "jacobi_solve",
+    "richardson_solve",
+    "sor_solve",
+    "ghysels_vanroose_cg",
+    "sstep_cg",
+    "three_term_cg",
+]

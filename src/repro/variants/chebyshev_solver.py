@@ -1,0 +1,130 @@
+"""Chebyshev iteration as a standalone solver.
+
+The classical *other* answer to the paper's problem: if inner products
+are the parallel bottleneck, use an iteration that has none.  Chebyshev
+iteration needs only spectrum bounds ``[λmin, λmax]`` -- its parameters
+are precomputed scalars, so a parallel iteration costs just the matvec
+(``log d`` depth, zero reductions).  The price, known since the 1950s and
+part of the 1980s parallel-CG debate this paper sits in:
+
+* it needs the bounds (CG finds the spectrum adaptively); bad bounds
+  slow it down or diverge it;
+* even with exact bounds it converges at CG's *worst-case* Chebyshev
+  rate, with none of CG's superlinear spectrum adaptation;
+* monitoring convergence still needs an occasional residual norm -- one
+  reduction every ``check_every`` iterations, amortizable at will.
+
+Implemented in the standard three-term form (Saad, Alg. 12.1); the same
+recurrence powers :class:`repro.precond.polynomial.ChebyshevPolyPrecond`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.results import CGResult, StopReason
+from repro.core.stopping import StoppingCriterion
+from repro.sparse.linop import as_operator
+from repro.util.counters import add_axpy
+from repro.util.kernels import norm
+from repro.util.validation import (
+    as_1d_float_array,
+    check_square_operator,
+    require_positive_int,
+)
+
+__all__ = ["chebyshev_iteration"]
+
+
+def chebyshev_iteration(
+    a: Any,
+    b: np.ndarray,
+    bounds: tuple[float, float],
+    *,
+    x0: np.ndarray | None = None,
+    stop: StoppingCriterion | None = None,
+    check_every: int = 1,
+) -> CGResult:
+    """Solve the SPD system ``A x = b`` by Chebyshev iteration.
+
+    Parameters
+    ----------
+    a, b, x0, stop:
+        As in :func:`repro.core.conjugate_gradient`.
+    bounds:
+        Enclosing spectrum estimates ``(λmin, λmax)``; use
+        :func:`repro.core.lanczos.estimate_spectrum_via_cg` or Gershgorin.
+    check_every:
+        Residual-norm (reduction!) frequency.  ``1`` checks every
+        iteration; larger values amortize the solver's only inner product
+        -- the knob that makes the method reduction-free in the limit.
+
+    Returns
+    -------
+    CGResult
+        ``lambdas`` records the per-step scaling ``2ρ_{j+1}/δ``;
+        ``residual_norms`` has one entry per *check*.
+    """
+    op = as_operator(a)
+    b = as_1d_float_array(b, "b")
+    n = check_square_operator(op, b.shape[0])
+    stop = stop or StoppingCriterion()
+    check_every = require_positive_int(check_every, "check_every")
+    lam_min, lam_max = float(bounds[0]), float(bounds[1])
+    if not (0.0 < lam_min < lam_max < float("inf")):
+        raise ValueError(f"bounds must satisfy 0 < lam_min < lam_max, got {bounds}")
+
+    theta = 0.5 * (lam_max + lam_min)
+    delta = 0.5 * (lam_max - lam_min)
+    sigma1 = theta / delta
+
+    x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
+    b_norm = norm(b)
+    r = b - op.matvec(x)
+    res_norms = [norm(r)]
+    lambdas: list[float] = []
+
+    reason = StopReason.MAX_ITER
+    iterations = 0
+    if stop.is_met(res_norms[0], b_norm):
+        reason = StopReason.CONVERGED
+    else:
+        rho = 1.0 / sigma1
+        d = r / theta
+        add_axpy(n, flops_per_entry=1)
+        budget = stop.budget(n)
+        while iterations < budget:
+            x += d
+            add_axpy(n, flops_per_entry=1)
+            iterations += 1
+            r = b - op.matvec(x)  # fresh residual (robust form)
+            add_axpy(n)
+            if iterations % check_every == 0 or iterations >= budget:
+                res_norms.append(norm(r))
+                if stop.is_met(res_norms[-1], b_norm):
+                    reason = StopReason.CONVERGED
+                    break
+                if not np.isfinite(res_norms[-1]) or res_norms[-1] > 1e8 * max(
+                    res_norms[0], b_norm
+                ):
+                    reason = StopReason.BREAKDOWN
+                    break
+            rho_next = 1.0 / (2.0 * sigma1 - rho)
+            lambdas.append(2.0 * rho_next / delta)
+            d = rho_next * rho * d + (2.0 * rho_next / delta) * r
+            add_axpy(n, flops_per_entry=4)
+            rho = rho_next
+
+    return CGResult(
+        x=x,
+        converged=reason is StopReason.CONVERGED,
+        stop_reason=reason,
+        iterations=iterations,
+        residual_norms=res_norms,
+        alphas=[],
+        lambdas=lambdas,
+        true_residual_norm=norm(b - op.matvec(x)),
+        label=f"chebyshev(check={check_every})",
+    )

@@ -1,0 +1,113 @@
+"""Chronopoulos--Gear CG (1989): the field's rediscovery of ``k = 0``.
+
+Six years after the paper, Chronopoulos and Gear published a CG variant
+whose two inner products -- ``(r, r)`` and ``(r, Ar)`` -- are computed on
+the *same* vector and can therefore share one combined reduction
+(one synchronization point per iteration instead of two), with ``(p, Ap)``
+obtained by a scalar recurrence::
+
+    σn = (r, Ar)n − (βn²/λn−1) · (r, r)n−1 ... equivalently
+    λn = rrn / (rArn − (βn/λn−1)·rrn)
+
+Structurally this is exactly the Van Rosendale moment machinery at window
+``k = 0``: one moment (``σ₁``) recurred, the rest direct.  It is included
+as the historical baseline the equivalence and depth experiments compare
+against -- its recurrence depth sits between classical CG (two serial
+fan-ins) and the full look-ahead restructuring (none on the cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.results import CGResult, StopReason
+from repro.core.stopping import StoppingCriterion
+from repro.sparse.linop import as_operator
+from repro.util.kernels import axpy, dot, norm
+from repro.util.validation import as_1d_float_array, check_square_operator
+
+__all__ = ["chronopoulos_gear_cg"]
+
+
+def chronopoulos_gear_cg(
+    a: Any,
+    b: np.ndarray,
+    *,
+    x0: np.ndarray | None = None,
+    stop: StoppingCriterion | None = None,
+) -> CGResult:
+    """Solve the SPD system by Chronopoulos--Gear CG.
+
+    Per iteration: one matvec (``w = Ar``), two *simultaneous* inner
+    products ``(r,r)`` and ``(r,w)``, and recurrences for everything else.
+    """
+    op = as_operator(a)
+    b = as_1d_float_array(b, "b")
+    n = check_square_operator(op, b.shape[0])
+    stop = stop or StoppingCriterion()
+
+    x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
+    b_norm = norm(b)
+    r = b - op.matvec(x)
+    w = op.matvec(r)
+    rr = dot(r, r, label="fused_dot")
+    rar = dot(r, w, label="fused_dot")
+    res_norms = [float(np.sqrt(max(rr, 0.0)))]
+    alphas: list[float] = []
+    lambdas: list[float] = []
+
+    p = np.zeros(n)
+    s = np.zeros(n)  # s = A p
+    lam = 0.0
+    beta = 0.0
+
+    reason = StopReason.MAX_ITER
+    iterations = 0
+    if stop.is_met(res_norms[0], b_norm):
+        reason = StopReason.CONVERGED
+    else:
+        for it in range(stop.budget(n)):
+            if it == 0:
+                beta = 0.0
+                if rar <= 0.0:
+                    reason = StopReason.BREAKDOWN
+                    break
+                lam = rr / rar
+            else:
+                beta = rr / rr_prev
+                denom = rar - (beta / lam) * rr
+                if denom <= 0.0:
+                    reason = StopReason.BREAKDOWN
+                    break
+                lam = rr / denom
+                alphas.append(beta)
+            lambdas.append(lam)
+
+            axpy(beta, p, r, out=p)  # p = r + beta p
+            axpy(beta, s, w, out=s)  # s = w + beta s = A p
+            axpy(lam, p, x, out=x)
+            axpy(-lam, s, r, out=r)
+            iterations += 1
+
+            w = op.matvec(r)
+            rr_prev = rr
+            rr = dot(r, r, label="fused_dot")
+            rar = dot(r, w, label="fused_dot")
+            res_norms.append(float(np.sqrt(max(rr, 0.0))))
+            if stop.is_met(res_norms[-1], b_norm):
+                reason = StopReason.CONVERGED
+                break
+
+    return CGResult(
+        x=x,
+        converged=reason is StopReason.CONVERGED,
+        stop_reason=reason,
+        iterations=iterations,
+        residual_norms=res_norms,
+        alphas=alphas,
+        lambdas=lambdas,
+        true_residual_norm=norm(b - op.matvec(x)),
+        label="chronopoulos-gear-cg",
+    )

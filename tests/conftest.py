@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite.
+
+Matrices and right-hand sides used across many test modules; all seeded
+through :mod:`repro.util.rng` so failures are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import from_dense
+from repro.sparse.generators import banded_spd, poisson1d, poisson2d
+from repro.util.rng import default_rng, spd_test_matrix
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator, fresh per test."""
+    return default_rng(1234)
+
+
+@pytest.fixture
+def small_spd_dense() -> np.ndarray:
+    """A 24x24 well-conditioned dense SPD matrix."""
+    return spd_test_matrix(24, cond=20.0, seed=7)
+
+
+@pytest.fixture
+def small_spd_csr(small_spd_dense):
+    """CSR view of :func:`small_spd_dense`."""
+    return from_dense(small_spd_dense)
+
+
+@pytest.fixture
+def poisson_small():
+    """100x100 2-D Poisson matrix (5-point)."""
+    return poisson2d(10)
+
+
+@pytest.fixture
+def poisson_line():
+    """64x64 1-D Poisson matrix."""
+    return poisson1d(64)
+
+
+@pytest.fixture
+def banded_small():
+    """120x120 banded random SPD matrix."""
+    return banded_spd(120, 3, seed=11)
+
+
+@pytest.fixture
+def rhs(rng):
+    """Right-hand-side factory: ``rhs(n)`` gives a deterministic vector."""
+
+    def make(n: int) -> np.ndarray:
+        return default_rng(n * 7 + 1).standard_normal(n)
+
+    return make

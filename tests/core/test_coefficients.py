@@ -1,0 +1,235 @@
+"""Unit tests for the composed (*) coefficient machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coefficients import (
+    composed_numeric,
+    composed_symbolic,
+    inexact_rows,
+    mu_index,
+    nu_index,
+    one_step_matrix_numeric,
+    one_step_matrix_symbolic,
+    reachable_indices,
+    sigma_index,
+    star_coefficients_numeric,
+    star_coefficients_symbolic,
+    state_size,
+)
+from repro.core.moments import MomentWindow
+from repro.util.rng import default_rng, spd_test_matrix
+
+
+def window_direct(a, r, p, k):
+    def mom(u, v, i):
+        w = v.copy()
+        for _ in range(i):
+            w = a @ w
+        return float(u @ w)
+
+    return MomentWindow(
+        k=k,
+        mu=np.array([mom(r, r, i) for i in range(2 * k + 1)]),
+        nu=np.array([mom(r, p, i) for i in range(2 * k + 2)]),
+        sigma=np.array([mom(p, p, i) for i in range(2 * k + 3)]),
+    )
+
+
+class TestLayout:
+    def test_indices_partition_state(self):
+        w = 2
+        all_idx = (
+            [mu_index(w, i) for i in range(2 * w + 1)]
+            + [nu_index(w, i) for i in range(2 * w + 2)]
+            + [sigma_index(w, i) for i in range(2 * w + 3)]
+        )
+        assert sorted(all_idx) == list(range(state_size(w)))
+
+    def test_out_of_window_raises(self):
+        with pytest.raises(IndexError):
+            mu_index(1, 3)
+        with pytest.raises(IndexError):
+            nu_index(1, 4)
+        with pytest.raises(IndexError):
+            sigma_index(1, 5)
+
+    def test_inexact_rows(self):
+        rows = inexact_rows(1)
+        assert nu_index(1, 3) in rows
+        assert sigma_index(1, 3) in rows
+        assert sigma_index(1, 4) in rows
+
+
+class TestOneStepMatrix:
+    def test_matches_window_advance(self):
+        """T(lam, alpha) @ stacked state == the MomentWindow recurrences on
+        the exact rows."""
+        k = 2
+        a = spd_test_matrix(8, seed=31)
+        rng = default_rng(32)
+        r, p = rng.standard_normal(8), rng.standard_normal(8)
+        win = window_direct(a, r, p, k)
+        lam, alpha = 0.4, 0.7
+        t = one_step_matrix_numeric(k, lam, alpha)
+        advanced_vec = t @ win.stacked()
+
+        r_new = r - lam * (a @ p)
+        p_new = r_new + alpha * p
+        win_new = window_direct(a, r_new, p_new, k)
+
+        for i in range(2 * k + 1):
+            assert advanced_vec[mu_index(k, i)] == pytest.approx(win_new.mu[i], rel=1e-8)
+            assert advanced_vec[nu_index(k, i)] == pytest.approx(win_new.nu[i], rel=1e-8)
+            assert advanced_vec[sigma_index(k, i)] == pytest.approx(
+                win_new.sigma[i], rel=1e-8
+            )
+
+    def test_inexact_rows_are_zero(self):
+        t = one_step_matrix_numeric(2, 0.5, 0.5)
+        for row in inexact_rows(2):
+            assert not t[row].any()
+
+    def test_symbolic_numeric_agree(self):
+        w = 1
+        lam, alpha = 0.9, 0.2
+        sym = one_step_matrix_symbolic(w, "l", "a")
+        num = one_step_matrix_numeric(w, lam, alpha)
+        evaluated = np.array(sym.evaluate({"l": lam, "a": alpha}))
+        np.testing.assert_allclose(evaluated, num, rtol=1e-14)
+
+
+class TestReachability:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_mu0_row_avoids_direct_fed_rows(self, k):
+        """Proof obligation: composing k exact steps from mu0 never routes
+        through the rows that need direct inner products."""
+        w = k
+        bad = set(inexact_rows(w))
+        frontier = {mu_index(w, 0)}
+        for _ in range(k):
+            assert not (frontier & bad)
+            nxt = set()
+            for row in frontier:
+                nxt |= reachable_indices(w, row, 1)
+            frontier = nxt
+        # final reads are base VALUES -- allowed to touch any index
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_sigma1_row_avoids_direct_fed_rows(self, k):
+        w = k
+        bad = set(inexact_rows(w))
+        frontier = {sigma_index(w, 1)}
+        for step in range(k):
+            assert not (frontier & bad), f"hit direct-fed row at step {step}"
+            nxt = set()
+            for row in frontier:
+                nxt |= reachable_indices(w, row, 1)
+            frontier = nxt
+
+    def test_reachable_growth_is_two_per_step(self):
+        w = 4
+        reach = reachable_indices(w, mu_index(w, 0), 2)
+        max_sigma = max(
+            (i for i in range(2 * w + 3) if sigma_index(w, i) in reach), default=0
+        )
+        assert max_sigma == 4  # 2 steps * 2 orders
+
+
+class TestComposition:
+    def test_composed_equals_iterated(self):
+        w = 3
+        rng = default_rng(41)
+        lams = rng.uniform(0.1, 1.0, 3)
+        alphas = rng.uniform(0.1, 1.0, 3)
+        composed = composed_numeric(w, lams, alphas)
+        state = rng.standard_normal(state_size(w))
+        via_composed = composed @ state
+        via_steps = state.copy()
+        for lam, alpha in zip(lams, alphas):
+            via_steps = one_step_matrix_numeric(w, lam, alpha) @ via_steps
+        np.testing.assert_allclose(via_composed, via_steps, rtol=1e-12)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            composed_numeric(2, [0.1], [0.1, 0.2])
+
+    def test_symbolic_composition_shape(self):
+        m = composed_symbolic(2)
+        assert m.shape == (state_size(3), state_size(3))
+
+
+class TestStarCoefficients:
+    def test_predicts_cg_run(self, small_spd_dense, rhs):
+        """(*) with recorded CG parameters reproduces (r^n, r^n)."""
+        from repro.core.standard import conjugate_gradient
+        from repro.core.stopping import StoppingCriterion
+
+        a = small_spd_dense
+        b = rhs(24)
+        res = conjugate_gradient(a, b, stop=StoppingCriterion(rtol=1e-30, max_iter=12))
+
+        # reconstruct vectors
+        x = np.zeros(24)
+        r = b.copy()
+        p = r.copy()
+        rs, ps = [r.copy()], [p.copy()]
+        for j, lam in enumerate(res.lambdas):
+            r = r - lam * (a @ p)
+            rs.append(r.copy())
+            if j < len(res.alphas):
+                p = r + res.alphas[j] * p
+                ps.append(p.copy())
+
+        k, m = 2, 1
+        win = window_direct(a, rs[m], ps[m], k + 1)
+        sc = star_coefficients_numeric(
+            res.lambdas[m : m + k], res.alphas[m : m + k], target="mu0"
+        )
+        pred = sc.evaluate(win.mu, win.nu, win.sigma)
+        actual = float(rs[m + k] @ rs[m + k])
+        assert pred == pytest.approx(actual, rel=1e-9)
+
+    def test_coefficients_vanish_beyond_2k(self):
+        rng = default_rng(51)
+        for k in (1, 2, 3):
+            sc = star_coefficients_numeric(
+                rng.uniform(0.1, 1, k), rng.uniform(0.1, 1, k), target="mu0"
+            )
+            assert sc.a[2 * k + 1 :] == (0.0,) * len(sc.a[2 * k + 1 :])
+            assert all(c == 0.0 for c in sc.b[2 * k + 1 :])
+            assert all(c == 0.0 for c in sc.c[2 * k + 1 :])
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    @pytest.mark.parametrize("target", ["mu0", "sigma1"])
+    def test_symbolic_degrees_at_most_two(self, k, target):
+        """Claim C4, verified exactly over the integer polynomial ring."""
+        sc = star_coefficients_symbolic(k, target=target)
+        degs = sc.max_degree_per_variable()
+        assert degs, "coefficients unexpectedly constant"
+        assert max(degs.values()) <= 2
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_mu0_target_is_alpha_n_free(self, k):
+        sc = star_coefficients_symbolic(k, target="mu0")
+        assert f"a{k}" not in sc.max_degree_per_variable()
+
+    def test_sigma1_target_uses_alpha_n(self):
+        sc = star_coefficients_symbolic(2, target="sigma1")
+        assert "a2" in sc.max_degree_per_variable()
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            star_coefficients_numeric([0.1], [0.1], target="nope")
+        with pytest.raises(ValueError):
+            star_coefficients_symbolic(1, target="nope")
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            star_coefficients_numeric([], [])
+
+    def test_num_nonzero_counts(self):
+        sc = star_coefficients_numeric([0.5], [0.5])
+        assert 0 < sc.num_nonzero() <= len(sc.a) + len(sc.b) + len(sc.c)

@@ -1,0 +1,107 @@
+"""Unit tests for Krylov basis construction and conditioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.krylov import (
+    basis_condition,
+    chebyshev_basis,
+    gram_matrix,
+    monomial_basis,
+    newton_basis,
+)
+from repro.sparse.generators import poisson1d, poisson2d
+from repro.sparse.stats import estimate_extreme_eigenvalues
+from repro.util.rng import default_rng, spd_test_matrix
+
+
+@pytest.fixture
+def setup():
+    a = poisson2d(8)
+    v = default_rng(3).standard_normal(a.nrows)
+    lo, hi = estimate_extreme_eigenvalues(a)
+    return a, v, lo, hi
+
+
+class TestConstruction:
+    def test_monomial_columns(self, setup):
+        a, v, _, _ = setup
+        basis = monomial_basis(a, v, 4)
+        np.testing.assert_allclose(basis[:, 0], v)
+        np.testing.assert_allclose(basis[:, 1], a.matvec(v), rtol=1e-12)
+        np.testing.assert_allclose(
+            basis[:, 3], a.matvec(a.matvec(a.matvec(v))), rtol=1e-12
+        )
+
+    def test_chebyshev_satisfies_recurrence(self, setup):
+        a, v, lo, hi = setup
+        basis = chebyshev_basis(a, v, 5, lo, hi)
+        theta, delta = hi + lo, hi - lo
+        for j in range(2, 5):
+            hat = (2.0 * a.matvec(basis[:, j - 1]) - theta * basis[:, j - 1]) / delta
+            np.testing.assert_allclose(
+                basis[:, j], 2.0 * hat - basis[:, j - 2], rtol=1e-10
+            )
+
+    def test_chebyshev_spans_same_space(self, setup):
+        """Chebyshev and monomial bases span the same Krylov space."""
+        a, v, lo, hi = setup
+        m = monomial_basis(a, v, 4)
+        c = chebyshev_basis(a, v, 4, lo, hi)
+        # every chebyshev column is a combination of monomial columns
+        coeffs, residuals, rank, _ = np.linalg.lstsq(m, c, rcond=None)
+        np.testing.assert_allclose(m @ coeffs, c, atol=1e-8)
+
+    def test_newton_columns(self, setup):
+        a, v, _, _ = setup
+        shifts = np.array([1.0, 2.0, 3.0])
+        basis = newton_basis(a, v, 4, shifts)
+        np.testing.assert_allclose(
+            basis[:, 1], a.matvec(v) - 1.0 * v, rtol=1e-12
+        )
+
+    def test_newton_needs_enough_shifts(self, setup):
+        a, v, _, _ = setup
+        with pytest.raises(ValueError, match="shifts"):
+            newton_basis(a, v, 5, np.array([1.0]))
+
+    def test_chebyshev_bad_bounds(self, setup):
+        a, v, _, _ = setup
+        with pytest.raises(ValueError):
+            chebyshev_basis(a, v, 3, 2.0, 2.0)
+
+
+class TestConditioning:
+    def test_orthogonal_basis_condition_one(self):
+        q, _ = np.linalg.qr(default_rng(1).standard_normal((20, 5)))
+        assert basis_condition(q) == pytest.approx(1.0, rel=1e-8)
+
+    def test_rank_deficient_is_inf(self):
+        b = np.ones((10, 3))  # identical columns
+        assert basis_condition(b) == float("inf")
+
+    def test_monomial_conditioning_explodes(self, setup):
+        """The quantitative driver behind E7b: geometric growth."""
+        a, v, _, _ = setup
+        conds = [basis_condition(monomial_basis(a, v, s)) for s in (2, 4, 8, 12)]
+        assert conds[-1] > 1e8
+        assert all(c2 > c1 for c1, c2 in zip(conds, conds[1:]))
+
+    def test_chebyshev_conditions_far_better(self, setup):
+        a, v, lo, hi = setup
+        s = 12
+        mono = basis_condition(monomial_basis(a, v, s))
+        cheb = basis_condition(chebyshev_basis(a, v, s, lo, hi))
+        assert cheb < mono / 100.0
+
+    def test_gram_matrix_is_spd_for_full_rank(self, setup):
+        a, v, lo, hi = setup
+        g = gram_matrix(chebyshev_basis(a, v, 6, lo, hi))
+        w = np.linalg.eigvalsh(g)
+        assert w.min() > 0
+
+    def test_gram_requires_2d(self):
+        with pytest.raises(ValueError):
+            gram_matrix(np.ones(5))

@@ -1,0 +1,121 @@
+"""Unit tests for the CG--Lanczos spectrum estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lanczos import (
+    estimate_spectrum_via_cg,
+    lanczos_tridiagonal,
+    ritz_values,
+)
+from repro.core.standard import conjugate_gradient
+from repro.core.stopping import StoppingCriterion
+from repro.core.vr_cg import vr_conjugate_gradient
+from repro.sparse.generators import poisson1d, poisson2d
+from repro.util.rng import default_rng, spd_test_matrix
+from repro.variants.sstep import sstep_cg
+
+
+def cg_history(a, b, iters):
+    res = conjugate_gradient(
+        a, b, stop=StoppingCriterion(rtol=1e-300, atol=1e-300, max_iter=iters)
+    )
+    return res.lambdas, res.alphas
+
+
+class TestTridiagonal:
+    def test_shape_and_symmetry(self, poisson_small, rhs):
+        lams, alphas = cg_history(poisson_small, rhs(poisson_small.nrows), 8)
+        t = lanczos_tridiagonal(lams, alphas)
+        assert t.shape == (8, 8)
+        np.testing.assert_allclose(t, t.T)
+
+    def test_is_tridiagonal(self, poisson_small, rhs):
+        lams, alphas = cg_history(poisson_small, rhs(poisson_small.nrows), 6)
+        t = lanczos_tridiagonal(lams, alphas)
+        mask = np.abs(np.subtract.outer(np.arange(6), np.arange(6))) > 1
+        assert np.all(t[mask] == 0.0)
+
+    def test_one_step(self):
+        # single step: T = [[1/lam0]], the Rayleigh quotient inverse
+        t = lanczos_tridiagonal([0.5], [])
+        assert t[0, 0] == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lanczos_tridiagonal([], [])
+        with pytest.raises(ValueError):
+            lanczos_tridiagonal([0.5, 0.5], [])  # too few alphas
+        with pytest.raises(ValueError):
+            lanczos_tridiagonal([-0.5], [])
+
+
+class TestRitzValues:
+    def test_full_run_recovers_spectrum(self):
+        """After n steps on an n-dim system the Ritz values ARE the
+        eigenvalues (exact arithmetic; small well-conditioned case)."""
+        a = spd_test_matrix(8, cond=10.0, seed=3)
+        b = default_rng(4).standard_normal(8)
+        lams, alphas = cg_history(a, b, 8)
+        ritz = ritz_values(lams, alphas)
+        np.testing.assert_allclose(
+            ritz, np.linalg.eigvalsh(a), rtol=1e-6
+        )
+
+    def test_ritz_inside_spectrum(self):
+        a = poisson1d(50)
+        b = default_rng(5).standard_normal(50)
+        lams, alphas = cg_history(a, b, 10)
+        ritz = ritz_values(lams, alphas)
+        w = np.linalg.eigvalsh(a.todense())
+        assert ritz[0] >= w[0] - 1e-10
+        assert ritz[-1] <= w[-1] + 1e-10
+
+    def test_extremes_converge_quickly(self):
+        a = poisson2d(10)
+        b = default_rng(6).standard_normal(a.nrows)
+        lams, alphas = cg_history(a, b, 20)
+        ritz = ritz_values(lams, alphas)
+        w = np.linalg.eigvalsh(a.todense())
+        assert ritz[-1] == pytest.approx(w[-1], rel=0.05)
+
+    def test_vr_history_gives_same_ritz(self, poisson_small, rhs):
+        """The VR solver's scalar history carries the same spectral
+        information as classical CG's."""
+        b = rhs(poisson_small.nrows)
+        stop = StoppingCriterion(rtol=1e-300, atol=1e-300, max_iter=8)
+        ref = conjugate_gradient(poisson_small, b, stop=stop)
+        vr = vr_conjugate_gradient(poisson_small, b, k=1, stop=stop)
+        r1 = ritz_values(ref.lambdas, ref.alphas)
+        r2 = ritz_values(vr.lambdas, vr.alphas)
+        np.testing.assert_allclose(r1, r2, rtol=1e-6)
+
+
+class TestSpectrumEstimation:
+    def test_bounds_enclose_spectrum_extremes_seen(self):
+        a = poisson2d(12)
+        b = default_rng(7).standard_normal(a.nrows)
+        lo, hi = estimate_spectrum_via_cg(a, b, iterations=15)
+        w = np.linalg.eigvalsh(a.todense())
+        assert lo < w[-1]  # sane ordering
+        assert hi > 0.9 * w[-1]  # top is well captured
+
+    def test_feeds_chebyshev_sstep(self):
+        """The practical loop: CG burn-in -> bounds -> stable s-step."""
+        a = poisson2d(12)
+        b = default_rng(8).standard_normal(a.nrows)
+        bounds = estimate_spectrum_via_cg(a, b, iterations=12)
+        res = sstep_cg(
+            a, b, s=8, basis="chebyshev", spectrum_bounds=bounds,
+            stop=StoppingCriterion(rtol=1e-8, max_iter=2000),
+        )
+        assert res.converged
+
+    def test_validation(self):
+        a = spd_test_matrix(6)
+        with pytest.raises(ValueError):
+            estimate_spectrum_via_cg(a, np.ones(6), iterations=0)
+        with pytest.raises(ValueError):
+            estimate_spectrum_via_cg(a, np.ones(6), safety=0.5)

@@ -1,0 +1,196 @@
+"""Unit and property tests for the moment window recurrences.
+
+The central correctness property: one step of the scalar recurrences must
+agree with moments computed directly from the updated vectors -- for
+arbitrary SPD matrices, residuals, directions and CG parameters, not just
+ones arising in actual CG runs (the recurrences are algebraic identities
+in (A, r, p, lam, alpha)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.moments import (
+    MomentWindow,
+    direct_moment,
+    initial_window,
+    window_from_powers,
+)
+from repro.util.rng import default_rng, spd_test_matrix
+
+
+def powers_of(a: np.ndarray, v: np.ndarray, count: int) -> np.ndarray:
+    out = np.empty((count, v.size))
+    out[0] = v
+    for i in range(1, count):
+        out[i] = a @ out[i - 1]
+    return out
+
+
+def window_direct(a: np.ndarray, r: np.ndarray, p: np.ndarray, k: int) -> MomentWindow:
+    """Oracle: every moment computed by explicit matrix powers."""
+    def mom(u, v, i):
+        w = v.copy()
+        for _ in range(i):
+            w = a @ w
+        return float(u @ w)
+
+    return MomentWindow(
+        k=k,
+        mu=np.array([mom(r, r, i) for i in range(2 * k + 1)]),
+        nu=np.array([mom(r, p, i) for i in range(2 * k + 2)]),
+        sigma=np.array([mom(p, p, i) for i in range(2 * k + 3)]),
+    )
+
+
+CASES = st.tuples(
+    st.integers(0, 3),  # k
+    st.integers(4, 10),  # n
+    st.integers(0, 500),  # seed
+    st.floats(0.05, 2.0),  # lam
+    st.floats(0.01, 3.0),  # alpha
+)
+
+
+class TestValidation:
+    def test_window_shape_checks(self):
+        with pytest.raises(ValueError, match="mu"):
+            MomentWindow(k=1, mu=np.zeros(2), nu=np.zeros(4), sigma=np.zeros(5))
+        with pytest.raises(ValueError, match="nu"):
+            MomentWindow(k=1, mu=np.zeros(3), nu=np.zeros(3), sigma=np.zeros(5))
+        with pytest.raises(ValueError, match="sigma"):
+            MomentWindow(k=1, mu=np.zeros(3), nu=np.zeros(4), sigma=np.zeros(4))
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            MomentWindow(k=-1, mu=np.zeros(1), nu=np.zeros(2), sigma=np.zeros(3))
+
+    def test_state_size(self):
+        w = MomentWindow(k=2, mu=np.zeros(5), nu=np.zeros(6), sigma=np.zeros(7))
+        assert w.state_size == 18
+        assert w.stacked().size == 18
+
+    def test_scalars(self):
+        w = MomentWindow(
+            k=0, mu=np.array([4.0]), nu=np.array([4.0, 1.0]), sigma=np.array([4.0, 2.0, 1.0])
+        )
+        assert w.rr == 4.0
+        assert w.pap == 2.0
+        assert w.lam() == pytest.approx(2.0)
+
+
+class TestDirectMoment:
+    def test_splitting_identity(self):
+        a = spd_test_matrix(8, seed=3)
+        r = default_rng(1).standard_normal(8)
+        pw = powers_of(a, r, 4)
+        for i in range(6):
+            expected = float(r @ np.linalg.matrix_power(a, i) @ r)
+            assert direct_moment(pw, pw, i) == pytest.approx(expected, rel=1e-9)
+
+    def test_insufficient_powers(self):
+        pw = np.zeros((2, 4))
+        with pytest.raises(ValueError, match="powers"):
+            direct_moment(pw, pw, 5)
+
+
+class TestStartupWindows:
+    def test_initial_window_matches_oracle(self):
+        k = 2
+        a = spd_test_matrix(9, seed=4)
+        r = default_rng(5).standard_normal(9)
+        pw = powers_of(a, r, k + 2)
+        win = initial_window(k, pw)
+        oracle = window_direct(a, r, r, k)
+        np.testing.assert_allclose(win.mu, oracle.mu, rtol=1e-9)
+        np.testing.assert_allclose(win.nu, oracle.nu, rtol=1e-9)
+        np.testing.assert_allclose(win.sigma, oracle.sigma, rtol=1e-9)
+
+    def test_initial_window_needs_enough_powers(self):
+        with pytest.raises(ValueError):
+            initial_window(3, np.zeros((3, 5)))
+
+    def test_window_from_powers_matches_oracle(self):
+        k = 1
+        a = spd_test_matrix(7, seed=6)
+        rng = default_rng(7)
+        r, p = rng.standard_normal(7), rng.standard_normal(7)
+        rp = powers_of(a, r, k + 2)
+        pp = powers_of(a, p, k + 2)
+        win = window_from_powers(k, rp, pp)
+        oracle = window_direct(a, r, p, k)
+        np.testing.assert_allclose(win.mu, oracle.mu, rtol=1e-9)
+        np.testing.assert_allclose(win.nu, oracle.nu, rtol=1e-9)
+        np.testing.assert_allclose(win.sigma, oracle.sigma, rtol=1e-9)
+
+    def test_window_from_powers_validates(self):
+        with pytest.raises(ValueError):
+            window_from_powers(2, np.zeros((2, 4)), np.zeros((4, 4)))
+
+
+class TestOneStepRecurrence:
+    @settings(max_examples=60, deadline=None)
+    @given(CASES)
+    def test_advance_matches_direct(self, case):
+        """The recurrence identity for arbitrary (A, r, p, lam, alpha)."""
+        k, n, seed, lam, alpha = case
+        a = spd_test_matrix(n, cond=10.0, seed=seed)
+        rng = default_rng(seed + 1)
+        r = rng.standard_normal(n)
+        p = rng.standard_normal(n)
+        win = window_direct(a, r, p, k)
+
+        r_new = r - lam * (a @ p)
+        p_new = r_new + alpha * p
+        oracle_new = window_direct(a, r_new, p_new, k)
+
+        advanced = win.advanced(
+            lam,
+            alpha,
+            mu_top_direct=_mom(a, r_new, r_new, 2 * k + 1),
+            sigma_top_direct=_mom(a, p_new, p_new, 2 * k + 2),
+        )
+        np.testing.assert_allclose(advanced.mu, oracle_new.mu, rtol=1e-6, atol=1e-8)
+        np.testing.assert_allclose(advanced.nu, oracle_new.nu, rtol=1e-6, atol=1e-8)
+        np.testing.assert_allclose(advanced.sigma, oracle_new.sigma, rtol=1e-6, atol=1e-8)
+
+    def test_advance_mu_only_needs_lam(self):
+        """advance_mu is alpha-free -- the circularity-breaking fact."""
+        k = 1
+        a = spd_test_matrix(6, seed=9)
+        rng = default_rng(10)
+        r, p = rng.standard_normal(6), rng.standard_normal(6)
+        win = window_direct(a, r, p, k)
+        lam = 0.37
+        mu_new = win.advance_mu(lam)
+        r_new = r - lam * (a @ p)
+        expected = [_mom(a, r_new, r_new, i) for i in range(2 * k + 1)]
+        np.testing.assert_allclose(mu_new, expected, rtol=1e-8)
+
+    def test_advanced_accepts_precomputed_mu(self):
+        k = 0
+        a = spd_test_matrix(5, seed=11)
+        rng = default_rng(12)
+        r, p = rng.standard_normal(5), rng.standard_normal(5)
+        win = window_direct(a, r, p, k)
+        lam, alpha = 0.5, 0.25
+        mu_new = win.advance_mu(lam)
+        r_new = r - lam * (a @ p)
+        p_new = r_new + alpha * p
+        w1 = win.advanced(lam, alpha, _mom(a, r_new, r_new, 1), _mom(a, p_new, p_new, 2))
+        w2 = win.advanced(
+            lam, alpha, _mom(a, r_new, r_new, 1), _mom(a, p_new, p_new, 2),
+            mu_new_body=mu_new,
+        )
+        np.testing.assert_array_equal(w1.sigma, w2.sigma)
+
+
+def _mom(a: np.ndarray, u: np.ndarray, v: np.ndarray, i: int) -> float:
+    w = v.copy()
+    for _ in range(i):
+        w = a @ w
+    return float(u @ w)

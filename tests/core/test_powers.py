@@ -1,0 +1,131 @@
+"""Unit tests for the Krylov power block."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.powers import PowerBlock
+from repro.sparse.linop import DenseOperator
+from repro.util.counters import counting
+from repro.util.rng import default_rng, spd_test_matrix
+
+
+@pytest.fixture
+def setup():
+    a = spd_test_matrix(10, cond=8.0, seed=21)
+    op = DenseOperator(a)
+    r0 = default_rng(22).standard_normal(10)
+    return a, op, r0
+
+
+def explicit_powers(a, v, count):
+    out = [v.copy()]
+    for _ in range(count - 1):
+        out.append(a @ out[-1])
+    return np.array(out)
+
+
+class TestStartup:
+    def test_powers_correct(self, setup):
+        a, op, r0 = setup
+        k = 2
+        blk = PowerBlock.startup(op, r0, k)
+        np.testing.assert_allclose(
+            blk.r_powers, explicit_powers(a, r0, k + 2), rtol=1e-10
+        )
+        np.testing.assert_allclose(
+            blk.p_powers, explicit_powers(a, r0, k + 3), rtol=1e-10
+        )
+
+    def test_matvec_count(self, setup):
+        _, op, r0 = setup
+        with counting() as c:
+            PowerBlock.startup(op, r0, 3)
+        assert c.matvecs == 3 + 2  # k+1 r-powers + 1 top p-power
+
+    def test_k_zero(self, setup):
+        a, op, r0 = setup
+        blk = PowerBlock.startup(op, r0, 0)
+        assert blk.r_powers.shape == (2, 10)
+        assert blk.p_powers.shape == (3, 10)
+
+    def test_views(self, setup):
+        _, op, r0 = setup
+        blk = PowerBlock.startup(op, r0, 1)
+        np.testing.assert_array_equal(blk.r, r0)
+        np.testing.assert_array_equal(blk.p, r0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PowerBlock(k=1, r_powers=np.zeros((2, 4)), p_powers=np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            PowerBlock(k=1, r_powers=np.zeros((3, 4)), p_powers=np.zeros((3, 4)))
+
+
+class TestRebuild:
+    def test_keeps_direction(self, setup):
+        a, op, r0 = setup
+        p = default_rng(23).standard_normal(10)
+        blk = PowerBlock.rebuild(op, r0, p, 1)
+        np.testing.assert_array_equal(blk.p, p)
+        np.testing.assert_allclose(blk.p_powers, explicit_powers(a, p, 4), rtol=1e-10)
+
+    def test_matvec_count(self, setup):
+        _, op, r0 = setup
+        p = r0.copy()
+        with counting() as c:
+            PowerBlock.rebuild(op, r0, p, 2)
+        assert c.matvecs == 2 * 2 + 3  # (k+1) + (k+2)
+
+
+class TestAdvance:
+    def test_advance_matches_explicit(self, setup):
+        """After advance_r/advance_p the block holds powers of the updated
+        vectors -- the claim C5 identity."""
+        a, op, r0 = setup
+        k = 2
+        lam, alpha = 0.31, 0.66
+        blk = PowerBlock.startup(op, r0, k)
+        blk.advance_r(lam)
+        r1 = r0 - lam * (a @ r0)  # p0 = r0
+        np.testing.assert_allclose(
+            blk.r_powers, explicit_powers(a, r1, k + 2), rtol=1e-8
+        )
+        blk.advance_p(op, alpha)
+        p1 = r1 + alpha * r0
+        np.testing.assert_allclose(
+            blk.p_powers, explicit_powers(a, p1, k + 3), rtol=1e-8
+        )
+
+    def test_one_matvec_per_iteration(self, setup):
+        _, op, r0 = setup
+        blk = PowerBlock.startup(op, r0, 2)
+        with counting() as c:
+            blk.advance_r(0.3)
+            blk.advance_p(op, 0.5)
+        assert c.matvecs == 1
+
+    def test_direct_tops_match_definition(self, setup):
+        a, op, r0 = setup
+        k = 1
+        blk = PowerBlock.startup(op, r0, k)
+        mu_top = blk.direct_mu_top()
+        expected = float(r0 @ np.linalg.matrix_power(a, 2 * k + 1) @ r0)
+        assert mu_top == pytest.approx(expected, rel=1e-9)
+        sigma_top = blk.direct_sigma_top()
+        expected_s = float(r0 @ np.linalg.matrix_power(a, 2 * k + 2) @ r0)
+        assert sigma_top == pytest.approx(expected_s, rel=1e-9)
+
+    def test_direct_tops_labelled(self, setup):
+        _, op, r0 = setup
+        blk = PowerBlock.startup(op, r0, 1)
+        with counting() as c:
+            blk.direct_mu_top()
+            blk.direct_sigma_top()
+        assert c.labelled("direct_dot") == 2
+
+    def test_residual_drift_near_zero_after_startup(self, setup):
+        _, op, r0 = setup
+        blk = PowerBlock.startup(op, r0, 2)
+        assert blk.residual_drift(op) < 1e-12

@@ -1,0 +1,136 @@
+"""Unit tests for classical conjugate gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.results import StopReason
+from repro.core.standard import conjugate_gradient
+from repro.core.stopping import StoppingCriterion
+from repro.sparse.csr import from_dense
+from repro.util.counters import counting
+from repro.util.rng import default_rng, spd_test_matrix
+
+
+class TestConvergence:
+    def test_solves_dense_spd(self, small_spd_dense, rhs):
+        b = rhs(24)
+        res = conjugate_gradient(small_spd_dense, b, stop=StoppingCriterion(rtol=1e-12))
+        assert res.converged
+        np.testing.assert_allclose(
+            small_spd_dense @ res.x, b, rtol=0, atol=1e-9
+        )
+
+    def test_solves_csr(self, poisson_small, rhs):
+        b = rhs(poisson_small.nrows)
+        res = conjugate_gradient(poisson_small, b)
+        assert res.converged
+        assert res.true_residual_norm < 1e-6
+
+    def test_finite_termination_property(self):
+        # exact arithmetic: CG converges in <= n iterations; in floats a
+        # well-conditioned small system still converges in about n
+        a = spd_test_matrix(12, cond=10.0, seed=5)
+        b = default_rng(2).standard_normal(12)
+        res = conjugate_gradient(a, b, stop=StoppingCriterion(rtol=1e-10))
+        assert res.iterations <= 14
+
+    def test_identity_converges_in_one(self):
+        res = conjugate_gradient(np.eye(8), np.ones(8))
+        assert res.iterations == 1
+        np.testing.assert_allclose(res.x, np.ones(8), atol=1e-14)
+
+    def test_zero_rhs_immediate(self):
+        a = spd_test_matrix(6)
+        res = conjugate_gradient(a, np.full(6, 1e-320), stop=StoppingCriterion(rtol=0.5, atol=1e-30))
+        assert res.iterations == 0
+        assert res.converged
+
+    def test_initial_guess_exact(self, small_spd_dense):
+        x_star = default_rng(8).standard_normal(24)
+        b = small_spd_dense @ x_star
+        res = conjugate_gradient(small_spd_dense, b, x0=x_star)
+        assert res.iterations == 0
+        assert res.converged
+
+    def test_initial_guess_nonzero(self, small_spd_dense, rhs):
+        b = rhs(24)
+        x0 = default_rng(4).standard_normal(24)
+        res = conjugate_gradient(small_spd_dense, b, x0=x0)
+        assert res.converged
+        np.testing.assert_allclose(small_spd_dense @ res.x, b, atol=1e-6)
+
+
+class TestDiagnostics:
+    def test_histories_recorded(self, poisson_small, rhs):
+        res = conjugate_gradient(poisson_small, rhs(poisson_small.nrows))
+        assert len(res.lambdas) == res.iterations
+        # converged runs end right after the residual check: one fewer alpha
+        assert len(res.alphas) == res.iterations - 1
+        assert len(res.residual_norms) == res.iterations + 1
+
+    def test_lambda_matches_rayleigh(self, small_spd_dense, rhs):
+        # lambda_0 = (r0,r0)/(r0,Ar0) since p0 = r0
+        b = rhs(24)
+        res = conjugate_gradient(small_spd_dense, b)
+        expected = float(b @ b) / float(b @ (small_spd_dense @ b))
+        assert res.lambdas[0] == pytest.approx(expected, rel=1e-12)
+
+    def test_record_iterates(self, small_spd_dense, rhs):
+        iterates: list[np.ndarray] = []
+        res = conjugate_gradient(
+            small_spd_dense, rhs(24), record_iterates=iterates
+        )
+        assert len(iterates) == res.iterations + 1
+        np.testing.assert_array_equal(iterates[0], np.zeros(24))
+        np.testing.assert_array_equal(iterates[-1], res.x)
+
+    def test_a_norm_error_monotone(self, small_spd_dense, rhs):
+        # the defining property of CG: energy-norm error decreases
+        b = rhs(24)
+        x_star = np.linalg.solve(small_spd_dense, b)
+        iterates: list[np.ndarray] = []
+        conjugate_gradient(small_spd_dense, b, record_iterates=iterates)
+        errs = [
+            float((x - x_star) @ (small_spd_dense @ (x - x_star)))
+            for x in iterates
+        ]
+        assert all(e2 <= e1 * (1 + 1e-10) for e1, e2 in zip(errs, errs[1:]))
+
+    def test_max_iter_reported(self, poisson_small, rhs):
+        res = conjugate_gradient(
+            poisson_small, rhs(poisson_small.nrows),
+            stop=StoppingCriterion(rtol=1e-12, max_iter=3),
+        )
+        assert not res.converged
+        assert res.stop_reason is StopReason.MAX_ITER
+        assert res.iterations == 3
+
+    def test_breakdown_on_indefinite(self):
+        a = np.diag([1.0, -1.0])
+        b = np.array([0.0, 1.0])
+        res = conjugate_gradient(a, b, stop=StoppingCriterion(rtol=1e-14))
+        assert res.stop_reason is StopReason.BREAKDOWN
+
+    def test_work_two_dots_one_matvec_per_iter(self, poisson_small, rhs):
+        with counting() as c:
+            res = conjugate_gradient(poisson_small, rhs(poisson_small.nrows))
+        # matvecs: initial residual + 1/iter + final true-residual check
+        assert c.matvecs == res.iterations + 2
+        # dots: ||b||, (r0,r0), 2/iter, final true norm
+        assert c.dots == 2 * res.iterations + 3
+
+
+class TestValidation:
+    def test_rhs_shape_mismatch(self, small_spd_dense):
+        with pytest.raises(ValueError):
+            conjugate_gradient(small_spd_dense, np.ones(7))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            conjugate_gradient(np.ones((3, 4)), np.ones(3))
+
+    def test_scipy_matrix_accepted(self, poisson_small, rhs):
+        res = conjugate_gradient(poisson_small.to_scipy(), rhs(poisson_small.nrows))
+        assert res.converged

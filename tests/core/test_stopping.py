@@ -1,0 +1,52 @@
+"""Unit tests for stopping criteria."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stopping import StoppingCriterion
+
+
+class TestValidation:
+    def test_defaults(self):
+        s = StoppingCriterion()
+        assert s.rtol > 0 and s.atol == 0.0 and s.max_iter is None
+
+    def test_negative_tol_rejected(self):
+        with pytest.raises(ValueError):
+            StoppingCriterion(rtol=-1.0)
+
+    def test_both_zero_rejected(self):
+        with pytest.raises(ValueError):
+            StoppingCriterion(rtol=0.0, atol=0.0)
+
+    def test_atol_only_ok(self):
+        s = StoppingCriterion(rtol=0.0, atol=1e-12)
+        assert s.threshold(1e6) == 1e-12
+
+    def test_bad_max_iter(self):
+        with pytest.raises(ValueError):
+            StoppingCriterion(max_iter=0)
+
+
+class TestSemantics:
+    def test_threshold_is_max(self):
+        s = StoppingCriterion(rtol=1e-2, atol=1e-6)
+        assert s.threshold(1.0) == 1e-2
+        assert s.threshold(1e-8) == 1e-6
+
+    def test_is_met(self):
+        s = StoppingCriterion(rtol=0.1)
+        assert s.is_met(0.05, 1.0)
+        assert not s.is_met(0.2, 1.0)
+
+    def test_budget_default(self):
+        assert StoppingCriterion().budget(50) == 500
+
+    def test_budget_explicit(self):
+        assert StoppingCriterion(max_iter=7).budget(50) == 7
+
+    def test_frozen(self):
+        s = StoppingCriterion()
+        with pytest.raises(AttributeError):
+            s.rtol = 1.0

@@ -1,0 +1,87 @@
+"""Unit tests for the simulated communicator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.comm import SimComm
+
+
+class TestAllreduce:
+    def test_sums_partials(self):
+        comm = SimComm(3)
+        assert comm.allreduce([1.0, 2.0, 3.0]) == pytest.approx(6.0)
+
+    def test_vector_payloads(self):
+        comm = SimComm(2)
+        out = comm.allreduce(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        np.testing.assert_allclose(out, [4.0, 6.0])
+
+    def test_books_blocking(self):
+        comm = SimComm(2)
+        comm.allreduce([1.0, 1.0])
+        assert comm.stats.blocking_allreduces == 1
+        assert comm.stats.words_reduced == 1
+
+    def test_wrong_rank_count(self):
+        comm = SimComm(4)
+        with pytest.raises(ValueError):
+            comm.allreduce([1.0, 2.0])
+
+
+class TestIallreduce:
+    def test_hidden_when_latency_elapsed(self):
+        comm = SimComm(2, reduction_latency=3)
+        h = comm.iallreduce([1.0, 2.0])
+        for _ in range(3):
+            comm.advance_iteration()
+        assert h.ready
+        assert h.wait() == pytest.approx(3.0)
+        assert comm.stats.hidden_allreduces == 1
+        assert comm.stats.forced_waits == 0
+
+    def test_forced_wait_when_early(self):
+        comm = SimComm(2, reduction_latency=3)
+        h = comm.iallreduce([1.0, 2.0])
+        comm.advance_iteration()
+        assert not h.ready
+        h.wait()
+        assert comm.stats.forced_waits == 1
+        assert comm.stats.hidden_allreduces == 0
+
+    def test_double_wait_rejected(self):
+        comm = SimComm(1, reduction_latency=0)
+        h = comm.iallreduce([1.0])
+        h.wait()
+        with pytest.raises(RuntimeError):
+            h.wait()
+
+    def test_latency_override(self):
+        comm = SimComm(1, reduction_latency=5)
+        h = comm.iallreduce([1.0], latency=0)
+        assert h.ready
+
+
+class TestStats:
+    def test_critical_path_synchronizations(self):
+        comm = SimComm(2, reduction_latency=2)
+        comm.allreduce([1.0, 1.0])
+        comm.iallreduce([1.0, 1.0]).wait()  # early -> forced
+        h = comm.iallreduce([1.0, 1.0])
+        comm.advance_iteration()
+        comm.advance_iteration()
+        h.wait()  # hidden
+        assert comm.stats.synchronizations_on_critical_path() == 2
+
+    def test_halo_accounting(self):
+        comm = SimComm(2)
+        comm.record_halo_exchange(128)
+        assert comm.stats.halo_exchanges == 1
+        assert comm.stats.words_exchanged == 128
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimComm(0)
+        with pytest.raises(ValueError):
+            SimComm(2, reduction_latency=-1)

@@ -1,0 +1,103 @@
+"""Unit tests for distributed vectors and matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.comm import SimComm
+from repro.distributed.data import BlockVector, DistributedCSR
+from repro.sparse.generators import banded_spd, poisson2d
+from repro.sparse.matrix_powers import RowPartition
+from repro.util.rng import default_rng
+
+
+@pytest.fixture
+def part():
+    return RowPartition.uniform(64, 4)
+
+
+class TestBlockVector:
+    def test_scatter_gather_roundtrip(self, part):
+        x = default_rng(1).standard_normal(64)
+        np.testing.assert_array_equal(
+            BlockVector.from_global(x, part).to_global(), x
+        )
+
+    def test_axpy_matches_global(self, part):
+        rng = default_rng(2)
+        x, y = rng.standard_normal(64), rng.standard_normal(64)
+        bx = BlockVector.from_global(x, part)
+        by = BlockVector.from_global(y, part)
+        by.axpy_inplace(0.7, bx)
+        np.testing.assert_allclose(by.to_global(), y + 0.7 * x, rtol=1e-14)
+
+    def test_scale_add_matches_global(self, part):
+        rng = default_rng(3)
+        x, y = rng.standard_normal(64), rng.standard_normal(64)
+        bx = BlockVector.from_global(x, part)
+        by = BlockVector.from_global(y, part)
+        by.scale_add(0.3, bx)  # y = x + 0.3 y
+        np.testing.assert_allclose(by.to_global(), x + 0.3 * y, rtol=1e-14)
+
+    def test_dot_partials_sum_to_global_dot(self, part):
+        rng = default_rng(4)
+        x, y = rng.standard_normal(64), rng.standard_normal(64)
+        partials = BlockVector.from_global(x, part).dot_partials(
+            BlockVector.from_global(y, part)
+        )
+        assert partials.shape == (4,)
+        assert partials.sum() == pytest.approx(float(x @ y))
+
+    def test_shape_mismatch(self, part):
+        with pytest.raises(ValueError):
+            BlockVector.from_global(np.ones(10), part)
+
+    def test_copy_independent(self, part):
+        x = BlockVector.zeros(part)
+        y = x.copy()
+        y.blocks[0][0] = 5.0
+        assert x.blocks[0][0] == 0.0
+
+
+class TestDistributedCSR:
+    def test_matvec_matches_sequential(self):
+        a = poisson2d(8)
+        part = RowPartition.uniform(a.nrows, 4)
+        dist = DistributedCSR(a, part)
+        comm = SimComm(4)
+        x = default_rng(5).standard_normal(a.nrows)
+        bx = BlockVector.from_global(x, part)
+        out = dist.matvec(bx, comm)
+        np.testing.assert_allclose(out.to_global(), a.matvec(x), rtol=1e-13)
+
+    def test_books_one_halo_per_matvec(self):
+        a = banded_spd(40, 3, seed=1)
+        part = RowPartition.uniform(40, 5)
+        dist = DistributedCSR(a, part)
+        comm = SimComm(5)
+        bx = BlockVector.zeros(part)
+        dist.matvec(bx, comm)
+        dist.matvec(bx, comm)
+        assert comm.stats.halo_exchanges == 2
+        assert comm.stats.words_exchanged == 2 * dist.ghost_words()
+
+    def test_ghost_words_positive_for_coupled_blocks(self):
+        a = poisson2d(8)
+        dist = DistributedCSR(a, RowPartition.uniform(a.nrows, 4))
+        assert dist.ghost_words() > 0
+
+    def test_single_block_no_ghosts(self):
+        a = poisson2d(6)
+        dist = DistributedCSR(a, RowPartition.uniform(a.nrows, 1))
+        assert dist.ghost_words() == 0
+
+    def test_comm_size_mismatch(self):
+        a = poisson2d(6)
+        dist = DistributedCSR(a, RowPartition.uniform(a.nrows, 3))
+        with pytest.raises(ValueError):
+            dist.matvec(BlockVector.zeros(dist.partition), SimComm(2))
+
+    def test_partition_mismatch(self):
+        with pytest.raises(ValueError):
+            DistributedCSR(poisson2d(6), RowPartition.uniform(10, 2))

@@ -1,0 +1,88 @@
+"""Unit tests for experiment helper functions (not just the run() wrappers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.coefficient_degrees import reference_moments
+from repro.experiments.stability import drift_history
+from repro.experiments.startup_cost import break_even_iterations
+from repro.sparse.generators import poisson2d
+from repro.util.rng import default_rng, spd_test_matrix
+
+
+class TestReferenceMoments:
+    def test_moment_identities(self):
+        a = spd_test_matrix(10, cond=10.0, seed=1)
+        b = default_rng(2).standard_normal(10)
+        lambdas, alphas, mus, nus, sigmas = reference_moments(a, b, 4)
+        assert len(lambdas) == 4 and len(alphas) == 4
+        # mu_0^0 = (b, b) for a zero initial guess
+        assert mus[0][0] == pytest.approx(float(b @ b))
+        # nu and sigma coincide with mu at iteration 0 (p0 = r0)
+        np.testing.assert_allclose(nus[0][:5], mus[0][:5], rtol=1e-12)
+        np.testing.assert_allclose(sigmas[0][:5], mus[0][:5], rtol=1e-12)
+
+    def test_alpha_is_mu_ratio(self):
+        a = spd_test_matrix(8, cond=8.0, seed=3)
+        b = default_rng(4).standard_normal(8)
+        lambdas, alphas, mus, _, _ = reference_moments(a, b, 3)
+        for m in range(2):
+            assert alphas[m] == pytest.approx(mus[m + 1][0] / mus[m][0], rel=1e-10)
+
+    def test_orthogonality_nu0_equals_mu0(self):
+        """(r^n, p^n) = (r^n, r^n) -- the CG invariant, order n >= 1."""
+        a = spd_test_matrix(9, cond=10.0, seed=5)
+        b = default_rng(6).standard_normal(9)
+        _, _, mus, nus, _ = reference_moments(a, b, 4)
+        for m in range(1, 4):
+            assert nus[m][0] == pytest.approx(mus[m][0], rel=1e-9)
+
+
+class TestDriftHistory:
+    def test_starts_near_machine_epsilon(self):
+        a = poisson2d(8)
+        b = default_rng(7).standard_normal(a.nrows)
+        errs = drift_history(a, b, k=2, iterations=10)
+        assert errs[0] < 1e-12
+        assert errs[1] < 1e-10
+
+    def test_growth_with_iteration(self):
+        a = poisson2d(8)
+        b = default_rng(7).standard_normal(a.nrows)
+        errs = drift_history(a, b, k=3, iterations=12)
+        usable = [e for e in errs if 0 < e < 1]
+        assert usable[-1] > usable[0]
+
+    def test_k0_much_smaller_than_k4(self):
+        a = poisson2d(8)
+        b = default_rng(7).standard_normal(a.nrows)
+        e0 = drift_history(a, b, k=0, iterations=10)
+        e4 = drift_history(a, b, k=4, iterations=10)
+        assert e4[8] > e0[8]
+
+
+class TestBreakEven:
+    def test_exists_at_large_n(self):
+        be = break_even_iterations(2**16, 5, 16)
+        assert be is not None
+        assert 1 < be < 200
+
+    def test_none_when_cg_is_as_fast(self):
+        # at tiny N the depths tie; within the budget no crossover exists
+        be = break_even_iterations(2**8, 5, 8, max_iters=64)
+        assert be is None
+
+    def test_bisection_is_tight(self):
+        from repro.machine.cg_dag import build_cg_dag
+        from repro.machine.vr_dag import build_vr_pipelined_dag
+
+        n, d, k = 2**16, 5, 16
+        be = break_even_iterations(n, d, k)
+        cg = build_cg_dag(n, d, be).graph.critical_path_length()
+        vr = build_vr_pipelined_dag(n, d, k, be).graph.critical_path_length()
+        assert vr < cg
+        cg1 = build_cg_dag(n, d, be - 1).graph.critical_path_length()
+        vr1 = build_vr_pipelined_dag(n, d, k, be - 1).graph.critical_path_length()
+        assert vr1 >= cg1

@@ -1,0 +1,132 @@
+"""Tests for the compiled solver DAGs -- the paper's depth claims.
+
+These are the machine-model reproduction tests: each asserts one of the
+complexity statements the paper makes, as a property of the measured
+critical paths.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.machine.cg_dag import build_cg_dag
+from repro.machine.costmodel import CostModel
+from repro.machine.schedule import (
+    fit_log_slope,
+    measure_cg_depth,
+    measure_eager_depth,
+    measure_vr_depth,
+)
+from repro.machine.vr_dag import build_vr_eager_dag, build_vr_pipelined_dag
+
+
+class TestClassicalCGDag:
+    def test_slope_is_two_log_n(self):
+        """Claim C1: two serial fan-ins per iteration."""
+        ns = [2**e for e in (8, 12, 16, 20)]
+        depths = [measure_cg_depth(n, 5).per_iteration for n in ns]
+        slope, _, resid = fit_log_slope(ns, depths)
+        assert slope == pytest.approx(2.0, abs=0.01)
+        assert resid < 0.01
+
+    def test_depth_grows_with_d(self):
+        shallow = measure_cg_depth(2**12, 3).per_iteration
+        deep = measure_cg_depth(2**12, 1024).per_iteration
+        assert deep - shallow == pytest.approx(
+            math.ceil(math.log2(1024)) - math.ceil(math.log2(3)), abs=0.01
+        )
+
+    def test_structure_counts(self):
+        res = build_cg_dag(64, 5, 10)
+        # per iteration: 2 dots, 1 spmv, 3 axpys, 2 scalars
+        assert res.graph.count_kind("dot") == 2 * 10 + 1
+        assert res.graph.count_kind("spmv") == 10 + 1
+        assert len(res.lambda_nodes) == 10
+
+    def test_markers_monotone(self):
+        res = build_cg_dag(64, 5, 8)
+        times = res.lambda_finish_times()
+        assert all(t2 > t1 for t1, t2 in zip(times, times[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_cg_dag(64, 5, 0)
+
+
+class TestPipelinedVRDag:
+    def test_steady_state_flat_in_n(self):
+        """Claim C7: with k = log2 N the per-iteration depth is log log N,
+        so doubling log N several times moves it by at most a few units."""
+        d10 = measure_vr_depth(2**10, 5, 10).per_iteration
+        d24 = measure_vr_depth(2**24, 5, 24).per_iteration
+        assert d24 - d10 <= 2 * (
+            math.log2(math.log2(2**24)) - math.log2(math.log2(2**10))
+        ) + 3
+
+    def test_beats_classical_at_scale(self):
+        n, d = 2**20, 5
+        cg = measure_cg_depth(n, d).per_iteration
+        vr = measure_vr_depth(n, d, 20).per_iteration
+        assert vr < cg
+
+    def test_k1_single_fanin_per_iteration(self):
+        """Claim C2: with k=1 the per-iteration depth tracks ONE log N."""
+        ns = [2**e for e in (10, 16, 22)]
+        depths = [measure_vr_depth(n, 5, 1, iterations=30).per_iteration for n in ns]
+        slope, _, _ = fit_log_slope(ns, depths)
+        assert slope == pytest.approx(1.0, abs=0.05)
+
+    def test_dot_latency_hidden_when_k_large(self):
+        """With k >= log N the launch fan-in is fully off the cycle:
+        increasing N at fixed (large) k must not change steady state."""
+        k = 24
+        d_small = measure_vr_depth(2**10, 5, k).per_iteration
+        d_large = measure_vr_depth(2**24, 5, k).per_iteration
+        assert d_small == pytest.approx(d_large, abs=0.5)
+
+    def test_startup_positive_and_growing_with_k(self):
+        s1 = measure_vr_depth(2**16, 5, 4).startup
+        s2 = measure_vr_depth(2**16, 5, 16).startup
+        assert 0 < s1 < s2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_vr_pipelined_dag(64, 5, 0, 10)
+        with pytest.raises(ValueError):
+            build_vr_pipelined_dag(64, 5, 2, 0)
+
+    def test_communication_cost_preserves_shape(self):
+        """Adding per-level fan-in latency scales both algorithms; the
+        classical/VR gap must survive (robustness beyond the paper)."""
+        cm = CostModel(fanin_level_latency=2)
+        n, k = 2**20, 20
+        cg = build_cg_dag(n, 5, 24, cm=cm).per_iteration_depth()
+        vr = build_vr_pipelined_dag(n, 5, k, 3 * k + 12, cm=cm).per_iteration_depth()
+        assert vr < cg
+
+
+class TestEagerVRDag:
+    def test_constant_in_n(self):
+        d_small = measure_eager_depth(2**10, 5, 10).per_iteration
+        d_large = measure_eager_depth(2**26, 5, 26).per_iteration
+        assert d_small == pytest.approx(d_large, abs=1.0)
+
+    def test_beats_pipelined(self):
+        n, k = 2**20, 20
+        eager = measure_eager_depth(n, 5, k).per_iteration
+        piped = measure_vr_depth(n, 5, k).per_iteration
+        assert eager < piped
+
+    def test_small_k_exposes_dot_latency(self):
+        """With k too small the direct dots cannot hide: per-iteration
+        depth must grow toward log N / k."""
+        n = 2**24
+        slow = measure_eager_depth(n, 5, 1).per_iteration
+        fast = measure_eager_depth(n, 5, 24).per_iteration
+        assert slow > fast
+
+    def test_k_zero_supported(self):
+        res = build_vr_eager_dag(2**10, 5, 0, 12)
+        assert res.graph.critical_path_length() > 0

@@ -1,0 +1,69 @@
+"""Unit tests for the machine cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.costmodel import CostModel
+
+
+class TestDepths:
+    def test_reduction_depth_powers_of_two(self):
+        cm = CostModel()
+        assert cm.reduction_depth(1) == 0
+        assert cm.reduction_depth(2) == 1
+        assert cm.reduction_depth(1024) == 10
+
+    def test_reduction_depth_rounds_up(self):
+        cm = CostModel()
+        assert cm.reduction_depth(5) == 3
+        assert cm.reduction_depth(1000) == 10
+
+    def test_dot_depth_is_paper_log_n(self):
+        cm = CostModel()
+        assert cm.dot_depth(2**20) == 1 + 20
+
+    def test_spmv_depth(self):
+        cm = CostModel()
+        assert cm.spmv_depth(5) == 1 + 3
+        assert cm.spmv_depth(1) == 1
+
+    def test_elementwise(self):
+        assert CostModel().elementwise_depth() == 1
+
+    def test_scalar_chain(self):
+        assert CostModel().scalar_depth(4) == 4
+        with pytest.raises(ValueError):
+            CostModel().scalar_depth(-1)
+
+    def test_communication_latency(self):
+        cm = CostModel(fanin_level_latency=2)
+        # each of the 10 levels costs 1 flop + 2 latency
+        assert cm.reduction_depth(1024) == 30
+
+    def test_broadcast_latency(self):
+        cm = CostModel(broadcast_latency=3)
+        assert cm.elementwise_depth() == 4
+
+    def test_flop_depth_scales(self):
+        cm = CostModel(flop_depth=2)
+        assert cm.dot_depth(4) == 2 + 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(flop_depth=0)
+        with pytest.raises(ValueError):
+            CostModel(fanin_level_latency=-1)
+
+
+class TestWork:
+    def test_dot_work(self):
+        assert CostModel.dot_work(100) == 199
+        assert CostModel.dot_work(0) == 0
+
+    def test_spmv_work(self):
+        assert CostModel.spmv_work(500, 100) == 900
+
+    def test_elementwise_work(self):
+        assert CostModel.elementwise_work(10) == 20
+        assert CostModel.elementwise_work(10, flops_per_entry=3) == 30

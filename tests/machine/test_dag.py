@@ -1,0 +1,113 @@
+"""Unit tests for the task graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.dag import TaskGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = TaskGraph()
+        assert len(g) == 0
+        assert g.critical_path_length() == 0
+        assert g.total_work() == 0
+
+    def test_single_node(self):
+        g = TaskGraph()
+        i = g.add("a", 5, work=10)
+        assert g.finish_time(i) == 5
+        assert g.critical_path_length() == 5
+
+    def test_chain(self):
+        g = TaskGraph()
+        a = g.add("a", 2)
+        b = g.add("b", 3, deps=[a])
+        c = g.add("c", 1, deps=[b])
+        assert g.finish_time(c) == 6
+
+    def test_parallel_branches(self):
+        g = TaskGraph()
+        root = g.add("root", 1)
+        left = g.add("left", 10, deps=[root])
+        right = g.add("right", 2, deps=[root])
+        join = g.add("join", 1, deps=[left, right])
+        assert g.finish_time(join) == 12
+
+    def test_forward_reference_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add("a", 1, deps=[0])  # node 0 does not exist yet
+
+    def test_negative_cost_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add("a", -1)
+
+
+class TestQueries:
+    def make(self):
+        g = TaskGraph()
+        a = g.add("a", 2, work=5, kind="dot")
+        b = g.add("b", 3, work=7, deps=[a], kind="axpy")
+        c = g.add("c", 4, work=9, deps=[a], kind="dot", tag=1)
+        return g, (a, b, c)
+
+    def test_total_work(self):
+        g, _ = self.make()
+        assert g.total_work() == 21
+
+    def test_work_by_kind(self):
+        g, _ = self.make()
+        assert g.work_by_kind() == {"dot": 14, "axpy": 7}
+
+    def test_count_kind(self):
+        g, _ = self.make()
+        assert g.count_kind("dot") == 2
+        assert g.count_kind("missing") == 0
+
+    def test_node_accessor(self):
+        g, (a, b, c) = self.make()
+        node = g.node(c)
+        assert node.label == "c"
+        assert node.tag == 1
+        assert node.deps == (a,)
+
+    def test_brent_time(self):
+        g, _ = self.make()
+        # depth = 2 + 4 = 6; work = 21
+        assert g.brent_time(1) == pytest.approx(6 + 21.0)
+        assert g.brent_time(21) == pytest.approx(7.0)
+        with pytest.raises(ValueError):
+            g.brent_time(0)
+
+    def test_critical_path_nodes(self):
+        g = TaskGraph()
+        a = g.add("a", 1)
+        b = g.add("slow", 10, deps=[a])
+        g.add("fast", 1, deps=[a])
+        d = g.add("end", 1, deps=[b])
+        path = [n.label for n in g.critical_path_nodes()]
+        assert path == ["a", "slow", "end"]
+
+
+class TestSteadyState:
+    def test_per_iteration_depth_linear(self):
+        finishes = [10, 20, 30, 40, 50, 60]
+        assert TaskGraph.per_iteration_depth(finishes, warmup=1) == pytest.approx(10.0)
+
+    def test_warmup_excluded(self):
+        # transient then steady slope 5
+        finishes = [100, 101, 105, 110, 115, 120]
+        assert TaskGraph.per_iteration_depth(finishes, warmup=2) == pytest.approx(5.0)
+
+    def test_cooldown(self):
+        finishes = [0, 10, 20, 30, 1000]
+        assert TaskGraph.per_iteration_depth(
+            finishes, warmup=0, cooldown=1
+        ) == pytest.approx(10.0)
+
+    def test_too_few_markers(self):
+        with pytest.raises(ValueError):
+            TaskGraph.per_iteration_depth([1, 2], warmup=2)

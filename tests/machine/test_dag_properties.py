@@ -1,0 +1,96 @@
+"""Property-based tests of the machine model over random DAGs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.dag import TaskGraph
+from repro.machine.scheduler import simulate_schedule
+
+
+@st.composite
+def random_dags(draw, max_nodes: int = 25):
+    """A random topologically ordered DAG with depths and works."""
+    n = draw(st.integers(1, max_nodes))
+    g = TaskGraph()
+    for i in range(n):
+        deps = []
+        if i > 0:
+            deps = draw(
+                st.lists(st.integers(0, i - 1), max_size=min(3, i), unique=True)
+            )
+        depth = draw(st.integers(0, 12))
+        work = draw(st.integers(0, 500)) if depth > 0 else 0
+        g.add(f"n{i}", depth, work=work, deps=deps)
+    return g
+
+
+class TestCriticalPathProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_dags())
+    def test_critical_path_bounds(self, g):
+        cp = g.critical_path_length()
+        depths = [g.node(i).depth for i in range(len(g))]
+        assert cp <= sum(depths)
+        assert cp >= max(depths, default=0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_dags())
+    def test_finish_times_respect_dependencies(self, g):
+        for i in range(len(g)):
+            node = g.node(i)
+            for d in node.deps:
+                assert g.finish_time(d) + node.depth <= g.finish_time(i)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_dags())
+    def test_critical_path_nodes_sum_to_length(self, g):
+        path = g.critical_path_nodes()
+        assert sum(n.depth for n in path) == g.critical_path_length()
+        # path must be a genuine dependency chain
+        for a, b in zip(path, path[1:]):
+            assert a.index in b.deps
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_dags())
+    def test_histogram_consistent(self, g):
+        hist = g.critical_path_kind_histogram()
+        assert sum(hist.values()) == g.critical_path_length()
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(random_dags(), st.integers(1, 64))
+    def test_lower_bounds(self, g, p):
+        r = simulate_schedule(g, p)
+        assert r.makespan >= g.critical_path_length() - 1e-9
+        assert r.makespan >= g.total_work() / p - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_dags())
+    def test_unlimited_processors_reach_critical_path(self, g):
+        r = simulate_schedule(g, 10**9)
+        assert r.makespan == pytest.approx(g.critical_path_length())
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_dags(), st.integers(0, 5))
+    def test_monotone_in_processors(self, g, exp):
+        small = simulate_schedule(g, 2**exp).makespan
+        large = simulate_schedule(g, 2 ** (exp + 2)).makespan
+        assert large <= small * (1 + 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_dags(), st.integers(1, 32))
+    def test_utilization_in_unit_interval(self, g, p):
+        r = simulate_schedule(g, p)
+        assert 0.0 <= r.utilization <= 1.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_dags(), st.integers(1, 32))
+    def test_all_work_scheduled(self, g, p):
+        """Busy area equals the work actually assignable (every node with
+        depth > 0 runs for duration >= depth at alloc >= 1)."""
+        r = simulate_schedule(g, p)
+        assert r.busy_area >= g.total_work() - 1e-6

@@ -1,0 +1,75 @@
+"""Unit tests for DAG export."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.machine.cg_dag import build_cg_dag
+from repro.machine.export import to_dot, to_json, write_dot, write_json
+
+
+@pytest.fixture
+def small_dag():
+    return build_cg_dag(64, 5, 3).graph
+
+
+class TestDot:
+    def test_structure(self, small_dag):
+        dot = to_dot(small_dag)
+        assert dot.startswith("digraph tasks {")
+        assert dot.rstrip().endswith("}")
+        # one node line per node, one edge line per dependency
+        assert dot.count("->") == sum(
+            len(small_dag.node(i).deps) for i in range(len(small_dag))
+        )
+
+    def test_critical_path_highlighted(self, small_dag):
+        dot = to_dot(small_dag)
+        assert "#c0141c" in dot  # the critical-path outline colour
+
+    def test_labels_include_depth(self, small_dag):
+        assert "d=" in to_dot(small_dag)
+
+    def test_size_limit(self, small_dag):
+        with pytest.raises(ValueError, match="fewer iterations"):
+            to_dot(small_dag, max_nodes=3)
+
+    def test_write_to_path(self, small_dag, tmp_path):
+        path = tmp_path / "g.dot"
+        write_dot(small_dag, str(path))
+        assert path.read_text().startswith("digraph")
+
+    def test_write_to_buffer(self, small_dag):
+        buf = io.StringIO()
+        write_dot(small_dag, buf)
+        assert buf.getvalue().startswith("digraph")
+
+
+class TestJson:
+    def test_round_trips_through_json(self, small_dag):
+        payload = json.loads(to_json(small_dag))
+        assert payload["summary"]["nodes"] == len(small_dag)
+        assert payload["summary"]["critical_path"] == small_dag.critical_path_length()
+        assert len(payload["nodes"]) == len(small_dag)
+
+    def test_node_fields(self, small_dag):
+        payload = json.loads(to_json(small_dag))
+        node = payload["nodes"][-1]
+        assert set(node) == {
+            "id", "label", "kind", "depth", "work", "deps", "finish", "tag"
+        }
+
+    def test_finish_times_monotone_along_deps(self, small_dag):
+        payload = json.loads(to_json(small_dag))
+        by_id = {n["id"]: n for n in payload["nodes"]}
+        for n in payload["nodes"]:
+            for d in n["deps"]:
+                assert by_id[d]["finish"] <= n["finish"]
+
+    def test_write_json(self, small_dag, tmp_path):
+        path = tmp_path / "g.json"
+        write_json(small_dag, str(path))
+        json.loads(path.read_text())

@@ -1,0 +1,74 @@
+"""Unit tests for the macro-op builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.costmodel import CostModel
+from repro.machine.dag import TaskGraph
+from repro.machine.ops import OpBuilder
+
+
+@pytest.fixture
+def ops():
+    return OpBuilder(TaskGraph(), CostModel(), n=1024, d=5)
+
+
+class TestPrimitives:
+    def test_dot_depth_and_work(self, ops):
+        i = ops.dot("d", [])
+        node = ops.graph.node(i)
+        assert node.depth == 1 + 10
+        assert node.work == 2 * 1024 - 1
+        assert node.kind == "dot"
+
+    def test_fused_dots_same_depth_more_work(self, ops):
+        single = ops.graph.node(ops.dot("one", []))
+        fused = ops.graph.node(ops.fused_dots("many", 12, []))
+        assert fused.depth == single.depth
+        assert fused.work == 12 * single.work
+
+    def test_fused_count_validated(self, ops):
+        with pytest.raises(ValueError):
+            ops.fused_dots("bad", 0, [])
+
+    def test_axpy_rows(self, ops):
+        one = ops.graph.node(ops.axpy("a", []))
+        block = ops.graph.node(ops.axpy("b", [], rows=4))
+        assert block.depth == one.depth == 1
+        assert block.work == 4 * one.work
+
+    def test_spmv(self, ops):
+        node = ops.graph.node(ops.spmv("m", []))
+        assert node.depth == 1 + 3  # ceil(log2 5) = 3
+        assert node.work == 2 * 1024 * 5 - 1024
+
+    def test_scalar_chain(self, ops):
+        node = ops.graph.node(ops.scalar("s", [], flops=4))
+        assert node.depth == 4 and node.work == 4
+
+    def test_reduce(self, ops):
+        node = ops.graph.node(ops.reduce("r", 18, []))
+        assert node.depth == 1 + 5  # ceil(log2 18) = 5
+        assert node.kind == "reduce"
+        with pytest.raises(ValueError):
+            ops.reduce("bad", 0, [])
+
+    def test_coeff_update_constant_depth(self, ops):
+        a = ops.graph.node(ops.coeff_update("c", [], width=18))
+        b = ops.graph.node(ops.coeff_update("c2", [], width=60))
+        assert a.depth == b.depth  # banded: depth independent of width
+        assert b.work > a.work
+
+    def test_dependencies_respected(self, ops):
+        a = ops.dot("a", [])
+        b = ops.spmv("b", [a])
+        assert ops.graph.finish_time(b) == ops.graph.finish_time(a) + 4
+
+    def test_nnz_default(self):
+        ops = OpBuilder(TaskGraph(), CostModel(), n=100, d=7)
+        assert ops.nnz == 700
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpBuilder(TaskGraph(), CostModel(), n=0, d=5)

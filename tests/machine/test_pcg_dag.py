@@ -1,0 +1,64 @@
+"""Tests for the preconditioned CG DAG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.cg_dag import build_cg_dag
+from repro.machine.pcg_dag import build_pcg_dag, precond_depth
+
+
+class TestPrecondDepth:
+    def test_identity(self):
+        assert precond_depth("identity", n=100, d=5) == 0
+
+    def test_jacobi(self):
+        assert precond_depth("jacobi", n=100, d=5) == 1
+
+    def test_polynomial(self):
+        # degree 3, d=5: 3*(1+3)+1 = 13
+        assert precond_depth("polynomial", n=100, d=5, degree=3) == 13
+
+    def test_triangular_is_theta_n(self):
+        assert precond_depth("triangular", n=1000, d=5) == 2000
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            precond_depth("multigrid", n=10, d=3)
+
+    def test_bad_degree(self):
+        with pytest.raises(ValueError):
+            precond_depth("polynomial", n=10, d=3, degree=0)
+
+
+class TestBuildPcgDag:
+    def test_identity_matches_cg_plus_constant(self):
+        n, d = 2**14, 5
+        cg = build_cg_dag(n, d, 20).per_iteration_depth()
+        pcg = build_pcg_dag(n, d, 20, m_depth=0).per_iteration_depth()
+        assert abs(pcg - cg) <= 1
+
+    def test_jacobi_adds_one_per_iteration(self):
+        n, d = 2**14, 5
+        ident = build_pcg_dag(n, d, 20, m_depth=0).per_iteration_depth()
+        jac = build_pcg_dag(n, d, 20, m_depth=1).per_iteration_depth()
+        assert jac == pytest.approx(ident + 1)
+
+    def test_triangular_dominates(self):
+        """SSOR-style depth-2n application swamps the iteration: the
+        standard parallel-preconditioning tension, measured."""
+        n, d = 2**14, 5
+        tri = build_pcg_dag(
+            n, d, 20, m_depth=precond_depth("triangular", n=n, d=d)
+        ).per_iteration_depth()
+        assert tri > 2 * n  # the substitution IS the iteration time
+
+    def test_precond_nodes_counted(self):
+        res = build_pcg_dag(64, 5, 6, m_depth=1)
+        assert res.graph.count_kind("precond") == 6 + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_pcg_dag(64, 5, 0, m_depth=1)
+        with pytest.raises(ValueError):
+            build_pcg_dag(64, 5, 3, m_depth=-1)

@@ -1,0 +1,97 @@
+"""Unit tests for schedule analysis helpers and ASCII rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import PipelineTrace, TraceEvent, pipelined_vr_cg
+from repro.core.stopping import StoppingCriterion
+from repro.machine.gantt import render_figure1, render_pipeline_trace
+from repro.machine.schedule import (
+    fit_log_slope,
+    fit_loglog_slope,
+    measure_cg_depth,
+    measure_vr_depth,
+)
+from repro.sparse.generators import poisson2d
+from repro.util.rng import default_rng
+
+
+class TestFits:
+    def test_fit_log_slope_exact(self):
+        ns = [2**4, 2**8, 2**12]
+        depths = [3.0 * 4 + 1, 3.0 * 8 + 1, 3.0 * 12 + 1]
+        slope, intercept, resid = fit_log_slope(ns, depths)
+        assert slope == pytest.approx(3.0)
+        assert intercept == pytest.approx(1.0)
+        assert resid < 1e-9
+
+    def test_fit_loglog_slope_exact(self):
+        import math
+
+        ns = [2**4, 2**16, 2**32]
+        depths = [5.0 * math.log2(math.log2(n)) + 2 for n in ns]
+        slope, intercept, resid = fit_loglog_slope(ns, depths)
+        assert slope == pytest.approx(5.0)
+        assert resid < 1e-9
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_log_slope([8], [1.0])
+
+
+class TestMeasurements:
+    def test_cg_measurement_fields(self):
+        m = measure_cg_depth(2**10, 5)
+        assert m.n == 2**10 and m.d == 5 and m.k == 0
+        assert m.per_iteration > 0
+        assert m.total > m.per_iteration
+        assert m.work > 0
+
+    def test_vr_measurement_fields(self):
+        m = measure_vr_depth(2**10, 5, 4)
+        assert m.k == 4
+        assert m.startup > 0
+
+
+class TestFigure1:
+    def test_static_render_contains_columns(self):
+        out = render_figure1(3)
+        assert "n-3" in out and "u(n)" in out and "p(n-1)" in out
+        assert "launch" in out and "consume" in out
+
+    def test_static_render_k_validation(self):
+        with pytest.raises(ValueError):
+            render_figure1(0)
+
+    def test_trace_render_diagonal(self):
+        tr = PipelineTrace(k=2)
+        for m in range(4):
+            tr.events.append(TraceEvent("launch", m, m, 18))
+            if m >= 2:
+                tr.events.append(TraceEvent("consume", m, m - 2, 18))
+        out = render_pipeline_trace(tr)
+        lines = [l for l in out.splitlines() if l.startswith("launch@")]
+        assert len(lines) == 4
+        # launch row 0: L at column 0, C two columns later
+        row0 = lines[0]
+        assert row0.index("L") + 2 == row0.index("C")
+        assert "k=2" in out
+
+    def test_trace_render_empty(self):
+        assert "(empty trace)" in render_pipeline_trace(PipelineTrace(k=1))
+
+    def test_trace_render_truncation(self):
+        tr = PipelineTrace(k=1)
+        for m in range(30):
+            tr.events.append(TraceEvent("launch", m, m, 12))
+        out = render_pipeline_trace(tr, max_rows=5)
+        assert "more launches" in out
+
+    def test_render_from_real_solve(self):
+        a = poisson2d(6)
+        b = default_rng(3).standard_normal(a.nrows)
+        tr = PipelineTrace(k=2)
+        pipelined_vr_cg(a, b, k=2, stop=StoppingCriterion(rtol=1e-6, max_iter=100), trace=tr)
+        out = render_pipeline_trace(tr)
+        assert "verified" in out and "True" in out

@@ -1,0 +1,114 @@
+"""Unit tests for the finite-processor schedule simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.cg_dag import build_cg_dag
+from repro.machine.dag import TaskGraph
+from repro.machine.scheduler import simulate_schedule
+
+
+def chain_graph(costs):
+    g = TaskGraph()
+    prev = None
+    for i, (depth, work) in enumerate(costs):
+        prev = g.add(f"n{i}", depth, work=work, deps=[prev] if prev is not None else [])
+    return g
+
+
+class TestBounds:
+    def test_empty_graph(self):
+        r = simulate_schedule(TaskGraph(), 4)
+        assert r.makespan == 0.0
+        assert r.utilization == 1.0
+
+    def test_single_task_unlimited(self):
+        g = TaskGraph()
+        g.add("a", 10, work=1000)
+        r = simulate_schedule(g, 10**6)
+        assert r.makespan == 10.0  # depth-bound
+
+    def test_single_task_one_processor(self):
+        g = TaskGraph()
+        g.add("a", 10, work=1000)
+        r = simulate_schedule(g, 1)
+        assert r.makespan == 1000.0  # work-bound
+
+    def test_never_beats_critical_path(self):
+        res = build_cg_dag(2**10, 5, 8)
+        for p in (1, 64, 2**20):
+            r = simulate_schedule(res.graph, p)
+            assert r.makespan >= r.critical_path - 1e-9
+
+    def test_never_beats_work_over_p(self):
+        res = build_cg_dag(2**10, 5, 8)
+        for p in (1, 64, 4096):
+            r = simulate_schedule(res.graph, p)
+            assert r.makespan >= r.total_work / p - 1e-9
+
+    def test_within_brent_bound(self):
+        """Greedy scheduling obeys Brent: T_P <= T_inf + W/P (allow the
+        malleable-allocation policy a 2x constant)."""
+        res = build_cg_dag(2**12, 5, 12)
+        g = res.graph
+        for p in (16, 256, 4096):
+            r = simulate_schedule(g, p)
+            assert r.makespan <= 2.0 * (g.critical_path_length() + g.total_work() / p)
+
+    def test_unlimited_matches_critical_path(self):
+        res = build_cg_dag(2**12, 5, 12)
+        r = simulate_schedule(res.graph, 10**9)
+        assert r.makespan == pytest.approx(res.graph.critical_path_length())
+
+
+class TestBehaviour:
+    def test_monotone_in_p(self):
+        res = build_cg_dag(2**10, 5, 10)
+        times = [simulate_schedule(res.graph, 2**e).makespan for e in range(0, 22, 3)]
+        assert all(t2 <= t1 * (1 + 1e-9) for t1, t2 in zip(times, times[1:]))
+
+    def test_parallel_branches_overlap(self):
+        g = TaskGraph()
+        root = g.add("root", 1, work=1)
+        a = g.add("a", 10, work=10, deps=[root])
+        b = g.add("b", 10, work=10, deps=[root])
+        g.add("join", 1, work=1, deps=[a, b])
+        two = simulate_schedule(g, 2)
+        one = simulate_schedule(g, 1)
+        assert two.makespan < one.makespan
+
+    def test_zero_depth_join_instant(self):
+        g = TaskGraph()
+        a = g.add("a", 5, work=5)
+        j = g.add("join", 0, deps=[a], kind="join")
+        g.add("b", 5, work=5, deps=[j])
+        r = simulate_schedule(g, 1)
+        assert r.makespan == pytest.approx(10.0)
+
+    def test_utilization_bounds(self):
+        res = build_cg_dag(2**10, 5, 10)
+        r = simulate_schedule(res.graph, 64)
+        assert 0.0 < r.utilization <= 1.0
+
+    def test_speedup_and_efficiency(self):
+        g = chain_graph([(1, 100)] * 4)
+        r = simulate_schedule(g, 8)
+        assert r.speedup_vs_serial > 1.0
+        assert 0.0 < r.efficiency <= 1.0
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            simulate_schedule(TaskGraph(), 0)
+
+    def test_big_task_waits_for_full_allocation(self):
+        """A wide task must not start on a leftover sliver while other
+        work runs -- the stretch-avoidance policy."""
+        g = TaskGraph()
+        blocker = g.add("blocker", 100, work=100)
+        g.add("wide", 10, work=10000)  # wants 1000 procs
+        r = simulate_schedule(g, 1000)
+        # wide takes 999 procs at t=0? policy: blocker (higher bottom
+        # level 100) starts first with 1 proc; wide then gets 999 < 1000
+        # desired... but must eventually run; makespan stays sane:
+        assert r.makespan <= 200.0

@@ -1,0 +1,89 @@
+"""Tests for the descendant-variant DAG builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.schedule import fit_log_slope, measure_cg_depth
+from repro.machine.variants_dag import (
+    build_cgcg_dag,
+    build_gv_dag,
+    build_sstep_dag,
+    per_cg_step_depth,
+)
+
+
+class TestCgCgDag:
+    def test_slope_is_one(self):
+        ns = [2**e for e in (10, 16, 22)]
+        depths = [build_cgcg_dag(n, 5, 24).per_iteration_depth() for n in ns]
+        slope, _, _ = fit_log_slope(ns, depths)
+        assert slope == pytest.approx(1.0, abs=0.05)
+
+    def test_beats_classical(self):
+        n = 2**16
+        assert (
+            build_cgcg_dag(n, 5, 24).per_iteration_depth()
+            < measure_cg_depth(n, 5).per_iteration
+        )
+
+    def test_one_fused_dot_group_per_iteration(self):
+        res = build_cgcg_dag(64, 5, 10)
+        assert res.graph.count_kind("dot") == 10 + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_cgcg_dag(64, 5, 0)
+
+
+class TestGvDag:
+    def test_slope_is_one(self):
+        ns = [2**e for e in (10, 16, 22)]
+        depths = [build_gv_dag(n, 5, 24).per_iteration_depth() for n in ns]
+        slope, _, _ = fit_log_slope(ns, depths)
+        assert slope == pytest.approx(1.0, abs=0.05)
+
+    def test_beats_cgcg(self):
+        """Overlapping the matvec under the dots saves its log d depth."""
+        n = 2**16
+        gv = build_gv_dag(n, 5, 24).per_iteration_depth()
+        cgcg = build_cgcg_dag(n, 5, 24).per_iteration_depth()
+        assert gv < cgcg
+
+    def test_matvec_hidden_under_dot(self):
+        """With log d < log N the matvec adds nothing to the cycle."""
+        n = 2**20
+        shallow = build_gv_dag(n, 3, 24).per_iteration_depth()
+        deeper = build_gv_dag(n, 64, 24).per_iteration_depth()
+        assert shallow == pytest.approx(deeper, abs=0.01)
+
+
+class TestSstepDag:
+    def test_slope_is_one_over_s(self):
+        s = 4
+        ns = [2**e for e in (10, 16, 22, 28)]
+        depths = [
+            per_cg_step_depth(build_sstep_dag(n, 5, s, 20), s) for n in ns
+        ]
+        slope, _, _ = fit_log_slope(ns, depths)
+        assert slope == pytest.approx(1.0 / s, abs=0.03)
+
+    def test_larger_s_amortizes_more(self):
+        n = 2**22
+        d2 = per_cg_step_depth(build_sstep_dag(n, 5, 2, 20), 2)
+        d8 = per_cg_step_depth(build_sstep_dag(n, 5, 8, 20), 8)
+        assert d8 < d2
+
+    def test_matvec_chain_not_amortized(self):
+        """The s matvecs within an outer step chain sequentially: growing
+        d raises the per-CG-step depth by ~its log despite batched dots."""
+        n = 2**16
+        shallow = per_cg_step_depth(build_sstep_dag(n, 3, 4, 20), 4)
+        deep = per_cg_step_depth(build_sstep_dag(n, 1024, 4, 20), 4)
+        assert deep - shallow > 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_sstep_dag(64, 5, 0, 10)
+        with pytest.raises(ValueError):
+            build_sstep_dag(64, 5, 2, 0)

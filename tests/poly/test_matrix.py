@@ -1,0 +1,93 @@
+"""Unit tests for matrices over the polynomial ring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.poly.matrix import PolyMatrix
+from repro.poly.multipoly import poly_const, poly_var
+
+
+class TestConstruction:
+    def test_identity(self):
+        eye = PolyMatrix.identity(3)
+        assert eye.shape == (3, 3)
+        assert eye[0, 0] == poly_const(1)
+        assert eye[0, 1].is_zero
+
+    def test_zeros(self):
+        z = PolyMatrix.zeros(2, 4)
+        assert z.shape == (2, 4)
+        assert all(z[i, j].is_zero for i in range(2) for j in range(4))
+
+    def test_numbers_coerced(self):
+        m = PolyMatrix([[1, 0], [0, 2]])
+        assert m[1, 1].constant_value() == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PolyMatrix([])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            PolyMatrix([[poly_const(1)], [poly_const(1), poly_const(2)]])
+
+
+class TestMultiplication:
+    def test_identity_neutral(self):
+        x = poly_var("x")
+        m = PolyMatrix([[x, 1], [0, x**2]])
+        eye = PolyMatrix.identity(2)
+        prod = m @ eye
+        assert prod[0, 0] == x and prod[1, 1] == x**2
+
+    def test_symbolic_product(self):
+        x, y = poly_var("x"), poly_var("y")
+        a = PolyMatrix([[x, 1], [0, 1]])
+        b = PolyMatrix([[1, y], [1, 0]])
+        prod = a @ b
+        assert prod[0, 0] == x + 1
+        assert prod[0, 1] == x * y
+        assert prod[1, 0] == poly_const(1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            PolyMatrix.zeros(2, 3) @ PolyMatrix.zeros(2, 3)
+
+    def test_matches_numeric_product(self):
+        x = poly_var("x")
+        a = PolyMatrix([[x, 1 - x], [2 * x, x**2]])
+        b = PolyMatrix([[1, x], [x, 3]])
+        prod = a @ b
+        env = {"x": 0.7}
+        got = np.array(prod.evaluate(env))
+        an = np.array(a.evaluate(env))
+        bn = np.array(b.evaluate(env))
+        np.testing.assert_allclose(got, an @ bn, rtol=1e-12)
+
+
+class TestQueries:
+    def test_row_copy(self):
+        m = PolyMatrix.identity(2)
+        row = m.row(0)
+        row[0] = poly_const(99)
+        assert m[0, 0] == poly_const(1)
+
+    def test_apply_row_constant(self):
+        m = PolyMatrix([[1, 2, 3]])
+        assert m.apply_row(0, [1.0, 1.0, 1.0]) == pytest.approx(6.0)
+
+    def test_apply_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            PolyMatrix([[1, 2]]).apply_row(0, [1.0])
+
+    def test_max_degree_per_variable(self):
+        x, y = poly_var("x"), poly_var("y")
+        m = PolyMatrix([[x**2, y], [x * y, 1]])
+        assert m.max_degree_per_variable() == {"x": 2, "y": 1}
+
+    def test_set(self):
+        m = PolyMatrix.zeros(1, 1)
+        m.set(0, 0, 5)
+        assert m[0, 0].constant_value() == 5

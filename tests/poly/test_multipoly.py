@@ -1,0 +1,164 @@
+"""Unit and property tests for the multivariate polynomial ring."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.poly.multipoly import MultiPoly, poly_const, poly_var
+
+# Strategy: random small polynomials over variables x, y, z with integer
+# coefficients (the ring the coefficient analysis actually uses).
+VARS = ["x", "y", "z"]
+
+
+@st.composite
+def polys(draw, max_terms: int = 4, max_exp: int = 3):
+    terms = {}
+    for _ in range(draw(st.integers(0, max_terms))):
+        mono = tuple(
+            sorted(
+                (v, draw(st.integers(1, max_exp)))
+                for v in draw(st.sets(st.sampled_from(VARS), max_size=2))
+            )
+        )
+        terms[mono] = draw(st.integers(-5, 5))
+    return MultiPoly(terms)
+
+
+ENV = {"x": 1.7, "y": -0.3, "z": 2.2}
+
+
+class TestBasics:
+    def test_const_and_var(self):
+        assert poly_const(3).constant_value() == 3
+        assert poly_var("x").evaluate({"x": 4.0}) == 4.0
+
+    def test_zero_terms_cleaned(self):
+        p = poly_var("x") - poly_var("x")
+        assert p.is_zero
+        assert p.num_terms() == 0
+
+    def test_is_constant(self):
+        assert poly_const(5).is_constant
+        assert not poly_var("x").is_constant
+
+    def test_constant_value_raises_for_nonconstant(self):
+        with pytest.raises(ValueError):
+            poly_var("x").constant_value()
+
+    def test_variables(self):
+        p = poly_var("x") * poly_var("y") + poly_const(1)
+        assert p.variables() == {"x", "y"}
+
+    def test_repr_readable(self):
+        p = 2 * poly_var("x") ** 2 + 1
+        s = repr(p)
+        assert "x" in s
+        assert repr(poly_const(0)) == "0"
+
+    def test_empty_var_name_rejected(self):
+        with pytest.raises(ValueError):
+            poly_var("")
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            poly_var("x") ** -1
+
+
+class TestArithmetic:
+    def test_known_expansion(self):
+        x = poly_var("x")
+        p = (1 - 2 * x) ** 2
+        assert p == 1 - 4 * x + 4 * x**2
+
+    def test_mixed_numbers(self):
+        x = poly_var("x")
+        assert (x + 1) - 1 == x
+        assert 2 * x == x + x
+
+    def test_rsub(self):
+        x = poly_var("x")
+        assert (1 - x) + x == poly_const(1)
+
+    @settings(max_examples=80, deadline=None)
+    @given(polys(), polys())
+    def test_addition_commutes(self, p, q):
+        assert p + q == q + p
+
+    @settings(max_examples=80, deadline=None)
+    @given(polys(), polys())
+    def test_multiplication_commutes(self, p, q):
+        assert p * q == q * p
+
+    @settings(max_examples=60, deadline=None)
+    @given(polys(), polys(), polys())
+    def test_distributive(self, p, q, r):
+        assert p * (q + r) == p * q + p * r
+
+    @settings(max_examples=60, deadline=None)
+    @given(polys(), polys())
+    def test_evaluation_is_homomorphism(self, p, q):
+        lhs = (p * q).evaluate(ENV)
+        rhs = p.evaluate(ENV) * q.evaluate(ENV)
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+        assert (p + q).evaluate(ENV) == pytest.approx(
+            p.evaluate(ENV) + q.evaluate(ENV), rel=1e-9, abs=1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(polys(), st.integers(0, 4))
+    def test_power_matches_repeated_mul(self, p, e):
+        expected = poly_const(1)
+        for _ in range(e):
+            expected = expected * p
+        assert p**e == expected
+
+
+class TestDegrees:
+    def test_degree_in(self):
+        x, y = poly_var("x"), poly_var("y")
+        p = x**3 * y + x * y**2
+        assert p.degree_in("x") == 3
+        assert p.degree_in("y") == 2
+        assert p.degree_in("z") == 0
+
+    def test_total_degree(self):
+        x, y = poly_var("x"), poly_var("y")
+        assert (x**2 * y + x).total_degree() == 3
+        assert poly_const(7).total_degree() == 0
+
+    def test_max_degree_per_variable(self):
+        x, y = poly_var("x"), poly_var("y")
+        degs = (x**2 + y).max_degree_per_variable()
+        assert degs == {"x": 2, "y": 1}
+
+    @settings(max_examples=60, deadline=None)
+    @given(polys(), polys())
+    def test_product_degree_additivity(self, p, q):
+        if p.is_zero or q.is_zero:
+            return
+        for v in VARS:
+            assert (p * q).degree_in(v) <= p.degree_in(v) + q.degree_in(v)
+
+
+class TestSubstitute:
+    def test_numeric_substitution(self):
+        x = poly_var("x")
+        p = x**2 + 1
+        assert (p.substitute({"x": 3})).constant_value() == 10
+
+    def test_polynomial_substitution(self):
+        x, y = poly_var("x"), poly_var("y")
+        p = x**2
+        assert p.substitute({"x": y + 1}) == y**2 + 2 * y + 1
+
+    def test_partial_substitution(self):
+        x, y = poly_var("x"), poly_var("y")
+        p = x * y
+        assert p.substitute({"x": poly_const(2)}) == 2 * y
+
+    def test_unbound_evaluate_raises(self):
+        with pytest.raises(KeyError):
+            (poly_var("x") + poly_var("w")).evaluate({"x": 1.0})

@@ -1,0 +1,61 @@
+"""Unit tests for the preconditioner protocol and split operator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.precond.base import Preconditioner, SplitPreconditioner, split_operator
+from repro.precond.identity import IdentityPrecond
+from repro.precond.jacobi import JacobiPrecond
+from repro.sparse.generators import poisson2d
+
+
+class TestProtocols:
+    def test_identity_satisfies_both(self):
+        m = IdentityPrecond()
+        assert isinstance(m, Preconditioner)
+        assert isinstance(m, SplitPreconditioner)
+
+    def test_jacobi_satisfies_both(self):
+        m = JacobiPrecond(poisson2d(3))
+        assert isinstance(m, Preconditioner)
+        assert isinstance(m, SplitPreconditioner)
+
+
+class TestIdentity:
+    def test_apply_copies(self):
+        m = IdentityPrecond()
+        r = np.ones(4)
+        out = m.apply(r)
+        out[0] = 9.0
+        assert r[0] == 1.0
+
+    def test_factor_solves_are_identity(self):
+        m = IdentityPrecond()
+        v = np.arange(3.0)
+        np.testing.assert_array_equal(m.solve_factor(v), v)
+        np.testing.assert_array_equal(m.solve_factor_t(v), v)
+
+
+class TestSplitOperator:
+    def test_identity_split_is_original(self):
+        a = poisson2d(4)
+        tilde = split_operator(a, IdentityPrecond())
+        x = np.arange(1.0, a.nrows + 1)
+        np.testing.assert_allclose(tilde.matvec(x), a.matvec(x), rtol=1e-14)
+
+    def test_jacobi_split_symmetric(self):
+        a = poisson2d(4)
+        tilde = split_operator(a, JacobiPrecond(a))
+        n = a.nrows
+        mat = np.array([tilde.matvec(e) for e in np.eye(n)]).T
+        np.testing.assert_allclose(mat, mat.T, atol=1e-12)
+
+    def test_row_degree_override(self):
+        a = poisson2d(3)
+        tilde = split_operator(a, IdentityPrecond(), row_degree=42)
+        assert tilde.max_row_degree() == 42
+
+    def test_shape(self):
+        a = poisson2d(3)
+        assert split_operator(a, IdentityPrecond()).shape == (9, 9)

@@ -1,0 +1,94 @@
+"""Unit tests for incomplete Cholesky IC(0)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.precond.ic0 import ICholPrecond, ic0_factor
+from repro.sparse.csr import from_dense
+from repro.sparse.generators import banded_spd, poisson1d, poisson2d
+
+
+class TestFactor:
+    def test_exact_for_full_lower_pattern(self):
+        """When A's lower triangle is dense, IC(0) == exact Cholesky."""
+        rng = np.random.default_rng(3)
+        g = rng.standard_normal((6, 6))
+        a = g @ g.T + 6 * np.eye(6)
+        l = ic0_factor(from_dense(a)).todense()
+        np.testing.assert_allclose(l, np.linalg.cholesky(a), rtol=1e-10)
+
+    def test_tridiagonal_exact(self):
+        """Tridiagonal SPD has no fill-in, so IC(0) is exact."""
+        a = poisson1d(12)
+        l = ic0_factor(a).todense()
+        np.testing.assert_allclose(l @ l.T, a.todense(), atol=1e-12)
+
+    def test_pattern_preserved(self):
+        a = poisson2d(5)
+        l = ic0_factor(a)
+        lower = a.lower_triangle()
+        np.testing.assert_array_equal(l.indptr, lower.indptr)
+        np.testing.assert_array_equal(l.indices, lower.indices)
+
+    def test_residual_small_on_poisson(self):
+        a = poisson2d(5)
+        l = ic0_factor(a).todense()
+        err = np.linalg.norm(l @ l.T - a.todense()) / np.linalg.norm(a.todense())
+        assert err < 0.2  # incomplete, but close on an M-matrix
+
+    def test_missing_diagonal_rejected(self):
+        bad = from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            ic0_factor(bad)
+
+    def test_breakdown_raises(self):
+        # SPD matrix engineered so the restricted factorization hits a
+        # non-positive pivot... an indefinite matrix certainly breaks down.
+        indefinite = from_dense(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        with pytest.raises(ValueError, match="pivot"):
+            ic0_factor(indefinite)
+
+
+class TestPrecond:
+    def test_apply_inverts_llt(self):
+        a = poisson1d(10)
+        m = ICholPrecond(a)
+        r = np.arange(1.0, 11.0)
+        # tridiagonal: L L^T = A exactly, so apply == A^{-1}
+        np.testing.assert_allclose(
+            m.apply(r), np.linalg.solve(a.todense(), r), rtol=1e-9
+        )
+
+    def test_split_consistency(self):
+        a = banded_spd(30, 3, seed=8)
+        m = ICholPrecond(a)
+        r = np.linspace(0, 1, 30)
+        np.testing.assert_allclose(
+            m.solve_factor_t(m.solve_factor(r)), m.apply(r), rtol=1e-11
+        )
+
+    def test_no_shift_on_nice_matrix(self):
+        m = ICholPrecond(poisson2d(4))
+        assert m.shift_used == 0.0
+
+    def test_shifted_retry(self):
+        # SPD but far from an M-matrix (strong positive couplings):
+        # plain IC(0) may break down; the precond must still construct,
+        # recording any shift it needed.
+        n = 8
+        a = np.full((n, n), 0.9)
+        np.fill_diagonal(a, 1.0)
+        csr = from_dense(a)
+        m = ICholPrecond(csr)
+        assert m.factor.shape == (n, n)
+        assert m.shift_used >= 0.0
+        # the preconditioner must still be SPD: z^T M^{-1} z > 0
+        z = np.arange(1.0, n + 1)
+        assert float(z @ m.apply(z)) > 0.0
+
+    def test_factor_property(self):
+        a = poisson1d(5)
+        m = ICholPrecond(a)
+        assert m.factor.shape == (5, 5)

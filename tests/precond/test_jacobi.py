@@ -1,0 +1,58 @@
+"""Unit tests for Jacobi preconditioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.precond.jacobi import JacobiPrecond
+from repro.sparse.csr import from_dense
+from repro.sparse.generators import poisson2d
+
+
+class TestJacobi:
+    def test_apply_divides_by_diagonal(self):
+        a = from_dense(np.diag([2.0, 4.0]))
+        m = JacobiPrecond(a)
+        np.testing.assert_allclose(m.apply(np.array([2.0, 4.0])), [1.0, 1.0])
+
+    def test_split_consistency(self):
+        """solve_factor twice == apply (M = E E^T with E symmetric)."""
+        a = poisson2d(4)
+        m = JacobiPrecond(a)
+        r = np.linspace(1, 2, a.nrows)
+        np.testing.assert_allclose(
+            m.solve_factor_t(m.solve_factor(r)), m.apply(r), rtol=1e-14
+        )
+
+    def test_dense_input(self):
+        m = JacobiPrecond(np.diag([9.0]))
+        np.testing.assert_allclose(m.solve_factor(np.array([3.0])), [1.0])
+
+    def test_scaled_matrix_unit_diagonal(self):
+        a = poisson2d(4)
+        scaled = JacobiPrecond(a).scaled_matrix(a)
+        np.testing.assert_allclose(scaled.diagonal(), np.ones(a.nrows), rtol=1e-14)
+
+    def test_scaled_matrix_equals_split_operator(self):
+        a = poisson2d(3)
+        m = JacobiPrecond(a)
+        scaled = m.scaled_matrix(a)
+        x = np.arange(1.0, a.nrows + 1)
+        via_split = m.solve_factor(a.matvec(m.solve_factor_t(x)))
+        np.testing.assert_allclose(scaled.matvec(x), via_split, rtol=1e-12)
+
+    def test_nonpositive_diagonal_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            JacobiPrecond(np.diag([1.0, -2.0]))
+
+    def test_zero_diagonal_rejected(self):
+        with pytest.raises(ValueError):
+            JacobiPrecond(np.diag([1.0, 0.0]))
+
+    def test_diagonal_property_copies(self):
+        a = from_dense(np.diag([2.0]))
+        m = JacobiPrecond(a)
+        d = m.diagonal
+        d[0] = 99.0
+        assert m.diagonal[0] == 2.0

@@ -1,0 +1,92 @@
+"""Unit tests for the COO builder and CSR conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.coo import COOBuilder, coo_arrays_to_csr_parts
+
+
+class TestBuilder:
+    def test_single_entries(self):
+        b = COOBuilder(2, 2)
+        b.add(0, 1, 5.0)
+        a = b.to_csr()
+        assert a.todense()[0, 1] == 5.0
+        assert a.nnz == 1
+
+    def test_duplicates_summed(self):
+        b = COOBuilder(1, 1)
+        b.add(0, 0, 1.0)
+        b.add(0, 0, 2.5)
+        assert b.to_csr().todense()[0, 0] == 3.5
+
+    def test_batch(self):
+        b = COOBuilder(3, 3)
+        b.add_batch(np.array([0, 1, 2]), np.array([2, 1, 0]), np.array([1.0, 2.0, 3.0]))
+        dense = b.to_csr().todense()
+        assert dense[0, 2] == 1.0 and dense[1, 1] == 2.0 and dense[2, 0] == 3.0
+
+    def test_empty_builder(self):
+        a = COOBuilder(2, 3).to_csr()
+        assert a.shape == (2, 3)
+        assert a.nnz == 0
+
+    def test_nnz_pending(self):
+        b = COOBuilder(2, 2)
+        b.add(0, 0, 1.0)
+        b.add(0, 0, 1.0)
+        assert b.nnz_pending == 2
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            COOBuilder(0, 2)
+
+    def test_mismatched_batch(self):
+        b = COOBuilder(2, 2)
+        with pytest.raises(ValueError):
+            b.add_batch(np.array([0]), np.array([0, 1]), np.array([1.0]))
+
+    def test_out_of_range_row(self):
+        b = COOBuilder(2, 2)
+        b.add(5, 0, 1.0)
+        with pytest.raises(ValueError, match="row"):
+            b.to_csr()
+
+    def test_out_of_range_col(self):
+        b = COOBuilder(2, 2)
+        b.add(0, 9, 1.0)
+        with pytest.raises(ValueError, match="column"):
+            b.to_csr()
+
+
+class TestConversion:
+    def test_sorted_within_rows(self):
+        b = COOBuilder(1, 5)
+        b.add_batch(np.zeros(3, dtype=np.int64), np.array([4, 0, 2]), np.ones(3))
+        a = b.to_csr()
+        np.testing.assert_array_equal(a.indices, [0, 2, 4])
+
+    def test_parts_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            coo_arrays_to_csr_parts(
+                np.array([0]), np.array([0, 1]), np.array([1.0]), 2, 2
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5), st.floats(-10, 10)),
+            max_size=40,
+        )
+    )
+    def test_matches_dense_accumulation(self, triplets):
+        dense = np.zeros((6, 6))
+        b = COOBuilder(6, 6)
+        for r, c, v in triplets:
+            dense[r, c] += v
+            b.add(r, c, v)
+        np.testing.assert_allclose(b.to_csr().todense(), dense, atol=1e-12)

@@ -1,0 +1,160 @@
+"""Unit tests for the model-problem generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.generators import (
+    anisotropic2d,
+    banded_spd,
+    dense_spd_csr,
+    poisson1d,
+    poisson2d,
+    poisson3d,
+    tridiag_toeplitz,
+)
+
+
+def assert_spd(a, tol=1e-10):
+    dense = a.todense()
+    np.testing.assert_allclose(dense, dense.T, atol=tol)
+    w = np.linalg.eigvalsh(dense)
+    assert w.min() > 0, f"matrix not positive definite (min eig {w.min()})"
+
+
+class TestPoisson1d:
+    def test_structure(self):
+        a = poisson1d(4).todense()
+        expected = np.array(
+            [
+                [2, -1, 0, 0],
+                [-1, 2, -1, 0],
+                [0, -1, 2, -1],
+                [0, 0, -1, 2],
+            ],
+            dtype=float,
+        )
+        np.testing.assert_array_equal(a, expected)
+
+    def test_spd(self):
+        assert_spd(poisson1d(20))
+
+    def test_known_spectrum(self):
+        # eigenvalues of the n-point 1-D Laplacian: 2 - 2 cos(j*pi/(n+1))
+        n = 12
+        w = np.linalg.eigvalsh(poisson1d(n).todense())
+        expected = np.sort(2.0 - 2.0 * np.cos(np.arange(1, n + 1) * np.pi / (n + 1)))
+        np.testing.assert_allclose(w, expected, atol=1e-12)
+
+    def test_size_one(self):
+        assert poisson1d(1).todense()[0, 0] == 2.0
+
+
+class TestPoisson2d:
+    def test_order(self):
+        assert poisson2d(4, 5).shape == (20, 20)
+
+    def test_spd_5pt(self):
+        assert_spd(poisson2d(5))
+
+    def test_spd_9pt(self):
+        assert_spd(poisson2d(5, stencil=9))
+
+    def test_degree_5pt(self):
+        assert poisson2d(5).max_row_degree() == 5
+
+    def test_degree_9pt(self):
+        assert poisson2d(5, stencil=9).max_row_degree() == 9
+
+    def test_interior_row_sums_zero_5pt(self):
+        # interior rows of the Dirichlet Laplacian sum to 0
+        a = poisson2d(5).todense()
+        interior = 2 * 5 + 2  # an interior grid point (i=2, j=2)
+        assert a[12].sum() == pytest.approx(0.0)
+
+    def test_bad_stencil(self):
+        with pytest.raises(ValueError):
+            poisson2d(3, stencil=7)
+
+    def test_kron_identity(self):
+        # 2-D 5-pt Laplacian == I (x) T + T (x) I
+        n = 4
+        t = poisson1d(n).todense()
+        eye = np.eye(n)
+        expected = np.kron(t, eye) + np.kron(eye, t)
+        np.testing.assert_allclose(poisson2d(n).todense(), expected)
+
+
+class TestPoisson3d:
+    def test_order(self):
+        assert poisson3d(3).shape == (27, 27)
+
+    def test_spd_7pt(self):
+        assert_spd(poisson3d(3))
+
+    def test_degree_27pt(self):
+        assert poisson3d(3, stencil=27).max_row_degree() == 27
+
+    def test_bad_stencil(self):
+        with pytest.raises(ValueError):
+            poisson3d(2, stencil=5)
+
+
+class TestAnisotropic:
+    def test_spd(self):
+        assert_spd(anisotropic2d(5, epsilon=0.01))
+
+    def test_spectrum_shifts_down_with_epsilon(self):
+        # lambda_min = lambda_min_x + eps * lambda_min_y decreases with eps
+        def lam_min(eps):
+            return np.linalg.eigvalsh(anisotropic2d(6, epsilon=eps).todense())[0]
+
+        assert lam_min(0.01) < lam_min(0.5) < lam_min(1.0)
+
+    def test_epsilon_one_is_poisson(self):
+        np.testing.assert_allclose(
+            anisotropic2d(4, epsilon=1.0).todense(), poisson2d(4).todense()
+        )
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            anisotropic2d(3, epsilon=0.0)
+
+
+class TestBandedSpd:
+    def test_spd(self):
+        assert_spd(banded_spd(40, 3, seed=1))
+
+    def test_bandwidth_respected(self):
+        a = banded_spd(20, 2, seed=2).todense()
+        for i in range(20):
+            for j in range(20):
+                if abs(i - j) > 2:
+                    assert a[i, j] == 0.0
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            banded_spd(15, 2, seed=3).todense(), banded_spd(15, 2, seed=3).todense()
+        )
+
+    def test_zero_bandwidth_is_diagonal(self):
+        a = banded_spd(10, 0, seed=1).todense()
+        np.testing.assert_array_equal(a, np.diag(np.diag(a)))
+
+    def test_bad_dominance(self):
+        with pytest.raises(ValueError):
+            banded_spd(10, 1, dominance=0.5)
+
+
+class TestMisc:
+    def test_tridiag_toeplitz(self):
+        a = tridiag_toeplitz(3, 1.0, 5.0, 2.0).todense()
+        np.testing.assert_array_equal(
+            a, [[5.0, 2.0, 0.0], [1.0, 5.0, 2.0], [0.0, 1.0, 5.0]]
+        )
+
+    def test_dense_spd_csr(self):
+        a = dense_spd_csr(10, cond=10.0)
+        assert a.max_row_degree() == 10
+        assert_spd(a)

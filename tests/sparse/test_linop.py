@@ -1,0 +1,85 @@
+"""Unit tests for the operator protocol and adapters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.csr import from_dense
+from repro.sparse.linop import (
+    CallableOperator,
+    DenseOperator,
+    LinearOperator,
+    as_operator,
+)
+from repro.util.counters import counting
+
+
+class TestDenseOperator:
+    def test_matvec(self):
+        a = np.array([[2.0, 0.0], [0.0, 3.0]])
+        op = DenseOperator(a)
+        np.testing.assert_allclose(op.matvec(np.array([1.0, 1.0])), [2.0, 3.0])
+
+    def test_shape_and_degree(self):
+        op = DenseOperator(np.eye(4))
+        assert op.shape == (4, 4)
+        assert op.max_row_degree() == 4
+
+    def test_counted(self):
+        op = DenseOperator(np.eye(3))
+        with counting() as c:
+            op @ np.ones(3)
+        assert c.matvecs == 1
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError):
+            DenseOperator(np.ones((2, 3)))
+
+
+class TestCallableOperator:
+    def test_wraps_function(self):
+        op = CallableOperator(3, lambda x: 2.0 * x, row_degree=1)
+        np.testing.assert_allclose(op.matvec(np.ones(3)), 2.0 * np.ones(3))
+        assert op.shape == (3, 3)
+        assert op.max_row_degree() == 1
+
+    def test_default_degree_dense(self):
+        op = CallableOperator(5, lambda x: x)
+        assert op.max_row_degree() == 5
+
+    def test_satisfies_protocol(self):
+        op = CallableOperator(2, lambda x: x)
+        assert isinstance(op, LinearOperator)
+
+
+class TestAsOperator:
+    def test_ndarray(self):
+        op = as_operator(np.eye(2))
+        assert isinstance(op, DenseOperator)
+
+    def test_csr_passthrough(self):
+        a = from_dense(np.eye(2))
+        assert as_operator(a) is a
+
+    def test_scipy_sparse(self):
+        s = sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        op = as_operator(s)
+        np.testing.assert_allclose(op.matvec(np.array([1.0, 1.0])), [3.0, 3.0])
+        assert op.max_row_degree() == 2
+
+    def test_scipy_counted(self):
+        s = sp.identity(4, format="csr")
+        op = as_operator(s)
+        with counting() as c:
+            op.matvec(np.ones(4))
+        assert c.matvecs == 1
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_operator("not an operator")
+
+    def test_rejects_rectangular_scipy(self):
+        with pytest.raises(ValueError):
+            as_operator(sp.csr_matrix(np.ones((2, 3))))

@@ -1,0 +1,125 @@
+"""Unit tests for the matrix powers kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.generators import banded_spd, poisson1d, poisson2d
+from repro.sparse.matrix_powers import MatrixPowersKernel, RowPartition
+from repro.util.rng import default_rng
+
+
+def global_powers(a, x, k):
+    out = [np.asarray(x, dtype=np.float64)]
+    for _ in range(k):
+        out.append(a.matvec(out[-1]))
+    return np.array(out)
+
+
+class TestRowPartition:
+    def test_uniform_covers_all_rows(self):
+        part = RowPartition.uniform(10, 3)
+        rows = np.concatenate([part.owner_rows(b) for b in range(3)])
+        np.testing.assert_array_equal(np.sort(rows), np.arange(10))
+
+    def test_block_of(self):
+        part = RowPartition.uniform(10, 2)
+        assert part.block_of(0) == 0
+        assert part.block_of(9) == 1
+
+    def test_too_many_blocks(self):
+        with pytest.raises(ValueError):
+            RowPartition.uniform(3, 5)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("nblocks", [1, 2, 4, 7])
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_matches_global_computation(self, nblocks, k):
+        a = poisson2d(6)
+        x = default_rng(3).standard_normal(a.nrows)
+        kernel = MatrixPowersKernel(a, RowPartition.uniform(a.nrows, nblocks), k)
+        np.testing.assert_allclose(
+            kernel.compute(x), global_powers(a, x, k), rtol=1e-12
+        )
+
+    def test_banded_matrix(self):
+        a = banded_spd(40, 3, seed=2)
+        x = default_rng(4).standard_normal(40)
+        kernel = MatrixPowersKernel(a, RowPartition.uniform(40, 5), 3)
+        np.testing.assert_allclose(
+            kernel.compute(x), global_powers(a, x, 3), rtol=1e-12
+        )
+
+    def test_no_nans_leak(self):
+        a = poisson1d(20)
+        kernel = MatrixPowersKernel(a, RowPartition.uniform(20, 4), 2)
+        out = kernel.compute(np.ones(20))
+        assert np.all(np.isfinite(out))
+
+    def test_shape_validation(self):
+        a = poisson1d(10)
+        kernel = MatrixPowersKernel(a, RowPartition.uniform(10, 2), 2)
+        with pytest.raises(ValueError):
+            kernel.compute(np.ones(5))
+
+    def test_partition_mismatch(self):
+        with pytest.raises(ValueError):
+            MatrixPowersKernel(poisson1d(10), RowPartition.uniform(8, 2), 2)
+
+
+class TestGhostStructure:
+    def test_single_block_has_no_ghosts(self):
+        a = poisson2d(5)
+        kernel = MatrixPowersKernel(a, RowPartition.uniform(a.nrows, 1), 3)
+        assert kernel.ghost_rows(0).size == 0
+        assert kernel.stats().ghost_words == 0
+
+    def test_1d_ghost_width_is_k(self):
+        """On the tridiagonal path graph the k-hop ghost region of an
+        interior block is exactly k rows per side."""
+        n, k = 60, 4
+        a = poisson1d(n)
+        part = RowPartition.uniform(n, 3)
+        kernel = MatrixPowersKernel(a, part, k)
+        interior = kernel.ghost_rows(1)
+        assert interior.size == 2 * k
+
+    def test_ghost_volume_monotone_in_k(self):
+        a = poisson2d(8)
+        part = RowPartition.uniform(a.nrows, 4)
+        volumes = [
+            MatrixPowersKernel(a, part, k).stats().ghost_words for k in (1, 2, 3, 4)
+        ]
+        assert all(v2 >= v1 for v1, v2 in zip(volumes, volumes[1:]))
+
+    def test_k1_matches_boundary(self):
+        """At k = 1 the kernel's fetch is exactly the 1-hop halo."""
+        a = poisson2d(7)
+        stats = MatrixPowersKernel(a, RowPartition.uniform(a.nrows, 4), 1).stats()
+        assert stats.ghost_words == stats.boundary_words
+        assert stats.volume_overhead == pytest.approx(1.0)
+
+
+class TestStats:
+    def test_redundancy_at_least_one(self):
+        a = poisson2d(8)
+        stats = MatrixPowersKernel(a, RowPartition.uniform(a.nrows, 4), 3).stats()
+        assert stats.redundancy >= 1.0
+
+    def test_redundancy_grows_with_k(self):
+        a = poisson2d(8)
+        part = RowPartition.uniform(a.nrows, 4)
+        r = [MatrixPowersKernel(a, part, k).stats().redundancy for k in (1, 3, 5)]
+        assert r[0] <= r[1] <= r[2]
+
+    def test_single_block_no_redundancy(self):
+        a = poisson2d(6)
+        stats = MatrixPowersKernel(a, RowPartition.uniform(a.nrows, 1), 3).stats()
+        assert stats.redundancy == pytest.approx(1.0)
+
+    def test_rounds_saved(self):
+        a = poisson1d(12)
+        stats = MatrixPowersKernel(a, RowPartition.uniform(12, 2), 5).stats()
+        assert stats.communication_rounds_saved == 4

@@ -1,0 +1,91 @@
+"""Unit tests for MatrixMarket I/O."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import from_dense
+from repro.sparse.generators import banded_spd
+from repro.sparse.mmio import read_matrix_market, write_matrix_market
+
+
+class TestRoundTrip:
+    def test_general(self):
+        dense = np.array([[1.5, 0.0], [2.0, -3.0]])
+        buf = io.StringIO()
+        write_matrix_market(from_dense(dense), buf)
+        buf.seek(0)
+        back = read_matrix_market(buf)
+        np.testing.assert_allclose(back.todense(), dense)
+
+    def test_symmetric_storage(self):
+        a = banded_spd(12, 2, seed=4)
+        buf = io.StringIO()
+        write_matrix_market(a, buf, symmetric=True)
+        buf.seek(0)
+        back = read_matrix_market(buf)
+        np.testing.assert_allclose(back.todense(), a.todense(), atol=1e-14)
+
+    def test_symmetric_flag_checked(self):
+        nonsym = from_dense(np.array([[1.0, 2.0], [0.0, 1.0]]))
+        with pytest.raises(ValueError, match="not symmetric"):
+            write_matrix_market(nonsym, io.StringIO(), symmetric=True)
+
+    def test_file_path(self, tmp_path):
+        dense = np.array([[4.0]])
+        path = tmp_path / "m.mtx"
+        write_matrix_market(from_dense(dense), path, comment="test matrix")
+        back = read_matrix_market(path)
+        assert back.todense()[0, 0] == 4.0
+        assert "% test matrix" in path.read_text()
+
+    def test_empty_matrix(self):
+        buf = io.StringIO()
+        write_matrix_market(from_dense(np.zeros((2, 2))), buf)
+        buf.seek(0)
+        back = read_matrix_market(buf)
+        assert back.nnz == 0
+        assert back.shape == (2, 2)
+
+
+class TestParsing:
+    def test_one_based_indices(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n2 1 7.5\n"
+        a = read_matrix_market(io.StringIO(text))
+        assert a.todense()[1, 0] == 7.5
+
+    def test_comments_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n1 1 1\n1 1 2.0\n"
+        )
+        assert read_matrix_market(io.StringIO(text)).todense()[0, 0] == 2.0
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError, match="header"):
+            read_matrix_market(io.StringIO("%%Garbage\n1 1 0\n"))
+
+    def test_unsupported_symmetry(self):
+        text = "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n"
+        with pytest.raises(ValueError, match="symmetry"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_malformed_size(self):
+        text = "%%MatrixMarket matrix coordinate real general\nnot a size\n"
+        with pytest.raises(ValueError, match="size"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_wrong_entry_count(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_values_preserved_exactly(self):
+        dense = np.array([[1.0 / 3.0]])
+        buf = io.StringIO()
+        write_matrix_market(from_dense(dense), buf)
+        buf.seek(0)
+        assert read_matrix_market(buf).todense()[0, 0] == dense[0, 0]

@@ -1,0 +1,112 @@
+"""Unit tests for RCM reordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.standard import conjugate_gradient
+from repro.sparse.csr import from_dense, identity
+from repro.sparse.generators import banded_spd, poisson2d
+from repro.sparse.reorder import (
+    bandwidth,
+    permute_symmetric,
+    pseudo_peripheral_vertex,
+    rcm_permutation,
+)
+from repro.util.rng import default_rng
+
+
+def shuffled_poisson(grid: int, seed: int):
+    """A Poisson matrix with its natural ordering destroyed."""
+    a = poisson2d(grid)
+    perm = default_rng(seed).permutation(a.nrows)
+    return permute_symmetric(a, perm), a
+
+
+class TestBandwidth:
+    def test_diagonal(self):
+        assert bandwidth(identity(5)) == 0
+
+    def test_empty(self):
+        assert bandwidth(from_dense(np.zeros((3, 3)))) == 0
+
+    def test_known(self):
+        a = banded_spd(20, 3, seed=1)
+        assert bandwidth(a) == 3
+
+
+class TestPermutation:
+    def test_is_permutation(self):
+        a = poisson2d(6)
+        perm = rcm_permutation(a)
+        assert sorted(perm.tolist()) == list(range(a.nrows))
+
+    def test_reduces_bandwidth_of_shuffled_grid(self):
+        shuffled, _ = shuffled_poisson(8, seed=3)
+        before = bandwidth(shuffled)
+        perm = rcm_permutation(shuffled)
+        after = bandwidth(permute_symmetric(shuffled, perm))
+        assert after < before
+        # 2-D grid RCM bandwidth should be O(grid side)
+        assert after <= 2 * 8
+
+    def test_disconnected_components(self):
+        block = np.zeros((6, 6))
+        block[:3, :3] = np.array(
+            [[2.0, -1.0, 0.0], [-1.0, 2.0, -1.0], [0.0, -1.0, 2.0]]
+        )
+        block[3:, 3:] = np.diag([1.0, 2.0, 3.0])
+        a = from_dense(block)
+        perm = rcm_permutation(a)
+        assert sorted(perm.tolist()) == list(range(6))
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError):
+            rcm_permutation(from_dense(np.ones((2, 3))))
+
+
+class TestPermuteSymmetric:
+    def test_entries_relocated(self):
+        a = from_dense(np.array([[1.0, 2.0], [2.0, 4.0]]))
+        perm = np.array([1, 0])
+        p = permute_symmetric(a, perm).todense()
+        np.testing.assert_array_equal(p, [[4.0, 2.0], [2.0, 1.0]])
+
+    def test_spectrum_invariant(self):
+        a = poisson2d(5)
+        perm = rcm_permutation(a)
+        w1 = np.linalg.eigvalsh(a.todense())
+        w2 = np.linalg.eigvalsh(permute_symmetric(a, perm).todense())
+        np.testing.assert_allclose(w1, w2, atol=1e-10)
+
+    def test_bad_perm_rejected(self):
+        a = identity(3)
+        with pytest.raises(ValueError):
+            permute_symmetric(a, np.array([0, 0, 1]))
+
+    def test_solution_maps_back(self):
+        """Solve the permuted system and un-permute: same answer."""
+        shuffled, _ = shuffled_poisson(6, seed=5)
+        b = default_rng(6).standard_normal(shuffled.nrows)
+        perm = rcm_permutation(shuffled)
+        reordered = permute_symmetric(shuffled, perm)
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(perm.size)
+        res_direct = conjugate_gradient(shuffled, b)
+        res_perm = conjugate_gradient(reordered, b[perm])
+        np.testing.assert_allclose(res_perm.x[inverse], res_direct.x, atol=1e-6)
+
+
+class TestPseudoPeripheral:
+    def test_path_graph_finds_endpoint(self):
+        # tridiagonal = path graph: peripheral vertices are 0 and n-1
+        from repro.sparse.generators import poisson1d
+
+        a = poisson1d(15)
+        v = pseudo_peripheral_vertex(a, start=7)
+        assert v in (0, 14)
+
+    def test_out_of_range_start(self):
+        with pytest.raises(ValueError):
+            pseudo_peripheral_vertex(identity(3), start=9)

@@ -1,0 +1,55 @@
+"""Unit tests for matrix statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import from_dense
+from repro.sparse.generators import poisson1d, poisson2d
+from repro.sparse.stats import estimate_extreme_eigenvalues, matrix_stats
+
+
+class TestMatrixStats:
+    def test_basic_fields(self):
+        s = matrix_stats(poisson2d(5))
+        assert s.n == 25
+        assert s.max_degree == 5
+        assert s.symmetric
+        assert 0 < s.lambda_min < s.lambda_max < 8.0
+
+    def test_condition_estimate(self):
+        s = matrix_stats(from_dense(np.diag([1.0, 4.0])))
+        assert s.condition_estimate == pytest.approx(4.0)
+
+    def test_condition_infinite_for_semidefinite(self):
+        s = matrix_stats(from_dense(np.diag([0.0, 1.0])))
+        assert s.condition_estimate == float("inf")
+
+    def test_no_spectrum_mode(self):
+        s = matrix_stats(poisson1d(10), estimate_spectrum=False)
+        assert np.isnan(s.lambda_min)
+
+    def test_avg_degree(self):
+        s = matrix_stats(from_dense(np.array([[1.0, 1.0], [0.0, 1.0]])),
+                         estimate_spectrum=False)
+        assert s.avg_degree == pytest.approx(1.5)
+
+
+class TestExtremeEigenvalues:
+    def test_exact_small(self):
+        lo, hi = estimate_extreme_eigenvalues(from_dense(np.diag([2.0, 5.0, 9.0])))
+        assert lo == pytest.approx(2.0)
+        assert hi == pytest.approx(9.0)
+
+    def test_poisson_against_formula(self):
+        n = 30
+        lo, hi = estimate_extreme_eigenvalues(poisson1d(n))
+        assert lo == pytest.approx(2 - 2 * np.cos(np.pi / (n + 1)), rel=1e-8)
+        assert hi == pytest.approx(2 - 2 * np.cos(n * np.pi / (n + 1)), rel=1e-8)
+
+    def test_large_path_runs(self):
+        # order > exact_threshold exercises the Lanczos branch
+        a = poisson2d(22)  # 484 > 400
+        lo, hi = estimate_extreme_eigenvalues(a)
+        assert 0 < lo < hi < 8.0

@@ -1,0 +1,84 @@
+"""Unit tests for sparse triangular solves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.csr import from_dense
+from repro.sparse.trisolve import solve_lower, solve_upper
+from repro.util.rng import default_rng
+
+
+def random_lower(n: int, seed: int) -> np.ndarray:
+    rng = default_rng(seed)
+    a = np.tril(rng.standard_normal((n, n)))
+    np.fill_diagonal(a, rng.uniform(1.0, 2.0, n))
+    # Sparsify off-diagonals
+    mask = np.tril(rng.uniform(size=(n, n)) < 0.5, -1)
+    off = np.where(mask, a, 0.0)
+    np.fill_diagonal(off, np.diag(a))
+    return off
+
+
+class TestSolveLower:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 15), st.integers(0, 500))
+    def test_matches_numpy(self, n, seed):
+        lower = random_lower(n, seed)
+        b = default_rng(seed + 1).standard_normal(n)
+        x = solve_lower(from_dense(lower), b)
+        np.testing.assert_allclose(x, np.linalg.solve(lower, b), rtol=1e-9, atol=1e-9)
+
+    def test_unit_diagonal(self):
+        lower = np.array([[5.0, 0.0], [2.0, 7.0]])
+        b = np.array([1.0, 4.0])
+        x = solve_lower(from_dense(lower), b, unit_diagonal=True)
+        # diagonal treated as 1: x0 = 1, x1 = 4 - 2*1 = 2
+        np.testing.assert_allclose(x, [1.0, 2.0])
+
+    def test_rejects_upper_entries(self):
+        a = from_dense(np.array([[1.0, 2.0], [0.0, 1.0]]))
+        with pytest.raises(ValueError, match="above"):
+            solve_lower(a, np.ones(2))
+
+    def test_zero_diagonal(self):
+        a = from_dense(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        with pytest.raises(ZeroDivisionError):
+            solve_lower(a, np.ones(2))
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            solve_lower(from_dense(np.ones((2, 3))), np.ones(2))
+
+    def test_wrong_rhs_shape(self):
+        with pytest.raises(ValueError):
+            solve_lower(from_dense(np.eye(2)), np.ones(3))
+
+
+class TestSolveUpper:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 15), st.integers(0, 500))
+    def test_matches_numpy(self, n, seed):
+        upper = random_lower(n, seed).T.copy()
+        b = default_rng(seed + 2).standard_normal(n)
+        x = solve_upper(from_dense(upper), b)
+        np.testing.assert_allclose(x, np.linalg.solve(upper, b), rtol=1e-9, atol=1e-9)
+
+    def test_rejects_lower_entries(self):
+        a = from_dense(np.array([[1.0, 0.0], [2.0, 1.0]]))
+        with pytest.raises(ValueError, match="below"):
+            solve_upper(a, np.ones(2))
+
+    def test_round_trip_with_transpose(self):
+        lower = random_lower(8, 42)
+        b = default_rng(3).standard_normal(8)
+        l_csr = from_dense(lower)
+        u_csr = l_csr.transpose()
+        y = solve_lower(l_csr, b)
+        x = solve_upper(u_csr, y)
+        np.testing.assert_allclose(
+            lower @ (lower.T @ x), b, rtol=1e-8, atol=1e-8
+        )

@@ -1,0 +1,135 @@
+"""Tests for the command line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sparse.generators import poisson2d
+from repro.sparse.mmio import write_matrix_market
+
+
+@pytest.fixture
+def mtx_file(tmp_path):
+    path = tmp_path / "a.mtx"
+    write_matrix_market(poisson2d(8), path, symmetric=True)
+    return path
+
+
+class TestSolve:
+    def test_generated_problem(self, capsys):
+        rc = main(["solve", "--generate", "poisson2d", "--size", "10",
+                   "--solver", "cg"])
+        assert rc == 0
+        assert "converged" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "solver", ["cg", "vr", "pipelined-vr", "three-term", "cg-cg", "gv", "sstep"]
+    )
+    def test_all_solvers(self, solver, capsys):
+        rc = main(["solve", "--generate", "poisson2d", "--size", "8",
+                   "--solver", solver, "--k", "2", "--replace-every", "8"])
+        assert rc == 0
+
+    def test_matrix_file(self, mtx_file, capsys):
+        rc = main(["solve", "--matrix", str(mtx_file), "--solver", "vr",
+                   "--k", "1"])
+        assert rc == 0
+
+    def test_preconditioned(self, capsys):
+        rc = main(["solve", "--generate", "anisotropic2d", "--size", "10",
+                   "--solver", "vr", "--precond", "ssor", "--omega", "1.2",
+                   "--replace-every", "6"])
+        assert rc == 0
+
+    def test_rhs_file_and_out(self, mtx_file, tmp_path, capsys):
+        rhs = tmp_path / "b.txt"
+        np.savetxt(rhs, np.ones(64))
+        out = tmp_path / "x.txt"
+        rc = main(["solve", "--matrix", str(mtx_file), "--rhs", str(rhs),
+                   "--out", str(out), "--solver", "cg"])
+        assert rc == 0
+        x = np.loadtxt(out)
+        a = poisson2d(8)
+        np.testing.assert_allclose(a.matvec(x), np.ones(64), atol=1e-5)
+
+    def test_rhs_size_mismatch(self, mtx_file, tmp_path):
+        rhs = tmp_path / "b.txt"
+        np.savetxt(rhs, np.ones(3))
+        with pytest.raises(SystemExit):
+            main(["solve", "--matrix", str(mtx_file), "--rhs", str(rhs)])
+
+    def test_no_source_errors(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--solver", "cg"])
+
+    def test_unconverged_exit_code(self, capsys):
+        rc = main(["solve", "--generate", "poisson2d", "--size", "16",
+                   "--solver", "cg", "--max-iter", "2", "--rtol", "1e-12"])
+        assert rc == 1
+
+    def test_precond_unsupported_solver(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["solve", "--generate", "poisson2d", "--size", "8",
+                  "--solver", "gv", "--precond", "jacobi"])
+
+    def test_drift_tol_flag(self, capsys):
+        rc = main(["solve", "--generate", "poisson2d", "--size", "10",
+                   "--solver", "vr", "--k", "3", "--drift-tol", "1e-6"])
+        assert rc == 0
+
+
+class TestInfo:
+    def test_info_output(self, mtx_file, capsys):
+        rc = main(["info", "--matrix", str(mtx_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "order           : 64" in out
+        assert "cond estimate" in out
+
+    def test_info_no_spectrum(self, capsys):
+        rc = main(["info", "--generate", "banded", "--size", "30",
+                   "--no-spectrum"])
+        assert rc == 0
+        assert "cond" not in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "g.mtx"
+        rc = main(["generate", "poisson2d", str(out), "--size", "6"])
+        assert rc == 0
+        assert out.exists()
+        rc = main(["info", "--matrix", str(out)])
+        assert rc == 0
+        assert "order           : 36" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solver_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--solver", "nope"])
+
+
+class TestChebyshevPrecond:
+    def test_cg_with_chebyshev(self, capsys):
+        rc = main(["solve", "--generate", "anisotropic2d", "--size", "12",
+                   "--solver", "cg", "--precond", "chebyshev",
+                   "--poly-degree", "4"])
+        assert rc == 0
+        assert "poly-pcg" in capsys.readouterr().out
+
+    def test_vr_with_chebyshev(self, capsys):
+        rc = main(["solve", "--generate", "poisson2d", "--size", "12",
+                   "--solver", "vr", "--k", "2", "--precond", "chebyshev"])
+        assert rc == 0
+
+    def test_unsupported_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--generate", "poisson2d", "--size", "8",
+                  "--solver", "gv", "--precond", "chebyshev"])

@@ -1,0 +1,211 @@
+"""Cross-module property-based tests (hypothesis).
+
+These encode the reproduction's load-bearing invariants over *random*
+inputs rather than hand-picked ones: the moment recurrences are algebraic
+identities for any SPD operator and any parameters, the composed
+coefficients agree with brute-force iteration, solvers agree with each
+other, and structural facts (degree bounds, window arithmetic) hold for
+every k hypothesis cares to try.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coefficients import (
+    composed_numeric,
+    mu_index,
+    sigma_index,
+    star_coefficients_numeric,
+    state_size,
+)
+from repro.core.moments import MomentWindow
+from repro.core.standard import conjugate_gradient
+from repro.core.stopping import StoppingCriterion
+from repro.core.vr_cg import vr_conjugate_gradient
+from repro.sparse.csr import from_dense
+from repro.sparse.generators import banded_spd
+from repro.sparse.reorder import permute_symmetric, rcm_permutation
+from repro.util.rng import default_rng, spd_test_matrix
+from repro.variants import chronopoulos_gear_cg, ghysels_vanroose_cg
+
+SEEDS = st.integers(0, 10_000)
+
+
+def _window_direct(a, r, p, k) -> MomentWindow:
+    def mom(u, v, i):
+        w = v.copy()
+        for _ in range(i):
+            w = a @ w
+        return float(u @ w)
+
+    return MomentWindow(
+        k=k,
+        mu=np.array([mom(r, r, i) for i in range(2 * k + 1)]),
+        nu=np.array([mom(r, p, i) for i in range(2 * k + 2)]),
+        sigma=np.array([mom(p, p, i) for i in range(2 * k + 3)]),
+    )
+
+
+class TestMomentIdentities:
+    @settings(max_examples=40, deadline=None)
+    @given(SEEDS, st.integers(0, 2), st.integers(1, 4))
+    def test_multi_step_recurrence_tracks_vectors(self, seed, k, steps):
+        """Advancing the window `steps` times by recurrence equals the
+        window of the explicitly updated vectors, for random parameters."""
+        rng = default_rng(seed)
+        n = 8
+        a = spd_test_matrix(n, cond=8.0, seed=seed)
+        r = rng.standard_normal(n)
+        p = rng.standard_normal(n)
+        win = _window_direct(a, r, p, k)
+        for _ in range(steps):
+            lam = float(rng.uniform(0.05, 1.5))
+            alpha = float(rng.uniform(0.05, 1.5))
+            r = r - lam * (a @ p)
+            p_new = r + alpha * p
+            mu_top = float(r @ np.linalg.matrix_power(a, 2 * k + 1) @ r)
+            sigma_top = float(
+                p_new @ np.linalg.matrix_power(a, 2 * k + 2) @ p_new
+            )
+            win = win.advanced(lam, alpha, mu_top, sigma_top)
+            p = p_new
+        oracle = _window_direct(a, r, p, k)
+        np.testing.assert_allclose(win.mu, oracle.mu, rtol=1e-5, atol=1e-7)
+        np.testing.assert_allclose(win.sigma, oracle.sigma, rtol=1e-5, atol=1e-7)
+
+    @settings(max_examples=30, deadline=None)
+    @given(SEEDS, st.integers(1, 3))
+    def test_star_equals_composed_equals_iterated(self, seed, k):
+        """Three routes to mu0 at n: the (*) coefficients, the composed
+        matrix, and one-step iteration -- all identical."""
+        rng = default_rng(seed)
+        w = k + 1
+        lams = rng.uniform(0.1, 1.0, k)
+        alphas = rng.uniform(0.1, 1.0, k)
+        state = rng.standard_normal(state_size(w))
+        composed = composed_numeric(w, lams, alphas)
+        via_matrix = float((composed @ state)[mu_index(w, 0)])
+
+        sc = star_coefficients_numeric(lams, alphas, target="mu0")
+        mu = state[: 2 * w + 1]
+        nu = state[2 * w + 1 : 4 * w + 3]
+        sg = state[4 * w + 3 :]
+        via_star = sc.evaluate(mu, nu, sg)
+        assert via_star == pytest.approx(via_matrix, rel=1e-10, abs=1e-12)
+
+
+class TestSolverAgreement:
+    @settings(max_examples=15, deadline=None)
+    @given(SEEDS)
+    def test_all_solvers_solve_random_banded_spd(self, seed):
+        a = banded_spd(40, 3, seed=seed)
+        b = default_rng(seed + 1).standard_normal(40)
+        stop = StoppingCriterion(rtol=1e-8, max_iter=800)
+        ref = conjugate_gradient(a, b, stop=stop)
+        assert ref.converged
+        for solver in (chronopoulos_gear_cg, ghysels_vanroose_cg):
+            res = solver(a, b, stop=stop)
+            assert res.converged
+            np.testing.assert_allclose(res.x, ref.x, atol=1e-5)
+        vr = vr_conjugate_gradient(a, b, k=2, stop=stop, replace_every=6)
+        assert vr.converged
+        np.testing.assert_allclose(vr.x, ref.x, atol=1e-5)
+
+    @settings(max_examples=15, deadline=None)
+    @given(SEEDS, st.integers(0, 3))
+    def test_vr_first_iterations_match_cg(self, seed, k):
+        a = spd_test_matrix(16, cond=12.0, seed=seed)
+        b = default_rng(seed + 2).standard_normal(16)
+        stop = StoppingCriterion(rtol=1e-12, max_iter=5)
+        ref = conjugate_gradient(a, b, stop=stop)
+        vr = vr_conjugate_gradient(a, b, k=k, stop=stop)
+        for l1, l2 in zip(ref.lambdas[:3], vr.lambdas[:3]):
+            assert l2 == pytest.approx(l1, rel=1e-9)
+
+
+class TestPipelinedEagerCrossValidation:
+    @settings(max_examples=12, deadline=None)
+    @given(SEEDS, st.integers(1, 3))
+    def test_two_realizations_agree(self, seed, k):
+        """The eager (one-step recurrence) and pipelined ((*)-composed)
+        realizations of the paper must produce the same scalars over the
+        drift-free head window, for random SPD problems."""
+        from repro.core.pipeline import pipelined_vr_cg
+
+        a = spd_test_matrix(18, cond=15.0, seed=seed)
+        b = default_rng(seed + 9).standard_normal(18)
+        stop = StoppingCriterion(rtol=1e-12, max_iter=8)
+        eager = vr_conjugate_gradient(a, b, k=k, stop=stop)
+        piped = pipelined_vr_cg(a, b, k=k, stop=stop)
+        for l1, l2 in zip(eager.lambdas[:5], piped.lambdas[:5]):
+            assert l2 == pytest.approx(l1, rel=1e-7)
+
+
+class TestCounterThreadIsolation:
+    def test_counters_are_thread_local(self):
+        """Counting scopes in different threads never cross-book."""
+        import threading
+
+        from repro.util.counters import add_dot, counting
+
+        results = {}
+
+        def worker(name: str, count: int):
+            with counting() as c:
+                for _ in range(count):
+                    add_dot(10)
+                results[name] = c.dots
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}", 10 * (i + 1)))
+            for i in range(4)
+        ]
+        with counting() as main_scope:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert results == {"t0": 10, "t1": 20, "t2": 30, "t3": 40}
+        assert main_scope.dots == 0  # other threads never booked here
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(SEEDS)
+    def test_rcm_preserves_solution(self, seed):
+        a = banded_spd(30, 4, seed=seed)
+        shuffle = default_rng(seed).permutation(30)
+        shuffled = permute_symmetric(a, shuffle)
+        b = default_rng(seed + 3).standard_normal(30)
+        perm = rcm_permutation(shuffled)
+        reordered = permute_symmetric(shuffled, perm)
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(30)
+        x1 = conjugate_gradient(shuffled, b).x
+        x2 = conjugate_gradient(reordered, b[perm]).x[inv]
+        np.testing.assert_allclose(x1, x2, atol=1e-5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(SEEDS, st.floats(1.0, 1e4))
+    def test_cg_solution_satisfies_normal_equations(self, seed, cond):
+        a = spd_test_matrix(12, cond=cond, seed=seed)
+        b = default_rng(seed + 4).standard_normal(12)
+        res = conjugate_gradient(a, b, stop=StoppingCriterion(rtol=1e-11))
+        if res.converged:
+            np.testing.assert_allclose(
+                a @ res.x, b, atol=1e-6 * max(1.0, np.linalg.norm(b))
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 4))
+    def test_state_layout_is_partition(self, w):
+        idx = (
+            [mu_index(w, i) for i in range(2 * w + 1)]
+            + [sigma_index(w, i) for i in range(2 * w + 3)]
+        )
+        assert len(set(idx)) == len(idx)
+        assert max(idx) < state_size(w)

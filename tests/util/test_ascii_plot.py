@@ -1,0 +1,75 @@
+"""Unit tests for ASCII charts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.ascii_plot import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart({"res": [1.0, 0.1, 0.01, 0.001]}, title="t")
+        assert "t" in out
+        assert "o res" in out
+        assert out.count("o") >= 4
+
+    def test_log_scale_ticks(self):
+        out = line_chart({"a": [1.0, 1e-6]})
+        assert "1e" in out
+
+    def test_linear_mode(self):
+        out = line_chart({"a": [0.0, 5.0, 10.0]}, logy=False)
+        assert "10" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_chart({"a": [1.0, 0.1], "b": [0.5, 0.05]})
+        assert "o a" in out and "x b" in out
+
+    def test_nonpositive_skipped_in_log(self):
+        out = line_chart({"a": [1.0, 0.0, 0.01]})
+        assert out  # renders without error
+
+    def test_constant_series(self):
+        out = line_chart({"a": [2.0, 2.0, 2.0]}, logy=False)
+        assert out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_all_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="plottable"):
+            line_chart({"a": [0.0, -1.0]})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1.0]}, height=1)
+
+    def test_ylabel_shown(self):
+        out = line_chart({"a": [1.0, 0.1]}, ylabel="residual")
+        assert "residual" in out
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = bar_chart({"cg": 50.0, "vr": 28.0}, title="depths")
+        assert "depths" in out
+        lines = out.splitlines()
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_values_printed(self):
+        out = bar_chart({"a": 3.0})
+        assert "3" in out
+
+    def test_zero_value_bar(self):
+        out = bar_chart({"a": 0.0, "b": 1.0})
+        assert out
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})

@@ -1,0 +1,63 @@
+"""Unit tests for the deterministic RNG helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import default_rng, random_unit_vector, spd_test_matrix
+
+
+class TestDefaultRng:
+    def test_deterministic_default_seed(self):
+        a = default_rng().standard_normal(8)
+        b = default_rng().standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_explicit_seed_changes_stream(self):
+        a = default_rng(1).standard_normal(8)
+        b = default_rng(2).standard_normal(8)
+        assert not np.array_equal(a, b)
+
+
+class TestSpdTestMatrix:
+    def test_symmetric(self):
+        a = spd_test_matrix(16)
+        np.testing.assert_allclose(a, a.T, atol=1e-14)
+
+    def test_positive_definite(self):
+        a = spd_test_matrix(16, cond=50.0)
+        w = np.linalg.eigvalsh(a)
+        assert w.min() > 0
+
+    def test_condition_number(self):
+        a = spd_test_matrix(32, cond=100.0)
+        w = np.linalg.eigvalsh(a)
+        assert w.max() / w.min() == pytest.approx(100.0, rel=1e-6)
+
+    def test_size_one(self):
+        a = spd_test_matrix(1)
+        assert a.shape == (1, 1)
+        assert a[0, 0] > 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            spd_test_matrix(0)
+        with pytest.raises(ValueError):
+            spd_test_matrix(4, cond=0.5)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            spd_test_matrix(8, seed=3), spd_test_matrix(8, seed=3)
+        )
+
+
+class TestRandomUnitVector:
+    def test_unit_norm(self):
+        v = random_unit_vector(37)
+        assert np.linalg.norm(v) == pytest.approx(1.0, rel=1e-12)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            random_unit_vector(10, seed=5), random_unit_vector(10, seed=5)
+        )

@@ -1,0 +1,75 @@
+"""Unit tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import Table, format_float, render_rows
+
+
+class TestFormatFloat:
+    def test_integer_valued(self):
+        assert format_float(42.0).strip() == "42"
+
+    def test_moderate(self):
+        assert format_float(3.14159).strip() == "3.142"
+
+    def test_tiny_uses_exponent(self):
+        assert "e" in format_float(1.3e-9)
+
+    def test_huge_uses_exponent(self):
+        assert "e" in format_float(7.7e12)
+
+    def test_nan(self):
+        assert format_float(float("nan")).strip() == "nan"
+
+    def test_zero(self):
+        assert format_float(0.0).strip() == "0"
+
+
+class TestRenderRows:
+    def test_alignment_and_content(self):
+        out = render_rows(["a", "bee"], [[1, 2.5], [33, "x"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "bee" in lines[0]
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+        assert "2.5" in out and "33" in out
+
+    def test_title(self):
+        out = render_rows(["h"], [[1]], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+    def test_bool_cells(self):
+        out = render_rows(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            render_rows(["a", "b"], [[1]])
+
+
+class TestTable:
+    def test_add_and_render(self):
+        t = Table(["n", "depth"], title="t")
+        t.add(8, 3.0)
+        t.add(16, 4.0)
+        out = t.render()
+        assert "depth" in out and "16" in out
+
+    def test_add_wrong_arity(self):
+        t = Table(["a"])
+        with pytest.raises(ValueError):
+            t.add(1, 2)
+
+    def test_column_extraction(self):
+        t = Table(["n", "v"])
+        t.add(1, "x")
+        t.add(2, "y")
+        assert t.column("n") == [1, 2]
+        assert t.column("v") == ["x", "y"]
+
+    def test_column_unknown_raises(self):
+        t = Table(["n"])
+        with pytest.raises(ValueError):
+            t.column("missing")

@@ -1,0 +1,77 @@
+"""Unit tests for argument validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    as_1d_float_array,
+    check_square_operator,
+    require_nonnegative_int,
+    require_positive_int,
+)
+
+
+class TestAs1dFloatArray:
+    def test_list_coerced(self):
+        arr = as_1d_float_array([1, 2, 3])
+        assert arr.dtype == np.float64
+        assert arr.flags.c_contiguous
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            as_1d_float_array(np.zeros((2, 2)), "x")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            as_1d_float_array(np.zeros(0))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            as_1d_float_array([1.0, float("nan")])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            as_1d_float_array([float("inf")])
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="myvec"):
+            as_1d_float_array(np.zeros((1, 1)), "myvec")
+
+
+class TestCheckSquareOperator:
+    def test_square_accepted(self):
+        assert check_square_operator(np.zeros((3, 3))) == 3
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square_operator(np.zeros((3, 4)))
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError, match="does not match"):
+            check_square_operator(np.zeros((3, 3)), 5)
+
+    def test_no_shape_rejected(self):
+        with pytest.raises(TypeError):
+            check_square_operator(object())
+
+
+class TestIntValidators:
+    def test_positive_ok(self):
+        assert require_positive_int(3, "k") == 3
+
+    def test_zero_rejected_positive(self):
+        with pytest.raises(ValueError):
+            require_positive_int(0, "k")
+
+    def test_float_rejected(self):
+        with pytest.raises(ValueError):
+            require_positive_int(2.5, "k")
+
+    def test_nonnegative_allows_zero(self):
+        assert require_nonnegative_int(0, "k") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            require_nonnegative_int(-1, "k")

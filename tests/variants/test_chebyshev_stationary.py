@@ -1,0 +1,168 @@
+"""Tests for Chebyshev iteration and the stationary methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import cg_error_bound
+from repro.core.standard import conjugate_gradient
+from repro.core.stopping import StoppingCriterion
+from repro.sparse.generators import poisson1d, poisson2d
+from repro.sparse.stats import estimate_extreme_eigenvalues
+from repro.util.counters import counting
+from repro.util.rng import default_rng
+from repro.variants import (
+    chebyshev_iteration,
+    gauss_seidel_solve,
+    jacobi_solve,
+    richardson_solve,
+    sor_solve,
+)
+
+STOP = StoppingCriterion(rtol=1e-8, max_iter=30000)
+
+
+@pytest.fixture
+def problem():
+    a = poisson2d(10)
+    b = default_rng(4).standard_normal(a.nrows)
+    lo, hi = estimate_extreme_eigenvalues(a)
+    return a, b, (lo, hi)
+
+
+class TestChebyshevIteration:
+    def test_converges_with_exact_bounds(self, problem):
+        a, b, bounds = problem
+        res = chebyshev_iteration(a, b, bounds, stop=STOP)
+        assert res.converged
+        assert res.true_residual_norm < 1e-6
+
+    def test_solution_matches_cg(self, problem):
+        a, b, bounds = problem
+        ref = conjugate_gradient(a, b, stop=STOP)
+        res = chebyshev_iteration(a, b, bounds, stop=STOP)
+        np.testing.assert_allclose(res.x, ref.x, atol=1e-6)
+
+    def test_never_faster_than_cg(self, problem):
+        """CG adapts to the spectrum; Chebyshev converges at the
+        worst-case rate -- it must need at least as many iterations."""
+        a, b, bounds = problem
+        ref = conjugate_gradient(a, b, stop=STOP)
+        res = chebyshev_iteration(a, b, bounds, stop=STOP)
+        assert res.iterations >= ref.iterations
+
+    def test_rate_matches_cg_worst_case_bound(self, problem):
+        """Chebyshev's iteration count sits near the CG *bound* (which is
+        exactly the Chebyshev-polynomial bound)."""
+        from repro.core.convergence import iterations_for_tolerance
+
+        a, b, bounds = problem
+        kappa = bounds[1] / bounds[0]
+        predicted = iterations_for_tolerance(kappa, 1e-8)
+        res = chebyshev_iteration(a, b, bounds, stop=STOP)
+        assert res.iterations <= 2 * predicted + 10
+
+    def test_check_every_amortizes_dots(self, problem):
+        a, b, bounds = problem
+        with counting() as c1:
+            chebyshev_iteration(a, b, bounds, stop=STOP, check_every=1)
+        with counting() as c8:
+            chebyshev_iteration(a, b, bounds, stop=STOP, check_every=8)
+        assert c8.dots < c1.dots / 3  # far fewer reductions
+
+    def test_no_dots_between_checks(self, problem):
+        """The solver's ONLY inner products are the residual checks."""
+        a, b, bounds = problem
+        with counting() as c:
+            res = chebyshev_iteration(a, b, bounds, stop=STOP, check_every=10)
+        # dots: ||b||, initial ||r||, one per check, final true residual
+        checks = len(res.residual_norms) - 1
+        assert c.dots == checks + 3
+
+    def test_bad_bounds_detected(self, problem):
+        a, b, _ = problem
+        # way-too-small lambda_max makes the iteration diverge -> breakdown
+        res = chebyshev_iteration(
+            a, b, (0.5, 1.0), stop=StoppingCriterion(rtol=1e-8, max_iter=2000)
+        )
+        assert not res.converged
+
+    def test_bounds_validated(self, problem):
+        a, b, _ = problem
+        with pytest.raises(ValueError):
+            chebyshev_iteration(a, b, (2.0, 1.0))
+
+
+class TestStationary:
+    def test_jacobi_converges_damped(self, problem):
+        a, b, _ = problem
+        res = jacobi_solve(a, b, omega=0.8, stop=STOP)
+        assert res.converged
+        assert res.true_residual_norm < 1e-6
+
+    def test_gauss_seidel_beats_jacobi(self, problem):
+        a, b, _ = problem
+        gs = gauss_seidel_solve(a, b, stop=STOP)
+        jac = jacobi_solve(a, b, omega=0.8, stop=STOP)
+        assert gs.converged and jac.converged
+        assert gs.iterations < jac.iterations
+
+    def test_tuned_sor_beats_gauss_seidel(self, problem):
+        a, b, _ = problem
+        sor = sor_solve(a, b, omega=1.5, stop=STOP)
+        gs = gauss_seidel_solve(a, b, stop=STOP)
+        assert sor.converged
+        assert sor.iterations < gs.iterations
+
+    def test_all_far_slower_than_cg(self, problem):
+        """The reason the paper cares about CG at all."""
+        a, b, _ = problem
+        ref = conjugate_gradient(a, b, stop=STOP)
+        for res in (
+            jacobi_solve(a, b, omega=0.8, stop=STOP),
+            gauss_seidel_solve(a, b, stop=STOP),
+        ):
+            assert res.iterations > 3 * ref.iterations
+
+    def test_richardson_with_optimal_step(self, problem):
+        a, b, bounds = problem
+        res = richardson_solve(
+            a, b, step=2.0 / (bounds[0] + bounds[1]), stop=STOP
+        )
+        assert res.converged
+
+    def test_richardson_diverges_with_big_step(self, problem):
+        a, b, bounds = problem
+        res = richardson_solve(
+            a, b, step=3.0 / bounds[1] * 2,
+            stop=StoppingCriterion(rtol=1e-8, max_iter=500),
+        )
+        assert not res.converged
+
+    def test_solutions_agree_with_cg(self, problem):
+        a, b, bounds = problem
+        ref = conjugate_gradient(a, b, stop=STOP)
+        for res in (
+            jacobi_solve(a, b, omega=0.8, stop=STOP),
+            sor_solve(a, b, omega=1.5, stop=STOP),
+        ):
+            np.testing.assert_allclose(res.x, ref.x, atol=1e-5)
+
+    def test_validation(self, problem):
+        a, b, _ = problem
+        with pytest.raises(ValueError):
+            jacobi_solve(a, b, omega=0.0)
+        with pytest.raises(ValueError):
+            sor_solve(a, b, omega=2.5)
+        with pytest.raises(ValueError):
+            richardson_solve(a, b, step=-1.0)
+
+    def test_tridiagonal_small(self):
+        a = poisson1d(16)
+        b = default_rng(5).standard_normal(16)
+        res = gauss_seidel_solve(a, b, stop=STOP)
+        assert res.converged
+        np.testing.assert_allclose(
+            a.matvec(res.x), b, atol=1e-5
+        )
