@@ -26,6 +26,14 @@ def poisson_bench():
     return a, b
 
 
+@pytest.fixture(scope="session")
+def poisson_overhead_bench():
+    """The poisson2d(64) system the telemetry overhead budget is set on."""
+    a = poisson2d(64)  # n = 4096
+    b = default_rng(7).standard_normal(a.nrows)
+    return a, b
+
+
 def run_and_report(benchmark, run_fn, **kwargs):
     """Benchmark an experiment's run() and print its report table."""
     report = benchmark.pedantic(

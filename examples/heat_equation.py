@@ -86,7 +86,7 @@ def main(grid: int = 24, steps: int = 30, dt: float = 0.1) -> None:
         ("vr-cg(k=2, adaptive)", lambda a_, b_, x0: vr_conjugate_gradient(
             a_, b_, k=2, x0=x0, stop=stop, replace_drift_tol=1e-6)),
         ("vr-poly-pcg(k=2, q=3)", lambda a_, b_, x0: vr_poly_pcg(
-            a_, b_, cheb, k=2, x0=x0, stop=stop, replace_every=10)),
+            a_, b_, precond=cheb, k=2, x0=x0, stop=stop, replace_every=10)),
     ]:
         with counting() as c:
             u_final, iters = run_simulation(

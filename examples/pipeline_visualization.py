@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Reproduce the paper's Figure 1 from a live solve.
 
-Runs the pipelined Van Rosendale solver with a trace attached and renders
-both the static redrawing of Figure 1 and the measured launch/consume
-diagonal, plus the per-iteration coefficient-pipeline activity.
+Runs the pipelined Van Rosendale solver with telemetry attached and
+renders both the static redrawing of Figure 1 and the measured
+launch/consume diagonal, plus the per-iteration coefficient-pipeline
+activity.
 
 Run:  python examples/pipeline_visualization.py [k]
 """
@@ -14,12 +15,13 @@ import sys
 
 import numpy as np
 
-from repro import PipelineTrace, StoppingCriterion, pipelined_vr_cg, poisson2d
+from repro import StoppingCriterion, Telemetry, pipelined_vr_cg, poisson2d
+from repro.core.pipeline import trace_from_events
 from repro.machine import render_figure1, render_pipeline_trace
 
 
 def main(k: int = 4) -> None:
-    """Solve with a trace and render the data movement."""
+    """Solve with telemetry attached and render the data movement."""
     a = poisson2d(12)
     rng = np.random.default_rng(5)
     b = rng.standard_normal(a.nrows)
@@ -27,10 +29,12 @@ def main(k: int = 4) -> None:
     print(render_figure1(k))
     print()
 
-    trace = PipelineTrace(k=k)
+    telemetry = Telemetry()
     result = pipelined_vr_cg(
-        a, b, k=k, stop=StoppingCriterion(rtol=1e-8, max_iter=400), trace=trace
+        a, b, k=k, stop=StoppingCriterion(rtol=1e-8, max_iter=400),
+        telemetry=telemetry,
     )
+    trace = trace_from_events(k, telemetry.events)
     print(f"measured solve: {result.summary()}")
     print()
     print(render_pipeline_trace(trace, max_rows=16))

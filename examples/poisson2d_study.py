@@ -57,10 +57,10 @@ def main(grid: int = 24, epsilon: float = 0.02) -> None:
         ("ssor(w=1.4)", SSORPrecond(a, omega=1.4)),
         ("ic0", ICholPrecond(a)),
     ]:
-        ref = preconditioned_cg(a, b, m, stop=stop)
+        ref = preconditioned_cg(a, b, precond=m, stop=stop)
         table.add(f"pcg + {name}", ref.iterations,
                   ref.true_residual_norm, ref.converged)
-        vr = vr_pcg(a, b, m, k=2, stop=stop, replace_every=8)
+        vr = vr_pcg(a, b, precond=m, k=2, stop=stop, replace_every=8)
         table.add(f"vr-pcg(k=2) + {name}", vr.iterations,
                   vr.true_residual_norm, vr.converged)
 

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Quickstart: solve an SPD system with Van Rosendale's restructured CG.
 
-Builds a 2-D Poisson problem, solves it three ways -- classical CG, the
-eager restructured solver, and the fully pipelined form -- and shows that
-all three produce the same answer while doing structurally different
-amounts of synchronizing work (counted live).
+Builds a 2-D Poisson problem and solves it three ways through the
+``repro.solve`` front door -- classical CG, the eager restructured
+solver, and the fully pipelined form -- showing that all three produce
+the same answer while doing structurally different amounts of
+synchronizing work (read live from the telemetry stream).
 
 Run:  python examples/quickstart.py
 """
@@ -13,14 +14,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    StoppingCriterion,
-    conjugate_gradient,
-    counting,
-    pipelined_vr_cg,
-    poisson2d,
-    vr_conjugate_gradient,
-)
+from repro import StoppingCriterion, Telemetry, available_methods, poisson2d, solve
+
+
+def run(method: str, a, b, stop, **options):
+    """One solve with a fresh telemetry session; returns (result, counts)."""
+    tele = Telemetry()
+    result = solve(a, b, method, stop=stop, telemetry=tele, **options)
+    [counters] = tele.events_of("counters")
+    return result, counters.counts
 
 
 def main() -> None:
@@ -34,19 +36,16 @@ def main() -> None:
           f"max row degree d = {a.max_row_degree()}")
     print()
 
-    with counting() as c_cg:
-        ref = conjugate_gradient(a, b, stop=stop)
+    ref, c_cg = run("cg", a, b, stop)
     print(f"  {ref.summary()}")
     print(f"    direct inner products: {c_cg.dots}  matvecs: {c_cg.matvecs}")
 
-    with counting() as c_vr:
-        vr = vr_conjugate_gradient(a, b, k=3, stop=stop, replace_every=10)
+    vr, c_vr = run("vr", a, b, stop, k=3, replace_every=10)
     print(f"  {vr.summary()}")
     print(f"    direct inner products: {c_vr.labelled('direct_dot')} "
           f"(2/iteration; all other moments recurred)  matvecs: {c_vr.matvecs}")
 
-    with counting() as c_pipe:
-        pipe = pipelined_vr_cg(a, b, k=3, stop=stop)
+    pipe, _ = run("pipelined-vr", a, b, stop, k=3)
     print(f"  {pipe.summary()}")
 
     err_vr = np.linalg.norm(vr.x - ref.x) / np.linalg.norm(ref.x)
@@ -60,6 +59,10 @@ def main() -> None:
     print("vectors that exist k iterations before their results are needed,")
     print("so their log(N) reduction latency overlaps the iteration pipeline")
     print("on a parallel machine.  See examples/parallel_depth_study.py.")
+    print()
+    print("Every solver in the family is reachable the same way:")
+    print("  repro.solve(a, b, method=..., precond=..., telemetry=...)")
+    print("methods: " + ", ".join(available_methods()))
 
 
 if __name__ == "__main__":

@@ -28,12 +28,17 @@ This package implements the complete system:
 Quickstart::
 
     import numpy as np
-    from repro import poisson2d, vr_conjugate_gradient
+    from repro import Telemetry, poisson2d, solve
 
     a = poisson2d(32)                      # 1024 x 1024 SPD system
     b = np.ones(a.nrows)
-    result = vr_conjugate_gradient(a, b, k=3)
+    tele = Telemetry()
+    result = solve(a, b, method="vr", k=3, telemetry=tele)
     print(result.summary())
+    print(len(tele.events_of("iteration")), "iteration events")
+
+:func:`repro.solve` dispatches through :mod:`repro.registry`; the
+individual solver functions remain importable for direct use.
 """
 
 from repro.core import (
@@ -47,6 +52,7 @@ from repro.core import (
     star_coefficients_symbolic,
     vr_conjugate_gradient,
 )
+from repro.registry import available_methods, solve
 from repro.sparse import (
     CSRMatrix,
     anisotropic2d,
@@ -59,11 +65,15 @@ from repro.sparse import (
     read_matrix_market,
     write_matrix_market,
 )
+from repro.telemetry import Telemetry
 from repro.util import counting
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "solve",
+    "available_methods",
+    "Telemetry",
     "CGResult",
     "PipelineTrace",
     "StopReason",

@@ -4,7 +4,9 @@ Three commands for downstream users who want the solvers without writing
 Python:
 
 * ``solve`` -- solve ``A x = b`` where A comes from a MatrixMarket file or
-  a built-in generator, with any solver in the family.
+  a built-in generator, with any method in the registry
+  (``--method``/``--solver``), optionally streaming structured telemetry
+  as JSON lines (``--telemetry out.jsonl``, ``-`` for stdout).
 * ``info`` -- structural/spectral statistics of a matrix.
 * ``generate`` -- write a model-problem matrix to a MatrixMarket file.
 
@@ -20,18 +22,9 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.pipeline import pipelined_vr_cg
-from repro.core.standard import conjugate_gradient
 from repro.core.stopping import StoppingCriterion
-from repro.core.vr_cg import vr_conjugate_gradient
-from repro.precond import (
-    ICholPrecond,
-    IdentityPrecond,
-    JacobiPrecond,
-    SSORPrecond,
-    preconditioned_cg,
-    vr_pcg,
-)
+from repro.registry import available_methods
+from repro.registry import solve as registry_solve
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.generators import (
     anisotropic2d,
@@ -43,12 +36,6 @@ from repro.sparse.generators import (
 from repro.sparse.mmio import read_matrix_market, write_matrix_market
 from repro.sparse.stats import matrix_stats
 from repro.util.rng import default_rng
-from repro.variants import (
-    chronopoulos_gear_cg,
-    ghysels_vanroose_cg,
-    sstep_cg,
-    three_term_cg,
-)
 
 __all__ = ["main", "build_parser"]
 
@@ -85,77 +72,43 @@ def _solve(args) -> int:
     a = _load_matrix(args)
     b = _load_rhs(args, a.nrows)
     stop = StoppingCriterion(rtol=args.rtol, max_iter=args.max_iter)
+    method = args.solver
 
-    solver = args.solver
-    if args.precond == "chebyshev":
-        from repro.core.lanczos import estimate_spectrum_via_cg
-        from repro.precond.polynomial import (
-            ChebyshevPolyPrecond,
-            polynomial_pcg,
-            vr_poly_pcg,
+    options: dict = {"stop": stop}
+    if method == "vr":
+        options["k"] = args.k
+        if args.replace_every is not None:
+            options["replace_every"] = args.replace_every
+        if args.drift_tol is not None:
+            options["replace_drift_tol"] = args.drift_tol
+    elif method in ("pipelined-vr", "dist-pipelined-vr"):
+        options["k"] = max(args.k, 1)
+    elif method in ("sstep", "dist-sstep"):
+        options["s"] = max(args.k, 1)
+    if method.startswith("dist-"):
+        options["nranks"] = args.nranks
+
+    precond = None if args.precond == "none" else args.precond
+    if precond == "ssor":
+        options["omega"] = args.omega
+    elif precond == "chebyshev":
+        options["poly_degree"] = args.poly_degree
+
+    telemetry = None
+    if args.telemetry is not None:
+        from repro.telemetry import JsonlSink, Telemetry
+
+        telemetry = Telemetry(JsonlSink(args.telemetry))
+
+    try:
+        result = registry_solve(
+            a, b, method, precond=precond, telemetry=telemetry, **options
         )
-
-        bounds = estimate_spectrum_via_cg(a, b, iterations=12)
-        m = ChebyshevPolyPrecond(a, bounds, degree=args.poly_degree)
-        if solver == "cg":
-            result = polynomial_pcg(a, b, m, stop=stop)
-        elif solver == "vr":
-            result = vr_poly_pcg(
-                a, b, m, k=args.k, stop=stop,
-                replace_every=args.replace_every or 10,
-            )
-        else:
-            raise SystemExit(
-                "chebyshev preconditioning supports solvers cg/vr, "
-                f"not {solver}"
-            )
-        print(result.summary())
-        if args.out is not None:
-            np.savetxt(args.out, result.x)
-            print(f"solution written to {args.out}")
-        return 0 if result.converged else 1
-
-    precond = None
-    if args.precond != "none":
-        precond = {
-            "identity": lambda: IdentityPrecond(),
-            "jacobi": lambda: JacobiPrecond(a),
-            "ssor": lambda: SSORPrecond(a, omega=args.omega),
-            "ic0": lambda: ICholPrecond(a),
-        }[args.precond]()
-
-    if precond is not None:
-        if solver == "cg":
-            result = preconditioned_cg(a, b, precond, stop=stop)
-        elif solver == "vr":
-            result = vr_pcg(
-                a, b, precond, k=args.k, stop=stop,
-                replace_every=args.replace_every,
-            )
-        else:
-            raise SystemExit(
-                f"preconditioning is supported for solvers cg/vr, not {solver}"
-            )
-    else:
-        # Without any explicit stabilization the pure eager algorithm
-        # drifts (see EXPERIMENTS.md E7b); default the CLI to adaptive
-        # replacement so `solve --solver vr` just works.
-        drift_tol = args.drift_tol
-        if args.solver == "vr" and args.replace_every is None and drift_tol is None:
-            drift_tol = 1e-6
-        runners = {
-            "cg": lambda: conjugate_gradient(a, b, stop=stop),
-            "vr": lambda: vr_conjugate_gradient(
-                a, b, k=args.k, stop=stop, replace_every=args.replace_every,
-                replace_drift_tol=drift_tol,
-            ),
-            "pipelined-vr": lambda: pipelined_vr_cg(a, b, k=max(args.k, 1), stop=stop),
-            "three-term": lambda: three_term_cg(a, b, stop=stop),
-            "cg-cg": lambda: chronopoulos_gear_cg(a, b, stop=stop),
-            "gv": lambda: ghysels_vanroose_cg(a, b, stop=stop),
-            "sstep": lambda: sstep_cg(a, b, s=max(args.k, 1), stop=stop),
-        }
-        result = runners[solver]()
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
     print(result.summary())
     if args.out is not None:
@@ -208,9 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
     solve = sub.add_parser("solve", help="solve A x = b")
     add_matrix_source(solve)
     solve.add_argument(
-        "--solver",
-        choices=["cg", "vr", "pipelined-vr", "three-term", "cg-cg", "gv", "sstep"],
+        "--method", "--solver",
+        dest="solver",
+        choices=available_methods(),
         default="vr",
+        help="registry method name (--solver is a compatibility alias)",
     )
     solve.add_argument("--k", type=int, default=2,
                        help="look-ahead parameter (s for sstep)")
@@ -222,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="adaptive residual replacement tolerance "
                             "(solver vr defaults to 1e-6 when no "
                             "stabilization flag is given)")
+    solve.add_argument("--nranks", type=int, default=4,
+                       help="simulated ranks for the dist-* methods")
+    solve.add_argument("--telemetry", metavar="PATH", default=None,
+                       help="stream telemetry events as JSON lines to "
+                            "PATH ('-' for stdout)")
     solve.add_argument(
         "--precond",
         choices=["none", "identity", "jacobi", "ssor", "ic0", "chebyshev"],

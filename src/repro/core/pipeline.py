@@ -46,7 +46,7 @@ from repro.core.coefficients import (
 )
 from repro.core.moments import window_from_powers
 from repro.core.powers import PowerBlock
-from repro.core.results import CGResult, StopReason
+from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
 from repro.sparse.linop import as_operator
 from repro.util.counters import add_scalar_flops
@@ -57,7 +57,13 @@ from repro.util.validation import (
     require_positive_int,
 )
 
-__all__ = ["pipelined_vr_cg", "PipelineTrace", "TraceEvent", "LaunchLedger"]
+__all__ = [
+    "pipelined_vr_cg",
+    "PipelineTrace",
+    "TraceEvent",
+    "LaunchLedger",
+    "trace_from_events",
+]
 
 
 @dataclass(frozen=True)
@@ -106,6 +112,23 @@ class PipelineTrace:
         return all(
             e.iteration - e.source_iteration == self.k for e in self.consumes()
         )
+
+
+def trace_from_events(k: int, events: list[Any]) -> PipelineTrace:
+    """Rebuild a :class:`PipelineTrace` from telemetry pipeline events.
+
+    Accepts the :class:`~repro.telemetry.PipelineEvent` stream collected by
+    a :class:`~repro.telemetry.Telemetry` session (other event kinds are
+    ignored), so Figure 1 renders from the telemetry layer without the
+    deprecated ``trace=`` kwarg.
+    """
+    trace = PipelineTrace(k=k)
+    for e in events:
+        if getattr(e, "kind", None) == "pipeline":
+            trace.events.append(
+                TraceEvent(e.op, e.iteration, e.source_iteration, e.count)
+            )
+    return trace
 
 
 class LaunchLedger:
@@ -207,6 +230,7 @@ def pipelined_vr_cg(
     k: int = 2,
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
+    telemetry: "Telemetry | None" = None,
     trace: PipelineTrace | None = None,
 ) -> CGResult:
     """Solve ``A x = b`` with the fully pipelined Van Rosendale iteration.
@@ -225,9 +249,16 @@ def pipelined_vr_cg(
     k:
         Look-ahead depth (``k >= 1``; ``k = 0`` has no pipeline and is the
         eager solver's territory).
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` hook; every launch,
+        consume, and coefficient-update is emitted as a
+        :class:`~repro.telemetry.PipelineEvent` (rebuild a
+        :class:`PipelineTrace` with :func:`trace_from_events`), plus the
+        usual per-iteration events.
     trace:
-        A :class:`PipelineTrace` to fill with launch/consume events; pass
-        one to reproduce Figure 1.
+        Deprecated; pass ``telemetry=`` and use :func:`trace_from_events`
+        instead.  A supplied trace is still filled (with a
+        :class:`DeprecationWarning`).
 
     Returns
     -------
@@ -241,8 +272,24 @@ def pipelined_vr_cg(
     stop = stop or StoppingCriterion()
     if trace is not None and trace.k != k:
         raise ValueError(f"trace.k={trace.k} does not match solver k={k}")
+    if trace is not None:
+        from repro.telemetry import deprecated_hook
+
+        deprecated_hook(
+            "pipelined_vr_cg(trace=...)",
+            "telemetry= with repro.core.pipeline.trace_from_events",
+        )
+
+    def _event(kind: str, iteration: int, source_iteration: int, count: int) -> None:
+        if trace is not None:
+            trace.events.append(TraceEvent(kind, iteration, source_iteration, count))
+        if telemetry is not None:
+            telemetry.pipeline(kind, iteration, source_iteration, count)
 
     x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
+    if telemetry is not None:
+        telemetry.solve_start("pipelined-vr", f"pipelined-vr-cg(k={k})", n, k=k)
+        telemetry.iterate(x)
     b_norm = norm(b)
 
     # Startup: powers of r0 (= p0) and the launch of iteration 0's moments.
@@ -257,10 +304,7 @@ def pipelined_vr_cg(
                                     label="pipeline_launch_dot")
         state = window.stacked()
         ledger.launch(iteration, state)
-        if trace is not None:
-            trace.events.append(
-                TraceEvent("launch", iteration, iteration, state.size)
-            )
+        _event("launch", iteration, iteration, state.size)
         return state
 
     state0 = _launch(0)
@@ -272,11 +316,8 @@ def pipelined_vr_cg(
 
     def _result(reason: StopReason, iterations: int) -> CGResult:
         true_res = norm(b - op.matvec(x))
-        # Exit verification against false convergence of the recurred
-        # residual (see the eager solver for rationale).
-        if reason is StopReason.CONVERGED and true_res > 100.0 * stop.threshold(b_norm):
-            reason = StopReason.BREAKDOWN
-        return CGResult(
+        reason = verified_exit(reason, true_res, stop.threshold(b_norm))
+        result = CGResult(
             x=x,
             converged=reason is StopReason.CONVERGED,
             stop_reason=reason,
@@ -287,6 +328,9 @@ def pipelined_vr_cg(
             true_residual_norm=true_res,
             label=f"pipelined-vr-cg(k={k})",
         )
+        if telemetry is not None:
+            telemetry.solve_end(result)
+        return result
 
     if stop.is_met(res_norms[0], b_norm):
         return _result(StopReason.CONVERGED, 0)
@@ -327,12 +371,14 @@ def pipelined_vr_cg(
             mu0_next, _alpha_pipe, sigma1_next_pipe = pipeline.consume(
                 target, lam, base_state, mu0_cur
             )
-            if trace is not None:
-                trace.events.append(
-                    TraceEvent("consume", target, target - k, base_state.size)
-                )
+            _event("consume", target, target - k, base_state.size)
 
         res_norms.append(float(np.sqrt(max(mu0_next, 0.0))))
+        if telemetry is not None:
+            telemetry.iteration(
+                iterations, res_norms[-1], lam=lam, recurred_rr=mu0_next
+            )
+            telemetry.iterate(x)
         if stop.is_met(res_norms[-1], b_norm):
             reason = StopReason.CONVERGED
             break
@@ -354,10 +400,7 @@ def pipelined_vr_cg(
             # Even during startup the launches happen on schedule so the
             # pipeline fills behind the transient.
             ledger.launch(target, state_next)
-            if trace is not None:
-                trace.events.append(
-                    TraceEvent("launch", target, target, state_next.size)
-                )
+            _event("launch", target, target, state_next.size)
         else:
             sigma1_next = sigma1_next_pipe
             _launch(target)
@@ -365,10 +408,8 @@ def pipelined_vr_cg(
         # Fold the just-completed step into the in-flight coefficients and
         # open the next target.
         updated = pipeline.push_step(target, lam, alpha_next)
-        if trace is not None and updated:
-            trace.events.append(
-                TraceEvent("coeff_update", target, target, updated)
-            )
+        if updated:
+            _event("coeff_update", target, target, updated)
         pipeline.open_target(target + k)
         ledger.discard_before(target - k + 1)
 

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Any
 
 import numpy as np
 
-__all__ = ["CGResult", "StopReason"]
+__all__ = ["CGResult", "StopReason", "verified_exit"]
 
 
 class StopReason(Enum):
@@ -52,6 +53,15 @@ class CGResult:
         ``‖b - Ax‖`` recomputed from scratch at exit.
     label:
         Human-readable solver name for experiment tables.
+    method:
+        The registry name the solve was dispatched under (empty when the
+        solver function was called directly rather than through
+        :func:`repro.solve`).
+    extras:
+        Method-specific extra outputs with no uniform slot -- e.g. the
+        distributed solvers attach their ``CommStats`` under
+        ``"comm_stats"``.  Always present (possibly empty) so downstream
+        code can read it unconditionally.
     """
 
     x: np.ndarray
@@ -63,6 +73,8 @@ class CGResult:
     lambdas: list[float] = field(default_factory=list)
     true_residual_norm: float = float("nan")
     label: str = "cg"
+    method: str = ""
+    extras: dict[str, Any] = field(default_factory=dict)
 
     @property
     def final_recurred_residual(self) -> float:
@@ -81,3 +93,22 @@ class CGResult:
             f"{self.iterations} iterations, "
             f"final true residual {self.true_residual_norm:.3e}"
         )
+
+
+def verified_exit(
+    reason: StopReason, true_residual: float, threshold: float
+) -> StopReason:
+    """Exit verification shared by every solver in the family.
+
+    A recurrence-based solver's algorithm-visible residual can drift
+    below the stopping threshold while the true residual has not -- a
+    false convergence any production implementation must catch.  The
+    check costs one matvec at exit (already needed for
+    ``true_residual_norm``), none per iteration: a CONVERGED exit whose
+    true residual exceeds ``100x`` the stopping threshold is downgraded
+    to BREAKDOWN.  Centralized here so classical, recurrence, variant,
+    and distributed solvers all report convergence under the same rule.
+    """
+    if reason is StopReason.CONVERGED and true_residual > 100.0 * threshold:
+        return StopReason.BREAKDOWN
+    return reason

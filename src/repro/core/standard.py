@@ -40,6 +40,7 @@ def conjugate_gradient(
     *,
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
+    telemetry: "Telemetry | None" = None,
     record_iterates: list[np.ndarray] | None = None,
 ) -> CGResult:
     """Solve the SPD system ``A x = b`` by classical (Hestenes--Stiefel) CG.
@@ -55,10 +56,16 @@ def conjugate_gradient(
         Initial guess (defaults to zero).
     stop:
         Stopping rule; defaults to ``StoppingCriterion()``.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` hook; receives one
+        :class:`~repro.telemetry.IterationEvent` per iteration and (with
+        ``capture_iterates=True``) a copy of every iterate including
+        ``x⁰`` -- the equivalence experiment compares iterates, not just
+        final answers.
     record_iterates:
-        When a list is supplied, a copy of every iterate ``xⁿ`` (including
-        ``x⁰``) is appended to it -- the equivalence experiment compares
-        iterates, not just final answers.
+        Deprecated; pass ``telemetry=Telemetry(capture_iterates=True)``
+        and read ``telemetry.iterates`` instead.  When a list is
+        supplied it is still filled (with a :class:`DeprecationWarning`).
 
     Returns
     -------
@@ -70,10 +77,20 @@ def conjugate_gradient(
     b = as_1d_float_array(b, "b")
     n = check_square_operator(op, b.shape[0])
     stop = stop or StoppingCriterion()
+    if record_iterates is not None:
+        from repro.telemetry import deprecated_hook
+
+        deprecated_hook(
+            "conjugate_gradient(record_iterates=...)",
+            "telemetry=Telemetry(capture_iterates=True)",
+        )
 
     x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
     if record_iterates is not None:
         record_iterates.append(x.copy())
+    if telemetry is not None:
+        telemetry.solve_start("cg", "cg", n)
+        telemetry.iterate(x)
 
     b_norm = norm(b)
     r = b - op.matvec(x)
@@ -83,18 +100,24 @@ def conjugate_gradient(
     alphas: list[float] = []
     lambdas: list[float] = []
 
-    if stop.is_met(res_norms[0], b_norm):
-        return CGResult(
+    def _result(reason: StopReason, iterations: int) -> CGResult:
+        result = CGResult(
             x=x,
-            converged=True,
-            stop_reason=StopReason.CONVERGED,
-            iterations=0,
+            converged=reason is StopReason.CONVERGED,
+            stop_reason=reason,
+            iterations=iterations,
             residual_norms=res_norms,
             alphas=alphas,
             lambdas=lambdas,
             true_residual_norm=norm(b - op.matvec(x)),
             label="cg",
         )
+        if telemetry is not None:
+            telemetry.solve_end(result)
+        return result
+
+    if stop.is_met(res_norms[0], b_norm):
+        return _result(StopReason.CONVERGED, 0)
 
     reason = StopReason.MAX_ITER
     budget = stop.budget(n)
@@ -114,6 +137,9 @@ def conjugate_gradient(
             record_iterates.append(x.copy())
         rr_new = dot(r, r)
         res_norms.append(float(np.sqrt(max(rr_new, 0.0))))
+        if telemetry is not None:
+            telemetry.iteration(iterations, res_norms[-1], lam=lam)
+            telemetry.iterate(x)
         if stop.is_met(res_norms[-1], b_norm):
             reason = StopReason.CONVERGED
             break
@@ -122,14 +148,4 @@ def conjugate_gradient(
         axpy(alpha, p, r, out=p)  # p = r + alpha * p
         rr = rr_new
 
-    return CGResult(
-        x=x,
-        converged=reason is StopReason.CONVERGED,
-        stop_reason=reason,
-        iterations=iterations,
-        residual_norms=res_norms,
-        alphas=alphas,
-        lambdas=lambdas,
-        true_residual_norm=norm(b - op.matvec(x)),
-        label="cg",
-    )
+    return _result(reason, iterations)

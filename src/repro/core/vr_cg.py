@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.core.moments import MomentWindow, initial_window, window_from_powers
 from repro.core.powers import PowerBlock
-from repro.core.results import CGResult, StopReason
+from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
 from repro.sparse.linop import LinearOperator, as_operator
 from repro.util.counters import add_scalar_flops
@@ -88,6 +88,7 @@ def vr_conjugate_gradient(
     stop: StoppingCriterion | None = None,
     replace_every: int | None = None,
     replace_drift_tol: float | None = None,
+    telemetry: "Telemetry | None" = None,
     observer: Callable[[VRState], None] | None = None,
     record_iterates: list[np.ndarray] | None = None,
 ) -> CGResult:
@@ -123,13 +124,22 @@ def vr_conjugate_gradient(
         invariant ``ν₀ = μ₀`` is self-preserving to rounding even while
         both drift from the truth -- measured, see DESIGN.md §6.)
         Composable with ``replace_every``; ``None`` disables it.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` hook: per-iteration
+        :class:`~repro.telemetry.IterationEvent` (with the recurred
+        ``μ₀``), :class:`~repro.telemetry.DriftEvent` whenever the
+        adaptive drift detector computes the recurred-vs-direct gap,
+        :class:`~repro.telemetry.ReplacementEvent` on every residual
+        replacement, startup/iterate phase timers, iterate capture
+        (``capture_iterates=True``), and live-state observation
+        (``on_state=...``).
     observer:
-        Optional callback invoked with the :class:`VRState` after every
-        iteration; the pipeline tracer (Figure 1) and the stability probes
-        hook in here.
+        Deprecated; pass ``telemetry=Telemetry(on_state=callback)``.
+        Still invoked with the :class:`VRState` after every iteration
+        (with a :class:`DeprecationWarning`).
     record_iterates:
-        When a list is supplied, every iterate (including ``x⁰``) is
-        appended -- used by the equivalence experiment E7.
+        Deprecated; pass ``telemetry=Telemetry(capture_iterates=True)``.
+        When a list is supplied it is still filled.
 
     Returns
     -------
@@ -149,13 +159,40 @@ def vr_conjugate_gradient(
         raise ValueError(
             f"replace_drift_tol must be positive, got {replace_drift_tol}"
         )
+    if observer is not None or record_iterates is not None:
+        from repro.telemetry import deprecated_hook
+
+        if observer is not None:
+            deprecated_hook(
+                "vr_conjugate_gradient(observer=...)",
+                "telemetry=Telemetry(on_state=callback)",
+            )
+        if record_iterates is not None:
+            deprecated_hook(
+                "vr_conjugate_gradient(record_iterates=...)",
+                "telemetry=Telemetry(capture_iterates=True)",
+            )
 
     x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
     if record_iterates is not None:
         record_iterates.append(x.copy())
+    if telemetry is not None:
+        telemetry.solve_start(
+            "vr",
+            f"vr-cg(k={k})",
+            n,
+            k=k,
+            replace_every=replace_every,
+            replace_drift_tol=replace_drift_tol,
+        )
+        telemetry.iterate(x)
 
     b_norm = norm(b)
-    powers, window = _startup(op, b, x, k)
+    if telemetry is not None:
+        with telemetry.phase("startup"):
+            powers, window = _startup(op, b, x, k)
+    else:
+        powers, window = _startup(op, b, x, k)
 
     res_norms = [float(np.sqrt(max(window.rr, 0.0)))]
     alphas: list[float] = []
@@ -163,13 +200,8 @@ def vr_conjugate_gradient(
 
     def _result(reason: StopReason, iterations: int) -> CGResult:
         true_res = norm(b - op.matvec(x))
-        # Exit verification: the recurred residual can drift below the
-        # threshold while the true residual has not -- a false convergence
-        # any production implementation must catch.  One extra matvec
-        # (already needed for diagnostics) at exit, none per iteration.
-        if reason is StopReason.CONVERGED and true_res > 100.0 * stop.threshold(b_norm):
-            reason = StopReason.BREAKDOWN
-        return CGResult(
+        reason = verified_exit(reason, true_res, stop.threshold(b_norm))
+        result = CGResult(
             x=x,
             converged=reason is StopReason.CONVERGED,
             stop_reason=reason,
@@ -180,6 +212,9 @@ def vr_conjugate_gradient(
             true_residual_norm=true_res,
             label=f"vr-cg(k={k})",
         )
+        if telemetry is not None:
+            telemetry.solve_end(result)
+        return result
 
     if stop.is_met(res_norms[0], b_norm):
         return _result(StopReason.CONVERGED, 0)
@@ -215,6 +250,11 @@ def vr_conjugate_gradient(
         mu_new = window.advance_mu(lam)
         mu0_new = float(mu_new[0])
         res_norms.append(float(np.sqrt(max(mu0_new, 0.0))))
+        if telemetry is not None:
+            telemetry.iteration(
+                iterations, res_norms[-1], lam=lam, recurred_rr=mu0_new
+            )
+            telemetry.iterate(x)
         if stop.is_met(res_norms[-1], b_norm):
             reason = StopReason.CONVERGED
             break
@@ -244,12 +284,18 @@ def vr_conjugate_gradient(
         drift_triggered = False
         if replace_drift_tol is not None:
             rr_direct = dot(powers.r, powers.r, label="drift_check_dot")
+            if telemetry is not None:
+                telemetry.drift(iterations, window.rr, rr_direct)
             if rr_direct > 0:
                 drift = abs(window.rr - rr_direct) / rr_direct
                 drift_triggered = drift > replace_drift_tol
         if (
             replace_every is not None and since_replacement >= replace_every
         ) or drift_triggered:
+            if telemetry is not None:
+                telemetry.replacement(
+                    iterations, "drift" if drift_triggered else "periodic"
+                )
             # Recompute the true residual but KEEP the conjugate direction:
             # replacement refreshes finite-precision drift without
             # restarting the Krylov space.
@@ -265,9 +311,15 @@ def vr_conjugate_gradient(
             mu0_fresh, nu0_fresh = float(window.mu[0]), float(window.nu[0])
             if abs(nu0_fresh - mu0_fresh) > 0.5 * abs(mu0_fresh):
                 powers, window = _startup(op, b, x, k)
+                if telemetry is not None:
+                    telemetry.replacement(iterations, "restart")
             since_replacement = 0
 
-        if observer is not None:
-            observer(VRState(iteration=iterations, window=window, powers=powers, x=x))
+        if observer is not None or (telemetry is not None and telemetry.on_state):
+            st = VRState(iteration=iterations, window=window, powers=powers, x=x)
+            if observer is not None:
+                observer(st)
+            if telemetry is not None:
+                telemetry.state(st)
 
     return _result(reason, iterations)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.util.counters import add_reduction
 from repro.util.validation import require_nonnegative_int, require_positive_int
 
 __all__ = ["CommStats", "PendingReduction", "SimComm"]
@@ -84,8 +85,10 @@ class PendingReduction:
         self.consumed = True
         if self.comm.iteration - self.issued_at >= self.latency:
             self.comm.stats.hidden_allreduces += 1
+            self.comm._emit("wait_hidden", int(np.size(self.value)))
         else:
             self.comm.stats.forced_waits += 1
+            self.comm._emit("wait_forced", int(np.size(self.value)))
         return self.value
 
     @property
@@ -103,13 +106,21 @@ class SimComm:
     real machine would have paid.
     """
 
-    def __init__(self, nranks: int, *, reduction_latency: int = 1) -> None:
+    def __init__(
+        self, nranks: int, *, reduction_latency: int = 1, telemetry=None
+    ) -> None:
         self.nranks = require_positive_int(nranks, "nranks")
         self.reduction_latency = require_nonnegative_int(
             reduction_latency, "reduction_latency"
         )
         self.iteration = 0
         self.stats = CommStats()
+        self.telemetry = telemetry
+
+    def _emit(self, op: str, words: int) -> None:
+        """One :class:`~repro.telemetry.ReductionEvent` when attached."""
+        if self.telemetry is not None:
+            self.telemetry.reduction(op, self.iteration, self.nranks, words)
 
     # ------------------------------------------------------------------
     # clock
@@ -134,6 +145,8 @@ class SimComm:
         result = self._sum_partials(partials)
         self.stats.blocking_allreduces += 1
         self.stats.words_reduced += int(np.size(result))
+        add_reduction()
+        self._emit("allreduce", int(np.size(result)))
         return result
 
     def iallreduce(self, partials, *, latency: int | None = None) -> PendingReduction:
@@ -142,6 +155,8 @@ class SimComm:
         ``reduction_latency`` (in solver iterations)."""
         result = self._sum_partials(partials)
         self.stats.words_reduced += int(np.size(result))
+        add_reduction()
+        self._emit("iallreduce", int(np.size(result)))
         lat = self.reduction_latency if latency is None else int(latency)
         return PendingReduction(
             value=result, issued_at=self.iteration, latency=lat, comm=self
@@ -151,3 +166,4 @@ class SimComm:
         """Book one neighbour exchange of ``words`` vector entries."""
         self.stats.halo_exchanges += 1
         self.stats.words_exchanged += int(words)
+        self._emit("halo", int(words))

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.coefficients import mu_index, sigma_index
 from repro.core.pipeline import _CoefficientPipeline
-from repro.core.results import CGResult, StopReason
+from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
 from repro.distributed.comm import PendingReduction, SimComm
 from repro.distributed.data import BlockVector, DistributedCSR
@@ -50,11 +50,23 @@ def distributed_cg(
     *,
     nranks: int = 4,
     stop: StoppingCriterion | None = None,
+    telemetry: "Telemetry | None" = None,
 ) -> tuple[CGResult, SimComm]:
-    """Classical CG, SPMD form: 2 blocking allreduces + 1 halo per iter."""
+    """Classical CG, SPMD form: 2 blocking allreduces + 1 halo per iter.
+
+    ``telemetry`` takes an optional :class:`repro.telemetry.Telemetry`
+    hook; every collective and halo exchange is emitted as a
+    :class:`~repro.telemetry.ReductionEvent` alongside the per-iteration
+    events, and the returned result carries ``comm.stats`` in
+    ``extras["comm_stats"]``.
+    """
     stop = stop or StoppingCriterion()
     dist_a, b_vec, part = _setup(a, b, nranks)
-    comm = SimComm(nranks)
+    comm = SimComm(nranks, telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.solve_start(
+            "dist-cg", f"dist-cg(P={nranks})", part.n, nranks=nranks
+        )
 
     x = BlockVector.zeros(part)
     b_norm = float(np.sqrt(comm.allreduce(b_vec.dot_partials(b_vec))))
@@ -84,6 +96,8 @@ def distributed_cg(
             comm.advance_iteration()
             rr_new = float(comm.allreduce(r.dot_partials(r)))
             res_norms.append(float(np.sqrt(max(rr_new, 0.0))))
+            if telemetry is not None:
+                telemetry.iteration(iterations, res_norms[-1], lam=lam)
             if stop.is_met(res_norms[-1], b_norm):
                 reason = StopReason.CONVERGED
                 break
@@ -92,17 +106,23 @@ def distributed_cg(
             p.scale_add(alpha, r)
             rr = rr_new
 
+    x_global = x.to_global()
+    true_res = float(np.linalg.norm(b - a.matvec(x_global)))
+    reason = verified_exit(reason, true_res, stop.threshold(b_norm))
     result = CGResult(
-        x=x.to_global(),
+        x=x_global,
         converged=reason is StopReason.CONVERGED,
         stop_reason=reason,
         iterations=iterations,
         residual_norms=res_norms,
         alphas=alphas,
         lambdas=lambdas,
-        true_residual_norm=float(np.linalg.norm(b - a.matvec(x.to_global()))),
+        true_residual_norm=true_res,
         label=f"dist-cg(P={nranks})",
+        extras={"comm_stats": comm.stats},
     )
+    if telemetry is not None:
+        telemetry.solve_end(result)
     return result, comm
 
 
@@ -112,12 +132,17 @@ def distributed_cgcg(
     *,
     nranks: int = 4,
     stop: StoppingCriterion | None = None,
+    telemetry: "Telemetry | None" = None,
 ) -> tuple[CGResult, SimComm]:
     """Chronopoulos--Gear, SPMD form: ONE blocking allreduce per iteration
     (both partial dots ride the same collective)."""
     stop = stop or StoppingCriterion()
     dist_a, b_vec, part = _setup(a, b, nranks)
-    comm = SimComm(nranks)
+    comm = SimComm(nranks, telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.solve_start(
+            "dist-cgcg", f"dist-cgcg(P={nranks})", part.n, nranks=nranks
+        )
 
     x = BlockVector.zeros(part)
     r = b_vec.copy()
@@ -168,21 +193,31 @@ def distributed_cgcg(
             )
             rr, rar = float(fused[0]), float(fused[1])
             res_norms.append(float(np.sqrt(max(rr, 0.0))))
+            if telemetry is not None:
+                telemetry.iteration(
+                    iterations, res_norms[-1], lam=lam, recurred_rr=rr
+                )
             if stop.is_met(res_norms[-1], b_norm):
                 reason = StopReason.CONVERGED
                 break
 
+    x_global = x.to_global()
+    true_res = float(np.linalg.norm(b - a.matvec(x_global)))
+    reason = verified_exit(reason, true_res, stop.threshold(b_norm))
     result = CGResult(
-        x=x.to_global(),
+        x=x_global,
         converged=reason is StopReason.CONVERGED,
         stop_reason=reason,
         iterations=iterations,
         residual_norms=res_norms,
         alphas=alphas,
         lambdas=lambdas,
-        true_residual_norm=float(np.linalg.norm(b - a.matvec(x.to_global()))),
+        true_residual_norm=true_res,
         label=f"dist-cgcg(P={nranks})",
+        extras={"comm_stats": comm.stats},
     )
+    if telemetry is not None:
+        telemetry.solve_end(result)
     return result, comm
 
 
@@ -193,6 +228,7 @@ def distributed_sstep(
     s: int = 4,
     nranks: int = 4,
     stop: StoppingCriterion | None = None,
+    telemetry: "Telemetry | None" = None,
 ) -> tuple[CGResult, SimComm]:
     """s-step CG, SPMD form: TWO blocking allreduces per s CG steps.
 
@@ -206,7 +242,15 @@ def distributed_sstep(
     stop = stop or StoppingCriterion()
     s = require_positive_int(s, "s")
     dist_a, b_vec, part = _setup(a, b, nranks)
-    comm = SimComm(nranks)
+    comm = SimComm(nranks, telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.solve_start(
+            "dist-sstep",
+            f"dist-sstep(s={s},P={nranks})",
+            part.n,
+            s=s,
+            nranks=nranks,
+        )
 
     def krylov_block(r: BlockVector) -> tuple[list[BlockVector], list[BlockVector]]:
         k_blk = [r.copy()]
@@ -265,6 +309,8 @@ def distributed_sstep(
             cross = fused[: s * s].reshape(s, s)
             rr = float(fused[-1])
             res_norms.append(float(np.sqrt(max(rr, 0.0))))
+            if telemetry is not None:
+                telemetry.iteration(cg_steps, res_norms[-1])
             if stop.is_met(res_norms[-1], b_norm):
                 reason = StopReason.CONVERGED
                 break
@@ -289,6 +335,8 @@ def distributed_sstep(
             p_blk, ap_blk = new_p, new_ap
 
     x_global = x.to_global()
+    true_res = float(np.linalg.norm(b - a.matvec(x_global)))
+    reason = verified_exit(reason, true_res, stop.threshold(b_norm))
     result = CGResult(
         x=x_global,
         converged=reason is StopReason.CONVERGED,
@@ -297,9 +345,12 @@ def distributed_sstep(
         residual_norms=res_norms,
         alphas=[],
         lambdas=[],
-        true_residual_norm=float(np.linalg.norm(b - a.matvec(x_global))),
+        true_residual_norm=true_res,
         label=f"dist-sstep(s={s},P={nranks})",
+        extras={"comm_stats": comm.stats},
     )
+    if telemetry is not None:
+        telemetry.solve_end(result)
     return result, comm
 
 
@@ -336,6 +387,7 @@ def distributed_pipelined_vr(
     nranks: int = 4,
     stop: StoppingCriterion | None = None,
     use_matrix_powers_kernel: bool = False,
+    telemetry: "Telemetry | None" = None,
 ) -> tuple[CGResult, SimComm]:
     """Pipelined Van Rosendale CG, SPMD form.
 
@@ -354,7 +406,16 @@ def distributed_pipelined_vr(
     stop = stop or StoppingCriterion()
     k = require_positive_int(k, "k")
     dist_a, b_vec, part = _setup(a, b, nranks)
-    comm = SimComm(nranks, reduction_latency=k)
+    comm = SimComm(nranks, reduction_latency=k, telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.solve_start(
+            "dist-pipelined-vr",
+            f"dist-pipelined-vr(k={k},P={nranks})",
+            part.n,
+            k=k,
+            nranks=nranks,
+            use_matrix_powers_kernel=use_matrix_powers_kernel,
+        )
     w = k  # state layout parameter
 
     x = BlockVector.zeros(part)
@@ -427,6 +488,10 @@ def distributed_pipelined_vr(
                     target, lam, state, mu0
                 )
             res_norms.append(float(np.sqrt(max(mu0_next, 0.0))))
+            if telemetry is not None:
+                telemetry.iteration(
+                    iterations, res_norms[-1], lam=lam, recurred_rr=mu0_next
+                )
             if stop.is_met(res_norms[-1], b_norm):
                 reason = StopReason.CONVERGED
                 break
@@ -451,6 +516,8 @@ def distributed_pipelined_vr(
             mu0, sigma1 = mu0_next, sigma1_next
 
     x_global = x.to_global()
+    true_res = float(np.linalg.norm(b - a.matvec(x_global)))
+    reason = verified_exit(reason, true_res, stop.threshold(b_norm))
     result = CGResult(
         x=x_global,
         converged=reason is StopReason.CONVERGED,
@@ -459,7 +526,10 @@ def distributed_pipelined_vr(
         residual_norms=res_norms,
         alphas=alphas,
         lambdas=lambdas,
-        true_residual_norm=float(np.linalg.norm(b - a.matvec(x_global))),
+        true_residual_norm=true_res,
         label=f"dist-pipelined-vr(k={k},P={nranks})",
+        extras={"comm_stats": comm.stats},
     )
+    if telemetry is not None:
+        telemetry.solve_end(result)
     return result, comm

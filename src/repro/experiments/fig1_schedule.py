@@ -4,21 +4,22 @@ Reproduces the paper's only figure twice over:
 
 1. *Statically*: :func:`repro.machine.gantt.render_figure1` redraws the
    diagram for the chosen k.
-2. *Dynamically*: a pipelined solve is run with a trace attached and a
-   :class:`LaunchLedger` enforcing fan-in latency; the recorded
-   launch/consume events are rendered as the diagonal band and checked to
-   match the figure's k-step flow exactly (every consume reads the launch
-   exactly k iterations earlier, and no value is read before its fan-in
-   completes -- the ledger raises otherwise).
+2. *Dynamically*: a pipelined solve is run with telemetry attached and a
+   :class:`LaunchLedger` enforcing fan-in latency; the emitted pipeline
+   events are rebuilt into a trace, rendered as the diagonal band, and
+   checked to match the figure's k-step flow exactly (every consume reads
+   the launch exactly k iterations earlier, and no value is read before
+   its fan-in completes -- the ledger raises otherwise).
 """
 
 from __future__ import annotations
 
-from repro.core.pipeline import PipelineTrace, pipelined_vr_cg
+from repro.core.pipeline import pipelined_vr_cg, trace_from_events
 from repro.core.stopping import StoppingCriterion
 from repro.experiments.common import ExperimentReport, register
 from repro.machine.gantt import render_figure1, render_pipeline_trace
 from repro.sparse.generators import poisson2d
+from repro.telemetry import Telemetry
 from repro.util.rng import default_rng
 from repro.util.tables import Table
 
@@ -31,14 +32,16 @@ def run(*, fast: bool = True, k: int = 4) -> ExperimentReport:
     grid = 10 if fast else 24
     a = poisson2d(grid)
     b = default_rng(7).standard_normal(a.nrows)
-    trace = PipelineTrace(k=k)
     # The figure reproduces data movement, not deep convergence; on the
     # full-size problem the rtol is set where the drift-free regime of
     # k=4 comfortably reaches (E7b owns the deep-convergence story).
     rtol = 1e-8 if fast else 1e-5
+    telemetry = Telemetry()
     result = pipelined_vr_cg(
-        a, b, k=k, stop=StoppingCriterion(rtol=rtol, max_iter=600), trace=trace
+        a, b, k=k, stop=StoppingCriterion(rtol=rtol, max_iter=600),
+        telemetry=telemetry,
     )
+    trace = trace_from_events(k, telemetry.events)
 
     table = Table(
         ["quantity", "value"],

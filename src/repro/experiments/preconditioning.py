@@ -55,8 +55,8 @@ def run(*, fast: bool = True, k: int = 2) -> ExperimentReport:
     ]
     speedup_seen = False
     for name, m in precs:
-        ref = preconditioned_cg(a, b, m, stop=stop)
-        vr = vr_pcg(a, b, m, k=k, stop=stop, replace_every=8)
+        ref = preconditioned_cg(a, b, precond=m, stop=stop)
+        vr = vr_pcg(a, b, precond=m, k=k, stop=stop, replace_every=8)
         gap = abs(vr.iterations - ref.iterations)
         table.add(name, ref.iterations, vr.iterations, ref.converged and vr.converged, gap)
         passed = passed and ref.converged and vr.converged and gap <= max(3, ref.iterations // 10)
@@ -73,8 +73,8 @@ def run(*, fast: bool = True, k: int = 2) -> ExperimentReport:
 
     bounds = estimate_spectrum_via_cg(a, b, iterations=12)
     cheb = ChebyshevPolyPrecond(a, bounds, degree=4)
-    ref = polynomial_pcg(a, b, cheb, stop=stop)
-    vr = vr_poly_pcg(a, b, cheb, k=k, stop=stop, replace_every=8)
+    ref = polynomial_pcg(a, b, precond=cheb, stop=stop)
+    vr = vr_poly_pcg(a, b, precond=cheb, k=k, stop=stop, replace_every=8)
     gap = abs(vr.iterations - ref.iterations)
     table.add("chebyshev(q=4)", ref.iterations, vr.iterations,
               ref.converged and vr.converged, gap)

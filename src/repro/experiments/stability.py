@@ -32,6 +32,7 @@ from repro.core.stopping import StoppingCriterion
 from repro.core.vr_cg import vr_conjugate_gradient
 from repro.experiments.common import ExperimentReport, register
 from repro.sparse.generators import poisson2d
+from repro.telemetry import Telemetry
 from repro.util.rng import default_rng
 from repro.util.tables import Table
 
@@ -43,10 +44,10 @@ def drift_history(a, b, k: int, iterations: int) -> list[float]:
     per iteration, for the eager VR solver without replacement."""
     a_dense = a.todense()
     stop = StoppingCriterion(rtol=1e-300, atol=1e-300, max_iter=iterations)
-    iterates: list[np.ndarray] = []
-    res = vr_conjugate_gradient(a, b, k=k, stop=stop, record_iterates=iterates)
+    telemetry = Telemetry(capture_iterates=True, count_ops=False)
+    res = vr_conjugate_gradient(a, b, k=k, stop=stop, telemetry=telemetry)
     errs = []
-    for it, x in enumerate(iterates):
+    for it, x in enumerate(telemetry.iterates):
         true_norm = float(np.linalg.norm(b - a_dense @ x))
         rec = res.residual_norms[it] if it < len(res.residual_norms) else float("nan")
         if true_norm > 0:

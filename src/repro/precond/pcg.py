@@ -19,7 +19,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.pipeline import pipelined_vr_cg
-from repro.core.results import CGResult, StopReason
+from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
 from repro.core.vr_cg import vr_conjugate_gradient
 from repro.precond.base import Preconditioner, SplitPreconditioner, split_operator
@@ -30,25 +30,54 @@ from repro.util.validation import as_1d_float_array, check_square_operator
 __all__ = ["preconditioned_cg", "vr_pcg", "pipelined_vr_pcg"]
 
 
+def _resolve_precond(fname: str, m: Any, precond: Any) -> Any:
+    """Honour the deprecated positional ``m`` while preferring ``precond=``."""
+    if m is not None:
+        from repro.telemetry import deprecated_hook
+
+        if precond is not None:
+            raise TypeError(
+                f"{fname}() got both a positional preconditioner and precond="
+            )
+        deprecated_hook(
+            f"{fname}(a, b, m) with a positional preconditioner",
+            f"{fname}(a, b, precond=...)",
+        )
+        precond = m
+    if precond is None:
+        raise TypeError(f"{fname}() requires a preconditioner: pass precond=...")
+    return precond
+
+
 def preconditioned_cg(
     a: Any,
     b: np.ndarray,
-    m: Preconditioner,
+    m: Preconditioner | None = None,
     *,
+    precond: Preconditioner | None = None,
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
+    telemetry: "Telemetry | None" = None,
 ) -> CGResult:
     """Classical preconditioned CG (applied form).
 
     Stopping is tested on the *true* residual norm ``‖r‖₂`` (not the
     M-norm), so iteration counts are comparable across preconditioners.
+    Pass the preconditioner as ``precond=``; the positional ``m`` form is
+    deprecated (still accepted, with a :class:`DeprecationWarning`).
+    ``telemetry`` takes an optional :class:`repro.telemetry.Telemetry`
+    hook.
     """
+    m = _resolve_precond("preconditioned_cg", m, precond)
     op = as_operator(a)
     b = as_1d_float_array(b, "b")
     n = check_square_operator(op, b.shape[0])
     stop = stop or StoppingCriterion()
 
     x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
+    if telemetry is not None:
+        telemetry.solve_start("pcg", "pcg", n, precond=type(m).__name__)
+        telemetry.iterate(x)
     b_norm = norm(b)
     r = b - op.matvec(x)
     z = m.apply(r)
@@ -75,6 +104,9 @@ def preconditioned_cg(
             axpy(-lam, ap, r, out=r)
             iterations += 1
             res_norms.append(norm(r))
+            if telemetry is not None:
+                telemetry.iteration(iterations, res_norms[-1], lam=lam)
+                telemetry.iterate(x)
             if stop.is_met(res_norms[-1], b_norm):
                 reason = StopReason.CONVERGED
                 break
@@ -85,7 +117,9 @@ def preconditioned_cg(
             axpy(alpha, p, z, out=p)  # p = z + alpha p
             rz = rz_new
 
-    return CGResult(
+    true_res = norm(b - op.matvec(x))
+    reason = verified_exit(reason, true_res, stop.threshold(b_norm))
+    result = CGResult(
         x=x,
         converged=reason is StopReason.CONVERGED,
         stop_reason=reason,
@@ -93,9 +127,12 @@ def preconditioned_cg(
         residual_norms=res_norms,
         alphas=alphas,
         lambdas=lambdas,
-        true_residual_norm=norm(b - op.matvec(x)),
+        true_residual_norm=true_res,
         label="pcg",
     )
+    if telemetry is not None:
+        telemetry.solve_end(result)
+    return result
 
 
 def _split_solve(solver, a, b, m, x0, stop, label, **kwargs) -> CGResult:
@@ -125,19 +162,24 @@ def _split_solve(solver, a, b, m, x0, stop, label, **kwargs) -> CGResult:
 def vr_pcg(
     a: Any,
     b: np.ndarray,
-    m: SplitPreconditioner,
+    m: SplitPreconditioner | None = None,
     *,
+    precond: SplitPreconditioner | None = None,
     k: int = 2,
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
     replace_every: int | None = None,
+    telemetry: "Telemetry | None" = None,
 ) -> CGResult:
     """Van Rosendale CG on the split-preconditioned operator.
 
     Note the recorded ``residual_norms`` are norms of the *preconditioned*
     residual ``r̃ = E⁻¹(b − Ax)``; ``true_residual_norm`` is recomputed in
-    the original variables at exit.
+    the original variables at exit.  Pass the preconditioner as
+    ``precond=`` (the positional ``m`` form is deprecated).  Telemetry
+    events describe the inner iteration on ``Ã``.
     """
+    m = _resolve_precond("vr_pcg", m, precond)
     return _split_solve(
         lambda at, bt, x0, stop, **kw: vr_conjugate_gradient(at, bt, x0=x0, stop=stop, **kw),
         a,
@@ -148,19 +190,27 @@ def vr_pcg(
         f"vr-pcg(k={k})",
         k=k,
         replace_every=replace_every,
+        telemetry=telemetry,
     )
 
 
 def pipelined_vr_pcg(
     a: Any,
     b: np.ndarray,
-    m: SplitPreconditioner,
+    m: SplitPreconditioner | None = None,
     *,
+    precond: SplitPreconditioner | None = None,
     k: int = 2,
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
+    telemetry: "Telemetry | None" = None,
 ) -> CGResult:
-    """Pipelined Van Rosendale CG on the split-preconditioned operator."""
+    """Pipelined Van Rosendale CG on the split-preconditioned operator.
+
+    Pass the preconditioner as ``precond=`` (the positional ``m`` form is
+    deprecated).  Telemetry events describe the inner iteration on ``Ã``.
+    """
+    m = _resolve_precond("pipelined_vr_pcg", m, precond)
     return _split_solve(
         lambda at, bt, x0, stop, **kw: pipelined_vr_cg(at, bt, x0=x0, stop=stop, **kw),
         a,
@@ -170,4 +220,5 @@ def pipelined_vr_pcg(
         stop,
         f"pipelined-vr-pcg(k={k})",
         k=k,
+        telemetry=telemetry,
     )

@@ -117,36 +117,73 @@ class ChebyshevPolyPrecond:
         return CallableOperator(n, _matvec, row_degree=row_degree)
 
 
+def _resolve_precond(fname: str, m: Any, precond: Any) -> Any:
+    """Honour the deprecated positional ``m`` while preferring ``precond=``."""
+    if m is not None:
+        from repro.telemetry import deprecated_hook
+
+        if precond is not None:
+            raise TypeError(
+                f"{fname}() got both a positional preconditioner and precond="
+            )
+        deprecated_hook(
+            f"{fname}(a, b, m) with a positional preconditioner",
+            f"{fname}(a, b, precond=...)",
+        )
+        precond = m
+    if precond is None:
+        raise TypeError(f"{fname}() requires a preconditioner: pass precond=...")
+    return precond
+
+
 def polynomial_pcg(
     a: Any,
     b: np.ndarray,
-    m: ChebyshevPolyPrecond,
+    m: ChebyshevPolyPrecond | None = None,
     *,
+    precond: ChebyshevPolyPrecond | None = None,
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
+    telemetry: Any = None,
 ) -> CGResult:
-    """Classical CG on ``A·p(A) x = p(A) b`` (polynomial PCG)."""
-    return _poly_solve(conjugate_gradient, a, b, m, x0, stop, "poly-pcg")
+    """Classical CG on ``A·p(A) x = p(A) b`` (polynomial PCG).
+
+    Pass the preconditioner as ``precond=`` (the positional ``m`` form is
+    deprecated).  Telemetry events describe the inner iteration on ``Ã``.
+    """
+    m = _resolve_precond("polynomial_pcg", m, precond)
+    return _poly_solve(
+        lambda at, bt, x0, stop: conjugate_gradient(
+            at, bt, x0=x0, stop=stop, telemetry=telemetry
+        ),
+        a, b, m, x0, stop, "poly-pcg",
+    )
 
 
 def vr_poly_pcg(
     a: Any,
     b: np.ndarray,
-    m: ChebyshevPolyPrecond,
+    m: ChebyshevPolyPrecond | None = None,
     *,
+    precond: ChebyshevPolyPrecond | None = None,
     k: int = 2,
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
     replace_every: int | None = None,
+    telemetry: Any = None,
 ) -> CGResult:
     """Van Rosendale CG on the polynomially preconditioned operator.
 
     The commuting trick means the VR recurrences apply verbatim -- the
     operator is explicitly SPD and no split factor exists or is needed.
+    Pass the preconditioner as ``precond=`` (the positional ``m`` form is
+    deprecated).  Telemetry events describe the inner iteration on ``Ã``.
     """
+    m = _resolve_precond("vr_poly_pcg", m, precond)
     return _poly_solve(
         lambda at, bt, x0, stop: vr_conjugate_gradient(
-            at, bt, k=k, x0=x0, stop=stop, replace_every=replace_every
+            at, bt, k=k, x0=x0, stop=stop, replace_every=replace_every,
+            telemetry=telemetry,
         ),
         a,
         b,

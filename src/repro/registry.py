@@ -1,0 +1,388 @@
+"""The solver registry behind :func:`repro.solve`.
+
+One front-door for the whole family::
+
+    import numpy as np
+    from repro import poisson2d, solve
+
+    a = poisson2d(32)
+    b = np.ones(a.nrows)
+    result = solve(a, b, method="vr", k=3)
+
+Every solver in the repository -- classical, Van Rosendale (eager and
+pipelined), the historical variants, the stationary baselines, and the
+distributed SPMD forms -- registers here under a short method name, with
+a uniform calling convention:
+
+* ``solve(a, b, method=..., precond=..., telemetry=..., stop=...,
+  **options)`` always returns a :class:`~repro.core.results.CGResult`
+  whose ``method`` field records the registry name it was dispatched
+  under (distributed methods attach their ``CommStats`` in
+  ``extras["comm_stats"]``).
+* ``precond`` takes a preconditioner instance *or* a string name
+  (``"jacobi"``, ``"ssor"``, ``"ic0"``, ``"identity"``,
+  ``"chebyshev"``); the registry picks the right preconditioned driver
+  (applied-form PCG, split-operator VR, or the commuting polynomial
+  trick) for the method.
+* ``telemetry`` takes a :class:`repro.telemetry.Telemetry` session that
+  receives the solver's structured event stream.
+
+Methods that need spectrum bounds (``chebyshev``, ``richardson``, and
+the ``"chebyshev"`` preconditioner) estimate them with a short CG run
+(:func:`repro.core.lanczos.estimate_spectrum_via_cg`) when the caller
+does not supply them -- Gershgorin's lower bound is 0 for the model
+problems, which is unusable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.results import CGResult
+
+__all__ = ["solve", "register", "available_methods", "method_entry", "SolverEntry"]
+
+
+@dataclass(frozen=True)
+class SolverEntry:
+    """One registered solver.
+
+    Attributes
+    ----------
+    name:
+        Registry name (the ``method=`` string).
+    runner:
+        ``runner(a, b, *, precond, telemetry, stop, **options)`` returning
+        a :class:`CGResult`.
+    description:
+        One-line summary for ``--help`` output and docs.
+    supports_precond:
+        Whether the method accepts a preconditioner.
+    distributed:
+        Whether the method runs over the simulated communicator (its
+        result carries ``extras["comm_stats"]``).
+    """
+
+    name: str
+    runner: Callable[..., CGResult]
+    description: str
+    supports_precond: bool = False
+    distributed: bool = False
+
+
+_REGISTRY: dict[str, SolverEntry] = {}
+
+
+def register(
+    name: str,
+    description: str,
+    *,
+    supports_precond: bool = False,
+    distributed: bool = False,
+) -> Callable[[Callable[..., CGResult]], Callable[..., CGResult]]:
+    """Class the decorated runner under ``name`` in the method registry."""
+
+    def deco(runner: Callable[..., CGResult]) -> Callable[..., CGResult]:
+        if name in _REGISTRY:
+            raise ValueError(f"method {name!r} is already registered")
+        _REGISTRY[name] = SolverEntry(
+            name=name,
+            runner=runner,
+            description=description,
+            supports_precond=supports_precond,
+            distributed=distributed,
+        )
+        return runner
+
+    return deco
+
+
+def available_methods() -> list[str]:
+    """All registered method names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def method_entry(name: str) -> SolverEntry:
+    """Look up one :class:`SolverEntry`; raises ``ValueError`` for unknown
+    names with the full list in the message."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {name!r}; available: {', '.join(available_methods())}"
+        ) from None
+
+
+def _estimated_bounds(a: Any, b: np.ndarray) -> tuple[float, float]:
+    """Spectrum bounds from a short CG run (Gershgorin's λmin is 0 here)."""
+    from repro.core.lanczos import estimate_spectrum_via_cg
+
+    return estimate_spectrum_via_cg(a, b, iterations=12)
+
+
+def _resolve_precond(a: Any, precond: Any, b: np.ndarray, options: dict) -> Any:
+    """Turn a string preconditioner name into an instance built on ``a``.
+
+    Instances pass through unchanged.  Options consumed here:
+    ``omega`` (ssor), ``poly_degree`` and ``spectrum_bounds`` (chebyshev).
+    """
+    if precond is None or not isinstance(precond, str):
+        return precond
+    name = precond
+    if name in ("none", ""):
+        return None
+    from repro.precond import (
+        ICholPrecond,
+        IdentityPrecond,
+        JacobiPrecond,
+        SSORPrecond,
+    )
+
+    if name == "identity":
+        return IdentityPrecond()
+    if name == "jacobi":
+        return JacobiPrecond(a)
+    if name == "ssor":
+        return SSORPrecond(a, omega=options.pop("omega", 1.0))
+    if name == "ic0":
+        return ICholPrecond(a)
+    if name == "chebyshev":
+        from repro.precond.polynomial import ChebyshevPolyPrecond
+
+        bounds = options.pop("spectrum_bounds", None) or _estimated_bounds(a, b)
+        return ChebyshevPolyPrecond(
+            a, bounds, degree=options.pop("poly_degree", 4)
+        )
+    raise ValueError(
+        f"unknown preconditioner {name!r}; expected one of "
+        "identity, jacobi, ssor, ic0, chebyshev, or an instance"
+    )
+
+
+def solve(
+    a: Any,
+    b: np.ndarray,
+    method: str = "vr",
+    *,
+    precond: Any = None,
+    telemetry: Any = None,
+    **options: Any,
+) -> CGResult:
+    """Solve ``A x = b`` with any registered method.
+
+    Parameters
+    ----------
+    a, b:
+        The SPD system (anything :func:`repro.sparse.as_operator` accepts
+        for sequential methods; distributed methods need a
+        :class:`~repro.sparse.csr.CSRMatrix`).
+    method:
+        Registry name -- see :func:`available_methods`.
+    precond:
+        Preconditioner instance or string name; only methods registered
+        with ``supports_precond`` accept one.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` session.
+    **options:
+        Method-specific keywords, forwarded to the underlying solver
+        (``k=``, ``s=``, ``stop=``, ``replace_every=``, ...).
+
+    Returns
+    -------
+    CGResult
+        With ``result.method`` set to the dispatched registry name.
+    """
+    entry = method_entry(method)
+    precond = _resolve_precond(a, precond, b, options)
+    if precond is not None and not entry.supports_precond:
+        raise ValueError(f"method {method!r} does not accept a preconditioner")
+    result = entry.runner(a, b, precond=precond, telemetry=telemetry, **options)
+    result.method = entry.name
+    return result
+
+
+# ----------------------------------------------------------------------
+# registrations: core solvers
+# ----------------------------------------------------------------------
+@register("cg", "classical Hestenes--Stiefel CG", supports_precond=True)
+def _run_cg(a, b, *, precond, telemetry, **options):
+    from repro.core.standard import conjugate_gradient
+    from repro.precond.pcg import preconditioned_cg
+    from repro.precond.polynomial import ChebyshevPolyPrecond, polynomial_pcg
+
+    if precond is None:
+        return conjugate_gradient(a, b, telemetry=telemetry, **options)
+    if isinstance(precond, ChebyshevPolyPrecond):
+        return polynomial_pcg(a, b, precond=precond, telemetry=telemetry, **options)
+    return preconditioned_cg(a, b, precond=precond, telemetry=telemetry, **options)
+
+
+@register("vr", "Van Rosendale restructured CG (eager form)", supports_precond=True)
+def _run_vr(a, b, *, precond, telemetry, **options):
+    from repro.core.vr_cg import vr_conjugate_gradient
+    from repro.precond.base import SplitPreconditioner
+    from repro.precond.pcg import vr_pcg
+    from repro.precond.polynomial import ChebyshevPolyPrecond, vr_poly_pcg
+
+    if precond is None:
+        # Without explicit stabilization the pure eager algorithm drifts
+        # (EXPERIMENTS.md E7b); default the front-door to adaptive
+        # replacement -- the same policy as the CLI -- so
+        # solve(..., method="vr") just works.  Pass replace_every= or
+        # replace_drift_tol= (or replace_drift_tol=None explicitly) to
+        # override.
+        options.setdefault(
+            "replace_drift_tol",
+            None if "replace_every" in options else 1e-6,
+        )
+        return vr_conjugate_gradient(a, b, telemetry=telemetry, **options)
+    if isinstance(precond, ChebyshevPolyPrecond):
+        # The preconditioned drivers take periodic replacement only (the
+        # drift detector lives in the unpreconditioned eager loop); keep
+        # them stable by default, as the CLI always has.
+        options.pop("replace_drift_tol", None)
+        options.setdefault("replace_every", 10)
+        return vr_poly_pcg(a, b, precond=precond, telemetry=telemetry, **options)
+    if isinstance(precond, SplitPreconditioner):
+        options.pop("replace_drift_tol", None)
+        options.setdefault("replace_every", 10)
+        return vr_pcg(a, b, precond=precond, telemetry=telemetry, **options)
+    raise ValueError(
+        "method 'vr' needs a split or polynomial preconditioner, got "
+        f"{type(precond).__name__}"
+    )
+
+
+@register(
+    "pipelined-vr",
+    "Van Rosendale restructured CG (fully pipelined form)",
+    supports_precond=True,
+)
+def _run_pipelined_vr(a, b, *, precond, telemetry, **options):
+    from repro.core.pipeline import pipelined_vr_cg
+    from repro.precond.base import SplitPreconditioner
+    from repro.precond.pcg import pipelined_vr_pcg
+
+    if precond is None:
+        return pipelined_vr_cg(a, b, telemetry=telemetry, **options)
+    if isinstance(precond, SplitPreconditioner):
+        return pipelined_vr_pcg(a, b, precond=precond, telemetry=telemetry, **options)
+    raise ValueError(
+        "method 'pipelined-vr' needs a split preconditioner, got "
+        f"{type(precond).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# registrations: historical variants
+# ----------------------------------------------------------------------
+@register("three-term", "three-term recurrence CG (Rutishauser form)")
+def _run_three_term(a, b, *, precond, telemetry, **options):
+    from repro.variants import three_term_cg
+
+    return three_term_cg(a, b, telemetry=telemetry, **options)
+
+
+@register("cg-cg", "Chronopoulos--Gear CG (fused reductions)")
+def _run_cgcg(a, b, *, precond, telemetry, **options):
+    from repro.variants import chronopoulos_gear_cg
+
+    return chronopoulos_gear_cg(a, b, telemetry=telemetry, **options)
+
+
+@register("gv", "Ghysels--Vanroose pipelined CG")
+def _run_gv(a, b, *, precond, telemetry, **options):
+    from repro.variants import ghysels_vanroose_cg
+
+    return ghysels_vanroose_cg(a, b, telemetry=telemetry, **options)
+
+
+@register("sstep", "s-step CG (batched reductions)")
+def _run_sstep(a, b, *, precond, telemetry, **options):
+    from repro.variants import sstep_cg
+
+    return sstep_cg(a, b, telemetry=telemetry, **options)
+
+
+@register("chebyshev", "Chebyshev iteration (no inner products)")
+def _run_chebyshev(a, b, *, precond, telemetry, **options):
+    from repro.variants import chebyshev_iteration
+
+    bounds = options.pop("bounds", None) or _estimated_bounds(a, b)
+    return chebyshev_iteration(a, b, bounds, telemetry=telemetry, **options)
+
+
+# ----------------------------------------------------------------------
+# registrations: stationary baselines
+# ----------------------------------------------------------------------
+@register("jacobi", "(weighted) Jacobi sweeps")
+def _run_jacobi(a, b, *, precond, telemetry, **options):
+    from repro.variants import jacobi_solve
+
+    return jacobi_solve(a, b, telemetry=telemetry, **options)
+
+
+@register("gauss-seidel", "Gauss--Seidel sweeps")
+def _run_gauss_seidel(a, b, *, precond, telemetry, **options):
+    from repro.variants import gauss_seidel_solve
+
+    return gauss_seidel_solve(a, b, telemetry=telemetry, **options)
+
+
+@register("sor", "successive over-relaxation sweeps")
+def _run_sor(a, b, *, precond, telemetry, **options):
+    from repro.variants import sor_solve
+
+    return sor_solve(a, b, telemetry=telemetry, **options)
+
+
+@register("richardson", "Richardson iteration (optimal fixed step)")
+def _run_richardson(a, b, *, precond, telemetry, **options):
+    from repro.variants import richardson_solve
+
+    if "step" not in options:
+        lam_min, lam_max = _estimated_bounds(a, b)
+        options["step"] = 2.0 / (lam_min + lam_max)
+    return richardson_solve(a, b, telemetry=telemetry, **options)
+
+
+# ----------------------------------------------------------------------
+# registrations: distributed (SPMD over the simulated communicator)
+# ----------------------------------------------------------------------
+@register("dist-cg", "distributed classical CG", distributed=True)
+def _run_dist_cg(a, b, *, precond, telemetry, **options):
+    from repro.distributed.solvers import distributed_cg
+
+    result, _comm = distributed_cg(a, b, telemetry=telemetry, **options)
+    return result
+
+
+@register("dist-cgcg", "distributed Chronopoulos--Gear CG", distributed=True)
+def _run_dist_cgcg(a, b, *, precond, telemetry, **options):
+    from repro.distributed.solvers import distributed_cgcg
+
+    result, _comm = distributed_cgcg(a, b, telemetry=telemetry, **options)
+    return result
+
+
+@register("dist-sstep", "distributed s-step CG", distributed=True)
+def _run_dist_sstep(a, b, *, precond, telemetry, **options):
+    from repro.distributed.solvers import distributed_sstep
+
+    result, _comm = distributed_sstep(a, b, telemetry=telemetry, **options)
+    return result
+
+
+@register(
+    "dist-pipelined-vr",
+    "distributed pipelined Van Rosendale CG (nonblocking reductions)",
+    distributed=True,
+)
+def _run_dist_pipelined_vr(a, b, *, precond, telemetry, **options):
+    from repro.distributed.solvers import distributed_pipelined_vr
+
+    result, _comm = distributed_pipelined_vr(a, b, telemetry=telemetry, **options)
+    return result

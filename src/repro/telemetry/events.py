@@ -1,0 +1,235 @@
+"""Typed telemetry events.
+
+Every solver in the package narrates its execution through a small,
+closed vocabulary of event types.  The vocabulary is exactly the set of
+per-iteration quantities the paper's argument (and the follow-up
+literature: Cools & Vanroose 2017, Chen & Carson 2019) instruments when
+comparing CG variants:
+
+* :class:`IterationEvent` -- the residual-norm history and the CG scalar
+  parameters, one event per iteration of *any* solver;
+* :class:`DriftEvent` -- recurred scalar quantities versus true inner
+  products (the finite-precision gap of experiment E7);
+* :class:`ReplacementEvent` -- residual-replacement actions and why they
+  fired;
+* :class:`PipelineEvent` -- launch/consume/coefficient-composition data
+  movement (the Figure 1 diagonal flow);
+* :class:`ReductionEvent` -- distributed collectives and halo exchanges,
+  per issue/completion, with payload sizes (the C1/C2 synchronization
+  accounting on real runs);
+* :class:`PhaseEvent` -- wall-clock phase timers (startup vs. iterate);
+* :class:`CountersEvent` -- the :class:`repro.util.counters.OpCounts`
+  totals booked during the solve (SpMV/dot/axpy, flops, words moved,
+  reduction launches);
+* :class:`SolveStartEvent` / :class:`SolveEndEvent` -- solve brackets.
+
+Events are plain dataclasses with a stable ``kind`` discriminator and a
+:meth:`~TelemetryEvent.to_payload` method producing a flat,
+JSON-serializable dict -- the contract the JSON-lines sink writes and the
+schema tests pin down.  They are *treated* as immutable but deliberately
+not ``frozen=True``: frozen-dataclass construction goes through
+``object.__setattr__`` per field, which triples the cost of the
+once-per-iteration :class:`IterationEvent` on the hot path priced by
+``benchmarks/bench_telemetry_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.util.counters import OpCounts
+
+__all__ = [
+    "TelemetryEvent",
+    "SolveStartEvent",
+    "IterationEvent",
+    "DriftEvent",
+    "ReplacementEvent",
+    "PipelineEvent",
+    "ReductionEvent",
+    "PhaseEvent",
+    "CountersEvent",
+    "SolveEndEvent",
+]
+
+
+@dataclass
+class TelemetryEvent:
+    """Base class: every event carries a ``kind`` discriminator."""
+
+    kind = "event"
+
+    def to_payload(self) -> dict[str, Any]:
+        """Flat JSON-serializable dict (``kind`` first, then the fields)."""
+        payload: dict[str, Any] = {"kind": self.kind}
+        for key, value in asdict(self).items():
+            payload[key] = value
+        return payload
+
+
+@dataclass
+class SolveStartEvent(TelemetryEvent):
+    """A solver began: registry method name, solver label, problem size.
+
+    ``options`` holds the scalar solve options (k, s, nranks, ...) so a
+    telemetry stream is self-describing.
+    """
+
+    kind = "solve_start"
+
+    method: str
+    label: str
+    n: int
+    options: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class IterationEvent(TelemetryEvent):
+    """One completed iteration of any solver in the family.
+
+    Attributes
+    ----------
+    iteration:
+        Completed iteration count (1-based, matching ``CGResult.iterations``).
+    residual_norm:
+        The residual norm *as the algorithm sees it* -- recurred ``sqrt(mu_0)``
+        for the Van Rosendale solvers, directly computed for classical CG.
+    lam:
+        The step length ``lambda_n`` (paper notation), when the method has one.
+    alpha:
+        The direction scalar ``alpha_{n+1}``, when already available at
+        emission time.
+    recurred_rr:
+        The scalar-recurred ``(r, r)`` for moment-recurrence solvers.
+    """
+
+    kind = "iteration"
+
+    iteration: int
+    residual_norm: float
+    lam: float | None = None
+    alpha: float | None = None
+    recurred_rr: float | None = None
+
+
+@dataclass
+class DriftEvent(TelemetryEvent):
+    """Recurred scalar vs. true inner product at one iteration.
+
+    ``drift`` is the relative gap ``|recurred - direct| / direct`` -- the
+    moment-window finite-precision drift the stability experiment (E7)
+    tracks, emitted whenever a solver computes both quantities.
+    """
+
+    kind = "drift"
+
+    iteration: int
+    recurred_rr: float
+    direct_rr: float
+    drift: float
+
+
+@dataclass
+class ReplacementEvent(TelemetryEvent):
+    """A residual replacement happened.
+
+    ``trigger`` is ``"periodic"`` (the ``replace_every`` schedule),
+    ``"drift"`` (the adaptive detector fired), or ``"restart"`` (the
+    retained direction failed the conjugacy sanity check and the Krylov
+    space was rebuilt from scratch).
+    """
+
+    kind = "replacement"
+
+    iteration: int
+    trigger: str
+
+
+@dataclass
+class PipelineEvent(TelemetryEvent):
+    """One data-movement step of the pipelined iteration (Figure 1).
+
+    ``op`` is ``"launch"``, ``"consume"``, or ``"coeff_update"``;
+    ``source_iteration`` is the launch iteration a consume refers to;
+    ``count`` is the number of scalar values involved (6k+6 per launch).
+    """
+
+    kind = "pipeline"
+
+    op: str
+    iteration: int
+    source_iteration: int
+    count: int
+
+
+@dataclass
+class ReductionEvent(TelemetryEvent):
+    """One distributed collective or halo exchange.
+
+    ``op`` is one of ``"allreduce"`` (blocking), ``"iallreduce"``
+    (nonblocking issue), ``"wait_hidden"`` (nonblocking completion after
+    its latency elapsed -- off the critical path), ``"wait_forced"`` (an
+    early wait, booked as a real synchronization), or ``"halo"``
+    (neighbour exchange).  ``nranks`` is the number of participating
+    ranks and ``words`` the per-event payload in vector words.
+    """
+
+    kind = "reduction"
+
+    op: str
+    iteration: int
+    nranks: int
+    words: int
+
+
+@dataclass
+class PhaseEvent(TelemetryEvent):
+    """A named wall-clock phase completed (``startup``, ``iterate``, ...)."""
+
+    kind = "phase"
+
+    name: str
+    seconds: float
+
+
+@dataclass
+class CountersEvent(TelemetryEvent):
+    """Operation totals booked between solve start and solve end."""
+
+    kind = "counters"
+
+    counts: OpCounts
+
+    def to_payload(self) -> dict[str, Any]:
+        c = self.counts
+        return {
+            "kind": self.kind,
+            "dots": c.dots,
+            "dot_flops": c.dot_flops,
+            "axpys": c.axpys,
+            "axpy_flops": c.axpy_flops,
+            "matvecs": c.matvecs,
+            "matvec_flops": c.matvec_flops,
+            "scalar_flops": c.scalar_flops,
+            "reductions": c.reductions,
+            "words_moved": c.words_moved,
+            "total_flops": c.total_flops,
+            "bytes_moved": c.bytes_moved,
+            "labels": dict(c._labels),
+        }
+
+
+@dataclass
+class SolveEndEvent(TelemetryEvent):
+    """A solver finished: the outcome summary, mirroring ``CGResult``."""
+
+    kind = "solve_end"
+
+    label: str
+    converged: bool
+    stop_reason: str
+    iterations: int
+    residual_norm: float
+    true_residual_norm: float
+    seconds: float

@@ -1,0 +1,264 @@
+"""The `Telemetry` hook: one object every solver can emit into.
+
+Usage::
+
+    from repro import Telemetry, solve
+    tele = Telemetry()                      # default in-memory sink
+    result = solve(a, b, method="vr", k=3, telemetry=tele)
+    iters = tele.memory.of_kind("iteration")
+
+or streaming to disk::
+
+    from repro.telemetry import JsonlSink
+    with Telemetry(JsonlSink("run.jsonl")) as tele:
+        solve(a, b, method="pipelined-vr", telemetry=tele)
+
+Design constraints, in order:
+
+1. **Uniformity** -- every solver (core, variants, preconditioned,
+   distributed) takes the same ``telemetry=`` keyword and emits the same
+   event vocabulary, so cross-variant comparisons need no per-solver
+   glue.  This replaces the ad-hoc ``observer=`` / ``trace=`` /
+   ``record_iterates=`` hooks (kept as deprecated shims).
+2. **Cheap when absent** -- solvers guard every call with
+   ``if telemetry is not None``; a solve without telemetry pays nothing.
+3. **Cheap when present** -- with a no-op sink the instrumentation costs
+   <5% on the poisson2d hot path (enforced by
+   ``benchmarks/bench_telemetry_overhead.py``), so it can stay on in
+   production.
+
+A `Telemetry` instance also opens a :mod:`repro.util.counters` scope for
+the duration of each solve, so the stream ends with a
+:class:`CountersEvent` carrying the SpMV/dot/axpy/flop/byte totals
+without the caller wrapping anything in ``counting()``.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.telemetry.events import (
+    CountersEvent,
+    DriftEvent,
+    IterationEvent,
+    PhaseEvent,
+    PipelineEvent,
+    ReductionEvent,
+    ReplacementEvent,
+    SolveEndEvent,
+    SolveStartEvent,
+    TelemetryEvent,
+)
+from repro.telemetry.sinks import MemorySink, Sink
+from repro.util.counters import OpCounts, pop_scope, push_scope
+
+__all__ = ["Telemetry", "deprecated_hook"]
+
+
+def deprecated_hook(old: str, new: str) -> None:
+    """Warn once per call site that a legacy solver hook was used."""
+    warnings.warn(
+        f"{old} is deprecated and will be removed in a future release; "
+        f"use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class _ActiveSolve:
+    """Book-keeping for one open solve bracket (they may nest)."""
+
+    __slots__ = ("counter", "started_at")
+
+    def __init__(self, counter: OpCounts | None, started_at: float) -> None:
+        self.counter = counter
+        self.started_at = started_at
+
+
+class Telemetry:
+    """Structured instrumentation session shared by every solver.
+
+    Parameters
+    ----------
+    *sinks:
+        Event destinations.  With none given, a :class:`MemorySink` is
+        attached and reachable as :attr:`memory`.
+    capture_iterates:
+        When true, :meth:`iterate` stores a copy of every iterate in
+        :attr:`iterates` -- the replacement for the legacy
+        ``record_iterates=`` kwarg (equivalence experiment E7).
+    on_state:
+        Optional callback receiving the live solver state object (the
+        Van Rosendale :class:`~repro.core.vr_cg.VRState`) after each
+        iteration -- the replacement for the legacy ``observer=`` kwarg.
+    count_ops:
+        When true (default), each solve bracket runs inside a fresh
+        :mod:`repro.util.counters` scope and emits a
+        :class:`CountersEvent` at solve end.
+    """
+
+    def __init__(
+        self,
+        *sinks: Sink,
+        capture_iterates: bool = False,
+        on_state: Callable[[Any], None] | None = None,
+        count_ops: bool = True,
+    ) -> None:
+        self._sinks: tuple[Sink, ...] = sinks if sinks else (MemorySink(),)
+        self.capture_iterates = bool(capture_iterates)
+        self.iterates: list[np.ndarray] = []
+        self.on_state = on_state
+        self.count_ops = bool(count_ops)
+        self._active: list[_ActiveSolve] = []
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def sinks(self) -> tuple[Sink, ...]:
+        """The attached sinks, in emission order."""
+        return self._sinks
+
+    @property
+    def memory(self) -> MemorySink | None:
+        """The first attached :class:`MemorySink`, if any."""
+        for sink in self._sinks:
+            if isinstance(sink, MemorySink):
+                return sink
+        return None
+
+    @property
+    def events(self) -> list[TelemetryEvent]:
+        """Shortcut to the memory sink's event list (empty if none)."""
+        mem = self.memory
+        return mem.events if mem is not None else []
+
+    def events_of(self, kind: str) -> list[TelemetryEvent]:
+        """Events of one kind from the memory sink (empty if none)."""
+        mem = self.memory
+        return mem.of_kind(kind) if mem is not None else []
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def emit(self, event: TelemetryEvent) -> None:
+        """Deliver one event to every sink."""
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def solve_start(self, method: str, label: str, n: int, **options: Any) -> None:
+        """Open a solve bracket (emits :class:`SolveStartEvent`)."""
+        counter = push_scope() if self.count_ops else None
+        self._active.append(_ActiveSolve(counter, time.perf_counter()))
+        self.emit(SolveStartEvent(method=method, label=label, n=n, options=options))
+
+    def iteration(
+        self,
+        iteration: int,
+        residual_norm: float,
+        *,
+        lam: float | None = None,
+        alpha: float | None = None,
+        recurred_rr: float | None = None,
+    ) -> None:
+        """One completed iteration (emits :class:`IterationEvent`)."""
+        # The once-per-iteration hot path: positional construction and an
+        # inlined sink loop (bench_telemetry_overhead.py budget).
+        event = IterationEvent(iteration, residual_norm, lam, alpha, recurred_rr)
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def drift(self, iteration: int, recurred_rr: float, direct_rr: float) -> None:
+        """Recurred vs. direct ``(r, r)`` gap (emits :class:`DriftEvent`)."""
+        rel = abs(recurred_rr - direct_rr) / direct_rr if direct_rr else float("inf")
+        event = DriftEvent(iteration, recurred_rr, direct_rr, rel)
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def replacement(self, iteration: int, trigger: str) -> None:
+        """A residual replacement fired (emits :class:`ReplacementEvent`)."""
+        self.emit(ReplacementEvent(iteration=iteration, trigger=trigger))
+
+    def pipeline(
+        self, op: str, iteration: int, source_iteration: int, count: int
+    ) -> None:
+        """Pipeline data movement (emits :class:`PipelineEvent`)."""
+        self.emit(
+            PipelineEvent(
+                op=op,
+                iteration=iteration,
+                source_iteration=source_iteration,
+                count=count,
+            )
+        )
+
+    def reduction(self, op: str, iteration: int, nranks: int, words: int) -> None:
+        """Distributed collective / halo (emits :class:`ReductionEvent`)."""
+        self.emit(
+            ReductionEvent(op=op, iteration=iteration, nranks=nranks, words=words)
+        )
+
+    def iterate(self, x: np.ndarray) -> None:
+        """Store a copy of the current iterate when capture is enabled."""
+        if self.capture_iterates:
+            self.iterates.append(np.array(x, copy=True))
+
+    def state(self, state: Any) -> None:
+        """Forward the live solver state to the ``on_state`` callback."""
+        if self.on_state is not None:
+            self.on_state(state)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named phase (emits :class:`PhaseEvent` on exit)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.emit(PhaseEvent(name=name, seconds=time.perf_counter() - start))
+
+    def solve_end(self, result: Any) -> None:
+        """Close the innermost solve bracket.
+
+        Emits the :class:`CountersEvent` for the bracket's counting scope
+        (when enabled) followed by :class:`SolveEndEvent` summarizing the
+        :class:`~repro.core.results.CGResult`.
+        """
+        seconds = 0.0
+        if self._active:
+            active = self._active.pop()
+            seconds = time.perf_counter() - active.started_at
+            if active.counter is not None:
+                self.emit(CountersEvent(counts=pop_scope(active.counter).snapshot()))
+        self.emit(
+            SolveEndEvent(
+                label=result.label,
+                converged=bool(result.converged),
+                stop_reason=result.stop_reason.value,
+                iterations=int(result.iterations),
+                residual_norm=float(result.final_recurred_residual),
+                true_residual_norm=float(result.true_residual_norm),
+                seconds=seconds,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close every sink that supports closing (flushes streams)."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if callable(close):
+                close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,174 @@
+"""Telemetry sinks: where the event stream goes.
+
+A sink is anything with an ``emit(event)`` method (and an optional
+``close()``).  The package ships four:
+
+* :class:`NullSink` -- drops everything; exists so the overhead benchmark
+  can price the instrumentation itself, separate from any I/O.
+* :class:`MemorySink` -- appends every event to a list; the default for
+  interactive use and the one tests introspect.
+* :class:`JsonlSink` -- one JSON object per line, the interchange format
+  (``python -m repro solve ... --telemetry out.jsonl``); streams, never
+  buffers a whole solve.
+* :class:`AsciiSummarySink` -- accumulates per-solve statistics and
+  prints a fixed-width summary table at each solve end, for humans
+  watching a terminal.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import IO, Any, Protocol, runtime_checkable
+
+from repro.telemetry.events import (
+    CountersEvent,
+    IterationEvent,
+    PhaseEvent,
+    ReductionEvent,
+    SolveEndEvent,
+    SolveStartEvent,
+    TelemetryEvent,
+)
+
+__all__ = ["Sink", "NullSink", "MemorySink", "JsonlSink", "AsciiSummarySink"]
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Structural interface every sink satisfies."""
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Receive one event."""
+        ...  # pragma: no cover
+
+
+class NullSink:
+    """Accepts and discards every event (the overhead-measurement sink)."""
+
+    def emit(self, event: TelemetryEvent) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink:
+    """Stores every event in order; the introspectable default sink."""
+
+    def __init__(self) -> None:
+        self.events: list[TelemetryEvent] = []
+
+    def emit(self, event: TelemetryEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> list[TelemetryEvent]:
+        """All stored events with the given ``kind`` discriminator."""
+        return [e for e in self.events if e.kind == kind]
+
+    def clear(self) -> None:
+        """Drop all stored events."""
+        self.events.clear()
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Writes one JSON object per event to a file path or stream.
+
+    Parameters
+    ----------
+    target:
+        A path (opened and owned by the sink, closed by :meth:`close`),
+        ``"-"`` for stdout, or an already-open text stream (not closed).
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        self._owns_stream = False
+        if isinstance(target, (str, Path)):
+            if str(target) == "-":
+                self._stream: IO[str] = sys.stdout
+            else:
+                self._stream = open(target, "w", encoding="utf-8")
+                self._owns_stream = True
+        else:
+            self._stream = target
+
+    def emit(self, event: TelemetryEvent) -> None:
+        json.dump(event.to_payload(), self._stream, separators=(",", ":"))
+        self._stream.write("\n")
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+
+class AsciiSummarySink:
+    """Prints a per-solve summary table at each ``solve_end``.
+
+    Accumulates iteration, phase, counter, and reduction events between
+    the solve brackets, and renders the totals with
+    :class:`repro.util.tables.Table` -- the same look as the experiment
+    harness output.
+    """
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self._stream = stream if stream is not None else sys.stdout
+        self._reset()
+
+    def _reset(self) -> None:
+        self._start: SolveStartEvent | None = None
+        self._iterations = 0
+        self._phases: list[PhaseEvent] = []
+        self._counts: CountersEvent | None = None
+        self._reductions: dict[str, int] = {}
+
+    def emit(self, event: TelemetryEvent) -> None:
+        if isinstance(event, SolveStartEvent):
+            self._reset()
+            self._start = event
+        elif isinstance(event, IterationEvent):
+            self._iterations += 1
+        elif isinstance(event, PhaseEvent):
+            self._phases.append(event)
+        elif isinstance(event, CountersEvent):
+            self._counts = event
+        elif isinstance(event, ReductionEvent):
+            self._reductions[event.op] = self._reductions.get(event.op, 0) + 1
+        elif isinstance(event, SolveEndEvent):
+            self._render(event)
+
+    def _render(self, end: SolveEndEvent) -> None:
+        from repro.util.tables import Table
+
+        table = Table(["quantity", "value"], title=f"telemetry: {end.label}")
+        if self._start is not None:
+            table.add("problem size n", self._start.n)
+            for key, value in sorted(self._start.options.items()):
+                table.add(f"option {key}", value)
+        table.add("iterations", end.iterations)
+        table.add("converged", end.converged)
+        table.add("stop reason", end.stop_reason)
+        table.add("final residual (algorithm)", f"{end.residual_norm:.3e}")
+        table.add("final residual (true)", f"{end.true_residual_norm:.3e}")
+        table.add("wall time [s]", f"{end.seconds:.4f}")
+        for phase in self._phases:
+            table.add(f"phase {phase.name} [s]", f"{phase.seconds:.4f}")
+        if self._counts is not None:
+            c = self._counts.counts
+            table.add("matvecs", c.matvecs)
+            table.add("direct dots", c.dots)
+            table.add("axpys", c.axpys)
+            table.add("reduction launches", c.reductions)
+            table.add("total flops", c.total_flops)
+            table.add("est. bytes moved", c.bytes_moved)
+        for op in sorted(self._reductions):
+            table.add(f"collective {op}", self._reductions[op])
+        self._stream.write(table.render() + "\n")
+
+    def close(self) -> None:
+        self._stream.flush()

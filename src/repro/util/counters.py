@@ -28,10 +28,13 @@ __all__ = [
     "counting",
     "current_counts",
     "reset_counts",
+    "push_scope",
+    "pop_scope",
     "add_dot",
     "add_axpy",
     "add_matvec",
     "add_scalar_flops",
+    "add_reduction",
 ]
 
 
@@ -61,6 +64,16 @@ class OpCounts:
         Van Rosendale algorithm.  Kept separate because the paper's claim C8
         is that the *vector* work is unchanged while the scalar overhead is
         O(k) per iteration.
+    reductions:
+        Global reduction *launches* (fan-in trees started): every direct
+        inner product or norm counts one, and the distributed communicator
+        books its collectives here too.  This is the quantity the paper
+        minimizes per iteration.
+    words_moved:
+        Estimated vector words streamed through memory by the counted
+        kernels (reads + writes): ``2n`` per dot, ``3n`` per vector
+        update, ``2·nnz + 2·nrows`` per CSR matvec.  Together with the
+        flop totals this gives the arithmetic-intensity view of a solve.
     """
 
     dots: int = 0
@@ -70,6 +83,8 @@ class OpCounts:
     matvecs: int = 0
     matvec_flops: int = 0
     scalar_flops: int = 0
+    reductions: int = 0
+    words_moved: int = 0
     _labels: dict[str, int] = field(default_factory=dict, repr=False)
 
     @property
@@ -83,6 +98,11 @@ class OpCounts:
     def vector_flops(self) -> int:
         """Flops on length-N data only (excludes scalar recurrence work)."""
         return self.dot_flops + self.axpy_flops + self.matvec_flops
+
+    @property
+    def bytes_moved(self) -> int:
+        """``words_moved`` in bytes (8 bytes per float64 word)."""
+        return 8 * self.words_moved
 
     def labelled(self, label: str) -> int:
         """Return the count booked under ``label`` (0 if never booked)."""
@@ -102,6 +122,8 @@ class OpCounts:
             matvecs=self.matvecs,
             matvec_flops=self.matvec_flops,
             scalar_flops=self.scalar_flops,
+            reductions=self.reductions,
+            words_moved=self.words_moved,
         )
         copy._labels = dict(self._labels)
         return copy
@@ -140,12 +162,30 @@ def counting() -> Iterator[OpCounts]:
     >>> c.dots
     1
     """
-    counter = OpCounts()
-    _STACK.stack.append(counter)
+    counter = push_scope()
     try:
         yield counter
     finally:
+        pop_scope(counter)
+
+
+def push_scope() -> OpCounts:
+    """Push a fresh counting scope without a ``with`` block.
+
+    The non-context-manager form of :func:`counting`, used by
+    :class:`repro.telemetry.Telemetry` whose solve brackets do not nest
+    lexically.  Pair every push with :func:`pop_scope`.
+    """
+    counter = OpCounts()
+    _STACK.stack.append(counter)
+    return counter
+
+
+def pop_scope(counter: OpCounts) -> OpCounts:
+    """Remove ``counter`` from the active stack and return it."""
+    if counter in _STACK.stack:
         _STACK.stack.remove(counter)
+    return counter
 
 
 def current_counts() -> OpCounts | None:
@@ -162,32 +202,69 @@ def _each() -> list[OpCounts]:
     return _STACK.stack
 
 
+# The add_* functions below run on every kernel invocation of every
+# solver, inside or outside a counting scope, so they are written for the
+# fast path: bail out on an empty stack before any arithmetic, and hoist
+# the per-op quantities out of the (almost always length-1) scope loop.
+
+
 def add_dot(n: int, label: str | None = None) -> None:
-    """Book one direct inner product over length-``n`` vectors."""
-    for c in _each():
+    """Book one direct inner product over length-``n`` vectors.
+
+    A direct dot is also one reduction launch (the ``log N`` fan-in tree
+    the paper is about), so it books into ``reductions`` too.
+    """
+    stack = _STACK.stack
+    if not stack:
+        return
+    flops = max(2 * n - 1, 0)
+    words = 2 * n
+    for c in stack:
         c.dots += 1
-        c.dot_flops += max(2 * n - 1, 0)
+        c.dot_flops += flops
+        c.reductions += 1
+        c.words_moved += words
         if label is not None:
             c.book_label(label)
 
 
 def add_axpy(n: int, flops_per_entry: int = 2) -> None:
     """Book one vector-update kernel over length-``n`` vectors."""
-    for c in _each():
+    stack = _STACK.stack
+    if not stack:
+        return
+    flops = flops_per_entry * n
+    words = 3 * n
+    for c in stack:
         c.axpys += 1
-        c.axpy_flops += flops_per_entry * n
+        c.axpy_flops += flops
+        c.words_moved += words
 
 
 def add_matvec(nnz: int, nrows: int, label: str | None = None) -> None:
     """Book one sparse matrix--vector product with ``nnz`` nonzeros."""
-    for c in _each():
+    stack = _STACK.stack
+    if not stack:
+        return
+    flops = max(2 * nnz - nrows, 0)
+    words = 2 * nnz + 2 * nrows
+    for c in stack:
         c.matvecs += 1
-        c.matvec_flops += max(2 * nnz - nrows, 0)
+        c.matvec_flops += flops
+        c.words_moved += words
         if label is not None:
             c.book_label(label)
 
 
 def add_scalar_flops(flops: int) -> None:
     """Book scalar (length-independent) floating point work."""
-    for c in _each():
+    for c in _STACK.stack:
         c.scalar_flops += flops
+
+
+def add_reduction(count: int = 1) -> None:
+    """Book ``count`` reduction launches that are *not* direct dots --
+    e.g. the distributed communicator's collectives, whose payloads are
+    already-reduced per-rank partials."""
+    for c in _STACK.stack:
+        c.reductions += count

@@ -24,7 +24,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.results import CGResult, StopReason
+from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
 from repro.sparse.linop import as_operator
 from repro.util.counters import add_axpy
@@ -46,6 +46,7 @@ def chebyshev_iteration(
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
     check_every: int = 1,
+    telemetry: "Telemetry | None" = None,
 ) -> CGResult:
     """Solve the SPD system ``A x = b`` by Chebyshev iteration.
 
@@ -60,6 +61,10 @@ def chebyshev_iteration(
         Residual-norm (reduction!) frequency.  ``1`` checks every
         iteration; larger values amortize the solver's only inner product
         -- the knob that makes the method reduction-free in the limit.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` hook; an
+        :class:`~repro.telemetry.IterationEvent` per residual *check*
+        (the method has no per-iteration reductions to report).
 
     Returns
     -------
@@ -81,6 +86,15 @@ def chebyshev_iteration(
     sigma1 = theta / delta
 
     x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
+    if telemetry is not None:
+        telemetry.solve_start(
+            "chebyshev",
+            f"chebyshev(check={check_every})",
+            n,
+            bounds=(lam_min, lam_max),
+            check_every=check_every,
+        )
+        telemetry.iterate(x)
     b_norm = norm(b)
     r = b - op.matvec(x)
     res_norms = [norm(r)]
@@ -103,6 +117,9 @@ def chebyshev_iteration(
             add_axpy(n)
             if iterations % check_every == 0 or iterations >= budget:
                 res_norms.append(norm(r))
+                if telemetry is not None:
+                    telemetry.iteration(iterations, res_norms[-1])
+                    telemetry.iterate(x)
                 if stop.is_met(res_norms[-1], b_norm):
                     reason = StopReason.CONVERGED
                     break
@@ -117,7 +134,9 @@ def chebyshev_iteration(
             add_axpy(n, flops_per_entry=4)
             rho = rho_next
 
-    return CGResult(
+    true_res = norm(b - op.matvec(x))
+    reason = verified_exit(reason, true_res, stop.threshold(b_norm))
+    result = CGResult(
         x=x,
         converged=reason is StopReason.CONVERGED,
         stop_reason=reason,
@@ -125,6 +144,9 @@ def chebyshev_iteration(
         residual_norms=res_norms,
         alphas=[],
         lambdas=lambdas,
-        true_residual_norm=norm(b - op.matvec(x)),
+        true_residual_norm=true_res,
         label=f"chebyshev(check={check_every})",
     )
+    if telemetry is not None:
+        telemetry.solve_end(result)
+    return result

@@ -22,7 +22,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.results import CGResult, StopReason
+from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
 from repro.sparse.linop import as_operator
 from repro.util.kernels import axpy, dot, norm
@@ -37,11 +37,14 @@ def chronopoulos_gear_cg(
     *,
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
+    telemetry: "Telemetry | None" = None,
 ) -> CGResult:
     """Solve the SPD system by Chronopoulos--Gear CG.
 
     Per iteration: one matvec (``w = Ar``), two *simultaneous* inner
     products ``(r,r)`` and ``(r,w)``, and recurrences for everything else.
+    ``telemetry`` takes an optional :class:`repro.telemetry.Telemetry`
+    hook (per-iteration events with the recurred ``(r, r)``).
     """
     op = as_operator(a)
     b = as_1d_float_array(b, "b")
@@ -49,6 +52,9 @@ def chronopoulos_gear_cg(
     stop = stop or StoppingCriterion()
 
     x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
+    if telemetry is not None:
+        telemetry.solve_start("cg-cg", "chronopoulos-gear-cg", n)
+        telemetry.iterate(x)
     b_norm = norm(b)
     r = b - op.matvec(x)
     w = op.matvec(r)
@@ -96,11 +102,18 @@ def chronopoulos_gear_cg(
             rr = dot(r, r, label="fused_dot")
             rar = dot(r, w, label="fused_dot")
             res_norms.append(float(np.sqrt(max(rr, 0.0))))
+            if telemetry is not None:
+                telemetry.iteration(
+                    iterations, res_norms[-1], lam=lam, recurred_rr=rr
+                )
+                telemetry.iterate(x)
             if stop.is_met(res_norms[-1], b_norm):
                 reason = StopReason.CONVERGED
                 break
 
-    return CGResult(
+    true_res = norm(b - op.matvec(x))
+    reason = verified_exit(reason, true_res, stop.threshold(b_norm))
+    result = CGResult(
         x=x,
         converged=reason is StopReason.CONVERGED,
         stop_reason=reason,
@@ -108,6 +121,9 @@ def chronopoulos_gear_cg(
         residual_norms=res_norms,
         alphas=alphas,
         lambdas=lambdas,
-        true_residual_norm=norm(b - op.matvec(x)),
+        true_residual_norm=true_res,
         label="chronopoulos-gear-cg",
     )
+    if telemetry is not None:
+        telemetry.solve_end(result)
+    return result

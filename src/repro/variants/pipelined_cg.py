@@ -24,7 +24,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.results import CGResult, StopReason
+from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
 from repro.sparse.linop import as_operator
 from repro.util.kernels import axpy, dot, norm
@@ -39,14 +39,22 @@ def ghysels_vanroose_cg(
     *,
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
+    telemetry: "Telemetry | None" = None,
 ) -> CGResult:
-    """Solve the SPD system by pipelined (Ghysels--Vanroose) CG."""
+    """Solve the SPD system by pipelined (Ghysels--Vanroose) CG.
+
+    ``telemetry`` takes an optional :class:`repro.telemetry.Telemetry`
+    hook (per-iteration events with the recurred ``γ = (r, r)``).
+    """
     op = as_operator(a)
     b = as_1d_float_array(b, "b")
     n = check_square_operator(op, b.shape[0])
     stop = stop or StoppingCriterion()
 
     x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
+    if telemetry is not None:
+        telemetry.solve_start("gv", "ghysels-vanroose-cg", n)
+        telemetry.iterate(x)
     b_norm = norm(b)
     r = b - op.matvec(x)
     w = op.matvec(r)
@@ -101,11 +109,18 @@ def ghysels_vanroose_cg(
             gamma = dot(r, r, label="pipelined_dot")
             delta = dot(w, r, label="pipelined_dot")
             res_norms.append(float(np.sqrt(max(gamma, 0.0))))
+            if telemetry is not None:
+                telemetry.iteration(
+                    iterations, res_norms[-1], lam=alpha, recurred_rr=gamma
+                )
+                telemetry.iterate(x)
             if stop.is_met(res_norms[-1], b_norm):
                 reason = StopReason.CONVERGED
                 break
 
-    return CGResult(
+    true_res = norm(b - op.matvec(x))
+    reason = verified_exit(reason, true_res, stop.threshold(b_norm))
+    result = CGResult(
         x=x,
         converged=reason is StopReason.CONVERGED,
         stop_reason=reason,
@@ -113,6 +128,9 @@ def ghysels_vanroose_cg(
         residual_norms=res_norms,
         alphas=alphas,
         lambdas=lambdas,
-        true_residual_norm=norm(b - op.matvec(x)),
+        true_residual_norm=true_res,
         label="ghysels-vanroose-cg",
     )
+    if telemetry is not None:
+        telemetry.solve_end(result)
+    return result

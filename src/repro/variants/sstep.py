@@ -37,7 +37,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.results import CGResult, StopReason
+from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
 from repro.sparse.linop import as_operator
 from repro.util.counters import add_dot, add_scalar_flops
@@ -143,6 +143,7 @@ def sstep_cg(
     spectrum_bounds: tuple[float, float] | None = None,
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
+    telemetry: "Telemetry | None" = None,
 ) -> CGResult:
     """Solve the SPD system ``A x = b`` by s-step (Chronopoulos--Gear) CG.
 
@@ -161,6 +162,10 @@ def sstep_cg(
         ``(λmin, λmax)`` estimates for the Chebyshev shift.  Defaults to
         Gershgorin bounds when ``a`` is one of our CSR matrices; required
         for abstract operators.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` hook; one
+        :class:`~repro.telemetry.IterationEvent` per *outer* step (its
+        ``iteration`` field counts CG-equivalent steps).
 
     Returns
     -------
@@ -194,6 +199,9 @@ def sstep_cg(
         raise ValueError(f"unknown basis {basis!r}")
 
     x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
+    if telemetry is not None:
+        telemetry.solve_start("sstep", f"sstep-cg(s={s})", n, s=s, basis=basis)
+        telemetry.iterate(x)
     b_norm = norm(b)
     r = b - op.matvec(x)
     res_norms = [norm(r)]
@@ -203,10 +211,8 @@ def sstep_cg(
 
     def _result() -> CGResult:
         true_res = norm(b - op.matvec(x))
-        final_reason = reason
-        if final_reason is StopReason.CONVERGED and true_res > 100.0 * stop.threshold(b_norm):
-            final_reason = StopReason.BREAKDOWN
-        return CGResult(
+        final_reason = verified_exit(reason, true_res, stop.threshold(b_norm))
+        result = CGResult(
             x=x,
             converged=final_reason is StopReason.CONVERGED,
             stop_reason=final_reason,
@@ -217,6 +223,9 @@ def sstep_cg(
             true_residual_norm=true_res,
             label=f"sstep-cg(s={s})",
         )
+        if telemetry is not None:
+            telemetry.solve_end(result)
+        return result
 
     if stop.is_met(res_norms[0], b_norm):
         reason = StopReason.CONVERGED
@@ -236,6 +245,9 @@ def sstep_cg(
         r -= ap_blk @ coeffs
         cg_steps += s
         res_norms.append(norm(r))
+        if telemetry is not None:
+            telemetry.iteration(cg_steps, res_norms[-1])
+            telemetry.iterate(x)
         if stop.is_met(res_norms[-1], b_norm):
             reason = StopReason.CONVERGED
             break

@@ -24,7 +24,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.core.results import CGResult, StopReason
+from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.trisolve import solve_lower
@@ -47,8 +47,14 @@ def _stationary_loop(
     stop: StoppingCriterion,
     check_every: int,
     label: str,
+    telemetry=None,
 ) -> CGResult:
     """Shared driver: apply ``x <- sweep(x, r)`` until converged."""
+    if telemetry is not None:
+        telemetry.solve_start(
+            label.split("(")[0], label, b.shape[0], check_every=check_every
+        )
+        telemetry.iterate(x)
     b_norm = norm(b)
     r = b - op.matvec(x)
     res_norms = [norm(r)]
@@ -64,6 +70,9 @@ def _stationary_loop(
             r = b - op.matvec(x)
             if iterations % check_every == 0 or iterations >= budget:
                 res_norms.append(norm(r))
+                if telemetry is not None:
+                    telemetry.iteration(iterations, res_norms[-1])
+                    telemetry.iterate(x)
                 if stop.is_met(res_norms[-1], b_norm):
                     reason = StopReason.CONVERGED
                     break
@@ -72,7 +81,9 @@ def _stationary_loop(
                 ):
                     reason = StopReason.BREAKDOWN
                     break
-    return CGResult(
+    true_res = norm(b - op.matvec(x))
+    reason = verified_exit(reason, true_res, stop.threshold(b_norm))
+    result = CGResult(
         x=x,
         converged=reason is StopReason.CONVERGED,
         stop_reason=reason,
@@ -80,9 +91,12 @@ def _stationary_loop(
         residual_norms=res_norms,
         alphas=[],
         lambdas=[],
-        true_residual_norm=norm(b - op.matvec(x)),
+        true_residual_norm=true_res,
         label=label,
     )
+    if telemetry is not None:
+        telemetry.solve_end(result)
+    return result
 
 
 def jacobi_solve(
@@ -93,6 +107,7 @@ def jacobi_solve(
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
     check_every: int = 5,
+    telemetry: Any = None,
 ) -> CGResult:
     """(Weighted) Jacobi: ``x += ω D⁻¹ r`` -- the fully parallel sweep.
 
@@ -116,7 +131,7 @@ def jacobi_solve(
 
     return _stationary_loop(
         a, b, x, sweep, stop, require_positive_int(check_every, "check_every"),
-        f"jacobi(omega={omega})",
+        f"jacobi(omega={omega})", telemetry,
     )
 
 
@@ -128,6 +143,7 @@ def richardson_solve(
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
     check_every: int = 5,
+    telemetry: Any = None,
 ) -> CGResult:
     """Richardson iteration ``x += step·r`` (converges for
     ``0 < step < 2/λmax``; optimal at ``2/(λmin+λmax)``)."""
@@ -147,7 +163,7 @@ def richardson_solve(
 
     return _stationary_loop(
         op, b, x, sweep, stop, require_positive_int(check_every, "check_every"),
-        f"richardson(step={step:.3g})",
+        f"richardson(step={step:.3g})", telemetry,
     )
 
 
@@ -159,6 +175,7 @@ def sor_solve(
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
     check_every: int = 5,
+    telemetry: Any = None,
 ) -> CGResult:
     """SOR: ``(D/ω + L) Δ = r`` -- one forward substitution per sweep.
 
@@ -197,7 +214,7 @@ def sor_solve(
 
     return _stationary_loop(
         a, b, x, sweep, stop, require_positive_int(check_every, "check_every"),
-        f"sor(omega={omega})",
+        f"sor(omega={omega})", telemetry,
     )
 
 
@@ -208,6 +225,10 @@ def gauss_seidel_solve(
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
     check_every: int = 5,
+    telemetry: Any = None,
 ) -> CGResult:
     """Gauss--Seidel = SOR with ``ω = 1``."""
-    return sor_solve(a, b, omega=1.0, x0=x0, stop=stop, check_every=check_every)
+    return sor_solve(
+        a, b, omega=1.0, x0=x0, stop=stop, check_every=check_every,
+        telemetry=telemetry,
+    )

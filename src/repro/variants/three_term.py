@@ -20,7 +20,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.results import CGResult, StopReason
+from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
 from repro.sparse.linop import as_operator
 from repro.util.kernels import dot, norm
@@ -35,12 +35,14 @@ def three_term_cg(
     *,
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
+    telemetry: "Telemetry | None" = None,
 ) -> CGResult:
     """Solve the SPD system by the three-term CG recurrence.
 
     Produces the same iterates as classical CG in exact arithmetic.  The
     recorded ``lambdas`` hold ``γn`` and ``alphas`` hold ``ρn`` (the
-    closest analogues of the two-term parameters).
+    closest analogues of the two-term parameters).  ``telemetry`` takes
+    an optional :class:`repro.telemetry.Telemetry` hook.
     """
     op = as_operator(a)
     b = as_1d_float_array(b, "b")
@@ -48,6 +50,9 @@ def three_term_cg(
     stop = stop or StoppingCriterion()
 
     x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
+    if telemetry is not None:
+        telemetry.solve_start("three-term", "three-term-cg", n)
+        telemetry.iterate(x)
     b_norm = norm(b)
     r = b - op.matvec(x)
     rr = dot(r, r)
@@ -93,11 +98,16 @@ def three_term_cg(
             gamma_prev, rho_prev = gamma, rho
             iterations += 1
             res_norms.append(float(np.sqrt(max(rr, 0.0))))
+            if telemetry is not None:
+                telemetry.iteration(iterations, res_norms[-1], lam=gamma)
+                telemetry.iterate(x)
             if stop.is_met(res_norms[-1], b_norm):
                 reason = StopReason.CONVERGED
                 break
 
-    return CGResult(
+    true_res = norm(b - op.matvec(x))
+    reason = verified_exit(reason, true_res, stop.threshold(b_norm))
+    result = CGResult(
         x=x,
         converged=reason is StopReason.CONVERGED,
         stop_reason=reason,
@@ -105,6 +115,9 @@ def three_term_cg(
         residual_norms=res_norms,
         alphas=rhos,
         lambdas=gammas,
-        true_residual_norm=norm(b - op.matvec(x)),
+        true_residual_norm=true_res,
         label="three-term-cg",
     )
+    if telemetry is not None:
+        telemetry.solve_end(result)
+    return result

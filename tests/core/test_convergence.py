@@ -15,6 +15,7 @@ from repro.core.standard import conjugate_gradient
 from repro.core.stopping import StoppingCriterion
 from repro.core.vr_cg import vr_conjugate_gradient
 from repro.sparse.generators import poisson2d
+from repro.telemetry import Telemetry
 from repro.util.rng import default_rng, spd_test_matrix
 from repro.variants import chronopoulos_gear_cg, ghysels_vanroose_cg
 
@@ -66,29 +67,29 @@ class TestAgainstSolvers:
 
     def test_classical_cg_satisfies_bound(self, problem):
         a, b = problem
-        iterates: list[np.ndarray] = []
+        tele = Telemetry(capture_iterates=True, count_ops=False)
         conjugate_gradient(
             a, b, stop=StoppingCriterion(rtol=1e-10),
-            record_iterates=iterates,
+            telemetry=tele,
         )
-        assert check_against_bound(a, b, iterates)
+        assert check_against_bound(a, b, tele.iterates)
 
     def test_vr_cg_satisfies_bound(self, problem):
         a, b = problem
-        iterates: list[np.ndarray] = []
+        tele = Telemetry(capture_iterates=True, count_ops=False)
         vr_conjugate_gradient(
             a, b, k=2, stop=StoppingCriterion(rtol=1e-10),
-            replace_every=6, record_iterates=iterates,
+            replace_every=6, telemetry=tele,
         )
-        assert check_against_bound(a, b, iterates)
+        assert check_against_bound(a, b, tele.iterates)
 
     def test_a_norm_history_decreasing_for_cg(self, problem):
         a, b = problem
-        iterates: list[np.ndarray] = []
+        tele = Telemetry(capture_iterates=True, count_ops=False)
         conjugate_gradient(
-            a, b, stop=StoppingCriterion(rtol=1e-10), record_iterates=iterates
+            a, b, stop=StoppingCriterion(rtol=1e-10), telemetry=tele
         )
-        errs = a_norm_error_history(a, b, iterates)
+        errs = a_norm_error_history(a, b, tele.iterates)
         assert all(e2 <= e1 * (1 + 1e-9) for e1, e2 in zip(errs, errs[1:]))
 
     def test_predicted_iterations_upper_bounds_measured(self):

@@ -10,9 +10,11 @@ from repro.core.pipeline import (
     PipelineTrace,
     TraceEvent,
     pipelined_vr_cg,
+    trace_from_events,
 )
 from repro.core.standard import conjugate_gradient
 from repro.core.stopping import StoppingCriterion
+from repro.telemetry import Telemetry
 
 TIGHT = StoppingCriterion(rtol=1e-8, max_iter=500)
 
@@ -82,10 +84,12 @@ class TestSolver:
 
     def test_trace_structure(self, poisson_small, rhs):
         k = 3
-        tr = PipelineTrace(k=k)
+        tele = Telemetry(count_ops=False)
         res = pipelined_vr_cg(
-            poisson_small, rhs(poisson_small.nrows), k=k, stop=TIGHT, trace=tr
+            poisson_small, rhs(poisson_small.nrows), k=k, stop=TIGHT,
+            telemetry=tele,
         )
+        tr = trace_from_events(k, tele.events)
         assert tr.verify_lookahead()
         launches = tr.launches()
         consumes = tr.consumes()

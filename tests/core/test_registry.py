@@ -1,0 +1,176 @@
+"""Tests for :mod:`repro.registry` -- the ``repro.solve`` front door.
+
+Pins the API contract: every registered method solves the model problem
+through the same call, stamps ``result.method``, routes preconditioners
+(string names and instances) to the right driver, and fails loudly for
+unknown names or unsupported combinations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Telemetry, available_methods, poisson2d, solve
+from repro.core.results import CGResult
+from repro.core.stopping import StoppingCriterion
+from repro.distributed.comm import CommStats
+from repro.registry import SolverEntry, method_entry, register
+
+EXPECTED_METHODS = {
+    "cg",
+    "vr",
+    "pipelined-vr",
+    "three-term",
+    "cg-cg",
+    "gv",
+    "sstep",
+    "chebyshev",
+    "jacobi",
+    "gauss-seidel",
+    "sor",
+    "richardson",
+    "dist-cg",
+    "dist-cgcg",
+    "dist-sstep",
+    "dist-pipelined-vr",
+}
+
+
+@pytest.fixture(scope="module")
+def system():
+    a = poisson2d(16)
+    b = np.ones(a.nrows)
+    return a, b
+
+
+def test_available_methods_sorted_and_complete():
+    methods = available_methods()
+    assert methods == sorted(methods)
+    assert set(methods) == EXPECTED_METHODS
+
+
+@pytest.mark.parametrize("method", sorted(EXPECTED_METHODS))
+def test_every_method_solves_poisson(system, method):
+    a, b = system
+    stop = StoppingCriterion(rtol=1e-7)
+    result = solve(a, b, method, stop=stop)
+    assert isinstance(result, CGResult)
+    assert result.converged, f"{method} did not converge: {result.summary()}"
+    assert result.method == method
+    b_norm = float(np.linalg.norm(b))
+    assert result.true_residual_norm <= 1e-5 * b_norm
+    entry = method_entry(method)
+    if entry.distributed:
+        assert isinstance(result.extras["comm_stats"], CommStats)
+    else:
+        assert "comm_stats" not in result.extras
+
+
+def test_unknown_method_lists_available(system):
+    a, b = system
+    with pytest.raises(ValueError, match="unknown method 'qmr'.*dist-cg"):
+        solve(a, b, "qmr")
+
+
+@pytest.mark.parametrize(
+    "precond", ["identity", "jacobi", "ssor", "ic0", "chebyshev"]
+)
+def test_cg_precond_strings(system, precond):
+    a, b = system
+    result = solve(a, b, "cg", precond=precond, stop=StoppingCriterion(rtol=1e-8))
+    assert result.converged
+    assert result.method == "cg"
+    assert result.true_residual_norm <= 1e-6 * float(np.linalg.norm(b))
+
+
+def test_cg_precond_instance(system):
+    a, b = system
+    from repro.precond import JacobiPrecond
+
+    result = solve(a, b, "cg", precond=JacobiPrecond(a))
+    assert result.converged
+    assert result.method == "cg"
+
+
+@pytest.mark.parametrize("precond", ["ssor", "chebyshev"])
+def test_vr_precond_strings(system, precond):
+    a, b = system
+    result = solve(a, b, "vr", precond=precond, stop=StoppingCriterion(rtol=1e-8))
+    assert result.converged
+    assert result.method == "vr"
+
+
+def test_precond_rejected_for_non_supporting_method(system):
+    a, b = system
+    with pytest.raises(ValueError, match="does not accept a preconditioner"):
+        solve(a, b, "gv", precond="jacobi")
+
+
+def test_unknown_precond_string(system):
+    a, b = system
+    with pytest.raises(ValueError, match="unknown preconditioner"):
+        solve(a, b, "cg", precond="multigrid")
+
+
+def test_method_entry_metadata():
+    assert method_entry("vr").supports_precond
+    assert not method_entry("vr").distributed
+    assert method_entry("dist-cg").distributed
+    assert not method_entry("gv").supports_precond
+    assert isinstance(method_entry("cg"), SolverEntry)
+    for name in available_methods():
+        assert method_entry(name).description
+    with pytest.raises(ValueError, match="unknown method"):
+        method_entry("nope")
+
+
+def test_register_duplicate_name_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+
+        @register("cg", "a second classical CG")
+        def _dup(a, b, *, precond, telemetry, **options):  # pragma: no cover
+            raise AssertionError
+
+
+def test_solve_brackets_telemetry(system):
+    a, b = system
+    tele = Telemetry()
+    result = solve(a, b, "vr", k=2, telemetry=tele)
+    assert result.converged
+    starts = tele.events_of("solve_start")
+    ends = tele.events_of("solve_end")
+    assert len(starts) == 1 and len(ends) == 1
+    assert starts[0].method == "vr"
+    assert tele.events[0] is starts[0]
+    assert tele.events[-1] is ends[0]
+    assert len(tele.events_of("iteration")) == result.iterations
+
+
+def test_dist_methods_accept_nranks(system):
+    a, b = system
+    result = solve(a, b, "dist-cgcg", nranks=3)
+    assert result.converged
+    stats = result.extras["comm_stats"]
+    assert stats.blocking_allreduces > 0
+
+
+def test_vr_default_stabilization_can_be_disabled(system):
+    """``replace_drift_tol=None`` explicitly opts out of the default."""
+    a, b = system
+    tele = Telemetry()
+    solve(a, b, "vr", telemetry=tele, stop=StoppingCriterion(rtol=1e-7))
+    assert tele.events_of("solve_start")[0].options["replace_drift_tol"] == 1e-6
+
+    tele2 = Telemetry()
+    solve(
+        a,
+        b,
+        "vr",
+        replace_every=8,
+        telemetry=tele2,
+        stop=StoppingCriterion(rtol=1e-7),
+    )
+    opts = tele2.events_of("solve_start")[0].options
+    assert opts["replace_every"] == 8
+    assert opts["replace_drift_tol"] is None

@@ -9,6 +9,7 @@ from repro.core.results import StopReason
 from repro.core.standard import conjugate_gradient
 from repro.core.stopping import StoppingCriterion
 from repro.sparse.csr import from_dense
+from repro.telemetry import Telemetry
 from repro.util.counters import counting
 from repro.util.rng import default_rng, spd_test_matrix
 
@@ -78,10 +79,9 @@ class TestDiagnostics:
         assert res.lambdas[0] == pytest.approx(expected, rel=1e-12)
 
     def test_record_iterates(self, small_spd_dense, rhs):
-        iterates: list[np.ndarray] = []
-        res = conjugate_gradient(
-            small_spd_dense, rhs(24), record_iterates=iterates
-        )
+        tele = Telemetry(capture_iterates=True, count_ops=False)
+        res = conjugate_gradient(small_spd_dense, rhs(24), telemetry=tele)
+        iterates = tele.iterates
         assert len(iterates) == res.iterations + 1
         np.testing.assert_array_equal(iterates[0], np.zeros(24))
         np.testing.assert_array_equal(iterates[-1], res.x)
@@ -90,11 +90,12 @@ class TestDiagnostics:
         # the defining property of CG: energy-norm error decreases
         b = rhs(24)
         x_star = np.linalg.solve(small_spd_dense, b)
-        iterates: list[np.ndarray] = []
-        conjugate_gradient(small_spd_dense, b, record_iterates=iterates)
+        tele = Telemetry(capture_iterates=True, count_ops=False)
+        conjugate_gradient(small_spd_dense, b, telemetry=tele)
         errs = [
+
             float((x - x_star) @ (small_spd_dense @ (x - x_star)))
-            for x in iterates
+            for x in tele.iterates
         ]
         assert all(e2 <= e1 * (1 + 1e-10) for e1, e2 in zip(errs, errs[1:]))
 

@@ -9,6 +9,7 @@ from repro.core.results import StopReason
 from repro.core.standard import conjugate_gradient
 from repro.core.stopping import StoppingCriterion
 from repro.core.vr_cg import VRState, vr_conjugate_gradient
+from repro.telemetry import Telemetry
 from repro.util.counters import counting
 from repro.util.rng import default_rng, spd_test_matrix
 
@@ -73,7 +74,7 @@ class TestMechanics:
         vr_conjugate_gradient(
             small_spd_dense, rhs(24), k=1,
             stop=StoppingCriterion(rtol=1e-6, max_iter=10),
-            observer=states.append,
+            telemetry=Telemetry(on_state=states.append, count_ops=False),
         )
         assert states
         assert all(isinstance(s, VRState) for s in states)
@@ -81,10 +82,11 @@ class TestMechanics:
         assert states[0].window.k == 1
 
     def test_record_iterates(self, small_spd_dense, rhs):
-        iterates: list[np.ndarray] = []
+        tele = Telemetry(capture_iterates=True, count_ops=False)
         res = vr_conjugate_gradient(
-            small_spd_dense, rhs(24), k=1, stop=TIGHT, record_iterates=iterates
+            small_spd_dense, rhs(24), k=1, stop=TIGHT, telemetry=tele
         )
+        iterates = tele.iterates
         assert len(iterates) == res.iterations + 1
         np.testing.assert_array_equal(iterates[-1], res.x)
 

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.pipeline import PipelineTrace, TraceEvent, pipelined_vr_cg
+from repro.core.pipeline import (
+    PipelineTrace,
+    TraceEvent,
+    pipelined_vr_cg,
+    trace_from_events,
+)
+from repro.telemetry import Telemetry
 from repro.core.stopping import StoppingCriterion
 from repro.machine.gantt import render_figure1, render_pipeline_trace
 from repro.machine.schedule import (
@@ -91,7 +97,10 @@ class TestFigure1:
     def test_render_from_real_solve(self):
         a = poisson2d(6)
         b = default_rng(3).standard_normal(a.nrows)
-        tr = PipelineTrace(k=2)
-        pipelined_vr_cg(a, b, k=2, stop=StoppingCriterion(rtol=1e-6, max_iter=100), trace=tr)
-        out = render_pipeline_trace(tr)
+        tele = Telemetry(count_ops=False)
+        pipelined_vr_cg(
+            a, b, k=2, stop=StoppingCriterion(rtol=1e-6, max_iter=100),
+            telemetry=tele,
+        )
+        out = render_pipeline_trace(trace_from_events(2, tele.events))
         assert "verified" in out and "True" in out

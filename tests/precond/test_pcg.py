@@ -34,7 +34,7 @@ class TestPreconditionedCG:
     def test_identity_matches_plain_cg(self, problem):
         a, b = problem
         plain = conjugate_gradient(a, b, stop=STOP)
-        pcg = preconditioned_cg(a, b, IdentityPrecond(), stop=STOP)
+        pcg = preconditioned_cg(a, b, precond=IdentityPrecond(), stop=STOP)
         assert pcg.iterations == plain.iterations
         np.testing.assert_allclose(pcg.x, plain.x, rtol=1e-10)
 
@@ -45,19 +45,19 @@ class TestPreconditionedCG:
     )
     def test_converges_and_solves(self, problem, precond_factory):
         a, b = problem
-        res = preconditioned_cg(a, b, precond_factory(a), stop=STOP)
+        res = preconditioned_cg(a, b, precond=precond_factory(a), stop=STOP)
         assert res.converged
         assert res.true_residual_norm < 1e-6
 
     def test_good_preconditioner_reduces_iterations(self, problem):
         a, b = problem
         plain = conjugate_gradient(a, b, stop=STOP)
-        ssor = preconditioned_cg(a, b, SSORPrecond(a, omega=1.2), stop=STOP)
+        ssor = preconditioned_cg(a, b, precond=SSORPrecond(a, omega=1.2), stop=STOP)
         assert ssor.iterations < plain.iterations
 
     def test_histories_recorded(self, problem):
         a, b = problem
-        res = preconditioned_cg(a, b, JacobiPrecond(a), stop=STOP)
+        res = preconditioned_cg(a, b, precond=JacobiPrecond(a), stop=STOP)
         assert len(res.lambdas) == res.iterations
         assert res.label == "pcg"
 
@@ -67,7 +67,7 @@ class TestSplitEquivalence:
         """Classical CG on E^-1 A E^-T == applied-form PCG (same lambdas)."""
         a, b = problem
         m = JacobiPrecond(a)
-        applied = preconditioned_cg(a, b, m, stop=STOP)
+        applied = preconditioned_cg(a, b, precond=m, stop=STOP)
         tilde = split_operator(a, m)
         split = conjugate_gradient(tilde, m.solve_factor(b), stop=STOP)
         for l1, l2 in zip(applied.lambdas[:10], split.lambdas[:10]):
@@ -88,29 +88,29 @@ class TestVRPCG:
     def test_iteration_parity_with_pcg(self, problem, precond_factory):
         a, b = problem
         m = precond_factory(a)
-        ref = preconditioned_cg(a, b, m, stop=STOP)
-        res = vr_pcg(a, b, m, k=2, stop=STOP, replace_every=6)
+        ref = preconditioned_cg(a, b, precond=m, stop=STOP)
+        res = vr_pcg(a, b, precond=m, k=2, stop=STOP, replace_every=6)
         assert res.converged
         assert abs(res.iterations - ref.iterations) <= 2
         np.testing.assert_allclose(res.x, ref.x, atol=1e-6)
 
     def test_label(self, problem):
         a, b = problem
-        res = vr_pcg(a, b, JacobiPrecond(a), k=3, stop=STOP, replace_every=6)
+        res = vr_pcg(a, b, precond=JacobiPrecond(a), k=3, stop=STOP, replace_every=6)
         assert res.label == "vr-pcg(k=3)"
 
     def test_x0_supported(self, problem):
         a, b = problem
         x0 = default_rng(72).standard_normal(a.nrows)
-        res = vr_pcg(a, b, JacobiPrecond(a), k=1, stop=STOP, replace_every=6, x0=x0)
+        res = vr_pcg(a, b, precond=JacobiPrecond(a), k=1, stop=STOP, replace_every=6, x0=x0)
         assert res.converged
         assert res.true_residual_norm < 1e-6
 
     def test_pipelined_variant(self, problem):
         a, b = problem
         m = JacobiPrecond(a)
-        ref = preconditioned_cg(a, b, m, stop=StoppingCriterion(rtol=1e-6, max_iter=3000))
-        res = pipelined_vr_pcg(a, b, m, k=2, stop=StoppingCriterion(rtol=1e-6, max_iter=3000))
+        ref = preconditioned_cg(a, b, precond=m, stop=StoppingCriterion(rtol=1e-6, max_iter=3000))
+        res = pipelined_vr_pcg(a, b, precond=m, k=2, stop=StoppingCriterion(rtol=1e-6, max_iter=3000))
         assert res.converged
         assert abs(res.iterations - ref.iterations) <= 2
         assert res.label == "pipelined-vr-pcg(k=2)"

@@ -100,7 +100,7 @@ class TestSolvers:
         a, b, bounds = problem
         ref = conjugate_gradient(a, b, stop=STOP)
         m = ChebyshevPolyPrecond(a, bounds, degree=4)
-        res = polynomial_pcg(a, b, m, stop=STOP)
+        res = polynomial_pcg(a, b, precond=m, stop=STOP)
         assert res.converged
         assert res.iterations < ref.iterations / 2
         assert res.true_residual_norm < 1e-5
@@ -108,8 +108,8 @@ class TestSolvers:
     def test_vr_parity(self, problem):
         a, b, bounds = problem
         m = ChebyshevPolyPrecond(a, bounds, degree=4)
-        ref = polynomial_pcg(a, b, m, stop=STOP)
-        res = vr_poly_pcg(a, b, m, k=2, stop=STOP, replace_every=8)
+        ref = polynomial_pcg(a, b, precond=m, stop=STOP)
+        res = vr_poly_pcg(a, b, precond=m, k=2, stop=STOP, replace_every=8)
         assert res.converged
         assert abs(res.iterations - ref.iterations) <= 2
         np.testing.assert_allclose(res.x, ref.x, atol=1e-5)
@@ -129,14 +129,14 @@ class TestSolvers:
         b = default_rng(5).standard_normal(a.nrows)
         bounds = estimate_spectrum_via_cg(a, b, iterations=10)
         m = ChebyshevPolyPrecond(a, bounds, degree=4)
-        res = polynomial_pcg(a, b, m, stop=STOP)
+        res = polynomial_pcg(a, b, precond=m, stop=STOP)
         assert res.converged
 
     def test_labels(self, problem):
         a, b, bounds = problem
         m = ChebyshevPolyPrecond(a, bounds, degree=2)
-        assert polynomial_pcg(a, b, m, stop=STOP).label == "poly-pcg"
+        assert polynomial_pcg(a, b, precond=m, stop=STOP).label == "poly-pcg"
         assert (
-            vr_poly_pcg(a, b, m, k=1, stop=STOP, replace_every=8).label
+            vr_poly_pcg(a, b, precond=m, k=1, stop=STOP, replace_every=8).label
             == "vr-poly-pcg(k=1)"
         )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -78,6 +80,46 @@ class TestSolve:
         rc = main(["solve", "--generate", "poisson2d", "--size", "10",
                    "--solver", "vr", "--k", "3", "--drift-tol", "1e-6"])
         assert rc == 0
+
+
+class TestTelemetry:
+    def test_stream_to_stdout(self, capsys):
+        rc = main(["solve", "--generate", "poisson2d", "--size", "8",
+                   "--method", "vr", "--telemetry", "-"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        events = [json.loads(line) for line in out.splitlines()
+                  if line.startswith("{")]
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "solve_start"
+        assert "iteration" in kinds
+        assert kinds[-1] == "solve_end"
+        assert events[0]["method"] == "vr"
+        assert "converged" in out  # the human summary still prints
+
+    def test_stream_to_file(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        rc = main(["solve", "--generate", "poisson2d", "--size", "8",
+                   "--method", "cg", "--telemetry", str(path)])
+        assert rc == 0
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert events[0]["kind"] == "solve_start"
+        assert events[0]["n"] == 64
+        iterations = [e for e in events if e["kind"] == "iteration"]
+        assert iterations
+        assert events[-1]["kind"] == "solve_end"
+        assert events[-1]["converged"] is True
+
+    def test_distributed_telemetry_has_reductions(self, tmp_path, capsys):
+        path = tmp_path / "dist.jsonl"
+        rc = main(["solve", "--generate", "poisson2d", "--size", "8",
+                   "--method", "dist-cg", "--nranks", "3",
+                   "--telemetry", str(path)])
+        assert rc == 0
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        reductions = [e for e in events if e["kind"] == "reduction"]
+        assert any(e["op"] == "allreduce" for e in reductions)
+        assert all(e["nranks"] == 3 for e in reductions)
 
 
 class TestInfo:

@@ -20,6 +20,7 @@ from repro.core.vr_cg import vr_conjugate_gradient
 from repro.precond import ICholPrecond, JacobiPrecond, SSORPrecond, preconditioned_cg
 from repro.sparse.csr import from_dense
 from repro.sparse.linop import CallableOperator
+from repro.telemetry import Telemetry
 from repro.util.rng import default_rng, spd_test_matrix
 from repro.variants import (
     chronopoulos_gear_cg,
@@ -139,13 +140,14 @@ class TestPreconditionerFailures:
                 return np.full_like(r, np.nan)
 
         a = spd_test_matrix(6)
-        res = preconditioned_cg(a, np.ones(6), BadPrecond(), stop=STOP)
+        res = preconditioned_cg(a, np.ones(6), precond=BadPrecond(), stop=STOP)
         assert not res.converged
 
 
 class TestSoftErrorRecovery:
     """Transient fault injection: corrupt the recurred moment state
-    mid-solve through the observer hook and check the detection story."""
+    mid-solve through the telemetry state hook and check the detection
+    story."""
 
     @staticmethod
     def _solve_with_corruption(drift_tol):
@@ -166,7 +168,7 @@ class TestSoftErrorRecovery:
         res = vr_conjugate_gradient(
             a, b, k=2,
             stop=StoppingCriterion(rtol=1e-8, max_iter=400),
-            observer=corrupt,
+            telemetry=Telemetry(on_state=corrupt, count_ops=False),
             replace_drift_tol=drift_tol,
         )
         return res, hit["done"]

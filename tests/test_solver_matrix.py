@@ -60,12 +60,12 @@ SOLVERS = {
         a, b, k=3, stop=STOP, replace_every=6
     ),
     "pipelined-vr": lambda a, b: pipelined_vr_cg(a, b, k=2, stop=STOP),
-    "pcg-jacobi": lambda a, b: preconditioned_cg(a, b, JacobiPrecond(a), stop=STOP),
+    "pcg-jacobi": lambda a, b: preconditioned_cg(a, b, precond=JacobiPrecond(a), stop=STOP),
     "vr-pcg-ssor": lambda a, b: vr_pcg(
-        a, b, SSORPrecond(a, omega=1.1), k=2, stop=STOP, replace_every=6
+        a, b, precond=SSORPrecond(a, omega=1.1), k=2, stop=STOP, replace_every=6
     ),
     "poly-pcg": lambda a, b: polynomial_pcg(
-        a, b, ChebyshevPolyPrecond(a, _bounds(a), degree=3), stop=STOP
+        a, b, precond=ChebyshevPolyPrecond(a, _bounds(a), degree=3), stop=STOP
     ),
 }
 

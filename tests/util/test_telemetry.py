@@ -1,0 +1,335 @@
+"""Tests for :mod:`repro.telemetry` -- events, sinks, session, shims.
+
+Three layers under test:
+
+1. the event schema (``kind`` discriminator first, flat JSON payloads);
+2. the sinks (memory, JSON-lines, ascii summary, null);
+3. the :class:`Telemetry` session semantics (solve brackets, counter
+   scopes, phase timers, iterate capture) and the deprecation shims that
+   map the legacy ``observer=`` / ``record_iterates=`` / ``trace=`` /
+   positional-``m`` hooks onto it.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import pipelined_vr_cg, trace_from_events
+from repro.core.standard import conjugate_gradient
+from repro.core.stopping import StoppingCriterion
+from repro.core.vr_cg import VRState, vr_conjugate_gradient
+from repro.precond import JacobiPrecond
+from repro.precond.pcg import preconditioned_cg
+from repro.sparse.generators import poisson2d
+from repro.telemetry import (
+    AsciiSummarySink,
+    CountersEvent,
+    DriftEvent,
+    IterationEvent,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    PhaseEvent,
+    PipelineEvent,
+    ReductionEvent,
+    ReplacementEvent,
+    SolveEndEvent,
+    SolveStartEvent,
+    Telemetry,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    a = poisson2d(8)
+    b = np.ones(a.nrows)
+    return a, b
+
+
+# ----------------------------------------------------------------------
+# event schema
+# ----------------------------------------------------------------------
+def test_payloads_are_flat_json_with_kind_first():
+    events = [
+        SolveStartEvent(method="vr", label="vr-cg(k=2)", n=64, options={"k": 2}),
+        IterationEvent(iteration=3, residual_norm=1e-4, lam=0.5, recurred_rr=1e-8),
+        DriftEvent(iteration=3, recurred_rr=1.0, direct_rr=2.0, drift=0.5),
+        ReplacementEvent(iteration=4, trigger="drift"),
+        PipelineEvent(op="launch", iteration=1, source_iteration=1, count=18),
+        ReductionEvent(op="allreduce", iteration=2, nranks=4, words=1),
+        PhaseEvent(name="startup", seconds=0.01),
+    ]
+    for event in events:
+        payload = event.to_payload()
+        assert list(payload)[0] == "kind"
+        assert payload["kind"] == event.kind
+        # round-trips through JSON without a custom encoder
+        assert json.loads(json.dumps(payload)) == payload
+
+
+def test_iteration_event_optional_fields_default_none():
+    payload = IterationEvent(iteration=1, residual_norm=0.5).to_payload()
+    assert payload["lam"] is None
+    assert payload["alpha"] is None
+    assert payload["recurred_rr"] is None
+
+
+def test_event_kinds_are_distinct():
+    kinds = {
+        cls.kind
+        for cls in (
+            SolveStartEvent,
+            IterationEvent,
+            DriftEvent,
+            ReplacementEvent,
+            PipelineEvent,
+            ReductionEvent,
+            PhaseEvent,
+            CountersEvent,
+            SolveEndEvent,
+        )
+    }
+    assert len(kinds) == 9
+
+
+# ----------------------------------------------------------------------
+# sinks
+# ----------------------------------------------------------------------
+def test_memory_sink_stores_and_filters():
+    sink = MemorySink()
+    sink.emit(IterationEvent(iteration=1, residual_norm=1.0))
+    sink.emit(ReplacementEvent(iteration=1, trigger="periodic"))
+    assert len(sink.events) == 2
+    assert [e.kind for e in sink.of_kind("iteration")] == ["iteration"]
+    sink.clear()
+    assert sink.events == []
+
+
+def test_null_sink_discards():
+    sink = NullSink()
+    sink.emit(IterationEvent(iteration=1, residual_norm=1.0))
+    sink.close()
+
+
+def test_jsonl_sink_writes_one_object_per_line():
+    buf = io.StringIO()
+    sink = JsonlSink(buf)
+    sink.emit(IterationEvent(iteration=1, residual_norm=0.25))
+    sink.emit(PhaseEvent(name="iterate", seconds=0.5))
+    sink.close()  # flushes but must not close a stream it does not own
+    lines = buf.getvalue().strip().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first == {
+        "kind": "iteration",
+        "iteration": 1,
+        "residual_norm": 0.25,
+        "lam": None,
+        "alpha": None,
+        "recurred_rr": None,
+    }
+    assert json.loads(lines[1])["name"] == "iterate"
+
+
+def test_jsonl_sink_owns_path(tmp_path):
+    path = tmp_path / "run.jsonl"
+    sink = JsonlSink(path)
+    sink.emit(ReplacementEvent(iteration=7, trigger="drift"))
+    sink.close()
+    [line] = path.read_text().strip().splitlines()
+    assert json.loads(line) == {
+        "kind": "replacement",
+        "iteration": 7,
+        "trigger": "drift",
+    }
+
+
+def test_ascii_summary_sink_renders_table(system):
+    a, b = system
+    buf = io.StringIO()
+    tele = Telemetry(AsciiSummarySink(buf))
+    conjugate_gradient(a, b, telemetry=tele)
+    out = buf.getvalue()
+    assert "telemetry: cg" in out
+    assert "iterations" in out
+    assert "matvecs" in out
+
+
+# ----------------------------------------------------------------------
+# the Telemetry session
+# ----------------------------------------------------------------------
+def test_default_sink_is_memory_and_brackets_are_ordered(system):
+    a, b = system
+    tele = Telemetry()
+    result = conjugate_gradient(a, b, telemetry=tele)
+    kinds = [e.kind for e in tele.events]
+    assert kinds[0] == "solve_start"
+    assert kinds[-1] == "solve_end"
+    assert kinds[-2] == "counters"
+    assert kinds.count("iteration") == result.iterations
+    end = tele.events_of("solve_end")[0]
+    assert end.converged and end.iterations == result.iterations
+
+
+def test_counters_event_books_the_solve(system):
+    a, b = system
+    tele = Telemetry()
+    result = conjugate_gradient(a, b, telemetry=tele)
+    [counters] = tele.events_of("counters")
+    assert counters.counts.matvecs >= result.iterations
+    assert counters.counts.total_flops > 0
+
+
+def test_count_ops_can_be_disabled(system):
+    a, b = system
+    tele = Telemetry(count_ops=False)
+    conjugate_gradient(a, b, telemetry=tele)
+    assert tele.events_of("counters") == []
+    assert len(tele.events_of("solve_end")) == 1
+
+
+def test_capture_iterates_replaces_record_iterates(system):
+    a, b = system
+    tele = Telemetry(capture_iterates=True)
+    result = conjugate_gradient(a, b, telemetry=tele)
+    # initial iterate plus one per iteration, each an independent copy
+    assert len(tele.iterates) == result.iterations + 1
+    np.testing.assert_allclose(tele.iterates[-1], result.x)
+    assert tele.iterates[-1] is not result.x
+
+
+def test_on_state_replaces_observer(system):
+    a, b = system
+    states: list[VRState] = []
+    tele = Telemetry(on_state=states.append)
+    result = vr_conjugate_gradient(a, b, k=2, replace_every=10, telemetry=tele)
+    # the converging iteration breaks out before the end-of-body state hook
+    assert len(states) == result.iterations - 1
+    assert all(isinstance(s, VRState) for s in states)
+    assert states[0].iteration == 1
+
+
+def test_phase_timer_emits_on_exit():
+    tele = Telemetry()
+    with tele.phase("startup"):
+        pass
+    [phase] = tele.events_of("phase")
+    assert phase.name == "startup"
+    assert phase.seconds >= 0.0
+
+
+def test_drift_helper_computes_relative_gap():
+    tele = Telemetry()
+    tele.drift(5, recurred_rr=1.1, direct_rr=1.0)
+    [event] = tele.events_of("drift")
+    assert event.drift == pytest.approx(0.1)
+    tele.drift(6, recurred_rr=1.0, direct_rr=0.0)
+    assert tele.events_of("drift")[1].drift == float("inf")
+
+
+def test_telemetry_context_manager_closes_sinks(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with Telemetry(JsonlSink(path)) as tele:
+        tele.replacement(1, "periodic")
+    assert json.loads(path.read_text())["kind"] == "replacement"
+
+
+def test_multiple_sinks_receive_every_event():
+    mem1, mem2 = MemorySink(), MemorySink()
+    tele = Telemetry(mem1, mem2)
+    tele.iteration(1, 0.5)
+    assert len(mem1.events) == len(mem2.events) == 1
+    assert tele.memory is mem1
+
+
+def test_vr_stream_has_drift_and_replacement_events(system):
+    a, b = system
+    tele = Telemetry()
+    vr_conjugate_gradient(
+        a, b, k=2, replace_drift_tol=1e-6, telemetry=tele,
+        stop=StoppingCriterion(rtol=1e-10),
+    )
+    assert tele.events_of("drift"), "drift checks should be narrated"
+    start = tele.events_of("solve_start")[0]
+    assert start.method == "vr"
+    assert start.options["k"] == 2
+
+
+def test_trace_from_events_rebuilds_pipeline_trace(system):
+    a, b = system
+    tele = Telemetry()
+    result = pipelined_vr_cg(a, b, k=2, telemetry=tele)
+    assert result.converged
+    trace = trace_from_events(2, tele.events)
+    assert trace.launches(), "pipelined solve must record launches"
+    assert trace.verify_lookahead()
+
+
+# ----------------------------------------------------------------------
+# deprecation shims
+# ----------------------------------------------------------------------
+def test_record_iterates_kwarg_warns_but_works(system):
+    a, b = system
+    iterates: list[np.ndarray] = []
+    with pytest.warns(DeprecationWarning, match="record_iterates"):
+        result = conjugate_gradient(a, b, record_iterates=iterates)
+    assert len(iterates) == result.iterations + 1
+
+
+def test_vr_observer_kwarg_warns_but_works(system):
+    a, b = system
+    seen: list[VRState] = []
+    with pytest.warns(DeprecationWarning, match="observer"):
+        result = vr_conjugate_gradient(
+            a, b, k=2, replace_every=10, observer=seen.append
+        )
+    assert len(seen) == result.iterations - 1
+
+
+def test_vr_record_iterates_kwarg_warns_but_works(system):
+    a, b = system
+    iterates: list[np.ndarray] = []
+    with pytest.warns(DeprecationWarning, match="record_iterates"):
+        vr_conjugate_gradient(a, b, k=2, replace_every=10, record_iterates=iterates)
+    assert iterates
+
+
+def test_pipelined_trace_kwarg_warns_but_works(system):
+    a, b = system
+    from repro.core.pipeline import PipelineTrace
+
+    trace = PipelineTrace(k=2)
+    with pytest.warns(DeprecationWarning, match="trace"):
+        pipelined_vr_cg(a, b, k=2, trace=trace)
+    assert trace.launches()
+    assert trace.verify_lookahead()
+
+
+def test_pcg_positional_m_warns_but_works(system):
+    a, b = system
+    with pytest.warns(DeprecationWarning, match="positional preconditioner"):
+        result = preconditioned_cg(a, b, JacobiPrecond(a))
+    assert result.converged
+
+
+def test_pcg_keyword_precond_does_not_warn(system):
+    a, b = system
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        result = preconditioned_cg(a, b, precond=JacobiPrecond(a))
+    assert result.converged
+
+
+def test_pcg_rejects_both_and_neither(system):
+    a, b = system
+    m = JacobiPrecond(a)
+    with pytest.raises(TypeError, match="both"):
+        preconditioned_cg(a, b, m, precond=m)
+    with pytest.raises(TypeError, match="requires a preconditioner"):
+        preconditioned_cg(a, b)
