@@ -1,0 +1,134 @@
+"""Batched multi-RHS throughput: one block solve vs a loop of single solves.
+
+The batched solvers exist to amortize work across right-hand sides: one
+streaming pass over the matrix per sweep (``matmat``) instead of ``m``
+separate traversals, one fused ``m``-wide reduction per inner-product site
+instead of ``m`` scalar reductions, and deflation so finished columns stop
+paying.  This benchmark measures that claim end to end through the public
+front doors -- ``repro.solve_batched(op, B)`` against
+``[repro.solve(op, B[:, j]) for j in range(m)]`` -- on the SAME operator,
+same tolerance, for m ∈ {1, 4, 16, 64}.
+
+Both arms run the ELLPACK layout (:func:`repro.sparse.csr_to_ell`): its
+dense index plane is what lets the block product be a single rectangular
+gather + einsum contraction, so it is the layout where the one-matrix-pass
+locality argument is actually realized (CSR's ragged ``reduceat`` over an
+``(nnz, m)`` block is not competitive -- that contrast is part of what this
+benchmark documents).
+
+Numbers are written to ``BENCH_batched.json`` at the repository root.
+Acceptance floor (ISSUE 2): batched classical CG at m=16 must be at least
+3x the throughput of the looped solves.  The reduction-count side of the
+story (2 collectives per sweep independent of m) is pinned separately in
+``tests/distributed/test_solvers.py`` against :class:`SimComm`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro import solve, solve_batched
+from repro.core.stopping import StoppingCriterion
+from repro.sparse import csr_to_ell, poisson2d
+from repro.util.rng import default_rng
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_batched.json"
+
+DEFAULT_M = (1, 4, 16, 64)
+
+
+def run(
+    *,
+    grid: int = 24,
+    m_values: tuple[int, ...] = DEFAULT_M,
+    rtol: float = 1e-8,
+    repeats: int = 5,
+    method: str = "cg",
+    out_path: Path | str | None = DEFAULT_OUT,
+) -> dict:
+    """Time batched vs looped solves; return (and optionally write) the record.
+
+    Each arm is timed ``repeats`` times and the best wall-clock is kept
+    (standard minimum-of-repeats to suppress scheduler noise).  Both arms
+    solve the identical systems to the identical stopping criterion; the
+    batched result is cross-checked against convergence of every column.
+    """
+    a = poisson2d(grid)
+    op = csr_to_ell(a)  # both arms run the same SIMD-layout operator
+    n = a.nrows
+    stop = StoppingCriterion(rtol=rtol)
+
+    # Warm up lazy imports and the allocator so m=1 is not charged for them.
+    warm = default_rng(0).standard_normal((n, 2))
+    solve_batched(op, warm, method, stop=stop)
+    solve(op, warm[:, 0], method, stop=stop)
+
+    results = []
+    for m in m_values:
+        b_block = default_rng(99).standard_normal((n, m))
+        batched_best = looped_best = float("inf")
+        batched_res = None
+        singles = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            batched_res = solve_batched(op, b_block, method, stop=stop)
+            batched_best = min(batched_best, time.perf_counter() - t0)
+
+            t0 = time.perf_counter()
+            singles = [
+                solve(op, b_block[:, j], method, stop=stop) for j in range(m)
+            ]
+            looped_best = min(looped_best, time.perf_counter() - t0)
+
+        assert batched_res is not None and batched_res.converged, (
+            f"batched {method} failed to converge at m={m}"
+        )
+        assert all(s.converged for s in singles), (
+            f"looped {method} failed to converge at m={m}"
+        )
+        results.append(
+            {
+                "m": m,
+                "batched_seconds": batched_best,
+                "looped_seconds": looped_best,
+                "speedup": looped_best / batched_best,
+                "batched_sweeps": int(batched_res.iterations),
+                "column_iterations": [
+                    int(v) for v in batched_res.column_iterations
+                ],
+                "looped_iterations": [int(s.iterations) for s in singles],
+            }
+        )
+
+    payload = {
+        "bench": "batched_throughput",
+        "method": method,
+        "operator": f"ell(poisson2d({grid}))",
+        "n": n,
+        "rtol": rtol,
+        "repeats": repeats,
+        "results": results,
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_batched_cg_throughput():
+    """Acceptance: batched CG >= 3x looped throughput at m=16."""
+    payload = run()
+    by_m = {r["m"]: r for r in payload["results"]}
+    assert 16 in by_m, "bench must include the m=16 acceptance point"
+    speedup = by_m[16]["speedup"]
+    assert speedup >= 3.0, (
+        f"batched CG speedup at m=16 is {speedup:.2f}x, below the 3x floor "
+        f"(batched {by_m[16]['batched_seconds']*1e3:.1f} ms vs looped "
+        f"{by_m[16]['looped_seconds']*1e3:.1f} ms)"
+    )
+    # Column trajectories are identical work: the block solve wins on
+    # locality and fused reductions, not by doing fewer iterations.
+    assert by_m[16]["batched_sweeps"] == max(by_m[16]["looped_iterations"])
+    assert DEFAULT_OUT.exists()

@@ -42,17 +42,25 @@ individual solver functions remain importable for direct use.
 """
 
 from repro.core import (
+    BatchedResult,
     CGResult,
     PipelineTrace,
     StopReason,
     StoppingCriterion,
+    batched_cg,
+    batched_vr_cg,
     conjugate_gradient,
     pipelined_vr_cg,
     star_coefficients_numeric,
     star_coefficients_symbolic,
     vr_conjugate_gradient,
 )
-from repro.registry import available_methods, solve
+from repro.registry import (
+    available_methods,
+    batched_methods,
+    solve,
+    solve_batched,
+)
 from repro.sparse import (
     CSRMatrix,
     anisotropic2d,
@@ -72,12 +80,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "solve",
+    "solve_batched",
     "available_methods",
+    "batched_methods",
     "Telemetry",
+    "BatchedResult",
     "CGResult",
     "PipelineTrace",
     "StopReason",
     "StoppingCriterion",
+    "batched_cg",
+    "batched_vr_cg",
     "conjugate_gradient",
     "pipelined_vr_cg",
     "star_coefficients_numeric",

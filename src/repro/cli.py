@@ -23,8 +23,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.stopping import StoppingCriterion
-from repro.registry import available_methods
+from repro.registry import available_methods, batched_methods
 from repro.registry import solve as registry_solve
+from repro.registry import solve_batched as registry_solve_batched
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.generators import (
     anisotropic2d,
@@ -68,11 +69,30 @@ def _load_rhs(args, n: int) -> np.ndarray:
     return default_rng(args.seed).standard_normal(n)
 
 
+def _load_rhs_block(args, n: int) -> np.ndarray:
+    """An ``(n, m)`` right-hand-side block for ``--rhs-count m``.
+
+    A ``--rhs`` file supplies column 0; the remaining columns are drawn
+    from the seeded generator, so runs are reproducible either way.
+    """
+    m = args.rhs_count
+    if m < 1:
+        raise SystemExit(f"--rhs-count must be >= 1, got {m}")
+    block = default_rng(args.seed).standard_normal((n, m))
+    if getattr(args, "rhs", None) is not None:
+        block[:, 0] = _load_rhs(args, n)
+    return block
+
+
 def _solve(args) -> int:
     a = _load_matrix(args)
-    b = _load_rhs(args, a.nrows)
     stop = StoppingCriterion(rtol=args.rtol, max_iter=args.max_iter)
     method = args.solver
+    if args.rhs_count < 1:
+        raise SystemExit(f"--rhs-count must be >= 1, got {args.rhs_count}")
+    if args.rhs_count > 1:
+        return _solve_batched(args, a, stop, method)
+    b = _load_rhs(args, a.nrows)
 
     options: dict = {"stop": stop}
     if method == "vr":
@@ -114,6 +134,49 @@ def _solve(args) -> int:
     if args.out is not None:
         np.savetxt(args.out, result.x)
         print(f"solution written to {args.out}")
+    return 0 if result.converged else 1
+
+
+def _solve_batched(args, a: CSRMatrix, stop, method: str) -> int:
+    """The ``--rhs-count m`` (m > 1) path: one batched multi-RHS solve."""
+    if method not in batched_methods():
+        raise SystemExit(
+            f"--rhs-count > 1 needs a batched method "
+            f"({', '.join(batched_methods())}); {method!r} has no "
+            f"multi-RHS path"
+        )
+    if args.precond != "none":
+        raise SystemExit("--rhs-count > 1 does not support --precond")
+    b_block = _load_rhs_block(args, a.nrows)
+
+    options: dict = {"stop": stop}
+    if method == "vr":
+        options["k"] = args.k
+        if args.replace_every is not None:
+            options["replace_every"] = args.replace_every
+    if method.startswith("dist-"):
+        options["nranks"] = args.nranks
+
+    telemetry = None
+    if args.telemetry is not None:
+        from repro.telemetry import JsonlSink, Telemetry
+
+        telemetry = Telemetry(JsonlSink(args.telemetry))
+
+    try:
+        result = registry_solve_batched(
+            a, b_block, method, telemetry=telemetry, **options
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+
+    print(result.summary())
+    if args.out is not None:
+        np.savetxt(args.out, result.x)
+        print(f"solution block written to {args.out}")
     return 0 if result.converged else 1
 
 
@@ -191,6 +254,10 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--poly-degree", type=int, default=4,
                        help="Chebyshev polynomial preconditioner degree")
     solve.add_argument("--rhs", help="text file with the right-hand side")
+    solve.add_argument("--rhs-count", type=int, default=1, metavar="M",
+                       help="solve M right-hand sides in one batched "
+                            "multi-RHS sweep (methods with a batched "
+                            "path only; --rhs supplies column 0)")
     solve.add_argument("--seed", type=int, default=0,
                        help="seed for the random right-hand side")
     solve.add_argument("--out", help="write the solution vector to this file")

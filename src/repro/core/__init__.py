@@ -52,9 +52,10 @@ from repro.core.moments import (
     initial_window,
     window_from_powers,
 )
+from repro.core.batched import batched_cg, batched_vr_cg
 from repro.core.pipeline import LaunchLedger, PipelineTrace, TraceEvent, pipelined_vr_cg
 from repro.core.powers import PowerBlock
-from repro.core.results import CGResult, StopReason
+from repro.core.results import BatchedResult, CGResult, StopReason
 from repro.core.standard import conjugate_gradient
 from repro.core.stopping import StoppingCriterion
 from repro.core.vr_cg import VRState, vr_conjugate_gradient
@@ -86,8 +87,11 @@ __all__ = [
     "TraceEvent",
     "pipelined_vr_cg",
     "PowerBlock",
+    "BatchedResult",
     "CGResult",
     "StopReason",
+    "batched_cg",
+    "batched_vr_cg",
     "conjugate_gradient",
     "StoppingCriterion",
     "VRState",

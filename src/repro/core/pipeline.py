@@ -275,6 +275,12 @@ def pipelined_vr_cg(
     if trace is not None:
         from repro.telemetry import deprecated_hook
 
+        if telemetry is not None:
+            raise ValueError(
+                "pipelined_vr_cg() got both telemetry= and the deprecated "
+                "trace= hook; pass only telemetry= and rebuild the trace "
+                "with trace_from_events"
+            )
         deprecated_hook(
             "pipelined_vr_cg(trace=...)",
             "telemetry= with repro.core.pipeline.trace_from_events",

@@ -15,7 +15,7 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["CGResult", "StopReason", "verified_exit"]
+__all__ = ["CGResult", "BatchedResult", "StopReason", "verified_exit"]
 
 
 class StopReason(Enum):
@@ -92,6 +92,121 @@ class CGResult:
             f"{self.label}: {self.stop_reason.value} after "
             f"{self.iterations} iterations, "
             f"final true residual {self.true_residual_norm:.3e}"
+        )
+
+
+@dataclass
+class BatchedResult:
+    """Outcome of one batched multi-RHS solve (``m`` systems, one sweep).
+
+    Per-column state lives in the ``column_*`` arrays; the scalar
+    aggregate properties (``converged``, ``iterations``,
+    ``stop_reason``, ``final_recurred_residual``, ``true_residual_norm``)
+    summarize the batch under the same names :class:`CGResult` uses, so
+    telemetry brackets and reporting code handle both result types.
+
+    Attributes
+    ----------
+    x:
+        Solution block, shape ``(n, m)`` -- column ``j`` solves
+        ``A x = B[:, j]``.
+    column_converged:
+        Boolean array, shape ``(m,)``.
+    column_iterations:
+        Iterations each column performed before it converged (or the
+        batch stopped), shape ``(m,)``.  With deflation these differ --
+        a converged column leaves the active set and stops paying.
+    stop_reasons:
+        Per-column :class:`StopReason`.
+    residual_norms:
+        Per-column residual-norm histories (algorithm-visible values).
+    true_residual_norms:
+        ``‖B[:, j] − A x_j‖`` recomputed from scratch at exit.
+    label, method, extras:
+        As in :class:`CGResult`.
+    """
+
+    x: np.ndarray
+    column_converged: np.ndarray
+    column_iterations: np.ndarray
+    stop_reasons: list[StopReason]
+    residual_norms: list[list[float]] = field(default_factory=list)
+    true_residual_norms: np.ndarray = field(default_factory=lambda: np.array([]))
+    label: str = "batched-cg"
+    method: str = ""
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        """Problem order."""
+        return int(self.x.shape[0])
+
+    @property
+    def m(self) -> int:
+        """Number of right-hand sides in the batch."""
+        return int(self.x.shape[1])
+
+    # ------------------------------------------------------------------
+    # CGResult-compatible aggregates (telemetry brackets, reporting)
+    # ------------------------------------------------------------------
+    @property
+    def converged(self) -> bool:
+        """Whether EVERY column met the stopping criterion."""
+        return bool(np.all(self.column_converged))
+
+    @property
+    def iterations(self) -> int:
+        """Iterations of the slowest column (= solver sweeps performed)."""
+        return int(self.column_iterations.max()) if self.m else 0
+
+    @property
+    def total_column_iterations(self) -> int:
+        """Sum of per-column iteration counts (the deflation saving shows
+        up as this being below ``m * iterations``)."""
+        return int(self.column_iterations.sum())
+
+    @property
+    def stop_reason(self) -> StopReason:
+        """Worst column outcome: BREAKDOWN > MAX_ITER > CONVERGED."""
+        if any(r is StopReason.BREAKDOWN for r in self.stop_reasons):
+            return StopReason.BREAKDOWN
+        if any(r is StopReason.MAX_ITER for r in self.stop_reasons):
+            return StopReason.MAX_ITER
+        return StopReason.CONVERGED
+
+    @property
+    def final_recurred_residual(self) -> float:
+        """Largest last algorithm-visible residual norm over the columns."""
+        finals = [h[-1] for h in self.residual_norms if h]
+        return max(finals) if finals else float("nan")
+
+    @property
+    def true_residual_norm(self) -> float:
+        """Largest per-column true residual at exit."""
+        return float(self.true_residual_norms.max()) if self.m else float("nan")
+
+    def column(self, j: int) -> CGResult:
+        """Materialize column ``j``'s outcome as a standalone
+        :class:`CGResult` (solution copy, per-column histories)."""
+        return CGResult(
+            x=self.x[:, j].copy(),
+            converged=bool(self.column_converged[j]),
+            stop_reason=self.stop_reasons[j],
+            iterations=int(self.column_iterations[j]),
+            residual_norms=list(self.residual_norms[j]),
+            true_residual_norm=float(self.true_residual_norms[j]),
+            label=f"{self.label}[col {j}]",
+            method=self.method,
+        )
+
+    def summary(self) -> str:
+        """One-line description for logs and the CLI."""
+        n_conv = int(np.count_nonzero(self.column_converged))
+        return (
+            f"{self.label}: {n_conv}/{self.m} columns converged, "
+            f"{self.iterations} sweeps "
+            f"({self.total_column_iterations} column-iterations), "
+            f"max true residual {self.true_residual_norm:.3e}"
         )
 
 

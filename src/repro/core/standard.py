@@ -80,6 +80,11 @@ def conjugate_gradient(
     if record_iterates is not None:
         from repro.telemetry import deprecated_hook
 
+        if telemetry is not None:
+            raise ValueError(
+                "conjugate_gradient() got both telemetry= and the "
+                "deprecated record_iterates= hook; pass only telemetry="
+            )
         deprecated_hook(
             "conjugate_gradient(record_iterates=...)",
             "telemetry=Telemetry(capture_iterates=True)",

@@ -27,7 +27,13 @@ class StoppingCriterion:
     rtol:
         Relative tolerance against the right-hand-side norm.
     atol:
-        Absolute floor (guards the ``b = 0`` corner).
+        Absolute floor for the threshold.  Note this does *not* by
+        itself rescue the ``b = 0`` corner: with the default
+        ``atol = 0`` the threshold is ``max(rtol·0, 0) = 0`` and
+        ``is_met`` can never succeed.  The registry front doors
+        (:func:`repro.solve` / :func:`repro.solve_batched`)
+        short-circuit ``b = 0`` to the exact answer ``x = 0``
+        (converged, zero iterations) before any solver runs.
     max_iter:
         Iteration budget; ``None`` defaults to ``10·n`` at solve time.
     """

@@ -162,6 +162,12 @@ def vr_conjugate_gradient(
     if observer is not None or record_iterates is not None:
         from repro.telemetry import deprecated_hook
 
+        if telemetry is not None:
+            twin = "observer=" if observer is not None else "record_iterates="
+            raise ValueError(
+                f"vr_conjugate_gradient() got both telemetry= and the "
+                f"deprecated {twin} hook; pass only telemetry="
+            )
         if observer is not None:
             deprecated_hook(
                 "vr_conjugate_gradient(observer=...)",
@@ -286,7 +292,15 @@ def vr_conjugate_gradient(
             rr_direct = dot(powers.r, powers.r, label="drift_check_dot")
             if telemetry is not None:
                 telemetry.drift(iterations, window.rr, rr_direct)
-            if rr_direct > 0:
+            # Near machine-zero convergence the direct (r, r) underflows
+            # toward 0 and the relative gap blows up to inf/nan even
+            # though the solve is succeeding; below the stopping
+            # threshold (squared -- rr is a squared norm) the drift
+            # signal is meaningless, so the trigger is skipped there.
+            floor = max(
+                stop.threshold(b_norm) ** 2, np.finfo(np.float64).tiny
+            )
+            if rr_direct > floor:
                 drift = abs(window.rr - rr_direct) / rr_direct
                 drift_triggered = drift > replace_drift_tol
         if (

@@ -46,6 +46,10 @@ class CommStats:
         Nonblocking collectives consumed *early* -- the simulator allows
         it but books the blocking cost; a latency-hiding solver must
         show zero here.
+    cancelled_reductions:
+        Nonblocking collectives explicitly cancelled without consuming
+        their result (in-flight look-ahead discarded at convergence
+        exit) -- the only legitimate way a handle may end unconsumed.
     halo_exchanges:
         Neighbour exchanges (one per distributed matvec).
     words_reduced / words_exchanged:
@@ -55,6 +59,7 @@ class CommStats:
     blocking_allreduces: int = 0
     hidden_allreduces: int = 0
     forced_waits: int = 0
+    cancelled_reductions: int = 0
     halo_exchanges: int = 0
     words_reduced: int = 0
     words_exchanged: int = 0
@@ -83,6 +88,7 @@ class PendingReduction:
         if self.consumed:
             raise RuntimeError("reduction result already consumed")
         self.consumed = True
+        self.comm._retire(self)
         if self.comm.iteration - self.issued_at >= self.latency:
             self.comm.stats.hidden_allreduces += 1
             self.comm._emit("wait_hidden", int(np.size(self.value)))
@@ -90,6 +96,23 @@ class PendingReduction:
             self.comm.stats.forced_waits += 1
             self.comm._emit("wait_forced", int(np.size(self.value)))
         return self.value
+
+    def cancel(self) -> None:
+        """Discard an in-flight reduction without consuming its result.
+
+        The MPI analogue is ``Request.Cancel``: no synchronization cost
+        is booked (unlike a late :meth:`wait`, which would charge a
+        ``forced_wait``), but the cancellation is counted so accounting
+        stays complete.  This is how a pipelined solver retires the
+        look-ahead reductions still in flight when convergence exits the
+        loop early -- after which :meth:`SimComm.assert_drained` passes.
+        """
+        if self.consumed:
+            raise RuntimeError("reduction result already consumed")
+        self.consumed = True
+        self.comm._retire(self)
+        self.comm.stats.cancelled_reductions += 1
+        self.comm._emit("cancel", int(np.size(self.value)))
 
     @property
     def ready(self) -> bool:
@@ -116,6 +139,7 @@ class SimComm:
         self.iteration = 0
         self.stats = CommStats()
         self.telemetry = telemetry
+        self._pending: list[PendingReduction] = []
 
     def _emit(self, op: str, words: int) -> None:
         """One :class:`~repro.telemetry.ReductionEvent` when attached."""
@@ -158,9 +182,44 @@ class SimComm:
         add_reduction()
         self._emit("iallreduce", int(np.size(result)))
         lat = self.reduction_latency if latency is None else int(latency)
-        return PendingReduction(
+        handle = PendingReduction(
             value=result, issued_at=self.iteration, latency=lat, comm=self
         )
+        self._pending.append(handle)
+        return handle
+
+    def _retire(self, handle: PendingReduction) -> None:
+        """Drop a handle from the outstanding list (wait or cancel)."""
+        try:
+            self._pending.remove(handle)
+        except ValueError:
+            pass  # already retired (defensive; wait/cancel guard consumed)
+
+    @property
+    def pending_count(self) -> int:
+        """Nonblocking reductions issued but neither waited nor cancelled."""
+        return len(self._pending)
+
+    def assert_drained(self) -> None:
+        """Raise unless every nonblocking reduction was waited or cancelled.
+
+        A :class:`PendingReduction` that is never consumed is a silently
+        dropped collective: the words were booked at issue time but no
+        completion (hidden, forced, or cancelled) ever appeared, so the
+        run's synchronization accounting understates reality -- and on a
+        real machine the leaked ``MPI_Request`` is a resource bug.  Every
+        distributed solver calls this before returning.
+        """
+        if self._pending:
+            handles = ", ".join(
+                f"issued_at={h.issued_at} latency={h.latency} "
+                f"words={int(np.size(h.value))}"
+                for h in self._pending
+            )
+            raise RuntimeError(
+                f"{len(self._pending)} nonblocking reduction(s) never "
+                f"completed (wait or cancel each handle): {handles}"
+            )
 
     def record_halo_exchange(self, words: int) -> None:
         """Book one neighbour exchange of ``words`` vector entries."""

@@ -123,7 +123,7 @@ def _resolve_precond(fname: str, m: Any, precond: Any) -> Any:
         from repro.telemetry import deprecated_hook
 
         if precond is not None:
-            raise TypeError(
+            raise ValueError(
                 f"{fname}() got both a positional preconditioner and precond="
             )
         deprecated_hook(

@@ -36,14 +36,23 @@ problems, which is unusable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable
 
 import numpy as np
 
-from repro.core.results import CGResult
+from repro.core.results import BatchedResult, CGResult, StopReason
 
-__all__ = ["solve", "register", "available_methods", "method_entry", "SolverEntry"]
+__all__ = [
+    "solve",
+    "solve_batched",
+    "register",
+    "register_batched",
+    "available_methods",
+    "batched_methods",
+    "method_entry",
+    "SolverEntry",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +73,13 @@ class SolverEntry:
     distributed:
         Whether the method runs over the simulated communicator (its
         result carries ``extras["comm_stats"]``).
+    batched:
+        Whether the method has a multi-RHS block path -- the capability
+        flag :func:`solve_batched` dispatches on.
+    batched_runner:
+        ``batched_runner(a, B, *, telemetry, stop, **options)`` returning
+        a :class:`~repro.core.results.BatchedResult`; ``None`` unless
+        ``batched`` is set.
     """
 
     name: str
@@ -71,6 +87,8 @@ class SolverEntry:
     description: str
     supports_precond: bool = False
     distributed: bool = False
+    batched: bool = False
+    batched_runner: Callable[..., BatchedResult] | None = None
 
 
 _REGISTRY: dict[str, SolverEntry] = {}
@@ -100,9 +118,37 @@ def register(
     return deco
 
 
+def register_batched(
+    name: str,
+) -> Callable[[Callable[..., BatchedResult]], Callable[..., BatchedResult]]:
+    """Attach a multi-RHS block runner to an ALREADY-registered method.
+
+    Flips the entry's ``batched`` capability flag; :func:`solve_batched`
+    refuses methods whose flag is unset, so the flag *is* the contract.
+    """
+
+    def deco(runner: Callable[..., BatchedResult]) -> Callable[..., BatchedResult]:
+        entry = _REGISTRY.get(name)
+        if entry is None:
+            raise ValueError(
+                f"cannot attach a batched runner to unregistered method {name!r}"
+            )
+        if entry.batched_runner is not None:
+            raise ValueError(f"method {name!r} already has a batched runner")
+        _REGISTRY[name] = replace(entry, batched=True, batched_runner=runner)
+        return runner
+
+    return deco
+
+
 def available_methods() -> list[str]:
     """All registered method names, sorted."""
     return sorted(_REGISTRY)
+
+
+def batched_methods() -> list[str]:
+    """Registered method names with a multi-RHS block path, sorted."""
+    return sorted(name for name, e in _REGISTRY.items() if e.batched)
 
 
 def method_entry(name: str) -> SolverEntry:
@@ -194,12 +240,102 @@ def solve(
     -------
     CGResult
         With ``result.method`` set to the dispatched registry name.
+
+    Notes
+    -----
+    ``b = 0`` is short-circuited *here*, uniformly for every method: the
+    exact answer is ``x = 0`` (converged, zero iterations).  Without
+    this, the default stopping rule (``rtol``-only, ``atol = 0``) has a
+    threshold of exactly 0 and no iteration could ever satisfy it.  A
+    caller-supplied ``x0`` disables the short-circuit -- the solver then
+    runs (and validates ``x0``) as usual, iterating back toward zero.
     """
     entry = method_entry(method)
+    zero = None if options.get("x0") is not None else _zero_rhs_result(
+        b, entry, telemetry
+    )
+    if zero is not None:
+        return zero
     precond = _resolve_precond(a, precond, b, options)
     if precond is not None and not entry.supports_precond:
         raise ValueError(f"method {method!r} does not accept a preconditioner")
     result = entry.runner(a, b, precond=precond, telemetry=telemetry, **options)
+    result.method = entry.name
+    return result
+
+
+def _zero_rhs_result(
+    b: Any, entry: SolverEntry, telemetry: Any
+) -> CGResult | None:
+    """The ``b = 0`` short-circuit shared by every registered method."""
+    arr = np.asarray(b, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0 or np.any(arr != 0.0):
+        return None  # not this corner; let the solver validate/iterate
+    n = arr.shape[0]
+    if telemetry is not None:
+        telemetry.solve_start(entry.name, f"{entry.name} (b=0)", n)
+    result = CGResult(
+        x=np.zeros(n),
+        converged=True,
+        stop_reason=StopReason.CONVERGED,
+        iterations=0,
+        residual_norms=[0.0],
+        true_residual_norm=0.0,
+        label=f"{entry.name} (b=0)",
+        method=entry.name,
+    )
+    if telemetry is not None:
+        telemetry.solve_end(result)
+    return result
+
+
+def solve_batched(
+    a: Any,
+    b: np.ndarray,
+    method: str = "cg",
+    *,
+    telemetry: Any = None,
+    **options: Any,
+) -> BatchedResult:
+    """Solve ``A X = B`` for every column of an ``(n, m)`` block ``B``.
+
+    The batched counterpart of :func:`solve`: dispatches to the method's
+    multi-RHS block runner, which computes all ``m`` per-site inner
+    products in ONE fused ``m``-wide reduction and deflates converged
+    columns out of the active set.  Only methods whose registry entry
+    carries the ``batched`` capability flag are accepted (see
+    :func:`batched_methods`).
+
+    ``B`` may be 1-D (treated as a single column).  Zero columns
+    converge at iteration 0 by deflation -- the batched analogue of
+    :func:`solve`'s ``b = 0`` short-circuit.
+
+    Parameters
+    ----------
+    a, b:
+        The SPD operator and the right-hand-side block.
+    method:
+        Registry name; defaults to ``"cg"``.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` session; receives
+        per-column iteration/convergence events and the active-set-width
+        trajectory in addition to the usual solve bracket.
+    **options:
+        Forwarded to the batched runner (``stop=``, ``k=``,
+        ``replace_every=``, ``nranks=``, ...).
+
+    Returns
+    -------
+    BatchedResult
+        With ``result.method`` set to the dispatched registry name.
+    """
+    entry = method_entry(method)
+    if not entry.batched or entry.batched_runner is None:
+        raise ValueError(
+            f"method {method!r} has no batched multi-RHS path; "
+            f"batched methods: {', '.join(batched_methods())}"
+        )
+    result = entry.batched_runner(a, b, telemetry=telemetry, **options)
     result.method = entry.name
     return result
 
@@ -385,4 +521,34 @@ def _run_dist_pipelined_vr(a, b, *, precond, telemetry, **options):
     from repro.distributed.solvers import distributed_pipelined_vr
 
     result, _comm = distributed_pipelined_vr(a, b, telemetry=telemetry, **options)
+    return result
+
+
+# ----------------------------------------------------------------------
+# registrations: batched multi-RHS block paths
+# ----------------------------------------------------------------------
+@register_batched("cg")
+def _run_batched_cg(a, b, *, telemetry=None, **options):
+    from repro.core.batched import batched_cg
+
+    return batched_cg(a, b, telemetry=telemetry, **options)
+
+
+@register_batched("vr")
+def _run_batched_vr(a, b, *, telemetry=None, **options):
+    from repro.core.batched import batched_vr_cg
+
+    # The batched VR loop offers periodic replacement only (the adaptive
+    # drift detector would cost a third fused reduction per sweep);
+    # default it on so solve_batched(..., method="vr") is stable, same
+    # policy as the single-RHS front door.
+    options.setdefault("replace_every", 10)
+    return batched_vr_cg(a, b, telemetry=telemetry, **options)
+
+
+@register_batched("dist-cg")
+def _run_dist_batched_cg(a, b, *, telemetry=None, **options):
+    from repro.distributed.solvers import distributed_batched_cg
+
+    result, _comm = distributed_batched_cg(a, b, telemetry=telemetry, **options)
     return result

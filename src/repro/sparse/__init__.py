@@ -34,6 +34,7 @@ from repro.sparse.linop import (
     DenseOperator,
     LinearOperator,
     as_operator,
+    block_matvec,
 )
 from repro.sparse.matrix_powers import MatrixPowersKernel, PowersStats, RowPartition
 from repro.sparse.mmio import read_matrix_market, write_matrix_market
@@ -60,6 +61,7 @@ __all__ = [
     "DenseOperator",
     "LinearOperator",
     "as_operator",
+    "block_matvec",
     "MatrixPowersKernel",
     "PowersStats",
     "RowPartition",

@@ -15,9 +15,15 @@ from typing import Any, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.util.counters import add_matvec
+from repro.util.counters import add_matmat, add_matvec
 
-__all__ = ["LinearOperator", "CallableOperator", "DenseOperator", "as_operator"]
+__all__ = [
+    "LinearOperator",
+    "CallableOperator",
+    "DenseOperator",
+    "as_operator",
+    "block_matvec",
+]
 
 
 @runtime_checkable
@@ -107,12 +113,55 @@ class DenseOperator:
         add_matvec(n * n, n)
         return self._a @ np.asarray(x, dtype=np.float64)
 
+    def matmat(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``A @ X`` for an ``(n, m)`` block: one pass over the matrix."""
+        x = np.asarray(x, dtype=np.float64)
+        n = self._a.shape[0]
+        add_matmat(n * n, n, x.shape[1])
+        if out is None:
+            return self._a @ x
+        np.matmul(self._a, x, out=out)
+        return out
+
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         return self.matvec(x)
 
     def max_row_degree(self) -> int:
         """Dense: every row has n entries."""
         return self._a.shape[0]
+
+
+def block_matvec(
+    op: LinearOperator, x: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Apply ``op`` to every column of an ``(n, m)`` block at once.
+
+    Dispatches to the operator's own fused ``matmat`` when it has one
+    (:class:`~repro.sparse.csr.CSRMatrix`,
+    :class:`~repro.sparse.ell.ELLMatrix`, :class:`DenseOperator` -- one
+    matrix traversal for all columns); otherwise falls back to a column
+    loop of ``matvec`` calls, so any :class:`LinearOperator` works under
+    the batched solvers, just without the locality win.  ``out`` lets
+    steady-state solver loops reuse one result block; operators whose
+    ``matmat`` predates the ``out=`` convention still work (the result is
+    copied in).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected an (n, m) column block, got shape {x.shape}")
+    matmat = getattr(op, "matmat", None)
+    if callable(matmat):
+        if out is None:
+            return np.asarray(matmat(x), dtype=np.float64)
+        try:
+            return matmat(x, out=out)
+        except TypeError:
+            out[:] = matmat(x)
+            return out
+    y = out if out is not None else np.empty((op.shape[0], x.shape[1]))
+    for j in range(x.shape[1]):
+        y[:, j] = op.matvec(x[:, j])
+    return y
 
 
 def as_operator(a: Any) -> LinearOperator:

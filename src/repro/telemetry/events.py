@@ -44,6 +44,9 @@ __all__ = [
     "TelemetryEvent",
     "SolveStartEvent",
     "IterationEvent",
+    "ColumnIterationEvent",
+    "ColumnConvergedEvent",
+    "ActiveSetEvent",
     "DriftEvent",
     "ReplacementEvent",
     "PipelineEvent",
@@ -111,6 +114,55 @@ class IterationEvent(TelemetryEvent):
     lam: float | None = None
     alpha: float | None = None
     recurred_rr: float | None = None
+
+
+@dataclass
+class ColumnIterationEvent(TelemetryEvent):
+    """One completed iteration of ONE column of a batched solve.
+
+    Batched solvers emit one of these per active column per sweep
+    (alongside the usual aggregate :class:`IterationEvent`), so
+    per-right-hand-side convergence curves can be rebuilt from a single
+    stream.
+    """
+
+    kind = "column_iteration"
+
+    column: int
+    iteration: int
+    residual_norm: float
+
+
+@dataclass
+class ColumnConvergedEvent(TelemetryEvent):
+    """A batched-solve column left the active set.
+
+    ``reason`` mirrors :class:`~repro.core.results.StopReason` values
+    (``"converged"`` for a deflation on convergence, ``"breakdown"`` for
+    a per-column numerical failure).
+    """
+
+    kind = "column_converged"
+
+    column: int
+    iteration: int
+    residual_norm: float
+    reason: str = "converged"
+
+
+@dataclass
+class ActiveSetEvent(TelemetryEvent):
+    """Width of a batched solve's active set after one sweep.
+
+    The deflation trajectory: starts at ``m``, non-increasing; the area
+    under this curve is the work the batch actually paid
+    (``BatchedResult.total_column_iterations``).
+    """
+
+    kind = "active_set"
+
+    iteration: int
+    width: int
 
 
 @dataclass

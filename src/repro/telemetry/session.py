@@ -43,6 +43,9 @@ from typing import Any, Callable, Iterator
 import numpy as np
 
 from repro.telemetry.events import (
+    ActiveSetEvent,
+    ColumnConvergedEvent,
+    ColumnIterationEvent,
     CountersEvent,
     DriftEvent,
     IterationEvent,
@@ -174,11 +177,40 @@ class Telemetry:
             sink.emit(event)
 
     def drift(self, iteration: int, recurred_rr: float, direct_rr: float) -> None:
-        """Recurred vs. direct ``(r, r)`` gap (emits :class:`DriftEvent`)."""
-        rel = abs(recurred_rr - direct_rr) / direct_rr if direct_rr else float("inf")
+        """Recurred vs. direct ``(r, r)`` gap (emits :class:`DriftEvent`).
+
+        The relative gap is computed against ``max(direct_rr, tiny)`` so
+        a direct residual that has underflowed to zero near machine-zero
+        convergence yields a large-but-finite drift instead of inf/nan
+        (which would poison JSON sinks and downstream statistics).
+        """
+        denom = max(direct_rr, np.finfo(np.float64).tiny)
+        rel = abs(recurred_rr - direct_rr) / denom
         event = DriftEvent(iteration, recurred_rr, direct_rr, rel)
         for sink in self._sinks:
             sink.emit(event)
+
+    def column_iteration(
+        self, column: int, iteration: int, residual_norm: float
+    ) -> None:
+        """One column of a batched solve completed an iteration."""
+        event = ColumnIterationEvent(column, iteration, residual_norm)
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def column_converged(
+        self,
+        column: int,
+        iteration: int,
+        residual_norm: float,
+        reason: str = "converged",
+    ) -> None:
+        """A batched-solve column was deflated out of the active set."""
+        self.emit(ColumnConvergedEvent(column, iteration, residual_norm, reason))
+
+    def active_set(self, iteration: int, width: int) -> None:
+        """Active-set width of a batched solve after one sweep."""
+        self.emit(ActiveSetEvent(iteration=iteration, width=width))
 
     def replacement(self, iteration: int, trigger: str) -> None:
         """A residual replacement fired (emits :class:`ReplacementEvent`)."""

@@ -31,8 +31,10 @@ __all__ = [
     "push_scope",
     "pop_scope",
     "add_dot",
+    "add_block_dot",
     "add_axpy",
     "add_matvec",
+    "add_matmat",
     "add_scalar_flops",
     "add_reduction",
 ]
@@ -228,6 +230,28 @@ def add_dot(n: int, label: str | None = None) -> None:
             c.book_label(label)
 
 
+def add_block_dot(n: int, m: int, label: str | None = None) -> None:
+    """Book ``m`` column inner products fused into ONE reduction launch.
+
+    This is the batched multi-RHS accounting: the arithmetic is ``m``
+    length-``n`` dots, but the fan-in tree is started once with an
+    ``m``-word payload -- ``reductions`` grows by 1, not ``m``, which is
+    exactly the amortization the block solvers claim.
+    """
+    stack = _STACK.stack
+    if not stack:
+        return
+    flops = max(2 * n - 1, 0) * m
+    words = 2 * n * m
+    for c in stack:
+        c.dots += m
+        c.dot_flops += flops
+        c.reductions += 1
+        c.words_moved += words
+        if label is not None:
+            c.book_label(label)
+
+
 def add_axpy(n: int, flops_per_entry: int = 2) -> None:
     """Book one vector-update kernel over length-``n`` vectors."""
     stack = _STACK.stack
@@ -250,6 +274,27 @@ def add_matvec(nnz: int, nrows: int, label: str | None = None) -> None:
     words = 2 * nnz + 2 * nrows
     for c in stack:
         c.matvecs += 1
+        c.matvec_flops += flops
+        c.words_moved += words
+        if label is not None:
+            c.book_label(label)
+
+
+def add_matmat(nnz: int, nrows: int, m: int, label: str | None = None) -> None:
+    """Book one sparse matrix--block product ``A @ X`` with ``m`` columns.
+
+    Flops are ``m`` matvecs' worth, but the matrix is streamed through
+    memory ONCE for all columns -- the operator-reuse win of block
+    solving (``2·nnz`` matrix words + ``2·nrows·m`` vector words instead
+    of ``m``-fold matrix traffic).
+    """
+    stack = _STACK.stack
+    if not stack:
+        return
+    flops = max(2 * nnz - nrows, 0) * m
+    words = 2 * nnz + 2 * nrows * m
+    for c in stack:
+        c.matvecs += m
         c.matvec_flops += flops
         c.words_moved += words
         if label is not None:

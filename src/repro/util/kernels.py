@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.util.counters import add_axpy, add_dot
+from repro.util.counters import add_axpy, add_block_dot, add_dot
 
-__all__ = ["dot", "norm", "axpy", "axpby", "scale"]
+__all__ = ["dot", "norm", "axpy", "axpby", "scale", "block_dot", "block_norms"]
 
 
 def dot(x: np.ndarray, y: np.ndarray, *, label: str | None = None) -> float:
@@ -41,6 +41,27 @@ def norm(x: np.ndarray) -> float:
     """Instrumented Euclidean norm (booked as one inner product)."""
     add_dot(x.shape[0])
     return float(np.sqrt(np.dot(x, x)))
+
+
+def block_dot(x: np.ndarray, y: np.ndarray, *, label: str | None = None) -> np.ndarray:
+    """Fused column-wise inner products of two ``(n, m)`` blocks.
+
+    Returns the length-``m`` vector ``[x₀ᵀy₀, ..., x_{m-1}ᵀy_{m-1}]``.
+    All ``m`` products ride a single reduction launch (booked via
+    :func:`repro.util.counters.add_block_dot`): on a parallel machine
+    this is ONE allreduce of ``m`` words, not ``m`` allreduces of one --
+    the accounting heart of the batched multi-RHS solvers.
+    """
+    n, m = x.shape
+    add_block_dot(n, m, label=label)
+    return np.einsum("ij,ij->j", x, y)
+
+
+def block_norms(x: np.ndarray, *, label: str | None = None) -> np.ndarray:
+    """Column Euclidean norms of an ``(n, m)`` block (one fused reduction)."""
+    n, m = x.shape
+    add_block_dot(n, m, label=label)
+    return np.sqrt(np.einsum("ij,ij->j", x, x))
 
 
 def axpy(a: float, x: np.ndarray, y: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:

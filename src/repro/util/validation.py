@@ -14,6 +14,7 @@ import numpy as np
 
 __all__ = [
     "as_1d_float_array",
+    "as_2d_float_array",
     "check_square_operator",
     "require_positive_int",
     "require_nonnegative_int",
@@ -27,6 +28,26 @@ def as_1d_float_array(x: Any, name: str = "array") -> np.ndarray:
         raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
     if arr.size == 0:
         raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return np.ascontiguousarray(arr)
+
+
+def as_2d_float_array(x: Any, name: str = "array") -> np.ndarray:
+    """Coerce ``x`` to a contiguous 2-D float64 array (an ``(n, m)`` block).
+
+    A 1-D vector is accepted and promoted to a single-column block, so
+    the batched entry points degrade gracefully to ``m = 1``.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2:
+        raise ValueError(
+            f"{name} must be an (n, m) column block, got shape {arr.shape}"
+        )
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ValueError(f"{name} must be non-empty, got shape {arr.shape}")
     if not np.all(np.isfinite(arr)):
         raise ValueError(f"{name} contains non-finite entries")
     return np.ascontiguousarray(arr)

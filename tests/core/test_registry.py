@@ -174,3 +174,84 @@ def test_vr_default_stabilization_can_be_disabled(system):
     opts = tele2.events_of("solve_start")[0].options
     assert opts["replace_every"] == 8
     assert opts["replace_drift_tol"] is None
+
+
+# ----------------------------------------------------------------------
+# b = 0 short-circuit (ISSUE 2 satellite: uniform zero-RHS contract)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("method", sorted(EXPECTED_METHODS))
+def test_zero_rhs_short_circuits_every_method(system, method):
+    """``b = 0`` has the exact solution ``x = 0``: every registered method
+    must return it in ZERO iterations from the shared front door, rather
+    than dividing by a zero norm inside its own loop."""
+    a, _ = system
+    result = solve(a, np.zeros(a.nrows), method)
+    assert result.converged
+    assert result.iterations == 0
+    assert np.all(result.x == 0.0)
+    assert result.residual_norms == [0.0]
+    assert result.true_residual_norm == 0.0
+    assert result.method == method
+    assert "(b=0)" in result.label
+
+
+def test_zero_rhs_still_brackets_telemetry(system):
+    a, _ = system
+    tele = Telemetry()
+    result = solve(a, np.zeros(a.nrows), "cg", telemetry=tele)
+    assert result.iterations == 0
+    assert len(tele.events_of("solve_start")) == 1
+    assert len(tele.events_of("solve_end")) == 1
+
+
+def test_zero_rhs_with_nonzero_x0_is_not_short_circuited(system):
+    """The short-circuit answers ``x = 0`` -- it must not fire when the
+    caller supplies an ``x0`` that the solver would have to undo."""
+    a, _ = system
+    x0 = np.ones(a.nrows)
+    result = solve(a, np.zeros(a.nrows), "cg", x0=x0)
+    assert result.converged
+    assert result.iterations > 0
+    np.testing.assert_allclose(result.x, 0.0, atol=1e-7)
+
+
+# ----------------------------------------------------------------------
+# batched capability flag + solve_batched routing
+# ----------------------------------------------------------------------
+def test_batched_methods_listing():
+    from repro.registry import batched_methods
+
+    assert batched_methods() == ["cg", "dist-cg", "vr"]
+    for name in batched_methods():
+        assert method_entry(name).batched
+    assert not method_entry("gv").batched
+    assert not method_entry("sstep").batched
+
+
+@pytest.mark.parametrize("method", ["cg", "vr"])
+def test_solve_batched_routes_and_stamps(system, method):
+    from repro import solve_batched
+
+    a, _ = system
+    b_block = np.ones((a.nrows, 3))
+    result = solve_batched(a, b_block, method, stop=StoppingCriterion(rtol=1e-7))
+    assert result.converged
+    assert result.method == method
+    assert result.m == 3
+    assert result.x.shape == (a.nrows, 3)
+
+
+def test_solve_batched_rejects_non_batched_method(system):
+    from repro import solve_batched
+
+    a, _ = system
+    with pytest.raises(ValueError, match="no batched multi-RHS path.*cg, dist-cg, vr"):
+        solve_batched(a, np.ones((a.nrows, 2)), "gv")
+
+
+def test_solve_batched_unknown_method(system):
+    from repro import solve_batched
+
+    a, _ = system
+    with pytest.raises(ValueError, match="unknown method"):
+        solve_batched(a, np.ones((a.nrows, 2)), "qmr")

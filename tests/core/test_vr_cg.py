@@ -150,6 +150,55 @@ class TestAdaptiveReplacement:
             vr_conjugate_gradient(a, b, k=3, stop=stop, replace_drift_tol=1e-2)
         assert c_tight.labelled("rebuild_dot") >= c_loose.labelled("rebuild_dot")
 
+    def test_machine_zero_convergence_with_drift_detector(self):
+        """Regression (ISSUE 2): with ``replace_drift_tol`` set, a solve
+        driven to machine-zero residuals must neither divide by the
+        underflowed direct ``(r, r)`` (inf/nan drift) nor fire spurious
+        drift replacements below the stopping threshold."""
+        a = np.diag([1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0])
+        b = np.ones(8)
+        tele = Telemetry()
+        with np.errstate(divide="raise", invalid="raise"):
+            res = vr_conjugate_gradient(
+                a,
+                b,
+                k=1,
+                stop=StoppingCriterion(rtol=1e-14, max_iter=200),
+                replace_drift_tol=1e-8,
+                telemetry=tele,
+            )
+        assert res.converged
+        assert res.stop_reason is StopReason.CONVERGED
+        assert all(np.isfinite(v) for v in res.residual_norms)
+        assert np.isfinite(res.true_residual_norm)
+        for event in tele.events_of("drift"):
+            assert np.isfinite(event.drift)
+
+    def test_drift_trigger_skipped_below_threshold_floor(self):
+        """The drift signal is meaningless once the direct residual sits
+        below the (squared) stopping threshold: no drift-triggered
+        replacement may fire there even with an absurdly tight tol."""
+        a = np.diag([1.0, 3.0, 9.0, 27.0])
+        b = np.ones(4)
+        tele = Telemetry()
+        res = vr_conjugate_gradient(
+            a,
+            b,
+            k=1,
+            stop=StoppingCriterion(rtol=1e-6, max_iter=100),
+            replace_drift_tol=1e-300,  # would fire on ANY computed gap
+            telemetry=tele,
+        )
+        assert res.converged
+        drift_fires = [
+            e for e in tele.events_of("replacement") if e.trigger == "drift"
+        ]
+        # a 4x4 well-separated diagonal converges in <= 4 exact steps;
+        # every drift event the detector did compute stayed finite
+        assert len(drift_fires) <= res.iterations
+        for event in tele.events_of("drift"):
+            assert np.isfinite(event.drift)
+
     def test_invalid_tol(self, small_spd_dense):
         with pytest.raises(ValueError, match="replace_drift_tol"):
             vr_conjugate_gradient(

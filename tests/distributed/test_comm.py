@@ -85,3 +85,46 @@ class TestStats:
             SimComm(0)
         with pytest.raises(ValueError):
             SimComm(2, reduction_latency=-1)
+
+
+class TestDrainChecking:
+    """ISSUE 2 satellite: a nonblocking reduction that is never waited on
+    is a silently dropped collective -- ``assert_drained`` must name it."""
+
+    def test_leaked_handle_raises(self):
+        comm = SimComm(2, reduction_latency=3)
+        comm.iallreduce([1.0, 2.0])
+        assert comm.pending_count == 1
+        with pytest.raises(RuntimeError, match="1 nonblocking reduction"):
+            comm.assert_drained()
+
+    def test_error_lists_each_leaked_handle(self):
+        comm = SimComm(2, reduction_latency=2)
+        comm.iallreduce([1.0, 2.0])
+        comm.advance_iteration()
+        comm.iallreduce(np.ones((2, 5)))
+        with pytest.raises(RuntimeError) as exc:
+            comm.assert_drained()
+        msg = str(exc.value)
+        assert "2 nonblocking reduction(s)" in msg
+        assert "issued_at=0" in msg and "issued_at=1" in msg
+        assert "words=5" in msg
+
+    def test_waited_handle_drains(self):
+        comm = SimComm(2, reduction_latency=0)
+        comm.iallreduce([1.0, 2.0]).wait()
+        comm.assert_drained()  # no raise
+        assert comm.pending_count == 0
+
+    def test_cancelled_handle_drains(self):
+        comm = SimComm(2, reduction_latency=4)
+        h = comm.iallreduce([1.0, 2.0])
+        h.cancel()
+        comm.assert_drained()  # no raise
+        assert comm.stats.cancelled_reductions == 1
+
+    def test_blocking_allreduce_never_pends(self):
+        comm = SimComm(2)
+        comm.allreduce([1.0, 2.0])
+        assert comm.pending_count == 0
+        comm.assert_drained()

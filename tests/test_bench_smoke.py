@@ -1,0 +1,50 @@
+"""Tier-1 smoke for ``benchmarks/bench_batched_throughput.py``.
+
+The full benchmark (m up to 64, repeated timing) belongs to the
+``benchmarks/`` run, but the batched path must not be able to rot silently
+between benchmark runs: this wrapper executes the same ``run()`` entry
+point at smoke scale (m=4, small grid, single repeat) inside the ordinary
+test suite and checks the emitted ``BENCH_batched.json`` record.
+
+``benchmarks/`` is not a package, so the module is loaded by file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_batched_throughput.py"
+OUT_PATH = REPO_ROOT / "BENCH_batched.json"
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_batched_throughput", BENCH_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_batched_smoke_emits_json():
+    bench = _load_bench_module()
+    payload = bench.run(grid=12, m_values=(4,), repeats=1, out_path=OUT_PATH)
+
+    assert OUT_PATH.exists()
+    on_disk = json.loads(OUT_PATH.read_text())
+    assert on_disk == payload
+    assert on_disk["bench"] == "batched_throughput"
+    assert on_disk["method"] == "cg"
+
+    [record] = on_disk["results"]
+    assert record["m"] == 4
+    assert record["batched_seconds"] > 0.0
+    assert record["looped_seconds"] > 0.0
+    assert record["speedup"] > 0.0
+    # Identical per-column work in both arms: batching changes the data
+    # movement, not the CG trajectories.
+    assert record["column_iterations"] == record["looped_iterations"]
+    assert record["batched_sweeps"] == max(record["column_iterations"])

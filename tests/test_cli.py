@@ -82,6 +82,66 @@ class TestSolve:
         assert rc == 0
 
 
+class TestBatchedRhsCount:
+    def test_batched_cg_solves_block(self, capsys):
+        rc = main(["solve", "--generate", "poisson2d", "--size", "8",
+                   "--solver", "cg", "--rhs-count", "4"])
+        assert rc == 0
+        assert "4/4 columns converged" in capsys.readouterr().out
+
+    def test_batched_vr(self, capsys):
+        rc = main(["solve", "--generate", "poisson2d", "--size", "8",
+                   "--solver", "vr", "--k", "2", "--rhs-count", "3",
+                   "--replace-every", "8"])
+        assert rc == 0
+        assert "3/3 columns converged" in capsys.readouterr().out
+
+    def test_block_written_to_out(self, tmp_path, capsys):
+        out = tmp_path / "x.txt"
+        rc = main(["solve", "--generate", "poisson2d", "--size", "8",
+                   "--solver", "cg", "--rhs-count", "3", "--out", str(out)])
+        assert rc == 0
+        x = np.loadtxt(out)
+        assert x.shape == (64, 3)
+
+    def test_rhs_file_supplies_column_zero(self, mtx_file, tmp_path, capsys):
+        rhs = tmp_path / "b.txt"
+        np.savetxt(rhs, np.ones(64))
+        out = tmp_path / "x.txt"
+        rc = main(["solve", "--matrix", str(mtx_file), "--rhs", str(rhs),
+                   "--rhs-count", "2", "--out", str(out), "--solver", "cg"])
+        assert rc == 0
+        x = np.loadtxt(out)
+        a = poisson2d(8)
+        np.testing.assert_allclose(a.matvec(x[:, 0]), np.ones(64), atol=1e-5)
+
+    def test_non_batched_method_rejected(self):
+        with pytest.raises(SystemExit, match="no.*multi-RHS path"):
+            main(["solve", "--generate", "poisson2d", "--size", "8",
+                  "--solver", "gv", "--rhs-count", "4"])
+
+    def test_precond_rejected(self):
+        with pytest.raises(SystemExit, match="does not support --precond"):
+            main(["solve", "--generate", "poisson2d", "--size", "8",
+                  "--solver", "cg", "--rhs-count", "4", "--precond", "jacobi"])
+
+    def test_rhs_count_must_be_positive(self):
+        with pytest.raises(SystemExit, match="rhs-count must be >= 1"):
+            main(["solve", "--generate", "poisson2d", "--size", "8",
+                  "--solver", "cg", "--rhs-count", "0"])
+
+    def test_batched_telemetry_stream(self, tmp_path):
+        path = tmp_path / "batched.jsonl"
+        rc = main(["solve", "--generate", "poisson2d", "--size", "8",
+                   "--solver", "cg", "--rhs-count", "4",
+                   "--telemetry", str(path)])
+        assert rc == 0
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = {e["kind"] for e in events}
+        assert {"solve_start", "column_iteration", "column_converged",
+                "active_set", "solve_end"} <= kinds
+
+
 class TestTelemetry:
     def test_stream_to_stdout(self, capsys):
         rc = main(["solve", "--generate", "poisson2d", "--size", "8",

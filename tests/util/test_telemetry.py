@@ -227,8 +227,11 @@ def test_drift_helper_computes_relative_gap():
     tele.drift(5, recurred_rr=1.1, direct_rr=1.0)
     [event] = tele.events_of("drift")
     assert event.drift == pytest.approx(0.1)
+    # direct_rr underflowed to zero near machine-zero convergence: the
+    # gap must stay FINITE (large) -- inf/nan would poison JSON sinks.
     tele.drift(6, recurred_rr=1.0, direct_rr=0.0)
-    assert tele.events_of("drift")[1].drift == float("inf")
+    drift = tele.events_of("drift")[1].drift
+    assert np.isfinite(drift) and drift > 1e300
 
 
 def test_telemetry_context_manager_closes_sinks(tmp_path):
@@ -329,7 +332,78 @@ def test_pcg_keyword_precond_does_not_warn(system):
 def test_pcg_rejects_both_and_neither(system):
     a, b = system
     m = JacobiPrecond(a)
-    with pytest.raises(TypeError, match="both"):
+    # Both spellings of the same argument is a VALUE conflict (like
+    # telemetry= plus a deprecated hook), not a signature error.
+    with pytest.raises(ValueError, match="both"):
         preconditioned_cg(a, b, m, precond=m)
     with pytest.raises(TypeError, match="requires a preconditioner"):
         preconditioned_cg(a, b)
+
+
+# ----------------------------------------------------------------------
+# dual-kwarg conflicts (ISSUE 2 satellite): supplying the new kwarg AND
+# its deprecated twin in one call is a ValueError at every shimmed entry
+# point -- silently preferring either spelling would hide caller bugs.
+# ----------------------------------------------------------------------
+def _cg_both(a, b):
+    conjugate_gradient(a, b, telemetry=Telemetry(), record_iterates=[])
+
+
+def _vr_both_observer(a, b):
+    vr_conjugate_gradient(a, b, k=2, telemetry=Telemetry(), observer=lambda s: None)
+
+
+def _vr_both_record(a, b):
+    vr_conjugate_gradient(a, b, k=2, telemetry=Telemetry(), record_iterates=[])
+
+
+def _pipelined_both(a, b):
+    from repro.core.pipeline import PipelineTrace
+
+    pipelined_vr_cg(a, b, k=2, telemetry=Telemetry(), trace=PipelineTrace(k=2))
+
+
+def _pcg_both(a, b):
+    m = JacobiPrecond(a)
+    preconditioned_cg(a, b, m, precond=m)
+
+
+def _vr_pcg_both(a, b):
+    from repro.precond import vr_pcg
+
+    m = JacobiPrecond(a)
+    vr_pcg(a, b, m, precond=m)
+
+
+def _pipelined_vr_pcg_both(a, b):
+    from repro.precond import pipelined_vr_pcg
+
+    m = JacobiPrecond(a)
+    pipelined_vr_pcg(a, b, m, precond=m)
+
+
+def _polynomial_pcg_both(a, b):
+    from repro.precond import ChebyshevPolyPrecond, polynomial_pcg
+
+    m = ChebyshevPolyPrecond(a, (0.1, 8.0), degree=3)
+    polynomial_pcg(a, b, m, precond=m)
+
+
+@pytest.mark.parametrize(
+    "caller",
+    [
+        _cg_both,
+        _vr_both_observer,
+        _vr_both_record,
+        _pipelined_both,
+        _pcg_both,
+        _vr_pcg_both,
+        _pipelined_vr_pcg_both,
+        _polynomial_pcg_both,
+    ],
+    ids=lambda f: f.__name__.strip("_"),
+)
+def test_dual_kwarg_is_value_error_not_silent_preference(system, caller):
+    a, b = system
+    with pytest.raises(ValueError, match="both"):
+        caller(a, b)
