@@ -114,6 +114,17 @@ def _solve(args) -> int:
     elif precond == "chebyshev":
         options["poly_degree"] = args.poly_degree
 
+    if args.inject_fault:
+        from repro.faults import FaultPlan, parse_fault_spec
+
+        try:
+            injectors = [parse_fault_spec(spec) for spec in args.inject_fault]
+        except ValueError as exc:
+            raise SystemExit(f"--inject-fault: {exc}") from exc
+        options["faults"] = FaultPlan(injectors, seed=args.fault_seed)
+    if args.recovery is not None and args.recovery != "none":
+        options["recovery"] = args.recovery
+
     telemetry = None
     if args.telemetry is not None:
         from repro.telemetry import JsonlSink, Telemetry
@@ -147,6 +158,10 @@ def _solve_batched(args, a: CSRMatrix, stop, method: str) -> int:
         )
     if args.precond != "none":
         raise SystemExit("--rhs-count > 1 does not support --precond")
+    if args.inject_fault or (args.recovery not in (None, "none")):
+        raise SystemExit(
+            "--rhs-count > 1 does not support --inject-fault/--recovery"
+        )
     b_block = _load_rhs_block(args, a.nrows)
 
     options: dict = {"stop": stop}
@@ -253,6 +268,21 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--omega", type=float, default=1.0, help="SSOR relaxation")
     solve.add_argument("--poly-degree", type=int, default=4,
                        help="Chebyshev polynomial preconditioner degree")
+    solve.add_argument(
+        "--inject-fault", action="append", default=[], metavar="SPEC",
+        help="inject a deterministic fault; SPEC is "
+             "kind[@iteration][:key=value]* with kind one of bitflip, "
+             "perturb, scalar, comm-corrupt, comm-delay, comm-drop "
+             "(e.g. 'scalar@7:factor=1e3'); repeatable",
+    )
+    solve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the fault injectors' RNG streams")
+    solve.add_argument(
+        "--recovery",
+        choices=["none", "drift", "periodic", "verified", "robust"],
+        default=None,
+        help="recovery policy preset (see repro.faults.RecoveryPolicy)",
+    )
     solve.add_argument("--rhs", help="text file with the right-hand side")
     solve.add_argument("--rhs-count", type=int, default=1, metavar="M",
                        help="solve M right-hand sides in one batched "

@@ -50,12 +50,17 @@ from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
 from repro.sparse.linop import as_operator
 from repro.util.counters import add_scalar_flops
-from repro.util.kernels import axpy, norm
+from repro.util.kernels import axpy, dot, norm
 from repro.util.validation import (
     as_1d_float_array,
     check_square_operator,
     require_positive_int,
 )
+
+# Same finite-precision divergence guard as the eager solver
+# (repro.core.vr_cg): recurred residual growth beyond this factor over
+# max(‖r⁰‖, ‖b‖) is breakdown, not slow progress.
+_DIVERGENCE_FACTOR = 1e8
 
 __all__ = [
     "pipelined_vr_cg",
@@ -230,6 +235,8 @@ def pipelined_vr_cg(
     k: int = 2,
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
+    faults: Any = None,
+    recovery: Any = None,
     telemetry: "Telemetry | None" = None,
     trace: PipelineTrace | None = None,
 ) -> CGResult:
@@ -249,6 +256,22 @@ def pipelined_vr_cg(
     k:
         Look-ahead depth (``k >= 1``; ``k = 0`` has no pipeline and is the
         eager solver's territory).
+    faults:
+        Optional :class:`repro.faults.FaultPlan` (or injector(s)).
+        Matvec-site injectors corrupt matvec outputs; dot-site injectors
+        hit the launched moment values (the launches *are* the direct
+        dots here) and the startup-transient front dots; scalar-site
+        injectors hit the stacked launch state the (*) coefficients
+        later consume -- the deep-pipeline exposure the paper's critics
+        (Cools et al.) analyze.
+    recovery:
+        Optional :class:`repro.faults.RecoveryPolicy` or preset name.
+        The pipelined realization cannot patch the in-flight window
+        (``verify_every`` is a no-op here): every repair -- periodic or
+        drift-triggered replacement, breakdown/divergence restart --
+        refills the whole pipeline from the true residual at the current
+        iterate, discarding the direction history.  Detectors still run
+        (the drift check costs one direct dot per iteration).
     telemetry:
         Optional :class:`repro.telemetry.Telemetry` hook; every launch,
         consume, and coefficient-update is emitted as a
@@ -292,37 +315,52 @@ def pipelined_vr_cg(
         if telemetry is not None:
             telemetry.pipeline(kind, iteration, source_iteration, count)
 
+    from repro.faults import RecoveryPolicy, UnrecoverableDivergence, as_fault_plan
+
+    policy = RecoveryPolicy.from_spec(recovery)
+    plan = as_fault_plan(faults)
+
     x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
     if telemetry is not None:
         telemetry.solve_start("pipelined-vr", f"pipelined-vr-cg(k={k})", n, k=k)
         telemetry.iterate(x)
     b_norm = norm(b)
 
-    # Startup: powers of r0 (= p0) and the launch of iteration 0's moments.
-    r0 = b - op.matvec(x)
-    powers = PowerBlock.startup(op, r0, k)
+    op_true = op
+    if plan is not None:
+        plan.attach(telemetry)
+        op = plan.wrap_operator(op)
+
     w = k  # ledger states use the solver's own window parameter
-    ledger = LaunchLedger(k)
-    pipeline = _CoefficientPipeline(k, w)
-
-    def _launch(iteration: int) -> np.ndarray:
-        window = window_from_powers(k, powers.r_powers, powers.p_powers,
-                                    label="pipeline_launch_dot")
-        state = window.stacked()
-        ledger.launch(iteration, state)
-        _event("launch", iteration, iteration, state.size)
-        return state
-
-    state0 = _launch(0)
-    mu0_cur = float(state0[mu_index(w, 0)])
-    sigma1_cur = float(state0[sigma_index(w, 1)])
-    res_norms = [float(np.sqrt(max(mu0_cur, 0.0)))]
+    res_norms: list[float] = []
     alphas: list[float] = []
     lambdas: list[float] = []
+    recoveries: dict[str, int] = {"replace": 0, "restart": 0, "recompute": 0}
+    restarts_used = 0
+    iterations = 0
+    budget = stop.budget(n)
 
-    def _result(reason: StopReason, iterations: int) -> CGResult:
-        true_res = norm(b - op.matvec(x))
+    def _result(reason: StopReason) -> CGResult:
+        # Exit verification bypasses any matvec-site injector: the honesty
+        # check must measure the pristine operator.
+        true_res = norm(b - op_true.matvec(x))
         reason = verified_exit(reason, true_res, stop.threshold(b_norm))
+        if (
+            policy is not None
+            and policy.on_unrecoverable == "raise"
+            and reason is StopReason.BREAKDOWN
+            and restarts_used >= policy.max_restarts
+        ):
+            raise UnrecoverableDivergence(
+                f"pipelined-vr-cg(k={k}) broke down after {iterations} "
+                f"iterations and {restarts_used} restarts "
+                f"(true residual {true_res:.3e})"
+            )
+        extras: dict[str, Any] = {}
+        if plan is not None:
+            extras["faults"] = plan.counts()
+        if policy is not None:
+            extras["recoveries"] = dict(recoveries)
         result = CGResult(
             x=x,
             converged=reason is StopReason.CONVERGED,
@@ -333,93 +371,197 @@ def pipelined_vr_cg(
             lambdas=lambdas,
             true_residual_norm=true_res,
             label=f"pipelined-vr-cg(k={k})",
+            extras=extras,
         )
         if telemetry is not None:
             telemetry.solve_end(result)
         return result
 
-    if stop.is_met(res_norms[0], b_norm):
-        return _result(StopReason.CONVERGED, 0)
+    def _segment(offset: int, budget_left: int) -> tuple[str, str, float]:
+        """Run the pipelined iteration from the current ``x`` until it
+        converges, exhausts the budget, trips a recovery detector, or
+        breaks down.  Each segment owns a fresh pipeline (powers, ledger,
+        coefficient matrices); ``offset`` shifts its local iteration
+        numbers into the global telemetry/trace timeline, preserving the
+        consume-minus-launch == k diagonal within the segment.
 
-    for t in range(1, k + 1):
-        pipeline.open_target(t)
+        Returns ``(outcome, trigger, gap)`` with outcome one of
+        ``converged``/``maxiter``/``replace``/``breakdown``/``divergence``.
+        """
+        nonlocal iterations
 
-    reason = StopReason.MAX_ITER
-    iterations = 0
-    budget = stop.budget(n)
+        # Startup: powers of the current residual and the launch of the
+        # segment's iteration-0 moments.
+        if plan is not None:
+            plan.begin_iteration(offset)
+        powers = PowerBlock.startup(op, b - op.matvec(x), k)
+        ledger = LaunchLedger(k)
+        pipeline = _CoefficientPipeline(k, w)
 
-    for step in range(budget):
-        niter = step  # completed iterations so far; now performing n -> n+1
-        if sigma1_cur <= 0.0 or mu0_cur <= 0.0:
-            reason = StopReason.BREAKDOWN
-            break
-        lam = mu0_cur / sigma1_cur
-        add_scalar_flops(1)
-        lambdas.append(lam)
-        axpy(lam, powers.p, x, out=x)
-        iterations += 1
-
-        # Advance the vector pipeline to iteration n+1.
-        powers.advance_r(lam)
-
-        target = niter + 1
-        if target <= k:
-            # Startup transient: the coefficient pipeline has not filled;
-            # scalars come from the (already launched) direct values of the
-            # *current* front -- i.e. computed with zero look-ahead, which
-            # is exactly the paper's "initial start up" serialization.
-            pipeline.matrices.pop(target, None)  # consumed by the transient
+        def _launch(local: int) -> np.ndarray:
             window = window_from_powers(k, powers.r_powers, powers.p_powers,
-                                        label="startup_front_dot")
-            mu0_next = float(window.mu[0])
-        else:
-            base_state = ledger.read(target - k, at_iteration=target)
-            mu0_next, _alpha_pipe, sigma1_next_pipe = pipeline.consume(
-                target, lam, base_state, mu0_cur
-            )
-            _event("consume", target, target - k, base_state.size)
+                                        label="pipeline_launch_dot")
+            state = window.stacked()
+            if plan is not None:
+                # The launches ARE the direct dots of this realization, and
+                # the stacked values are the recurred-moment state the (*)
+                # coefficients will consume k iterations later -- both
+                # fault surfaces live here.
+                plan.corrupt_dot_batch(state, "pipeline_launch")
+                plan.corrupt_state(state, "pipeline_launch")
+            ledger.launch(local, state)
+            _event("launch", offset + local, offset + local, state.size)
+            return state
 
-        res_norms.append(float(np.sqrt(max(mu0_next, 0.0))))
-        if telemetry is not None:
-            telemetry.iteration(
-                iterations, res_norms[-1], lam=lam, recurred_rr=mu0_next
-            )
-            telemetry.iterate(x)
-        if stop.is_met(res_norms[-1], b_norm):
-            reason = StopReason.CONVERGED
-            break
-        if mu0_next <= 0.0 or not np.isfinite(mu0_next):
-            reason = StopReason.BREAKDOWN
-            break
+        state0 = _launch(0)
+        mu0_cur = float(state0[mu_index(w, 0)])
+        sigma1_cur = float(state0[sigma_index(w, 1)])
+        if not res_norms:
+            res_norms.append(float(np.sqrt(max(mu0_cur, 0.0))))
+        if stop.is_met(float(np.sqrt(max(mu0_cur, 0.0))), b_norm):
+            if plan is None or norm(
+                b - op_true.matvec(x)
+            ) <= stop.threshold(b_norm):
+                return ("converged", "", 0.0)
+            return ("breakdown", "false_convergence", 0.0)
 
-        alpha_next = mu0_next / mu0_cur
-        add_scalar_flops(1)
-        alphas.append(alpha_next)
+        for t in range(1, k + 1):
+            pipeline.open_target(t)
 
-        powers.advance_p(op, alpha_next)
+        since_replacement = 0
+        for step in range(budget_left):
+            if plan is not None:
+                plan.begin_iteration(iterations + 1)
+            if sigma1_cur <= 0.0 or mu0_cur <= 0.0:
+                return ("breakdown", "breakdown", 0.0)
+            lam = mu0_cur / sigma1_cur
+            add_scalar_flops(1)
+            lambdas.append(lam)
+            axpy(lam, powers.p, x, out=x)
+            iterations += 1
+            since_replacement += 1
 
-        if target <= k:
-            window = window_from_powers(k, powers.r_powers, powers.p_powers,
-                                        label="startup_front_dot")
-            sigma1_next = float(window.sigma[1])
-            state_next = window.stacked()
-            # Even during startup the launches happen on schedule so the
-            # pipeline fills behind the transient.
-            ledger.launch(target, state_next)
-            _event("launch", target, target, state_next.size)
-        else:
-            sigma1_next = sigma1_next_pipe
-            _launch(target)
+            # Advance the vector pipeline to iteration n+1.
+            powers.advance_r(lam)
 
-        # Fold the just-completed step into the in-flight coefficients and
-        # open the next target.
-        updated = pipeline.push_step(target, lam, alpha_next)
-        if updated:
-            _event("coeff_update", target, target, updated)
-        pipeline.open_target(target + k)
-        ledger.discard_before(target - k + 1)
+            target = step + 1
+            if target <= k:
+                # Startup transient: the coefficient pipeline has not
+                # filled; scalars come from the (already launched) direct
+                # values of the *current* front -- i.e. computed with zero
+                # look-ahead, which is exactly the paper's "initial start
+                # up" serialization.
+                pipeline.matrices.pop(target, None)  # consumed by the transient
+                window = window_from_powers(k, powers.r_powers, powers.p_powers,
+                                            label="startup_front_dot")
+                mu0_next = float(window.mu[0])
+                if plan is not None:
+                    mu0_next = plan.corrupt_dot(mu0_next, "startup_front_mu")
+            else:
+                base_state = ledger.read(target - k, at_iteration=target)
+                mu0_next, _alpha_pipe, sigma1_next_pipe = pipeline.consume(
+                    target, lam, base_state, mu0_cur
+                )
+                _event("consume", offset + target, offset + target - k,
+                       base_state.size)
 
-        mu0_cur = mu0_next
-        sigma1_cur = sigma1_next
+            res_norms.append(float(np.sqrt(max(mu0_next, 0.0))))
+            if telemetry is not None:
+                telemetry.iteration(
+                    iterations, res_norms[-1], lam=lam, recurred_rr=mu0_next
+                )
+                telemetry.iterate(x)
+            if stop.is_met(res_norms[-1], b_norm):
+                # A corrupted scalar can fake convergence (a tiny recurred
+                # mu0); under injection verify against the true residual
+                # before accepting the exit.
+                if plan is None or norm(
+                    b - op_true.matvec(x)
+                ) <= stop.threshold(b_norm):
+                    return ("converged", "", 0.0)
+                return ("breakdown", "false_convergence", 0.0)
+            if mu0_next <= 0.0 or not np.isfinite(mu0_next):
+                return ("breakdown", "breakdown", 0.0)
+            if res_norms[-1] > _DIVERGENCE_FACTOR * max(res_norms[0], b_norm):
+                return ("divergence", "divergence", 0.0)
 
-    return _result(reason, iterations)
+            alpha_next = mu0_next / mu0_cur
+            add_scalar_flops(1)
+            alphas.append(alpha_next)
+
+            powers.advance_p(op, alpha_next)
+
+            if target <= k:
+                window = window_from_powers(k, powers.r_powers, powers.p_powers,
+                                            label="startup_front_dot")
+                sigma1_next = float(window.sigma[1])
+                if plan is not None:
+                    sigma1_next = plan.corrupt_dot(
+                        sigma1_next, "startup_front_sigma"
+                    )
+                state_next = window.stacked()
+                # Even during startup the launches happen on schedule so
+                # the pipeline fills behind the transient.
+                ledger.launch(target, state_next)
+                _event("launch", offset + target, offset + target,
+                       state_next.size)
+            else:
+                sigma1_next = sigma1_next_pipe
+                _launch(target)
+
+            # Fold the just-completed step into the in-flight coefficients
+            # and open the next target.
+            updated = pipeline.push_step(target, lam, alpha_next)
+            if updated:
+                _event("coeff_update", offset + target, offset + target, updated)
+            pipeline.open_target(target + k)
+            ledger.discard_before(target - k + 1)
+
+            mu0_cur = mu0_next
+            sigma1_cur = sigma1_next
+
+            # --- recovery detectors (policy-driven) ----------------------
+            if policy is not None and policy.drift_tol is not None:
+                rr_direct = dot(powers.r, powers.r, label="drift_check_dot")
+                if telemetry is not None:
+                    telemetry.drift(iterations, mu0_cur, rr_direct)
+                floor = max(
+                    stop.threshold(b_norm) ** 2, np.finfo(np.float64).tiny
+                )
+                if rr_direct > floor:
+                    gap = abs(mu0_cur - rr_direct) / rr_direct
+                    if gap > policy.drift_tol:
+                        return ("replace", "drift", gap)
+            if (
+                policy is not None
+                and policy.replace_every is not None
+                and since_replacement >= policy.replace_every
+            ):
+                return ("replace", "periodic", 0.0)
+
+        return ("maxiter", "", 0.0)
+
+    outcome, trigger, gap = _segment(0, budget)
+    while True:
+        if outcome == "converged":
+            return _result(StopReason.CONVERGED)
+        if outcome == "maxiter" or iterations >= budget:
+            return _result(StopReason.MAX_ITER)
+        if outcome == "replace":
+            # The pipelined realization cannot splice a fresh window into
+            # the in-flight coefficient chain: replacement refills the
+            # whole pipeline from the true residual at the current x
+            # (losing the direction history -- a restart in CG terms, the
+            # price of the deep pipeline).
+            recoveries["replace"] += 1
+            if telemetry is not None:
+                telemetry.replacement(iterations, trigger)
+                telemetry.recovery(iterations, "replace", trigger, gap)
+        else:  # breakdown / divergence: spend one bounded restart
+            if policy is None or restarts_used >= policy.max_restarts:
+                return _result(StopReason.BREAKDOWN)
+            restarts_used += 1
+            recoveries["restart"] += 1
+            if telemetry is not None:
+                telemetry.recovery(iterations, "restart", trigger)
+        outcome, trigger, gap = _segment(iterations, budget - iterations)

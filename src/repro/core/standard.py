@@ -25,7 +25,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.results import CGResult, StopReason
+from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
 from repro.sparse.linop import as_operator
 from repro.util.kernels import axpy, dot, norm
@@ -40,6 +40,8 @@ def conjugate_gradient(
     *,
     x0: np.ndarray | None = None,
     stop: StoppingCriterion | None = None,
+    faults: Any = None,
+    recovery: Any = None,
     telemetry: "Telemetry | None" = None,
     record_iterates: list[np.ndarray] | None = None,
 ) -> CGResult:
@@ -56,6 +58,21 @@ def conjugate_gradient(
         Initial guess (defaults to zero).
     stop:
         Stopping rule; defaults to ``StoppingCriterion()``.
+    faults:
+        Optional :class:`repro.faults.FaultPlan` (or injector(s)):
+        matvec-site injectors corrupt ``Ap`` outputs, dot-site injectors
+        the two inner products.  Classical CG serves as the fault
+        *oracle* in the test harness, so it takes the same hooks as the
+        recurrence solvers.  With faults (or recovery) active the exit
+        is verified against the true residual -- the vector-recurred
+        ``r`` can't vouch for itself once corrupted.
+    recovery:
+        Optional :class:`repro.faults.RecoveryPolicy` or preset name.
+        Classical CG has no recurred scalars to recompute; recovery here
+        is sampled residual replacement (every ``verify_every`` or
+        ``replace_every`` iterations, default 5, the vector-recurred
+        ``r`` is checked against ``b − A x`` and replaced when the gap
+        exceeds the drift tolerance) plus bounded restarts on breakdown.
     telemetry:
         Optional :class:`repro.telemetry.Telemetry` hook; receives one
         :class:`~repro.telemetry.IterationEvent` per iteration and (with
@@ -90,6 +107,11 @@ def conjugate_gradient(
             "telemetry=Telemetry(capture_iterates=True)",
         )
 
+    from repro.faults import RecoveryPolicy, UnrecoverableDivergence, as_fault_plan
+
+    policy = RecoveryPolicy.from_spec(recovery)
+    plan = as_fault_plan(faults)
+
     x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
     if record_iterates is not None:
         record_iterates.append(x.copy())
@@ -97,15 +119,50 @@ def conjugate_gradient(
         telemetry.solve_start("cg", "cg", n)
         telemetry.iterate(x)
 
+    op_true = op
+    if plan is not None:
+        plan.attach(telemetry)
+        op = plan.wrap_operator(op)
+
     b_norm = norm(b)
     r = b - op.matvec(x)
     p = r.copy()
     rr = dot(r, r)
+    if plan is not None:
+        rr = plan.corrupt_dot(rr, "rr")
     res_norms = [float(np.sqrt(max(rr, 0.0)))]
     alphas: list[float] = []
     lambdas: list[float] = []
+    recoveries: dict[str, int] = {"replace": 0, "restart": 0, "recompute": 0}
+    restarts_used = 0
+    check_every = None
+    if policy is not None:
+        check_every = policy.verify_every or policy.replace_every or 5
+    drift_tol = policy.drift_tol if policy is not None else None
+    if drift_tol is None and policy is not None:
+        drift_tol = policy.verify_rtol
 
     def _result(reason: StopReason, iterations: int) -> CGResult:
+        true_res = norm(b - op_true.matvec(x))
+        if plan is not None or policy is not None:
+            # Under injection the vector-recurred residual cannot vouch
+            # for itself: verify the exit against the true residual.
+            reason = verified_exit(reason, true_res, stop.threshold(b_norm))
+            if (
+                policy is not None
+                and policy.on_unrecoverable == "raise"
+                and reason is StopReason.BREAKDOWN
+                and restarts_used >= policy.max_restarts
+            ):
+                raise UnrecoverableDivergence(
+                    f"cg broke down after {iterations} iterations and "
+                    f"{restarts_used} restarts (true residual {true_res:.3e})"
+                )
+        extras: dict = {}
+        if plan is not None:
+            extras["faults"] = plan.counts()
+        if policy is not None:
+            extras["recoveries"] = dict(recoveries)
         result = CGResult(
             x=x,
             converged=reason is StopReason.CONVERGED,
@@ -114,8 +171,9 @@ def conjugate_gradient(
             residual_norms=res_norms,
             alphas=alphas,
             lambdas=lambdas,
-            true_residual_norm=norm(b - op.matvec(x)),
+            true_residual_norm=true_res,
             label="cg",
+            extras=extras,
         )
         if telemetry is not None:
             telemetry.solve_end(result)
@@ -127,10 +185,35 @@ def conjugate_gradient(
     reason = StopReason.MAX_ITER
     budget = stop.budget(n)
     iterations = 0
+    since_check = 0
+    best_res = res_norms[0]
+
+    def _try_restart(trigger: str) -> bool:
+        """Spend one restart: fresh residual, direction reset to it."""
+        nonlocal r, p, rr, restarts_used, since_check, best_res
+        if policy is None or restarts_used >= policy.max_restarts:
+            return False
+        restarts_used += 1
+        recoveries["restart"] += 1
+        r = b - op.matvec(x)
+        p = r.copy()
+        rr = dot(r, r)
+        since_check = 0
+        best_res = float(np.sqrt(max(rr, 0.0)))
+        if telemetry is not None:
+            telemetry.recovery(iterations, "restart", trigger)
+        return True
+
     for _ in range(budget):
+        if plan is not None:
+            plan.begin_iteration(iterations + 1)
         ap = op.matvec(p)
         pap = dot(p, ap)
-        if pap <= 0.0:
+        if plan is not None:
+            pap = plan.corrupt_dot(pap, "pap")
+        if pap <= 0.0 or not np.isfinite(pap):
+            if _try_restart("breakdown"):
+                continue
             reason = StopReason.BREAKDOWN
             break
         lam = rr / pap
@@ -138,16 +221,75 @@ def conjugate_gradient(
         axpy(lam, p, x, out=x)
         axpy(-lam, ap, r, out=r)
         iterations += 1
+        since_check += 1
         if record_iterates is not None:
             record_iterates.append(x.copy())
         rr_new = dot(r, r)
+        if plan is not None:
+            rr_new = plan.corrupt_dot(rr_new, "rr")
         res_norms.append(float(np.sqrt(max(rr_new, 0.0))))
         if telemetry is not None:
             telemetry.iteration(iterations, res_norms[-1], lam=lam)
             telemetry.iterate(x)
         if stop.is_met(res_norms[-1], b_norm):
-            reason = StopReason.CONVERGED
+            # A corrupted rr can fake convergence; under injection verify
+            # against the true residual before accepting the exit.
+            if plan is None or norm(
+                b - op_true.matvec(x)
+            ) <= stop.threshold(b_norm):
+                reason = StopReason.CONVERGED
+                break
+            if _try_restart("false_convergence"):
+                continue
+            reason = StopReason.BREAKDOWN
             break
+        if rr_new <= 0.0 or not np.isfinite(rr_new):
+            if _try_restart("breakdown"):
+                continue
+            reason = StopReason.BREAKDOWN
+            break
+        if (plan is not None or policy is not None) and res_norms[
+            -1
+        ] > 1e8 * max(res_norms[0], b_norm):
+            # A corrupted step scalar can send CG into exponential
+            # divergence with r still consistently tracking x, so the
+            # drift detector never fires; the growth itself is the
+            # signal.  (Gated on faults/recovery being active so the
+            # plain solver's exit behaviour is untouched.)
+            if _try_restart("divergence"):
+                continue
+            reason = StopReason.BREAKDOWN
+            break
+        if policy is not None and res_norms[-1] > 100.0 * best_res:
+            # Sustained growth over the best residual seen: a conjugacy
+            # fault (bad step, direction set poisoned) drives gradual
+            # exponential divergence that would eat the whole budget
+            # before the hard 1e8 guard trips -- restart early instead.
+            if _try_restart("divergence"):
+                continue
+            reason = StopReason.BREAKDOWN
+            break
+        best_res = min(best_res, res_norms[-1])
+
+        # Sampled residual replacement: check the vector-recurred r
+        # against the true residual on the policy's cadence.
+        if check_every is not None and since_check >= check_every:
+            since_check = 0
+            r_true = b - op.matvec(x)
+            rr_direct = dot(r_true, r_true, label="drift_check_dot")
+            if telemetry is not None:
+                telemetry.drift(iterations, rr_new, rr_direct)
+            floor = max(stop.threshold(b_norm) ** 2, np.finfo(np.float64).tiny)
+            if rr_direct > floor:
+                gap = abs(rr_new - rr_direct) / rr_direct
+                if gap > drift_tol:
+                    r = r_true
+                    rr_new = rr_direct
+                    recoveries["replace"] += 1
+                    if telemetry is not None:
+                        telemetry.replacement(iterations, "drift")
+                        telemetry.recovery(iterations, "replace", "drift", gap)
+
         alpha = rr_new / rr
         alphas.append(alpha)
         axpy(alpha, p, r, out=p)  # p = r + alpha * p

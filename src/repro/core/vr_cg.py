@@ -88,6 +88,8 @@ def vr_conjugate_gradient(
     stop: StoppingCriterion | None = None,
     replace_every: int | None = None,
     replace_drift_tol: float | None = None,
+    faults: Any = None,
+    recovery: Any = None,
     telemetry: "Telemetry | None" = None,
     observer: Callable[[VRState], None] | None = None,
     record_iterates: list[np.ndarray] | None = None,
@@ -124,6 +126,23 @@ def vr_conjugate_gradient(
         invariant ``ν₀ = μ₀`` is self-preserving to rounding even while
         both drift from the truth -- measured, see DESIGN.md §6.)
         Composable with ``replace_every``; ``None`` disables it.
+    faults:
+        Optional :class:`repro.faults.FaultPlan` (or injector / list of
+        injectors).  Matvec-site injectors corrupt every matvec output,
+        dot-site injectors hit the two direct dots (``mu_top``,
+        ``sigma_top``), scalar-site injectors hit the recurred moment
+        window.  Fired faults are recorded in
+        ``result.extras["faults"]`` and emitted as
+        :class:`~repro.telemetry.FaultEvent`\\ s.
+    recovery:
+        Optional :class:`repro.faults.RecoveryPolicy` (or preset name:
+        ``drift``/``periodic``/``verified``/``robust``).  Generalizes
+        the two legacy knobs above -- pass either ``recovery=`` or the
+        legacy knobs, not both -- and adds verified moment recompute
+        (``verify_every``) plus bounded restarts on breakdown or
+        divergence.  Recovery actions are counted in
+        ``result.extras["recoveries"]`` and emitted as
+        :class:`~repro.telemetry.RecoveryEvent`\\ s.
     telemetry:
         Optional :class:`repro.telemetry.Telemetry` hook: per-iteration
         :class:`~repro.telemetry.IterationEvent` (with the recurred
@@ -159,6 +178,25 @@ def vr_conjugate_gradient(
         raise ValueError(
             f"replace_drift_tol must be positive, got {replace_drift_tol}"
         )
+    from repro.faults import RecoveryPolicy, UnrecoverableDivergence, as_fault_plan
+
+    if recovery is not None and (
+        replace_every is not None or replace_drift_tol is not None
+    ):
+        raise ValueError(
+            "pass either recovery= or the legacy replace_every=/"
+            "replace_drift_tol= knobs, not both"
+        )
+    policy = RecoveryPolicy.from_spec(recovery)
+    if policy is None and (replace_every is not None or replace_drift_tol is not None):
+        # The legacy knobs are exactly the replacement half of a policy
+        # (no verified recompute, no restarts -- historical behaviour).
+        policy = RecoveryPolicy(
+            replace_every=replace_every,
+            drift_tol=replace_drift_tol,
+            max_restarts=0,
+        )
+    plan = as_fault_plan(faults)
     if observer is not None or record_iterates is not None:
         from repro.telemetry import deprecated_hook
 
@@ -193,6 +231,11 @@ def vr_conjugate_gradient(
         )
         telemetry.iterate(x)
 
+    op_true = op
+    if plan is not None:
+        plan.attach(telemetry)
+        op = plan.wrap_operator(op)
+
     b_norm = norm(b)
     if telemetry is not None:
         with telemetry.phase("startup"):
@@ -203,10 +246,29 @@ def vr_conjugate_gradient(
     res_norms = [float(np.sqrt(max(window.rr, 0.0)))]
     alphas: list[float] = []
     lambdas: list[float] = []
+    recoveries: dict[str, int] = {"replace": 0, "restart": 0, "recompute": 0}
+    restarts_used = 0
 
     def _result(reason: StopReason, iterations: int) -> CGResult:
-        true_res = norm(b - op.matvec(x))
+        # The exit verification uses the pristine operator: a matvec-site
+        # injector must not be able to falsify the honesty check itself.
+        true_res = norm(b - op_true.matvec(x))
         reason = verified_exit(reason, true_res, stop.threshold(b_norm))
+        if (
+            policy is not None
+            and policy.on_unrecoverable == "raise"
+            and reason is StopReason.BREAKDOWN
+            and restarts_used >= policy.max_restarts
+        ):
+            raise UnrecoverableDivergence(
+                f"vr-cg(k={k}) broke down after {iterations} iterations and "
+                f"{restarts_used} restarts (true residual {true_res:.3e})"
+            )
+        extras: dict[str, Any] = {}
+        if plan is not None:
+            extras["faults"] = plan.counts()
+        if policy is not None:
+            extras["recoveries"] = dict(recoveries)
         result = CGResult(
             x=x,
             converged=reason is StopReason.CONVERGED,
@@ -217,6 +279,7 @@ def vr_conjugate_gradient(
             lambdas=lambdas,
             true_residual_norm=true_res,
             label=f"vr-cg(k={k})",
+            extras=extras,
         )
         if telemetry is not None:
             telemetry.solve_end(result)
@@ -228,14 +291,33 @@ def vr_conjugate_gradient(
     reason = StopReason.MAX_ITER
     iterations = 0
     since_replacement = 0
+    since_verify = 0
     budget = stop.budget(n)
 
+    def _try_restart(trigger: str) -> bool:
+        """Spend one restart: rebuild powers/window from the current x."""
+        nonlocal powers, window, since_replacement, since_verify, restarts_used
+        if policy is None or restarts_used >= policy.max_restarts:
+            return False
+        restarts_used += 1
+        recoveries["restart"] += 1
+        powers, window = _startup(op, b, x, k)
+        since_replacement = 0
+        since_verify = 0
+        if telemetry is not None:
+            telemetry.recovery(iterations, "restart", trigger)
+        return True
+
     for _ in range(budget):
+        if plan is not None:
+            plan.begin_iteration(iterations + 1)
         mu0 = window.rr
         sigma1 = window.pap
         if sigma1 <= 0.0 or mu0 <= 0.0:
             # The recurred quadratic forms must stay positive for an SPD
             # system; a sign flip means finite-precision breakdown.
+            if _try_restart("breakdown"):
+                continue
             reason = StopReason.BREAKDOWN
             break
 
@@ -262,14 +344,28 @@ def vr_conjugate_gradient(
             )
             telemetry.iterate(x)
         if stop.is_met(res_norms[-1], b_norm):
-            reason = StopReason.CONVERGED
+            # A corrupted scalar can fake convergence (a tiny recurred
+            # mu0); under injection verify against the true residual
+            # before accepting the exit.
+            if plan is None or norm(
+                b - op_true.matvec(x)
+            ) <= stop.threshold(b_norm):
+                reason = StopReason.CONVERGED
+                break
+            if _try_restart("false_convergence"):
+                continue
+            reason = StopReason.BREAKDOWN
             break
         if mu0_new <= 0.0 or not np.isfinite(mu0_new):
+            if _try_restart("breakdown"):
+                continue
             reason = StopReason.BREAKDOWN
             break
         if res_norms[-1] > _DIVERGENCE_FACTOR * max(res_norms[0], b_norm):
             # The recurred residual exploding far beyond its start is a
             # finite-precision divergence, not slow convergence.
+            if _try_restart("divergence"):
+                continue
             reason = StopReason.BREAKDOWN
             break
         alpha_next = mu0_new / mu0
@@ -278,17 +374,24 @@ def vr_conjugate_gradient(
 
         # --- direct dot #1 (top mu) is available now: r^{n+1} powers ----
         mu_top = powers.direct_mu_top()
+        if plan is not None:
+            mu_top = plan.corrupt_dot(mu_top, "mu_top")
 
         # --- advance direction powers (one matvec), then direct dot #2 --
         powers.advance_p(op, alpha_next)
         sigma_top = powers.direct_sigma_top()
+        if plan is not None:
+            sigma_top = plan.corrupt_dot(sigma_top, "sigma_top")
 
         # --- scalar window advance --------------------------------------
         window = window.advanced(lam, alpha_next, mu_top, sigma_top, mu_new_body=mu_new)
+        if plan is not None:
+            plan.corrupt_window(window)
 
-        # --- optional residual replacement -------------------------------
+        # --- detection: drift, verified recompute, periodic schedule -----
         drift_triggered = False
-        if replace_drift_tol is not None:
+        drift_gap = 0.0
+        if policy is not None and policy.drift_tol is not None:
             rr_direct = dot(powers.r, powers.r, label="drift_check_dot")
             if telemetry is not None:
                 telemetry.drift(iterations, window.rr, rr_direct)
@@ -301,15 +404,59 @@ def vr_conjugate_gradient(
                 stop.threshold(b_norm) ** 2, np.finfo(np.float64).tiny
             )
             if rr_direct > floor:
-                drift = abs(window.rr - rr_direct) / rr_direct
-                drift_triggered = drift > replace_drift_tol
+                drift_gap = abs(window.rr - rr_direct) / rr_direct
+                drift_triggered = drift_gap > policy.drift_tol
+
+        verify_triggered = False
+        verify_gap = 0.0
+        since_verify += 1
         if (
-            replace_every is not None and since_replacement >= replace_every
-        ) or drift_triggered:
+            policy is not None
+            and policy.verify_every is not None
+            and since_verify >= policy.verify_every
+            and not drift_triggered
+        ):
+            # Predict-and-recompute: re-derive the whole moment window
+            # from direct dots on the current power block and ADOPT it --
+            # the recompute is the repair.  Only when the mismatch is so
+            # large that the *vectors* must be suspect does it escalate
+            # to a full replacement below.
+            fresh = window_from_powers(
+                k, powers.r_powers, powers.p_powers, label="verify_dot"
+            )
+            scale = max(
+                float(np.max(np.abs(fresh.mu))),
+                float(np.max(np.abs(fresh.sigma))),
+                np.finfo(np.float64).tiny,
+            )
+            verify_gap = max(
+                float(np.max(np.abs(window.mu - fresh.mu))),
+                float(np.max(np.abs(window.nu - fresh.nu))),
+                float(np.max(np.abs(window.sigma - fresh.sigma))),
+            ) / scale
+            window = fresh
+            since_verify = 0
+            recoveries["recompute"] += 1
             if telemetry is not None:
-                telemetry.replacement(
-                    iterations, "drift" if drift_triggered else "periodic"
-                )
+                telemetry.recovery(iterations, "recompute", "verify", verify_gap)
+            verify_triggered = verify_gap > policy.verify_rtol
+
+        periodic_due = (
+            policy is not None
+            and policy.replace_every is not None
+            and since_replacement >= policy.replace_every
+        )
+        if periodic_due or drift_triggered or verify_triggered:
+            if drift_triggered:
+                trigger, gap = "drift", drift_gap
+            elif verify_triggered:
+                trigger, gap = "verify", verify_gap
+            else:
+                trigger, gap = "periodic", 0.0
+            recoveries["replace"] += 1
+            if telemetry is not None:
+                telemetry.replacement(iterations, trigger)
+                telemetry.recovery(iterations, "replace", trigger, gap)
             # Recompute the true residual but KEEP the conjugate direction:
             # replacement refreshes finite-precision drift without
             # restarting the Krylov space.
@@ -325,9 +472,12 @@ def vr_conjugate_gradient(
             mu0_fresh, nu0_fresh = float(window.mu[0]), float(window.nu[0])
             if abs(nu0_fresh - mu0_fresh) > 0.5 * abs(mu0_fresh):
                 powers, window = _startup(op, b, x, k)
+                recoveries["restart"] += 1
                 if telemetry is not None:
                     telemetry.replacement(iterations, "restart")
+                    telemetry.recovery(iterations, "restart", "conjugacy")
             since_replacement = 0
+            since_verify = 0
 
         if observer is not None or (telemetry is not None and telemetry.on_state):
             st = VRState(iteration=iterations, window=window, powers=powers, x=x)

@@ -26,7 +26,13 @@ import numpy as np
 from repro.util.counters import add_reduction
 from repro.util.validation import require_nonnegative_int, require_positive_int
 
-__all__ = ["CommStats", "PendingReduction", "SimComm"]
+__all__ = ["CommStats", "DroppedReductionError", "PendingReduction", "SimComm"]
+
+
+class DroppedReductionError(RuntimeError):
+    """Raised by :meth:`PendingReduction.wait` when the reduction was
+    dropped by a fault injector: the result never arrives, and the caller
+    must recover (recompute via a blocking collective) or fail loud."""
 
 
 @dataclass
@@ -50,6 +56,13 @@ class CommStats:
         Nonblocking collectives explicitly cancelled without consuming
         their result (in-flight look-ahead discarded at convergence
         exit) -- the only legitimate way a handle may end unconsumed.
+    dropped_reductions:
+        Nonblocking collectives dropped by a fault injector
+        (:class:`repro.faults.CommFaultInjector` in ``drop`` mode):
+        their result never arrived.  Booked when the solver observes the
+        drop (a ``wait()`` raising :class:`DroppedReductionError`, or a
+        ``cancel()`` at exit), so a dropped handle is never silently
+        counted as drained.
     halo_exchanges:
         Neighbour exchanges (one per distributed matvec).
     words_reduced / words_exchanged:
@@ -60,6 +73,7 @@ class CommStats:
     hidden_allreduces: int = 0
     forced_waits: int = 0
     cancelled_reductions: int = 0
+    dropped_reductions: int = 0
     halo_exchanges: int = 0
     words_reduced: int = 0
     words_exchanged: int = 0
@@ -78,15 +92,28 @@ class PendingReduction:
     latency: int
     comm: "SimComm"
     consumed: bool = field(default=False, repr=False)
+    dropped: bool = field(default=False, repr=False)
 
     def wait(self) -> np.ndarray:
         """Consume the result at the communicator's current iteration.
 
         Books ``hidden`` when the latency has elapsed, ``forced_wait``
-        (a real synchronization) when consumed early.
+        (a real synchronization) when consumed early.  A handle dropped
+        by a fault injector raises :class:`DroppedReductionError` --
+        the value is gone and pretending otherwise would let a comm
+        fault pass silently.
         """
         if self.consumed:
             raise RuntimeError("reduction result already consumed")
+        if self.dropped:
+            self.consumed = True
+            self.comm._retire(self)
+            self.comm.stats.dropped_reductions += 1
+            self.comm._emit("dropped", int(np.size(self.value)))
+            raise DroppedReductionError(
+                f"nonblocking reduction issued at iteration {self.issued_at} "
+                f"was dropped by a fault injector"
+            )
         self.consumed = True
         self.comm._retire(self)
         if self.comm.iteration - self.issued_at >= self.latency:
@@ -111,8 +138,14 @@ class PendingReduction:
             raise RuntimeError("reduction result already consumed")
         self.consumed = True
         self.comm._retire(self)
-        self.comm.stats.cancelled_reductions += 1
-        self.comm._emit("cancel", int(np.size(self.value)))
+        if self.dropped:
+            # A dropped handle retired at exit is still a drop, not a
+            # voluntary cancellation -- keep the two books separate.
+            self.comm.stats.dropped_reductions += 1
+            self.comm._emit("dropped", int(np.size(self.value)))
+        else:
+            self.comm.stats.cancelled_reductions += 1
+            self.comm._emit("cancel", int(np.size(self.value)))
 
     @property
     def ready(self) -> bool:
@@ -130,7 +163,12 @@ class SimComm:
     """
 
     def __init__(
-        self, nranks: int, *, reduction_latency: int = 1, telemetry=None
+        self,
+        nranks: int,
+        *,
+        reduction_latency: int = 1,
+        telemetry=None,
+        faults=None,
     ) -> None:
         self.nranks = require_positive_int(nranks, "nranks")
         self.reduction_latency = require_nonnegative_int(
@@ -139,6 +177,9 @@ class SimComm:
         self.iteration = 0
         self.stats = CommStats()
         self.telemetry = telemetry
+        # Optional repro.faults.FaultPlan whose comm-site injectors get to
+        # corrupt/delay/drop each collective as it is issued.
+        self.faults = faults
         self._pending: list[PendingReduction] = []
 
     def _emit(self, op: str, words: int) -> None:
@@ -171,6 +212,8 @@ class SimComm:
         self.stats.words_reduced += int(np.size(result))
         add_reduction()
         self._emit("allreduce", int(np.size(result)))
+        if self.faults is not None:
+            result = self.faults.on_allreduce(result)
         return result
 
     def iallreduce(self, partials, *, latency: int | None = None) -> PendingReduction:
@@ -186,7 +229,21 @@ class SimComm:
             value=result, issued_at=self.iteration, latency=lat, comm=self
         )
         self._pending.append(handle)
+        if self.faults is not None:
+            self.faults.on_iallreduce(handle)
         return handle
+
+    def drop(self, handle: PendingReduction) -> None:
+        """Mark an in-flight reduction as dropped (fault injection).
+
+        The handle stays on the outstanding list: the *solver* must still
+        observe the drop -- ``wait()`` raises, ``cancel()`` books it under
+        ``dropped_reductions`` -- so a faulted collective can never be
+        mistaken for a drained one.
+        """
+        if handle.comm is not self:
+            raise ValueError("handle belongs to a different communicator")
+        handle.dropped = True
 
     def _retire(self, handle: PendingReduction) -> None:
         """Drop a handle from the outstanding list (wait or cancel)."""
@@ -209,17 +266,37 @@ class SimComm:
         run's synchronization accounting understates reality -- and on a
         real machine the leaked ``MPI_Request`` is a resource bug.  Every
         distributed solver calls this before returning.
+
+        Handles marked dropped by a fault injector are reported
+        separately from plain leaks: a drop the solver never observed is
+        a *recovery* bug (the solver should have waited -- and recovered
+        from the :class:`DroppedReductionError` -- or cancelled at
+        exit), not a bookkeeping one.  Both still raise.
         """
         if self._pending:
-            handles = ", ".join(
-                f"issued_at={h.issued_at} latency={h.latency} "
-                f"words={int(np.size(h.value))}"
-                for h in self._pending
-            )
-            raise RuntimeError(
-                f"{len(self._pending)} nonblocking reduction(s) never "
-                f"completed (wait or cancel each handle): {handles}"
-            )
+            leaked = [h for h in self._pending if not h.dropped]
+            dropped = [h for h in self._pending if h.dropped]
+
+            def _fmt(handles: list[PendingReduction]) -> str:
+                return ", ".join(
+                    f"issued_at={h.issued_at} latency={h.latency} "
+                    f"words={int(np.size(h.value))}"
+                    for h in handles
+                )
+
+            parts = []
+            if leaked:
+                parts.append(
+                    f"{len(leaked)} nonblocking reduction(s) never "
+                    f"completed (wait or cancel each handle): {_fmt(leaked)}"
+                )
+            if dropped:
+                parts.append(
+                    f"{len(dropped)} reduction(s) dropped by a fault "
+                    f"injector and never observed by the solver (wait or "
+                    f"cancel each handle to book the drop): {_fmt(dropped)}"
+                )
+            raise RuntimeError("; ".join(parts))
 
     def record_halo_exchange(self, words: int) -> None:
         """Book one neighbour exchange of ``words`` vector entries."""

@@ -24,7 +24,7 @@ from repro.core.coefficients import mu_index, sigma_index
 from repro.core.pipeline import _CoefficientPipeline
 from repro.core.results import BatchedResult, CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
-from repro.distributed.comm import PendingReduction, SimComm
+from repro.distributed.comm import DroppedReductionError, PendingReduction, SimComm
 from repro.distributed.data import BlockMultiVector, BlockVector, DistributedCSR
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.matrix_powers import RowPartition
@@ -55,6 +55,7 @@ def distributed_cg(
     *,
     nranks: int = 4,
     stop: StoppingCriterion | None = None,
+    faults=None,
     telemetry: "Telemetry | None" = None,
 ) -> tuple[CGResult, SimComm]:
     """Classical CG, SPMD form: 2 blocking allreduces + 1 halo per iter.
@@ -64,10 +65,20 @@ def distributed_cg(
     :class:`~repro.telemetry.ReductionEvent` alongside the per-iteration
     events, and the returned result carries ``comm.stats`` in
     ``extras["comm_stats"]``.
+
+    ``faults`` takes a :class:`repro.faults.FaultPlan` (or injector(s));
+    comm-site injectors corrupt the blocking allreduce results.  The exit
+    is verified against the true residual either way, so a corrupted run
+    reports ``converged=False`` rather than lying.
     """
+    from repro.faults import as_fault_plan
+
     stop = stop or StoppingCriterion()
+    plan = as_fault_plan(faults)
     dist_a, b_vec, part = _setup(a, b, nranks)
-    comm = SimComm(nranks, telemetry=telemetry)
+    comm = SimComm(nranks, telemetry=telemetry, faults=plan)
+    if plan is not None:
+        plan.attach(telemetry)
     if telemetry is not None:
         telemetry.solve_start(
             "dist-cg", f"dist-cg(P={nranks})", part.n, nranks=nranks
@@ -88,9 +99,11 @@ def distributed_cg(
         reason = StopReason.CONVERGED
     else:
         for _ in range(stop.budget(part.n)):
+            if plan is not None:
+                plan.begin_iteration(iterations + 1)
             ap = dist_a.matvec(p, comm)
             pap = float(comm.allreduce(p.dot_partials(ap)))
-            if pap <= 0:
+            if pap <= 0 or not np.isfinite(pap):
                 reason = StopReason.BREAKDOWN
                 break
             lam = rr / pap
@@ -124,7 +137,11 @@ def distributed_cg(
         lambdas=lambdas,
         true_residual_norm=true_res,
         label=f"dist-cg(P={nranks})",
-        extras={"comm_stats": comm.stats},
+        extras=(
+            {"comm_stats": comm.stats}
+            if plan is None
+            else {"comm_stats": comm.stats, "faults": plan.counts()}
+        ),
     )
     comm.assert_drained()
     if telemetry is not None:
@@ -279,13 +296,24 @@ def distributed_cgcg(
     *,
     nranks: int = 4,
     stop: StoppingCriterion | None = None,
+    faults=None,
     telemetry: "Telemetry | None" = None,
 ) -> tuple[CGResult, SimComm]:
     """Chronopoulos--Gear, SPMD form: ONE blocking allreduce per iteration
-    (both partial dots ride the same collective)."""
+    (both partial dots ride the same collective).
+
+    ``faults`` takes a :class:`repro.faults.FaultPlan`; comm-site
+    injectors corrupt the fused collective.  Exit is verified against the
+    true residual.
+    """
+    from repro.faults import as_fault_plan
+
     stop = stop or StoppingCriterion()
+    plan = as_fault_plan(faults)
     dist_a, b_vec, part = _setup(a, b, nranks)
-    comm = SimComm(nranks, telemetry=telemetry)
+    comm = SimComm(nranks, telemetry=telemetry, faults=plan)
+    if plan is not None:
+        plan.attach(telemetry)
     if telemetry is not None:
         telemetry.solve_start(
             "dist-cgcg", f"dist-cgcg(P={nranks})", part.n, nranks=nranks
@@ -312,16 +340,18 @@ def distributed_cgcg(
         reason = StopReason.CONVERGED
     else:
         for it in range(stop.budget(part.n)):
+            if plan is not None:
+                plan.begin_iteration(iterations + 1)
             if it == 0:
                 beta = 0.0
-                if rar <= 0:
+                if rar <= 0 or not np.isfinite(rar):
                     reason = StopReason.BREAKDOWN
                     break
                 lam = rr / rar
             else:
                 beta = rr / rr_prev
                 denom = rar - (beta / lam) * rr
-                if denom <= 0:
+                if denom <= 0 or not np.isfinite(denom):
                     reason = StopReason.BREAKDOWN
                     break
                 lam = rr / denom
@@ -361,7 +391,11 @@ def distributed_cgcg(
         lambdas=lambdas,
         true_residual_norm=true_res,
         label=f"dist-cgcg(P={nranks})",
-        extras={"comm_stats": comm.stats},
+        extras=(
+            {"comm_stats": comm.stats}
+            if plan is None
+            else {"comm_stats": comm.stats, "faults": plan.counts()}
+        ),
     )
     comm.assert_drained()
     if telemetry is not None:
@@ -376,6 +410,7 @@ def distributed_sstep(
     s: int = 4,
     nranks: int = 4,
     stop: StoppingCriterion | None = None,
+    faults=None,
     telemetry: "Telemetry | None" = None,
 ) -> tuple[CGResult, SimComm]:
     """s-step CG, SPMD form: TWO blocking allreduces per s CG steps.
@@ -387,10 +422,15 @@ def distributed_sstep(
     dependent -- the new basis needs the new residual).  The small solves
     are replicated on every rank, standard s-step practice.
     """
+    from repro.faults import as_fault_plan
+
     stop = stop or StoppingCriterion()
     s = require_positive_int(s, "s")
+    plan = as_fault_plan(faults)
     dist_a, b_vec, part = _setup(a, b, nranks)
-    comm = SimComm(nranks, telemetry=telemetry)
+    comm = SimComm(nranks, telemetry=telemetry, faults=plan)
+    if plan is not None:
+        plan.attach(telemetry)
     if telemetry is not None:
         telemetry.solve_start(
             "dist-sstep",
@@ -423,6 +463,8 @@ def distributed_sstep(
         p_blk, ap_blk = krylov_block(r)
         max_outer = (stop.budget(part.n) + s - 1) // s
         for _ in range(max_outer):
+            if plan is not None:
+                plan.begin_iteration(cg_steps + 1)
             # phase 1: fused [W | g]
             cols = [
                 p_blk[i].dot_partials(ap_blk[j])
@@ -495,7 +537,11 @@ def distributed_sstep(
         lambdas=[],
         true_residual_norm=true_res,
         label=f"dist-sstep(s={s},P={nranks})",
-        extras={"comm_stats": comm.stats},
+        extras=(
+            {"comm_stats": comm.stats}
+            if plan is None
+            else {"comm_stats": comm.stats, "faults": plan.counts()}
+        ),
     )
     comm.assert_drained()
     if telemetry is not None:
@@ -536,6 +582,8 @@ def distributed_pipelined_vr(
     nranks: int = 4,
     stop: StoppingCriterion | None = None,
     use_matrix_powers_kernel: bool = False,
+    faults=None,
+    recovery=None,
     telemetry: "Telemetry | None" = None,
 ) -> tuple[CGResult, SimComm]:
     """Pipelined Van Rosendale CG, SPMD form.
@@ -551,11 +599,28 @@ def distributed_pipelined_vr(
     (:mod:`repro.sparse.matrix_powers`): ONE ghost fetch replaces the
     ``k+2`` startup halo exchanges, at the cost of the kernel's redundant
     surface flops -- the E12 trade applied inside the E13 solver.
+
+    ``faults`` takes a :class:`repro.faults.FaultPlan`; comm-site
+    injectors corrupt, delay, or *drop* the in-flight moment reductions.
+    ``recovery`` takes a :class:`repro.faults.RecoveryPolicy` or preset
+    name.  When a look-ahead reduction is dropped, a recovery-enabled
+    solve falls back to the startup-transient path for that step -- the
+    moment window is recomputed by a blocking front collective (booked
+    honestly as a synchronization) and the pipeline refills -- which is
+    precisely the predict-and-recompute discipline; without a policy the
+    drop is a :class:`~repro.distributed.comm.DroppedReductionError`
+    breakdown and the solve reports ``converged=False``.
     """
+    from repro.faults import RecoveryPolicy, UnrecoverableDivergence, as_fault_plan
+
     stop = stop or StoppingCriterion()
     k = require_positive_int(k, "k")
+    plan = as_fault_plan(faults)
+    policy = RecoveryPolicy.from_spec(recovery)
     dist_a, b_vec, part = _setup(a, b, nranks)
-    comm = SimComm(nranks, reduction_latency=k, telemetry=telemetry)
+    comm = SimComm(nranks, reduction_latency=k, telemetry=telemetry, faults=plan)
+    if plan is not None:
+        plan.attach(telemetry)
     if telemetry is not None:
         telemetry.solve_start(
             "dist-pipelined-vr",
@@ -608,12 +673,15 @@ def distributed_pipelined_vr(
     for t in range(1, k + 1):
         pipeline.open_target(t)
 
+    recoveries: dict[str, int] = {"replace": 0, "restart": 0, "recompute": 0}
     reason = StopReason.MAX_ITER
     iterations = 0
     if stop.is_met(res_norms[0], b_norm):
         reason = StopReason.CONVERGED
     else:
         for step in range(stop.budget(part.n)):
+            if plan is not None:
+                plan.begin_iteration(iterations + 1)
             if mu0 <= 0 or sigma1 <= 0:
                 reason = StopReason.BREAKDOWN
                 break
@@ -627,15 +695,35 @@ def distributed_pipelined_vr(
                 r_pows[i].axpy_inplace(-lam, p_pows[i + 1])
 
             target = step + 1
+            recomputed = False
             if target <= k:
                 pipeline.matrices.pop(target, None)
                 front = comm.allreduce(_window_partials(k, r_pows, p_pows))
                 mu0_next = float(front[mu_index(w, 0)])
             else:
-                state = pending.pop(target - k).wait()
-                mu0_next, _, sigma1_pipe = pipeline.consume(
-                    target, lam, state, mu0
-                )
+                try:
+                    state = pending.pop(target - k).wait()
+                except DroppedReductionError:
+                    if policy is None:
+                        reason = StopReason.BREAKDOWN
+                        break
+                    # The look-ahead result never arrived: fall back to
+                    # the startup-transient path for this step -- discard
+                    # the coefficient matrix, recompute the moment window
+                    # with a blocking front collective (the recovery cost
+                    # is booked honestly as a synchronization), and let
+                    # the pipeline refill behind it.
+                    pipeline.matrices.pop(target, None)
+                    front = comm.allreduce(_window_partials(k, r_pows, p_pows))
+                    mu0_next = float(front[mu_index(w, 0)])
+                    recoveries["recompute"] += 1
+                    recomputed = True
+                    if telemetry is not None:
+                        telemetry.recovery(iterations, "recompute", "comm_drop")
+                else:
+                    mu0_next, _, sigma1_pipe = pipeline.consume(
+                        target, lam, state, mu0
+                    )
             res_norms.append(float(np.sqrt(max(mu0_next, 0.0))))
             if telemetry is not None:
                 telemetry.iteration(
@@ -653,7 +741,7 @@ def distributed_pipelined_vr(
                 p_pows[i].scale_add(alpha, r_pows[i])
             p_pows[k + 2] = dist_a.matvec(p_pows[k + 1], comm)
 
-            if target <= k:
+            if target <= k or recomputed:
                 front = comm.allreduce(_window_partials(k, r_pows, p_pows))
                 sigma1_next = float(front[sigma_index(w, 1)])
             else:
@@ -677,6 +765,20 @@ def distributed_pipelined_vr(
     x_global = x.to_global()
     true_res = float(np.linalg.norm(b - a.matvec(x_global)))
     reason = verified_exit(reason, true_res, stop.threshold(b_norm))
+    if (
+        policy is not None
+        and policy.on_unrecoverable == "raise"
+        and reason is StopReason.BREAKDOWN
+    ):
+        raise UnrecoverableDivergence(
+            f"dist-pipelined-vr broke down after {iterations} iterations "
+            f"(true residual {true_res:.3e})"
+        )
+    extras: dict = {"comm_stats": comm.stats}
+    if plan is not None:
+        extras["faults"] = plan.counts()
+    if policy is not None:
+        extras["recoveries"] = dict(recoveries)
     result = CGResult(
         x=x_global,
         converged=reason is StopReason.CONVERGED,
@@ -687,7 +789,7 @@ def distributed_pipelined_vr(
         lambdas=lambdas,
         true_residual_norm=true_res,
         label=f"dist-pipelined-vr(k={k},P={nranks})",
-        extras={"comm_stats": comm.stats},
+        extras=extras,
     )
     if telemetry is not None:
         telemetry.solve_end(result)

@@ -1,0 +1,41 @@
+"""Fault injection and recovery (:mod:`repro.faults`).
+
+Two halves:
+
+* :mod:`~repro.faults.injectors` -- seeded, deterministic fault injectors
+  (bit flips, perturbations, recurred-scalar corruption, simulated
+  communication faults) composed into a :class:`FaultPlan` that solvers
+  consult at well-defined sites.
+* :mod:`~repro.faults.recovery` -- the :class:`RecoveryPolicy` detection
+  and repair knobs (drift-triggered replacement, periodic replacement,
+  verified recompute, bounded restarts, fail-loud escalation).
+
+Both are surfaced on the front door: ``solve(..., faults=, recovery=)``.
+"""
+
+from repro.faults.injectors import (
+    BitFlipInjector,
+    CommFaultInjector,
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+    PerturbInjector,
+    ScalarCorruptor,
+    as_fault_plan,
+    parse_fault_spec,
+)
+from repro.faults.recovery import RecoveryPolicy, UnrecoverableDivergence
+
+__all__ = [
+    "BitFlipInjector",
+    "CommFaultInjector",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "PerturbInjector",
+    "RecoveryPolicy",
+    "ScalarCorruptor",
+    "UnrecoverableDivergence",
+    "as_fault_plan",
+    "parse_fault_spec",
+]

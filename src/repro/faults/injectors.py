@@ -1,0 +1,626 @@
+"""Deterministic, seeded fault injectors.
+
+The paper trades directly computed inner products for long scalar
+recurrence chains (claims C3--C7); the price is that a single corrupted
+value -- a soft error in a matvec, a bit flip in a reduction, a dropped
+collective -- silently propagates through the recurrences instead of
+being washed out at the next direct dot (the failure mode Cools et al.
+analyze for pipelined CG, arXiv:1601.07068).  This module makes that
+failure mode *injectable on purpose*, so the recovery machinery in
+:mod:`repro.faults.recovery` can be tested rather than trusted.
+
+Design contract:
+
+* **Determinism from one seed.**  A :class:`FaultPlan` derives one
+  independent :class:`numpy.random.Generator` per injector from a single
+  ``seed`` via ``SeedSequence.spawn``, so the same plan against the same
+  solver trajectory injects the same faults -- bit for bit.  Everything a
+  test needs to reproduce a failure is ``(plan spec, seed)``.
+* **Sites, not solvers.**  Injectors declare *where* they strike
+  (``"matvec"`` outputs, direct ``"dot"`` products, the recurred
+  ``"scalar"`` moment tables, ``"comm"`` reductions); solvers call the
+  plan's hooks at those sites and stay ignorant of which injectors are
+  armed.
+* **Every hit is recorded.**  Fired faults append a :class:`FaultRecord`
+  and emit a :class:`~repro.telemetry.FaultEvent` when telemetry is
+  attached, so a run's fault history is part of its result
+  (``CGResult.extras["faults"]``), never invisible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = [
+    "FaultInjector",
+    "BitFlipInjector",
+    "PerturbInjector",
+    "ScalarCorruptor",
+    "CommFaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "as_fault_plan",
+    "parse_fault_spec",
+]
+
+_SITES = ("matvec", "dot", "scalar", "comm")
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault, as it actually landed.
+
+    Attributes
+    ----------
+    iteration:
+        Solver iteration during which the fault fired (0 = startup).
+    site:
+        Injection site (``matvec``/``dot``/``scalar``/``comm``).
+    injector:
+        Class name of the injector that fired.
+    detail:
+        Human-readable description of what was corrupted.
+    """
+
+    iteration: int
+    site: str
+    injector: str
+    detail: str
+
+
+class FaultInjector:
+    """Base class: trigger discipline shared by every injector.
+
+    Parameters
+    ----------
+    site:
+        Where this injector strikes; must be one of ``matvec``, ``dot``,
+        ``scalar``, ``comm`` (subclasses restrict the choice further).
+    at_iteration:
+        Fire deterministically at this solver iteration (0 = during
+        startup).  ``None`` disables the deterministic trigger.
+    rate:
+        Bernoulli per-opportunity firing probability in ``[0, 1]``,
+        drawn from the injector's seeded stream.  Combined with
+        ``at_iteration``, the draw happens only at that iteration.
+    max_fires:
+        Stop firing after this many hits.  Defaults to 1 when
+        ``at_iteration`` is given (one fault at iteration t -- the
+        classic soft-error experiment) and unlimited otherwise.
+    """
+
+    def __init__(
+        self,
+        *,
+        site: str,
+        at_iteration: int | None = None,
+        rate: float = 0.0,
+        max_fires: int | None = None,
+    ) -> None:
+        if site not in _SITES:
+            raise ValueError(f"unknown fault site {site!r}; expected one of {_SITES}")
+        if at_iteration is not None and at_iteration < 0:
+            raise ValueError(f"at_iteration must be >= 0, got {at_iteration}")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if at_iteration is None and rate == 0.0:
+            raise ValueError(
+                "injector has no trigger: give at_iteration=, rate=, or both"
+            )
+        self.site = site
+        self.at_iteration = None if at_iteration is None else int(at_iteration)
+        self.rate = float(rate)
+        if max_fires is None and self.at_iteration is not None:
+            max_fires = 1
+        self.max_fires = max_fires
+        self.fires = 0
+        self._rng: np.random.Generator | None = None
+
+    # ------------------------------------------------------------------
+    def _bind(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self.fires = 0
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            raise RuntimeError(
+                f"{type(self).__name__} is not bound to a FaultPlan; "
+                "construct a FaultPlan(...) around it"
+            )
+        return self._rng
+
+    def should_fire(self, iteration: int) -> bool:
+        """Trigger decision at one opportunity of the current iteration."""
+        if self.max_fires is not None and self.fires >= self.max_fires:
+            return False
+        if self.at_iteration is not None and iteration != self.at_iteration:
+            return False
+        if self.rate > 0.0 and not (self.rng.random() < self.rate):
+            return False
+        self.fires += 1
+        return True
+
+    def spec(self) -> str:
+        """Compact description for records and summaries."""
+        trig = (
+            f"@{self.at_iteration}" if self.at_iteration is not None
+            else f":rate={self.rate:g}"
+        )
+        return f"{type(self).__name__}[{self.site}]{trig}"
+
+
+class BitFlipInjector(FaultInjector):
+    """Flip one bit of one float64 -- the canonical transient soft error.
+
+    Parameters
+    ----------
+    site:
+        ``"matvec"`` (flip an element of a matvec output vector) or
+        ``"dot"`` (flip a bit of a direct inner-product value).
+    bit:
+        Bit position 0--63 (IEEE-754 little end = mantissa LSB); random
+        per hit when ``None``.  High exponent/sign bits produce the
+        violent faults (NaN/Inf/sign flips) the honesty contract must
+        survive; low mantissa bits the insidious ones.
+    index:
+        Vector element to hit; random per hit when ``None``.
+    """
+
+    def __init__(
+        self,
+        *,
+        site: str = "matvec",
+        bit: int | None = None,
+        index: int | None = None,
+        at_iteration: int | None = None,
+        rate: float = 0.0,
+        max_fires: int | None = None,
+    ) -> None:
+        if site not in ("matvec", "dot"):
+            raise ValueError(f"BitFlipInjector site must be matvec or dot, got {site!r}")
+        if bit is not None and not 0 <= bit <= 63:
+            raise ValueError(f"bit must be in [0, 63], got {bit}")
+        super().__init__(
+            site=site, at_iteration=at_iteration, rate=rate, max_fires=max_fires
+        )
+        self.bit = bit
+        self.index = index
+
+    def _flip(self, value: float) -> tuple[float, int]:
+        bit = int(self.rng.integers(64)) if self.bit is None else self.bit
+        raw = np.float64(value).view(np.uint64)
+        flipped = (raw ^ np.uint64(1 << bit)).view(np.float64)
+        return float(flipped), bit
+
+    def apply_vector(self, v: np.ndarray) -> str:
+        idx = int(self.rng.integers(v.size)) if self.index is None else self.index
+        new, bit = self._flip(float(v[idx]))
+        v[idx] = new
+        return f"bit {bit} of element {idx}"
+
+    def apply_scalar(self, value: float) -> tuple[float, str]:
+        new, bit = self._flip(value)
+        return new, f"bit {bit}"
+
+
+class PerturbInjector(FaultInjector):
+    """Add a bounded relative perturbation -- the gentle, hard-to-detect
+    fault class (models e.g. a stale partial sum or a torn read).
+
+    ``magnitude`` is relative: a hit on value ``v`` adds
+    ``±magnitude * max(|v|, scale)`` where ``scale`` is the RMS of the
+    surrounding vector (so perturbing an exact zero still does damage).
+    """
+
+    def __init__(
+        self,
+        *,
+        site: str = "dot",
+        magnitude: float = 1e-2,
+        index: int | None = None,
+        at_iteration: int | None = None,
+        rate: float = 0.0,
+        max_fires: int | None = None,
+    ) -> None:
+        if site not in ("matvec", "dot"):
+            raise ValueError(f"PerturbInjector site must be matvec or dot, got {site!r}")
+        if magnitude <= 0:
+            raise ValueError(f"magnitude must be positive, got {magnitude}")
+        super().__init__(
+            site=site, at_iteration=at_iteration, rate=rate, max_fires=max_fires
+        )
+        self.magnitude = float(magnitude)
+        self.index = index
+
+    def _delta(self, value: float, scale: float) -> float:
+        sign = 1.0 if self.rng.random() < 0.5 else -1.0
+        base = max(abs(value), scale, np.finfo(np.float64).tiny)
+        return sign * self.magnitude * base
+
+    def apply_vector(self, v: np.ndarray) -> str:
+        idx = int(self.rng.integers(v.size)) if self.index is None else self.index
+        scale = float(np.sqrt(np.mean(np.square(v)))) if v.size else 0.0
+        v[idx] += self._delta(float(v[idx]), scale)
+        return f"relative {self.magnitude:g} on element {idx}"
+
+    def apply_scalar(self, value: float) -> tuple[float, str]:
+        return value + self._delta(value, 0.0), f"relative {self.magnitude:g}"
+
+
+class ScalarCorruptor(FaultInjector):
+    """Corrupt one entry of the recurred moment state -- the fault class
+    the recurrence chains are uniquely exposed to.
+
+    In the eager solver the hit lands in the live
+    :class:`~repro.core.moments.MomentWindow` (tables ``mu``/``nu``/
+    ``sigma``); in the pipelined forms it lands in the stacked
+    ``[mu | nu | sigma]`` launch state.  The entry is multiplied by
+    ``factor`` (default 1000 -- the soft-error magnitude the legacy
+    ``test_failure_injection`` contract uses).
+    """
+
+    def __init__(
+        self,
+        *,
+        factor: float = 1e3,
+        target: str | None = None,
+        index: int | None = None,
+        at_iteration: int | None = None,
+        rate: float = 0.0,
+        max_fires: int | None = None,
+    ) -> None:
+        if target is not None and target not in ("mu", "nu", "sigma"):
+            raise ValueError(
+                f"target must be mu, nu, or sigma (or None for random), got {target!r}"
+            )
+        if factor == 1.0 or factor == 0.0:
+            raise ValueError(f"factor must corrupt the value, got {factor}")
+        super().__init__(
+            site="scalar", at_iteration=at_iteration, rate=rate, max_fires=max_fires
+        )
+        self.factor = float(factor)
+        self.target = target
+        self.index = index
+
+    def apply_window(self, window: Any) -> str:
+        target = (
+            self.target
+            if self.target is not None
+            else ("mu", "nu", "sigma")[int(self.rng.integers(3))]
+        )
+        table = getattr(window, target)
+        idx = int(self.rng.integers(table.size)) if self.index is None else self.index
+        table[idx] *= self.factor
+        return f"{target}[{idx}] *= {self.factor:g}"
+
+    def apply_state(self, state: np.ndarray) -> str:
+        idx = int(self.rng.integers(state.size)) if self.index is None else self.index
+        state[idx] *= self.factor
+        return f"state[{idx}] *= {self.factor:g}"
+
+
+class CommFaultInjector(FaultInjector):
+    """Fault a :class:`~repro.distributed.comm.SimComm` reduction.
+
+    ``mode``:
+
+    * ``"corrupt"`` -- perturb one entry of the reduced value (applies to
+      blocking and nonblocking collectives);
+    * ``"delay"`` -- stretch a nonblocking reduction's completion latency
+      by ``extra_latency`` iterations (turns hidden waits into forced
+      ones -- a network hiccup, not a data fault);
+    * ``"drop"`` -- mark a nonblocking reduction dropped: ``wait()``
+      raises :class:`~repro.distributed.comm.DroppedReductionError` and
+      the handle is booked under ``stats.dropped_reductions``, never
+      silently drained.
+
+    Blocking ``allreduce`` calls cannot be dropped or delayed (the
+    simulated ranks run in lockstep; a dropped blocking collective is a
+    hang, not a recoverable fault), so those modes only arm
+    ``iallreduce``.
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: str = "drop",
+        magnitude: float = 1e-2,
+        extra_latency: int = 2,
+        at_iteration: int | None = None,
+        rate: float = 0.0,
+        max_fires: int | None = None,
+    ) -> None:
+        if mode not in ("corrupt", "delay", "drop"):
+            raise ValueError(f"mode must be corrupt, delay, or drop, got {mode!r}")
+        if extra_latency < 1:
+            raise ValueError(f"extra_latency must be >= 1, got {extra_latency}")
+        super().__init__(
+            site="comm", at_iteration=at_iteration, rate=rate, max_fires=max_fires
+        )
+        self.mode = mode
+        self.magnitude = float(magnitude)
+        self.extra_latency = int(extra_latency)
+
+    def apply_value(self, value: np.ndarray) -> str:
+        idx = int(self.rng.integers(value.size))
+        flat = value.reshape(-1)
+        scale = max(abs(float(flat[idx])), float(np.max(np.abs(flat))), 1.0)
+        flat[idx] += self.magnitude * scale
+        return f"corrupted reduced word {idx}"
+
+
+class _FaultingOperator:
+    """Wrap a :class:`~repro.sparse.linop.LinearOperator` so every matvec
+    output passes through the plan's matvec-site injectors."""
+
+    def __init__(self, op: Any, plan: "FaultPlan") -> None:
+        self._op = op
+        self._plan = plan
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._op.shape
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        y = np.array(self._op.matvec(x), dtype=np.float64, copy=True)
+        self._plan.corrupt_vector(y, "matvec")
+        return y
+
+    def matmat(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        matmat = getattr(self._op, "matmat", None)
+        if callable(matmat):
+            y = np.array(matmat(x), dtype=np.float64, copy=True)
+        else:
+            y = np.stack([self._op.matvec(x[:, j]) for j in range(x.shape[1])], axis=1)
+        for j in range(y.shape[1]):
+            self._plan.corrupt_vector(y[:, j], f"matmat[:, {j}]")
+        if out is not None:
+            out[:] = y
+            return out
+        return y
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def max_row_degree(self) -> int:
+        degree = getattr(self._op, "max_row_degree", None)
+        if callable(degree):
+            return degree()
+        return self._op.shape[0]
+
+
+class FaultPlan:
+    """A seeded set of injectors plus the records of what they did.
+
+    Parameters
+    ----------
+    injectors:
+        The armed :class:`FaultInjector` instances.
+    seed:
+        Master seed; each injector gets an independent generator spawned
+        from it, so adding an injector never perturbs the others' streams.
+    """
+
+    def __init__(self, injectors: Iterable[FaultInjector], *, seed: int = 0) -> None:
+        self.injectors: list[FaultInjector] = list(injectors)
+        for inj in self.injectors:
+            if not isinstance(inj, FaultInjector):
+                raise TypeError(
+                    f"expected FaultInjector instances, got {type(inj).__name__}"
+                )
+        self.seed = int(seed)
+        streams = np.random.SeedSequence(self.seed).spawn(max(len(self.injectors), 1))
+        for inj, ss in zip(self.injectors, streams):
+            inj._bind(np.random.default_rng(ss))
+        self.records: list[FaultRecord] = []
+        self.iteration = 0
+        self._telemetry = None
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks called by solvers
+    # ------------------------------------------------------------------
+    def attach(self, telemetry: Any) -> None:
+        """Route future fault records to a telemetry session too."""
+        self._telemetry = telemetry
+
+    def begin_iteration(self, iteration: int) -> None:
+        """Advance the fault clock (0 = startup, then 1, 2, ...)."""
+        self.iteration = int(iteration)
+
+    def _record(self, site: str, injector: FaultInjector, detail: str) -> None:
+        rec = FaultRecord(self.iteration, site, type(injector).__name__, detail)
+        self.records.append(rec)
+        if self._telemetry is not None:
+            self._telemetry.fault(rec.iteration, rec.site, rec.injector, rec.detail)
+
+    def _armed(self, site: str) -> list[FaultInjector]:
+        return [inj for inj in self.injectors if inj.site == site]
+
+    # ------------------------------------------------------------------
+    # injection sites
+    # ------------------------------------------------------------------
+    def wrap_operator(self, op: Any) -> Any:
+        """Interpose on matvec outputs when any matvec injector is armed."""
+        if self._armed("matvec"):
+            return _FaultingOperator(op, self)
+        return op
+
+    def corrupt_vector(self, v: np.ndarray, label: str) -> None:
+        """Matvec-site hook: corrupt a freshly produced vector in place."""
+        for inj in self._armed("matvec"):
+            if inj.should_fire(self.iteration):
+                detail = inj.apply_vector(v)
+                self._record("matvec", inj, f"{label}: {detail}")
+
+    def corrupt_dot(self, value: float, label: str) -> float:
+        """Dot-site hook: corrupt one direct inner-product value."""
+        for inj in self._armed("dot"):
+            if inj.should_fire(self.iteration):
+                value, detail = inj.apply_scalar(float(value))
+                self._record("dot", inj, f"{label}: {detail}")
+        return value
+
+    def corrupt_dot_batch(self, values: np.ndarray, label: str) -> None:
+        """Dot-site hook for a fused batch of direct dots (in place)."""
+        for inj in self._armed("dot"):
+            if inj.should_fire(self.iteration):
+                idx = int(inj.rng.integers(values.size))
+                new, detail = inj.apply_scalar(float(values.reshape(-1)[idx]))
+                values.reshape(-1)[idx] = new
+                self._record("dot", inj, f"{label}[{idx}]: {detail}")
+
+    def corrupt_window(self, window: Any) -> None:
+        """Scalar-site hook: corrupt the live moment window in place."""
+        for inj in self._armed("scalar"):
+            if inj.should_fire(self.iteration):
+                self._record("scalar", inj, inj.apply_window(window))
+
+    def corrupt_state(self, state: np.ndarray, label: str) -> None:
+        """Scalar-site hook for the stacked pipelined launch state."""
+        for inj in self._armed("scalar"):
+            if inj.should_fire(self.iteration):
+                self._record("scalar", inj, f"{label}: {inj.apply_state(state)}")
+
+    # ------------------------------------------------------------------
+    # comm hooks (called by SimComm when installed via SimComm(faults=...))
+    # ------------------------------------------------------------------
+    def on_allreduce(self, value: np.ndarray) -> np.ndarray:
+        """Blocking collective: only the corrupt mode applies."""
+        for inj in self._armed("comm"):
+            if inj.mode == "corrupt" and inj.should_fire(self.iteration):
+                value = np.array(value, copy=True)
+                self._record("comm", inj, f"allreduce: {inj.apply_value(value)}")
+        return value
+
+    def on_iallreduce(self, handle: Any) -> None:
+        """Nonblocking collective: corrupt, delay, or drop the handle."""
+        for inj in self._armed("comm"):
+            if not inj.should_fire(self.iteration):
+                continue
+            if inj.mode == "corrupt":
+                self._record("comm", inj, f"iallreduce: {inj.apply_value(handle.value)}")
+            elif inj.mode == "delay":
+                handle.latency += inj.extra_latency
+                self._record(
+                    "comm", inj,
+                    f"iallreduce delayed +{inj.extra_latency} "
+                    f"(latency now {handle.latency})",
+                )
+            else:  # drop
+                handle.comm.drop(handle)
+                self._record(
+                    "comm", inj, f"iallreduce issued at {handle.issued_at} dropped"
+                )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Fired-fault totals per site plus the grand total."""
+        out: dict[str, int] = {"injected": len(self.records)}
+        for rec in self.records:
+            out[rec.site] = out.get(rec.site, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        """One line per armed injector with its fire count."""
+        return "; ".join(f"{inj.spec()} fired {inj.fires}x" for inj in self.injectors)
+
+
+def as_fault_plan(faults: Any) -> FaultPlan | None:
+    """Coerce the ``faults=`` solver argument into a :class:`FaultPlan`.
+
+    Accepts ``None``, a plan (returned as-is), a single injector, or an
+    iterable of injectors (wrapped in a fresh seed-0 plan).
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        return faults
+    if isinstance(faults, FaultInjector):
+        return FaultPlan([faults])
+    if isinstance(faults, (list, tuple)):
+        return FaultPlan(faults)
+    raise TypeError(
+        f"faults= expects a FaultPlan, FaultInjector, or list of injectors, "
+        f"got {type(faults).__name__}"
+    )
+
+
+_SPEC_KINDS = {
+    "bitflip": BitFlipInjector,
+    "perturb": PerturbInjector,
+    "scalar": ScalarCorruptor,
+    "comm-corrupt": lambda **kw: CommFaultInjector(mode="corrupt", **kw),
+    "comm-delay": lambda **kw: CommFaultInjector(mode="delay", **kw),
+    "comm-drop": lambda **kw: CommFaultInjector(mode="drop", **kw),
+}
+
+_SPEC_KEYS = {
+    "site": str,
+    "rate": float,
+    "mag": ("magnitude", float),
+    "magnitude": float,
+    "factor": float,
+    "bit": int,
+    "index": int,
+    "target": str,
+    "latency": ("extra_latency", int),
+    "fires": ("max_fires", int),
+}
+
+
+def parse_fault_spec(text: str) -> FaultInjector:
+    """Build one injector from a CLI spec string.
+
+    Grammar: ``kind[@iteration][:key=value]...`` where ``kind`` is one of
+    ``bitflip``, ``perturb``, ``scalar``, ``comm-corrupt``, ``comm-delay``,
+    ``comm-drop``.  Examples::
+
+        scalar@12:factor=1e3      # corrupt a recurred moment at iteration 12
+        bitflip@5:site=dot        # flip a bit of a direct dot at iteration 5
+        perturb:rate=0.05:mag=1e-3  # 5% chance per dot, small perturbation
+        comm-drop@6               # drop the nonblocking reduction of iter 6
+    """
+    head, *pairs = text.strip().split(":")
+    kind, at = head, None
+    if "@" in head:
+        kind, at_text = head.split("@", 1)
+        try:
+            at = int(at_text)
+        except ValueError:
+            raise ValueError(f"bad iteration in fault spec {text!r}") from None
+    maker = _SPEC_KINDS.get(kind)
+    if maker is None:
+        raise ValueError(
+            f"unknown fault kind {kind!r} in spec {text!r}; expected one of "
+            f"{', '.join(sorted(_SPEC_KINDS))}"
+        )
+    kwargs: dict[str, Any] = {}
+    if at is not None:
+        kwargs["at_iteration"] = at
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(f"bad key=value clause {pair!r} in fault spec {text!r}")
+        key, value = pair.split("=", 1)
+        conv = _SPEC_KEYS.get(key)
+        if conv is None:
+            raise ValueError(f"unknown key {key!r} in fault spec {text!r}")
+        if isinstance(conv, tuple):
+            name, cast = conv
+        else:
+            name, cast = key, conv
+        try:
+            kwargs[name] = cast(value) if cast is not int else int(float(value))
+        except ValueError:
+            raise ValueError(
+                f"bad value {value!r} for {key!r} in fault spec {text!r}"
+            ) from None
+    try:
+        return maker(**kwargs)
+    except TypeError as exc:
+        raise ValueError(f"fault spec {text!r}: {exc}") from None

@@ -80,6 +80,12 @@ class SolverEntry:
         ``batched_runner(a, B, *, telemetry, stop, **options)`` returning
         a :class:`~repro.core.results.BatchedResult`; ``None`` unless
         ``batched`` is set.
+    supports_faults:
+        Whether the method accepts a ``faults=`` plan
+        (:mod:`repro.faults`); :func:`solve` refuses the keyword for
+        methods whose flag is unset, so the flag is the contract.
+    supports_recovery:
+        Same, for the ``recovery=`` policy keyword.
     """
 
     name: str
@@ -89,6 +95,8 @@ class SolverEntry:
     distributed: bool = False
     batched: bool = False
     batched_runner: Callable[..., BatchedResult] | None = None
+    supports_faults: bool = False
+    supports_recovery: bool = False
 
 
 _REGISTRY: dict[str, SolverEntry] = {}
@@ -100,6 +108,8 @@ def register(
     *,
     supports_precond: bool = False,
     distributed: bool = False,
+    supports_faults: bool = False,
+    supports_recovery: bool = False,
 ) -> Callable[[Callable[..., CGResult]], Callable[..., CGResult]]:
     """Class the decorated runner under ``name`` in the method registry."""
 
@@ -112,6 +122,8 @@ def register(
             description=description,
             supports_precond=supports_precond,
             distributed=distributed,
+            supports_faults=supports_faults,
+            supports_recovery=supports_recovery,
         )
         return runner
 
@@ -259,6 +271,25 @@ def solve(
     precond = _resolve_precond(a, precond, b, options)
     if precond is not None and not entry.supports_precond:
         raise ValueError(f"method {method!r} does not accept a preconditioner")
+    if options.get("faults") is not None and not entry.supports_faults:
+        raise ValueError(
+            f"method {method!r} does not support fault injection (faults=); "
+            f"fault-capable methods: "
+            f"{', '.join(n for n, e in sorted(_REGISTRY.items()) if e.supports_faults)}"
+        )
+    if options.get("recovery") is not None and not entry.supports_recovery:
+        raise ValueError(
+            f"method {method!r} does not support recovery policies (recovery=); "
+            f"recovery-capable methods: "
+            f"{', '.join(n for n, e in sorted(_REGISTRY.items()) if e.supports_recovery)}"
+        )
+    if precond is not None and (
+        options.get("faults") is not None or options.get("recovery") is not None
+    ):
+        raise ValueError(
+            "fault injection and recovery are not supported on the "
+            "preconditioned drivers; drop precond= or faults=/recovery="
+        )
     result = entry.runner(a, b, precond=precond, telemetry=telemetry, **options)
     result.method = entry.name
     return result
@@ -335,6 +366,11 @@ def solve_batched(
             f"method {method!r} has no batched multi-RHS path; "
             f"batched methods: {', '.join(batched_methods())}"
         )
+    if options.get("faults") is not None or options.get("recovery") is not None:
+        raise ValueError(
+            "batched solves do not support fault injection or recovery "
+            "(faults=/recovery=); use the single-RHS solve() path"
+        )
     result = entry.batched_runner(a, b, telemetry=telemetry, **options)
     result.method = entry.name
     return result
@@ -343,7 +379,13 @@ def solve_batched(
 # ----------------------------------------------------------------------
 # registrations: core solvers
 # ----------------------------------------------------------------------
-@register("cg", "classical Hestenes--Stiefel CG", supports_precond=True)
+@register(
+    "cg",
+    "classical Hestenes--Stiefel CG",
+    supports_precond=True,
+    supports_faults=True,
+    supports_recovery=True,
+)
 def _run_cg(a, b, *, precond, telemetry, **options):
     from repro.core.standard import conjugate_gradient
     from repro.precond.pcg import preconditioned_cg
@@ -356,7 +398,13 @@ def _run_cg(a, b, *, precond, telemetry, **options):
     return preconditioned_cg(a, b, precond=precond, telemetry=telemetry, **options)
 
 
-@register("vr", "Van Rosendale restructured CG (eager form)", supports_precond=True)
+@register(
+    "vr",
+    "Van Rosendale restructured CG (eager form)",
+    supports_precond=True,
+    supports_faults=True,
+    supports_recovery=True,
+)
 def _run_vr(a, b, *, precond, telemetry, **options):
     from repro.core.vr_cg import vr_conjugate_gradient
     from repro.precond.base import SplitPreconditioner
@@ -369,11 +417,13 @@ def _run_vr(a, b, *, precond, telemetry, **options):
         # replacement -- the same policy as the CLI -- so
         # solve(..., method="vr") just works.  Pass replace_every= or
         # replace_drift_tol= (or replace_drift_tol=None explicitly) to
-        # override.
-        options.setdefault(
-            "replace_drift_tol",
-            None if "replace_every" in options else 1e-6,
-        )
+        # override.  A recovery= policy supersedes the legacy knobs
+        # entirely (the solver refuses the combination).
+        if options.get("recovery") is None:
+            options.setdefault(
+                "replace_drift_tol",
+                None if "replace_every" in options else 1e-6,
+            )
         return vr_conjugate_gradient(a, b, telemetry=telemetry, **options)
     if isinstance(precond, ChebyshevPolyPrecond):
         # The preconditioned drivers take periodic replacement only (the
@@ -396,6 +446,8 @@ def _run_vr(a, b, *, precond, telemetry, **options):
     "pipelined-vr",
     "Van Rosendale restructured CG (fully pipelined form)",
     supports_precond=True,
+    supports_faults=True,
+    supports_recovery=True,
 )
 def _run_pipelined_vr(a, b, *, precond, telemetry, **options):
     from repro.core.pipeline import pipelined_vr_cg
@@ -422,14 +474,24 @@ def _run_three_term(a, b, *, precond, telemetry, **options):
     return three_term_cg(a, b, telemetry=telemetry, **options)
 
 
-@register("cg-cg", "Chronopoulos--Gear CG (fused reductions)")
+@register(
+    "cg-cg",
+    "Chronopoulos--Gear CG (fused reductions)",
+    supports_faults=True,
+    supports_recovery=True,
+)
 def _run_cgcg(a, b, *, precond, telemetry, **options):
     from repro.variants import chronopoulos_gear_cg
 
     return chronopoulos_gear_cg(a, b, telemetry=telemetry, **options)
 
 
-@register("gv", "Ghysels--Vanroose pipelined CG")
+@register(
+    "gv",
+    "Ghysels--Vanroose pipelined CG",
+    supports_faults=True,
+    supports_recovery=True,
+)
 def _run_gv(a, b, *, precond, telemetry, **options):
     from repro.variants import ghysels_vanroose_cg
 
@@ -488,7 +550,9 @@ def _run_richardson(a, b, *, precond, telemetry, **options):
 # ----------------------------------------------------------------------
 # registrations: distributed (SPMD over the simulated communicator)
 # ----------------------------------------------------------------------
-@register("dist-cg", "distributed classical CG", distributed=True)
+@register(
+    "dist-cg", "distributed classical CG", distributed=True, supports_faults=True
+)
 def _run_dist_cg(a, b, *, precond, telemetry, **options):
     from repro.distributed.solvers import distributed_cg
 
@@ -496,7 +560,12 @@ def _run_dist_cg(a, b, *, precond, telemetry, **options):
     return result
 
 
-@register("dist-cgcg", "distributed Chronopoulos--Gear CG", distributed=True)
+@register(
+    "dist-cgcg",
+    "distributed Chronopoulos--Gear CG",
+    distributed=True,
+    supports_faults=True,
+)
 def _run_dist_cgcg(a, b, *, precond, telemetry, **options):
     from repro.distributed.solvers import distributed_cgcg
 
@@ -504,7 +573,9 @@ def _run_dist_cgcg(a, b, *, precond, telemetry, **options):
     return result
 
 
-@register("dist-sstep", "distributed s-step CG", distributed=True)
+@register(
+    "dist-sstep", "distributed s-step CG", distributed=True, supports_faults=True
+)
 def _run_dist_sstep(a, b, *, precond, telemetry, **options):
     from repro.distributed.solvers import distributed_sstep
 
@@ -516,6 +587,8 @@ def _run_dist_sstep(a, b, *, precond, telemetry, **options):
     "dist-pipelined-vr",
     "distributed pipelined Van Rosendale CG (nonblocking reductions)",
     distributed=True,
+    supports_faults=True,
+    supports_recovery=True,
 )
 def _run_dist_pipelined_vr(a, b, *, precond, telemetry, **options):
     from repro.distributed.solvers import distributed_pipelined_vr

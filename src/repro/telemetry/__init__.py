@@ -20,9 +20,11 @@ the :func:`repro.solve` front-door) accepts.
 from repro.telemetry.events import (
     CountersEvent,
     DriftEvent,
+    FaultEvent,
     IterationEvent,
     PhaseEvent,
     PipelineEvent,
+    RecoveryEvent,
     ReductionEvent,
     ReplacementEvent,
     SolveEndEvent,
@@ -46,6 +48,8 @@ __all__ = [
     "IterationEvent",
     "DriftEvent",
     "ReplacementEvent",
+    "FaultEvent",
+    "RecoveryEvent",
     "PipelineEvent",
     "ReductionEvent",
     "PhaseEvent",

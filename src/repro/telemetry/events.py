@@ -49,6 +49,8 @@ __all__ = [
     "ActiveSetEvent",
     "DriftEvent",
     "ReplacementEvent",
+    "FaultEvent",
+    "RecoveryEvent",
     "PipelineEvent",
     "ReductionEvent",
     "PhaseEvent",
@@ -196,6 +198,46 @@ class ReplacementEvent(TelemetryEvent):
 
     iteration: int
     trigger: str
+
+
+@dataclass
+class FaultEvent(TelemetryEvent):
+    """A fault injector fired (:mod:`repro.faults`).
+
+    ``site`` is the injection site (``matvec``/``dot``/``scalar``/
+    ``comm``), ``injector`` the class name of the injector that fired,
+    ``detail`` a human-readable description of what was corrupted.  One
+    event per actually-landed fault, so a telemetry stream is a complete
+    fault log for the run.
+    """
+
+    kind = "fault"
+
+    iteration: int
+    site: str
+    injector: str
+    detail: str
+
+
+@dataclass
+class RecoveryEvent(TelemetryEvent):
+    """A recovery action fired (:class:`repro.faults.RecoveryPolicy`).
+
+    ``action`` is ``"replace"`` (power block rebuilt from the true
+    residual), ``"restart"`` (iteration restarted from the current
+    iterate), or ``"recompute"`` (recurred moments re-derived from direct
+    dots and adopted); ``trigger`` names the detector that fired
+    (``periodic``/``drift``/``verify``/``divergence``/``breakdown``/
+    ``false_convergence``/``conjugacy``/``comm_drop``); ``detail`` is
+    the detector's measured gap when it has one, else 0.
+    """
+
+    kind = "recovery"
+
+    iteration: int
+    action: str
+    trigger: str
+    detail: float = 0.0
 
 
 @dataclass

@@ -48,7 +48,9 @@ from repro.telemetry.events import (
     ColumnIterationEvent,
     CountersEvent,
     DriftEvent,
+    FaultEvent,
     IterationEvent,
+    RecoveryEvent,
     PhaseEvent,
     PipelineEvent,
     ReductionEvent,
@@ -215,6 +217,22 @@ class Telemetry:
     def replacement(self, iteration: int, trigger: str) -> None:
         """A residual replacement fired (emits :class:`ReplacementEvent`)."""
         self.emit(ReplacementEvent(iteration=iteration, trigger=trigger))
+
+    def fault(self, iteration: int, site: str, injector: str, detail: str) -> None:
+        """An injected fault landed (emits :class:`FaultEvent`)."""
+        self.emit(
+            FaultEvent(iteration=iteration, site=site, injector=injector, detail=detail)
+        )
+
+    def recovery(
+        self, iteration: int, action: str, trigger: str, detail: float = 0.0
+    ) -> None:
+        """A recovery action fired (emits :class:`RecoveryEvent`)."""
+        self.emit(
+            RecoveryEvent(
+                iteration=iteration, action=action, trigger=trigger, detail=detail
+            )
+        )
 
     def pipeline(
         self, op: str, iteration: int, source_iteration: int, count: int

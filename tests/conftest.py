@@ -6,12 +6,28 @@ through :mod:`repro.util.rng` so failures are reproducible.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.sparse.csr import from_dense
 from repro.sparse.generators import banded_spd, poisson1d, poisson2d
 from repro.util.rng import default_rng, spd_test_matrix
+
+try:  # hypothesis is a test-only extra; profiles are a no-op without it
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("default", deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+except ImportError:  # pragma: no cover
+    pass
 
 
 @pytest.fixture

@@ -128,3 +128,58 @@ class TestDrainChecking:
         comm.allreduce([1.0, 2.0])
         assert comm.pending_count == 0
         comm.assert_drained()
+
+
+class TestDroppedVsLeaked:
+    """ISSUE 3 regression: a reduction dropped by a fault injector must
+    be reported distinctly from one the solver simply forgot to wait on
+    -- the two used to share one undifferentiated 'leaked' message."""
+
+    def test_dropped_handle_named_separately(self):
+        comm = SimComm(2, reduction_latency=2)
+        h = comm.iallreduce([1.0, 2.0])
+        comm.drop(h)
+        with pytest.raises(RuntimeError) as exc:
+            comm.assert_drained()
+        msg = str(exc.value)
+        assert "dropped by a fault injector" in msg
+        assert "never completed" not in msg
+
+    def test_mixed_dropped_and_leaked_both_reported(self):
+        comm = SimComm(2, reduction_latency=2)
+        dropped = comm.iallreduce([1.0, 2.0])
+        comm.drop(dropped)
+        comm.iallreduce([3.0, 4.0])  # leaked: never waited, never dropped
+        with pytest.raises(RuntimeError) as exc:
+            comm.assert_drained()
+        msg = str(exc.value)
+        assert "dropped by a fault injector" in msg
+        assert "never completed" in msg
+
+    def test_waiting_on_dropped_handle_raises_and_books(self):
+        from repro.distributed.comm import DroppedReductionError
+
+        comm = SimComm(2, reduction_latency=0)
+        h = comm.iallreduce([1.0, 2.0])
+        comm.drop(h)
+        with pytest.raises(DroppedReductionError):
+            h.wait()
+        comm.assert_drained()  # observing the drop drains the handle
+        assert comm.stats.dropped_reductions == 1
+        assert comm.stats.cancelled_reductions == 0
+
+    def test_cancelling_dropped_handle_books_drop(self):
+        comm = SimComm(2, reduction_latency=3)
+        h = comm.iallreduce([1.0, 2.0])
+        comm.drop(h)
+        h.cancel()
+        comm.assert_drained()
+        assert comm.stats.dropped_reductions == 1
+
+    def test_drop_rejects_foreign_handle(self):
+        comm = SimComm(2, reduction_latency=1)
+        other = SimComm(2, reduction_latency=1)
+        h = comm.iallreduce([1.0, 2.0])
+        with pytest.raises(ValueError, match="different communicator"):
+            other.drop(h)
+        h.cancel()

@@ -1,12 +1,12 @@
-"""Tier-1 smoke for ``benchmarks/bench_batched_throughput.py``.
+"""Tier-1 smoke for the ``benchmarks/`` entry points.
 
-The full benchmark (m up to 64, repeated timing) belongs to the
-``benchmarks/`` run, but the batched path must not be able to rot silently
-between benchmark runs: this wrapper executes the same ``run()`` entry
-point at smoke scale (m=4, small grid, single repeat) inside the ordinary
-test suite and checks the emitted ``BENCH_batched.json`` record.
+The full benchmarks (m up to 64, repeated timing; the fault-rate x
+policy sweep) belong to the ``benchmarks/`` run, but their code paths
+must not be able to rot silently between benchmark runs: these wrappers
+execute the same ``run()`` entry points at smoke scale inside the
+ordinary test suite and check the emitted JSON records.
 
-``benchmarks/`` is not a package, so the module is loaded by file path.
+``benchmarks/`` is not a package, so modules are loaded by file path.
 """
 
 from __future__ import annotations
@@ -18,15 +18,19 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_batched_throughput.py"
 OUT_PATH = REPO_ROOT / "BENCH_batched.json"
+FAULT_BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_fault_recovery.py"
+FAULT_OUT_PATH = REPO_ROOT / "BENCH_faults.json"
 
 
-def _load_bench_module():
-    spec = importlib.util.spec_from_file_location(
-        "bench_batched_throughput", BENCH_PATH
-    )
+def _load_by_path(name: str, path: Path):
+    spec = importlib.util.spec_from_file_location(name, path)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def _load_bench_module():
+    return _load_by_path("bench_batched_throughput", BENCH_PATH)
 
 
 def test_bench_batched_smoke_emits_json():
@@ -48,3 +52,33 @@ def test_bench_batched_smoke_emits_json():
     # movement, not the CG trajectories.
     assert record["column_iterations"] == record["looped_iterations"]
     assert record["batched_sweeps"] == max(record["column_iterations"])
+
+
+def test_bench_fault_recovery_smoke_emits_json(tmp_path):
+    bench = _load_by_path("bench_fault_recovery", FAULT_BENCH_PATH)
+    out = tmp_path / "BENCH_faults.json"
+    payload = bench.run(
+        grid=8,
+        k=3,
+        rates=(0.0, 0.1),
+        policies=("none", "robust"),
+        trials=2,
+        out_path=out,
+    )
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk == payload
+    assert on_disk["bench"] == "fault_recovery"
+    assert on_disk["method"] == "vr"
+    assert on_disk["baseline_iterations"] > 0
+
+    cells = {(c["rate"], c["policy"]): c for c in on_disk["results"]}
+    assert set(cells) == {(r, p) for r in (0.0, 0.1) for p in ("none", "robust")}
+    for cell in cells.values():
+        # The honesty promise holds in every cell, faulted or not.
+        assert cell["dishonest"] == 0
+    # Fault-free cells converge regardless of policy.
+    assert cells[(0.0, "none")]["converged"] == 2
+    assert cells[(0.0, "robust")]["converged"] == 2
+    # At a 10% rate the injectors actually fired.
+    assert cells[(0.1, "robust")]["faults_injected"] > 0

@@ -91,3 +91,66 @@ def test_solver_on_problem(problem_name, solver_name):
     assert residual < 1e-4, (
         f"{solver_name} on {problem_name}: relative residual {residual:.2e}"
     )
+
+
+# ---------------------------------------------------------------------------
+# Registry-wide differential matrix: every method the registry exposes,
+# checked against a dense direct solve of the same system.  Unlike the
+# hand-curated SOLVERS table above, this sweep enumerates the registry at
+# collection time, so a newly registered method is tested the moment it
+# exists -- there is no list to forget to update.
+# ---------------------------------------------------------------------------
+
+from repro import solve, solve_batched  # noqa: E402
+from repro.registry import available_methods, batched_methods  # noqa: E402
+
+# Stationary methods converge linearly with a contraction factor near one
+# on these problems; they need a much larger sweep budget and only reach
+# a looser tolerance in reasonable time.
+_STATIONARY = {"jacobi", "gauss-seidel", "sor", "richardson", "chebyshev"}
+
+_DIFF_PROBLEMS = {
+    "poisson2d": lambda: poisson2d(8),
+    "banded": lambda: banded_spd(72, 3, seed=29),
+}
+
+
+def _oracle(a, b):
+    return np.linalg.solve(a.todense(), b)
+
+
+@pytest.mark.parametrize("problem_name", sorted(_DIFF_PROBLEMS))
+@pytest.mark.parametrize("method", available_methods())
+def test_registry_method_matches_direct_solve(method, problem_name):
+    a = _DIFF_PROBLEMS[problem_name]()
+    seed = sum(ord(c) for c in problem_name) + 101
+    b = default_rng(seed).standard_normal(a.nrows)
+    x_star = _oracle(a, b)
+    rtol = 1e-6 if method in _STATIONARY else 1e-8
+    stop = StoppingCriterion(rtol=rtol, max_iter=50_000)
+    result = solve(a, b, method=method, stop=stop)
+    assert result.converged, f"{method} on {problem_name}: {result.summary()}"
+    xscale = max(np.linalg.norm(x_star), 1.0)
+    err = np.linalg.norm(result.x - x_star) / xscale
+    # Solution error amplifies the residual tolerance by cond(A); these
+    # problems sit at cond <= ~1e2.
+    assert err < 1e4 * rtol, (
+        f"{method} on {problem_name}: solution error {err:.2e}"
+    )
+
+
+@pytest.mark.parametrize("method", batched_methods())
+def test_batched_single_column_matches_direct_solve(method):
+    """The m=1 degenerate block must agree with the oracle too -- the
+    batched code paths (fused reductions, deflation bookkeeping) are
+    live even for a single right-hand side."""
+    a = poisson2d(8)
+    b = default_rng(211).standard_normal(a.nrows)
+    x_star = _oracle(a, b)
+    stop = StoppingCriterion(rtol=1e-8, max_iter=5000)
+    result = solve_batched(a, b[:, None], method, stop=stop)
+    assert result.x.shape == (a.nrows, 1)
+    assert bool(result.column_converged[0])
+    xscale = max(np.linalg.norm(x_star), 1.0)
+    err = np.linalg.norm(result.x[:, 0] - x_star) / xscale
+    assert err < 1e-4, f"batched {method} m=1: solution error {err:.2e}"
