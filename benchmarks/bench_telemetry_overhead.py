@@ -9,6 +9,17 @@ classical and Van Rosendale solvers on the n = 4096 model problem -- and
 fails if the fully instrumented solve (event construction + emission +
 the per-solve counter scope) costs more than 5% over the bare solve.
 
+``run()`` extends the same discipline to the :mod:`repro.trace` layer
+and emits ``BENCH_telemetry.json``.  The null-sink event stream is
+priced against the bare solve (the base contract above); the added
+instruments -- :class:`~repro.trace.MetricsSink` aggregation, active
+:class:`~repro.trace.Tracer` span recording, and both combined -- are
+each priced against the *null-sink baseline*, i.e. what they add on top
+of the always-on event stream.  Null sink, metrics sink, and tracer
+each carry the 5% budget independently; the combined configuration is
+recorded informationally (two instruments stack, the budget is
+per-layer).
+
 Measurement discipline, because the quantity under test is a ~3 us
 per-iteration delta on a ~100 us iteration:
 
@@ -27,26 +38,37 @@ per-iteration delta on a ~100 us iteration:
 from __future__ import annotations
 
 import gc
+import json
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.core.standard import conjugate_gradient
 from repro.core.stopping import StoppingCriterion
 from repro.core.vr_cg import vr_conjugate_gradient
+from repro.sparse.generators import poisson2d
 from repro.telemetry import NullSink, Telemetry
+from repro.util.rng import default_rng
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_telemetry.json"
 
 OVERHEAD_BUDGET = 0.05
 ROUNDS = 10
 TRIALS = 6
 STOP = StoppingCriterion(rtol=1e-8)
 
+# Configurations that must individually meet the 5% budget; the combined
+# tracer+metrics configuration is reported but not budget-gated.
+BUDGETED_CONFIGS = ("null_sink", "metrics_sink", "tracer")
 
-def _one_trial(solve_bare, solve_instrumented) -> float:
+
+def _one_trial(solve_bare, solve_instrumented, rounds: int = ROUNDS) -> float:
     gc.disable()
     try:
         best_bare = best_inst = float("inf")
-        for round_no in range(ROUNDS):
+        for round_no in range(rounds):
             # Alternate which path runs first so cache/allocator state
             # left by one side never systematically favours the other.
             pair = (solve_bare, solve_instrumented)
@@ -64,15 +86,20 @@ def _one_trial(solve_bare, solve_instrumented) -> float:
     return best_inst / best_bare - 1.0
 
 
-def _measure_overhead(solve_bare, solve_instrumented) -> float:
-    """Best overhead ratio over up to ``TRIALS`` independent trials."""
+def _measure_overhead(
+    solve_bare,
+    solve_instrumented,
+    rounds: int = ROUNDS,
+    trials: int = TRIALS,
+) -> float:
+    """Best overhead ratio over up to ``trials`` independent trials."""
     # Warm both paths (imports, allocator, branch caches) before timing.
     for _ in range(2):
         solve_bare()
         solve_instrumented()
     best = float("inf")
-    for _ in range(TRIALS):
-        best = min(best, _one_trial(solve_bare, solve_instrumented))
+    for _ in range(trials):
+        best = min(best, _one_trial(solve_bare, solve_instrumented, rounds))
         if best < OVERHEAD_BUDGET:
             break  # upper bound established; no need to keep sampling
     return best
@@ -118,6 +145,116 @@ def test_vr_null_sink_overhead(poisson_overhead_bench):
     overhead = _measure_overhead(bare, instrumented)
     print(f"\nvr telemetry overhead: {overhead:+.2%}")
     assert overhead < OVERHEAD_BUDGET
+
+
+def _solvers():
+    return {
+        "cg": lambda a, b, telemetry: conjugate_gradient(
+            a, b, stop=STOP, telemetry=telemetry
+        ),
+        "vr": lambda a, b, telemetry: vr_conjugate_gradient(
+            a, b, k=2, replace_drift_tol=1e-6, stop=STOP, telemetry=telemetry
+        ),
+    }
+
+
+def _telemetry_factories():
+    """``{config: (baseline_name, telemetry_factory)}``.
+
+    ``null_sink`` is priced against the bare solve; the added
+    instruments are priced against the null-sink baseline they stack on.
+    """
+    from repro.trace import MetricsSink, Tracer
+
+    return {
+        "null_sink": ("bare", lambda: Telemetry(NullSink())),
+        "metrics_sink": ("null_sink", lambda: Telemetry(MetricsSink())),
+        "tracer": (
+            "null_sink",
+            lambda: Telemetry(NullSink(), tracer=Tracer()),
+        ),
+        "tracer+metrics": (
+            "null_sink",
+            lambda: Telemetry(MetricsSink(), tracer=Tracer()),
+        ),
+    }
+
+
+def run(
+    *,
+    grid: int = 64,
+    rounds: int = ROUNDS,
+    trials: int = TRIALS,
+    out_path: Path | str = DEFAULT_OUT,
+) -> dict:
+    """Price every observability configuration and emit the JSON record.
+
+    Smoke-scalable: the tier-1 wrapper calls this with a small ``grid``
+    and ``trials=1`` just to exercise the code path; overhead numbers at
+    that scale are noise and are recorded, not asserted.
+    """
+    a = poisson2d(grid)
+    b = default_rng(7).standard_normal(a.nrows)
+    factories = _telemetry_factories()
+    results = []
+    for method, solver in _solvers().items():
+
+        def bare(solver=solver):
+            return solver(a, b, None)
+
+        def null_baseline(solver=solver, make=factories["null_sink"][1]):
+            tele = make()
+            out = solver(a, b, tele)
+            tele.close()
+            return out
+
+        assert bare().converged
+        baselines = {"bare": bare, "null_sink": null_baseline}
+        for config, (baseline_name, make) in factories.items():
+
+            def instrumented(solver=solver, make=make):
+                tele = make()
+                out = solver(a, b, tele)
+                tele.close()
+                return out
+
+            overhead = _measure_overhead(
+                baselines[baseline_name], instrumented, rounds, trials
+            )
+            results.append(
+                {
+                    "method": method,
+                    "config": config,
+                    "baseline": baseline_name,
+                    "overhead": overhead,
+                    "budgeted": config in BUDGETED_CONFIGS,
+                    "within_budget": overhead < OVERHEAD_BUDGET,
+                }
+            )
+    payload = {
+        "bench": "telemetry_overhead",
+        "budget": OVERHEAD_BUDGET,
+        "grid": grid,
+        "n": a.nrows,
+        "results": results,
+    }
+    Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_run_emits_budget_payload():
+    """Full-scale run(): every budgeted configuration meets 5%."""
+    payload = run()
+    for record in payload["results"]:
+        print(
+            f"\n{record['method']:>3} {record['config']:<15} "
+            f"vs {record['baseline']:<9} overhead {record['overhead']:+.2%}"
+        )
+        if record["budgeted"]:
+            assert record["within_budget"], (
+                f"{record['method']}/{record['config']} overhead "
+                f"{record['overhead']:+.2%} exceeds {OVERHEAD_BUDGET:.0%}"
+            )
 
 
 @pytest.mark.parametrize("sink", ["none", "null"])

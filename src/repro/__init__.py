@@ -74,6 +74,13 @@ from repro.sparse import (
     write_matrix_market,
 )
 from repro.telemetry import Telemetry
+from repro.trace import (
+    MetricsRegistry,
+    MetricsSink,
+    Span,
+    Tracer,
+    profile_solve,
+)
 from repro.util import counting
 
 __version__ = "1.0.0"
@@ -84,6 +91,11 @@ __all__ = [
     "available_methods",
     "batched_methods",
     "Telemetry",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "MetricsSink",
+    "profile_solve",
     "BatchedResult",
     "CGResult",
     "PipelineTrace",

@@ -6,7 +6,12 @@ Python:
 * ``solve`` -- solve ``A x = b`` where A comes from a MatrixMarket file or
   a built-in generator, with any method in the registry
   (``--method``/``--solver``), optionally streaming structured telemetry
-  as JSON lines (``--telemetry out.jsonl``, ``-`` for stdout).
+  as JSON lines (``--telemetry out.jsonl``, ``-`` for stdout), writing a
+  Chrome trace of the run (``--trace out.json``), or exporting
+  Prometheus metrics (``--metrics out.prom``).
+* ``profile`` -- run a solve under the span tracer and print the
+  critical-path phase breakdown (where each iteration's wall time goes,
+  and what fraction is blocked on inner-product synchronization).
 * ``info`` -- structural/spectral statistics of a matrix.
 * ``generate`` -- write a model-problem matrix to a MatrixMarket file.
 
@@ -84,6 +89,48 @@ def _load_rhs_block(args, n: int) -> np.ndarray:
     return block
 
 
+def _build_observability(args):
+    """Telemetry/tracer/metrics per --telemetry/--trace/--metrics flags.
+
+    Returns ``(telemetry, tracer, registry)``, any of which may be None.
+    """
+    tracer = None
+    registry = None
+    sinks = []
+    if args.telemetry is not None:
+        from repro.telemetry import JsonlSink
+
+        sinks.append(JsonlSink(args.telemetry))
+    if getattr(args, "metrics", None) is not None:
+        from repro.trace import MetricsRegistry, MetricsSink
+
+        registry = MetricsRegistry()
+        sinks.append(MetricsSink(registry))
+    if getattr(args, "trace", None) is not None:
+        from repro.trace import Tracer
+
+        tracer = Tracer()
+    if sinks or tracer is not None:
+        from repro.telemetry import Telemetry
+
+        return Telemetry(*sinks, tracer=tracer), tracer, registry
+    return None, None, None
+
+
+def _write_observability(args, tracer, registry) -> None:
+    """Write the Chrome trace / Prometheus files after a finished solve."""
+    if tracer is not None:
+        from repro.trace import write_chrome_trace
+
+        write_chrome_trace(tracer, args.trace)
+        print(f"chrome trace written to {args.trace}")
+    if registry is not None:
+        Path(args.metrics).write_text(
+            registry.to_prometheus(), encoding="utf-8"
+        )
+        print(f"metrics written to {args.metrics}")
+
+
 def _solve(args) -> int:
     a = _load_matrix(args)
     stop = StoppingCriterion(rtol=args.rtol, max_iter=args.max_iter)
@@ -125,11 +172,7 @@ def _solve(args) -> int:
     if args.recovery is not None and args.recovery != "none":
         options["recovery"] = args.recovery
 
-    telemetry = None
-    if args.telemetry is not None:
-        from repro.telemetry import JsonlSink, Telemetry
-
-        telemetry = Telemetry(JsonlSink(args.telemetry))
+    telemetry, tracer, registry = _build_observability(args)
 
     try:
         result = registry_solve(
@@ -141,6 +184,7 @@ def _solve(args) -> int:
         if telemetry is not None:
             telemetry.close()
 
+    _write_observability(args, tracer, registry)
     print(result.summary())
     if args.out is not None:
         np.savetxt(args.out, result.x)
@@ -172,11 +216,7 @@ def _solve_batched(args, a: CSRMatrix, stop, method: str) -> int:
     if method.startswith("dist-"):
         options["nranks"] = args.nranks
 
-    telemetry = None
-    if args.telemetry is not None:
-        from repro.telemetry import JsonlSink, Telemetry
-
-        telemetry = Telemetry(JsonlSink(args.telemetry))
+    telemetry, tracer, registry = _build_observability(args)
 
     try:
         result = registry_solve_batched(
@@ -188,11 +228,59 @@ def _solve_batched(args, a: CSRMatrix, stop, method: str) -> int:
         if telemetry is not None:
             telemetry.close()
 
+    _write_observability(args, tracer, registry)
     print(result.summary())
     if args.out is not None:
         np.savetxt(args.out, result.x)
         print(f"solution block written to {args.out}")
     return 0 if result.converged else 1
+
+
+def _profile(args) -> int:
+    """The ``profile`` command: solve under the span tracer and print the
+    per-phase / synchronization breakdown."""
+    a = _load_matrix(args)
+    b = _load_rhs(args, a.nrows)
+    method = args.solver
+    options: dict = {
+        "stop": StoppingCriterion(rtol=args.rtol, max_iter=args.max_iter)
+    }
+    if method == "vr":
+        options["k"] = args.k
+    elif method in ("pipelined-vr", "dist-pipelined-vr"):
+        options["k"] = max(args.k, 1)
+    elif method in ("sstep", "dist-sstep"):
+        options["s"] = max(args.k, 1)
+    if method.startswith("dist-"):
+        options["nranks"] = args.nranks
+
+    from repro.trace import MetricsRegistry, profile_solve
+
+    registry = MetricsRegistry() if args.metrics is not None else None
+    try:
+        report = profile_solve(
+            a,
+            b,
+            method=method,
+            level_seconds=args.level_seconds,
+            registry=registry,
+            **options,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+
+    print(report.render())
+    if args.trace is not None:
+        from repro.trace import write_chrome_trace
+
+        write_chrome_trace(report.tracer, args.trace)
+        print(f"chrome trace written to {args.trace}")
+    if registry is not None:
+        Path(args.metrics).write_text(
+            registry.to_prometheus(), encoding="utf-8"
+        )
+        print(f"metrics written to {args.metrics}")
+    return 0 if report.converged else 1
 
 
 def _info(args) -> int:
@@ -260,6 +348,12 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--telemetry", metavar="PATH", default=None,
                        help="stream telemetry events as JSON lines to "
                             "PATH ('-' for stdout)")
+    solve.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a Chrome trace-event JSON of the solve "
+                            "(open in Perfetto / chrome://tracing)")
+    solve.add_argument("--metrics", metavar="PATH", default=None,
+                       help="write Prometheus text-format metrics of the "
+                            "solve to PATH")
     solve.add_argument(
         "--precond",
         choices=["none", "identity", "jacobi", "ssor", "ic0", "chebyshev"],
@@ -292,6 +386,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seed for the random right-hand side")
     solve.add_argument("--out", help="write the solution vector to this file")
     solve.set_defaults(func=_solve)
+
+    profile = sub.add_parser(
+        "profile",
+        help="phase breakdown + synchronization profile of one solve",
+    )
+    add_matrix_source(profile)
+    profile.add_argument(
+        "--method", "--solver",
+        dest="solver",
+        choices=available_methods(),
+        default="cg",
+        help="registry method name to profile",
+    )
+    profile.add_argument("--k", type=int, default=2,
+                         help="look-ahead parameter (s for sstep)")
+    profile.add_argument("--nranks", type=int, default=4,
+                         help="simulated ranks for the dist-* methods")
+    profile.add_argument("--rtol", type=float, default=1e-8)
+    profile.add_argument("--max-iter", type=int, default=None)
+    profile.add_argument("--seed", type=int, default=0,
+                         help="seed for the random right-hand side")
+    profile.add_argument("--level-seconds", type=float, default=1e-6,
+                         help="assumed wall time of one fan-in level, "
+                              "pricing each blocking synchronization at "
+                              "dot_depth(n) levels")
+    profile.add_argument("--trace", metavar="PATH", default=None,
+                         help="also write a Chrome trace-event JSON of "
+                              "the profiled solve")
+    profile.add_argument("--metrics", metavar="PATH", default=None,
+                         help="also write Prometheus text-format metrics")
+    profile.set_defaults(func=_profile)
 
     info = sub.add_parser("info", help="matrix statistics")
     add_matrix_source(info)

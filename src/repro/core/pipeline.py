@@ -389,16 +389,23 @@ def pipelined_vr_cg(
         ``converged``/``maxiter``/``replace``/``breakdown``/``divergence``.
         """
         nonlocal iterations
+        tracer = telemetry.tracer if telemetry is not None else None
 
         # Startup: powers of the current residual and the launch of the
         # segment's iteration-0 moments.
         if plan is not None:
             plan.begin_iteration(offset)
+        if tracer is not None:
+            tracer.begin("startup")
         powers = PowerBlock.startup(op, b - op.matvec(x), k)
+        if tracer is not None:
+            tracer.end("startup")
         ledger = LaunchLedger(k)
         pipeline = _CoefficientPipeline(k, w)
 
         def _launch(local: int) -> np.ndarray:
+            if tracer is not None:
+                tracer.begin("local_dot")
             window = window_from_powers(k, powers.r_powers, powers.p_powers,
                                         label="pipeline_launch_dot")
             state = window.stacked()
@@ -409,6 +416,8 @@ def pipelined_vr_cg(
                 # fault surfaces live here.
                 plan.corrupt_dot_batch(state, "pipeline_launch")
                 plan.corrupt_state(state, "pipeline_launch")
+            if tracer is not None:
+                tracer.end("local_dot")
             ledger.launch(local, state)
             _event("launch", offset + local, offset + local, state.size)
             return state
@@ -437,12 +446,20 @@ def pipelined_vr_cg(
             lam = mu0_cur / sigma1_cur
             add_scalar_flops(1)
             lambdas.append(lam)
+            if tracer is not None:
+                tracer.begin("axpy")
             axpy(lam, powers.p, x, out=x)
+            if tracer is not None:
+                tracer.end("axpy")
             iterations += 1
             since_replacement += 1
 
             # Advance the vector pipeline to iteration n+1.
+            if tracer is not None:
+                tracer.begin("axpy")
             powers.advance_r(lam)
+            if tracer is not None:
+                tracer.end("axpy")
 
             target = step + 1
             if target <= k:
@@ -452,16 +469,24 @@ def pipelined_vr_cg(
                 # look-ahead, which is exactly the paper's "initial start
                 # up" serialization.
                 pipeline.matrices.pop(target, None)  # consumed by the transient
+                if tracer is not None:
+                    tracer.begin("local_dot")
                 window = window_from_powers(k, powers.r_powers, powers.p_powers,
                                             label="startup_front_dot")
                 mu0_next = float(window.mu[0])
                 if plan is not None:
                     mu0_next = plan.corrupt_dot(mu0_next, "startup_front_mu")
+                if tracer is not None:
+                    tracer.end("local_dot")
             else:
+                if tracer is not None:
+                    tracer.begin("recurrence")
                 base_state = ledger.read(target - k, at_iteration=target)
                 mu0_next, _alpha_pipe, sigma1_next_pipe = pipeline.consume(
                     target, lam, base_state, mu0_cur
                 )
+                if tracer is not None:
+                    tracer.end("recurrence")
                 _event("consume", offset + target, offset + target - k,
                        base_state.size)
 
@@ -489,9 +514,15 @@ def pipelined_vr_cg(
             add_scalar_flops(1)
             alphas.append(alpha_next)
 
+            if tracer is not None:
+                tracer.begin("matvec")
             powers.advance_p(op, alpha_next)
+            if tracer is not None:
+                tracer.end("matvec")
 
             if target <= k:
+                if tracer is not None:
+                    tracer.begin("local_dot")
                 window = window_from_powers(k, powers.r_powers, powers.p_powers,
                                             label="startup_front_dot")
                 sigma1_next = float(window.sigma[1])
@@ -500,6 +531,8 @@ def pipelined_vr_cg(
                         sigma1_next, "startup_front_sigma"
                     )
                 state_next = window.stacked()
+                if tracer is not None:
+                    tracer.end("local_dot")
                 # Even during startup the launches happen on schedule so
                 # the pipeline fills behind the transient.
                 ledger.launch(target, state_next)
@@ -511,7 +544,11 @@ def pipelined_vr_cg(
 
             # Fold the just-completed step into the in-flight coefficients
             # and open the next target.
+            if tracer is not None:
+                tracer.begin("recurrence")
             updated = pipeline.push_step(target, lam, alpha_next)
+            if tracer is not None:
+                tracer.end("recurrence")
             if updated:
                 _event("coeff_update", offset + target, offset + target, updated)
             pipeline.open_target(target + k)
@@ -522,7 +559,11 @@ def pipelined_vr_cg(
 
             # --- recovery detectors (policy-driven) ----------------------
             if policy is not None and policy.drift_tol is not None:
+                if tracer is not None:
+                    tracer.begin("local_dot")
                 rr_direct = dot(powers.r, powers.r, label="drift_check_dot")
+                if tracer is not None:
+                    tracer.end("local_dot")
                 if telemetry is not None:
                     telemetry.drift(iterations, mu0_cur, rr_direct)
                 floor = max(

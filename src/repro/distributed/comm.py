@@ -116,12 +116,21 @@ class PendingReduction:
             )
         self.consumed = True
         self.comm._retire(self)
+        words = int(np.size(self.value))
         if self.comm.iteration - self.issued_at >= self.latency:
             self.comm.stats.hidden_allreduces += 1
-            self.comm._emit("wait_hidden", int(np.size(self.value)))
+            self.comm._emit("wait_hidden", words)
+            self.comm._span("wait_hidden", words, 0)
         else:
             self.comm.stats.forced_waits += 1
-            self.comm._emit("wait_forced", int(np.size(self.value)))
+            self.comm._emit("wait_forced", words)
+            # The stall: how many more iterations of overlap the solver
+            # would have needed before this wait came off the clock.
+            self.comm._span(
+                "wait_forced",
+                words,
+                self.latency - (self.comm.iteration - self.issued_at),
+            )
         return self.value
 
     def cancel(self) -> None:
@@ -187,6 +196,24 @@ class SimComm:
         if self.telemetry is not None:
             self.telemetry.reduction(op, self.iteration, self.nranks, words)
 
+    def _span(self, op: str, words: int, stall_iterations: int) -> None:
+        """One ``allreduce_wait`` span on the attached tracer, if any.
+
+        Emitted by the comm layer -- not the solvers -- so every
+        distributed method surfaces its synchronization points uniformly,
+        and the spans land as direct children of the solve span (the
+        iteration grouper then files them by mark time).  The span is
+        zero-width in simulated wall time; the attributes carry what a
+        real wait would have cost (``stall_iterations`` > 0 only for
+        ``wait_forced`` -- a collective consumed before its latency
+        elapsed, i.e. a critical-path synchronization).
+        """
+        tracer = self.telemetry.tracer if self.telemetry is not None else None
+        if tracer is not None:
+            tracer.begin("allreduce_wait")
+            tracer.annotate(op=op, words=words, stall_iterations=stall_iterations)
+            tracer.end("allreduce_wait")
+
     # ------------------------------------------------------------------
     # clock
     # ------------------------------------------------------------------
@@ -212,6 +239,8 @@ class SimComm:
         self.stats.words_reduced += int(np.size(result))
         add_reduction()
         self._emit("allreduce", int(np.size(result)))
+        # A blocking collective stalls for its full latency by definition.
+        self._span("allreduce", int(np.size(result)), self.reduction_latency)
         if self.faults is not None:
             result = self.faults.on_allreduce(result)
         return result

@@ -49,6 +49,27 @@ def _setup(a: CSRMatrix, b: np.ndarray, nranks: int):
     return DistributedCSR(a, part), BlockVector.from_global(b, part), part
 
 
+def _annotate_comm_stats(telemetry, comm: SimComm) -> None:
+    """Attach the run's synchronization accounting to the open solve span.
+
+    Called immediately before ``telemetry.solve_end`` so the annotations
+    land on the solve span while it is still the innermost open one.  The
+    critical-path profiler reads ``synchronizations_on_critical_path``
+    off the span instead of re-deriving it from events.
+    """
+    tracer = telemetry.tracer if telemetry is not None else None
+    if tracer is not None:
+        stats = comm.stats
+        tracer.annotate(
+            synchronizations_on_critical_path=(
+                stats.synchronizations_on_critical_path()
+            ),
+            blocking_allreduces=stats.blocking_allreduces,
+            hidden_allreduces=stats.hidden_allreduces,
+            forced_waits=stats.forced_waits,
+        )
+
+
 def distributed_cg(
     a: CSRMatrix,
     b: np.ndarray,
@@ -83,6 +104,7 @@ def distributed_cg(
         telemetry.solve_start(
             "dist-cg", f"dist-cg(P={nranks})", part.n, nranks=nranks
         )
+    tracer = telemetry.tracer if telemetry is not None else None
 
     x = BlockVector.zeros(part)
     b_norm = float(np.sqrt(comm.allreduce(b_vec.dot_partials(b_vec))))
@@ -101,18 +123,37 @@ def distributed_cg(
         for _ in range(stop.budget(part.n)):
             if plan is not None:
                 plan.begin_iteration(iterations + 1)
+            if tracer is not None:
+                tracer.begin("matvec")
             ap = dist_a.matvec(p, comm)
-            pap = float(comm.allreduce(p.dot_partials(ap)))
+            if tracer is not None:
+                tracer.end("matvec")
+                tracer.begin("local_dot")
+            pap_parts = p.dot_partials(ap)
+            if tracer is not None:
+                tracer.end("local_dot")
+            # The allreduce stays outside solver spans: the comm layer
+            # emits its own allreduce_wait span as a sibling.
+            pap = float(comm.allreduce(pap_parts))
             if pap <= 0 or not np.isfinite(pap):
                 reason = StopReason.BREAKDOWN
                 break
             lam = rr / pap
             lambdas.append(lam)
+            if tracer is not None:
+                tracer.begin("axpy")
             x.axpy_inplace(lam, p)
             r.axpy_inplace(-lam, ap)
+            if tracer is not None:
+                tracer.end("axpy")
             iterations += 1
             comm.advance_iteration()
-            rr_new = float(comm.allreduce(r.dot_partials(r)))
+            if tracer is not None:
+                tracer.begin("local_dot")
+            rr_parts = r.dot_partials(r)
+            if tracer is not None:
+                tracer.end("local_dot")
+            rr_new = float(comm.allreduce(rr_parts))
             res_norms.append(float(np.sqrt(max(rr_new, 0.0))))
             if telemetry is not None:
                 telemetry.iteration(iterations, res_norms[-1], lam=lam)
@@ -121,7 +162,11 @@ def distributed_cg(
                 break
             alpha = rr_new / rr
             alphas.append(alpha)
+            if tracer is not None:
+                tracer.begin("axpy")
             p.scale_add(alpha, r)
+            if tracer is not None:
+                tracer.end("axpy")
             rr = rr_new
 
     x_global = x.to_global()
@@ -145,6 +190,7 @@ def distributed_cg(
     )
     comm.assert_drained()
     if telemetry is not None:
+        _annotate_comm_stats(telemetry, comm)
         telemetry.solve_end(result)
     return result, comm
 
@@ -286,6 +332,7 @@ def distributed_batched_cg(
     )
     comm.assert_drained()
     if telemetry is not None:
+        _annotate_comm_stats(telemetry, comm)
         telemetry.solve_end(result)
     return result, comm
 
@@ -318,6 +365,7 @@ def distributed_cgcg(
         telemetry.solve_start(
             "dist-cgcg", f"dist-cgcg(P={nranks})", part.n, nranks=nranks
         )
+    tracer = telemetry.tracer if telemetry is not None else None
 
     x = BlockVector.zeros(part)
     r = b_vec.copy()
@@ -357,17 +405,30 @@ def distributed_cgcg(
                 lam = rr / denom
                 alphas.append(beta)
             lambdas.append(lam)
+            if tracer is not None:
+                tracer.begin("axpy")
             p.scale_add(beta, r)
             s.scale_add(beta, w)
             x.axpy_inplace(lam, p)
             r.axpy_inplace(-lam, s)
+            if tracer is not None:
+                tracer.end("axpy")
             iterations += 1
             comm.advance_iteration()
+            if tracer is not None:
+                tracer.begin("matvec")
             w = dist_a.matvec(r, comm)
+            if tracer is not None:
+                tracer.end("matvec")
             rr_prev = rr
-            fused = comm.allreduce(
-                np.stack([r.dot_partials(r), r.dot_partials(w)], axis=1)
+            if tracer is not None:
+                tracer.begin("local_dot")
+            fused_parts = np.stack(
+                [r.dot_partials(r), r.dot_partials(w)], axis=1
             )
+            if tracer is not None:
+                tracer.end("local_dot")
+            fused = comm.allreduce(fused_parts)
             rr, rar = float(fused[0]), float(fused[1])
             res_norms.append(float(np.sqrt(max(rr, 0.0))))
             if telemetry is not None:
@@ -399,6 +460,7 @@ def distributed_cgcg(
     )
     comm.assert_drained()
     if telemetry is not None:
+        _annotate_comm_stats(telemetry, comm)
         telemetry.solve_end(result)
     return result, comm
 
@@ -439,14 +501,19 @@ def distributed_sstep(
             s=s,
             nranks=nranks,
         )
+    tracer = telemetry.tracer if telemetry is not None else None
 
     def krylov_block(r: BlockVector) -> tuple[list[BlockVector], list[BlockVector]]:
+        if tracer is not None:
+            tracer.begin("matvec")
         k_blk = [r.copy()]
         ak_blk = []
         for i in range(s):
             ak_blk.append(dist_a.matvec(k_blk[i], comm))
             if i + 1 < s:
                 k_blk.append(ak_blk[i].copy())
+        if tracer is not None:
+            tracer.end("matvec")
         return k_blk, ak_blk
 
     x = BlockVector.zeros(part)
@@ -466,12 +533,17 @@ def distributed_sstep(
             if plan is not None:
                 plan.begin_iteration(cg_steps + 1)
             # phase 1: fused [W | g]
+            if tracer is not None:
+                tracer.begin("local_dot")
             cols = [
                 p_blk[i].dot_partials(ap_blk[j])
                 for i in range(s)
                 for j in range(s)
             ] + [p_blk[i].dot_partials(r) for i in range(s)]
-            fused = comm.allreduce(np.stack(cols, axis=1))
+            stacked = np.stack(cols, axis=1)
+            if tracer is not None:
+                tracer.end("local_dot")
+            fused = comm.allreduce(stacked)
             w_mat = fused[: s * s].reshape(s, s)
             g_vec = fused[s * s :]
             try:
@@ -482,20 +554,29 @@ def distributed_sstep(
             if not np.all(np.isfinite(coeffs)):
                 reason = StopReason.BREAKDOWN
                 break
+            if tracer is not None:
+                tracer.begin("axpy")
             for i in range(s):
                 x.axpy_inplace(float(coeffs[i]), p_blk[i])
                 r.axpy_inplace(-float(coeffs[i]), ap_blk[i])
+            if tracer is not None:
+                tracer.end("axpy")
             cg_steps += s
             comm.advance_iteration()
 
             # phase 2: new basis from the NEW residual, fused [cross | rr]
             k_blk, ak_blk = krylov_block(r)
+            if tracer is not None:
+                tracer.begin("local_dot")
             cols = [
                 ap_blk[i].dot_partials(k_blk[j])
                 for i in range(s)
                 for j in range(s)
             ] + [r.dot_partials(r)]
-            fused = comm.allreduce(np.stack(cols, axis=1))
+            stacked = np.stack(cols, axis=1)
+            if tracer is not None:
+                tracer.end("local_dot")
+            fused = comm.allreduce(stacked)
             cross = fused[: s * s].reshape(s, s)
             rr = float(fused[-1])
             res_norms.append(float(np.sqrt(max(rr, 0.0))))
@@ -512,6 +593,8 @@ def distributed_sstep(
             except np.linalg.LinAlgError:
                 reason = StopReason.BREAKDOWN
                 break
+            if tracer is not None:
+                tracer.begin("axpy")
             new_p = []
             new_ap = []
             for j in range(s):
@@ -523,6 +606,8 @@ def distributed_sstep(
                 new_p.append(pj)
                 new_ap.append(apj)
             p_blk, ap_blk = new_p, new_ap
+            if tracer is not None:
+                tracer.end("axpy")
 
     x_global = x.to_global()
     true_res = float(np.linalg.norm(b - a.matvec(x_global)))
@@ -545,6 +630,7 @@ def distributed_sstep(
     )
     comm.assert_drained()
     if telemetry is not None:
+        _annotate_comm_stats(telemetry, comm)
         telemetry.solve_end(result)
     return result, comm
 
@@ -630,9 +716,12 @@ def distributed_pipelined_vr(
             nranks=nranks,
             use_matrix_powers_kernel=use_matrix_powers_kernel,
         )
+    tracer = telemetry.tracer if telemetry is not None else None
     w = k  # state layout parameter
 
     x = BlockVector.zeros(part)
+    if tracer is not None:
+        tracer.begin("startup")
     if use_matrix_powers_kernel:
         # startup powers of r0 = p0 with a single k+2-hop ghost fetch
         from repro.sparse.matrix_powers import MatrixPowersKernel
@@ -652,18 +741,35 @@ def distributed_pipelined_vr(
             r_pows.append(dist_a.matvec(r_pows[-1], comm))
         p_pows = [v.copy() for v in r_pows]
         p_pows.append(dist_a.matvec(p_pows[-1], comm))
+    if tracer is not None:
+        tracer.end("startup")
 
     pipeline = _CoefficientPipeline(k, w)
     pending: dict[int, PendingReduction] = {}
 
     def launch(iteration: int) -> None:
+        # Partials are rank-local work (local_dot); the nonblocking
+        # collective itself stays outside solver spans -- the comm layer
+        # books its completion as an allreduce_wait span at wait() time.
+        if tracer is not None:
+            tracer.begin("local_dot")
         partials = _window_partials(k, r_pows, p_pows)
+        if tracer is not None:
+            tracer.end("local_dot")
         pending[iteration] = comm.iallreduce(partials)
+
+    def front_partials() -> np.ndarray:
+        if tracer is not None:
+            tracer.begin("local_dot")
+        parts = _window_partials(k, r_pows, p_pows)
+        if tracer is not None:
+            tracer.end("local_dot")
+        return parts
 
     # iteration 0's front values: blocking (the startup serialization).
     # The first pipelined consume reads the launch from loop step 0, so
     # no separate launch is needed here.
-    front = comm.allreduce(_window_partials(k, r_pows, p_pows))
+    front = comm.allreduce(front_partials())
     mu0 = float(front[mu_index(w, 0)])
     sigma1 = float(front[sigma_index(w, 1)])
     b_norm = float(np.sqrt(max(mu0, 0.0)))  # x0 = 0
@@ -687,18 +793,22 @@ def distributed_pipelined_vr(
                 break
             lam = mu0 / sigma1
             lambdas.append(lam)
+            if tracer is not None:
+                tracer.begin("axpy")
             x.axpy_inplace(lam, p_pows[0])
             iterations += 1
 
             # vector pipeline (rank-local except the one matvec)
             for i in range(k + 2):
                 r_pows[i].axpy_inplace(-lam, p_pows[i + 1])
+            if tracer is not None:
+                tracer.end("axpy")
 
             target = step + 1
             recomputed = False
             if target <= k:
                 pipeline.matrices.pop(target, None)
-                front = comm.allreduce(_window_partials(k, r_pows, p_pows))
+                front = comm.allreduce(front_partials())
                 mu0_next = float(front[mu_index(w, 0)])
             else:
                 try:
@@ -714,16 +824,20 @@ def distributed_pipelined_vr(
                     # is booked honestly as a synchronization), and let
                     # the pipeline refill behind it.
                     pipeline.matrices.pop(target, None)
-                    front = comm.allreduce(_window_partials(k, r_pows, p_pows))
+                    front = comm.allreduce(front_partials())
                     mu0_next = float(front[mu_index(w, 0)])
                     recoveries["recompute"] += 1
                     recomputed = True
                     if telemetry is not None:
                         telemetry.recovery(iterations, "recompute", "comm_drop")
                 else:
+                    if tracer is not None:
+                        tracer.begin("recurrence")
                     mu0_next, _, sigma1_pipe = pipeline.consume(
                         target, lam, state, mu0
                     )
+                    if tracer is not None:
+                        tracer.end("recurrence")
             res_norms.append(float(np.sqrt(max(mu0_next, 0.0))))
             if telemetry is not None:
                 telemetry.iteration(
@@ -737,18 +851,29 @@ def distributed_pipelined_vr(
                 break
             alpha = mu0_next / mu0
             alphas.append(alpha)
+            if tracer is not None:
+                tracer.begin("axpy")
             for i in range(k + 2):
                 p_pows[i].scale_add(alpha, r_pows[i])
+            if tracer is not None:
+                tracer.end("axpy")
+                tracer.begin("matvec")
             p_pows[k + 2] = dist_a.matvec(p_pows[k + 1], comm)
+            if tracer is not None:
+                tracer.end("matvec")
 
             if target <= k or recomputed:
-                front = comm.allreduce(_window_partials(k, r_pows, p_pows))
+                front = comm.allreduce(front_partials())
                 sigma1_next = float(front[sigma_index(w, 1)])
             else:
                 sigma1_next = sigma1_pipe
             launch(target)
+            if tracer is not None:
+                tracer.begin("recurrence")
             pipeline.push_step(target, lam, alpha)
             pipeline.open_target(target + k)
+            if tracer is not None:
+                tracer.end("recurrence")
             comm.advance_iteration()
             mu0, sigma1 = mu0_next, sigma1_next
 
@@ -792,5 +917,6 @@ def distributed_pipelined_vr(
         extras=extras,
     )
     if telemetry is not None:
+        _annotate_comm_stats(telemetry, comm)
         telemetry.solve_end(result)
     return result, comm

@@ -32,9 +32,16 @@ from repro.machine.schedule import (
     measure_vr_depth,
     optimal_lookahead,
 )
-from repro.machine.export import to_dot, to_json, write_dot, write_json
+from repro.machine.export import (
+    to_chrome,
+    to_dot,
+    to_json,
+    write_chrome,
+    write_dot,
+    write_json,
+)
 from repro.machine.pcg_dag import build_pcg_dag, precond_depth
-from repro.machine.scheduler import ScheduleResult, simulate_schedule
+from repro.machine.scheduler import ScheduledTask, ScheduleResult, simulate_schedule
 from repro.machine.variants_dag import (
     build_cgcg_dag,
     build_gv_dag,
@@ -44,12 +51,15 @@ from repro.machine.variants_dag import (
 from repro.machine.vr_dag import VRDagResult, build_vr_eager_dag, build_vr_pipelined_dag
 
 __all__ = [
+    "to_chrome",
     "to_dot",
     "to_json",
+    "write_chrome",
     "write_dot",
     "write_json",
     "build_pcg_dag",
     "precond_depth",
+    "ScheduledTask",
     "ScheduleResult",
     "simulate_schedule",
     "build_cgcg_dag",

@@ -1,20 +1,34 @@
-"""Task-graph export: GraphViz DOT and JSON.
+"""Task-graph export: GraphViz DOT, JSON, and Chrome trace-event.
 
 The compiled solver DAGs are the evidence behind every depth claim; these
 exporters let users inspect them with standard tooling (``dot -Tsvg``,
-``jq``) instead of trusting our critical-path numbers.  Critical-path
-nodes are highlighted in the DOT output, so the dependence cycle the
-paper's argument turns on is literally visible.
+``jq``, Perfetto / ``chrome://tracing``) instead of trusting our
+critical-path numbers.  Critical-path nodes are highlighted in the DOT
+output, so the dependence cycle the paper's argument turns on is
+literally visible.
+
+The Chrome exporters (:func:`to_chrome`, :func:`write_chrome`) delegate
+to :mod:`repro.trace.chrome`, which serializes :class:`TaskGraph` ASAP
+timelines, :class:`~repro.machine.scheduler.ScheduleResult` Gantt
+schedules, and live solver traces through one format -- a DAG and the
+run that executed it open in the same viewer.
 """
 
 from __future__ import annotations
 
 import json
-from typing import TextIO
+from typing import Any, TextIO
 
 from repro.machine.dag import TaskGraph
 
-__all__ = ["to_dot", "to_json", "write_dot", "write_json"]
+__all__ = [
+    "to_chrome",
+    "to_dot",
+    "to_json",
+    "write_chrome",
+    "write_dot",
+    "write_json",
+]
 
 _KIND_COLORS = {
     "dot": "#e8950c",      # reductions: the paper's villain
@@ -95,6 +109,27 @@ def write_dot(graph: TaskGraph, target: str | TextIO, **kwargs) -> None:
 def write_json(graph: TaskGraph, target: str | TextIO) -> None:
     """Write JSON output to a path or file object."""
     _write(to_json(graph), target)
+
+
+def to_chrome(obj: Any, *, metadata: dict | None = None) -> str:
+    """Serialize a :class:`TaskGraph`, a scheduler
+    :class:`~repro.machine.scheduler.ScheduleResult`, or a live solver
+    :class:`~repro.trace.Tracer` as Chrome trace-event JSON.
+
+    The result loads directly in Perfetto (https://ui.perfetto.dev) or
+    ``chrome://tracing``; one depth unit maps to one microsecond for
+    model-time objects.
+    """
+    from repro.trace.chrome import chrome_trace
+
+    return json.dumps(chrome_trace(obj, metadata=metadata), indent=1)
+
+
+def write_chrome(obj: Any, target, *, metadata: dict | None = None) -> None:
+    """Write Chrome trace-event JSON to a path or file object."""
+    from repro.trace.chrome import write_chrome_trace
+
+    write_chrome_trace(obj, target, metadata=metadata)
 
 
 def _write(content: str, target: str | TextIO) -> None:

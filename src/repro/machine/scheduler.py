@@ -25,7 +25,19 @@ from dataclasses import dataclass
 
 from repro.machine.dag import TaskGraph
 
-__all__ = ["ScheduleResult", "simulate_schedule"]
+__all__ = ["ScheduledTask", "ScheduleResult", "simulate_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One task's placement in a simulated schedule (the Gantt bar)."""
+
+    index: int
+    label: str
+    kind: str
+    start: float
+    finish: float
+    processors: int
 
 
 @dataclass(frozen=True)
@@ -44,6 +56,10 @@ class ScheduleResult:
         Sum of node works (``work / P`` is the other lower bound).
     busy_area:
         Processor-time units actually consumed.
+    tasks:
+        Start/finish/allocation per nonzero-depth task, in start order --
+        the timeline behind :func:`repro.machine.export.write_chrome`.
+        Zero-depth join nodes are omitted (they occupy no time).
     """
 
     processors: int
@@ -51,6 +67,7 @@ class ScheduleResult:
     critical_path: int
     total_work: int
     busy_area: float
+    tasks: tuple[ScheduledTask, ...] = ()
 
     @property
     def utilization(self) -> float:
@@ -117,6 +134,7 @@ def simulate_schedule(graph: TaskGraph, processors: int) -> ScheduleResult:
     done = 0
     busy_area = 0.0
     makespan = 0.0
+    timeline: list[ScheduledTask] = []
 
     while done < n:
         # Start ready tasks in priority order.  A task only starts with
@@ -142,6 +160,16 @@ def simulate_schedule(graph: TaskGraph, processors: int) -> ScheduleResult:
             free -= alloc
             heapq.heappush(running, (now + duration, i, alloc))
             busy_area += alloc * duration
+            timeline.append(
+                ScheduledTask(
+                    index=i,
+                    label=node.label,
+                    kind=node.kind,
+                    start=now,
+                    finish=now + duration,
+                    processors=alloc,
+                )
+            )
         for item in deferred:
             heapq.heappush(ready, item)
 
@@ -164,10 +192,12 @@ def simulate_schedule(graph: TaskGraph, processors: int) -> ScheduleResult:
                 if indegree[succ] == 0:
                     heapq.heappush(ready, (-priority[succ], succ))
 
+    timeline.sort(key=lambda t: (t.start, t.index))
     return ScheduleResult(
         processors=processors,
         makespan=makespan,
         critical_path=graph.critical_path_length(),
         total_work=graph.total_work(),
         busy_area=busy_area,
+        tasks=tuple(timeline),
     )

@@ -246,7 +246,14 @@ def solve(
         Optional :class:`repro.telemetry.Telemetry` session.
     **options:
         Method-specific keywords, forwarded to the underlying solver
-        (``k=``, ``s=``, ``stop=``, ``replace_every=``, ...).
+        (``k=``, ``s=``, ``stop=``, ``replace_every=``, ...).  A
+        ``trace=`` keyword carrying a :class:`repro.trace.Tracer` is
+        consumed here: it is attached to the telemetry session (one is
+        created around a :class:`~repro.telemetry.NullSink` if none was
+        given) so the solve records hierarchical spans -- see
+        :mod:`repro.trace`.  (For ``method="pipelined-vr"`` a legacy
+        :class:`~repro.core.pipeline.PipelineTrace` is still forwarded
+        to the deprecated solver shim.)
 
     Returns
     -------
@@ -263,6 +270,7 @@ def solve(
     runs (and validates ``x0``) as usual, iterating back toward zero.
     """
     entry = method_entry(method)
+    telemetry = _consume_trace(telemetry, options)
     zero = None if options.get("x0") is not None else _zero_rhs_result(
         b, entry, telemetry
     )
@@ -290,9 +298,66 @@ def solve(
             "fault injection and recovery are not supported on the "
             "preconditioned drivers; drop precond= or faults=/recovery="
         )
-    result = entry.runner(a, b, precond=precond, telemetry=telemetry, **options)
+    result = _run_guarded(
+        lambda: entry.runner(
+            a, b, precond=precond, telemetry=telemetry, **options
+        ),
+        telemetry,
+    )
     result.method = entry.name
     return result
+
+
+def _consume_trace(telemetry: Any, options: dict) -> Any:
+    """Attach a ``trace=`` :class:`repro.trace.Tracer` to the session.
+
+    Anything that is not a new-style tracer (the legacy
+    :class:`~repro.core.pipeline.PipelineTrace` of the deprecated
+    ``pipelined_vr_cg(trace=)`` shim) is left in ``options`` for the
+    solver to handle.
+    """
+    trace = options.get("trace")
+    if trace is None:
+        return telemetry
+    from repro.trace import Tracer
+
+    if not isinstance(trace, Tracer):
+        return telemetry
+    del options["trace"]
+    if telemetry is None:
+        from repro.telemetry import Telemetry
+        from repro.telemetry.sinks import NullSink
+
+        return Telemetry(NullSink(), tracer=trace)
+    if telemetry.tracer is None:
+        telemetry.tracer = trace
+    elif telemetry.tracer is not trace:
+        raise ValueError(
+            "solve() got trace= but the telemetry session already has a "
+            "different tracer attached; pass one or the other"
+        )
+    return telemetry
+
+
+def _run_guarded(runner: Any, telemetry: Any) -> Any:
+    """Run a solver; on any exception, unwind the telemetry session.
+
+    Without this, a solver raising mid-solve (UnrecoverableDivergence,
+    a breakdown, a fault-injected crash) leaves its solve bracket open:
+    the counting scope leaks onto the global stack, the tracer's solve
+    span never closes, and -- the observable bug -- a ``JsonlSink``'s
+    buffered tail events are lost because nothing flushes the stream.
+    :meth:`Telemetry.unwind` restores all three before the exception
+    propagates.
+    """
+    if telemetry is None:
+        return runner()
+    depth = telemetry.open_solves
+    try:
+        return runner()
+    except BaseException:
+        telemetry.unwind(depth)
+        raise
 
 
 def _zero_rhs_result(
@@ -371,7 +436,11 @@ def solve_batched(
             "batched solves do not support fault injection or recovery "
             "(faults=/recovery=); use the single-RHS solve() path"
         )
-    result = entry.batched_runner(a, b, telemetry=telemetry, **options)
+    telemetry = _consume_trace(telemetry, options)
+    result = _run_guarded(
+        lambda: entry.batched_runner(a, b, telemetry=telemetry, **options),
+        telemetry,
+    )
     result.method = entry.name
     return result
 

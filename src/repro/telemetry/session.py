@@ -105,6 +105,12 @@ class Telemetry:
         When true (default), each solve bracket runs inside a fresh
         :mod:`repro.util.counters` scope and emits a
         :class:`CountersEvent` at solve end.
+    tracer:
+        Optional :class:`repro.trace.Tracer`.  When attached, solve
+        brackets open/close ``solve`` spans, :meth:`iteration` drops
+        iteration marks, and :meth:`phase` records spans alongside its
+        :class:`PhaseEvent` -- see :mod:`repro.trace.spans`.  Solvers
+        read :attr:`tracer` directly for their per-phase spans.
     """
 
     def __init__(
@@ -113,12 +119,14 @@ class Telemetry:
         capture_iterates: bool = False,
         on_state: Callable[[Any], None] | None = None,
         count_ops: bool = True,
+        tracer: Any = None,
     ) -> None:
         self._sinks: tuple[Sink, ...] = sinks if sinks else (MemorySink(),)
         self.capture_iterates = bool(capture_iterates)
         self.iterates: list[np.ndarray] = []
         self.on_state = on_state
         self.count_ops = bool(count_ops)
+        self.tracer = tracer
         self._active: list[_ActiveSolve] = []
 
     # ------------------------------------------------------------------
@@ -160,6 +168,9 @@ class Telemetry:
         """Open a solve bracket (emits :class:`SolveStartEvent`)."""
         counter = push_scope() if self.count_ops else None
         self._active.append(_ActiveSolve(counter, time.perf_counter()))
+        if self.tracer is not None:
+            self.tracer.begin("solve")
+            self.tracer.annotate(method=method, label=label, n=n)
         self.emit(SolveStartEvent(method=method, label=label, n=n, options=options))
 
     def iteration(
@@ -177,6 +188,8 @@ class Telemetry:
         event = IterationEvent(iteration, residual_norm, lam, alpha, recurred_rr)
         for sink in self._sinks:
             sink.emit(event)
+        if self.tracer is not None:
+            self.tracer.mark_iteration(iteration)
 
     def drift(self, iteration: int, recurred_rr: float, direct_rr: float) -> None:
         """Recurred vs. direct ``(r, r)`` gap (emits :class:`DriftEvent`).
@@ -266,10 +279,14 @@ class Telemetry:
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Time a named phase (emits :class:`PhaseEvent` on exit)."""
+        if self.tracer is not None:
+            self.tracer.begin(name)
         start = time.perf_counter()
         try:
             yield
         finally:
+            if self.tracer is not None:
+                self.tracer.end(name)
             self.emit(PhaseEvent(name=name, seconds=time.perf_counter() - start))
 
     def solve_end(self, result: Any) -> None:
@@ -296,10 +313,42 @@ class Telemetry:
                 seconds=seconds,
             )
         )
+        if self.tracer is not None:
+            self.tracer.end("solve")
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def open_solves(self) -> int:
+        """Number of solve brackets currently open (they may nest)."""
+        return len(self._active)
+
+    def unwind(self, depth: int = 0) -> None:
+        """Abandon solve brackets opened beyond ``depth`` and flush.
+
+        The front door calls this when a solver raises mid-solve: each
+        abandoned bracket pops its counting scope (so the global counter
+        stack is balanced for the next solve), closes its tracer span,
+        and the sinks are flushed so a :class:`JsonlSink` keeps every
+        event emitted before the failure.  No solve-end event is emitted
+        -- the stream honestly ends where the solver died.
+        """
+        while len(self._active) > max(depth, 0):
+            active = self._active.pop()
+            if active.counter is not None:
+                pop_scope(active.counter)
+            if self.tracer is not None:
+                self.tracer.end("solve")
+        self.flush()
+
+    def flush(self) -> None:
+        """Flush every sink that supports flushing (keeps them open)."""
+        for sink in self._sinks:
+            flush = getattr(sink, "flush", None)
+            if callable(flush):
+                flush()
+
     def close(self) -> None:
         """Close every sink that supports closing (flushes streams)."""
         for sink in self._sinks:

@@ -24,8 +24,11 @@ from typing import IO, Any, Protocol, runtime_checkable
 
 from repro.telemetry.events import (
     CountersEvent,
+    DriftEvent,
+    FaultEvent,
     IterationEvent,
     PhaseEvent,
+    RecoveryEvent,
     ReductionEvent,
     SolveEndEvent,
     SolveStartEvent,
@@ -100,6 +103,14 @@ class JsonlSink:
         json.dump(event.to_payload(), self._stream, separators=(",", ":"))
         self._stream.write("\n")
 
+    def flush(self) -> None:
+        """Push buffered lines to the OS without closing the stream.
+
+        :meth:`Telemetry.unwind` calls this when a solver raises
+        mid-solve, so the tail of the event stream survives the failure.
+        """
+        self._stream.flush()
+
     def close(self) -> None:
         if self._owns_stream:
             self._stream.close()
@@ -126,6 +137,9 @@ class AsciiSummarySink:
         self._phases: list[PhaseEvent] = []
         self._counts: CountersEvent | None = None
         self._reductions: dict[str, int] = {}
+        self._faults = 0
+        self._recoveries = 0
+        self._peak_drift = 0.0
 
     def emit(self, event: TelemetryEvent) -> None:
         if isinstance(event, SolveStartEvent):
@@ -139,6 +153,12 @@ class AsciiSummarySink:
             self._counts = event
         elif isinstance(event, ReductionEvent):
             self._reductions[event.op] = self._reductions.get(event.op, 0) + 1
+        elif isinstance(event, DriftEvent):
+            self._peak_drift = max(self._peak_drift, event.drift)
+        elif isinstance(event, FaultEvent):
+            self._faults += 1
+        elif isinstance(event, RecoveryEvent):
+            self._recoveries += 1
         elif isinstance(event, SolveEndEvent):
             self._render(event)
 
@@ -168,6 +188,13 @@ class AsciiSummarySink:
             table.add("est. bytes moved", c.bytes_moved)
         for op in sorted(self._reductions):
             table.add(f"collective {op}", self._reductions[op])
+        if self._reductions:
+            table.add("reduction events (total)", sum(self._reductions.values()))
+        if self._peak_drift > 0.0:
+            table.add("peak drift", f"{self._peak_drift:.3e}")
+        if self._faults or self._recoveries:
+            table.add("faults injected", self._faults)
+            table.add("recovery actions", self._recoveries)
         self._stream.write(table.render() + "\n")
 
     def close(self) -> None:

@@ -1,0 +1,212 @@
+"""Chrome trace-event (Perfetto) export for live runs and simulations.
+
+One output format for two very different inputs:
+
+* a :class:`~repro.trace.spans.Tracer` (or its span forest) from a live
+  instrumented solve -- real wall-clock microseconds;
+* a :class:`~repro.machine.dag.TaskGraph` or
+  :class:`~repro.machine.scheduler.ScheduleResult` from the machine
+  model -- abstract depth units, mapped 1 unit -> 1 microsecond.
+
+Both serialize to the Chrome trace-event JSON object format
+(``{"traceEvents": [...]}``) understood by ``chrome://tracing`` and
+https://ui.perfetto.dev, so a simulated Gantt schedule and a real run of
+the same method can be opened side by side -- the visual form of the
+machine-model cross-check :mod:`repro.trace.profile` does numerically.
+
+Only complete-duration (``"ph": "X"``) events plus thread-name metadata
+are emitted; that subset loads everywhere.  Dispatch is by duck type
+(``makespan`` / ``critical_path_nodes`` / ``solve_spans``) so this
+module never imports :mod:`repro.machine` and stays cycle-free.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any
+
+from repro.trace.spans import Span, Tracer
+
+__all__ = [
+    "trace_events",
+    "events_from_spans",
+    "events_from_schedule",
+    "events_from_graph",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+#: One abstract machine-model depth unit rendered as this many
+#: microseconds on the trace timeline.
+DEPTH_UNIT_US = 1.0
+
+
+def events_from_spans(
+    spans: list[Span], *, pid: int = 1, time_origin: float | None = None
+) -> list[dict[str, Any]]:
+    """Trace events for a span forest (one trace lane per root span).
+
+    Timestamps are rebased so the earliest span starts at t=0; nesting is
+    conveyed by interval containment on a shared thread id, which the
+    trace viewers render as stacked slices.
+    """
+    if not spans:
+        return []
+    t0 = time_origin if time_origin is not None else min(s.start for s in spans)
+    events: list[dict[str, Any]] = []
+    for tid, root in enumerate(spans, start=1):
+        name = root.attrs.get("label") or root.attrs.get("method") or root.name
+        events.append(_thread_name(pid, tid, str(name)))
+        for span in root.walk():
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "span",
+                    "ph": "X",
+                    "ts": (span.start - t0) * 1e6,
+                    "dur": span.seconds * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": _jsonable(span.attrs),
+                }
+            )
+    return events
+
+
+def events_from_schedule(result: Any, *, pid: int = 1) -> list[dict[str, Any]]:
+    """Trace events for a ``ScheduleResult`` Gantt timeline.
+
+    Tasks are packed onto lanes greedily (first lane free at each task's
+    start time), one trace thread per lane; the allocation width is kept
+    in ``args.processors`` rather than drawn, so the lane count is the
+    achieved concurrency, not P.
+    """
+    if not result.tasks:
+        return []
+    lanes: list[float] = []  # per-lane next-free time
+    events: list[dict[str, Any]] = []
+    for task in result.tasks:
+        for lane, free_at in enumerate(lanes):
+            if free_at <= task.start:
+                break
+        else:
+            lane = len(lanes)
+            lanes.append(0.0)
+            events.append(_thread_name(pid, lane + 1, f"lane {lane}"))
+        lanes[lane] = task.finish
+        events.append(
+            {
+                "name": task.label,
+                "cat": task.kind,
+                "ph": "X",
+                "ts": task.start * DEPTH_UNIT_US,
+                "dur": max(task.finish - task.start, 0.0) * DEPTH_UNIT_US,
+                "pid": pid,
+                "tid": lane + 1,
+                "args": {
+                    "kind": task.kind,
+                    "processors": task.processors,
+                    "node": task.index,
+                },
+            }
+        )
+    return events
+
+
+def events_from_graph(graph: Any, *, pid: int = 1) -> list[dict[str, Any]]:
+    """Trace events for a ``TaskGraph`` under the ASAP (P=inf) timeline.
+
+    Each node runs in ``[finish - depth, finish]`` where ``finish`` is
+    :meth:`TaskGraph.finish_time` -- the unlimited-processor schedule the
+    critical-path numbers assume.  Lanes are grouped by node kind so the
+    reduction traffic (the paper's villain) gets its own visible row;
+    zero-depth input/join nodes are skipped.
+    """
+    events: list[dict[str, Any]] = []
+    kind_tid: dict[str, int] = {}
+    for i in range(len(graph)):
+        node = graph.node(i)
+        if node.depth == 0:
+            continue
+        tid = kind_tid.get(node.kind)
+        if tid is None:
+            tid = kind_tid[node.kind] = len(kind_tid) + 1
+            events.append(_thread_name(pid, tid, node.kind))
+        finish = graph.finish_time(i)
+        events.append(
+            {
+                "name": node.label,
+                "cat": node.kind,
+                "ph": "X",
+                "ts": (finish - node.depth) * DEPTH_UNIT_US,
+                "dur": node.depth * DEPTH_UNIT_US,
+                "pid": pid,
+                "tid": tid,
+                "args": {"kind": node.kind, "node": i, "tag": node.tag},
+            }
+        )
+    return events
+
+
+def trace_events(obj: Any, *, pid: int = 1) -> list[dict[str, Any]]:
+    """Dispatch to the right event builder for ``obj``.
+
+    Accepts a :class:`Tracer`, a list of :class:`Span`, a
+    ``ScheduleResult``, or a ``TaskGraph``.
+    """
+    if isinstance(obj, Tracer):
+        return events_from_spans(obj.spans(), pid=pid)
+    if isinstance(obj, list) and all(isinstance(s, Span) for s in obj):
+        return events_from_spans(obj, pid=pid)
+    if hasattr(obj, "makespan") and hasattr(obj, "tasks"):
+        return events_from_schedule(obj, pid=pid)
+    if hasattr(obj, "critical_path_nodes") and hasattr(obj, "finish_time"):
+        return events_from_graph(obj, pid=pid)
+    raise TypeError(
+        f"cannot build trace events from {type(obj).__name__}; expected a "
+        "Tracer, span list, ScheduleResult, or TaskGraph"
+    )
+
+
+def chrome_trace(obj: Any, *, metadata: dict[str, Any] | None = None) -> dict[str, Any]:
+    """The full trace-file dict: ``{"traceEvents": [...], ...}``."""
+    payload: dict[str, Any] = {
+        "traceEvents": trace_events(obj),
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        payload["otherData"] = _jsonable(metadata)
+    return payload
+
+
+def write_chrome_trace(
+    obj: Any, target: str | Path | IO[str], *, metadata: dict[str, Any] | None = None
+) -> None:
+    """Serialize ``obj`` as Chrome trace JSON to a path or stream."""
+    content = json.dumps(chrome_trace(obj, metadata=metadata), indent=2)
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            fh.write(content + "\n")
+    else:
+        target.write(content + "\n")
+
+
+def _thread_name(pid: int, tid: int, name: str) -> dict[str, Any]:
+    return {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def _jsonable(attrs: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out

@@ -1,0 +1,395 @@
+"""Metrics registry (counters/gauges/histograms) and the telemetry sink.
+
+The telemetry event stream (:mod:`repro.telemetry`) is a *log*: good for
+replaying one solve, awkward for watching a fleet of them.  The
+:class:`MetricsRegistry` is the aggregate view -- monotonic counters,
+last-value gauges, and bucketed histograms keyed by metric name plus
+label set -- with two export formats:
+
+* :meth:`MetricsRegistry.to_prometheus` -- the Prometheus text
+  exposition format (version 0.0.4), so a long-running experiment
+  harness can be scraped or its output diffed;
+* :meth:`MetricsRegistry.to_json` -- a nested snapshot for programmatic
+  consumption (the CLI's ``--metrics out.prom`` writes the former,
+  ``repro profile`` can emit either).
+
+:class:`MetricsSink` adapts the registry to the sink protocol: attach it
+to a :class:`~repro.telemetry.Telemetry` session and every solve feeds
+the registry -- iteration counts and latencies, drift magnitudes,
+fault/recovery counts, reduction traffic -- with per-event cost low
+enough to stay inside the instrumentation overhead budget
+(``benchmarks/bench_trace_overhead.py`` prices it).
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import time
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSink",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets: exponential from 1 microsecond to ~10 s,
+#: wide enough for iteration latencies and dimensionless drift ratios.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    1e-6 * (10.0 ** (i / 2.0)) for i in range(15)
+)
+
+
+def _labelkey(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: dict[str, str]) -> None:
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Last-observed value (may go up or down)."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: dict[str, str]) -> None:
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Keep the running maximum (peak-drift style gauges)."""
+        if value > self.value:
+            self.value = float(value)
+
+
+class Histogram:
+    """Cumulative-bucket histogram in the Prometheus style."""
+
+    __slots__ = ("labels", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self, labels: dict[str, str], buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)  # trailing +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs ending with ``(+Inf, count)``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for le, c in zip(self.buckets, self.counts):
+            running += c
+            out.append((le, running))
+        out.append((math.inf, self.count))
+        return out
+
+
+class _Family:
+    """All instruments sharing one metric name."""
+
+    __slots__ = ("name", "kind", "help", "instruments", "buckets")
+
+    def __init__(
+        self, name: str, kind: str, help: str, buckets: tuple[float, ...] | None
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        self.instruments: dict[tuple[tuple[str, str], ...], Any] = {}
+
+
+_NAME_OK = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with label sets.
+
+    Instruments are get-or-create: ``registry.counter("repro_faults_total",
+    site="dot")`` returns the same :class:`Counter` on every call with the
+    same name and labels, so emitters need no caching of their own (though
+    :class:`MetricsSink` caches anyway for hot-path economy).  Registering
+    the same name with a different instrument type raises.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        buckets: tuple[float, ...] | None = None,
+    ) -> _Family:
+        if not name or any(ch not in _NAME_OK for ch in name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help, buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, not {kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """Get or create a counter."""
+        family = self._family(name, "counter", help)
+        key = _labelkey(labels)
+        inst = family.instruments.get(key)
+        if inst is None:
+            inst = family.instruments[key] = Counter(dict(labels))
+        return inst
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """Get or create a gauge."""
+        family = self._family(name, "gauge", help)
+        key = _labelkey(labels)
+        inst = family.instruments.get(key)
+        if inst is None:
+            inst = family.instruments[key] = Gauge(dict(labels))
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+        **labels: str,
+    ) -> Histogram:
+        """Get or create a histogram (buckets fixed at first creation)."""
+        family = self._family(name, "histogram", help, buckets)
+        key = _labelkey(labels)
+        inst = family.instruments.get(key)
+        if inst is None:
+            inst = family.instruments[key] = Histogram(
+                dict(labels), family.buckets or DEFAULT_BUCKETS
+            )
+        return inst
+
+    # -- export --------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (format version 0.0.4)."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key in sorted(family.instruments):
+                inst = family.instruments[key]
+                labels = dict(key)
+                if family.kind == "histogram":
+                    for le, cum in inst.cumulative():
+                        le_str = "+Inf" if math.isinf(le) else _fmt(le)
+                        lines.append(
+                            f"{name}_bucket{_labelstr(labels, le=le_str)} {cum}"
+                        )
+                    lines.append(f"{name}_sum{_labelstr(labels)} {_fmt(inst.sum)}")
+                    lines.append(f"{name}_count{_labelstr(labels)} {inst.count}")
+                else:
+                    lines.append(f"{name}{_labelstr(labels)} {_fmt(inst.value)}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def to_json(self) -> dict[str, Any]:
+        """Nested JSON-serializable snapshot of every instrument."""
+        out: dict[str, Any] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            series = []
+            for key in sorted(family.instruments):
+                inst = family.instruments[key]
+                entry: dict[str, Any] = {"labels": dict(key)}
+                if family.kind == "histogram":
+                    entry["sum"] = inst.sum
+                    entry["count"] = inst.count
+                    entry["buckets"] = [
+                        {"le": ("+Inf" if math.isinf(le) else le), "count": cum}
+                        for le, cum in inst.cumulative()
+                    ]
+                else:
+                    entry["value"] = inst.value
+                series.append(entry)
+            out[name] = {"type": family.kind, "help": family.help, "series": series}
+        return out
+
+    def dumps(self, indent: int | None = 2) -> str:
+        """:meth:`to_json` as a JSON string."""
+        return json.dumps(self.to_json(), indent=indent)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labelstr(labels: dict[str, str], **extra: str) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in merged.items())
+    return "{" + body + "}"
+
+
+class MetricsSink:
+    """Telemetry sink deriving registry metrics from the event stream.
+
+    Metric families fed (all labelled with the registry ``method`` of the
+    enclosing solve, plus event-specific labels):
+
+    ==============================  =========  ==============================
+    metric                          type       source
+    ==============================  =========  ==============================
+    repro_solves_total              counter    solve_end (label: converged)
+    repro_iterations_total          counter    iteration
+    repro_iteration_seconds         histogram  inter-iteration wall time
+    repro_residual_norm             gauge      iteration
+    repro_drift                     histogram  drift events
+    repro_drift_peak                gauge      running max drift per method
+    repro_faults_total              counter    fault events (label: site)
+    repro_recoveries_total          counter    recovery events (label: action)
+    repro_reductions_total          counter    reduction events (label: op)
+    repro_reduction_words_total     counter    reduction payload words
+    repro_solve_seconds             gauge      solve_end
+    repro_solve_iterations          gauge      solve_end
+    repro_flops_total               counter    counters event
+    ==============================  =========  ==============================
+
+    The per-iteration path is kept flat (cached instruments, single
+    ``kind`` string compare) because it runs inside the solver hot loop.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._method = "unknown"
+        self._last_ts = 0.0
+        self._iters = self.registry.counter(
+            "repro_iterations_total", "Solver iterations completed", method="unknown"
+        )
+        self._latency = self.registry.histogram(
+            "repro_iteration_seconds", "Wall time between iteration events",
+            method="unknown",
+        )
+        self._residual = self.registry.gauge(
+            "repro_residual_norm", "Last reported residual norm", method="unknown"
+        )
+
+    def _rebind(self, method: str) -> None:
+        reg = self.registry
+        self._method = method
+        self._iters = reg.counter(
+            "repro_iterations_total", "Solver iterations completed", method=method
+        )
+        self._latency = reg.histogram(
+            "repro_iteration_seconds", "Wall time between iteration events",
+            method=method,
+        )
+        self._residual = reg.gauge(
+            "repro_residual_norm", "Last reported residual norm", method=method
+        )
+
+    def emit(self, event: Any) -> None:
+        kind = event.kind
+        if kind == "iteration":
+            now = time.perf_counter()
+            self._iters.inc()
+            self._latency.observe(now - self._last_ts)
+            self._last_ts = now
+            self._residual.set(event.residual_norm)
+            return
+        reg = self.registry
+        method = self._method
+        if kind == "solve_start":
+            self._rebind(event.method)
+            self._last_ts = time.perf_counter()
+        elif kind == "drift":
+            reg.histogram(
+                "repro_drift", "Recurred vs direct (r,r) relative gap", method=method
+            ).observe(event.drift)
+            reg.gauge(
+                "repro_drift_peak", "Peak observed drift", method=method
+            ).set_max(event.drift)
+        elif kind == "fault":
+            reg.counter(
+                "repro_faults_total", "Injected faults that landed",
+                method=method, site=event.site,
+            ).inc()
+        elif kind == "recovery":
+            reg.counter(
+                "repro_recoveries_total", "Recovery actions taken",
+                method=method, action=event.action,
+            ).inc()
+        elif kind == "reduction":
+            reg.counter(
+                "repro_reductions_total", "Distributed collectives and halos",
+                method=method, op=event.op,
+            ).inc()
+            reg.counter(
+                "repro_reduction_words_total", "Collective payload (vector words)",
+                method=method, op=event.op,
+            ).inc(event.words)
+        elif kind == "counters":
+            reg.counter(
+                "repro_flops_total", "Floating-point operations booked",
+                method=method,
+            ).inc(event.counts.total_flops)
+        elif kind == "solve_end":
+            reg.counter(
+                "repro_solves_total", "Completed solves",
+                method=method, converged=str(bool(event.converged)).lower(),
+            ).inc()
+            reg.gauge(
+                "repro_solve_seconds", "Wall time of the last solve", method=method
+            ).set(event.seconds)
+            reg.gauge(
+                "repro_solve_iterations", "Iterations of the last solve",
+                method=method,
+            ).set(event.iterations)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass

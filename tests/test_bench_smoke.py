@@ -20,6 +20,7 @@ BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_batched_throughput.py"
 OUT_PATH = REPO_ROOT / "BENCH_batched.json"
 FAULT_BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_fault_recovery.py"
 FAULT_OUT_PATH = REPO_ROOT / "BENCH_faults.json"
+TELEMETRY_BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_telemetry_overhead.py"
 
 
 def _load_by_path(name: str, path: Path):
@@ -82,3 +83,27 @@ def test_bench_fault_recovery_smoke_emits_json(tmp_path):
     assert cells[(0.0, "robust")]["converged"] == 2
     # At a 10% rate the injectors actually fired.
     assert cells[(0.1, "robust")]["faults_injected"] > 0
+
+
+def test_bench_telemetry_smoke_emits_json(tmp_path):
+    bench = _load_by_path("bench_telemetry_overhead", TELEMETRY_BENCH_PATH)
+    out = tmp_path / "BENCH_telemetry.json"
+    payload = bench.run(grid=12, rounds=2, trials=1, out_path=out)
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk == payload
+    assert on_disk["bench"] == "telemetry_overhead"
+    assert on_disk["budget"] == 0.05
+    assert on_disk["n"] == 144
+
+    # The full 2-method x 4-configuration grid is present with the right
+    # baselines; overhead numbers at smoke scale are noise, so only their
+    # type is checked -- the budget assertion lives in the benchmark run.
+    grid = {(r["method"], r["config"]): r for r in on_disk["results"]}
+    configs = ("null_sink", "metrics_sink", "tracer", "tracer+metrics")
+    assert set(grid) == {(m, c) for m in ("cg", "vr") for c in configs}
+    for (method, config), record in grid.items():
+        assert isinstance(record["overhead"], float)
+        expected_baseline = "bare" if config == "null_sink" else "null_sink"
+        assert record["baseline"] == expected_baseline
+        assert record["budgeted"] == (config != "tracer+metrics")

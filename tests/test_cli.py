@@ -235,3 +235,68 @@ class TestChebyshevPrecond:
         with pytest.raises(SystemExit):
             main(["solve", "--generate", "poisson2d", "--size", "8",
                   "--solver", "gv", "--precond", "chebyshev"])
+
+
+class TestObservabilityFlags:
+    def test_solve_trace_writes_chrome_json(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        rc = main(["solve", "--generate", "poisson2d", "--size", "10",
+                   "--solver", "cg", "--trace", str(trace)])
+        assert rc == 0
+        assert f"chrome trace written to {trace}" in capsys.readouterr().out
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert {"solve", "iteration", "matvec"} <= names
+
+    def test_solve_metrics_writes_prometheus_text(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        rc = main(["solve", "--generate", "poisson2d", "--size", "10",
+                   "--solver", "vr", "--k", "2", "--metrics", str(metrics)])
+        assert rc == 0
+        text = metrics.read_text()
+        assert "# TYPE repro_iterations_total counter" in text
+        assert 'repro_iterations_total{method="vr"}' in text
+
+    def test_batched_solve_accepts_observability_flags(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.prom"
+        rc = main(["solve", "--generate", "poisson2d", "--size", "8",
+                   "--solver", "cg", "--rhs-count", "2",
+                   "--trace", str(trace), "--metrics", str(metrics)])
+        assert rc == 0
+        assert json.loads(trace.read_text())["traceEvents"]
+        assert "repro_solves_total" in metrics.read_text()
+
+
+class TestProfile:
+    def test_profile_prints_table_and_converges(self, capsys):
+        rc = main(["profile", "--generate", "poisson2d", "--size", "10",
+                   "--method", "cg"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile: cg" in out
+        assert "blocking syncs / iteration" in out
+        assert "model: sync fraction" in out
+
+    def test_profile_vr_and_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "vr.json"
+        metrics = tmp_path / "vr.prom"
+        rc = main(["profile", "--generate", "poisson2d", "--size", "10",
+                   "--method", "vr", "--k", "2",
+                   "--trace", str(trace), "--metrics", str(metrics)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile: vr" in out
+        assert json.loads(trace.read_text())["traceEvents"]
+        assert 'repro_iterations_total{method="vr"}' in metrics.read_text()
+
+    def test_profile_distributed_reports_comm(self, capsys):
+        rc = main(["profile", "--generate", "poisson2d", "--size", "8",
+                   "--method", "dist-cg", "--nranks", "2"])
+        assert rc == 0
+        assert "syncs on critical path (comm)" in capsys.readouterr().out
+
+    def test_profile_matrix_file(self, mtx_file, capsys):
+        rc = main(["profile", "--matrix", str(mtx_file), "--method", "cg"])
+        assert rc == 0
+        assert "profile: cg" in capsys.readouterr().out

@@ -1,0 +1,120 @@
+"""The benchmark regression gate (tools/check_bench_regression.py).
+
+Exercised through a subprocess, exactly as CI invokes it: the script is
+stdlib-only and must work before the project itself is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "tools" / "check_bench_regression.py"
+
+
+def _run(*argv: str):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *argv],
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baseline = tmp_path / "baseline"
+    current = tmp_path / "current"
+    baseline.mkdir()
+    current.mkdir()
+    return baseline, current
+
+
+def _write(directory: Path, payload: dict, name: str = "BENCH_x.json"):
+    (directory / name).write_text(json.dumps(payload))
+
+
+def test_within_tolerance_passes(dirs):
+    baseline, current = dirs
+    _write(baseline, {"results": [{"batched_seconds": 1.0, "speedup": 2.0}]})
+    _write(current, {"results": [{"batched_seconds": 1.1, "speedup": 1.9}]})
+    proc = _run("--baseline-dir", str(baseline), "--current-dir", str(current))
+    assert proc.returncode == 0
+    assert "all benchmarks within tolerance" in proc.stdout
+
+
+def test_slower_seconds_warns_but_exits_zero(dirs):
+    baseline, current = dirs
+    _write(baseline, {"solve_seconds": 1.0})
+    _write(current, {"solve_seconds": 2.0})
+    proc = _run("--baseline-dir", str(baseline), "--current-dir", str(current))
+    assert proc.returncode == 0, "default mode is warn-only"
+    assert "REGRESSED" in proc.stdout
+    assert "solve_seconds: 1 -> 2 (+100.0%)" in proc.stdout
+
+
+def test_strict_mode_fails_on_regression(dirs):
+    baseline, current = dirs
+    _write(baseline, {"overhead": 0.02})
+    _write(current, {"overhead": 0.08})
+    proc = _run(
+        "--baseline-dir", str(baseline),
+        "--current-dir", str(current),
+        "--strict",
+    )
+    assert proc.returncode == 1
+    assert "regression: overhead" in proc.stdout
+
+
+def test_lower_speedup_is_a_regression(dirs):
+    baseline, current = dirs
+    _write(baseline, {"results": [{"speedup": 4.0}]})
+    _write(current, {"results": [{"speedup": 2.0}]})
+    proc = _run(
+        "--baseline-dir", str(baseline),
+        "--current-dir", str(current),
+        "--strict",
+    )
+    assert proc.returncode == 1
+    assert "speedup" in proc.stdout
+
+
+def test_faster_is_an_improvement_note_not_a_regression(dirs):
+    baseline, current = dirs
+    _write(baseline, {"solve_seconds": 2.0, "speedup": 2.0})
+    _write(current, {"solve_seconds": 1.0, "speedup": 4.0})
+    proc = _run(
+        "--baseline-dir", str(baseline),
+        "--current-dir", str(current),
+        "--strict",
+    )
+    assert proc.returncode == 0
+    assert "[improved]" in proc.stdout
+
+
+def test_missing_baseline_is_skipped(dirs):
+    baseline, current = dirs
+    _write(current, {"solve_seconds": 1.0}, name="BENCH_new.json")
+    proc = _run("--baseline-dir", str(baseline), "--current-dir", str(current))
+    assert proc.returncode == 0
+    assert "no baseline, skipped" in proc.stdout
+
+
+def test_empty_current_dir_is_an_error(dirs):
+    baseline, current = dirs
+    proc = _run("--baseline-dir", str(baseline), "--current-dir", str(current))
+    assert proc.returncode == 2
+
+
+def test_gate_accepts_the_committed_baselines():
+    """The real repo artifacts pass their own committed baselines."""
+    proc = _run(
+        "--baseline-dir", str(REPO_ROOT / "benchmarks" / "baselines"),
+        "--current-dir", str(REPO_ROOT),
+    )
+    assert proc.returncode == 0
+    assert "BENCH_telemetry.json" in proc.stdout

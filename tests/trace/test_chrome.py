@@ -1,0 +1,144 @@
+"""Chrome trace-event export: spans, task graphs, and schedules."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro import Tracer, poisson2d, solve
+from repro.machine import (
+    build_cg_dag,
+    simulate_schedule,
+    to_chrome,
+    write_chrome,
+)
+from repro.telemetry import Telemetry
+from repro.trace import (
+    Span,
+    chrome_trace,
+    events_from_graph,
+    events_from_schedule,
+    events_from_spans,
+    trace_events,
+    write_chrome_trace,
+)
+from repro.trace.chrome import DEPTH_UNIT_US
+
+
+def _complete(events):
+    return [e for e in events if e.get("ph") == "X"]
+
+
+# ---------------------------------------------------------------------------
+# spans
+# ---------------------------------------------------------------------------
+def test_events_from_live_solve_are_valid(tmp_path):
+    a = poisson2d(8)
+    tracer = Tracer()
+    result = solve(a, np.ones(a.nrows), method="cg", trace=tracer)
+    assert result.converged
+
+    doc = chrome_trace(tracer, metadata={"method": "cg"})
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"] == {"method": "cg"}
+    events = _complete(doc["traceEvents"])
+    names = {e["name"] for e in events}
+    assert {"solve", "iteration", "matvec", "local_dot", "axpy"} <= names
+    for e in events:
+        assert e["ts"] >= 0.0 and e["dur"] >= 0.0
+        json.dumps(e)  # every event individually serializable
+
+    out = tmp_path / "trace.json"
+    write_chrome_trace(tracer, out)
+    on_disk = json.loads(out.read_text())
+    assert len(on_disk["traceEvents"]) == len(doc["traceEvents"])
+
+
+def test_events_from_spans_rebase_to_zero_and_name_lanes():
+    root = Span(
+        name="solve",
+        start=100.0,
+        end=101.0,
+        attrs={"method": "cg"},
+        children=[Span(name="matvec", start=100.2, end=100.4)],
+    )
+    events = events_from_spans([root])
+    meta = [e for e in events if e["ph"] == "M"]
+    assert meta[0]["args"]["name"] == "cg"
+    xs = _complete(events)
+    solve_ev = next(e for e in xs if e["name"] == "solve")
+    assert solve_ev["ts"] == 0.0
+    assert solve_ev["dur"] == pytest.approx(1e6)
+    mv = next(e for e in xs if e["name"] == "matvec")
+    assert mv["ts"] == pytest.approx(0.2e6)
+
+
+def test_events_from_spans_empty_is_empty():
+    assert events_from_spans([]) == []
+
+
+def test_write_chrome_trace_accepts_stream():
+    buf = io.StringIO()
+    write_chrome_trace([Span(name="solve", start=0.0, end=1.0)], buf)
+    doc = json.loads(buf.getvalue())
+    assert [e["name"] for e in _complete(doc["traceEvents"])] == ["solve"]
+
+
+# ---------------------------------------------------------------------------
+# task graphs and schedules
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def cg_dag():
+    return build_cg_dag(64, 5, 3)
+
+
+def test_events_from_graph_match_critical_path(cg_dag):
+    graph = cg_dag.graph
+    events = _complete(events_from_graph(graph))
+    assert events, "a compiled CG DAG has nonzero-depth nodes"
+    max_finish = max(e["ts"] + e["dur"] for e in events)
+    assert max_finish == pytest.approx(
+        graph.critical_path_length() * DEPTH_UNIT_US
+    )
+    # lanes are grouped by kind: reductions get their own visible row
+    cats = {e["cat"] for e in events}
+    assert "dot" in cats or "reduce" in cats
+
+
+def test_events_from_schedule_match_makespan(cg_dag):
+    sched = simulate_schedule(cg_dag.graph, processors=4)
+    events = _complete(events_from_schedule(sched))
+    assert len(events) == len(sched.tasks)
+    max_finish = max(e["ts"] + e["dur"] for e in events)
+    assert max_finish == pytest.approx(sched.makespan * DEPTH_UNIT_US)
+    # lane packing never overlaps two tasks on one thread id
+    by_tid: dict[int, list] = {}
+    for e in sorted(events, key=lambda e: e["ts"]):
+        lane = by_tid.setdefault(e["tid"], [])
+        if lane:
+            assert lane[-1] <= e["ts"] + 1e-9
+        lane.append(e["ts"] + e["dur"])
+
+
+def test_trace_events_dispatches_by_type(cg_dag):
+    sched = simulate_schedule(cg_dag.graph, processors=4)
+    assert _complete(trace_events(cg_dag.graph))
+    assert _complete(trace_events(sched))
+    assert trace_events(Tracer()) == []
+    with pytest.raises(TypeError):
+        trace_events(42)
+
+
+def test_machine_export_unification(cg_dag, tmp_path):
+    """repro.machine.to_chrome/write_chrome cover graphs AND schedules."""
+    doc = json.loads(to_chrome(cg_dag.graph))
+    assert doc["traceEvents"]
+    sched = simulate_schedule(cg_dag.graph, processors=8)
+    out = tmp_path / "sched.json"
+    write_chrome(sched, out, metadata={"processors": 8})
+    on_disk = json.loads(out.read_text())
+    assert on_disk["otherData"] == {"processors": 8}
+    assert on_disk["traceEvents"]

@@ -1,0 +1,199 @@
+"""Unit tests for the metrics registry, exporters, and MetricsSink."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import poisson2d, solve
+from repro.telemetry import Telemetry
+from repro.trace import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+)
+
+
+# ---------------------------------------------------------------------------
+# instruments
+# ---------------------------------------------------------------------------
+def test_counter_goes_up_and_rejects_negative():
+    c = Counter({})
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+
+
+def test_gauge_set_and_set_max():
+    g = Gauge({})
+    g.set(4.0)
+    g.set(2.0)
+    assert g.value == 2.0
+    g.set_max(7.0)
+    g.set_max(1.0)
+    assert g.value == 7.0
+
+
+def test_histogram_buckets_are_cumulative():
+    h = Histogram({}, buckets=(1.0, 10.0))
+    for v in (0.5, 5.0, 50.0, 0.2):
+        h.observe(v)
+    cum = h.cumulative()
+    assert cum[0] == (1.0, 2)       # 0.5, 0.2
+    assert cum[1] == (10.0, 3)      # + 5.0
+    le_inf, total = cum[2]
+    assert total == 4 and le_inf == float("inf")
+    assert h.sum == pytest.approx(55.7)
+
+
+# ---------------------------------------------------------------------------
+# registry semantics
+# ---------------------------------------------------------------------------
+def test_registry_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    a = reg.counter("x_total", method="cg")
+    b = reg.counter("x_total", method="cg")
+    assert a is b
+    other = reg.counter("x_total", method="vr")
+    assert other is not a
+
+
+def test_registry_rejects_kind_conflicts_and_bad_names():
+    reg = MetricsRegistry()
+    reg.counter("x_total")
+    with pytest.raises(ValueError):
+        reg.gauge("x_total")
+    with pytest.raises(ValueError):
+        reg.counter("bad name")
+    with pytest.raises(ValueError):
+        reg.counter("")
+
+
+def test_prometheus_exposition_format():
+    reg = MetricsRegistry()
+    reg.counter("repro_solves_total", "Completed solves", method="cg").inc(3)
+    reg.gauge("repro_residual", method="cg").set(1.5e-9)
+    reg.histogram("repro_lat", buckets=(0.1, 1.0), method="cg").observe(0.05)
+    text = reg.to_prometheus()
+    lines = text.splitlines()
+    assert "# HELP repro_solves_total Completed solves" in lines
+    assert "# TYPE repro_solves_total counter" in lines
+    assert 'repro_solves_total{method="cg"} 3' in lines
+    assert "# TYPE repro_lat histogram" in lines
+    assert 'repro_lat_bucket{method="cg",le="0.1"} 1' in lines
+    assert 'repro_lat_bucket{method="cg",le="+Inf"} 1' in lines
+    assert 'repro_lat_count{method="cg"} 1' in lines
+    assert text.endswith("\n")
+
+
+def test_prometheus_escapes_label_values_and_help():
+    reg = MetricsRegistry()
+    reg.counter("x_total", 'say "hi"\nplease', label='a"b\\c\nd').inc()
+    text = reg.to_prometheus()
+    assert '# HELP x_total say "hi"\\nplease' in text
+    assert 'label="a\\"b\\\\c\\nd"' in text
+
+
+def test_json_snapshot_round_trips():
+    reg = MetricsRegistry()
+    reg.counter("x_total", method="cg").inc(2)
+    reg.histogram("y", buckets=(1.0,), method="cg").observe(0.5)
+    snap = json.loads(reg.dumps())
+    assert snap["x_total"]["type"] == "counter"
+    [series] = snap["x_total"]["series"]
+    assert series == {"labels": {"method": "cg"}, "value": 2.0}
+    [hist] = snap["y"]["series"]
+    assert hist["count"] == 1
+    assert hist["buckets"][-1]["le"] == "+Inf"
+
+
+# ---------------------------------------------------------------------------
+# MetricsSink fed by a real solve
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_system():
+    a = poisson2d(8)
+    return a, np.ones(a.nrows)
+
+
+def test_metrics_sink_aggregates_a_cg_solve(small_system):
+    a, b = small_system
+    sink = MetricsSink()
+    result = solve(a, b, method="cg", telemetry=Telemetry(sink))
+    assert result.converged
+    reg = sink.registry
+    iters = reg.counter("repro_iterations_total", method="cg")
+    assert iters.value == result.iterations
+    lat = reg.histogram("repro_iteration_seconds", method="cg")
+    assert lat.count == result.iterations
+    assert reg.gauge("repro_solve_iterations", method="cg").value == (
+        result.iterations
+    )
+    solves = reg.counter("repro_solves_total", method="cg", converged="true")
+    assert solves.value == 1
+
+
+def test_metrics_sink_sees_drift_and_reductions(small_system):
+    a, b = small_system
+    sink = MetricsSink()
+    result = solve(a, b, method="vr", k=2, telemetry=Telemetry(sink))
+    assert result.converged
+    reg = sink.registry
+    # vr defaults to the drift-check stabilizer: drift events flow.
+    drift = reg.histogram("repro_drift", method="vr")
+    assert drift.count > 0
+    assert reg.gauge("repro_drift_peak", method="vr").value >= 0.0
+
+    sink2 = MetricsSink()
+    result2 = solve(a, b, method="dist-cg", nranks=2, telemetry=Telemetry(sink2))
+    assert result2.converged
+    reds = sink2.registry.counter(
+        "repro_reductions_total", method="dist-cg", op="allreduce"
+    )
+    assert reds.value > 0
+    words = sink2.registry.counter(
+        "repro_reduction_words_total", method="dist-cg", op="allreduce"
+    )
+    assert words.value >= reds.value
+
+
+def test_metrics_sink_counts_faults_and_recoveries(small_system):
+    a, b = small_system
+    from repro.faults import FaultPlan, parse_fault_spec
+
+    sink = MetricsSink()
+    solve(
+        a,
+        b,
+        method="vr",
+        k=2,
+        faults=FaultPlan([parse_fault_spec("scalar@3:factor=1e3")]),
+        recovery="robust",
+        telemetry=Telemetry(sink),
+    )
+    snap = sink.registry.to_json()
+    faults = sum(
+        s["value"] for s in snap.get("repro_faults_total", {"series": []})["series"]
+    )
+    recoveries = sum(
+        s["value"]
+        for s in snap.get("repro_recoveries_total", {"series": []})["series"]
+    )
+    assert faults > 0
+    assert recoveries > 0
+
+
+def test_one_sink_accumulates_across_methods(small_system):
+    a, b = small_system
+    sink = MetricsSink()
+    for method in ("cg", "vr"):
+        solve(a, b, method=method, telemetry=Telemetry(sink))
+    text = sink.registry.to_prometheus()
+    assert 'repro_iterations_total{method="cg"}' in text
+    assert 'repro_iterations_total{method="vr"}' in text

@@ -1,0 +1,96 @@
+"""Property test: span trees nest correctly for every registry method.
+
+For each method in the registry, a traced solve must produce a span tree
+where (a) every child lies inside its parent, (b) the phase spans inside
+one iteration never overlap, and (c) phase time never exceeds the
+iteration span that contains it.  This is the structural contract the
+critical-path profiler and the Chrome exporter both rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Tracer, poisson2d, solve
+from repro.core.stopping import StoppingCriterion
+from repro.registry import available_methods
+from repro.trace import PHASE_NAMES
+
+#: Extra options a method needs to run at tiny scale.
+_OPTIONS: dict[str, dict] = {
+    "vr": {"k": 2},
+    "pipelined-vr": {"k": 2},
+    "dist-pipelined-vr": {"k": 2, "nranks": 2},
+    "sstep": {"s": 2},
+    "dist-sstep": {"s": 2, "nranks": 2},
+    "dist-cg": {"nranks": 2},
+    "dist-cgcg": {"nranks": 2},
+}
+
+_EPS = 1e-9
+
+
+@pytest.fixture(scope="module")
+def system():
+    a = poisson2d(8)
+    return a, np.ones(a.nrows)
+
+
+@pytest.mark.parametrize("method", available_methods())
+def test_span_tree_invariants(system, method):
+    a, b = system
+    tracer = Tracer()
+    options = dict(_OPTIONS.get(method, {}))
+    solve(
+        a,
+        b,
+        method=method,
+        stop=StoppingCriterion(rtol=1e-6, max_iter=40),
+        trace=tracer,
+        **options,
+    )
+
+    roots = tracer.spans()
+    assert len(roots) == 1, "one solve call yields exactly one root span"
+    [root] = roots
+    assert root.name == "solve"
+    # Aliases (gauss-seidel = sor with omega=1) report the underlying
+    # solver's name on the span.
+    aliases = {"gauss-seidel": "sor"}
+    assert root.attrs.get("method") == aliases.get(method, method)
+
+    # (a) containment, recursively, for the whole tree.
+    for span in root.walk():
+        assert span.end >= span.start - _EPS
+        for child in span.children:
+            assert span.contains(child), (
+                f"{method}: child {child.name} "
+                f"[{child.start}, {child.end}] escapes parent {span.name} "
+                f"[{span.start}, {span.end}]"
+            )
+
+    # (b) + (c) per iteration: phases are sequential and sum within the
+    # iteration span.
+    iterations = [c for c in root.children if c.name == "iteration"]
+    for iteration in iterations:
+        kids = sorted(iteration.children, key=lambda s: s.start)
+        for kid in kids:
+            assert kid.name in PHASE_NAMES | {"startup"}
+        for first, second in zip(kids, kids[1:]):
+            assert first.end <= second.start + _EPS, (
+                f"{method}: phases {first.name} and {second.name} overlap"
+            )
+        assert sum(k.seconds for k in kids) <= iteration.seconds + _EPS
+
+    # Iteration numbering is strictly increasing.
+    numbers = [it.attrs.get("iteration") for it in iterations]
+    assert numbers == sorted(numbers)
+
+    # Phase names anywhere in the tree come from the fixed vocabulary.
+    for span in root.walk():
+        if span is root:
+            continue
+        assert span.name in PHASE_NAMES | {"iteration", "startup"}, (
+            f"{method}: unexpected span name {span.name!r}"
+        )

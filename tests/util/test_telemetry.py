@@ -159,6 +159,58 @@ def test_ascii_summary_sink_renders_table(system):
     assert "matvecs" in out
 
 
+def test_ascii_summary_sink_reports_drift_and_faults(system):
+    """A faulted VR solve shows the peak-drift and fault/recovery rows."""
+    from repro import solve
+    from repro.faults import FaultPlan, parse_fault_spec
+
+    a, b = system
+    buf = io.StringIO()
+    solve(
+        a,
+        b,
+        method="vr",
+        k=2,
+        faults=FaultPlan([parse_fault_spec("scalar@3:factor=1e3")]),
+        recovery="robust",
+        telemetry=Telemetry(AsciiSummarySink(buf)),
+    )
+    out = buf.getvalue()
+    assert "peak drift" in out
+    assert "faults injected" in out
+    assert "recovery actions" in out
+
+
+def test_ascii_summary_sink_reports_reduction_counts(system):
+    """A distributed solve shows per-collective and total reduction rows."""
+    from repro import solve
+
+    a, b = system
+    buf = io.StringIO()
+    solve(
+        a,
+        b,
+        method="dist-cg",
+        nranks=2,
+        telemetry=Telemetry(AsciiSummarySink(buf)),
+    )
+    out = buf.getvalue()
+    assert "collective allreduce" in out
+    assert "reduction events (total)" in out
+
+
+def test_ascii_summary_sink_omits_empty_observability_rows(system):
+    """A plain CG solve has no collectives, drift, or faults: the new
+    columns must not clutter its table."""
+    a, b = system
+    buf = io.StringIO()
+    tele = Telemetry(AsciiSummarySink(buf))
+    conjugate_gradient(a, b, telemetry=tele)
+    out = buf.getvalue()
+    assert "peak drift" not in out
+    assert "faults injected" not in out
+
+
 # ----------------------------------------------------------------------
 # the Telemetry session
 # ----------------------------------------------------------------------
@@ -407,3 +459,57 @@ def test_dual_kwarg_is_value_error_not_silent_preference(system, caller):
     a, b = system
     with pytest.raises(ValueError, match="both"):
         caller(a, b)
+
+
+# ----------------------------------------------------------------------
+# flush-on-raise regression (ISSUE 4 satellite): a solver that raises
+# mid-solve must not lose the buffered tail of a JsonlSink, and must
+# leave the session balanced for the next solve.
+# ----------------------------------------------------------------------
+def _raising_solve(a, b, path):
+    """Drive UnrecoverableDivergence through the front door with a
+    JsonlSink attached; returns the telemetry session."""
+    from repro import solve
+    from repro.faults import FaultPlan, RecoveryPolicy, ScalarCorruptor
+
+    tele = Telemetry(JsonlSink(path))
+    plan = FaultPlan([ScalarCorruptor(at_iteration=5, factor=1e12)], seed=0)
+    policy = RecoveryPolicy(max_restarts=0, on_unrecoverable="raise")
+    from repro.faults import UnrecoverableDivergence
+
+    with pytest.raises(UnrecoverableDivergence):
+        solve(
+            a,
+            b,
+            "vr",
+            k=3,
+            stop=StoppingCriterion(rtol=1e-8, max_iter=12),
+            faults=plan,
+            recovery=policy,
+            telemetry=tele,
+        )
+    return tele
+
+
+def test_raising_solve_does_not_lose_buffered_jsonl_tail(system, tmp_path):
+    a, b = system
+    path = tmp_path / "events.jsonl"
+    _raising_solve(a, b, path)
+    # The front door unwound the session: everything emitted before the
+    # raise -- including the fault event itself -- is on disk already,
+    # without anyone calling close().
+    lines = path.read_text().strip().splitlines()
+    kinds = [json.loads(line)["kind"] for line in lines]
+    assert "solve_start" in kinds
+    assert "iteration" in kinds
+    assert "fault" in kinds, "the very last pre-raise event must be flushed"
+
+
+def test_raising_solve_leaves_session_balanced(system, tmp_path):
+    a, b = system
+    tele = _raising_solve(a, b, tmp_path / "events.jsonl")
+    assert tele.open_solves == 0
+    # The session is reusable: a clean follow-up solve brackets correctly.
+    result = conjugate_gradient(a, b, telemetry=tele)
+    assert result.converged
+    assert tele.open_solves == 0

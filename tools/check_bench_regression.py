@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json files against committed baselines.
+
+Walks every ``BENCH_*.json`` in ``--current-dir``, pairs it with the
+file of the same name in ``--baseline-dir``, and compares every numeric
+leaf the two JSON trees share.  A leaf regresses when it moves past
+``--tolerance`` in its *bad* direction, which is inferred from the key
+name:
+
+* ``*seconds*`` and ``*overhead*`` leaves are **higher-is-worse**;
+* ``*speedup*`` leaves are **lower-is-worse**;
+* everything else is informational and only reported when it moved.
+
+The gate is warn-only by default (exit 0, regressions printed) so noisy
+CI runners cannot block merges while a baseline history accumulates;
+``--strict`` turns regressions into exit 1.  Stdlib only -- the script
+must run before any project install step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HIGHER_IS_WORSE = ("seconds", "overhead")
+LOWER_IS_WORSE = ("speedup",)
+
+
+def _numeric_leaves(node, prefix=""):
+    """Yield ``(dotted.path, value)`` for every numeric leaf."""
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        yield prefix, float(node)
+    elif isinstance(node, dict):
+        for key in sorted(node):
+            yield from _numeric_leaves(node[key], f"{prefix}.{key}" if prefix else key)
+    elif isinstance(node, list):
+        for i, item in enumerate(node):
+            yield from _numeric_leaves(item, f"{prefix}[{i}]")
+
+
+def _direction(path):
+    """'worse-up', 'worse-down', or None for a leaf's final key."""
+    leaf = path.rsplit(".", 1)[-1]
+    if any(marker in leaf for marker in HIGHER_IS_WORSE):
+        return "worse-up"
+    if any(marker in leaf for marker in LOWER_IS_WORSE):
+        return "worse-down"
+    return None
+
+
+def compare_files(baseline_path: Path, current_path: Path, tolerance: float):
+    """Return ``(regressions, notes)`` line lists for one file pair."""
+    baseline = dict(_numeric_leaves(json.loads(baseline_path.read_text())))
+    current = dict(_numeric_leaves(json.loads(current_path.read_text())))
+    regressions, notes = [], []
+    for path in sorted(baseline.keys() & current.keys()):
+        old, new = baseline[path], current[path]
+        direction = _direction(path)
+        if direction is None:
+            continue
+        if old == 0.0:
+            # A zero baseline makes a ratio meaningless; report absolutes.
+            if direction == "worse-up" and new > tolerance:
+                regressions.append(f"{path}: 0 -> {new:.4g} (zero baseline)")
+            continue
+        change = new / old - 1.0
+        line = f"{path}: {old:.4g} -> {new:.4g} ({change:+.1%})"
+        worse = (direction == "worse-up" and change > tolerance) or (
+            direction == "worse-down" and change < -tolerance
+        )
+        if worse:
+            regressions.append(line)
+        elif abs(change) > tolerance:
+            notes.append(line + " [improved]")
+    only = sorted(baseline.keys() ^ current.keys())
+    if only:
+        notes.append(f"{len(only)} leaves present on one side only (skipped)")
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", type=Path, required=True,
+                        help="directory holding committed BENCH_*.json baselines")
+    parser.add_argument("--current-dir", type=Path, required=True,
+                        help="directory holding freshly generated BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative change allowed before a leaf counts "
+                             "as regressed (default 0.25)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regression instead of warning")
+    args = parser.parse_args(argv)
+
+    current_files = sorted(args.current_dir.glob("BENCH_*.json"))
+    if not current_files:
+        print(f"no BENCH_*.json under {args.current_dir}", file=sys.stderr)
+        return 2
+
+    total_regressions = 0
+    for current_path in current_files:
+        baseline_path = args.baseline_dir / current_path.name
+        if not baseline_path.exists():
+            print(f"{current_path.name}: no baseline, skipped")
+            continue
+        regressions, notes = compare_files(
+            baseline_path, current_path, args.tolerance
+        )
+        status = "REGRESSED" if regressions else "ok"
+        print(f"{current_path.name}: {status}")
+        for line in regressions:
+            print(f"  regression: {line}")
+        for line in notes:
+            print(f"  note: {line}")
+        total_regressions += len(regressions)
+
+    if total_regressions:
+        verdict = "failing (--strict)" if args.strict else "warn-only"
+        print(f"{total_regressions} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance; {verdict}")
+        return 1 if args.strict else 0
+    print("all benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
