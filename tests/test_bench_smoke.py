@@ -17,7 +17,6 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_batched_throughput.py"
-OUT_PATH = REPO_ROOT / "BENCH_batched.json"
 FAULT_BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_fault_recovery.py"
 FAULT_OUT_PATH = REPO_ROOT / "BENCH_faults.json"
 TELEMETRY_BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_telemetry_overhead.py"
@@ -34,12 +33,12 @@ def _load_bench_module():
     return _load_by_path("bench_batched_throughput", BENCH_PATH)
 
 
-def test_bench_batched_smoke_emits_json():
+def test_bench_batched_smoke_emits_json(tmp_path):
     bench = _load_bench_module()
-    payload = bench.run(grid=12, m_values=(4,), repeats=1, out_path=OUT_PATH)
+    out = tmp_path / "BENCH_batched.json"
+    payload = bench.run(grid=12, m_values=(4,), repeats=1, out_path=out)
 
-    assert OUT_PATH.exists()
-    on_disk = json.loads(OUT_PATH.read_text())
+    on_disk = json.loads(out.read_text())
     assert on_disk == payload
     assert on_disk["bench"] == "batched_throughput"
     assert on_disk["method"] == "cg"
