@@ -1,0 +1,108 @@
+"""Kernel dispatch, workspace arena, and setup cache (`repro.backend`).
+
+Three pieces, one goal -- make the per-iteration critical path cost what
+the hardware charges and nothing more:
+
+* :class:`Backend` -- the protocol through which every solver reaches its
+  matvec/dot/axpy/block kernels.  :class:`ReferenceBackend` is the
+  instrumented-numpy implementation (the default, always available);
+  :class:`ThreadedBackend` chunks the elementwise kernels and the CSR
+  matvec across a thread pool (feature-detected, at least two CPUs).
+  Select with ``solve(..., backend=)``, the CLI ``--backend`` flag, or
+  the ``REPRO_BACKEND`` environment variable.
+* :class:`Workspace` -- a per-solve, shape/dtype-keyed buffer pool, so
+  steady-state iterations allocate zero new arrays.
+* :class:`SetupCache` -- memoizes matrix-dependent setup (ELL
+  conversion, preconditioner factorizations, matrix-powers structure)
+  across repeated ``solve()`` calls, keyed by a content fingerprint.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.backend.base import Backend
+from repro.backend.cache import (
+    SetupCache,
+    cached_ell,
+    clear_setup_cache,
+    matrix_fingerprint,
+    setup_cache,
+)
+from repro.backend.reference import ReferenceBackend
+from repro.backend.threaded import ThreadedBackend
+from repro.backend.workspace import Workspace
+
+__all__ = [
+    "Backend",
+    "ReferenceBackend",
+    "ThreadedBackend",
+    "Workspace",
+    "SetupCache",
+    "setup_cache",
+    "clear_setup_cache",
+    "matrix_fingerprint",
+    "cached_ell",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+]
+
+#: Environment variable consulted when no explicit backend is requested.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_REGISTRY: dict[str, type[Backend]] = {
+    ReferenceBackend.name: ReferenceBackend,
+    ThreadedBackend.name: ThreadedBackend,
+}
+
+_INSTANCES: dict[str, Backend] = {}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends that can run on this host."""
+    return tuple(
+        name for name, cls in sorted(_REGISTRY.items()) if cls.is_available()
+    )
+
+
+def get_backend(name: str) -> Backend:
+    """The shared instance of the named backend.
+
+    Raises ``ValueError`` for unknown names and for backends whose
+    feature detection fails on this host.
+    """
+    key = str(name).strip().lower()
+    cls = _REGISTRY.get(key)
+    if cls is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown backend {name!r}; available: {known}")
+    if not cls.is_available():
+        raise ValueError(
+            f"backend {key!r} is not available on this host "
+            f"(available: {', '.join(available_backends())})"
+        )
+    instance = _INSTANCES.get(key)
+    if instance is None:
+        instance = cls()
+        _INSTANCES[key] = instance
+    return instance
+
+
+def resolve_backend(spec: "Backend | str | None") -> Backend:
+    """Resolve a backend request to an instance.
+
+    ``None`` consults the ``REPRO_BACKEND`` environment variable and
+    falls back to the reference backend; a string goes through
+    :func:`get_backend`; a :class:`Backend` instance passes through.
+    """
+    if spec is None:
+        env = os.environ.get(BACKEND_ENV_VAR)
+        return get_backend(env) if env else get_backend(ReferenceBackend.name)
+    if isinstance(spec, Backend):
+        return spec
+    if isinstance(spec, str):
+        return get_backend(spec)
+    raise TypeError(
+        f"backend must be a Backend instance or name, got {type(spec).__name__}"
+    )

@@ -1,0 +1,126 @@
+"""The kernel-dispatch protocol every backend implements.
+
+A :class:`Backend` is the single seam through which solver loops reach
+their length-N kernels: inner products, fused block reductions, the
+axpy-family updates, and operator application.  The contract every
+implementation must honour:
+
+* **Identical numerics** -- same results bit-for-bit where the operation
+  order is defined (elementwise kernels), same up-to-roundoff results for
+  reductions that an implementation may reassociate.
+* **Identical accounting** -- every kernel books exactly the same
+  :mod:`repro.util.counters` entries as the instrumented reference
+  kernels, so op-count experiments and telemetry totals do not depend on
+  which backend executed the arithmetic.
+* **Workspace discipline** -- with a :class:`~repro.backend.Workspace`
+  supplied via ``work=``, kernels allocate no arrays; without one they
+  may fall back to allocating behaviour.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Backend"]
+
+
+class Backend(ABC):
+    """Abstract kernel dispatch layer.
+
+    Concrete backends: :class:`~repro.backend.reference.ReferenceBackend`
+    (the instrumented-numpy kernels every solver used before this layer
+    existed) and :class:`~repro.backend.threaded.ThreadedBackend`
+    (chunked multi-threaded elementwise kernels behind feature
+    detection).
+    """
+
+    #: Registry name (``backend="<name>"`` / ``--backend <name>`` / env).
+    name: str = "abstract"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this backend can run on the current host."""
+        return True
+
+    # -- reductions ----------------------------------------------------
+    @abstractmethod
+    def dot(self, x: np.ndarray, y: np.ndarray, *, label: str | None = None) -> float:
+        """Instrumented inner product ``xᵀy``."""
+
+    @abstractmethod
+    def norm(self, x: np.ndarray) -> float:
+        """Instrumented Euclidean norm (booked as one inner product)."""
+
+    @abstractmethod
+    def block_dot(self, x: np.ndarray, y: np.ndarray, *, label: str | None = None) -> np.ndarray:
+        """Fused column-wise inner products of two ``(n, m)`` blocks."""
+
+    @abstractmethod
+    def block_norms(self, x: np.ndarray, *, label: str | None = None) -> np.ndarray:
+        """Column Euclidean norms of an ``(n, m)`` block."""
+
+    # -- vector updates ------------------------------------------------
+    @abstractmethod
+    def axpy(
+        self,
+        a: float,
+        x: np.ndarray,
+        y: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        work: Any = None,
+    ) -> np.ndarray:
+        """``a*x + y`` (aliasing contract as :func:`repro.util.kernels.axpy`)."""
+
+    @abstractmethod
+    def axpby(
+        self,
+        a: float,
+        x: np.ndarray,
+        b: float,
+        y: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        work: Any = None,
+    ) -> np.ndarray:
+        """``a*x + b*y`` (aliasing contract as :func:`repro.util.kernels.axpby`)."""
+
+    @abstractmethod
+    def scale(self, a: float, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``a*x``; ``out`` may alias ``x``."""
+
+    # -- operator application ------------------------------------------
+    @abstractmethod
+    def matvec(
+        self,
+        op: Any,
+        x: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        work: Any = None,
+    ) -> np.ndarray:
+        """Apply ``op`` to ``x``, into ``out`` when given.
+
+        Falls back to copying through the operator's own allocating
+        ``matvec`` for operator types that predate the ``out=``
+        convention (e.g. fault-wrapped operators), so any
+        :class:`~repro.sparse.linop.LinearOperator` works under any
+        backend.
+        """
+
+    @abstractmethod
+    def matmat(
+        self,
+        op: Any,
+        x: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        work: Any = None,
+    ) -> np.ndarray:
+        """Apply ``op`` to every column of an ``(n, m)`` block."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

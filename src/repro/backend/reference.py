@@ -1,0 +1,99 @@
+"""The reference backend: the instrumented numpy kernels, unchanged.
+
+This backend *is* :mod:`repro.util.kernels` plus the operator dispatch in
+:mod:`repro.sparse.linop` -- delegating rather than reimplementing, so the
+counter booking, labels, and numerics are the very same code every solver
+used before the dispatch layer existed.  It is always available and is
+the default.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.backend.base import Backend
+from repro.backend.workspace import Workspace
+from repro.sparse.linop import block_matvec, matvec_into
+from repro.util import kernels
+
+__all__ = ["ReferenceBackend"]
+
+
+def _scratch_for(work: Any, shape: tuple[int, ...]) -> np.ndarray | None:
+    """Resolve ``work`` (Workspace, ndarray, or None) to a scratch array."""
+    if work is None:
+        return None
+    if isinstance(work, Workspace):
+        return work.scratch(shape)
+    return work  # caller-supplied ndarray; kernels validate the shape
+
+
+class ReferenceBackend(Backend):
+    """Instrumented single-threaded numpy kernels (the default)."""
+
+    name = "reference"
+
+    # -- reductions ----------------------------------------------------
+    def dot(self, x: np.ndarray, y: np.ndarray, *, label: str | None = None) -> float:
+        return kernels.dot(x, y, label=label)
+
+    def norm(self, x: np.ndarray) -> float:
+        return kernels.norm(x)
+
+    def block_dot(self, x: np.ndarray, y: np.ndarray, *, label: str | None = None) -> np.ndarray:
+        return kernels.block_dot(x, y, label=label)
+
+    def block_norms(self, x: np.ndarray, *, label: str | None = None) -> np.ndarray:
+        return kernels.block_norms(x, label=label)
+
+    # -- vector updates ------------------------------------------------
+    def axpy(
+        self,
+        a: float,
+        x: np.ndarray,
+        y: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        work: Any = None,
+    ) -> np.ndarray:
+        return kernels.axpy(a, x, y, out=out, work=_scratch_for(work, x.shape))
+
+    def axpby(
+        self,
+        a: float,
+        x: np.ndarray,
+        b: float,
+        y: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        work: Any = None,
+    ) -> np.ndarray:
+        return kernels.axpby(a, x, b, y, out=out, work=_scratch_for(work, x.shape))
+
+    def scale(self, a: float, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        return kernels.scale(a, x, out=out)
+
+    # -- operator application ------------------------------------------
+    def matvec(
+        self,
+        op: Any,
+        x: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        work: Any = None,
+    ) -> np.ndarray:
+        if out is None:
+            return op.matvec(x)
+        return matvec_into(op, x, out, work=work)
+
+    def matmat(
+        self,
+        op: Any,
+        x: np.ndarray,
+        out: np.ndarray | None = None,
+        *,
+        work: Any = None,
+    ) -> np.ndarray:
+        return block_matvec(op, x, out=out, work=work)

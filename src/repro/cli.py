@@ -142,6 +142,8 @@ def _solve(args) -> int:
     b = _load_rhs(args, a.nrows)
 
     options: dict = {"stop": stop}
+    if args.backend is not None:
+        options["backend"] = args.backend
     if method == "vr":
         options["k"] = args.k
         if args.replace_every is not None:
@@ -209,6 +211,8 @@ def _solve_batched(args, a: CSRMatrix, stop, method: str) -> int:
     b_block = _load_rhs_block(args, a.nrows)
 
     options: dict = {"stop": stop}
+    if args.backend is not None and not method.startswith("dist-"):
+        options["backend"] = args.backend
     if method == "vr":
         options["k"] = args.k
         if args.replace_every is not None:
@@ -337,6 +341,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="look-ahead parameter (s for sstep)")
     solve.add_argument("--rtol", type=float, default=1e-8)
     solve.add_argument("--max-iter", type=int, default=None)
+    solve.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="kernel-dispatch backend for backend-capable methods "
+             "(reference, threaded); default honours the REPRO_BACKEND "
+             "environment variable, else the reference backend",
+    )
     solve.add_argument("--replace-every", type=int, default=None,
                        help="periodic residual replacement interval")
     solve.add_argument("--drift-tol", type=float, default=None,

@@ -50,7 +50,6 @@ from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
 from repro.sparse.linop import as_operator
 from repro.util.counters import add_scalar_flops
-from repro.util.kernels import axpy, dot, norm
 from repro.util.validation import (
     as_1d_float_array,
     check_square_operator,
@@ -238,6 +237,8 @@ def pipelined_vr_cg(
     faults: Any = None,
     recovery: Any = None,
     telemetry: "Telemetry | None" = None,
+    backend: Any = None,
+    workspace: Any = None,
     trace: PipelineTrace | None = None,
 ) -> CGResult:
     """Solve ``A x = b`` with the fully pipelined Van Rosendale iteration.
@@ -278,6 +279,13 @@ def pipelined_vr_cg(
         :class:`~repro.telemetry.PipelineEvent` (rebuild a
         :class:`PipelineTrace` with :func:`trace_from_events`), plus the
         usual per-iteration events.
+    backend:
+        Kernel dispatch (:class:`repro.backend.Backend` instance, name,
+        or ``None`` for env-var / reference resolution).
+    workspace:
+        Optional :class:`repro.backend.Workspace`; a per-solve arena is
+        made when omitted.  Steady-state iterations allocate zero new
+        arrays (the launch/consume scalar machinery is O(k²), not O(n)).
     trace:
         Deprecated; pass ``telemetry=`` and use :func:`trace_from_events`
         instead.  A supplied trace is still filled (with a
@@ -315,8 +323,11 @@ def pipelined_vr_cg(
         if telemetry is not None:
             telemetry.pipeline(kind, iteration, source_iteration, count)
 
+    from repro.backend import Workspace, resolve_backend
     from repro.faults import RecoveryPolicy, UnrecoverableDivergence, as_fault_plan
 
+    bk = resolve_backend(backend)
+    ws = workspace if workspace is not None else Workspace()
     policy = RecoveryPolicy.from_spec(recovery)
     plan = as_fault_plan(faults)
 
@@ -324,7 +335,7 @@ def pipelined_vr_cg(
     if telemetry is not None:
         telemetry.solve_start("pipelined-vr", f"pipelined-vr-cg(k={k})", n, k=k)
         telemetry.iterate(x)
-    b_norm = norm(b)
+    b_norm = bk.norm(b)
 
     op_true = op
     if plan is not None:
@@ -343,7 +354,7 @@ def pipelined_vr_cg(
     def _result(reason: StopReason) -> CGResult:
         # Exit verification bypasses any matvec-site injector: the honesty
         # check must measure the pristine operator.
-        true_res = norm(b - op_true.matvec(x))
+        true_res = bk.norm(b - op_true.matvec(x))
         reason = verified_exit(reason, true_res, stop.threshold(b_norm))
         if (
             policy is not None
@@ -428,7 +439,7 @@ def pipelined_vr_cg(
         if not res_norms:
             res_norms.append(float(np.sqrt(max(mu0_cur, 0.0))))
         if stop.is_met(float(np.sqrt(max(mu0_cur, 0.0))), b_norm):
-            if plan is None or norm(
+            if plan is None or bk.norm(
                 b - op_true.matvec(x)
             ) <= stop.threshold(b_norm):
                 return ("converged", "", 0.0)
@@ -448,7 +459,7 @@ def pipelined_vr_cg(
             lambdas.append(lam)
             if tracer is not None:
                 tracer.begin("axpy")
-            axpy(lam, powers.p, x, out=x)
+            bk.axpy(lam, powers.p, x, out=x, work=ws)
             if tracer is not None:
                 tracer.end("axpy")
             iterations += 1
@@ -457,7 +468,7 @@ def pipelined_vr_cg(
             # Advance the vector pipeline to iteration n+1.
             if tracer is not None:
                 tracer.begin("axpy")
-            powers.advance_r(lam)
+            powers.advance_r(lam, work=ws)
             if tracer is not None:
                 tracer.end("axpy")
 
@@ -500,7 +511,7 @@ def pipelined_vr_cg(
                 # A corrupted scalar can fake convergence (a tiny recurred
                 # mu0); under injection verify against the true residual
                 # before accepting the exit.
-                if plan is None or norm(
+                if plan is None or bk.norm(
                     b - op_true.matvec(x)
                 ) <= stop.threshold(b_norm):
                     return ("converged", "", 0.0)
@@ -516,7 +527,7 @@ def pipelined_vr_cg(
 
             if tracer is not None:
                 tracer.begin("matvec")
-            powers.advance_p(op, alpha_next)
+            powers.advance_p(op, alpha_next, work=ws)
             if tracer is not None:
                 tracer.end("matvec")
 
@@ -561,7 +572,7 @@ def pipelined_vr_cg(
             if policy is not None and policy.drift_tol is not None:
                 if tracer is not None:
                     tracer.begin("local_dot")
-                rr_direct = dot(powers.r, powers.r, label="drift_check_dot")
+                rr_direct = bk.dot(powers.r, powers.r, label="drift_check_dot")
                 if tracer is not None:
                     tracer.end("local_dot")
                 if telemetry is not None:

@@ -120,32 +120,49 @@ class PowerBlock:
     # ------------------------------------------------------------------
     # Per-iteration update
     # ------------------------------------------------------------------
-    def advance_r(self, lam: float) -> None:
+    def advance_r(self, lam: float, work=None) -> None:
         """In-place ``Rᵢ ← Rᵢ − λn Pᵢ₊₁`` for all stored ``i``.
 
         One fused vectorized statement over the whole block: numpy
         broadcasts the scalar and the aligned row slices, so this is
-        ``k+2`` axpys with no Python-level per-row loop.
+        ``k+2`` axpys with no Python-level per-row loop.  ``work`` (a
+        :class:`repro.backend.Workspace`) supplies the ``(k+2, n)``
+        scratch block that makes the broadcast product allocation-free.
         """
         from repro.util.counters import add_axpy
 
-        self.r_powers -= lam * self.p_powers[1 : self.k + 3]
+        tail = self.p_powers[1 : self.k + 3]
+        if work is not None:
+            scratch = work.get("power_scratch", tail.shape)
+            np.multiply(tail, lam, out=scratch)
+            self.r_powers -= scratch
+        else:
+            self.r_powers -= lam * tail
         add_axpy(self.n * (self.k + 2))
 
-    def advance_p(self, op: LinearOperator, alpha_next: float) -> None:
+    def advance_p(self, op: LinearOperator, alpha_next: float, work=None) -> None:
         """In-place ``Pᵢ ← Rᵢ + αn+1 Pᵢ`` plus the single top matvec.
 
         Must be called *after* :meth:`advance_r` (it consumes the already
         advanced ``Rᵢ = Aⁱrⁿ⁺¹``).  The top row ``P_{k+2}`` cannot be
         recurred (it would need ``A^{k+2} rⁿ⁺¹``) and is regenerated as
-        ``A · P_{k+1}`` -- claim C5's one matvec per iteration.
+        ``A · P_{k+1}`` -- claim C5's one matvec per iteration; with
+        ``work`` the product writes straight into the (contiguous) top
+        row instead of allocating a fresh vector.
         """
         from repro.util.counters import add_axpy
 
         self.p_powers[: self.k + 2] *= alpha_next
         self.p_powers[: self.k + 2] += self.r_powers
         add_axpy(self.n * (self.k + 2))
-        self.p_powers[self.k + 2] = op.matvec(self.p_powers[self.k + 1])
+        if work is not None:
+            from repro.sparse.linop import matvec_into
+
+            matvec_into(
+                op, self.p_powers[self.k + 1], self.p_powers[self.k + 2], work=work
+            )
+        else:
+            self.p_powers[self.k + 2] = op.matvec(self.p_powers[self.k + 1])
 
     # ------------------------------------------------------------------
     # The two direct inner products (claim C6)

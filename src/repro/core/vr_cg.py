@@ -35,7 +35,6 @@ from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
 from repro.sparse.linop import LinearOperator, as_operator
 from repro.util.counters import add_scalar_flops
-from repro.util.kernels import axpy, dot, norm
 from repro.util.validation import (
     as_1d_float_array,
     check_square_operator,
@@ -91,6 +90,8 @@ def vr_conjugate_gradient(
     faults: Any = None,
     recovery: Any = None,
     telemetry: "Telemetry | None" = None,
+    backend: Any = None,
+    workspace: Any = None,
     observer: Callable[[VRState], None] | None = None,
     record_iterates: list[np.ndarray] | None = None,
 ) -> CGResult:
@@ -152,6 +153,14 @@ def vr_conjugate_gradient(
         replacement, startup/iterate phase timers, iterate capture
         (``capture_iterates=True``), and live-state observation
         (``on_state=...``).
+    backend:
+        Kernel dispatch: a :class:`repro.backend.Backend` instance, a
+        registered name, or ``None`` (env var ``REPRO_BACKEND``, then
+        the reference backend).
+    workspace:
+        Optional :class:`repro.backend.Workspace` scratch arena; a fresh
+        per-solve one is made when omitted.  Steady-state iterations
+        allocate zero new arrays.
     observer:
         Deprecated; pass ``telemetry=Telemetry(on_state=callback)``.
         Still invoked with the :class:`VRState` after every iteration
@@ -178,8 +187,11 @@ def vr_conjugate_gradient(
         raise ValueError(
             f"replace_drift_tol must be positive, got {replace_drift_tol}"
         )
+    from repro.backend import Workspace, resolve_backend
     from repro.faults import RecoveryPolicy, UnrecoverableDivergence, as_fault_plan
 
+    bk = resolve_backend(backend)
+    ws = workspace if workspace is not None else Workspace()
     if recovery is not None and (
         replace_every is not None or replace_drift_tol is not None
     ):
@@ -237,7 +249,7 @@ def vr_conjugate_gradient(
         op = plan.wrap_operator(op)
     tracer = telemetry.tracer if telemetry is not None else None
 
-    b_norm = norm(b)
+    b_norm = bk.norm(b)
     if telemetry is not None:
         with telemetry.phase("startup"):
             powers, window = _startup(op, b, x, k)
@@ -253,7 +265,7 @@ def vr_conjugate_gradient(
     def _result(reason: StopReason, iterations: int) -> CGResult:
         # The exit verification uses the pristine operator: a matvec-site
         # injector must not be able to falsify the honesty check itself.
-        true_res = norm(b - op_true.matvec(x))
+        true_res = bk.norm(b - op_true.matvec(x))
         reason = verified_exit(reason, true_res, stop.threshold(b_norm))
         if (
             policy is not None
@@ -328,7 +340,7 @@ def vr_conjugate_gradient(
         # x update uses the plain direction vector (power 0).
         if tracer is not None:
             tracer.begin("axpy")
-        axpy(lam, powers.p, x, out=x)
+        bk.axpy(lam, powers.p, x, out=x, work=ws)
         if tracer is not None:
             tracer.end("axpy")
         iterations += 1
@@ -339,7 +351,7 @@ def vr_conjugate_gradient(
         # --- advance the residual powers: R_i <- R_i - lam * P_{i+1} ----
         if tracer is not None:
             tracer.begin("axpy")
-        powers.advance_r(lam)
+        powers.advance_r(lam, work=ws)
         if tracer is not None:
             tracer.end("axpy")
 
@@ -360,7 +372,7 @@ def vr_conjugate_gradient(
             # A corrupted scalar can fake convergence (a tiny recurred
             # mu0); under injection verify against the true residual
             # before accepting the exit.
-            if plan is None or norm(
+            if plan is None or bk.norm(
                 b - op_true.matvec(x)
             ) <= stop.threshold(b_norm):
                 reason = StopReason.CONVERGED
@@ -400,7 +412,7 @@ def vr_conjugate_gradient(
         # --- advance direction powers (one matvec), then direct dot #2 --
         if tracer is not None:
             tracer.begin("matvec")
-        powers.advance_p(op, alpha_next)
+        powers.advance_p(op, alpha_next, work=ws)
         if tracer is not None:
             tracer.end("matvec")
             tracer.begin("local_dot")
@@ -429,7 +441,7 @@ def vr_conjugate_gradient(
             # the one synchronization VR still pays per iteration.
             if tracer is not None:
                 tracer.begin("local_dot")
-            rr_direct = dot(powers.r, powers.r, label="drift_check_dot")
+            rr_direct = bk.dot(powers.r, powers.r, label="drift_check_dot")
             if tracer is not None:
                 tracer.end("local_dot")
             if telemetry is not None:

@@ -723,10 +723,18 @@ def distributed_pipelined_vr(
     if tracer is not None:
         tracer.begin("startup")
     if use_matrix_powers_kernel:
-        # startup powers of r0 = p0 with a single k+2-hop ghost fetch
+        # startup powers of r0 = p0 with a single k+2-hop ghost fetch;
+        # the ghost-structure walk is pure setup, so memoize it in the
+        # process-wide setup cache keyed by (matrix, partition, depth).
+        from repro.backend import matrix_fingerprint, setup_cache
         from repro.sparse.matrix_powers import MatrixPowersKernel
 
-        kernel = MatrixPowersKernel(a, part, k + 2)
+        kernel = setup_cache().get_or_build(
+            "matrix_powers",
+            matrix_fingerprint(a),
+            (tuple(int(v) for v in part.starts), k + 2),
+            lambda: MatrixPowersKernel(a, part, k + 2),
+        )
         comm.record_halo_exchange(kernel.stats().ghost_words)
         powers_global = kernel.compute(b_vec.to_global())
         r_pows = [

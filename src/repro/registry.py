@@ -86,6 +86,11 @@ class SolverEntry:
         methods whose flag is unset, so the flag is the contract.
     supports_recovery:
         Same, for the ``recovery=`` policy keyword.
+    supports_backend:
+        Whether the method accepts a ``backend=`` kernel-backend selector
+        (and a ``workspace=`` arena) -- see :mod:`repro.backend`.
+        :func:`solve` refuses the keywords for methods whose flag is
+        unset, so the flag is the contract.
     """
 
     name: str
@@ -97,6 +102,7 @@ class SolverEntry:
     batched_runner: Callable[..., BatchedResult] | None = None
     supports_faults: bool = False
     supports_recovery: bool = False
+    supports_backend: bool = False
 
 
 _REGISTRY: dict[str, SolverEntry] = {}
@@ -110,6 +116,7 @@ def register(
     distributed: bool = False,
     supports_faults: bool = False,
     supports_recovery: bool = False,
+    supports_backend: bool = False,
 ) -> Callable[[Callable[..., CGResult]], Callable[..., CGResult]]:
     """Class the decorated runner under ``name`` in the method registry."""
 
@@ -124,6 +131,7 @@ def register(
             distributed=distributed,
             supports_faults=supports_faults,
             supports_recovery=supports_recovery,
+            supports_backend=supports_backend,
         )
         return runner
 
@@ -186,12 +194,18 @@ def _resolve_precond(a: Any, precond: Any, b: np.ndarray, options: dict) -> Any:
 
     Instances pass through unchanged.  Options consumed here:
     ``omega`` (ssor), ``poly_degree`` and ``spectrum_bounds`` (chebyshev).
+
+    Factorizations for string-named preconditioners are memoized in the
+    process-wide :func:`repro.backend.setup_cache` keyed by the matrix
+    fingerprint, so repeated ``solve()`` calls on the same matrix reuse
+    the setup instead of refactoring.
     """
     if precond is None or not isinstance(precond, str):
         return precond
     name = precond
     if name in ("none", ""):
         return None
+    from repro.backend import matrix_fingerprint, setup_cache
     from repro.precond import (
         ICholPrecond,
         IdentityPrecond,
@@ -199,20 +213,31 @@ def _resolve_precond(a: Any, precond: Any, b: np.ndarray, options: dict) -> Any:
         SSORPrecond,
     )
 
+    cache = setup_cache()
+    fp = matrix_fingerprint(a)
     if name == "identity":
         return IdentityPrecond()
     if name == "jacobi":
-        return JacobiPrecond(a)
+        return cache.get_or_build(
+            "precond", fp, ("jacobi",), lambda: JacobiPrecond(a)
+        )
     if name == "ssor":
-        return SSORPrecond(a, omega=options.pop("omega", 1.0))
+        omega = float(options.pop("omega", 1.0))
+        return cache.get_or_build(
+            "precond", fp, ("ssor", omega), lambda: SSORPrecond(a, omega=omega)
+        )
     if name == "ic0":
-        return ICholPrecond(a)
+        return cache.get_or_build("precond", fp, ("ic0",), lambda: ICholPrecond(a))
     if name == "chebyshev":
         from repro.precond.polynomial import ChebyshevPolyPrecond
 
         bounds = options.pop("spectrum_bounds", None) or _estimated_bounds(a, b)
-        return ChebyshevPolyPrecond(
-            a, bounds, degree=options.pop("poly_degree", 4)
+        degree = int(options.pop("poly_degree", 4))
+        return cache.get_or_build(
+            "precond",
+            fp,
+            ("chebyshev", tuple(float(v) for v in bounds), degree),
+            lambda: ChebyshevPolyPrecond(a, bounds, degree=degree),
         )
     raise ValueError(
         f"unknown preconditioner {name!r}; expected one of "
@@ -247,6 +272,11 @@ def solve(
     **options:
         Method-specific keywords, forwarded to the underlying solver
         (``k=``, ``s=``, ``stop=``, ``replace_every=``, ...).  A
+        ``backend=`` keyword (name, :class:`repro.backend.Backend`
+        instance, or unset to honour the ``REPRO_BACKEND`` environment
+        variable) selects the kernel-dispatch backend and ``workspace=``
+        supplies a reusable :class:`repro.backend.Workspace` arena; both
+        are refused for methods without the ``supports_backend`` flag.  A
         ``trace=`` keyword carrying a :class:`repro.trace.Tracer` is
         consumed here: it is attached to the telemetry session (one is
         created around a :class:`~repro.telemetry.NullSink` if none was
@@ -290,6 +320,14 @@ def solve(
             f"method {method!r} does not support recovery policies (recovery=); "
             f"recovery-capable methods: "
             f"{', '.join(n for n, e in sorted(_REGISTRY.items()) if e.supports_recovery)}"
+        )
+    if (
+        options.get("backend") is not None or options.get("workspace") is not None
+    ) and not entry.supports_backend:
+        raise ValueError(
+            f"method {method!r} does not support kernel-backend selection "
+            f"(backend=/workspace=); backend-capable methods: "
+            f"{', '.join(n for n, e in sorted(_REGISTRY.items()) if e.supports_backend)}"
         )
     if precond is not None and (
         options.get("faults") is not None or options.get("recovery") is not None
@@ -436,6 +474,13 @@ def solve_batched(
             "batched solves do not support fault injection or recovery "
             "(faults=/recovery=); use the single-RHS solve() path"
         )
+    if (
+        options.get("backend") is not None or options.get("workspace") is not None
+    ) and entry.distributed:
+        raise ValueError(
+            f"batched method {method!r} runs over the simulated communicator "
+            "and does not support kernel-backend selection (backend=/workspace=)"
+        )
     telemetry = _consume_trace(telemetry, options)
     result = _run_guarded(
         lambda: entry.batched_runner(a, b, telemetry=telemetry, **options),
@@ -454,6 +499,7 @@ def solve_batched(
     supports_precond=True,
     supports_faults=True,
     supports_recovery=True,
+    supports_backend=True,
 )
 def _run_cg(a, b, *, precond, telemetry, **options):
     from repro.core.standard import conjugate_gradient
@@ -473,6 +519,7 @@ def _run_cg(a, b, *, precond, telemetry, **options):
     supports_precond=True,
     supports_faults=True,
     supports_recovery=True,
+    supports_backend=True,
 )
 def _run_vr(a, b, *, precond, telemetry, **options):
     from repro.core.vr_cg import vr_conjugate_gradient
@@ -517,6 +564,7 @@ def _run_vr(a, b, *, precond, telemetry, **options):
     supports_precond=True,
     supports_faults=True,
     supports_recovery=True,
+    supports_backend=True,
 )
 def _run_pipelined_vr(a, b, *, precond, telemetry, **options):
     from repro.core.pipeline import pipelined_vr_cg
@@ -536,7 +584,11 @@ def _run_pipelined_vr(a, b, *, precond, telemetry, **options):
 # ----------------------------------------------------------------------
 # registrations: historical variants
 # ----------------------------------------------------------------------
-@register("three-term", "three-term recurrence CG (Rutishauser form)")
+@register(
+    "three-term",
+    "three-term recurrence CG (Rutishauser form)",
+    supports_backend=True,
+)
 def _run_three_term(a, b, *, precond, telemetry, **options):
     from repro.variants import three_term_cg
 
@@ -548,6 +600,7 @@ def _run_three_term(a, b, *, precond, telemetry, **options):
     "Chronopoulos--Gear CG (fused reductions)",
     supports_faults=True,
     supports_recovery=True,
+    supports_backend=True,
 )
 def _run_cgcg(a, b, *, precond, telemetry, **options):
     from repro.variants import chronopoulos_gear_cg
@@ -560,6 +613,7 @@ def _run_cgcg(a, b, *, precond, telemetry, **options):
     "Ghysels--Vanroose pipelined CG",
     supports_faults=True,
     supports_recovery=True,
+    supports_backend=True,
 )
 def _run_gv(a, b, *, precond, telemetry, **options):
     from repro.variants import ghysels_vanroose_cg

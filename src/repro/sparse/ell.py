@@ -14,8 +14,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.sparse.csr import CSRMatrix
+from repro.sparse.csr import CSRMatrix, _gather_buffer
 from repro.util.counters import add_matmat, add_matvec
+from repro.util.validation import check_out_array
 
 __all__ = ["ELLMatrix", "csr_to_ell"]
 
@@ -60,17 +61,41 @@ class ELLMatrix:
         """Number of non-padding (nonzero-valued) stored entries."""
         return int(np.count_nonzero(self.val_plane))
 
-    def matvec(self, x: np.ndarray) -> np.ndarray:
-        """``A @ x`` as a dense gather followed by a row-wise sum."""
+    def matvec(
+        self,
+        x: np.ndarray,
+        out: np.ndarray | None = None,
+        work=None,
+    ) -> np.ndarray:
+        """``A @ x`` as a dense gather followed by a row-wise contraction.
+
+        ``out`` (a float64 ``(nrows,)`` array, not aliasing ``x``)
+        receives the result without allocating; ``work`` (a
+        :class:`repro.backend.Workspace` or an ``(nrows, width)`` float64
+        array) additionally reuses the gather plane, making the whole
+        product allocation-free -- matching :meth:`CSRMatrix.matvec`.
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.ncols,):
             raise ValueError(f"x must have shape ({self.ncols},), got {x.shape}")
+        if out is not None:
+            if out is x:
+                raise ValueError("out must not alias x")
+            check_out_array(out, (self.nrows,))
         add_matvec(self.nnz, self.nrows)
         if self.width == 0:
-            return np.zeros(self.nrows, dtype=np.float64)
-        return (self.val_plane * x[self.col_plane]).sum(axis=1)
+            if out is None:
+                return np.zeros(self.nrows, dtype=np.float64)
+            out[:] = 0.0
+            return out
+        gather = _gather_buffer(work, "ell_gather", (self.nrows, self.width))
+        if gather is not None:
+            np.take(x, self.col_plane, out=gather, mode="clip")
+        else:
+            gather = x[self.col_plane]
+        return np.einsum("rw,rw->r", self.val_plane, gather, out=out)
 
-    def matmat(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    def matmat(self, x: np.ndarray, out: np.ndarray | None = None, work=None) -> np.ndarray:
         """Compute ``A @ X`` for an ``(ncols, m)`` column block.
 
         The dense index plane makes this a single rectangular gather
@@ -84,17 +109,24 @@ class ELLMatrix:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[0] != self.ncols:
             raise ValueError(f"x must have shape ({self.ncols}, m), got {x.shape}")
-        if out is not None and out is x:
-            raise ValueError("out must not alias x")
         m = x.shape[1]
+        if out is not None:
+            if out is x:
+                raise ValueError("out must not alias x")
+            check_out_array(out, (self.nrows, m))
         add_matmat(self.nnz, self.nrows, m)
         if self.width == 0 or m == 0:
             y = out if out is not None else np.empty((self.nrows, m))
             y[:] = 0.0
             return y
-        return np.einsum(
-            "rw,rwm->rm", self.val_plane, x[self.col_plane], out=out
+        gather = _gather_buffer(
+            work, "ell_gather_block", (self.nrows, self.width, m)
         )
+        if gather is not None:
+            np.take(x, self.col_plane, axis=0, out=gather, mode="clip")
+        else:
+            gather = x[self.col_plane]
+        return np.einsum("rw,rwm->rm", self.val_plane, gather, out=out)
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         return self.matvec(x)

@@ -23,6 +23,7 @@ __all__ = [
     "DenseOperator",
     "as_operator",
     "block_matvec",
+    "matvec_into",
 ]
 
 
@@ -107,11 +108,21 @@ class DenseOperator:
         """The underlying dense array (read-only view semantics by courtesy)."""
         return self._a
 
-    def matvec(self, x: np.ndarray) -> np.ndarray:
-        """``A @ x`` with counter booking (dense row degree = n)."""
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``A @ x`` with counter booking (dense row degree = n).
+
+        ``out`` (float64, shape ``(n,)``, not aliasing ``x``) makes the
+        product allocation-free.
+        """
         n = self._a.shape[0]
         add_matvec(n * n, n)
-        return self._a @ np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64)
+        if out is None:
+            return self._a @ x
+        if out is x:
+            raise ValueError("out must not alias x")
+        np.matmul(self._a, x, out=out)
+        return out
 
     def matmat(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """``A @ X`` for an ``(n, m)`` block: one pass over the matrix."""
@@ -131,8 +142,64 @@ class DenseOperator:
         return self._a.shape[0]
 
 
+#: Per-operator-type capability of ``matvec``: 2 = takes ``out=`` and
+#: ``work=``, 1 = takes ``out=`` only, 0 = plain ``matvec(x)``.  Looked up
+#: once per type via ``inspect.signature`` so the steady-state dispatch is
+#: a dict hit, not reflection.
+_MATVEC_SUPPORT: dict[type, int] = {}
+
+
+def _matvec_support(op: Any) -> int:
+    kind = type(op)
+    level = _MATVEC_SUPPORT.get(kind)
+    if level is None:
+        import inspect
+
+        try:
+            params = inspect.signature(kind.matvec).parameters
+        except (TypeError, ValueError, AttributeError):
+            params = {}
+        if "out" in params and "work" in params:
+            level = 2
+        elif "out" in params:
+            level = 1
+        else:
+            level = 0
+        _MATVEC_SUPPORT[kind] = level
+    return level
+
+
+def matvec_into(
+    op: LinearOperator,
+    x: np.ndarray,
+    out: np.ndarray,
+    work: Any = None,
+) -> np.ndarray:
+    """Apply ``op`` to ``x``, writing the result into ``out``.
+
+    Dispatches on what the operator's own ``matvec`` supports --
+    workspace-aware (our CSR/ELL matrices), ``out=``-aware
+    (:class:`DenseOperator`), or plain (callable wrappers, fault-wrapped
+    operators) -- copying through a temporary only in the last case, so
+    every :class:`LinearOperator` works and capable ones stay
+    allocation-free.
+    """
+    level = _matvec_support(op)
+    if level == 2:
+        return op.matvec(x, out=out, work=work)
+    if level == 1:
+        return op.matvec(x, out=out)
+    y = op.matvec(x)
+    if y is not out:
+        np.copyto(out, y)
+    return out
+
+
 def block_matvec(
-    op: LinearOperator, x: np.ndarray, out: np.ndarray | None = None
+    op: LinearOperator,
+    x: np.ndarray,
+    out: np.ndarray | None = None,
+    work: Any = None,
 ) -> np.ndarray:
     """Apply ``op`` to every column of an ``(n, m)`` block at once.
 
@@ -153,6 +220,11 @@ def block_matvec(
     if callable(matmat):
         if out is None:
             return np.asarray(matmat(x), dtype=np.float64)
+        if work is not None:
+            try:
+                return matmat(x, out=out, work=work)
+            except TypeError:
+                pass  # operator predates the work= convention
         try:
             return matmat(x, out=out)
         except TypeError:

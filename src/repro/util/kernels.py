@@ -64,38 +64,96 @@ def block_norms(x: np.ndarray, *, label: str | None = None) -> np.ndarray:
     return np.sqrt(np.einsum("ij,ij->j", x, x))
 
 
-def axpy(a: float, x: np.ndarray, y: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+def axpy(
+    a: float,
+    x: np.ndarray,
+    y: np.ndarray,
+    out: np.ndarray | None = None,
+    work: np.ndarray | None = None,
+) -> np.ndarray:
     """Return ``a*x + y``; writes into ``out`` when provided.
 
-    ``out`` may alias ``y`` (the classical in-place update) or ``x``.
+    Supported aliasings (all produce the mathematically exact result):
+
+    * ``out is y`` -- the classical in-place update ``y += a*x``.
+      Allocation-free only when ``work`` (a same-shape scratch array) is
+      supplied; without it numpy materializes the ``a*x`` temporary.
+    * ``out is x`` -- the direction update ``x = a*x + y``.  Always
+      allocation-free (scale in place, then add).
+    * ``out`` distinct from both -- always allocation-free.
+
+    ``work`` must not alias ``x``, ``y``, or ``out``; solver loops pass a
+    :class:`repro.backend.Workspace` scratch slot so steady-state
+    iterations allocate nothing.
     """
     add_axpy(x.shape[0])
     if out is None:
         return a * x + y
     if out is y:
-        out += a * x
+        if work is None:
+            out += a * x
+        else:
+            np.multiply(x, a, out=work)
+            out += work
         return out
     np.multiply(x, a, out=out)
     out += y
     return out
 
 
-def axpby(a: float, x: np.ndarray, b: float, y: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-    """Return ``a*x + b*y``; writes into ``out`` when provided."""
+def axpby(
+    a: float,
+    x: np.ndarray,
+    b: float,
+    y: np.ndarray,
+    out: np.ndarray | None = None,
+    work: np.ndarray | None = None,
+) -> np.ndarray:
+    """Return ``a*x + b*y``; writes into ``out`` when provided.
+
+    Supported aliasings:
+
+    * ``out is x is y`` -- degenerates to ``out *= (a + b)``,
+      allocation-free.
+    * ``out is y`` (only) -- scale ``y`` by ``b`` in place, then add
+      ``a*x``; allocation-free when ``work`` is supplied.
+    * ``out is x`` (only) -- scale ``x`` by ``a`` in place, then add
+      ``b*y``; allocation-free when ``work`` is supplied.  (Without
+      ``work`` this branch used to *silently* allocate the ``b*y``
+      temporary every call -- the workspace closes that hole.)
+    * ``out`` distinct from both -- same story as ``out is x``.
+
+    ``work`` must not alias any of the other operands.
+    """
     add_axpy(x.shape[0], flops_per_entry=3)
     if out is None:
         return a * x + b * y
+    if out is x and out is y:
+        out *= a + b
+        return out
     if out is y:
         out *= b
-        out += a * x
+        if work is None:
+            out += a * x
+        else:
+            np.multiply(x, a, out=work)
+            out += work
         return out
     np.multiply(x, a, out=out)
-    out += b * y
+    if work is None:
+        out += b * y
+    else:
+        np.multiply(y, b, out=work)
+        out += work
     return out
 
 
 def scale(a: float, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-    """Return ``a*x``; writes into ``out`` when provided."""
+    """Return ``a*x``; writes into ``out`` when provided.
+
+    ``out`` may alias ``x`` (in-place rescale); always allocation-free
+    with ``out`` supplied.
+    """
     add_axpy(x.shape[0], flops_per_entry=1)
     if out is None:
         return a * x

@@ -15,10 +15,37 @@ import numpy as np
 __all__ = [
     "as_1d_float_array",
     "as_2d_float_array",
+    "check_out_array",
     "check_square_operator",
     "require_positive_int",
     "require_nonnegative_int",
 ]
+
+
+def check_out_array(
+    out: Any, shape: tuple[int, ...], name: str = "out"
+) -> np.ndarray:
+    """Validate a caller-supplied output buffer up front.
+
+    The sparse kernels write results via ``np.add.reduceat(..., out=)``
+    and ``np.einsum(..., out=)``, which fail with cryptic ufunc casting
+    errors on a wrong-dtype or wrong-length buffer deep inside the
+    kernel; this check turns that into a clear ``ValueError`` at the API
+    boundary instead.
+    """
+    if not isinstance(out, np.ndarray):
+        raise ValueError(
+            f"{name} must be a numpy array, got {type(out).__name__}"
+        )
+    if out.shape != tuple(shape):
+        raise ValueError(
+            f"{name} must have shape {tuple(shape)}, got {out.shape}"
+        )
+    if out.dtype != np.float64:
+        raise ValueError(
+            f"{name} must have dtype float64, got {out.dtype}"
+        )
+    return out
 
 
 def as_1d_float_array(x: Any, name: str = "array") -> np.ndarray:

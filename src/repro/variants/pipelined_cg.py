@@ -27,7 +27,6 @@ import numpy as np
 from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
 from repro.sparse.linop import as_operator
-from repro.util.kernels import axpy, dot, norm
 from repro.util.validation import as_1d_float_array, check_square_operator
 
 __all__ = ["ghysels_vanroose_cg"]
@@ -42,6 +41,8 @@ def ghysels_vanroose_cg(
     faults: Any = None,
     recovery: Any = None,
     telemetry: "Telemetry | None" = None,
+    backend: Any = None,
+    workspace: Any = None,
 ) -> CGResult:
     """Solve the SPD system by pipelined (Ghysels--Vanroose) CG.
 
@@ -55,11 +56,19 @@ def ghysels_vanroose_cg(
     (the replacement recomputes ``r``, ``w = Ar``, ``s = Ap``, ``z = As``
     -- the price of three extra recurred vectors -- keeping the
     direction) plus bounded full restarts on denominator breakdown.
+
+    ``backend`` selects the kernel backend and ``workspace`` a
+    :class:`repro.backend.Workspace` arena; the overlapped dots, the six
+    axpys and the steady-state matvec all route through them.
     """
     op = as_operator(a)
     b = as_1d_float_array(b, "b")
     n = check_square_operator(op, b.shape[0])
     stop = stop or StoppingCriterion()
+    from repro.backend import Workspace, resolve_backend
+
+    bk = resolve_backend(backend)
+    ws = workspace if workspace is not None else Workspace()
 
     from repro.faults import RecoveryPolicy, UnrecoverableDivergence, as_fault_plan
 
@@ -74,7 +83,7 @@ def ghysels_vanroose_cg(
     if plan is not None:
         plan.attach(telemetry)
         op = plan.wrap_operator(op)
-    b_norm = norm(b)
+    b_norm = bk.norm(b)
     r = b - op.matvec(x)
     w = op.matvec(r)
 
@@ -82,8 +91,8 @@ def ghysels_vanroose_cg(
     s = np.zeros(n)
     z = np.zeros(n)
 
-    gamma = dot(r, r, label="pipelined_dot")
-    delta = dot(w, r, label="pipelined_dot")
+    gamma = bk.dot(r, r, label="pipelined_dot")
+    delta = bk.dot(w, r, label="pipelined_dot")
     if plan is not None:
         gamma = plan.corrupt_dot(gamma, "gamma")
         delta = plan.corrupt_dot(delta, "delta")
@@ -106,8 +115,8 @@ def ghysels_vanroose_cg(
         nonlocal r, w, gamma, delta, since_check
         r = b - op.matvec(x)
         w = op.matvec(r)
-        gamma = dot(r, r, label="pipelined_dot")
-        delta = dot(w, r, label="pipelined_dot")
+        gamma = bk.dot(r, r, label="pipelined_dot")
+        delta = bk.dot(w, r, label="pipelined_dot")
         p[:] = 0.0
         s[:] = 0.0
         z[:] = 0.0
@@ -125,7 +134,11 @@ def ghysels_vanroose_cg(
                 plan.begin_iteration(iterations + 1)
             # q = A w runs concurrently with the two dots on the machine
             # model; sequentially we just execute it here.
-            q = op.matvec(w)
+            if plan is None:
+                q = ws.get("q", n)
+                bk.matvec(op, w, out=q, work=ws)
+            else:
+                q = op.matvec(w)
             if fresh_start:
                 beta = 0.0
                 if delta <= 0.0 or not np.isfinite(delta):
@@ -151,18 +164,18 @@ def ghysels_vanroose_cg(
                 alphas.append(beta)
             lambdas.append(alpha)
 
-            axpy(beta, z, q, out=z)  # z = q + beta z
-            axpy(beta, s, w, out=s)  # s = w + beta s
-            axpy(beta, p, r, out=p)  # p = r + beta p
-            axpy(alpha, p, x, out=x)
-            axpy(-alpha, s, r, out=r)
-            axpy(-alpha, z, w, out=w)
+            bk.axpy(beta, z, q, out=z, work=ws)  # z = q + beta z
+            bk.axpy(beta, s, w, out=s, work=ws)  # s = w + beta s
+            bk.axpy(beta, p, r, out=p, work=ws)  # p = r + beta p
+            bk.axpy(alpha, p, x, out=x, work=ws)
+            bk.axpy(-alpha, s, r, out=r, work=ws)
+            bk.axpy(-alpha, z, w, out=w, work=ws)
             iterations += 1
             since_check += 1
 
             gamma_old = gamma
-            gamma = dot(r, r, label="pipelined_dot")
-            delta = dot(w, r, label="pipelined_dot")
+            gamma = bk.dot(r, r, label="pipelined_dot")
+            delta = bk.dot(w, r, label="pipelined_dot")
             if plan is not None:
                 gamma = plan.corrupt_dot(gamma, "gamma")
                 delta = plan.corrupt_dot(delta, "delta")
@@ -175,7 +188,7 @@ def ghysels_vanroose_cg(
             if stop.is_met(res_norms[-1], b_norm):
                 # A corrupted gamma can fake convergence; under injection
                 # verify against the true residual before accepting.
-                if plan is None or norm(
+                if plan is None or bk.norm(
                     b - op_true.matvec(x)
                 ) <= stop.threshold(b_norm):
                     reason = StopReason.CONVERGED
@@ -197,7 +210,7 @@ def ghysels_vanroose_cg(
             if check_every is not None and since_check >= check_every:
                 since_check = 0
                 r_true = b - op.matvec(x)
-                gamma_direct = dot(r_true, r_true, label="drift_check_dot")
+                gamma_direct = bk.dot(r_true, r_true, label="drift_check_dot")
                 if telemetry is not None:
                     telemetry.drift(iterations, gamma, gamma_direct)
                 floor = max(
@@ -213,7 +226,7 @@ def ghysels_vanroose_cg(
                         s = op.matvec(p)
                         z = op.matvec(s)
                         gamma = gamma_direct
-                        delta = dot(w, r, label="pipelined_dot")
+                        delta = bk.dot(w, r, label="pipelined_dot")
                         recoveries["replace"] += 1
                         if telemetry is not None:
                             telemetry.replacement(iterations, "drift")
@@ -221,7 +234,7 @@ def ghysels_vanroose_cg(
                                 iterations, "replace", "drift", gap
                             )
 
-    true_res = norm(b - op_true.matvec(x))
+    true_res = bk.norm(b - op_true.matvec(x))
     reason = verified_exit(reason, true_res, stop.threshold(b_norm))
     if (
         policy is not None

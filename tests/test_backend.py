@@ -1,0 +1,334 @@
+"""The kernel-dispatch backend layer (:mod:`repro.backend`).
+
+Covers the four pieces of the subsystem:
+
+* backend *selection* -- explicit name / instance / ``REPRO_BACKEND``
+  environment variable / unknown-name errors / feature detection;
+* the :class:`Workspace` arena -- buffer reuse, shape re-keying, stats;
+* the :class:`SetupCache` -- fingerprint keying, hits, LRU eviction;
+* cross-backend *parity* -- identical numerics AND identical op-counter
+  totals between the reference and threaded backends (the threaded
+  backend books each kernel exactly once, never per chunk).
+
+The host running CI may have a single CPU, where the threaded backend's
+feature detection correctly reports it unavailable; parity tests
+construct :class:`ThreadedBackend` directly to bypass detection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.backend as backend_mod
+from repro.backend import (
+    SetupCache,
+    Workspace,
+    available_backends,
+    cached_ell,
+    clear_setup_cache,
+    get_backend,
+    matrix_fingerprint,
+    resolve_backend,
+    setup_cache,
+)
+from repro.backend.reference import ReferenceBackend
+from repro.backend.threaded import ThreadedBackend
+from repro.sparse.generators import poisson2d
+from repro.util.counters import counting
+
+
+# ----------------------------------------------------------------------
+# selection
+# ----------------------------------------------------------------------
+class TestSelection:
+    def test_reference_always_available(self):
+        assert "reference" in available_backends()
+        assert isinstance(get_backend("reference"), ReferenceBackend)
+
+    def test_get_backend_is_singleton_per_name(self):
+        assert get_backend("reference") is get_backend("reference")
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ValueError, match="reference"):
+            get_backend("cuda")
+
+    def test_resolve_none_defaults_to_reference(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(None).name == "reference"
+
+    def test_resolve_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "reference")
+        assert resolve_backend(None).name == "reference"
+
+    def test_explicit_arg_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "no-such-backend")
+        assert resolve_backend("reference").name == "reference"
+
+    def test_resolve_instance_passthrough(self):
+        bk = ThreadedBackend(min_size=1)
+        assert resolve_backend(bk) is bk
+
+    def test_resolve_rejects_junk(self):
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+    def test_threaded_detection_matches_listing(self):
+        listed = "threaded" in available_backends()
+        assert listed == ThreadedBackend.is_available()
+        if not listed:
+            with pytest.raises(ValueError, match="not available"):
+                get_backend("threaded")
+
+
+# ----------------------------------------------------------------------
+# workspace arena
+# ----------------------------------------------------------------------
+class TestWorkspace:
+    def test_same_slot_reuses_buffer(self):
+        ws = Workspace()
+        a = ws.get("v", 8)
+        b = ws.get("v", 8)
+        assert a is b
+        stats = ws.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_shape_change_reallocates(self):
+        ws = Workspace()
+        a = ws.get("v", 8)
+        b = ws.get("v", 16)
+        assert a is not b and b.shape == (16,)
+        assert ws.misses == 2
+
+    def test_distinct_slots_distinct_buffers(self):
+        ws = Workspace()
+        assert ws.get("a", 8) is not ws.get("b", 8)
+
+    def test_dtype_keys_are_separate(self):
+        ws = Workspace()
+        f = ws.get("v", 8)
+        i = ws.get("v", 8, dtype=np.int64)
+        assert f.dtype == np.float64 and i.dtype == np.int64
+        assert f is not i
+
+    def test_nbytes_and_clear(self):
+        ws = Workspace()
+        ws.get("v", 100)
+        assert ws.nbytes == 800
+        ws.clear()
+        assert ws.nbytes == 0 and len(ws.slots) == 0
+
+
+# ----------------------------------------------------------------------
+# setup cache
+# ----------------------------------------------------------------------
+class TestSetupCache:
+    def test_hit_on_identical_matrix(self):
+        cache = SetupCache()
+        a = poisson2d(8)
+        fp = matrix_fingerprint(a)
+        builds = []
+        for _ in range(3):
+            cache.get_or_build("ell", fp, (), lambda: builds.append(1) or "built")
+        assert len(builds) == 1
+        assert cache.stats()["hits"] == 2
+
+    def test_fingerprint_distinguishes_values(self):
+        a = poisson2d(8)
+        b = poisson2d(8)
+        assert matrix_fingerprint(a) == matrix_fingerprint(b)
+        c = poisson2d(10)
+        assert matrix_fingerprint(a) != matrix_fingerprint(c)
+
+    def test_fingerprint_memoized_on_instance(self):
+        a = poisson2d(8)
+        assert matrix_fingerprint(a) is matrix_fingerprint(a)
+
+    def test_unknown_type_bypasses_cache(self):
+        cache = SetupCache()
+        builds = []
+        for _ in range(2):
+            cache.get_or_build(
+                "x", matrix_fingerprint(object()), (), lambda: builds.append(1)
+            )
+        assert len(builds) == 2
+        assert cache.stats()["entries"] == 0
+
+    def test_lru_eviction(self):
+        cache = SetupCache(maxsize=2)
+        a, b, c = poisson2d(4), poisson2d(6), poisson2d(8)
+        for m in (a, b, c):
+            cache.get_or_build("k", matrix_fingerprint(m), (), lambda: m.nnz)
+        assert cache.stats()["evictions"] == 1
+        # a (the oldest) was evicted; b and c still hit.
+        hits_before = cache.stats()["hits"]
+        cache.get_or_build("k", matrix_fingerprint(c), (), lambda: 0)
+        assert cache.stats()["hits"] == hits_before + 1
+
+    def test_cached_ell_reuses_conversion(self):
+        clear_setup_cache()
+        a = poisson2d(8)
+        e1 = cached_ell(a)
+        e2 = cached_ell(a)
+        assert e1 is e2
+        np.testing.assert_allclose(
+            e1.matvec(np.ones(a.nrows)), a.matvec(np.ones(a.nrows))
+        )
+        clear_setup_cache()
+
+    def test_global_cache_clear(self):
+        clear_setup_cache()
+        a = poisson2d(6)
+        setup_cache().get_or_build("t", matrix_fingerprint(a), (), lambda: 1)
+        assert setup_cache().stats()["entries"] == 1
+        clear_setup_cache()
+        assert setup_cache().stats()["entries"] == 0
+
+
+# ----------------------------------------------------------------------
+# cross-backend parity
+# ----------------------------------------------------------------------
+class TestParity:
+    """Threaded and reference backends must agree bit-for-bit on results
+    and exactly on op-counter totals (booking once per kernel call)."""
+
+    @pytest.fixture()
+    def backends(self):
+        # min_size=1 forces the chunked code paths even on tiny inputs.
+        return ReferenceBackend(), ThreadedBackend(num_threads=2, min_size=1)
+
+    def _counted(self, fn):
+        with counting() as counts:
+            value = fn()
+        return value, counts
+
+    def test_axpy_parity(self, backends):
+        ref, thr = backends
+        rng = np.random.default_rng(7)
+        x, y = rng.standard_normal(512), rng.standard_normal(512)
+        out_r, out_t = y.copy(), y.copy()
+        _, c_ref = self._counted(lambda: ref.axpy(2.5, x, out_r, out=out_r))
+        _, c_thr = self._counted(lambda: thr.axpy(2.5, x, out_t, out=out_t))
+        np.testing.assert_array_equal(out_r, out_t)
+        assert c_ref.axpys == c_thr.axpys and c_ref.axpy_flops == c_thr.axpy_flops
+
+    def test_axpby_parity(self, backends):
+        ref, thr = backends
+        rng = np.random.default_rng(8)
+        x, y = rng.standard_normal(512), rng.standard_normal(512)
+        out_r, out_t = np.empty(512), np.empty(512)
+        ws_r, ws_t = Workspace(), Workspace()
+        _, c_ref = self._counted(
+            lambda: ref.axpby(1.5, x, -0.5, y, out=out_r, work=ws_r)
+        )
+        _, c_thr = self._counted(
+            lambda: thr.axpby(1.5, x, -0.5, y, out=out_t, work=ws_t)
+        )
+        np.testing.assert_array_equal(out_r, out_t)
+        assert c_ref.axpys == c_thr.axpys and c_ref.axpy_flops == c_thr.axpy_flops
+
+    def test_scale_parity(self, backends):
+        ref, thr = backends
+        x = np.arange(256.0)
+        out_r, out_t = np.empty(256), np.empty(256)
+        _, c_ref = self._counted(lambda: ref.scale(0.25, x, out=out_r))
+        _, c_thr = self._counted(lambda: thr.scale(0.25, x, out=out_t))
+        np.testing.assert_array_equal(out_r, out_t)
+        assert c_ref.axpys == c_thr.axpys and c_ref.axpy_flops == c_thr.axpy_flops
+
+    def test_csr_matvec_parity(self, backends):
+        ref, thr = backends
+        a = poisson2d(24)
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal(a.nrows)
+        out_r, out_t = np.empty(a.nrows), np.empty(a.nrows)
+        ws_r, ws_t = Workspace(), Workspace()
+        _, c_ref = self._counted(lambda: ref.matvec(a, x, out=out_r, work=ws_r))
+        _, c_thr = self._counted(lambda: thr.matvec(a, x, out=out_t, work=ws_t))
+        np.testing.assert_allclose(out_r, out_t, rtol=1e-14, atol=1e-14)
+        assert c_ref.matvecs == c_thr.matvecs
+        assert c_ref.axpy_flops == c_thr.axpy_flops
+
+    def test_dot_label_telemetry_preserved(self, backends):
+        ref, thr = backends
+        x = np.ones(64)
+        with counting() as c_ref:
+            ref.dot(x, x, label="direct_dot")
+        with counting() as c_thr:
+            thr.dot(x, x, label="direct_dot")
+        assert c_ref.dots == c_thr.dots
+        assert c_ref.labelled("direct_dot") == c_thr.labelled("direct_dot") == 1
+
+    def test_full_solve_parity(self, backends):
+        from repro.core.standard import conjugate_gradient
+        from repro.core.stopping import StoppingCriterion
+
+        ref, thr = backends
+        a = poisson2d(16)
+        b = np.ones(a.nrows)
+        stop = StoppingCriterion(rtol=1e-10)
+        r_ref, c_ref = self._counted(
+            lambda: conjugate_gradient(a, b, stop=stop, backend=ref)
+        )
+        r_thr, c_thr = self._counted(
+            lambda: conjugate_gradient(a, b, stop=stop, backend=thr)
+        )
+        assert r_ref.iterations == r_thr.iterations
+        np.testing.assert_allclose(r_ref.x, r_thr.x, rtol=1e-12, atol=1e-14)
+        assert c_ref.dots == c_thr.dots
+        assert c_ref.axpys == c_thr.axpys
+        assert c_ref.matvecs == c_thr.matvecs
+
+
+# ----------------------------------------------------------------------
+# front-door integration
+# ----------------------------------------------------------------------
+class TestSolveIntegration:
+    def test_solve_accepts_backend_name(self):
+        from repro import solve
+
+        a = poisson2d(12)
+        b = np.ones(a.nrows)
+        result = solve(a, b, method="vr", backend="reference")
+        assert result.converged
+
+    def test_solve_refuses_backend_for_unsupported_method(self):
+        from repro import solve
+
+        a = poisson2d(12)
+        b = np.ones(a.nrows)
+        with pytest.raises(ValueError, match="backend"):
+            solve(a, b, method="jacobi", backend="reference")
+
+    def test_solve_env_var_selection(self, monkeypatch):
+        from repro import solve
+
+        monkeypatch.setenv("REPRO_BACKEND", "reference")
+        a = poisson2d(12)
+        b = np.ones(a.nrows)
+        assert solve(a, b, method="cg").converged
+
+    def test_backend_capable_methods_agree(self):
+        from repro import solve
+
+        a = poisson2d(12)
+        b = np.ones(a.nrows)
+        expect = np.linalg.solve(
+            np.array([[a.matvec(e) for e in np.eye(a.nrows)]][0]).T, b
+        )
+        for method in ("cg", "vr", "pipelined-vr", "three-term", "cg-cg", "gv"):
+            got = solve(a, b, method=method, backend="reference")
+            assert got.converged, method
+            np.testing.assert_allclose(got.x, expect, rtol=1e-6, atol=1e-8)
+
+    def test_repeated_solves_share_precond_setup(self):
+        from repro import solve
+
+        clear_setup_cache()
+        a = poisson2d(12)
+        b = np.ones(a.nrows)
+        solve(a, b, method="cg", precond="jacobi")
+        before = setup_cache().stats()["hits"]
+        solve(a, b, method="cg", precond="jacobi")
+        assert setup_cache().stats()["hits"] == before + 1
+        clear_setup_cache()

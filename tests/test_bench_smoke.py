@@ -15,11 +15,14 @@ import importlib.util
 import json
 from pathlib import Path
 
+from repro.backend import available_backends
+
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_batched_throughput.py"
 FAULT_BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_fault_recovery.py"
 FAULT_OUT_PATH = REPO_ROOT / "BENCH_faults.json"
 TELEMETRY_BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_telemetry_overhead.py"
+BACKEND_BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_backend_kernels.py"
 
 
 def _load_by_path(name: str, path: Path):
@@ -106,3 +109,32 @@ def test_bench_telemetry_smoke_emits_json(tmp_path):
         expected_baseline = "bare" if config == "null_sink" else "null_sink"
         assert record["baseline"] == expected_baseline
         assert record["budgeted"] == (config != "tracer+metrics")
+
+
+def test_bench_backend_kernels_smoke_emits_json(tmp_path):
+    bench = _load_by_path("bench_backend_kernels", BACKEND_BENCH_PATH)
+    out = tmp_path / "BENCH_perf.json"
+    # Speedup and timing numbers are noise at smoke scale; the 1.2x
+    # acceptance floor is asserted only by the full-scale benchmark run.
+    payload = bench.run(grid=24, solve_grid=16, repeats=2, out_path=out)
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk == payload
+    assert on_disk["bench"] == "backend_kernels"
+    assert on_disk["n"] == 576
+    assert on_disk["workspace_matvec_seconds"] > 0.0
+    assert on_disk["allocating_matvec_seconds"] > 0.0
+    # The workspace path must stay allocation-free at any scale.
+    assert (
+        on_disk["workspace_matvec_allocs"]["peak_bytes"]
+        < on_disk["allocating_matvec_allocs"]["peak_bytes"]
+    )
+    for arm in ("caller_arena", "default"):
+        assert on_disk["solve_allocations"][arm]["max_iteration_bytes"] >= 0
+
+    parity = on_disk["backend_parity"]
+    assert [r["backend"] for r in parity] == list(available_backends())
+    baseline = parity[0]
+    for record in parity[1:]:
+        for key in ("iterations", "dots", "axpys", "matvecs", "trace_spans"):
+            assert record[key] == baseline[key]
