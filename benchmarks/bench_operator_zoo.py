@@ -1,0 +1,97 @@
+"""Workload replay over the operator zoo through the matrix-free front door.
+
+Every system in :func:`repro.zoo.zoo_workloads` -- an edge-list graph
+Laplacian, the matrix-free 3D elasticity stencil, a factored
+low-rank-plus-sparse composition, the complex MRI normal equations, and a
+bare-callable stencil -- is solved through the public
+``repro.solve(a, b, method=...)`` door exactly as a user would, under a
+traced :func:`repro.trace.profile_solve` run.  Per workload the record
+keeps the three numbers the paper's argument turns on: iterations to
+converge, blocking synchronizations on the critical path per iteration,
+and wall time.
+
+Numbers are written to ``BENCH_operators.json`` at the repository root;
+``tools/check_bench_regression.py`` gates the ``*_seconds`` leaves
+(warn-only) against ``benchmarks/baselines/BENCH_operators.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.stopping import StoppingCriterion
+from repro.trace import profile_solve
+from repro.zoo import zoo_workloads
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_operators.json"
+
+
+def run(
+    *,
+    preset: str = "full",
+    rtol: float = 1e-8,
+    max_iter: int = 5000,
+    out_path: Path | str | None = DEFAULT_OUT,
+) -> dict:
+    """Replay the zoo; return (and optionally write) the record.
+
+    Parameters
+    ----------
+    preset:
+        ``"full"`` for the committed benchmark sizes, ``"smoke"`` for the
+        CI-sized systems the tier-1 smoke test runs.
+    rtol, max_iter:
+        Shared stopping criterion across workloads.
+    out_path:
+        Where to write the JSON record; ``None`` skips writing.
+    """
+    if preset not in ("smoke", "full"):
+        raise ValueError(f"preset must be 'smoke' or 'full', got {preset!r}")
+    stop = StoppingCriterion(rtol=rtol, max_iter=max_iter)
+    workloads = []
+    for w in zoo_workloads():
+        a, b = w.build(preset)
+        report = profile_solve(a, b, w.method, stop=stop, **w.options)
+        assert report.converged, f"zoo workload {w.name!r} failed to converge"
+        workloads.append(
+            {
+                "name": w.name,
+                "method": w.method,
+                "description": w.description,
+                "dtype": w.dtype,
+                "n": report.n,
+                "iterations": report.iterations,
+                "converged": report.converged,
+                "syncs_per_iteration": round(
+                    report.blocking_syncs_per_iteration, 4
+                ),
+                "wall_seconds": report.wall_seconds,
+            }
+        )
+
+    payload = {
+        "bench": "operator_zoo",
+        "preset": preset,
+        "rtol": rtol,
+        "workloads": workloads,
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def main() -> None:
+    payload = run()
+    for w in payload["workloads"]:
+        print(
+            f"{w['name']:18s} {w['method']:12s} n={w['n']:6d} "
+            f"iters={w['iterations']:4d} syncs/it={w['syncs_per_iteration']:5.2f} "
+            f"wall={w['wall_seconds']:.4f}s"
+        )
+    print(f"wrote {DEFAULT_OUT}")
+
+
+if __name__ == "__main__":
+    main()

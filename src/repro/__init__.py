@@ -69,11 +69,13 @@ from repro.core import (
 from repro.registry import (
     available_methods,
     batched_methods,
+    operator_methods,
     solve,
     solve_batched,
 )
 from repro.sparse import (
     CSRMatrix,
+    NormalOperator,
     anisotropic2d,
     as_operator,
     banded_spd,
@@ -110,6 +112,7 @@ __all__ = [
     "setup_cache",
     "available_methods",
     "batched_methods",
+    "operator_methods",
     "Telemetry",
     "Tracer",
     "Span",
@@ -129,6 +132,7 @@ __all__ = [
     "star_coefficients_symbolic",
     "vr_conjugate_gradient",
     "CSRMatrix",
+    "NormalOperator",
     "anisotropic2d",
     "as_operator",
     "banded_spd",

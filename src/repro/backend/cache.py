@@ -52,6 +52,12 @@ def matrix_fingerprint(a: Any) -> tuple | None:
     The tuple is ``(format, shape, nnz, digest)`` for our sparse formats
     and ``("dense", shape, digest)`` for numpy arrays.  Immutable matrix
     instances memoize their fingerprint after the first call.
+
+    Matrix-free operators opt in through a ``fingerprint()`` method
+    returning any hashable key (or ``None`` to decline); operators
+    without one -- bare callables, ad-hoc pipelines -- return ``None``
+    here, which makes every cache lookup a silent bypass (counted in
+    :meth:`SetupCache.stats` under ``"skipped"``) rather than an error.
     """
     from repro.sparse.csr import CSRMatrix
     from repro.sparse.ell import ELLMatrix
@@ -73,6 +79,12 @@ def matrix_fingerprint(a: Any) -> tuple | None:
         return ("dense", a.array.shape, a.array.size, _digest(a.array))
     if isinstance(a, np.ndarray):
         return ("dense", a.shape, a.size, _digest(a))
+    hook = getattr(a, "fingerprint", None)
+    if callable(hook):
+        key = hook()
+        if key is None:
+            return None
+        return ("operator", tuple(getattr(a, "shape", ())), key)
     return None
 
 
@@ -95,6 +107,7 @@ class SetupCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.skipped = 0
 
     def get_or_build(
         self,
@@ -106,9 +119,12 @@ class SetupCache:
         """Return the cached artifact, building (and storing) on a miss.
 
         A ``None`` fingerprint bypasses the cache entirely: the builder
-        runs and nothing is stored.
+        runs, nothing is stored, and the ``skipped`` statistic ticks --
+        unfingerprintable operators never error, they just never hit.
         """
         if fingerprint is None:
+            with self._lock:
+                self.skipped += 1
             return builder()
         key = (kind, fingerprint, extra)
         with self._lock:
@@ -134,16 +150,18 @@ class SetupCache:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.skipped = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def stats(self) -> dict[str, int]:
-        """``{"hits", "misses", "evictions", "entries"}``."""
+        """``{"hits", "misses", "evictions", "skipped", "entries"}``."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "skipped": self.skipped,
             "entries": len(self._entries),
         }
 

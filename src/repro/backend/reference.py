@@ -21,12 +21,14 @@ from repro.util import kernels
 __all__ = ["ReferenceBackend"]
 
 
-def _scratch_for(work: Any, shape: tuple[int, ...]) -> np.ndarray | None:
+def _scratch_for(
+    work: Any, shape: tuple[int, ...], dtype: np.dtype = np.float64
+) -> np.ndarray | None:
     """Resolve ``work`` (Workspace, ndarray, or None) to a scratch array."""
     if work is None:
         return None
     if isinstance(work, Workspace):
-        return work.scratch(shape)
+        return work.scratch(shape, dtype)
     return work  # caller-supplied ndarray; kernels validate the shape
 
 
@@ -58,7 +60,9 @@ class ReferenceBackend(Backend):
         *,
         work: Any = None,
     ) -> np.ndarray:
-        return kernels.axpy(a, x, y, out=out, work=_scratch_for(work, x.shape))
+        return kernels.axpy(
+            a, x, y, out=out, work=_scratch_for(work, x.shape, x.dtype)
+        )
 
     def axpby(
         self,
@@ -70,7 +74,9 @@ class ReferenceBackend(Backend):
         *,
         work: Any = None,
     ) -> np.ndarray:
-        return kernels.axpby(a, x, b, y, out=out, work=_scratch_for(work, x.shape))
+        return kernels.axpby(
+            a, x, b, y, out=out, work=_scratch_for(work, x.shape, x.dtype)
+        )
 
     def scale(self, a: float, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         return kernels.scale(a, x, out=out)

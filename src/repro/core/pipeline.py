@@ -48,10 +48,10 @@ from repro.core.moments import window_from_powers
 from repro.core.powers import PowerBlock
 from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
-from repro.sparse.linop import as_operator
+from repro.sparse.linop import as_operator, operator_dtype
 from repro.util.counters import add_scalar_flops
 from repro.util.validation import (
-    as_1d_float_array,
+    as_1d_typed_array,
     check_square_operator,
     require_positive_int,
 )
@@ -296,8 +296,10 @@ def pipelined_vr_cg(
     CGResult
         With ``label = "pipelined-vr-cg(k=...)"``.
     """
-    op = as_operator(a)
-    b = as_1d_float_array(b, "b")
+    b_arr = np.asarray(b)
+    op = as_operator(a, n=b_arr.shape[0] if b_arr.ndim == 1 else None)
+    dtype = operator_dtype(op)
+    b = as_1d_typed_array(b, "b", dtype)
     n = check_square_operator(op, b.shape[0])
     k = require_positive_int(k, "k")
     stop = stop or StoppingCriterion()
@@ -331,7 +333,11 @@ def pipelined_vr_cg(
     policy = RecoveryPolicy.from_spec(recovery)
     plan = as_fault_plan(faults)
 
-    x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
+    x = (
+        np.zeros(n, dtype=dtype)
+        if x0 is None
+        else as_1d_typed_array(x0, "x0", dtype).copy()
+    )
     if telemetry is not None:
         telemetry.solve_start("pipelined-vr", f"pipelined-vr-cg(k={k})", n, k=k)
         telemetry.iterate(x)

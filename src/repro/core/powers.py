@@ -70,11 +70,11 @@ class PowerBlock:
         """
         k = require_nonnegative_int(k, "k")
         n = r0.shape[0]
-        r_powers = np.empty((k + 2, n))
+        r_powers = np.empty((k + 2, n), dtype=r0.dtype)
         r_powers[0] = r0
         for i in range(1, k + 2):
             r_powers[i] = op.matvec(r_powers[i - 1])
-        p_powers = np.empty((k + 3, n))
+        p_powers = np.empty((k + 3, n), dtype=r0.dtype)
         p_powers[: k + 2] = r_powers
         p_powers[k + 2] = op.matvec(p_powers[k + 1])
         return cls(k=k, r_powers=r_powers, p_powers=p_powers)
@@ -92,11 +92,11 @@ class PowerBlock:
         """
         k = require_nonnegative_int(k, "k")
         n = r.shape[0]
-        r_powers = np.empty((k + 2, n))
+        r_powers = np.empty((k + 2, n), dtype=r.dtype)
         r_powers[0] = r
         for i in range(1, k + 2):
             r_powers[i] = op.matvec(r_powers[i - 1])
-        p_powers = np.empty((k + 3, n))
+        p_powers = np.empty((k + 3, n), dtype=r.dtype)
         p_powers[0] = p
         for i in range(1, k + 3):
             p_powers[i] = op.matvec(p_powers[i - 1])
@@ -133,7 +133,7 @@ class PowerBlock:
 
         tail = self.p_powers[1 : self.k + 3]
         if work is not None:
-            scratch = work.get("power_scratch", tail.shape)
+            scratch = work.get("power_scratch", tail.shape, tail.dtype)
             np.multiply(tail, lam, out=scratch)
             self.r_powers -= scratch
         else:

@@ -27,8 +27,8 @@ import numpy as np
 
 from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
-from repro.sparse.linop import as_operator
-from repro.util.validation import as_1d_float_array, check_square_operator
+from repro.sparse.linop import as_operator, operator_dtype
+from repro.util.validation import as_1d_typed_array, check_square_operator
 
 __all__ = ["conjugate_gradient"]
 
@@ -102,8 +102,10 @@ def conjugate_gradient(
         With ``alphas`` = ``[α₁, α₂, ...]`` and ``lambdas`` = ``[λ₀, λ₁,
         ...]`` in the paper's notation.
     """
-    op = as_operator(a)
-    b = as_1d_float_array(b, "b")
+    b_arr = np.asarray(b)
+    op = as_operator(a, n=b_arr.shape[0] if b_arr.ndim == 1 else None)
+    dtype = operator_dtype(op)
+    b = as_1d_typed_array(b, "b", dtype)
     n = check_square_operator(op, b.shape[0])
     stop = stop or StoppingCriterion()
     if record_iterates is not None:
@@ -127,7 +129,11 @@ def conjugate_gradient(
     policy = RecoveryPolicy.from_spec(recovery)
     plan = as_fault_plan(faults)
 
-    x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
+    x = (
+        np.zeros(n, dtype=dtype)
+        if x0 is None
+        else as_1d_typed_array(x0, "x0", dtype).copy()
+    )
     if record_iterates is not None:
         record_iterates.append(x.copy())
     if telemetry is not None:
@@ -229,7 +235,7 @@ def conjugate_gradient(
             plan.begin_iteration(iterations + 1)
         if tracer is not None:
             tracer.begin("matvec")
-        ap = ws.get("ap", n)
+        ap = ws.get("ap", n, dtype)
         bk.matvec(op, p, out=ap, work=ws)
         if tracer is not None:
             tracer.end("matvec")

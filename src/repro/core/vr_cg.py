@@ -33,10 +33,10 @@ from repro.core.moments import MomentWindow, initial_window, window_from_powers
 from repro.core.powers import PowerBlock
 from repro.core.results import CGResult, StopReason, verified_exit
 from repro.core.stopping import StoppingCriterion
-from repro.sparse.linop import LinearOperator, as_operator
+from repro.sparse.linop import LinearOperator, as_operator, operator_dtype
 from repro.util.counters import add_scalar_flops
 from repro.util.validation import (
-    as_1d_float_array,
+    as_1d_typed_array,
     check_square_operator,
     require_nonnegative_int,
 )
@@ -176,8 +176,10 @@ def vr_conjugate_gradient(
         algorithm itself sees; ``true_residual_norm`` is recomputed at
         exit, and their gap is the stability metric.
     """
-    op = as_operator(a)
-    b = as_1d_float_array(b, "b")
+    b_arr = np.asarray(b)
+    op = as_operator(a, n=b_arr.shape[0] if b_arr.ndim == 1 else None)
+    dtype = operator_dtype(op)
+    b = as_1d_typed_array(b, "b", dtype)
     n = check_square_operator(op, b.shape[0])
     k = require_nonnegative_int(k, "k")
     stop = stop or StoppingCriterion()
@@ -229,7 +231,11 @@ def vr_conjugate_gradient(
                 "telemetry=Telemetry(capture_iterates=True)",
             )
 
-    x = np.zeros(n) if x0 is None else as_1d_float_array(x0, "x0").copy()
+    x = (
+        np.zeros(n, dtype=dtype)
+        if x0 is None
+        else as_1d_typed_array(x0, "x0", dtype).copy()
+    )
     if record_iterates is not None:
         record_iterates.append(x.copy())
     if telemetry is not None:

@@ -365,15 +365,28 @@ class _FaultingOperator:
     def shape(self) -> tuple[int, int]:
         return self._op.shape
 
+    @property
+    def dtype(self) -> np.dtype:
+        from repro.sparse.linop import operator_dtype
+
+        return operator_dtype(self._op)
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        y = np.array(self._op.matvec(x), dtype=np.float64, copy=True)
+        # Preserve the wrapped operator's dtype (complex operators stay
+        # complex); sub-float64 results are promoted so injector
+        # arithmetic never loses precision.
+        y = np.array(self._op.matvec(x), copy=True)
+        if y.dtype.kind not in "fc":
+            y = y.astype(np.float64)
         self._plan.corrupt_vector(y, "matvec")
         return y
 
     def matmat(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         matmat = getattr(self._op, "matmat", None)
         if callable(matmat):
-            y = np.array(matmat(x), dtype=np.float64, copy=True)
+            y = np.array(matmat(x), copy=True)
+            if y.dtype.kind not in "fc":
+                y = y.astype(np.float64)
         else:
             y = np.stack([self._op.matvec(x[:, j]) for j in range(x.shape[1])], axis=1)
         for j in range(y.shape[1]):

@@ -50,6 +50,7 @@ __all__ = [
     "register_batched",
     "available_methods",
     "batched_methods",
+    "operator_methods",
     "method_entry",
     "SolverEntry",
 ]
@@ -91,6 +92,14 @@ class SolverEntry:
         (and a ``workspace=`` arena) -- see :mod:`repro.backend`.
         :func:`solve` refuses the keywords for methods whose flag is
         unset, so the flag is the contract.
+    supports_operator:
+        Whether the method runs on a matrix-free
+        :class:`~repro.sparse.linop.LinearOperator` (anything that is not
+        an assembled CSR/ELL/dense/scipy matrix).  Methods that genuinely
+        need assembled structure -- matrix-powers s-step, the stationary
+        sweeps that split the matrix, the distributed row-partitioned
+        solvers -- leave this unset and :func:`solve` refuses operator
+        inputs for them with the nearest capable method in the message.
     """
 
     name: str
@@ -103,6 +112,7 @@ class SolverEntry:
     supports_faults: bool = False
     supports_recovery: bool = False
     supports_backend: bool = False
+    supports_operator: bool = False
 
 
 _REGISTRY: dict[str, SolverEntry] = {}
@@ -117,6 +127,7 @@ def register(
     supports_faults: bool = False,
     supports_recovery: bool = False,
     supports_backend: bool = False,
+    supports_operator: bool = False,
 ) -> Callable[[Callable[..., CGResult]], Callable[..., CGResult]]:
     """Class the decorated runner under ``name`` in the method registry."""
 
@@ -132,6 +143,7 @@ def register(
             supports_faults=supports_faults,
             supports_recovery=supports_recovery,
             supports_backend=supports_backend,
+            supports_operator=supports_operator,
         )
         return runner
 
@@ -171,6 +183,18 @@ def batched_methods() -> list[str]:
     return sorted(name for name, e in _REGISTRY.items() if e.batched)
 
 
+def operator_methods() -> list[str]:
+    """Registered method names that run on matrix-free operators, sorted.
+
+    The mirror of :func:`batched_methods` for the ``supports_operator``
+    capability flag: these are the methods :func:`solve` will dispatch
+    when ``a`` is anything other than an assembled CSR/ELL/dense/scipy
+    matrix (a bare callable, a :class:`~repro.sparse.linop.NormalOperator`,
+    a zoo workload operator, ...).
+    """
+    return sorted(name for name, e in _REGISTRY.items() if e.supports_operator)
+
+
 def method_entry(name: str) -> SolverEntry:
     """Look up one :class:`SolverEntry`; raises ``ValueError`` for unknown
     names with the full list in the message."""
@@ -180,6 +204,76 @@ def method_entry(name: str) -> SolverEntry:
         raise ValueError(
             f"unknown method {name!r}; available: {', '.join(available_methods())}"
         ) from None
+
+
+def _is_assembled(a: Any) -> bool:
+    """Whether ``a`` is an assembled matrix (CSR/ELL/dense/scipy sparse).
+
+    Assembled inputs pass through :func:`solve` untouched -- existing
+    calls stay bit-for-bit identical -- and are the only inputs the
+    structure-requiring methods (s-step, stationary sweeps, distributed)
+    accept.  Everything else is treated as a matrix-free operator.
+    """
+    from repro.sparse.csr import CSRMatrix
+    from repro.sparse.ell import ELLMatrix
+
+    if isinstance(a, (CSRMatrix, ELLMatrix, np.ndarray)):
+        return True
+    try:
+        import scipy.sparse as sp
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        return False
+    return bool(sp.issparse(a))
+
+
+#: For each method that refuses operators, the closest method (by
+#: communication structure) that accepts them -- named in the refusal.
+_NEAREST_OPERATOR_METHOD = {
+    "sstep": "cg-cg",
+    "jacobi": "richardson",
+    "gauss-seidel": "richardson",
+    "sor": "richardson",
+    "dist-cg": "cg",
+    "dist-cgcg": "cg-cg",
+    "dist-sstep": "cg-cg",
+    "dist-pipelined-vr": "pipelined-vr",
+}
+
+
+def _front_door_operator(a: Any, b: Any, entry: SolverEntry) -> tuple[Any, bool]:
+    """Coerce ``a`` at the front door; returns ``(operator, assembled)``.
+
+    Assembled matrices pass through *unchanged*.  Anything else is
+    coerced with :func:`repro.sparse.as_operator` (bare callables get
+    their dimension from ``b``) -- but only for methods carrying the
+    ``supports_operator`` capability flag; the rest refuse with the
+    nearest capable method in the message.
+    """
+    if _is_assembled(a):
+        return a, True
+    from repro.sparse.linop import as_operator, operator_dtype
+
+    if not entry.supports_operator:
+        nearest = _NEAREST_OPERATOR_METHOD.get(entry.name)
+        hint = (
+            f"; the nearest operator-capable method is {nearest!r}"
+            if nearest
+            else ""
+        )
+        raise ValueError(
+            f"method {entry.name!r} needs an assembled matrix (CSR/ELL/dense) "
+            f"and cannot run on a matrix-free operator{hint}; "
+            f"operator-capable methods: {', '.join(operator_methods())}"
+        )
+    b_arr = np.asarray(b)
+    op = as_operator(a, n=b_arr.shape[0] if b_arr.ndim == 1 else None)
+    if b_arr.dtype.kind == "c" and operator_dtype(op).kind != "c":
+        raise ValueError(
+            "b is complex but the operator is real (it declares no complex "
+            "dtype); give the operator a dtype=complex128 attribute or pass "
+            "a real b"
+        )
+    return op, False
 
 
 def _estimated_bounds(a: Any, b: np.ndarray) -> tuple[float, float]:
@@ -301,11 +395,23 @@ def solve(
     """
     entry = method_entry(method)
     telemetry = _consume_trace(telemetry, options)
+    a, assembled = _front_door_operator(a, b, entry)
     zero = None if options.get("x0") is not None else _zero_rhs_result(
-        b, entry, telemetry
+        a, b, entry, telemetry
     )
     if zero is not None:
         return zero
+    if (
+        not assembled
+        and isinstance(precond, str)
+        and precond not in ("", "none", "identity")
+    ):
+        raise ValueError(
+            f"string preconditioner {precond!r} needs an assembled matrix to "
+            "factor, and a matrix-free operator was passed; build a "
+            "preconditioner instance for your operator, or use "
+            "precond='identity'"
+        )
     precond = _resolve_precond(a, precond, b, options)
     if precond is not None and not entry.supports_precond:
         raise ValueError(f"method {method!r} does not accept a preconditioner")
@@ -399,17 +505,31 @@ def _run_guarded(runner: Any, telemetry: Any) -> Any:
 
 
 def _zero_rhs_result(
-    b: Any, entry: SolverEntry, telemetry: Any
+    a: Any, b: Any, entry: SolverEntry, telemetry: Any
 ) -> CGResult | None:
     """The ``b = 0`` short-circuit shared by every registered method."""
-    arr = np.asarray(b, dtype=np.float64)
+    from repro.sparse.linop import operator_dtype
+
+    arr = np.asarray(b)
+    if arr.dtype.kind not in "fc":
+        try:
+            arr = arr.astype(np.float64)
+        except (TypeError, ValueError):
+            return None  # not numeric; let the solver raise its own error
     if arr.ndim != 1 or arr.size == 0 or np.any(arr != 0.0):
         return None  # not this corner; let the solver validate/iterate
     n = arr.shape[0]
+    # x = 0 in the dtype the solve would have run in: complex when either
+    # the operator declares complex arithmetic or b itself is complex.
+    dtype = (
+        np.dtype(np.complex128)
+        if (operator_dtype(a).kind == "c" or arr.dtype.kind == "c")
+        else np.dtype(np.float64)
+    )
     if telemetry is not None:
         telemetry.solve_start(entry.name, f"{entry.name} (b=0)", n)
     result = CGResult(
-        x=np.zeros(n),
+        x=np.zeros(n, dtype=dtype),
         converged=True,
         stop_reason=StopReason.CONVERGED,
         iterations=0,
@@ -469,6 +589,28 @@ def solve_batched(
             f"method {method!r} has no batched multi-RHS path; "
             f"batched methods: {', '.join(batched_methods())}"
         )
+    if not _is_assembled(a):
+        from repro.sparse.linop import as_operator, operator_dtype
+
+        if not entry.supports_operator:
+            nearest = _NEAREST_OPERATOR_METHOD.get(entry.name)
+            hint = (
+                f"; the nearest operator-capable method is {nearest!r}"
+                if nearest
+                else ""
+            )
+            raise ValueError(
+                f"batched method {method!r} needs an assembled matrix "
+                f"(CSR/ELL/dense) and cannot run on a matrix-free "
+                f"operator{hint}"
+            )
+        b_arr = np.asarray(b)
+        a = as_operator(a, n=b_arr.shape[0] if b_arr.ndim >= 1 and b_arr.size else None)
+        if operator_dtype(a).kind == "c" or b_arr.dtype.kind == "c":
+            raise ValueError(
+                "the batched block paths run in float64 only; solve complex "
+                "operators column-by-column through solve()"
+            )
     if options.get("faults") is not None or options.get("recovery") is not None:
         raise ValueError(
             "batched solves do not support fault injection or recovery "
@@ -500,6 +642,7 @@ def solve_batched(
     supports_faults=True,
     supports_recovery=True,
     supports_backend=True,
+    supports_operator=True,
 )
 def _run_cg(a, b, *, precond, telemetry, **options):
     from repro.core.standard import conjugate_gradient
@@ -520,6 +663,7 @@ def _run_cg(a, b, *, precond, telemetry, **options):
     supports_faults=True,
     supports_recovery=True,
     supports_backend=True,
+    supports_operator=True,
 )
 def _run_vr(a, b, *, precond, telemetry, **options):
     from repro.core.vr_cg import vr_conjugate_gradient
@@ -565,6 +709,7 @@ def _run_vr(a, b, *, precond, telemetry, **options):
     supports_faults=True,
     supports_recovery=True,
     supports_backend=True,
+    supports_operator=True,
 )
 def _run_pipelined_vr(a, b, *, precond, telemetry, **options):
     from repro.core.pipeline import pipelined_vr_cg
@@ -588,6 +733,7 @@ def _run_pipelined_vr(a, b, *, precond, telemetry, **options):
     "three-term",
     "three-term recurrence CG (Rutishauser form)",
     supports_backend=True,
+    supports_operator=True,
 )
 def _run_three_term(a, b, *, precond, telemetry, **options):
     from repro.variants import three_term_cg
@@ -601,6 +747,7 @@ def _run_three_term(a, b, *, precond, telemetry, **options):
     supports_faults=True,
     supports_recovery=True,
     supports_backend=True,
+    supports_operator=True,
 )
 def _run_cgcg(a, b, *, precond, telemetry, **options):
     from repro.variants import chronopoulos_gear_cg
@@ -614,6 +761,7 @@ def _run_cgcg(a, b, *, precond, telemetry, **options):
     supports_faults=True,
     supports_recovery=True,
     supports_backend=True,
+    supports_operator=True,
 )
 def _run_gv(a, b, *, precond, telemetry, **options):
     from repro.variants import ghysels_vanroose_cg
@@ -628,7 +776,11 @@ def _run_sstep(a, b, *, precond, telemetry, **options):
     return sstep_cg(a, b, telemetry=telemetry, **options)
 
 
-@register("chebyshev", "Chebyshev iteration (no inner products)")
+@register(
+    "chebyshev",
+    "Chebyshev iteration (no inner products)",
+    supports_operator=True,
+)
 def _run_chebyshev(a, b, *, precond, telemetry, **options):
     from repro.variants import chebyshev_iteration
 
@@ -660,7 +812,11 @@ def _run_sor(a, b, *, precond, telemetry, **options):
     return sor_solve(a, b, telemetry=telemetry, **options)
 
 
-@register("richardson", "Richardson iteration (optimal fixed step)")
+@register(
+    "richardson",
+    "Richardson iteration (optimal fixed step)",
+    supports_operator=True,
+)
 def _run_richardson(a, b, *, precond, telemetry, **options):
     from repro.variants import richardson_solve
 

@@ -33,8 +33,10 @@ from repro.sparse.linop import (
     CallableOperator,
     DenseOperator,
     LinearOperator,
+    NormalOperator,
     as_operator,
     block_matvec,
+    operator_dtype,
 )
 from repro.sparse.matrix_powers import MatrixPowersKernel, PowersStats, RowPartition
 from repro.sparse.mmio import read_matrix_market, write_matrix_market
@@ -60,8 +62,10 @@ __all__ = [
     "CallableOperator",
     "DenseOperator",
     "LinearOperator",
+    "NormalOperator",
     "as_operator",
     "block_matvec",
+    "operator_dtype",
     "MatrixPowersKernel",
     "PowersStats",
     "RowPartition",

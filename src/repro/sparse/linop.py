@@ -1,12 +1,41 @@
-"""Abstract linear operator protocol.
+"""Abstract linear operator protocol -- the stack's public operator contract.
 
-The Van Rosendale machinery in :mod:`repro.core` only needs three things
-from its matrix: a square ``shape``, a ``matvec``, and (for the machine
-model) a ``max_row_degree``.  Wrapping these behind a small protocol lets
-the same solver run on our CSR matrices, on dense arrays, on scipy sparse
-matrices, and on implicitly-defined operators such as the symmetrically
-preconditioned ``E⁻¹AE⁻ᵀ`` from :mod:`repro.precond` -- which is how the
-preconditioned VR-CG extension works without re-deriving the recurrences.
+The Van Rosendale machinery in :mod:`repro.core` only ever touches the
+matrix through ``Av``: a square ``shape``, a ``matvec``, and (for the
+machine model) a ``max_row_degree`` are all it needs.  This module defines
+that contract and the coercion every front door goes through:
+
+=====================================  =====================================
+you pass                               :func:`as_operator` produces
+=====================================  =====================================
+:class:`~repro.sparse.csr.CSRMatrix`   the matrix itself (unchanged)
+:class:`~repro.sparse.ell.ELLMatrix`   the matrix itself (unchanged)
+``numpy.ndarray`` (square, 2-D)        :class:`DenseOperator`
+scipy sparse matrix                    counted :class:`CallableOperator`
+bare callable ``x -> Ax``              counted :class:`CallableOperator`
+                                       (needs ``n=``; ``solve()`` infers
+                                       it from ``b``)
+any object with ``shape`` + ``matvec`` the object itself (unchanged)
+=====================================  =====================================
+
+Optional protocol extensions the stack honours when present:
+
+* ``dtype`` -- declares a complex operator (``complex128``); the solvers
+  switch their vectors and their ``vdot``-based inner products over.
+  Absent means float64.
+* ``matmat(X)`` -- fused multi-column application for the batched paths.
+* ``rmatvec(y)`` -- the adjoint ``Aᴴy``, required by
+  :class:`NormalOperator` for rectangular encodings.
+* ``max_row_degree()`` -- row degree for the machine model's depth
+  accounting (dense assumed otherwise).
+* ``fingerprint()`` -- an opt-in content key for the
+  :class:`repro.backend.SetupCache`; unfingerprintable operators bypass
+  the cache silently.
+
+Implicitly-defined operators such as the symmetrically preconditioned
+``E⁻¹AE⁻ᵀ`` from :mod:`repro.precond` and the workload operators in
+:mod:`repro.zoo` all ride this protocol -- the solvers never know the
+difference.
 """
 
 from __future__ import annotations
@@ -21,7 +50,9 @@ __all__ = [
     "LinearOperator",
     "CallableOperator",
     "DenseOperator",
+    "NormalOperator",
     "as_operator",
+    "operator_dtype",
     "block_matvec",
     "matvec_into",
 ]
@@ -41,6 +72,22 @@ class LinearOperator(Protocol):
         ...
 
 
+def operator_dtype(op: Any) -> np.dtype:
+    """The vector dtype a solve against ``op`` runs in.
+
+    Operators declare complex arithmetic through a ``dtype`` attribute;
+    anything without one (our CSR/ELL matrices, plain wrappers) is
+    float64.  The result is always one of the two solver dtypes --
+    ``float64`` or ``complex128`` -- so lower-precision operators are
+    promoted rather than propagated.
+    """
+    dt = getattr(op, "dtype", None)
+    if dt is None:
+        return np.dtype(np.float64)
+    dt = np.dtype(dt)
+    return np.dtype(np.complex128) if dt.kind == "c" else np.dtype(np.float64)
+
+
 class CallableOperator:
     """Wrap a plain function ``x -> Ax`` as a :class:`LinearOperator`.
 
@@ -55,6 +102,16 @@ class CallableOperator:
         model's depth accounting.  Defaults to ``n`` (dense).
     nnz:
         Nonzeros booked per application on the operation counter.
+    dtype:
+        Vector dtype the wrapped function operates in (``float64``
+        default; pass ``complex128`` for complex pipelines).
+    counted:
+        When true, each :meth:`matvec` books one matvec of ``nnz``
+        nonzeros on the ambient counter.  Defaults to False: wrappers
+        built around our own instrumented kernels (the split
+        preconditioner, the polynomial trick) already book inside ``fn``
+        and must not double-count.  :func:`as_operator` turns it on for
+        bare callables and scipy matrices, which book nothing themselves.
     """
 
     def __init__(
@@ -64,22 +121,33 @@ class CallableOperator:
         *,
         row_degree: int | None = None,
         nnz: int | None = None,
+        dtype: np.dtype | type = np.float64,
+        counted: bool = False,
     ) -> None:
         self._n = int(n)
         self._fn = fn
         self._row_degree = int(row_degree) if row_degree is not None else int(n)
         self._nnz = int(nnz) if nnz is not None else int(n) * self._row_degree
+        dt = np.dtype(dtype)
+        self._dtype = np.dtype(np.complex128) if dt.kind == "c" else np.dtype(np.float64)
+        self._counted = bool(counted)
 
     @property
     def shape(self) -> tuple[int, int]:
         """``(n, n)``."""
         return (self._n, self._n)
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Vector dtype the wrapped function operates in."""
+        return self._dtype
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Apply the wrapped function (not separately counted: the wrapped
-        function is expected to do its own booking if it uses our kernels)."""
-        y = self._fn(np.asarray(x, dtype=np.float64))
-        return np.asarray(y, dtype=np.float64)
+        """Apply the wrapped function (booking one matvec when counted)."""
+        if self._counted:
+            add_matvec(self._nnz, self._n)
+        y = self._fn(np.asarray(x, dtype=self._dtype))
+        return np.asarray(y, dtype=self._dtype)
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         return self.matvec(x)
@@ -90,10 +158,16 @@ class CallableOperator:
 
 
 class DenseOperator:
-    """A dense symmetric matrix as a counted operator (tests/small cases)."""
+    """A dense symmetric/Hermitian matrix as a counted operator.
+
+    Real input is held as float64, complex input as complex128 -- the
+    operator's ``dtype`` is what flips the solvers into complex mode.
+    """
 
     def __init__(self, a: np.ndarray) -> None:
-        a = np.asarray(a, dtype=np.float64)
+        a = np.asarray(a)
+        dt = np.complex128 if np.iscomplexobj(a) else np.float64
+        a = np.asarray(a, dtype=dt)
         if a.ndim != 2 or a.shape[0] != a.shape[1]:
             raise ValueError(f"expected a square matrix, got shape {a.shape}")
         self._a = a
@@ -104,6 +178,11 @@ class DenseOperator:
         return self._a.shape
 
     @property
+    def dtype(self) -> np.dtype:
+        """float64 for real matrices, complex128 for complex ones."""
+        return self._a.dtype
+
+    @property
     def array(self) -> np.ndarray:
         """The underlying dense array (read-only view semantics by courtesy)."""
         return self._a
@@ -111,12 +190,14 @@ class DenseOperator:
     def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """``A @ x`` with counter booking (dense row degree = n).
 
-        ``out`` (float64, shape ``(n,)``, not aliasing ``x``) makes the
-        product allocation-free.
+        ``out`` (matching dtype, shape ``(n,)``, not aliasing ``x``) makes
+        the product allocation-free.
         """
         n = self._a.shape[0]
         add_matvec(n * n, n)
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x)
+        if not np.iscomplexobj(x) and not np.iscomplexobj(self._a):
+            x = np.asarray(x, dtype=np.float64)
         if out is None:
             return self._a @ x
         if out is x:
@@ -126,7 +207,9 @@ class DenseOperator:
 
     def matmat(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """``A @ X`` for an ``(n, m)`` block: one pass over the matrix."""
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x)
+        if not np.iscomplexobj(x) and not np.iscomplexobj(self._a):
+            x = np.asarray(x, dtype=np.float64)
         n = self._a.shape[0]
         add_matmat(n * n, n, x.shape[1])
         if out is None:
@@ -140,6 +223,93 @@ class DenseOperator:
     def max_row_degree(self) -> int:
         """Dense: every row has n entries."""
         return self._a.shape[0]
+
+
+class NormalOperator:
+    """The normal-equations operator ``EᴴE + shift·I`` of an encoding ``E``.
+
+    ``E`` may be rectangular (``(m, n)``) and complex -- the canonical
+    case is an MRI encoding pipeline (see :mod:`repro.zoo.mri`) where
+    ``E = mask ∘ FFT`` and the reconstruction solves ``(EᴴE)ρ = Eᴴm``.
+    The composition is Hermitian positive semi-definite by construction;
+    a positive ``shift`` (Tikhonov term) makes it definite, which is what
+    CG requires when ``E`` has a nontrivial null space (undersampling).
+
+    ``E`` must provide ``shape``, ``matvec`` (``x -> Ex``), and
+    ``rmatvec`` (``y -> Eᴴy``).  A ``fingerprint()`` hook on ``E``
+    propagates so setup caching keeps working through the composition.
+    """
+
+    def __init__(self, e: Any, *, shift: float = 0.0) -> None:
+        shape = getattr(e, "shape", None)
+        if shape is None or len(shape) != 2:
+            raise ValueError(
+                f"NormalOperator needs an encoding with a 2-D shape, got {shape!r}"
+            )
+        if not callable(getattr(e, "matvec", None)) or not callable(
+            getattr(e, "rmatvec", None)
+        ):
+            raise ValueError(
+                "NormalOperator needs an encoding with both matvec (Ex) and "
+                "rmatvec (E^H y); got "
+                f"{type(e).__name__} without "
+                f"{'matvec' if not callable(getattr(e, 'matvec', None)) else 'rmatvec'}"
+            )
+        if shift < 0.0:
+            raise ValueError(f"shift must be >= 0, got {shift}")
+        self._e = e
+        self._shift = float(shift)
+        self._n = int(shape[1])
+        self._dtype = operator_dtype(e)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n, n)`` where ``n`` is the encoding's column count."""
+        return (self._n, self._n)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Inherited from the encoding (complex encodings stay complex)."""
+        return self._dtype
+
+    @property
+    def shift(self) -> float:
+        """The Tikhonov regularization weight."""
+        return self._shift
+
+    @property
+    def encoding(self) -> Any:
+        """The wrapped encoding operator ``E``."""
+        return self._e
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``EᴴE x + shift·x``."""
+        x = np.asarray(x, dtype=self._dtype)
+        y = np.asarray(self._e.rmatvec(self._e.matvec(x)), dtype=self._dtype)
+        if self._shift:
+            y = y + self._shift * x
+        return y
+
+    def rhs(self, measurements: np.ndarray) -> np.ndarray:
+        """The normal-equations right-hand side ``b = Eᴴm``."""
+        return np.asarray(self._e.rmatvec(measurements), dtype=self._dtype)
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def max_row_degree(self) -> int:
+        """The composition is dense in general."""
+        return self._n
+
+    def fingerprint(self) -> tuple | None:
+        """Delegate to the encoding's hook; ``None`` bypasses the cache."""
+        hook = getattr(self._e, "fingerprint", None)
+        if not callable(hook):
+            return None
+        inner = hook()
+        if inner is None:
+            return None
+        return ("normal", self.shape, self._shift, inner)
 
 
 #: Per-operator-type capability of ``matvec``: 2 = takes ``out=`` and
@@ -213,13 +383,15 @@ def block_matvec(
     ``matmat`` predates the ``out=`` convention still work (the result is
     copied in).
     """
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x)
+    if x.dtype.kind not in "fc":
+        x = x.astype(np.float64)
     if x.ndim != 2:
         raise ValueError(f"expected an (n, m) column block, got shape {x.shape}")
     matmat = getattr(op, "matmat", None)
     if callable(matmat):
         if out is None:
-            return np.asarray(matmat(x), dtype=np.float64)
+            return np.asarray(matmat(x))
         if work is not None:
             try:
                 return matmat(x, out=out, work=work)
@@ -230,39 +402,94 @@ def block_matvec(
         except TypeError:
             out[:] = matmat(x)
             return out
-    y = out if out is not None else np.empty((op.shape[0], x.shape[1]))
+    if out is not None:
+        y = out
+    else:
+        y = np.empty(
+            (op.shape[0], x.shape[1]),
+            dtype=np.promote_types(x.dtype, operator_dtype(op)),
+        )
     for j in range(x.shape[1]):
         y[:, j] = op.matvec(x[:, j])
     return y
 
 
-def as_operator(a: Any) -> LinearOperator:
-    """Coerce ``a`` into a :class:`LinearOperator`.
+def as_operator(a: Any, *, n: int | None = None) -> LinearOperator:
+    """Coerce ``a`` into a :class:`LinearOperator` (the front-door contract).
 
-    Accepts our CSR/ELL matrices (returned unchanged), dense numpy arrays
-    (wrapped in :class:`DenseOperator`), scipy sparse matrices (wrapped in
-    a counted callable), or any object already satisfying the protocol.
+    Accepts our CSR/ELL matrices and any object already satisfying the
+    protocol (returned unchanged -- existing ``solve(csr, b)`` calls are
+    bit-for-bit untouched), dense numpy arrays (wrapped in
+    :class:`DenseOperator`), scipy sparse matrices and bare callables
+    ``x -> Ax`` (wrapped in a counted :class:`CallableOperator`).
+
+    Parameters
+    ----------
+    a:
+        The operator in any accepted form.
+    n:
+        Dimension hint, required only for bare callables (a function has
+        no ``shape``); ``solve()`` passes ``len(b)``.  For every other
+        form a mismatch between ``n`` and the operator's own shape
+        raises.
+
+    Raises
+    ------
+    ValueError
+        For a non-square shape, a shape/``n`` mismatch, an object that
+        has a ``shape`` but no ``matvec``, or a bare callable without
+        ``n`` -- each with a message naming the specific defect.
+    TypeError
+        For objects that are not interpretable as an operator at all.
     """
+    from repro.util.validation import check_square_operator
+
     if isinstance(a, np.ndarray):
-        return DenseOperator(a)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(
+                f"operator must be square, got array of shape {a.shape}"
+            )
+        op = DenseOperator(a)
+        check_square_operator(op, n)
+        return op
     try:
         import scipy.sparse as sp
 
         if sp.issparse(a):
+            if a.shape[0] != a.shape[1]:
+                raise ValueError(
+                    f"operator must be square, got shape {tuple(a.shape)}"
+                )
             csr = a.tocsr()
-            n = csr.shape[0]
-            if csr.shape[0] != csr.shape[1]:
-                raise ValueError("operator must be square")
             degree = int(np.diff(csr.indptr).max()) if csr.nnz else 0
-
-            def _mv(x: np.ndarray, _csr=csr) -> np.ndarray:
-                add_matvec(_csr.nnz, _csr.shape[0])
-                return _csr @ x
-
-            op = CallableOperator(n, _mv, row_degree=degree, nnz=csr.nnz)
+            op = CallableOperator(
+                csr.shape[0],
+                lambda x, _csr=csr: _csr @ x,
+                row_degree=degree,
+                nnz=csr.nnz,
+                dtype=csr.dtype,
+                counted=True,
+            )
+            check_square_operator(op, n)
             return op
     except ImportError:  # pragma: no cover - scipy is a hard dependency
         pass
-    if isinstance(a, LinearOperator):
+    if hasattr(a, "shape"):
+        if not callable(getattr(a, "matvec", None)):
+            raise ValueError(
+                f"{type(a).__name__} has a shape but no matvec(x) method; "
+                "a LinearOperator needs a square shape and matvec "
+                "(optionally dtype, matmat, rmatvec, max_row_degree, "
+                "fingerprint)"
+            )
+        check_square_operator(a, n)
         return a
+    if callable(a):
+        if n is None:
+            raise ValueError(
+                "a bare callable has no shape; pass it through solve(A, b) "
+                "(the dimension is inferred from b) or wrap it explicitly: "
+                "CallableOperator(n, fn)"
+            )
+        return CallableOperator(int(n), a, counted=True)
     raise TypeError(f"cannot interpret {type(a).__name__} as a linear operator")

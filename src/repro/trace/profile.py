@@ -196,6 +196,12 @@ def _max_degree(a: Any) -> int:
 
         return max(matrix_stats(a, estimate_spectrum=False).max_degree, 1)
     except Exception:
+        hook = getattr(a, "max_row_degree", None)
+        if callable(hook):
+            try:
+                return max(int(hook()), 1)
+            except Exception:
+                pass
         return 5  # the poisson2d stencil width; only scales log d
 
 

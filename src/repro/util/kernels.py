@@ -22,7 +22,13 @@ __all__ = ["dot", "norm", "axpy", "axpby", "scale", "block_dot", "block_norms"]
 
 
 def dot(x: np.ndarray, y: np.ndarray, *, label: str | None = None) -> float:
-    """Instrumented inner product ``xᵀy``.
+    """Instrumented inner product ``⟨x, y⟩`` (conjugating the left factor).
+
+    For real operands this is exactly ``xᵀy``.  For complex operands it
+    returns ``Re(xᴴy)`` -- the Hermitian form every CG quantity reduces
+    to: on a Hermitian operator all the moments ``(r, Aⁱr)``, ``(r, Aⁱp)``,
+    ``(p, Aⁱp)`` are real to rounding, so the solvers' scalar recurrences
+    stay in float64 even when the vectors are complex.
 
     Parameters
     ----------
@@ -34,12 +40,16 @@ def dot(x: np.ndarray, y: np.ndarray, *, label: str | None = None) -> float:
         ``"direct_dot"`` so experiment E5 can count exactly those.
     """
     add_dot(x.shape[0], label=label)
+    if np.iscomplexobj(x) or np.iscomplexobj(y):
+        return float(np.vdot(x, y).real)
     return float(np.dot(x, y))
 
 
 def norm(x: np.ndarray) -> float:
     """Instrumented Euclidean norm (booked as one inner product)."""
     add_dot(x.shape[0])
+    if np.iscomplexobj(x):
+        return float(np.sqrt(np.vdot(x, x).real))
     return float(np.sqrt(np.dot(x, x)))
 
 
@@ -54,6 +64,8 @@ def block_dot(x: np.ndarray, y: np.ndarray, *, label: str | None = None) -> np.n
     """
     n, m = x.shape
     add_block_dot(n, m, label=label)
+    if np.iscomplexobj(x) or np.iscomplexobj(y):
+        return np.einsum("ij,ij->j", np.conj(x), y).real
     return np.einsum("ij,ij->j", x, y)
 
 
@@ -61,6 +73,8 @@ def block_norms(x: np.ndarray, *, label: str | None = None) -> np.ndarray:
     """Column Euclidean norms of an ``(n, m)`` block (one fused reduction)."""
     n, m = x.shape
     add_block_dot(n, m, label=label)
+    if np.iscomplexobj(x):
+        return np.sqrt(np.einsum("ij,ij->j", np.conj(x), x).real)
     return np.sqrt(np.einsum("ij,ij->j", x, x))
 
 

@@ -14,6 +14,7 @@ import numpy as np
 
 __all__ = [
     "as_1d_float_array",
+    "as_1d_typed_array",
     "as_2d_float_array",
     "check_out_array",
     "check_square_operator",
@@ -48,9 +49,25 @@ def check_out_array(
     return out
 
 
-def as_1d_float_array(x: Any, name: str = "array") -> np.ndarray:
-    """Coerce ``x`` to a contiguous 1-D float64 array, validating shape."""
-    arr = np.asarray(x, dtype=np.float64)
+def as_1d_typed_array(
+    x: Any, name: str = "array", dtype: np.dtype | type = np.float64
+) -> np.ndarray:
+    """Coerce ``x`` to a contiguous 1-D array of ``dtype``, validating shape.
+
+    The dtype-aware sibling of :func:`as_1d_float_array`, used by the
+    solvers when the operator declares a complex dtype.  Complex input
+    against a real target dtype raises (silently discarding imaginary
+    parts hides real bugs); real input promotes to a complex target.
+    """
+    dt = np.dtype(dtype)
+    arr = np.asarray(x)
+    if np.iscomplexobj(arr) and dt.kind != "c":
+        raise ValueError(
+            f"{name} is complex but the operator is real (dtype {dt}); "
+            "pass a complex operator (its dtype attribute decides) or a "
+            f"real {name}"
+        )
+    arr = np.asarray(arr, dtype=dt)
     if arr.ndim != 1:
         raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
     if arr.size == 0:
@@ -58,6 +75,11 @@ def as_1d_float_array(x: Any, name: str = "array") -> np.ndarray:
     if not np.all(np.isfinite(arr)):
         raise ValueError(f"{name} contains non-finite entries")
     return np.ascontiguousarray(arr)
+
+
+def as_1d_float_array(x: Any, name: str = "array") -> np.ndarray:
+    """Coerce ``x`` to a contiguous 1-D float64 array, validating shape."""
+    return as_1d_typed_array(x, name, np.float64)
 
 
 def as_2d_float_array(x: Any, name: str = "array") -> np.ndarray:

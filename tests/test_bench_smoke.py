@@ -23,6 +23,7 @@ FAULT_BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_fault_recovery.py"
 FAULT_OUT_PATH = REPO_ROOT / "BENCH_faults.json"
 TELEMETRY_BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_telemetry_overhead.py"
 BACKEND_BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_backend_kernels.py"
+ZOO_BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_operator_zoo.py"
 
 
 def _load_by_path(name: str, path: Path):
@@ -109,6 +110,29 @@ def test_bench_telemetry_smoke_emits_json(tmp_path):
         expected_baseline = "bare" if config == "null_sink" else "null_sink"
         assert record["baseline"] == expected_baseline
         assert record["budgeted"] == (config != "tracer+metrics")
+
+
+def test_bench_operator_zoo_smoke_emits_json(tmp_path):
+    bench = _load_by_path("bench_operator_zoo", ZOO_BENCH_PATH)
+    out = tmp_path / "BENCH_operators.json"
+    payload = bench.run(preset="smoke", out_path=out)
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk == payload
+    assert on_disk["bench"] == "operator_zoo"
+    assert on_disk["preset"] == "smoke"
+
+    records = {w["name"]: w for w in on_disk["workloads"]}
+    # The replay must cover at least 4 workloads including the complex
+    # Hermitian normal-equations reconstruction.
+    assert len(records) >= 4
+    assert records["mri-normal"]["dtype"] == "complex128"
+    assert {"elasticity3d", "lowrank-sparse", "poisson-callable"} <= set(records)
+    for record in records.values():
+        assert record["converged"] is True
+        assert record["iterations"] > 0
+        assert record["syncs_per_iteration"] >= 0.0
+        assert record["wall_seconds"] > 0.0
 
 
 def test_bench_backend_kernels_smoke_emits_json(tmp_path):
