@@ -95,10 +95,24 @@ def resolve_backend(spec: "Backend | str | None") -> Backend:
     ``None`` consults the ``REPRO_BACKEND`` environment variable and
     falls back to the reference backend; a string goes through
     :func:`get_backend`; a :class:`Backend` instance passes through.
+
+    A bad environment value fails with the variable's *name* in the
+    message: the caller passed nothing, so an error blaming an unknown
+    backend string they never typed would be undiagnosable.
     """
     if spec is None:
         env = os.environ.get(BACKEND_ENV_VAR)
-        return get_backend(env) if env else get_backend(ReferenceBackend.name)
+        if not env:
+            return get_backend(ReferenceBackend.name)
+        try:
+            return get_backend(env)
+        except ValueError as exc:
+            raise ValueError(
+                f"environment variable {BACKEND_ENV_VAR}={env!r} does not "
+                f"name a usable backend "
+                f"(available: {', '.join(available_backends())}); "
+                f"unset it or export one of the available names"
+            ) from exc
     if isinstance(spec, Backend):
         return spec
     if isinstance(spec, str):

@@ -55,6 +55,30 @@ _GENERATORS = {
 }
 
 
+def _k_arg(text: str):
+    """argparse type for --k: an integer or the literal ``auto``."""
+    if text == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--k must be an integer or 'auto', got {text!r}"
+        ) from None
+
+
+# Methods whose k= option understands the adaptive-window "auto" value.
+_AUTO_K_METHODS = ("vr", "pipelined-vr", "adaptive-vr", "adaptive-pipelined-vr")
+
+
+def _reject_bad_auto_k(k, method: str) -> None:
+    if k == "auto" and method not in _AUTO_K_METHODS:
+        raise SystemExit(
+            f"--k auto (adaptive window) is not supported for method "
+            f"{method!r}; it needs one of: {', '.join(_AUTO_K_METHODS)}"
+        )
+
+
 def _load_matrix(args) -> CSRMatrix:
     if args.matrix is not None:
         return read_matrix_market(Path(args.matrix))
@@ -144,6 +168,7 @@ def _solve(args) -> int:
     options: dict = {"stop": stop}
     if args.backend is not None:
         options["backend"] = args.backend
+    _reject_bad_auto_k(args.k, method)
     if method == "vr":
         options["k"] = args.k
         if args.replace_every is not None:
@@ -151,7 +176,9 @@ def _solve(args) -> int:
         if args.drift_tol is not None:
             options["replace_drift_tol"] = args.drift_tol
     elif method in ("pipelined-vr", "dist-pipelined-vr"):
-        options["k"] = max(args.k, 1)
+        options["k"] = args.k if args.k == "auto" else max(args.k, 1)
+    elif method in ("adaptive-vr", "adaptive-pipelined-vr"):
+        options["k"] = args.k
     elif method in ("sstep", "dist-sstep"):
         options["s"] = max(args.k, 1)
     if method.startswith("dist-"):
@@ -213,6 +240,8 @@ def _solve_batched(args, a: CSRMatrix, stop, method: str) -> int:
     options: dict = {"stop": stop}
     if args.backend is not None and not method.startswith("dist-"):
         options["backend"] = args.backend
+    if args.k == "auto":
+        raise SystemExit("--k auto is not supported for batched solves")
     if method == "vr":
         options["k"] = args.k
         if args.replace_every is not None:
@@ -249,10 +278,13 @@ def _profile(args) -> int:
     options: dict = {
         "stop": StoppingCriterion(rtol=args.rtol, max_iter=args.max_iter)
     }
+    _reject_bad_auto_k(args.k, method)
     if method == "vr":
         options["k"] = args.k
     elif method in ("pipelined-vr", "dist-pipelined-vr"):
-        options["k"] = max(args.k, 1)
+        options["k"] = args.k if args.k == "auto" else max(args.k, 1)
+    elif method in ("adaptive-vr", "adaptive-pipelined-vr"):
+        options["k"] = args.k
     elif method in ("sstep", "dist-sstep"):
         options["s"] = max(args.k, 1)
     if method.startswith("dist-"):
@@ -337,8 +369,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="vr",
         help="registry method name (--solver is a compatibility alias)",
     )
-    solve.add_argument("--k", type=int, default=2,
-                       help="look-ahead parameter (s for sstep)")
+    solve.add_argument("--k", type=_k_arg, default=2,
+                       help="look-ahead parameter (s for sstep); 'auto' "
+                       "enables the adaptive window controller")
     solve.add_argument("--rtol", type=float, default=1e-8)
     solve.add_argument("--max-iter", type=int, default=None)
     solve.add_argument(
@@ -409,8 +442,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="cg",
         help="registry method name to profile",
     )
-    profile.add_argument("--k", type=int, default=2,
-                         help="look-ahead parameter (s for sstep)")
+    profile.add_argument("--k", type=_k_arg, default=2,
+                         help="look-ahead parameter (s for sstep); 'auto' "
+                         "enables the adaptive window controller")
     profile.add_argument("--nranks", type=int, default=4,
                          help="simulated ranks for the dist-* methods")
     profile.add_argument("--rtol", type=float, default=1e-8)

@@ -240,6 +240,7 @@ def pipelined_vr_cg(
     backend: Any = None,
     workspace: Any = None,
     trace: PipelineTrace | None = None,
+    controller: "WindowController | None" = None,
 ) -> CGResult:
     """Solve ``A x = b`` with the fully pipelined Van Rosendale iteration.
 
@@ -290,6 +291,18 @@ def pipelined_vr_cg(
         Deprecated; pass ``telemetry=`` and use :func:`trace_from_events`
         instead.  A supplied trace is still filled (with a
         :class:`DeprecationWarning`).
+    controller:
+        Optional :class:`repro.core.adaptive.WindowController`.  When
+        supplied the controller samples the recurred-vs-direct drift gap
+        every ``check_every`` iterations and may *resize* the window --
+        each resize refills the pipeline at the new ``k`` through the
+        same path a residual replacement uses -- or give up
+        (``fallback``), in which case the solve returns with its partial
+        progress and ``extras["adaptive"]["fell_back"] = True`` so a
+        wrapper (:func:`repro.core.adaptive.adaptive_pipelined_vr_cg`)
+        can hand the iterate to classical CG.  The controller owns all
+        repair decisions, so it cannot be combined with ``recovery=`` or
+        ``faults=``.
 
     Returns
     -------
@@ -332,6 +345,11 @@ def pipelined_vr_cg(
     ws = workspace if workspace is not None else Workspace()
     policy = RecoveryPolicy.from_spec(recovery)
     plan = as_fault_plan(faults)
+    if controller is not None and (policy is not None or plan is not None):
+        raise ValueError(
+            "controller= (adaptive window) owns all repair decisions and "
+            "cannot be combined with recovery= or faults="
+        )
 
     x = (
         np.zeros(n, dtype=dtype)
@@ -339,7 +357,15 @@ def pipelined_vr_cg(
         else as_1d_typed_array(x0, "x0", dtype).copy()
     )
     if telemetry is not None:
-        telemetry.solve_start("pipelined-vr", f"pipelined-vr-cg(k={k})", n, k=k)
+        # A controller means this run is the engine of the adaptive
+        # method; report the name the caller actually asked for.
+        method = "pipelined-vr" if controller is None else "adaptive-pipelined-vr"
+        label = (
+            f"pipelined-vr-cg(k={k})"
+            if controller is None
+            else f"adaptive-pipelined-vr-cg(k0={k})"
+        )
+        telemetry.solve_start(method, label, n, k=k)
         telemetry.iterate(x)
     b_norm = bk.norm(b)
 
@@ -348,7 +374,6 @@ def pipelined_vr_cg(
         plan.attach(telemetry)
         op = plan.wrap_operator(op)
 
-    w = k  # ledger states use the solver's own window parameter
     res_norms: list[float] = []
     alphas: list[float] = []
     lambdas: list[float] = []
@@ -378,6 +403,9 @@ def pipelined_vr_cg(
             extras["faults"] = plan.counts()
         if policy is not None:
             extras["recoveries"] = dict(recoveries)
+        if controller is not None:
+            extras["adaptive"] = controller.snapshot()
+            extras["k_history"] = list(controller.k_history)
         result = CGResult(
             x=x,
             converged=reason is StopReason.CONVERGED,
@@ -407,6 +435,10 @@ def pipelined_vr_cg(
         """
         nonlocal iterations
         tracer = telemetry.tracer if telemetry is not None else None
+        # Ledger states use the solver's own window parameter; bound per
+        # segment so an adaptive resize (outer loop rebinding k) takes
+        # effect at the next refill.
+        w = k
 
         # Startup: powers of the current residual and the launch of the
         # segment's iteration-0 moments.
@@ -442,6 +474,8 @@ def pipelined_vr_cg(
         state0 = _launch(0)
         mu0_cur = float(state0[mu_index(w, 0)])
         sigma1_cur = float(state0[sigma_index(w, 1)])
+        if mu0_cur < 0.0 and telemetry is not None:
+            telemetry.clamp(iterations, mu0_cur)
         if not res_norms:
             res_norms.append(float(np.sqrt(max(mu0_cur, 0.0))))
         if stop.is_met(float(np.sqrt(max(mu0_cur, 0.0))), b_norm):
@@ -455,6 +489,7 @@ def pipelined_vr_cg(
             pipeline.open_target(t)
 
         since_replacement = 0
+        since_ctl = 0
         for step in range(budget_left):
             if plan is not None:
                 plan.begin_iteration(iterations + 1)
@@ -507,6 +542,11 @@ def pipelined_vr_cg(
                 _event("consume", offset + target, offset + target - k,
                        base_state.size)
 
+            if mu0_next < 0.0 and telemetry is not None:
+                # The clamp below would otherwise hide the drift: a
+                # negative recurred mu0 is finite-precision error, not a
+                # residual of 0.
+                telemetry.clamp(iterations, mu0_next)
             res_norms.append(float(np.sqrt(max(mu0_next, 0.0))))
             if telemetry is not None:
                 telemetry.iteration(
@@ -597,6 +637,29 @@ def pipelined_vr_cg(
             ):
                 return ("replace", "periodic", 0.0)
 
+            # --- adaptive window controller ------------------------------
+            if controller is not None:
+                since_ctl += 1
+                if since_ctl >= controller.config.check_every:
+                    since_ctl = 0
+                    if tracer is not None:
+                        tracer.begin("local_dot")
+                    rr_direct = bk.dot(powers.r, powers.r, label="drift_check_dot")
+                    if tracer is not None:
+                        tracer.end("local_dot")
+                    if telemetry is not None:
+                        telemetry.drift(iterations, mu0_cur, rr_direct)
+                    floor = max(
+                        stop.threshold(b_norm) ** 2, np.finfo(np.float64).tiny
+                    )
+                    if rr_direct > floor:
+                        ctl_gap = abs(mu0_cur - rr_direct) / rr_direct
+                        action = controller.observe_gap(iterations, ctl_gap)
+                        if action == "fallback":
+                            return ("fallback", "drift", ctl_gap)
+                        if action in ("shrink", "grow", "replace"):
+                            return ("resize", action, ctl_gap)
+
         return ("maxiter", "", 0.0)
 
     outcome, trigger, gap = _segment(0, budget)
@@ -605,7 +668,19 @@ def pipelined_vr_cg(
             return _result(StopReason.CONVERGED)
         if outcome == "maxiter" or iterations >= budget:
             return _result(StopReason.MAX_ITER)
-        if outcome == "replace":
+        if outcome == "fallback":
+            # The controller gave up on the moment window; the wrapper
+            # (adaptive_pipelined_vr_cg) hands the iterate to classical CG.
+            return _result(StopReason.BREAKDOWN)
+        if outcome == "resize":
+            # Controller decision (shrink/grow/replace): refill the whole
+            # pipeline at the possibly-new window size -- the same refill
+            # path a residual replacement uses.
+            k = max(1, controller.k)
+            recoveries["replace"] += 1
+            if telemetry is not None:
+                telemetry.replacement(iterations, "adaptive")
+        elif outcome == "replace":
             # The pipelined realization cannot splice a fresh window into
             # the in-flight coefficient chain: replacement refills the
             # whole pipeline from the true residual at the current x
@@ -616,10 +691,20 @@ def pipelined_vr_cg(
                 telemetry.replacement(iterations, trigger)
                 telemetry.recovery(iterations, "replace", trigger, gap)
         else:  # breakdown / divergence: spend one bounded restart
-            if policy is None or restarts_used >= policy.max_restarts:
-                return _result(StopReason.BREAKDOWN)
-            restarts_used += 1
-            recoveries["restart"] += 1
-            if telemetry is not None:
-                telemetry.recovery(iterations, "restart", trigger)
+            if controller is not None:
+                action = controller.observe_breakdown(iterations, trigger)
+                if action == "fallback":
+                    return _result(StopReason.BREAKDOWN)
+                # shrink or floor repair: refill at the controller's k.
+                k = max(1, controller.k)
+                recoveries["restart"] += 1
+                if telemetry is not None:
+                    telemetry.recovery(iterations, "restart", trigger)
+            else:
+                if policy is None or restarts_used >= policy.max_restarts:
+                    return _result(StopReason.BREAKDOWN)
+                restarts_used += 1
+                recoveries["restart"] += 1
+                if telemetry is not None:
+                    telemetry.recovery(iterations, "restart", trigger)
         outcome, trigger, gap = _segment(iterations, budget - iterations)

@@ -8,7 +8,7 @@ meaningless.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.util.validation import require_positive_int
 
@@ -61,3 +61,23 @@ class StoppingCriterion:
     def is_met(self, residual_norm: float, b_norm: float) -> bool:
         """Whether ``residual_norm`` satisfies the criterion."""
         return residual_norm <= self.threshold(b_norm)
+
+    def with_initial_residual(
+        self, b_norm: float, r0_norm: float
+    ) -> "StoppingCriterion":
+        """A criterion whose threshold is satisfiable for this start.
+
+        The ``b = 0`` corner with a caller-supplied ``x0`` defeats a
+        pure-``rtol`` rule: the threshold ``max(rtol·0, 0)`` is exactly 0
+        and no positive residual can ever meet it, so the solver runs its
+        whole budget toward a target it cannot hit.  When that happens
+        (and only then), fall back to an absolute floor scaled off the
+        *initial* residual, ``atol = rtol·‖r⁰‖`` -- the same relative
+        reduction the caller asked for, measured against the only nonzero
+        scale the problem has.  With ``r⁰ = 0`` too the exact solution is
+        already in hand and the unchanged criterion accepts it
+        (``0 ≤ 0``).
+        """
+        if self.threshold(b_norm) > 0.0 or r0_norm == 0.0:
+            return self
+        return replace(self, atol=self.rtol * r0_norm)

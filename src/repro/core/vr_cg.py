@@ -368,6 +368,10 @@ def vr_conjugate_gradient(
         if tracer is not None:
             tracer.end("recurrence")
         mu0_new = float(mu_new[0])
+        if mu0_new < 0.0 and telemetry is not None:
+            # The clamp below would otherwise hide the drift: a negative
+            # recurred mu0 is finite-precision error, not a residual of 0.
+            telemetry.clamp(iterations, mu0_new)
         res_norms.append(float(np.sqrt(max(mu0_new, 0.0))))
         if telemetry is not None:
             telemetry.iteration(

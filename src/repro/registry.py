@@ -401,6 +401,7 @@ def solve(
     )
     if zero is not None:
         return zero
+    _rescue_zero_threshold(a, b, options)
     if (
         not assembled
         and isinstance(precond, str)
@@ -450,6 +451,39 @@ def solve(
     )
     result.method = entry.name
     return result
+
+
+def _rescue_zero_threshold(a: Any, b: Any, options: dict) -> None:
+    """Make the stopping rule satisfiable when ``x0`` disabled the
+    ``b = 0`` short-circuit.
+
+    With ``b = 0`` and a caller-supplied ``x0``, a pure-``rtol``
+    criterion has threshold exactly 0 and the solver would stall through
+    its whole budget.  Rewrite ``options["stop"]`` via
+    :meth:`StoppingCriterion.with_initial_residual` using
+    ``‖r⁰‖ = ‖b − A x0‖`` (one matvec, only in this corner).
+    """
+    if options.get("x0") is None:
+        return
+    from repro.core.stopping import StoppingCriterion
+
+    stop = options.get("stop") or StoppingCriterion()
+    if not isinstance(stop, StoppingCriterion):
+        return
+    try:
+        arr = np.asarray(b)
+        if arr.dtype.kind not in "fc":
+            arr = arr.astype(np.float64)
+        b_norm = float(np.linalg.norm(arr))
+        if stop.threshold(b_norm) > 0.0:
+            return
+        x0 = np.asarray(options["x0"])
+        matvec = getattr(a, "matvec", None)
+        ax0 = matvec(x0) if callable(matvec) else a @ x0
+        r0_norm = float(np.linalg.norm(arr - ax0))
+    except Exception:
+        return  # malformed b/x0: the solver's own validation diagnoses it
+    options["stop"] = stop.with_initial_residual(b_norm, r0_norm)
 
 
 def _consume_trace(telemetry: Any, options: dict) -> Any:
@@ -635,6 +669,25 @@ def solve_batched(
 # ----------------------------------------------------------------------
 # registrations: core solvers
 # ----------------------------------------------------------------------
+def _check_auto_k(method: str, precond, options) -> None:
+    """Validate the ``k="auto"`` sugar: the adaptive controller owns all
+    repair decisions, so the fixed-k stabilization/injection knobs are
+    refused with a pointed message instead of being silently dropped."""
+    if precond is not None:
+        raise ValueError(
+            f"method {method!r} with k='auto' (adaptive window) does not "
+            "support preconditioning; pass a fixed integer k"
+        )
+    for knob in ("replace_every", "replace_drift_tol", "faults", "recovery"):
+        if options.get(knob) is not None:
+            raise ValueError(
+                f"k='auto' does not accept {knob}=; the adaptive window "
+                "controller owns all replacement and repair decisions "
+                "(tune it with controller=ControllerConfig(...))"
+            )
+        options.pop(knob, None)
+
+
 @register(
     "cg",
     "classical Hestenes--Stiefel CG",
@@ -671,6 +724,12 @@ def _run_vr(a, b, *, precond, telemetry, **options):
     from repro.precond.pcg import vr_pcg
     from repro.precond.polynomial import ChebyshevPolyPrecond, vr_poly_pcg
 
+    if options.get("k") == "auto":
+        # Sugar: solve(..., method="vr", k="auto") is the adaptive driver.
+        _check_auto_k("vr", precond, options)
+        from repro.core.adaptive import adaptive_vr_cg
+
+        return adaptive_vr_cg(a, b, telemetry=telemetry, **options)
     if precond is None:
         # Without explicit stabilization the pure eager algorithm drifts
         # (EXPERIMENTS.md E7b); default the front-door to adaptive
@@ -716,6 +775,12 @@ def _run_pipelined_vr(a, b, *, precond, telemetry, **options):
     from repro.precond.base import SplitPreconditioner
     from repro.precond.pcg import pipelined_vr_pcg
 
+    if options.get("k") == "auto":
+        # Sugar: k="auto" routes to the adaptive pipelined driver.
+        _check_auto_k("pipelined-vr", precond, options)
+        from repro.core.adaptive import adaptive_pipelined_vr_cg
+
+        return adaptive_pipelined_vr_cg(a, b, telemetry=telemetry, **options)
     if precond is None:
         return pipelined_vr_cg(a, b, telemetry=telemetry, **options)
     if isinstance(precond, SplitPreconditioner):
@@ -724,6 +789,30 @@ def _run_pipelined_vr(a, b, *, precond, telemetry, **options):
         "method 'pipelined-vr' needs a split preconditioner, got "
         f"{type(precond).__name__}"
     )
+
+
+@register(
+    "adaptive-vr",
+    "eager Van Rosendale CG with online adaptive window size",
+    supports_backend=True,
+    supports_operator=True,
+)
+def _run_adaptive_vr(a, b, *, precond, telemetry, **options):
+    from repro.core.adaptive import adaptive_vr_cg
+
+    return adaptive_vr_cg(a, b, telemetry=telemetry, **options)
+
+
+@register(
+    "adaptive-pipelined-vr",
+    "pipelined Van Rosendale CG with online adaptive window size",
+    supports_backend=True,
+    supports_operator=True,
+)
+def _run_adaptive_pipelined_vr(a, b, *, precond, telemetry, **options):
+    from repro.core.adaptive import adaptive_pipelined_vr_cg
+
+    return adaptive_pipelined_vr_cg(a, b, telemetry=telemetry, **options)
 
 
 # ----------------------------------------------------------------------
@@ -767,6 +856,34 @@ def _run_gv(a, b, *, precond, telemetry, **options):
     from repro.variants import ghysels_vanroose_cg
 
     return ghysels_vanroose_cg(a, b, telemetry=telemetry, **options)
+
+
+@register(
+    "pr-cg",
+    "predict-and-recompute CG (Chen--Carson, fused reduction)",
+    supports_faults=True,
+    supports_recovery=True,
+    supports_backend=True,
+    supports_operator=True,
+)
+def _run_pr_cg(a, b, *, precond, telemetry, **options):
+    from repro.variants import pr_cg
+
+    return pr_cg(a, b, telemetry=telemetry, **options)
+
+
+@register(
+    "pr-pipe-cg",
+    "pipelined predict-and-recompute CG (Chen--Carson)",
+    supports_faults=True,
+    supports_recovery=True,
+    supports_backend=True,
+    supports_operator=True,
+)
+def _run_pr_pipe_cg(a, b, *, precond, telemetry, **options):
+    from repro.variants import pr_pipe_cg
+
+    return pr_pipe_cg(a, b, telemetry=telemetry, **options)
 
 
 @register("sstep", "s-step CG (batched reductions)")

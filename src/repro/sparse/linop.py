@@ -171,6 +171,7 @@ class DenseOperator:
         if a.ndim != 2 or a.shape[0] != a.shape[1]:
             raise ValueError(f"expected a square matrix, got shape {a.shape}")
         self._a = a
+        self._entries_finite = bool(np.isfinite(a).all())
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -198,12 +199,40 @@ class DenseOperator:
         x = np.asarray(x)
         if not np.iscomplexobj(x) and not np.iscomplexobj(self._a):
             x = np.asarray(x, dtype=np.float64)
-        if out is None:
-            return self._a @ x
-        if out is x:
+        if out is not None and out is x:
             raise ValueError("out must not alias x")
-        np.matmul(self._a, x, out=out)
-        return out
+        # inf * 0 and nan propagation inside the BLAS product would leak
+        # RuntimeWarnings to stderr; the finiteness check below is the
+        # diagnosis, so the elementwise warnings carry no extra signal.
+        with np.errstate(invalid="ignore", over="ignore"):
+            if out is None:
+                y = self._a @ x
+            else:
+                np.matmul(self._a, x, out=out)
+                y = out
+        self._diagnose_nonfinite(y, x)
+        return y
+
+    def _diagnose_nonfinite(self, y: np.ndarray, x: np.ndarray) -> None:
+        """Raise a clear error when non-finite *matrix entries* poison an
+        otherwise-finite product.
+
+        A non-finite output from a finite input and non-finite ``A`` can
+        only mean the matrix is the culprit -- name it.  A non-finite
+        output fed by a non-finite ``x`` (an honestly diverging solve) is
+        returned untouched: the solvers' divergence guards and verified
+        exits own that case, and raising here would turn an honest
+        non-converged result into a crash.
+        """
+        if self._entries_finite or np.isfinite(y).all():
+            return
+        if np.isfinite(x).all():
+            bad = int(np.size(self._a) - np.count_nonzero(np.isfinite(self._a)))
+            raise ValueError(
+                f"DenseOperator matrix has {bad} non-finite entr"
+                f"{'y' if bad == 1 else 'ies'} (nan/inf); the product is "
+                "non-finite for a finite input vector"
+            )
 
     def matmat(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """``A @ X`` for an ``(n, m)`` block: one pass over the matrix."""
@@ -212,10 +241,14 @@ class DenseOperator:
             x = np.asarray(x, dtype=np.float64)
         n = self._a.shape[0]
         add_matmat(n * n, n, x.shape[1])
-        if out is None:
-            return self._a @ x
-        np.matmul(self._a, x, out=out)
-        return out
+        with np.errstate(invalid="ignore", over="ignore"):
+            if out is None:
+                y = self._a @ x
+            else:
+                np.matmul(self._a, x, out=out)
+                y = out
+        self._diagnose_nonfinite(y, x)
+        return y
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         return self.matvec(x)

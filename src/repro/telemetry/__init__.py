@@ -18,6 +18,7 @@ the :func:`repro.solve` front-door) accepts.
 """
 
 from repro.telemetry.events import (
+    AdaptiveEvent,
     CountersEvent,
     DriftEvent,
     FaultEvent,
@@ -47,6 +48,7 @@ __all__ = [
     "SolveStartEvent",
     "IterationEvent",
     "DriftEvent",
+    "AdaptiveEvent",
     "ReplacementEvent",
     "FaultEvent",
     "RecoveryEvent",

@@ -48,6 +48,7 @@ __all__ = [
     "ColumnConvergedEvent",
     "ActiveSetEvent",
     "DriftEvent",
+    "AdaptiveEvent",
     "ReplacementEvent",
     "FaultEvent",
     "RecoveryEvent",
@@ -182,6 +183,29 @@ class DriftEvent(TelemetryEvent):
     recurred_rr: float
     direct_rr: float
     drift: float
+
+
+@dataclass
+class AdaptiveEvent(TelemetryEvent):
+    """The adaptive window controller made a decision (:mod:`repro.core.adaptive`).
+
+    ``action`` is ``"shrink"``/``"grow"`` (the window size stepped by
+    one), ``"replace"`` (repair at the floor, k unchanged), or
+    ``"fallback"`` (the controller gave up on the moment window and
+    handed the solve to classical CG); ``trigger`` names the observation
+    that fired (``drift``/``breakdown``/``clamp``/``calm``); ``gap`` is
+    the measured recurred-vs-direct relative gap when the trigger has
+    one, else 0.
+    """
+
+    kind = "adaptive"
+
+    iteration: int
+    action: str
+    trigger: str
+    k_old: int
+    k_new: int
+    gap: float = 0.0
 
 
 @dataclass

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.telemetry.events import (
     ActiveSetEvent,
+    AdaptiveEvent,
     ColumnConvergedEvent,
     ColumnIterationEvent,
     CountersEvent,
@@ -204,6 +205,42 @@ class Telemetry:
         event = DriftEvent(iteration, recurred_rr, direct_rr, rel)
         for sink in self._sinks:
             sink.emit(event)
+
+    def clamp(self, iteration: int, recurred_rr: float) -> None:
+        """The recurred ``(r, r)`` went negative and was clamped to zero.
+
+        A negative recurred ``μ₀`` is pure finite-precision drift (the
+        true quadratic form is non-negative); silently clamping it in the
+        residual history hides exactly the signal the drift instruments
+        exist to expose.  Emitted as a :class:`DriftEvent` with
+        ``direct_rr = 0.0`` and the clamped magnitude as the gap, so
+        drift consumers (and the adaptive controller) see the event
+        without a new vocabulary entry.
+        """
+        event = DriftEvent(iteration, recurred_rr, 0.0, abs(recurred_rr))
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def adaptive(
+        self,
+        iteration: int,
+        action: str,
+        trigger: str,
+        k_old: int,
+        k_new: int,
+        gap: float = 0.0,
+    ) -> None:
+        """An adaptive window-size decision (emits :class:`AdaptiveEvent`)."""
+        self.emit(
+            AdaptiveEvent(
+                iteration=iteration,
+                action=action,
+                trigger=trigger,
+                k_old=k_old,
+                k_new=k_new,
+                gap=gap,
+            )
+        )
 
     def column_iteration(
         self, column: int, iteration: int, residual_norm: float

@@ -46,11 +46,15 @@ _DAG_METHODS = {
     "three-term": "cg",
     "dist-cg": "cg",
     "vr": "vr-eager",
+    "adaptive-vr": "vr-eager",
     "pipelined-vr": "vr-pipelined",
+    "adaptive-pipelined-vr": "vr-pipelined",
     "dist-pipelined-vr": "vr-pipelined",
     "cg-cg": "cgcg",
     "dist-cgcg": "cgcg",
     "gv": "gv",
+    "pr-cg": "cgcg",
+    "pr-pipe-cg": "gv",
     "sstep": "sstep",
     "dist-sstep": "sstep",
 }
@@ -222,7 +226,13 @@ def _build_model(
     )
 
     iters = int(max(4, min(iterations or 12, 24)))
-    k = int(options.get("k", 4) or 4)
+    try:
+        k = int(options.get("k", 4) or 4)
+    except (TypeError, ValueError):
+        # k="auto" (adaptive window): model at the auto-start depth.
+        from repro.core.adaptive import DEFAULT_AUTO_K
+
+        k = DEFAULT_AUTO_K
     s = int(options.get("s", 4) or 4)
     if family == "cg":
         graph = build_cg_dag(n, d, iters).graph

@@ -13,6 +13,9 @@ compare against:
   steps behind one fused Gram-matrix reduction.
 * :func:`ghysels_vanroose_cg` -- the 2014 pipelined CG used in production
   (one-deep overlap of reductions behind the matvec).
+* :func:`pr_cg` / :func:`pr_pipe_cg` -- predict-and-recompute CG
+  (Chen--Carson 2019): scalar *prediction* makes β available before any
+  reduction, a fused *recompute* repairs the prediction each iteration.
 * :func:`chebyshev_iteration` -- the classical *inner-product-free*
   competitor: zero reductions per iteration, at the price of needing
   spectrum bounds and converging at CG's worst-case rate.
@@ -23,6 +26,7 @@ compare against:
 from repro.variants.chebyshev_solver import chebyshev_iteration
 from repro.variants.chronopoulos_gear import chronopoulos_gear_cg
 from repro.variants.pipelined_cg import ghysels_vanroose_cg
+from repro.variants.predict_recompute import pr_cg, pr_pipe_cg
 from repro.variants.sstep import sstep_cg
 from repro.variants.stationary import (
     gauss_seidel_solve,
@@ -40,6 +44,8 @@ __all__ = [
     "richardson_solve",
     "sor_solve",
     "ghysels_vanroose_cg",
+    "pr_cg",
+    "pr_pipe_cg",
     "sstep_cg",
     "three_term_cg",
 ]

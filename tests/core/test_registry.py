@@ -34,6 +34,10 @@ EXPECTED_METHODS = {
     "dist-cgcg",
     "dist-sstep",
     "dist-pipelined-vr",
+    "adaptive-vr",
+    "adaptive-pipelined-vr",
+    "pr-cg",
+    "pr-pipe-cg",
 }
 
 

@@ -50,3 +50,69 @@ class TestSemantics:
         s = StoppingCriterion()
         with pytest.raises(AttributeError):
             s.rtol = 1.0
+
+
+class TestWithInitialResidual:
+    def test_noop_when_threshold_positive(self):
+        s = StoppingCriterion(rtol=1e-8)
+        assert s.with_initial_residual(1.0, 0.5) is s
+
+    def test_noop_when_atol_present(self):
+        s = StoppingCriterion(rtol=0.0, atol=1e-12)
+        assert s.with_initial_residual(0.0, 0.5) is s
+
+    def test_noop_when_already_at_solution(self):
+        s = StoppingCriterion(rtol=1e-8)
+        assert s.with_initial_residual(0.0, 0.0) is s
+
+    def test_rescues_zero_threshold(self):
+        s = StoppingCriterion(rtol=1e-8)
+        rescued = s.with_initial_residual(0.0, 2.0)
+        assert rescued is not s
+        assert rescued.atol == pytest.approx(1e-8 * 2.0)
+        assert rescued.threshold(0.0) > 0.0
+
+
+class TestZeroRhsWithX0:
+    """``b = 0`` plus a caller ``x0`` must not stall through the budget."""
+
+    def _problem(self):
+        import numpy as np
+
+        from repro.sparse.generators import poisson2d
+
+        a = poisson2d(8)
+        n = a.nrows
+        return a, np.zeros(n), np.ones(n)
+
+    def test_cg_converges_promptly(self):
+        from repro import solve
+
+        a, b, x0 = self._problem()
+        res = solve(a, b, method="cg", x0=x0)
+        assert res.converged
+        assert res.iterations < res.x.size
+        import numpy as np
+
+        assert np.linalg.norm(res.x) <= 1e-7 * np.linalg.norm(x0)
+
+    def test_vr_terminates_promptly(self):
+        import numpy as np
+
+        from repro import solve
+
+        a, b, x0 = self._problem()
+        res = solve(a, b, method="vr", k=2, x0=x0)
+        # the window solver may label the μ₀-underflow endgame a
+        # breakdown, but it must terminate far inside the budget with the
+        # true residual at the rescued threshold
+        assert res.iterations < 20
+        r = b - np.asarray([a.matvec(e) for e in np.eye(b.size)]).T @ res.x
+        assert np.linalg.norm(r) <= 1e-7 * np.linalg.norm(x0)
+
+    def test_pipelined_vr_terminates_promptly(self):
+        from repro import solve
+
+        a, b, x0 = self._problem()
+        res = solve(a, b, method="pipelined-vr", k=2, x0=x0)
+        assert res.iterations < 20

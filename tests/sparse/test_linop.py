@@ -83,3 +83,47 @@ class TestAsOperator:
     def test_rejects_rectangular_scipy(self):
         with pytest.raises(ValueError):
             as_operator(sp.csr_matrix(np.ones((2, 3))))
+
+
+class TestDenseOperatorNonFinite:
+    """Non-finite matrix entries raise a diagnosis, never a RuntimeWarning."""
+
+    def _bad_op(self):
+        a = np.eye(4)
+        a[1, 2] = np.inf
+        a[3, 0] = np.nan
+        return DenseOperator(a)
+
+    def test_bad_entries_raise_not_warn(self):
+        op = self._bad_op()
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(ValueError, match="non-finite entr"):
+                op.matvec(np.ones(4))
+
+    def test_error_counts_bad_entries(self):
+        op = self._bad_op()
+        with pytest.raises(ValueError, match="2 non-finite entries"):
+            op.matvec(np.ones(4))
+
+    def test_matmat_diagnosed_too(self):
+        op = self._bad_op()
+        with pytest.raises(ValueError, match="non-finite entr"):
+            op.matmat(np.ones((4, 2)))
+
+    def test_nonfinite_input_propagates_silently(self):
+        # a diverging solve's nan vector is the solver's business, not ours
+        op = DenseOperator(np.eye(3))
+        x = np.array([1.0, np.nan, 1.0])
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            y = op.matvec(x)
+        assert np.isnan(y[1])
+
+    def test_finite_matrix_skips_check_cheaply(self):
+        op = DenseOperator(np.eye(3))
+        np.testing.assert_allclose(op.matvec(np.ones(3)), np.ones(3))

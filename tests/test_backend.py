@@ -332,3 +332,28 @@ class TestSolveIntegration:
         solve(a, b, method="cg", precond="jacobi")
         assert setup_cache().stats()["hits"] == before + 1
         clear_setup_cache()
+
+
+class TestEnvVarDiagnostics:
+    def test_bogus_env_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "bogus-backend")
+        with pytest.raises(ValueError) as exc:
+            resolve_backend(None)
+        msg = str(exc.value)
+        assert "REPRO_BACKEND" in msg
+        assert "bogus-backend" in msg
+        for name in available_backends():
+            assert name in msg
+
+    def test_env_ignored_for_explicit_spec(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "bogus-backend")
+        assert resolve_backend("reference").name == "reference"
+
+    def test_bogus_env_surfaces_through_solve(self, monkeypatch):
+        from repro import solve
+
+        monkeypatch.setenv("REPRO_BACKEND", "bogus-backend")
+        a = poisson2d(8)
+        b = np.ones(a.nrows)
+        with pytest.raises(ValueError, match="REPRO_BACKEND"):
+            solve(a, b, method="cg")

@@ -162,3 +162,36 @@ def test_bench_backend_kernels_smoke_emits_json(tmp_path):
     for record in parity[1:]:
         for key in ("iterations", "dots", "axpys", "matvecs", "trace_spans"):
             assert record[key] == baseline[key]
+
+
+ADAPTIVE_BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_adaptive.py"
+
+
+def test_bench_adaptive_smoke_emits_json(tmp_path):
+    bench = _load_by_path("bench_adaptive", ADAPTIVE_BENCH_PATH)
+    out = tmp_path / "BENCH_adaptive.json"
+    payload = bench.run(preset="smoke", out_path=out)
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk == payload
+    assert on_disk["bench"] == "adaptive_window"
+    assert on_disk["workload"] == "lowrank-sparse"
+
+    by_label = {r["label"]: r for r in on_disk["results"]}
+    assert set(by_label) == {row[0] for row in bench.ROWS}
+    for label, _, _, may_fail in bench.ROWS:
+        record = by_label[label]
+        if not may_fail:
+            assert record["converged"], label
+        assert record["iterations"] > 0
+        assert record["syncs_per_iteration"] >= 0.0
+        assert record["wall_seconds"] > 0.0
+    # The adaptive rows expose the controller's trajectory.
+    for label in ("adaptive-vr(k0=2)", "adaptive-pipelined-vr(k0=2)"):
+        assert by_label[label]["k_history"][0] == 2
+    # The headline trade: the converged adaptive eager run blocks less
+    # often per iteration than classical CG.
+    assert (
+        by_label["adaptive-vr(k0=2)"]["syncs_per_iteration"]
+        < by_label["cg"]["syncs_per_iteration"]
+    )

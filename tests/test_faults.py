@@ -251,6 +251,8 @@ METHODS = {
     "pipelined-vr": {"k": 2},
     "cg-cg": {},
     "gv": {},
+    "pr-cg": {},
+    "pr-pipe-cg": {},
 }
 
 

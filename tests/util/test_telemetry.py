@@ -26,6 +26,7 @@ from repro.precond import JacobiPrecond
 from repro.precond.pcg import preconditioned_cg
 from repro.sparse.generators import poisson2d
 from repro.telemetry import (
+    AdaptiveEvent,
     AsciiSummarySink,
     CountersEvent,
     DriftEvent,
@@ -85,6 +86,7 @@ def test_event_kinds_are_distinct():
             SolveStartEvent,
             IterationEvent,
             DriftEvent,
+            AdaptiveEvent,
             ReplacementEvent,
             PipelineEvent,
             ReductionEvent,
@@ -93,7 +95,7 @@ def test_event_kinds_are_distinct():
             SolveEndEvent,
         )
     }
-    assert len(kinds) == 9
+    assert len(kinds) == 10
 
 
 # ----------------------------------------------------------------------
@@ -494,7 +496,7 @@ def _raising_solve(a, b, path):
 def test_raising_solve_does_not_lose_buffered_jsonl_tail(system, tmp_path):
     a, b = system
     path = tmp_path / "events.jsonl"
-    _raising_solve(a, b, path)
+    tele = _raising_solve(a, b, path)
     # The front door unwound the session: everything emitted before the
     # raise -- including the fault event itself -- is on disk already,
     # without anyone calling close().
@@ -503,6 +505,7 @@ def test_raising_solve_does_not_lose_buffered_jsonl_tail(system, tmp_path):
     assert "solve_start" in kinds
     assert "iteration" in kinds
     assert "fault" in kinds, "the very last pre-raise event must be flushed"
+    tele.close()  # release the file handle (warnings-as-errors hygiene)
 
 
 def test_raising_solve_leaves_session_balanced(system, tmp_path):
@@ -513,3 +516,18 @@ def test_raising_solve_leaves_session_balanced(system, tmp_path):
     result = conjugate_gradient(a, b, telemetry=tele)
     assert result.converged
     assert tele.open_solves == 0
+    tele.close()
+
+
+class TestClampTelemetry:
+    def test_clamp_emits_drift_event_with_zero_direct(self):
+        sink = MemorySink()
+        tele = Telemetry(sink)
+        tele.clamp(12, -3.5e-17)
+        drifts = [e for e in sink.events if e.kind == "drift"]
+        assert len(drifts) == 1
+        ev = drifts[0]
+        assert ev.iteration == 12
+        assert ev.direct_rr == 0.0
+        assert ev.recurred_rr == -3.5e-17
+        assert ev.drift == pytest.approx(3.5e-17)
