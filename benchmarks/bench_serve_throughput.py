@@ -1,0 +1,166 @@
+"""Service request throughput: coalesced dispatch vs naive sequential.
+
+The serve layer's claim is that ``m`` concurrent clients solving against
+the same operator should cost one batched solve, not ``m`` sequential
+ones.  This benchmark measures that end to end THROUGH the service --
+admission, queueing, the coalesce window, ``asyncio.to_thread`` handoff,
+response fan-out -- not just the underlying kernels:
+
+* **coalesced arm** -- a :class:`repro.serve.SolverService` with a short
+  coalesce window and ``max_coalesce_width >= clients``: the burst rides
+  one (or few) :func:`repro.solve_batched` dispatches;
+* **sequential arm** -- the same service with ``max_coalesce_width=1``,
+  which is exactly the naive thread-per-request front end: every request
+  its own :func:`repro.solve` call, dispatched one after another.
+
+Both arms admit the identical burst of ``clients`` concurrent requests
+(same systems, same tolerance) and the wall time from first submission
+to last response is what is scored -- so the coalesced arm *pays* its
+window latency and still has to win.
+
+Numbers are written to ``BENCH_serve.json`` at the repository root.
+Acceptance floor (ISSUE 8): >= 2x request throughput for 16 concurrent
+same-operator clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from repro.core.stopping import StoppingCriterion
+from repro.serve import ServiceConfig, SolveRequest, SolverService
+from repro.sparse import poisson2d
+from repro.util.rng import default_rng
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_serve.json"
+
+
+async def _run_burst(
+    a, b_block, stop, *, clients: int, window: float, max_width: int
+) -> tuple[float, list]:
+    """One burst of concurrent clients through a fresh service."""
+    config = ServiceConfig(
+        coalesce_window=window,
+        max_coalesce_width=max_width,
+        max_queue_depth=max(64, 2 * clients),
+    )
+    async with SolverService(config) as service:
+        t0 = time.perf_counter()
+        responses = await asyncio.gather(
+            *(
+                service.submit(
+                    SolveRequest(a=a, b=b_block[:, j], method="cg", stop=stop)
+                )
+                for j in range(clients)
+            )
+        )
+        elapsed = time.perf_counter() - t0
+    for response in responses:
+        assert response.ok, f"burst member failed: {response.reason}"
+        assert response.result.converged
+    return elapsed, responses
+
+
+def run(
+    *,
+    grid: int = 24,
+    clients: int = 16,
+    rtol: float = 1e-8,
+    repeats: int = 3,
+    window_ms: float = 2.0,
+    out_path: Path | str | None = DEFAULT_OUT,
+) -> dict:
+    """Time coalesced vs sequential service dispatch; emit the record.
+
+    Each arm runs ``repeats`` bursts and keeps the best wall-clock
+    (minimum-of-repeats to suppress scheduler noise).  A fresh service
+    is built per burst so no queue state leaks between measurements; the
+    operator is shared, so both arms enjoy the same warm
+    :class:`~repro.backend.SetupCache`.
+    """
+    a = poisson2d(grid)
+    n = a.nrows
+    stop = StoppingCriterion(rtol=rtol)
+    b_block = default_rng(7).standard_normal((n, clients))
+    window = window_ms / 1000.0
+
+    async def measure() -> dict:
+        # Warm-up burst per arm: lazy imports, setup cache, thread pool.
+        await _run_burst(
+            a, b_block, stop, clients=clients, window=window,
+            max_width=clients,
+        )
+        await _run_burst(
+            a, b_block, stop, clients=clients, window=0.0, max_width=1
+        )
+
+        coalesced_best = sequential_best = float("inf")
+        coalesced_responses = None
+        for _ in range(repeats):
+            elapsed, responses = await _run_burst(
+                a, b_block, stop, clients=clients, window=window,
+                max_width=clients,
+            )
+            if elapsed < coalesced_best:
+                coalesced_best, coalesced_responses = elapsed, responses
+
+            elapsed, _ = await _run_burst(
+                a, b_block, stop, clients=clients, window=0.0, max_width=1
+            )
+            sequential_best = min(sequential_best, elapsed)
+
+        widths = sorted(
+            {response.coalesce_width for response in coalesced_responses}
+        )
+        return {
+            "clients": clients,
+            "coalesced_seconds": coalesced_best,
+            "sequential_seconds": sequential_best,
+            "speedup": sequential_best / coalesced_best,
+            "coalesced_rps": clients / coalesced_best,
+            "sequential_rps": clients / sequential_best,
+            "coalesce_widths": widths,
+            "iterations": [
+                int(response.result.iterations)
+                for response in coalesced_responses
+            ],
+        }
+
+    record = asyncio.run(measure())
+    payload = {
+        "bench": "serve_throughput",
+        "operator": f"poisson2d({grid})",
+        "n": n,
+        "rtol": rtol,
+        "repeats": repeats,
+        "window_ms": window_ms,
+        "results": [record],
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_serve_throughput_speedup():
+    """Acceptance: coalesced service >= 2x sequential RPS at 16 clients."""
+    payload = run()
+    [record] = payload["results"]
+    assert record["clients"] == 16
+    speedup = record["speedup"]
+    assert speedup >= 2.0, (
+        f"coalesced service speedup is {speedup:.2f}x, below the 2x floor "
+        f"(coalesced {record['coalesced_seconds']*1e3:.1f} ms vs sequential "
+        f"{record['sequential_seconds']*1e3:.1f} ms for 16 clients)"
+    )
+    # The win must come from actual coalescing, not timing luck.
+    assert max(record["coalesce_widths"]) >= 8
+    assert DEFAULT_OUT.exists()
+
+
+if __name__ == "__main__":
+    result = run()
+    print(json.dumps(result, indent=2))

@@ -69,10 +69,12 @@ from repro.core import (
 from repro.registry import (
     available_methods,
     batched_methods,
+    coalescable_methods,
     operator_methods,
     solve,
     solve_batched,
 )
+from repro.serve import ServiceConfig, SolverService
 from repro.sparse import (
     CSRMatrix,
     NormalOperator,
@@ -112,7 +114,10 @@ __all__ = [
     "setup_cache",
     "available_methods",
     "batched_methods",
+    "coalescable_methods",
     "operator_methods",
+    "ServiceConfig",
+    "SolverService",
     "Telemetry",
     "Tracer",
     "Span",

@@ -27,7 +27,9 @@ from repro.backend.cache import (
     cached_ell,
     clear_setup_cache,
     matrix_fingerprint,
+    set_setup_cache,
     setup_cache,
+    swapped_setup_cache,
 )
 from repro.backend.reference import ReferenceBackend
 from repro.backend.threaded import ThreadedBackend
@@ -41,6 +43,8 @@ __all__ = [
     "SetupCache",
     "setup_cache",
     "clear_setup_cache",
+    "set_setup_cache",
+    "swapped_setup_cache",
     "matrix_fingerprint",
     "cached_ell",
     "available_backends",

@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
+from contextlib import contextmanager
 from threading import Lock
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, Iterator
 
 import numpy as np
 
@@ -35,6 +36,8 @@ __all__ = [
     "matrix_fingerprint",
     "setup_cache",
     "clear_setup_cache",
+    "set_setup_cache",
+    "swapped_setup_cache",
     "cached_ell",
 ]
 
@@ -177,6 +180,37 @@ def setup_cache() -> SetupCache:
 def clear_setup_cache() -> None:
     """Clear the process-global setup cache (tests; memory pressure)."""
     _GLOBAL_CACHE.clear()
+
+
+def set_setup_cache(cache: SetupCache) -> SetupCache:
+    """Replace the process-global setup cache; returns the previous one.
+
+    Long-lived services can install a larger (or separately monitored)
+    cache; tests can install a throwaway so their hit/miss assertions
+    cannot observe -- or poison -- another test's state.
+    """
+    global _GLOBAL_CACHE
+    if not isinstance(cache, SetupCache):
+        raise TypeError(f"expected a SetupCache, got {type(cache).__name__}")
+    previous = _GLOBAL_CACHE
+    _GLOBAL_CACHE = cache
+    return previous
+
+
+@contextmanager
+def swapped_setup_cache(cache: SetupCache | None = None) -> Iterator[SetupCache]:
+    """Run a block under a swapped-in setup cache, restoring on exit.
+
+    With no argument a fresh empty :class:`SetupCache` is installed --
+    the per-test isolation fixture in ``tests/conftest.py`` uses exactly
+    this, so cache-stat assertions are immune to test reordering.
+    """
+    inner = cache if cache is not None else SetupCache()
+    previous = set_setup_cache(inner)
+    try:
+        yield inner
+    finally:
+        set_setup_cache(previous)
 
 
 def cached_ell(a: Any):

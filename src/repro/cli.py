@@ -12,6 +12,10 @@ Python:
 * ``profile`` -- run a solve under the span tracer and print the
   critical-path phase breakdown (where each iteration's wall time goes,
   and what fraction is blocked on inner-product synchronization).
+* ``serve`` -- stand up the long-lived solver service
+  (:mod:`repro.serve`): an asyncio HTTP front with per-tenant admission
+  control and request coalescing over a server-registered operator
+  (``POST /solve``, ``GET /healthz``, ``GET /metrics``).
 * ``info`` -- structural/spectral statistics of a matrix.
 * ``generate`` -- write a model-problem matrix to a MatrixMarket file.
 
@@ -319,6 +323,57 @@ def _profile(args) -> int:
     return 0 if report.converged else 1
 
 
+def _build_service(args):
+    """A configured :class:`~repro.serve.SolverService` with the CLI's
+    matrix registered (exposed separately for testing)."""
+    from repro.serve import ServiceConfig, SolverService
+
+    a = _load_matrix(args)
+    if args.rate is not None and args.rate <= 0:
+        raise SystemExit(f"--rate must be positive, got {args.rate}")
+    try:
+        config = ServiceConfig(
+            max_queue_depth=args.queue_depth,
+            coalesce_window=args.window_ms / 1000.0,
+            max_coalesce_width=args.max_width,
+            tenant_rate=args.rate,
+            tenant_burst=args.burst,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    service = SolverService(config)
+    name = args.operator_name
+    if name is None:
+        name = args.generate if args.generate else Path(args.matrix).stem
+    service.register_operator(name, a)
+    if name != "default":
+        # Clients that don't care about the name can always say "default".
+        service.register_operator("default", a)
+    return service, name, a
+
+
+def _serve(args) -> int:
+    """The ``serve`` command: run the HTTP solver service until Ctrl-C."""
+    import asyncio
+
+    from repro.serve import run_server
+
+    service, name, a = _build_service(args)
+    print(
+        f"serving operator {name!r} ({a.nrows}x{a.ncols}, {a.nnz} nnz) "
+        f"on http://{args.host}:{args.port}"
+    )
+    print(
+        "routes: POST /solve, GET /healthz, GET /metrics "
+        "(Ctrl-C drains and exits)"
+    )
+    try:
+        asyncio.run(run_server(service, args.host, args.port))
+    except KeyboardInterrupt:
+        print("draining")
+    return 0
+
+
 def _info(args) -> int:
     a = _load_matrix(args)
     stats = matrix_stats(a, estimate_spectrum=not args.no_spectrum)
@@ -461,6 +516,36 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--metrics", metavar="PATH", default=None,
                          help="also write Prometheus text-format metrics")
     profile.set_defaults(func=_profile)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio solver service (HTTP front, coalescing, "
+             "admission control)",
+    )
+    add_matrix_source(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8780,
+                       help="TCP port to bind (0 picks an ephemeral port)")
+    serve.add_argument("--operator-name", default=None, metavar="NAME",
+                       help="name clients use for the served operator "
+                            "(default: the generator name or file stem; "
+                            "'default' is always an alias)")
+    serve.add_argument("--window-ms", type=float, default=2.0,
+                       help="coalesce window in milliseconds: how long the "
+                            "dispatcher lingers so concurrent compatible "
+                            "requests share one batched solve")
+    serve.add_argument("--max-width", type=int, default=16,
+                       help="widest batched dispatch (1 disables coalescing)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="bound on queued requests; arrivals beyond it "
+                            "are shed with reason queue_full")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="per-tenant admission rate in requests/second "
+                            "(default: unmetered)")
+    serve.add_argument("--burst", type=float, default=8.0,
+                       help="per-tenant token-bucket capacity")
+    serve.set_defaults(func=_serve)
 
     info = sub.add_parser("info", help="matrix statistics")
     add_matrix_source(info)

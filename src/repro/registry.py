@@ -50,6 +50,7 @@ __all__ = [
     "register_batched",
     "available_methods",
     "batched_methods",
+    "coalescable_methods",
     "operator_methods",
     "method_entry",
     "SolverEntry",
@@ -181,6 +182,20 @@ def available_methods() -> list[str]:
 def batched_methods() -> list[str]:
     """Registered method names with a multi-RHS block path, sorted."""
     return sorted(name for name, e in _REGISTRY.items() if e.batched)
+
+
+def coalescable_methods() -> list[str]:
+    """Method names the serve-layer request coalescer may batch, sorted.
+
+    The service capability view of the registry flags: a method is
+    coalescable when it has a multi-RHS block runner (``batched``) and
+    does not run over the simulated communicator -- the ``dist-*``
+    block paths model collectives rather than serve traffic, so
+    :mod:`repro.serve` dispatches them one request at a time.
+    """
+    return sorted(
+        name for name, e in _REGISTRY.items() if e.batched and not e.distributed
+    )
 
 
 def operator_methods() -> list[str]:

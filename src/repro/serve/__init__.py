@@ -1,0 +1,66 @@
+"""repro.serve -- the solver-as-a-service front end.
+
+The paper hides synchronization latency so many concurrent units of work
+make progress at once; this package extends that from iterations to
+*requests*.  A :class:`SolverService` sits in front of
+:func:`repro.solve` / :func:`repro.solve_batched` and gives a fleet of
+clients:
+
+* per-tenant token-bucket **admission control** with bounded queues and
+  reasoned **load shedding** (:mod:`repro.serve.admission`);
+* **request coalescing** -- compatible concurrent solves against the
+  same operator (same blake2b fingerprint, dtype, tolerance class)
+  dispatch as ONE fused ``m``-wide batched solve
+  (:mod:`repro.serve.coalescer`);
+* per-request **trace ids** on the span tracer and
+  queue-depth/shed/coalesce-width **metrics** through the Prometheus
+  endpoint;
+* a stdlib-asyncio **HTTP front** (``/solve``, ``/healthz``,
+  ``/metrics``) and the ``repro serve`` CLI subcommand
+  (:mod:`repro.serve.http`).
+
+Quickstart::
+
+    import asyncio
+    import numpy as np
+    from repro import poisson2d
+    from repro.serve import ServiceConfig, SolverService
+
+    async def main():
+        a = poisson2d(32)
+        config = ServiceConfig(coalesce_window=0.002, max_coalesce_width=16)
+        async with SolverService(config) as service:
+            responses = await asyncio.gather(*[
+                service.solve(a, np.random.default_rng(j).standard_normal(a.nrows))
+                for j in range(16)
+            ])
+        print([r.coalesce_width for r in responses])  # [16, 16, ...]
+
+    asyncio.run(main())
+
+See ``docs/serving.md`` for the architecture, the coalescing
+compatibility rules, shed semantics, and a curl walkthrough.
+"""
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.coalescer import compat_key, plan_batches
+from repro.serve.http import HttpFrontend, run_server
+from repro.serve.service import (
+    ServiceConfig,
+    SolveRequest,
+    SolveResponse,
+    SolverService,
+)
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "compat_key",
+    "plan_batches",
+    "HttpFrontend",
+    "run_server",
+    "ServiceConfig",
+    "SolveRequest",
+    "SolveResponse",
+    "SolverService",
+]

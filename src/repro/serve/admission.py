@@ -1,0 +1,113 @@
+"""Per-tenant admission control: token buckets with an injectable clock.
+
+The service front door (:class:`repro.serve.SolverService`) must protect
+the solver pool from any one tenant monopolizing it.  The classic
+mechanism is a token bucket per tenant: each admitted request spends one
+token, tokens refill at ``rate`` per second up to a ``burst`` ceiling,
+and a request arriving at an empty bucket is *shed with a reason* rather
+than queued -- unbounded per-tenant queues are exactly the latency bombs
+admission control exists to prevent.
+
+Every bucket takes its notion of time from an injectable ``clock``
+callable (default :func:`time.monotonic`), so the concurrency test
+harness can drive refill deterministically with a fake clock instead of
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+class TokenBucket:
+    """A token bucket: ``rate`` tokens/second, capacity ``burst``.
+
+    ``rate=None`` disables metering entirely (every acquire succeeds);
+    that is the default service configuration, where backpressure comes
+    from the bounded queue alone.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_clock", "_last")
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float = 1.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive (or None), got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = None if rate is None else float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._clock = clock
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        self._last = now
+        if elapsed > 0 and self.rate is not None:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        """Spend ``amount`` tokens if available; never blocks."""
+        if self.rate is None:
+            return True
+        self._refill()
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+    def available(self) -> float:
+        """Tokens currently in the bucket (after refill)."""
+        if self.rate is None:
+            return float("inf")
+        self._refill()
+        return self.tokens
+
+
+class AdmissionController:
+    """One :class:`TokenBucket` per tenant, created lazily.
+
+    All tenants share the same ``rate``/``burst`` configuration; the
+    buckets themselves are independent, so one tenant draining its
+    bucket never costs another tenant a token.
+    """
+
+    def __init__(
+        self,
+        rate: float | None = None,
+        burst: float = 8.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        """The tenant's bucket (created on first use)."""
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.rate, self.burst, clock=self._clock
+            )
+        return bucket
+
+    def admit(self, tenant: str) -> bool:
+        """Spend one token from the tenant's bucket if available."""
+        return self.bucket(tenant).try_acquire()
+
+    @property
+    def tenants(self) -> list[str]:
+        """Tenants that have submitted at least once, sorted."""
+        return sorted(self._buckets)

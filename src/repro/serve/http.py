@@ -1,0 +1,313 @@
+"""A thin stdlib-asyncio HTTP front over :class:`SolverService`.
+
+Three routes, JSON bodies, no third-party dependencies:
+
+* ``POST /solve`` -- submit one solve against a server-registered
+  operator; blocks until the response (served, shed, or error) and maps
+  the outcome to an HTTP status (200 ok, 429 rate-limited, 503
+  queue-full/draining, 500 solver error);
+* ``GET /healthz`` -- liveness + queue/served/shed counters as JSON;
+* ``GET /metrics`` -- the service's
+  :class:`~repro.trace.MetricsRegistry` in Prometheus text exposition
+  format (0.0.4), scrapeable by any Prometheus.
+
+The protocol support is deliberately minimal (HTTP/1.1, one request per
+connection, ``Connection: close``): the front exists so ``curl`` and
+load generators can hit the service, not to replace a real edge proxy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.core.stopping import StoppingCriterion
+from repro.serve.service import SolveRequest, SolverService
+
+__all__ = ["HttpFrontend", "run_server"]
+
+_STATUS_LINES = {
+    200: "200 OK",
+    400: "400 Bad Request",
+    404: "404 Not Found",
+    405: "405 Method Not Allowed",
+    429: "429 Too Many Requests",
+    500: "500 Internal Server Error",
+    503: "503 Service Unavailable",
+}
+
+#: Shed reason -> HTTP status: rate limiting is the client's fault (429),
+#: queue pressure and drain are the server's state (503).
+_SHED_STATUS = {"rate_limited": 429, "queue_full": 503, "draining": 503}
+
+
+class _BadRequest(Exception):
+    """Client-side request problem; the message goes into the 400 body."""
+
+
+class HttpFrontend:
+    """Serve a :class:`SolverService` over HTTP on ``host:port``.
+
+    ``port=0`` binds an ephemeral port (tests); the bound address is
+    available as :attr:`address` after :meth:`start`.
+    """
+
+    def __init__(
+        self, service: SolverService, host: str = "127.0.0.1", port: int = 8780
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (service auto-starts)."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+
+    async def aclose(self) -> None:
+        """Stop accepting, then drain the service."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.drain()
+
+    async def __aenter__(self) -> "HttpFrontend":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # protocol plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, content_type, body = await self._handle_request(reader)
+        except Exception:  # noqa: BLE001 -- a broken socket must not kill the loop
+            status, content_type, body = 500, "application/json", json.dumps(
+                {"error": "internal error"}
+            )
+        try:
+            payload = body.encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.1 {_STATUS_LINES[status]}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin1")
+                + payload
+            )
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, str, str]:
+        request_line = (await reader.readline()).decode("latin1").strip()
+        if not request_line:
+            return 400, "application/json", json.dumps({"error": "empty request"})
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, "application/json", json.dumps(
+                {"error": f"malformed request line: {request_line!r}"}
+            )
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length > 0 else b""
+        return await self._route(method, path, body)
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, str, str]:
+        if path == "/healthz" and method == "GET":
+            return 200, "application/json", json.dumps(self._health())
+        if path == "/metrics" and method == "GET":
+            return (
+                200,
+                "text/plain; version=0.0.4",
+                self.service.metrics.to_prometheus(),
+            )
+        if path == "/solve":
+            if method != "POST":
+                return 405, "application/json", json.dumps(
+                    {"error": "POST /solve"}
+                )
+            try:
+                return await self._solve(body)
+            except _BadRequest as exc:
+                return 400, "application/json", json.dumps({"error": str(exc)})
+            except KeyError as exc:
+                return 404, "application/json", json.dumps(
+                    {"error": str(exc).strip("'\"")}
+                )
+        return 404, "application/json", json.dumps(
+            {"error": f"no route {method} {path}"}
+        )
+
+    def _health(self) -> dict[str, Any]:
+        service = self.service
+        return {
+            "status": "draining" if service.draining else "ok",
+            "queue_depth": service.queue_depth,
+            "submitted": service.submitted,
+            "served": service.served,
+            "shed": service.shed,
+            "errors": service.errors,
+            "operators": service.operators,
+        }
+
+    # ------------------------------------------------------------------
+    # the solve route
+    # ------------------------------------------------------------------
+    async def _solve(self, body: bytes) -> tuple[int, str, str]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _BadRequest(f"body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _BadRequest("body must be a JSON object")
+        operator_name = payload.get("operator")
+        if not isinstance(operator_name, str):
+            raise _BadRequest('"operator" (registered operator name) is required')
+        a = self.service.operator(operator_name)  # KeyError -> 404
+        request = self._build_request(payload, a)
+        response = await self.service.submit(request)
+        out: dict[str, Any] = {
+            "request_id": response.request_id,
+            "trace_id": response.trace_id,
+            "tenant": response.tenant,
+            "status": response.status,
+            "coalesce_width": response.coalesce_width,
+            "queue_seconds": response.queue_seconds,
+        }
+        if response.shed:
+            out["reason"] = response.reason
+            return _SHED_STATUS.get(response.reason, 503), "application/json", (
+                json.dumps(out)
+            )
+        if response.status == "error":
+            out["reason"] = response.reason
+            return 500, "application/json", json.dumps(out)
+        result = response.result
+        out.update(
+            {
+                "method": result.method,
+                "converged": bool(result.converged),
+                "stop_reason": result.stop_reason.value,
+                "iterations": int(result.iterations),
+                "true_residual_norm": float(result.true_residual_norm),
+            }
+        )
+        if payload.get("return_x", False):
+            out["x"] = [float(v) for v in np.asarray(result.x)]
+        return 200, "application/json", json.dumps(out)
+
+    def _build_request(self, payload: dict[str, Any], a: Any) -> SolveRequest:
+        b_raw = payload.get("b")
+        if not isinstance(b_raw, list) or not b_raw:
+            raise _BadRequest('"b" (right-hand side as a JSON array) is required')
+        try:
+            b = np.asarray(b_raw, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest(f'"b" is not numeric: {exc}') from None
+        if b.ndim != 1:
+            raise _BadRequest('"b" must be a flat array')
+        n = getattr(a, "nrows", None) or getattr(a, "shape", (0,))[0]
+        if n and b.shape[0] != n:
+            raise _BadRequest(
+                f'"b" has {b.shape[0]} entries, operator has {n} rows'
+            )
+        method = payload.get("method", "cg")
+        if not isinstance(method, str):
+            raise _BadRequest('"method" must be a string')
+        stop = None
+        if "rtol" in payload or "max_iter" in payload:
+            try:
+                stop = StoppingCriterion(
+                    rtol=float(payload.get("rtol", 1e-8)),
+                    max_iter=(
+                        int(payload["max_iter"])
+                        if payload.get("max_iter") is not None
+                        else None
+                    ),
+                )
+            except (TypeError, ValueError) as exc:
+                raise _BadRequest(f"bad stopping parameters: {exc}") from None
+        options = payload.get("options", {})
+        if not isinstance(options, dict):
+            raise _BadRequest('"options" must be a JSON object')
+        fields: dict[str, Any] = {
+            "a": a,
+            "b": b,
+            "method": method,
+            "tenant": str(payload.get("tenant", "default")),
+            "stop": stop,
+            "options": dict(options),
+        }
+        request_id = payload.get("request_id")
+        if request_id is not None:
+            if not isinstance(request_id, str) or not request_id:
+                raise _BadRequest('"request_id" must be a non-empty string')
+            fields["request_id"] = request_id
+        return SolveRequest(**fields)
+
+
+async def run_server(
+    service: SolverService,
+    host: str = "127.0.0.1",
+    port: int = 8780,
+    *,
+    ready: asyncio.Event | None = None,
+    shutdown: asyncio.Event | None = None,
+) -> None:
+    """Run the HTTP front until ``shutdown`` is set (or forever).
+
+    The ``repro serve`` CLI drives this; tests pass both events to
+    start/stop the server deterministically.
+    """
+    frontend = HttpFrontend(service, host, port)
+    await frontend.start()
+    if ready is not None:
+        ready.set()
+    try:
+        if shutdown is not None:
+            await shutdown.wait()
+        else:  # pragma: no cover - interactive serve-forever path
+            await asyncio.Event().wait()
+    finally:
+        await frontend.aclose()

@@ -1,0 +1,566 @@
+"""The asyncio solver service: admission, coalescing, dispatch, drain.
+
+:class:`SolverService` is the long-lived front end the ROADMAP's
+"millions of users" story needs on top of :func:`repro.solve` /
+:func:`repro.solve_batched`:
+
+* **admission control** -- per-tenant token buckets
+  (:mod:`repro.serve.admission`) and a bounded queue.  A request that
+  cannot be admitted is *shed with a reason* (``rate_limited``,
+  ``queue_full``, ``draining``) -- never silently dropped, never
+  queued unboundedly;
+* **request coalescing** -- the dispatcher lingers for a configurable
+  window, groups compatible pending requests by operator fingerprint +
+  dtype + tolerance class (:mod:`repro.serve.coalescer`), and runs each
+  group as ONE :func:`repro.solve_batched` call on PR 2's fused
+  ``m``-wide kernels.  Incompatible requests fall back to single
+  :func:`repro.solve` calls;
+* **observability** -- every request carries a trace id; dispatch groups
+  open ``request``/``request_batch`` spans on the session tracer
+  annotated with the member ids, queue-depth/shed/coalesce-width
+  instruments land in a :class:`~repro.trace.MetricsRegistry`
+  (Prometheus-exportable), and :class:`~repro.telemetry.ServiceEvent`
+  records admission decisions in the telemetry stream;
+* **graceful drain** -- :meth:`SolverService.drain` stops admitting,
+  answers everything already queued, then parks the dispatcher.
+
+The solves themselves run on a worker thread (``asyncio.to_thread``),
+one dispatch group at a time, so the event loop keeps admitting and
+shedding while the numerics run.  Repeated solves against the same
+operator hit the process-global :class:`~repro.backend.SetupCache`
+exactly as the ROADMAP promises -- the fingerprint the coalescer groups
+by is the same key the cache memoizes under.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+
+import numpy as np
+
+from repro.core.results import CGResult
+from repro.core.stopping import StoppingCriterion
+from repro.serve.admission import AdmissionController
+from repro.serve.coalescer import compat_key, plan_batches
+
+__all__ = ["ServiceConfig", "SolveRequest", "SolveResponse", "SolverService"]
+
+_REQUEST_COUNTER = itertools.count(1)
+
+#: Coalesce-width histogram buckets: powers of two up to a block of 64.
+_WIDTH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+def new_request_id() -> str:
+    """A process-unique request/trace id (monotonic, log-greppable)."""
+    return f"req-{next(_REQUEST_COUNTER):08d}"
+
+
+@dataclass
+class SolveRequest:
+    """One client solve: the system, the method, and the identity.
+
+    ``request_id`` doubles as the trace id; submitting the same id twice
+    while the first submission is still in flight is *idempotent* -- both
+    callers await the same response, and only one solve runs.
+    """
+
+    a: Any
+    b: np.ndarray
+    method: str = "cg"
+    tenant: str = "default"
+    request_id: str = field(default_factory=new_request_id)
+    stop: StoppingCriterion | None = None
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def compat_key(self) -> tuple | None:
+        """Coalescing key (see :func:`repro.serve.coalescer.compat_key`)."""
+        return compat_key(self.method, self.a, self.b, self.stop, self.options)
+
+
+@dataclass
+class SolveResponse:
+    """The service's answer to one :class:`SolveRequest`.
+
+    Exactly one response exists per submitted request -- shed requests
+    get a response with ``status="shed"`` and the shed reason, failed
+    solves ``status="error"`` with the exception, successful solves
+    ``status="ok"`` with the :class:`~repro.core.results.CGResult`.
+    """
+
+    request_id: str
+    tenant: str
+    status: str  # "ok" | "shed" | "error"
+    reason: str = ""
+    result: CGResult | None = None
+    coalesce_width: int = 0
+    queue_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request was served a solver result."""
+        return self.status == "ok"
+
+    @property
+    def shed(self) -> bool:
+        """Whether admission control rejected the request."""
+        return self.status == "shed"
+
+    @property
+    def trace_id(self) -> str:
+        """The id dispatch spans are annotated with (= the request id)."""
+        return self.request_id
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of one :class:`SolverService`.
+
+    Attributes
+    ----------
+    max_queue_depth:
+        Bound on *admitted-but-undispatched* requests.  Arrivals beyond
+        it are shed with reason ``queue_full`` -- the backpressure that
+        keeps queue latency bounded under overload.
+    coalesce_window:
+        Seconds the dispatcher lingers after picking up the first
+        pending request, letting concurrent arrivals join its batch.
+        ``0.0`` coalesces only what is already queued.
+    max_coalesce_width:
+        Largest ``m`` one batched dispatch may carry; wider compatible
+        groups are chunked.  ``1`` disables coalescing entirely (the
+        naive-sequential baseline the throughput bench compares against).
+    tenant_rate, tenant_burst:
+        Per-tenant token-bucket admission (requests/second and bucket
+        capacity).  ``tenant_rate=None`` (default) disables metering.
+    clock:
+        Monotonic-seconds callable used for queue-latency accounting and
+        the token buckets; tests inject a fake clock for determinism.
+    sleep:
+        Awaitable factory used for the coalesce window (default
+        :func:`asyncio.sleep`); the deterministic scheduling tests
+        inject an event-gated fake so "the window elapsed" is an
+        explicit test action instead of a race.
+    """
+
+    max_queue_depth: int = 64
+    coalesce_window: float = 0.0
+    max_coalesce_width: int = 16
+    tenant_rate: float | None = None
+    tenant_burst: float = 8.0
+    clock: Callable[[], float] = time.monotonic
+    sleep: Callable[[float], Awaitable[None]] | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.max_coalesce_width < 1:
+            raise ValueError(
+                f"max_coalesce_width must be >= 1, got {self.max_coalesce_width}"
+            )
+        if self.coalesce_window < 0:
+            raise ValueError(
+                f"coalesce_window must be >= 0, got {self.coalesce_window}"
+            )
+
+
+class _Pending:
+    """One admitted request waiting for dispatch."""
+
+    __slots__ = ("request", "future", "submitted_at", "key")
+
+    def __init__(
+        self, request: SolveRequest, future: "asyncio.Future[SolveResponse]",
+        submitted_at: float,
+    ) -> None:
+        self.request = request
+        self.future = future
+        self.submitted_at = submitted_at
+        self.key = request.compat_key()
+
+
+class SolverService:
+    """Async multi-tenant front end over the solver registry.
+
+    Parameters
+    ----------
+    config:
+        A :class:`ServiceConfig`; defaults are sensible for tests and
+        small deployments.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` session every
+        dispatch runs under (service events, solver events, and -- when
+        the session carries a tracer -- request spans all land in it).
+        Without one, the service builds a session around a
+        :class:`~repro.trace.MetricsSink` feeding :attr:`metrics`.
+    metrics:
+        Optional :class:`~repro.trace.MetricsRegistry`; created when
+        absent.  Exported by the HTTP front's ``/metrics`` endpoint.
+    tracer:
+        Optional :class:`~repro.trace.Tracer` attached to an
+        internally-built telemetry session (ignored when ``telemetry=``
+        is given -- attach the tracer to that session instead).
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        telemetry: Any = None,
+        metrics: Any = None,
+        tracer: Any = None,
+    ) -> None:
+        from repro.trace import MetricsRegistry, MetricsSink
+
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if telemetry is None:
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry(
+                MetricsSink(self.metrics), count_ops=False, tracer=tracer
+            )
+        self.telemetry = telemetry
+        self._admission = AdmissionController(
+            self.config.tenant_rate,
+            self.config.tenant_burst,
+            clock=self.config.clock,
+        )
+        self._operators: dict[str, Any] = {}
+        self._queue: asyncio.Queue[_Pending | None] = asyncio.Queue()
+        self._depth = 0  # admitted-but-undispatched requests (no sentinels)
+        self._inflight: dict[str, asyncio.Future[SolveResponse]] = {}
+        self._dispatcher: asyncio.Task | None = None
+        self._draining = False
+        self._stopped = False
+        # Plain-int mirrors of the metric counters: the conservation law
+        # (served + shed + errors == submitted) the property tests pin.
+        self.submitted = 0
+        self.served = 0
+        self.shed = 0
+        self.errors = 0
+        self.deduped = 0
+        self.peak_queue_depth = 0
+        reg = self.metrics
+        self._metric_requests = {
+            status: reg.counter(
+                "repro_serve_requests_total", "Requests by final status",
+                status=status,
+            )
+            for status in ("ok", "shed", "error")
+        }
+        self._metric_depth = reg.gauge(
+            "repro_serve_queue_depth", "Admitted requests awaiting dispatch"
+        )
+        self._metric_depth_peak = reg.gauge(
+            "repro_serve_queue_depth_peak", "High-water mark of the queue depth"
+        )
+        self._metric_width = reg.histogram(
+            "repro_serve_coalesce_width", "Requests per dispatch group",
+            buckets=_WIDTH_BUCKETS,
+        )
+        self._metric_wait = reg.histogram(
+            "repro_serve_queue_seconds", "Admission-to-dispatch latency"
+        )
+
+    # ------------------------------------------------------------------
+    # operator registry (the HTTP front's server-side matrices)
+    # ------------------------------------------------------------------
+    def register_operator(self, name: str, a: Any) -> None:
+        """Register a named server-side operator for clients to solve
+        against (the multi-tenant same-operator pattern the coalescer
+        and the setup cache are built for)."""
+        if not name:
+            raise ValueError("operator name must be non-empty")
+        self._operators[name] = a
+
+    def operator(self, name: str) -> Any:
+        """Look up a registered operator; raises ``KeyError`` with the
+        available names in the message."""
+        try:
+            return self._operators[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown operator {name!r}; registered: "
+                f"{', '.join(sorted(self._operators)) or '(none)'}"
+            ) from None
+
+    @property
+    def operators(self) -> list[str]:
+        """Registered operator names, sorted."""
+        return sorted(self._operators)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the dispatcher (idempotent; submit() auto-starts)."""
+        if self._dispatcher is None or self._dispatcher.done():
+            self._stopped = False
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._run_dispatcher()
+            )
+
+    async def drain(self) -> None:
+        """Stop admitting, answer everything queued, park the dispatcher.
+
+        Every request admitted before the drain began still receives its
+        response; requests submitted after it are shed with reason
+        ``draining``.  Idempotent.
+        """
+        self._draining = True
+        if self._dispatcher is None:
+            self._stopped = True
+            return
+        await self._queue.put(None)  # FIFO: lands after all admitted work
+        await self._dispatcher
+        self._dispatcher = None
+
+    async def aclose(self) -> None:
+        """Alias for :meth:`drain` (context-manager exit path)."""
+        await self.drain()
+
+    async def __aenter__(self) -> "SolverService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.drain()
+
+    @property
+    def draining(self) -> bool:
+        """Whether the service has begun (or finished) draining."""
+        return self._draining
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted requests currently awaiting dispatch."""
+        return self._depth
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    async def submit(self, request: SolveRequest) -> SolveResponse:
+        """Admit one request and await its response.
+
+        Never raises for per-request problems: admission rejections come
+        back as ``status="shed"`` responses, solver failures as
+        ``status="error"`` ones.  The returned response is the single
+        source of truth -- exactly one exists per request id.
+        """
+        await self.start()
+        self.submitted += 1
+        existing = self._inflight.get(request.request_id)
+        if existing is not None:
+            # Idempotent resubmission: ride the original solve.
+            self.deduped += 1
+            self._event("dedup", request)
+            return await asyncio.shield(existing)
+        if self._draining:
+            return self._shed(request, "draining")
+        if not self._admission.admit(request.tenant):
+            return self._shed(request, "rate_limited")
+        if self.queue_depth >= self.config.max_queue_depth:
+            return self._shed(request, "queue_full")
+        future: asyncio.Future[SolveResponse] = (
+            asyncio.get_running_loop().create_future()
+        )
+        pending = _Pending(request, future, self.config.clock())
+        self._inflight[request.request_id] = future
+        self._queue.put_nowait(pending)
+        self._depth += 1
+        depth = self._depth
+        self._metric_depth.set(depth)
+        self._metric_depth_peak.set_max(depth)
+        self.peak_queue_depth = max(self.peak_queue_depth, depth)
+        self._event("admitted", request)
+        try:
+            return await asyncio.shield(future)
+        finally:
+            if future.done():
+                self._inflight.pop(request.request_id, None)
+
+    async def solve(
+        self,
+        a: Any,
+        b: np.ndarray,
+        method: str = "cg",
+        *,
+        tenant: str = "default",
+        stop: StoppingCriterion | None = None,
+        **options: Any,
+    ) -> SolveResponse:
+        """Convenience wrapper: build a :class:`SolveRequest` and submit."""
+        return await self.submit(
+            SolveRequest(
+                a=a, b=b, method=method, tenant=tenant, stop=stop,
+                options=options,
+            )
+        )
+
+    def _shed(self, request: SolveRequest, reason: str) -> SolveResponse:
+        self.shed += 1
+        self._metric_requests["shed"].inc()
+        self.metrics.counter(
+            "repro_serve_shed_total", "Requests rejected by admission control",
+            reason=reason,
+        ).inc()
+        self._event("shed", request, detail=reason)
+        return SolveResponse(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            status="shed",
+            reason=reason,
+        )
+
+    def _event(self, action: str, request: SolveRequest, detail: str = "") -> None:
+        from repro.telemetry import ServiceEvent
+
+        self.telemetry.emit(
+            ServiceEvent(
+                action=action,
+                request_id=request.request_id,
+                tenant=request.tenant,
+                detail=detail,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def _run_dispatcher(self) -> None:
+        config = self.config
+        sleep = config.sleep if config.sleep is not None else asyncio.sleep
+        while not self._stopped:
+            first = await self._queue.get()
+            if first is None:
+                break
+            self._depth -= 1
+            batch = [first]
+            if config.coalesce_window > 0 and config.max_coalesce_width > 1:
+                # Linger: let concurrent arrivals join this dispatch.
+                await sleep(config.coalesce_window)
+            saw_sentinel = False
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is None:
+                    saw_sentinel = True
+                    break
+                self._depth -= 1
+                batch.append(item)
+            self._metric_depth.set(self._depth)
+            for group in plan_batches(
+                batch, key=lambda p: p.key, max_width=config.max_coalesce_width
+            ):
+                await self._dispatch_group(group)
+            if saw_sentinel:
+                break
+        self._stopped = True
+
+    async def _dispatch_group(self, group: list[_Pending]) -> None:
+        now = self.config.clock()
+        width = len(group)
+        self._metric_width.observe(width)
+        for pending in group:
+            waited = max(0.0, now - pending.submitted_at)
+            self._metric_wait.observe(waited)
+            self._event(
+                "dispatch", pending.request, detail=f"width={width}"
+            )
+        responses = await asyncio.to_thread(self._solve_group, group)
+        for pending, response in zip(group, responses):
+            response.queue_seconds = max(0.0, now - pending.submitted_at)
+            if response.ok:
+                self.served += 1
+                self._metric_requests["ok"].inc()
+            else:
+                self.errors += 1
+                self._metric_requests["error"].inc()
+            self._event("respond", pending.request, detail=response.status)
+            if not pending.future.done():
+                pending.future.set_result(response)
+
+    # -- the worker-thread half ----------------------------------------
+    def _solve_group(self, group: list[_Pending]) -> list[SolveResponse]:
+        """Run one dispatch group to completion (worker thread).
+
+        A raising solve must not take the service down, must not leave
+        the telemetry session unbalanced (the JsonlSink tail-loss
+        guarantee extends to the service path), and must answer *every*
+        member of the group -- the error responses carry the exception.
+        """
+        from repro.registry import solve, solve_batched
+
+        telemetry = self.telemetry
+        tracer = telemetry.tracer if telemetry is not None else None
+        width = len(group)
+        ids = [p.request.request_id for p in group]
+        span_name = "request_batch" if width > 1 else "request"
+        depth = telemetry.open_solves
+        if tracer is not None:
+            tracer.begin(span_name)
+            tracer.annotate(
+                request_ids=",".join(ids),
+                width=width,
+                tenants=",".join(sorted({p.request.tenant for p in group})),
+            )
+        try:
+            if width == 1:
+                request = group[0].request
+                options = dict(request.options)
+                if request.stop is not None:
+                    options.setdefault("stop", request.stop)
+                result = solve(
+                    request.a, request.b, request.method,
+                    telemetry=telemetry, **options,
+                )
+                results = [result]
+            else:
+                first = group[0].request
+                options = dict(first.options)
+                if first.stop is not None:
+                    options.setdefault("stop", first.stop)
+                block = np.stack([p.request.b for p in group], axis=1)
+                batched = solve_batched(
+                    first.a, block, first.method,
+                    telemetry=telemetry, **options,
+                )
+                results = [batched.column(j) for j in range(width)]
+            return [
+                SolveResponse(
+                    request_id=p.request.request_id,
+                    tenant=p.request.tenant,
+                    status="ok",
+                    result=r,
+                    coalesce_width=width,
+                )
+                for p, r in zip(group, results)
+            ]
+        except Exception as exc:  # noqa: BLE001 -- answered, not swallowed
+            # solve()/solve_batched() already unwound their own bracket;
+            # this also covers failures outside the front door (stacking,
+            # option validation) and flushes buffered sinks either way.
+            telemetry.unwind(depth)
+            reason = f"{type(exc).__name__}: {exc}"
+            return [
+                SolveResponse(
+                    request_id=p.request.request_id,
+                    tenant=p.request.tenant,
+                    status="error",
+                    reason=reason,
+                    coalesce_width=width,
+                )
+                for p in group
+            ]
+        finally:
+            if tracer is not None:
+                tracer.end(span_name)

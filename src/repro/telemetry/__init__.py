@@ -28,6 +28,7 @@ from repro.telemetry.events import (
     RecoveryEvent,
     ReductionEvent,
     ReplacementEvent,
+    ServiceEvent,
     SolveEndEvent,
     SolveStartEvent,
     TelemetryEvent,
@@ -55,6 +56,7 @@ __all__ = [
     "PipelineEvent",
     "ReductionEvent",
     "PhaseEvent",
+    "ServiceEvent",
     "CountersEvent",
     "SolveEndEvent",
     "Sink",

@@ -55,6 +55,7 @@ __all__ = [
     "PipelineEvent",
     "ReductionEvent",
     "PhaseEvent",
+    "ServiceEvent",
     "CountersEvent",
     "SolveEndEvent",
 ]
@@ -309,6 +310,28 @@ class PhaseEvent(TelemetryEvent):
 
     name: str
     seconds: float
+
+
+@dataclass
+class ServiceEvent(TelemetryEvent):
+    """One admission/dispatch decision of the solver service.
+
+    The :mod:`repro.serve` front end narrates each request's life cycle
+    through these: ``admitted`` (entered the queue), ``shed`` (rejected,
+    ``detail`` carries the reason), ``dispatch`` (left the queue,
+    ``detail`` carries the coalesce width), ``respond`` (answer
+    resolved, ``detail`` carries the status), ``dedup`` (idempotent
+    resubmission rode an in-flight request).  ``request_id`` is the
+    request's trace id, so a JSONL stream can be joined against the
+    span tracer's request spans.
+    """
+
+    kind = "service"
+
+    action: str
+    request_id: str
+    tenant: str
+    detail: str = ""
 
 
 @dataclass

@@ -18,16 +18,44 @@ from repro.util.rng import default_rng, spd_test_matrix
 try:  # hypothesis is a test-only extra; profiles are a no-op without it
     from hypothesis import HealthCheck, settings
 
+    # function_scoped_fixture is suppressed because the autouse
+    # setup-cache isolation fixture below is function-scoped by design:
+    # the cache never changes numerics, only hit/miss statistics, so
+    # sharing one across a @given test's examples is sound.
     settings.register_profile(
         "ci",
         derandomize=True,
         deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
     )
-    settings.register_profile("default", deadline=None)
+    settings.register_profile(
+        "default",
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
     settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 except ImportError:  # pragma: no cover
     pass
+
+
+@pytest.fixture(autouse=True)
+def _isolated_setup_cache():
+    """Give every test its own process-global :class:`SetupCache`.
+
+    The cache is process-global by design (that is the production win),
+    which made its hit/miss statistics -- and any entry poisoned by a
+    previous test -- order-dependent test state.  Swapping in a fresh
+    cache per test removes the coupling without touching production
+    behavior; tests that *want* a specific cache still install their own
+    via the same :func:`~repro.backend.swapped_setup_cache` mechanism.
+    """
+    from repro.backend import swapped_setup_cache
+
+    with swapped_setup_cache() as cache:
+        yield cache
 
 
 @pytest.fixture

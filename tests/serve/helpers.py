@@ -1,0 +1,81 @@
+"""Deterministic scheduling primitives for the serve test harness.
+
+The whole point of :mod:`tests.serve` is that NONE of its concurrency
+assertions depend on wall-clock races.  Two injectable fakes make that
+possible:
+
+* :class:`FakeClock` -- a manually-advanced monotonic clock, plugged
+  into :attr:`repro.serve.ServiceConfig.clock`, driving token-bucket
+  refill and queue-latency accounting without sleeping;
+* :class:`GatedSleep` -- a fake coalesce-window sleep, plugged into
+  :attr:`repro.serve.ServiceConfig.sleep`.  The dispatcher "sleeps" on
+  an :class:`asyncio.Event`, so *the window elapsing is an explicit test
+  action*: the test enqueues exactly the requests it wants coalesced,
+  then opens the gate.
+
+``settle`` yields the event loop until a condition holds (bounded by an
+iteration budget, not a timeout), which is how tests wait for "all my
+submissions are enqueued" deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += float(seconds)
+
+
+class GatedSleep:
+    """Coalesce-window sleep that returns only when the test says so.
+
+    Each call parks on the current gate event and records the requested
+    duration.  ``open_gate()`` releases every parked window (and any
+    window opened afterwards, until ``close_gate()`` arms a fresh gate).
+    """
+
+    def __init__(self) -> None:
+        self.calls: list[float] = []
+        self._gate = asyncio.Event()
+
+    async def __call__(self, seconds: float) -> None:
+        self.calls.append(float(seconds))
+        await self._gate.wait()
+
+    def open_gate(self) -> None:
+        self._gate.set()
+
+    def close_gate(self) -> None:
+        self._gate = asyncio.Event()
+
+    @property
+    def windows_open(self) -> int:
+        """Number of window sleeps entered so far."""
+        return len(self.calls)
+
+
+async def settle(condition: Callable[[], bool], *, spins: int = 2000) -> None:
+    """Yield the event loop until ``condition()`` holds.
+
+    Bounded by ``spins`` loop iterations rather than wall time -- if the
+    condition genuinely cannot become true the test fails fast with an
+    assertion instead of hanging.
+    """
+    for _ in range(spins):
+        if condition():
+            return
+        await asyncio.sleep(0)
+    raise AssertionError(
+        f"condition did not settle within {spins} event-loop spins"
+    )

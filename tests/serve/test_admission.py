@@ -1,0 +1,87 @@
+"""Token-bucket admission control under a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import AdmissionController, TokenBucket
+
+from tests.serve.helpers import FakeClock
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refill_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available() == pytest.approx(2.0)
+
+    def test_none_rate_is_unmetered(self):
+        bucket = TokenBucket(rate=None, burst=1.0, clock=FakeClock())
+        assert all(bucket.try_acquire() for _ in range(1000))
+        assert bucket.available() == float("inf")
+
+    def test_fractional_acquire(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire(0.5)
+        assert bucket.try_acquire(0.5)
+        assert not bucket.try_acquire(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate must be positive"):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError, match="rate must be positive"):
+            TokenBucket(rate=-1.0)
+        with pytest.raises(ValueError, match="burst must be >= 1"):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmissionController:
+    def test_buckets_are_per_tenant(self):
+        clock = FakeClock()
+        ctl = AdmissionController(rate=1.0, burst=1.0, clock=clock)
+        assert ctl.admit("alice")
+        # alice drained her bucket; bob's is untouched.
+        assert not ctl.admit("alice")
+        assert ctl.admit("bob")
+
+    def test_buckets_created_lazily(self):
+        ctl = AdmissionController(rate=1.0, burst=1.0, clock=FakeClock())
+        assert ctl.tenants == []
+        ctl.admit("zoe")
+        ctl.admit("alice")
+        assert ctl.tenants == ["alice", "zoe"]
+
+    def test_bucket_identity_is_stable(self):
+        ctl = AdmissionController(rate=1.0, burst=4.0, clock=FakeClock())
+        assert ctl.bucket("t") is ctl.bucket("t")
+
+    def test_default_is_unmetered(self):
+        ctl = AdmissionController(clock=FakeClock())
+        assert all(ctl.admit("anyone") for _ in range(100))
+
+    def test_late_bucket_starts_full(self):
+        # A tenant first seen after the clock has run still gets a full
+        # burst -- buckets are born at creation time, not controller time.
+        clock = FakeClock()
+        ctl = AdmissionController(rate=1.0, burst=2.0, clock=clock)
+        clock.advance(1000.0)
+        assert ctl.admit("late") and ctl.admit("late")
+        assert not ctl.admit("late")

@@ -1,0 +1,255 @@
+"""The stdlib-asyncio HTTP front: routes, status mapping, end-to-end.
+
+Every test binds an ephemeral port (``port=0``) and speaks raw
+HTTP/1.1 over :func:`asyncio.open_connection` -- no client library, so
+what is tested is exactly what ``curl`` would see.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.serve import (
+    HttpFrontend,
+    ServiceConfig,
+    SolverService,
+    run_server,
+)
+from repro.sparse import poisson2d
+
+from tests.serve.helpers import FakeClock, GatedSleep, settle
+
+A = poisson2d(6)
+N = A.nrows
+
+
+async def http(host, port, method, path, payload=None):
+    """One raw HTTP/1.1 exchange; returns (status, parsed-or-text body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    body = b"" if payload is None else json.dumps(payload).encode()
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    writer.write(head.encode() + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    header, _, tail = raw.decode().partition("\r\n\r\n")
+    status = int(header.split()[1])
+    content_type = ""
+    for line in header.split("\r\n")[1:]:
+        if line.lower().startswith("content-type:"):
+            content_type = line.split(":", 1)[1].strip()
+    if content_type.startswith("application/json"):
+        return status, json.loads(tail)
+    return status, tail
+
+
+def service(**config_kwargs) -> SolverService:
+    svc = SolverService(ServiceConfig(**config_kwargs))
+    svc.register_operator("poisson", A)
+    return svc
+
+
+def test_solve_roundtrip():
+    async def main():
+        async with HttpFrontend(service(), port=0) as front:
+            host, port = front.address
+            return await http(
+                host, port, "POST", "/solve",
+                {"operator": "poisson", "b": [1.0] * N, "return_x": True},
+            )
+
+    status, body = asyncio.run(main())
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["converged"] is True
+    assert body["method"] == "cg"
+    assert body["iterations"] > 0
+    assert body["trace_id"] == body["request_id"]
+    # The returned x actually solves the system.
+    x = np.asarray(body["x"])
+    assert np.linalg.norm(A.matvec(x) - np.ones(N)) <= 1e-6
+
+
+def test_solve_echoes_identity_and_stopping():
+    async def main():
+        async with HttpFrontend(service(), port=0) as front:
+            host, port = front.address
+            return await http(
+                host, port, "POST", "/solve",
+                {
+                    "operator": "poisson",
+                    "b": [1.0] * N,
+                    "method": "vr",
+                    "tenant": "alice",
+                    "request_id": "req-http-1",
+                    "rtol": 1e-6,
+                    "max_iter": 3,
+                },
+            )
+
+    status, body = asyncio.run(main())
+    assert status == 200
+    assert body["request_id"] == "req-http-1"
+    assert body["tenant"] == "alice"
+    assert body["method"] == "vr"
+    assert body["iterations"] <= 3  # max_iter honored
+    assert body["converged"] is False
+
+
+def test_healthz_and_metrics():
+    async def main():
+        async with HttpFrontend(service(), port=0) as front:
+            host, port = front.address
+            await http(
+                host, port, "POST", "/solve",
+                {"operator": "poisson", "b": [1.0] * N},
+            )
+            health = await http(host, port, "GET", "/healthz")
+            metrics = await http(host, port, "GET", "/metrics")
+        return health, metrics
+
+    (hstatus, health), (mstatus, metrics) = asyncio.run(main())
+    assert hstatus == 200
+    assert health["status"] == "ok"
+    assert health["served"] == 1
+    assert health["operators"] == ["poisson"]
+    assert mstatus == 200
+    assert 'repro_serve_requests_total{status="ok"} 1' in metrics
+
+
+def test_client_errors():
+    async def main():
+        async with HttpFrontend(service(), port=0) as front:
+            host, port = front.address
+            results = {}
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b"POST /solve HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n"
+                b"Connection: close\r\n\r\nnot json!"
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            results["bad_json"] = int(raw.decode().split()[1])
+            results["no_operator"] = (await http(
+                host, port, "POST", "/solve", {"b": [1.0] * N}
+            ))[0]
+            results["unknown_operator"] = (await http(
+                host, port, "POST", "/solve",
+                {"operator": "nope", "b": [1.0] * N},
+            ))[0]
+            results["missing_b"] = (await http(
+                host, port, "POST", "/solve", {"operator": "poisson"}
+            ))[0]
+            results["wrong_length"] = (await http(
+                host, port, "POST", "/solve",
+                {"operator": "poisson", "b": [1.0, 2.0]},
+            ))[0]
+            results["bad_route"] = (await http(host, port, "GET", "/nope"))[0]
+            results["bad_method"] = (await http(host, port, "GET", "/solve"))[0]
+        return results
+
+    results = asyncio.run(main())
+    assert results["bad_json"] == 400
+    assert results["no_operator"] == 400
+    assert results["unknown_operator"] == 404
+    assert results["missing_b"] == 400
+    assert results["wrong_length"] == 400
+    assert results["bad_route"] == 404
+    assert results["bad_method"] == 405
+
+
+def test_rate_limited_maps_to_429():
+    clock = FakeClock()
+
+    async def main():
+        svc = service(tenant_rate=1.0, tenant_burst=1.0, clock=clock)
+        async with HttpFrontend(svc, port=0) as front:
+            host, port = front.address
+            first = await http(
+                host, port, "POST", "/solve",
+                {"operator": "poisson", "b": [1.0] * N},
+            )
+            second = await http(
+                host, port, "POST", "/solve",
+                {"operator": "poisson", "b": [1.0] * N},
+            )
+        return first, second
+
+    (s1, _), (s2, body2) = asyncio.run(main())
+    assert s1 == 200
+    assert s2 == 429
+    assert body2["status"] == "shed"
+    assert body2["reason"] == "rate_limited"
+
+
+def test_draining_maps_to_503():
+    async def main():
+        svc = service()
+        async with HttpFrontend(svc, port=0) as front:
+            host, port = front.address
+            await svc.drain()  # service drains; the socket is still up
+            status, body = await http(
+                host, port, "POST", "/solve",
+                {"operator": "poisson", "b": [1.0] * N},
+            )
+            health = (await http(host, port, "GET", "/healthz"))[1]
+        return status, body, health
+
+    status, body, health = asyncio.run(main())
+    assert status == 503
+    assert body["reason"] == "draining"
+    assert health["status"] == "draining"
+
+
+def test_concurrent_http_requests_coalesce():
+    gate = GatedSleep()
+
+    async def main():
+        svc = service(coalesce_window=10.0, sleep=gate)
+        async with HttpFrontend(svc, port=0) as front:
+            host, port = front.address
+            tasks = [
+                asyncio.create_task(http(
+                    host, port, "POST", "/solve",
+                    {"operator": "poisson", "b": list(np.eye(N)[j])},
+                ))
+                for j in range(4)
+            ]
+            await settle(lambda: gate.windows_open == 1)
+            await settle(lambda: svc.queue_depth == 3)
+            gate.open_gate()
+            return await asyncio.gather(*tasks)
+
+    results = asyncio.run(main())
+    assert all(status == 200 for status, _ in results)
+    # Four independent HTTP clients rode one batched solve.
+    assert [body["coalesce_width"] for _, body in results] == [4, 4, 4, 4]
+
+
+def test_run_server_lifecycle():
+    async def main():
+        svc = service()
+        ready = asyncio.Event()
+        shutdown = asyncio.Event()
+        server = asyncio.create_task(
+            run_server(svc, port=0, ready=ready, shutdown=shutdown)
+        )
+        await ready.wait()
+        # The CLI path binds a fixed port; under ready/shutdown events
+        # the service is reachable until shutdown is set.
+        assert not server.done()
+        shutdown.set()
+        await server
+        return svc
+
+    svc = asyncio.run(main())
+    assert svc.draining

@@ -1,0 +1,381 @@
+"""SolverService behavior under deterministic scheduling.
+
+Every test here drives the service with the injectable fakes from
+:mod:`tests.serve.helpers`: the coalesce window opens when the test says
+so (:class:`GatedSleep`), and token buckets refill when the test
+advances the :class:`FakeClock`.  No assertion depends on a wall-clock
+race.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import ServiceConfig, SolveRequest, SolverService
+from repro.sparse import poisson2d
+
+from tests.serve.helpers import FakeClock, GatedSleep, settle
+
+
+A = poisson2d(6)  # 36x36: a couple dozen CG iterations, sub-millisecond
+N = A.nrows
+
+
+def rhs(seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal(N)
+
+
+def request(seed: int, **kwargs) -> SolveRequest:
+    return SolveRequest(a=A, b=rhs(seed), **kwargs)
+
+
+def conservation(svc: SolverService) -> bool:
+    return svc.submitted == svc.served + svc.shed + svc.errors + svc.deduped
+
+
+class TestBasics:
+    def test_single_solve(self):
+        async def main():
+            async with SolverService() as svc:
+                response = await svc.solve(A, rhs(0))
+            return svc, response
+
+        svc, response = asyncio.run(main())
+        assert response.ok
+        assert response.status == "ok"
+        assert response.result.converged
+        assert response.coalesce_width == 1
+        assert response.trace_id == response.request_id
+        assert svc.served == 1 and conservation(svc)
+
+    def test_response_matches_direct_solve(self):
+        from repro import solve
+
+        async def main():
+            async with SolverService() as svc:
+                return await svc.solve(A, rhs(1))
+
+        response = asyncio.run(main())
+        direct = solve(A, rhs(1), "cg")
+        assert np.array_equal(response.result.x, direct.x)
+        assert response.result.iterations == direct.iterations
+
+    def test_solver_error_becomes_error_response(self):
+        async def main():
+            async with SolverService() as svc:
+                bad = await svc.solve(A, rhs(2), bogus_option=True)
+                good = await svc.solve(A, rhs(3))
+            return svc, bad, good
+
+        svc, bad, good = asyncio.run(main())
+        assert bad.status == "error"
+        assert bad.reason  # the exception rides along, never swallowed
+        assert good.ok  # one failed solve does not poison the service
+        assert svc.errors == 1 and svc.served == 1 and conservation(svc)
+
+    def test_request_ids_are_unique(self):
+        ids = {SolveRequest(a=A, b=rhs(0)).request_id for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            ServiceConfig(max_queue_depth=0)
+        with pytest.raises(ValueError, match="max_coalesce_width"):
+            ServiceConfig(max_coalesce_width=0)
+        with pytest.raises(ValueError, match="coalesce_window"):
+            ServiceConfig(coalesce_window=-1.0)
+
+
+class TestCoalescing:
+    def test_window_forms_one_batch(self):
+        gate = GatedSleep()
+
+        async def main():
+            config = ServiceConfig(coalesce_window=10.0, sleep=gate)
+            async with SolverService(config) as svc:
+                tasks = [
+                    asyncio.create_task(svc.submit(request(seed)))
+                    for seed in range(5)
+                ]
+                # All five reach the queue while the dispatcher holds
+                # the first and parks in the window...
+                await settle(lambda: gate.windows_open == 1)
+                await settle(lambda: svc.queue_depth == 4)
+                gate.open_gate()  # ...then the window "elapses".
+                responses = await asyncio.gather(*tasks)
+            return svc, responses
+
+        svc, responses = asyncio.run(main())
+        assert all(r.ok for r in responses)
+        assert [r.coalesce_width for r in responses] == [5] * 5
+        assert svc.served == 5 and conservation(svc)
+
+    def test_max_width_chunks_batches(self):
+        gate = GatedSleep()
+
+        async def main():
+            config = ServiceConfig(
+                coalesce_window=10.0, max_coalesce_width=2, sleep=gate
+            )
+            async with SolverService(config) as svc:
+                tasks = [
+                    asyncio.create_task(svc.submit(request(seed)))
+                    for seed in range(5)
+                ]
+                await settle(lambda: gate.windows_open == 1)
+                await settle(lambda: svc.queue_depth == 4)
+                gate.open_gate()
+                responses = await asyncio.gather(*tasks)
+            return responses
+
+        responses = asyncio.run(main())
+        assert sorted(r.coalesce_width for r in responses) == [1, 2, 2, 2, 2]
+
+    def test_incompatible_requests_stay_single(self):
+        gate = GatedSleep()
+
+        async def main():
+            config = ServiceConfig(coalesce_window=10.0, sleep=gate)
+            async with SolverService(config) as svc:
+                tasks = [
+                    asyncio.create_task(svc.submit(request(0))),
+                    asyncio.create_task(svc.submit(request(1))),
+                    # x0 is single-solve-only: rides the same queue but
+                    # must not join the batch.
+                    asyncio.create_task(
+                        svc.submit(
+                            request(2, options={"x0": np.zeros(N)})
+                        )
+                    ),
+                ]
+                await settle(lambda: gate.windows_open == 1)
+                await settle(lambda: svc.queue_depth == 2)
+                gate.open_gate()
+                responses = await asyncio.gather(*tasks)
+            return responses
+
+        responses = asyncio.run(main())
+        assert all(r.ok for r in responses)
+        assert [r.coalesce_width for r in responses] == [2, 2, 1]
+
+    def test_zero_window_still_serves(self):
+        async def main():
+            config = ServiceConfig(coalesce_window=0.0)
+            async with SolverService(config) as svc:
+                responses = await asyncio.gather(
+                    *(svc.submit(request(seed)) for seed in range(3))
+                )
+            return responses
+
+        responses = asyncio.run(main())
+        assert all(r.ok for r in responses)
+
+    def test_width_one_disables_coalescing(self):
+        async def main():
+            config = ServiceConfig(coalesce_window=10.0, max_coalesce_width=1)
+            async with SolverService(config) as svc:
+                responses = await asyncio.gather(
+                    *(svc.submit(request(seed)) for seed in range(4))
+                )
+            return responses
+
+        responses = asyncio.run(main())
+        # max_coalesce_width=1 skips the window entirely (nothing could
+        # ever join) -- otherwise this test would hang on the real sleep.
+        assert [r.coalesce_width for r in responses] == [1] * 4
+
+
+class TestBackpressure:
+    def test_queue_full_sheds_with_reason(self):
+        gate = GatedSleep()
+
+        async def main():
+            config = ServiceConfig(
+                max_queue_depth=2, coalesce_window=10.0, sleep=gate
+            )
+            async with SolverService(config) as svc:
+                first = asyncio.create_task(svc.submit(request(0)))
+                # Dispatcher picks up the first request and parks in the
+                # window; the queue is empty again.
+                await settle(lambda: gate.windows_open == 1)
+                tasks = [
+                    asyncio.create_task(svc.submit(request(seed)))
+                    for seed in range(1, 5)
+                ]
+                await settle(lambda: svc.shed == 2)
+                assert svc.queue_depth == 2  # never exceeds the bound
+                gate.open_gate()
+                responses = await asyncio.gather(first, *tasks)
+            return svc, responses
+
+        svc, responses = asyncio.run(main())
+        shed = [r for r in responses if r.shed]
+        assert len(shed) == 2
+        assert {r.reason for r in shed} == {"queue_full"}
+        assert sum(r.ok for r in responses) == 3
+        assert svc.peak_queue_depth <= 2
+        assert conservation(svc)
+        # Zero lost, zero duplicated: exactly one response per request.
+        assert len({r.request_id for r in responses}) == len(responses)
+
+    def test_rate_limit_sheds_and_refills(self):
+        clock = FakeClock()
+
+        async def main():
+            config = ServiceConfig(
+                tenant_rate=1.0, tenant_burst=2.0, clock=clock
+            )
+            async with SolverService(config) as svc:
+                r1 = await svc.solve(A, rhs(0), tenant="alice")
+                r2 = await svc.solve(A, rhs(1), tenant="alice")
+                r3 = await svc.solve(A, rhs(2), tenant="alice")
+                # bob has his own bucket; alice's burn never taxes him.
+                r4 = await svc.solve(A, rhs(3), tenant="bob")
+                clock.advance(1.0)  # 1 req/s refill
+                r5 = await svc.solve(A, rhs(4), tenant="alice")
+            return svc, (r1, r2, r3, r4, r5)
+
+        svc, (r1, r2, r3, r4, r5) = asyncio.run(main())
+        assert r1.ok and r2.ok
+        assert r3.shed and r3.reason == "rate_limited"
+        assert r4.ok
+        assert r5.ok
+        assert conservation(svc)
+
+
+class TestDrainAndDedup:
+    def test_drain_answers_admitted_sheds_late(self):
+        gate = GatedSleep()
+
+        async def main():
+            config = ServiceConfig(coalesce_window=10.0, sleep=gate)
+            svc = SolverService(config)
+            await svc.start()
+            tasks = [
+                asyncio.create_task(svc.submit(request(seed)))
+                for seed in range(3)
+            ]
+            await settle(lambda: gate.windows_open == 1)
+            await settle(lambda: svc.queue_depth == 2)
+            drainer = asyncio.create_task(svc.drain())
+            await settle(lambda: svc.draining)
+            late = await svc.submit(request(99))
+            gate.open_gate()
+            responses = await asyncio.gather(*tasks)
+            await drainer
+            return svc, responses, late
+
+        svc, responses, late = asyncio.run(main())
+        assert all(r.ok for r in responses)  # admitted work still answered
+        assert late.shed and late.reason == "draining"
+        assert conservation(svc)
+
+    def test_drain_is_idempotent(self):
+        async def main():
+            svc = SolverService()
+            await svc.start()
+            await svc.drain()
+            await svc.drain()
+            return svc
+
+        svc = asyncio.run(main())
+        assert svc.draining
+
+    def test_duplicate_inflight_id_is_idempotent(self):
+        gate = GatedSleep()
+
+        async def main():
+            config = ServiceConfig(coalesce_window=10.0, sleep=gate)
+            async with SolverService(config) as svc:
+                req = request(0, request_id="req-dup")
+                t1 = asyncio.create_task(svc.submit(req))
+                await settle(lambda: svc.submitted == 1)
+                t2 = asyncio.create_task(svc.submit(req))
+                await settle(lambda: svc.deduped == 1)
+                gate.open_gate()
+                r1, r2 = await asyncio.gather(t1, t2)
+            return svc, r1, r2
+
+        svc, r1, r2 = asyncio.run(main())
+        assert r1.ok and r2.ok
+        assert r1 is r2  # both callers ride the one solve
+        assert svc.served == 1 and svc.deduped == 1
+        assert conservation(svc)
+
+    def test_completed_id_may_be_reused(self):
+        async def main():
+            async with SolverService() as svc:
+                r1 = await svc.submit(request(0, request_id="req-again"))
+                r2 = await svc.submit(request(1, request_id="req-again"))
+            return svc, r1, r2
+
+        svc, r1, r2 = asyncio.run(main())
+        # Idempotency covers *in-flight* duplicates; a completed id is
+        # gone from the dedup table and a reuse is a fresh request.
+        assert r1.ok and r2.ok
+        assert svc.served == 2 and svc.deduped == 0
+
+
+class TestObservability:
+    def test_metrics_and_events(self):
+        from repro.telemetry import Telemetry
+
+        gate = GatedSleep()
+        # An explicit session with a MemorySink: the service's own
+        # internally-built session deliberately has none (a long-lived
+        # service must not accumulate events unboundedly).
+        tele = Telemetry(count_ops=False)
+
+        async def main():
+            config = ServiceConfig(
+                coalesce_window=10.0, max_queue_depth=2, sleep=gate
+            )
+            async with SolverService(config, telemetry=tele) as svc:
+                first = asyncio.create_task(svc.submit(request(0)))
+                await settle(lambda: gate.windows_open == 1)
+                tasks = [
+                    asyncio.create_task(svc.submit(request(seed)))
+                    for seed in range(1, 5)
+                ]
+                await settle(lambda: svc.shed == 2)
+                gate.open_gate()
+                await asyncio.gather(first, *tasks)
+            return svc
+
+        svc = asyncio.run(main())
+        text = svc.metrics.to_prometheus()
+        assert 'repro_serve_requests_total{status="ok"} 3' in text
+        assert 'repro_serve_shed_total{reason="queue_full"} 2' in text
+        assert "repro_serve_queue_depth_peak 2" in text
+        assert "repro_serve_coalesce_width" in text
+        assert "repro_serve_queue_seconds" in text
+
+        events = tele.events_of("service")
+        actions = {e.action for e in events}
+        assert {"admitted", "shed", "dispatch", "respond"} <= actions
+        shed_events = [e for e in events if e.action == "shed"]
+        assert all(e.detail == "queue_full" for e in shed_events)
+        # Every service event carries the request's trace identity.
+        assert all(e.request_id.startswith("req-") for e in events)
+
+    def test_queue_seconds_uses_injected_clock(self):
+        clock = FakeClock()
+        gate = GatedSleep()
+
+        async def main():
+            config = ServiceConfig(
+                coalesce_window=10.0, sleep=gate, clock=clock
+            )
+            async with SolverService(config) as svc:
+                task = asyncio.create_task(svc.submit(request(0)))
+                await settle(lambda: gate.windows_open == 1)
+                clock.advance(2.5)  # the whole "wait" is fake time
+                gate.open_gate()
+                response = await task
+            return response
+
+        response = asyncio.run(main())
+        assert response.queue_seconds == pytest.approx(2.5)

@@ -195,3 +195,30 @@ def test_bench_adaptive_smoke_emits_json(tmp_path):
         by_label["adaptive-vr(k0=2)"]["syncs_per_iteration"]
         < by_label["cg"]["syncs_per_iteration"]
     )
+
+
+SERVE_BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_serve_throughput.py"
+
+
+def test_bench_serve_smoke_emits_json(tmp_path):
+    bench = _load_by_path("bench_serve_throughput", SERVE_BENCH_PATH)
+    out = tmp_path / "BENCH_serve.json"
+    payload = bench.run(
+        grid=8, clients=4, repeats=1, window_ms=5.0, out_path=out
+    )
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk == payload
+    assert on_disk["bench"] == "serve_throughput"
+
+    [record] = on_disk["results"]
+    assert record["clients"] == 4
+    assert record["coalesced_seconds"] > 0.0
+    assert record["sequential_seconds"] > 0.0
+    assert record["speedup"] > 0.0
+    assert record["coalesced_rps"] > 0.0
+    # The burst actually coalesced (the point of the coalesced arm); the
+    # smoke does NOT assert the 2x acceptance floor -- that belongs to
+    # the full-scale benchmark run, not a shared CI runner.
+    assert max(record["coalesce_widths"]) > 1
+    assert len(record["iterations"]) == 4

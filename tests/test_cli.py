@@ -300,3 +300,87 @@ class TestProfile:
         rc = main(["profile", "--matrix", str(mtx_file), "--method", "cg"])
         assert rc == 0
         assert "profile: cg" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_build_service_from_args(self, mtx_file):
+        from repro.cli import _build_service
+
+        args = build_parser().parse_args([
+            "serve", "--matrix", str(mtx_file), "--port", "0",
+            "--window-ms", "5", "--max-width", "8", "--queue-depth", "32",
+            "--rate", "10", "--burst", "4",
+        ])
+        service, name, a = _build_service(args)
+        assert name == "a"  # the file stem
+        assert service.operators == ["a", "default"]
+        assert a.nrows == 64
+        assert service.config.coalesce_window == pytest.approx(0.005)
+        assert service.config.max_coalesce_width == 8
+        assert service.config.max_queue_depth == 32
+        assert service.config.tenant_rate == 10
+        assert service.config.tenant_burst == 4
+
+    def test_build_service_generator_name(self):
+        from repro.cli import _build_service
+
+        args = build_parser().parse_args([
+            "serve", "--generate", "poisson2d", "--size", "6", "--port", "0",
+        ])
+        service, name, _ = _build_service(args)
+        assert name == "poisson2d"
+        assert service.operators == ["default", "poisson2d"]
+
+    def test_operator_name_override(self):
+        from repro.cli import _build_service
+
+        args = build_parser().parse_args([
+            "serve", "--generate", "poisson1d", "--size", "16",
+            "--operator-name", "default",
+        ])
+        service, name, _ = _build_service(args)
+        assert name == "default"
+        assert service.operators == ["default"]
+
+    def test_bad_config_exits(self):
+        from repro.cli import _build_service
+
+        args = build_parser().parse_args([
+            "serve", "--generate", "poisson1d", "--size", "8",
+            "--queue-depth", "0",
+        ])
+        with pytest.raises(SystemExit, match="max_queue_depth"):
+            _build_service(args)
+        args = build_parser().parse_args([
+            "serve", "--generate", "poisson1d", "--size", "8",
+            "--rate", "-1",
+        ])
+        with pytest.raises(SystemExit, match="rate must be positive"):
+            _build_service(args)
+
+    def test_serve_command_end_to_end(self, capsys):
+        import asyncio
+
+        from repro.cli import _build_service
+        from repro.serve import run_server
+
+        args = build_parser().parse_args([
+            "serve", "--generate", "poisson2d", "--size", "6", "--port", "0",
+        ])
+        service, _, a = _build_service(args)
+
+        # Drive the same run_server coroutine the command uses, with an
+        # ephemeral port and an explicit shutdown (the command itself
+        # blocks forever, which a test cannot).
+        async def main():
+            shutdown = asyncio.Event()
+            ready = asyncio.Event()
+            server = asyncio.create_task(
+                run_server(service, port=0, ready=ready, shutdown=shutdown)
+            )
+            await ready.wait()
+            shutdown.set()
+            await server
+
+        asyncio.run(main())
+        assert service.draining
