@@ -13,9 +13,12 @@ the per-solve counter scope) costs more than 5% over the bare solve.
 and emits ``BENCH_telemetry.json``.  The null-sink event stream is
 priced against the bare solve (the base contract above); the added
 instruments -- :class:`~repro.trace.MetricsSink` aggregation, active
-:class:`~repro.trace.Tracer` span recording, and both combined -- are
-each priced against the *null-sink baseline*, i.e. what they add on top
-of the always-on event stream.  Null sink, metrics sink, and tracer
+:class:`~repro.trace.Tracer` span recording, the
+:class:`~repro.trace.FlightRecorder` ring (production default 256),
+the :class:`~repro.trace.HealthMonitor` estimators, and
+tracer+metrics combined -- are each priced against the *null-sink
+baseline*, i.e. what they add on top of the always-on event stream.
+Null sink, metrics sink, tracer, flight recorder, and health monitor
 each carry the 5% budget independently; the combined configuration is
 recorded informationally (two instruments stack, the budget is
 per-layer).
@@ -61,7 +64,9 @@ STOP = StoppingCriterion(rtol=1e-8)
 
 # Configurations that must individually meet the 5% budget; the combined
 # tracer+metrics configuration is reported but not budget-gated.
-BUDGETED_CONFIGS = ("null_sink", "metrics_sink", "tracer")
+BUDGETED_CONFIGS = (
+    "null_sink", "metrics_sink", "tracer", "flight_recorder", "health"
+)
 
 
 def _one_trial(solve_bare, solve_instrumented, rounds: int = ROUNDS) -> float:
@@ -164,7 +169,7 @@ def _telemetry_factories():
     ``null_sink`` is priced against the bare solve; the added
     instruments are priced against the null-sink baseline they stack on.
     """
-    from repro.trace import MetricsSink, Tracer
+    from repro.trace import FlightRecorder, HealthMonitor, MetricsSink, Tracer
 
     return {
         "null_sink": ("bare", lambda: Telemetry(NullSink())),
@@ -172,6 +177,14 @@ def _telemetry_factories():
         "tracer": (
             "null_sink",
             lambda: Telemetry(NullSink(), tracer=Tracer()),
+        ),
+        "flight_recorder": (
+            "null_sink",
+            lambda: Telemetry(NullSink(), FlightRecorder(ring=256)),
+        ),
+        "health": (
+            "null_sink",
+            lambda: Telemetry(NullSink(), health=HealthMonitor()),
         ),
         "tracer+metrics": (
             "null_sink",

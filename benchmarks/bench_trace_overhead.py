@@ -28,7 +28,13 @@ from repro.core.standard import conjugate_gradient
 from repro.core.stopping import StoppingCriterion
 from repro.core.vr_cg import vr_conjugate_gradient
 from repro.telemetry import NullSink, Telemetry
-from repro.trace import MetricsSink, Tracer, chrome_trace
+from repro.trace import (
+    FlightRecorder,
+    HealthMonitor,
+    MetricsSink,
+    Tracer,
+    chrome_trace,
+)
 
 OVERHEAD_BUDGET = 0.05
 ROUNDS = 10
@@ -134,6 +140,64 @@ def test_cg_metrics_sink_overhead(poisson_overhead_bench):
 
     overhead = _measure_overhead(baseline, instrumented)
     print(f"\ncg metrics-sink overhead: {overhead:+.2%}")
+    assert overhead < OVERHEAD_BUDGET
+
+
+def test_cg_flight_recorder_overhead(poisson_overhead_bench):
+    """The production flight-recorder ring (256) costs <5% over null-sink.
+
+    The recorder's emit path is one deque append plus per-kind
+    accumulation; this pins that it stays cheap enough to leave attached
+    in production, which is the whole point of a black-box recorder.
+    """
+    a, b = poisson_overhead_bench
+
+    def baseline():
+        tele = Telemetry(NullSink())
+        result = conjugate_gradient(a, b, stop=STOP, telemetry=tele)
+        tele.close()
+        return result
+
+    def recorded():
+        tele = Telemetry(NullSink(), FlightRecorder(ring=256))
+        result = conjugate_gradient(a, b, stop=STOP, telemetry=tele)
+        tele.close()
+        return result
+
+    assert baseline().converged
+    overhead = _measure_overhead(baseline, recorded)
+    print(f"\ncg flight-recorder overhead: {overhead:+.2%}")
+    assert overhead < OVERHEAD_BUDGET
+
+
+def test_vr_health_monitor_overhead(poisson_overhead_bench):
+    """The health monitor (stagnation + drift estimators) costs <5%.
+
+    VR with the drift detector on is the configuration that feeds the
+    monitor most often: every iteration observes, every drift check
+    updates the trend and floor estimators.
+    """
+    a, b = poisson_overhead_bench
+
+    def baseline():
+        tele = Telemetry(NullSink())
+        result = vr_conjugate_gradient(
+            a, b, k=2, replace_drift_tol=1e-6, stop=STOP, telemetry=tele
+        )
+        tele.close()
+        return result
+
+    def monitored():
+        tele = Telemetry(NullSink(), health=HealthMonitor())
+        result = vr_conjugate_gradient(
+            a, b, k=2, replace_drift_tol=1e-6, stop=STOP, telemetry=tele
+        )
+        tele.close()
+        return result
+
+    assert baseline().converged
+    overhead = _measure_overhead(baseline, monitored)
+    print(f"\nvr health-monitor overhead: {overhead:+.2%}")
     assert overhead < OVERHEAD_BUDGET
 
 

@@ -15,7 +15,12 @@ Python:
 * ``serve`` -- stand up the long-lived solver service
   (:mod:`repro.serve`): an asyncio HTTP front with per-tenant admission
   control and request coalescing over a server-registered operator
-  (``POST /solve``, ``GET /healthz``, ``GET /metrics``).
+  (``POST /solve``, ``GET /healthz``, ``GET /status``,
+  ``GET /metrics``); ``--postmortem-dir`` makes failures and sheds
+  drop flight-recorder bundles there.
+* ``replay`` -- re-run the solve captured in a postmortem bundle
+  (written by ``solve --postmortem`` or the service) and diff the
+  replayed residual history against the recorded one.
 * ``info`` -- structural/spectral statistics of a matrix.
 * ``generate`` -- write a model-problem matrix to a MatrixMarket file.
 
@@ -134,6 +139,17 @@ def _build_observability(args):
 
         registry = MetricsRegistry()
         sinks.append(MetricsSink(registry))
+    import os
+
+    postmortem = getattr(args, "postmortem", None) or os.environ.get(
+        "REPRO_POSTMORTEM_DIR"
+    )
+    if postmortem is not None:
+        from repro.trace import FlightRecorder
+
+        # Failure snapshots land in the directory automatically via the
+        # registry's notify_failure hook; nothing is written on success.
+        sinks.append(FlightRecorder(directory=postmortem))
     if getattr(args, "trace", None) is not None:
         from repro.trace import Tracer
 
@@ -338,6 +354,7 @@ def _build_service(args):
             max_coalesce_width=args.max_width,
             tenant_rate=args.rate,
             tenant_burst=args.burst,
+            postmortem_dir=getattr(args, "postmortem_dir", None),
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
@@ -364,7 +381,7 @@ def _serve(args) -> int:
         f"on http://{args.host}:{args.port}"
     )
     print(
-        "routes: POST /solve, GET /healthz, GET /metrics "
+        "routes: POST /solve, GET /healthz, GET /status, GET /metrics "
         "(Ctrl-C drains and exits)"
     )
     try:
@@ -372,6 +389,27 @@ def _serve(args) -> int:
     except KeyboardInterrupt:
         print("draining")
     return 0
+
+
+def _replay(args) -> int:
+    """The ``replay`` command: re-run a postmortem bundle's solve."""
+    from repro.trace import load_bundle, replay_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read bundle {args.bundle!r}: {exc}") from exc
+    a = None
+    if args.matrix is not None or args.generate is not None:
+        a = _load_matrix(args)
+    report = replay_bundle(bundle, a=a, rtol=args.rtol)
+    call = bundle.get("call") or {}
+    solve_info = bundle.get("solve") or {}
+    print(f"bundle : {args.bundle}")
+    print(f"reason : {bundle.get('reason', '?')}")
+    print(f"method : {call.get('method') or solve_info.get('method') or '?'}")
+    print(report.render())
+    return 0 if report.matched else 1
 
 
 def _info(args) -> int:
@@ -483,6 +521,10 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--seed", type=int, default=0,
                        help="seed for the random right-hand side")
     solve.add_argument("--out", help="write the solution vector to this file")
+    solve.add_argument("--postmortem", metavar="DIR", default=None,
+                       help="attach the flight recorder and write a "
+                            "postmortem-*.json bundle to DIR if the solve "
+                            "fails (input for 'replay')")
     solve.set_defaults(func=_solve)
 
     profile = sub.add_parser(
@@ -545,7 +587,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: unmetered)")
     serve.add_argument("--burst", type=float, default=8.0,
                        help="per-tenant token-bucket capacity")
+    serve.add_argument("--postmortem-dir", default=None, metavar="DIR",
+                       help="write flight-recorder postmortem bundles "
+                            "(failures and sheds) to DIR")
     serve.set_defaults(func=_serve)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-run a postmortem bundle's solve and diff residual "
+             "histories",
+    )
+    replay.add_argument("bundle", help="postmortem-*.json bundle path")
+    add_matrix_source(replay)
+    replay.add_argument("--rtol", type=float, default=1e-9,
+                        help="relative tolerance for the residual-history "
+                             "match")
+    replay.set_defaults(func=_replay)
 
     info = sub.add_parser("info", help="matrix statistics")
     add_matrix_source(info)

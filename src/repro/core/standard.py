@@ -167,6 +167,12 @@ def conjugate_gradient(
     drift_tol = policy.drift_tol if policy is not None else None
     if drift_tol is None and policy is not None:
         drift_tol = policy.verify_rtol
+    health = telemetry.health if telemetry is not None else None
+    if check_every is None and health is not None and health.check_every > 0:
+        # Health-only cadence: run the direct residual check so the
+        # monitor sees the recurred-vs-true gap even without a recovery
+        # policy.  drift_tol stays None -- observation, never a repair.
+        check_every = health.check_every
 
     def _result(reason: StopReason, iterations: int) -> CGResult:
         true_res = bk.norm(b - op_true.matvec(x))
@@ -329,7 +335,7 @@ def conjugate_gradient(
             if telemetry is not None:
                 telemetry.drift(iterations, rr_new, rr_direct)
             floor = max(stop.threshold(b_norm) ** 2, np.finfo(np.float64).tiny)
-            if rr_direct > floor:
+            if drift_tol is not None and rr_direct > floor:
                 gap = abs(rr_new - rr_direct) / rr_direct
                 if gap > drift_tol:
                     r = r_true

@@ -254,6 +254,7 @@ def vr_conjugate_gradient(
         plan.attach(telemetry)
         op = plan.wrap_operator(op)
     tracer = telemetry.tracer if telemetry is not None else None
+    health = telemetry.health if telemetry is not None else None
 
     b_norm = bk.norm(b)
     if telemetry is not None:
@@ -444,7 +445,16 @@ def vr_conjugate_gradient(
         # --- detection: drift, verified recompute, periodic schedule -----
         drift_triggered = False
         drift_gap = 0.0
-        if policy is not None and policy.drift_tol is not None:
+        check_drift = policy is not None and policy.drift_tol is not None
+        # The health monitor gets direct checks on its own cadence even
+        # without a recovery policy (observation only, never a repair).
+        health_check = (
+            not check_drift
+            and health is not None
+            and health.check_every > 0
+            and iterations % health.check_every == 0
+        )
+        if check_drift or health_check:
             # The drift check IS a blocking dot: its result gates this
             # iteration's replacement decision, so unlike the window-top
             # dots above it cannot be hidden.  The profiler books it as
@@ -464,7 +474,7 @@ def vr_conjugate_gradient(
             floor = max(
                 stop.threshold(b_norm) ** 2, np.finfo(np.float64).tiny
             )
-            if rr_direct > floor:
+            if check_drift and rr_direct > floor:
                 drift_gap = abs(window.rr - rr_direct) / rr_direct
                 drift_triggered = drift_gap > policy.drift_tol
 

@@ -44,6 +44,9 @@ __all__ = [
     "FaultRecord",
     "as_fault_plan",
     "parse_fault_spec",
+    "injector_config",
+    "injector_from_config",
+    "plan_from_config",
 ]
 
 _SITES = ("matvec", "dot", "scalar", "comm")
@@ -543,6 +546,18 @@ class FaultPlan:
         """One line per armed injector with its fire count."""
         return "; ".join(f"{inj.spec()} fired {inj.fires}x" for inj in self.injectors)
 
+    def config(self) -> dict[str, Any]:
+        """JSON-serializable description that rebuilds this plan exactly.
+
+        ``plan_from_config(plan.config())`` yields a fresh plan with the
+        same injectors bound to the same seeded streams (fire counters
+        reset) -- determinism contract of the flight-recorder replay.
+        """
+        return {
+            "seed": self.seed,
+            "injectors": [injector_config(inj) for inj in self.injectors],
+        }
+
 
 def as_fault_plan(faults: Any) -> FaultPlan | None:
     """Coerce the ``faults=`` solver argument into a :class:`FaultPlan`.
@@ -561,6 +576,58 @@ def as_fault_plan(faults: Any) -> FaultPlan | None:
     raise TypeError(
         f"faults= expects a FaultPlan, FaultInjector, or list of injectors, "
         f"got {type(faults).__name__}"
+    )
+
+
+def injector_config(inj: FaultInjector) -> dict[str, Any]:
+    """JSON-serializable constructor arguments for one injector."""
+    cfg: dict[str, Any] = {
+        "kind": type(inj).__name__,
+        "at_iteration": inj.at_iteration,
+        "rate": inj.rate,
+        "max_fires": inj.max_fires,
+    }
+    if isinstance(inj, BitFlipInjector):
+        cfg.update(site=inj.site, bit=inj.bit, index=inj.index)
+    elif isinstance(inj, PerturbInjector):
+        cfg.update(site=inj.site, magnitude=inj.magnitude, index=inj.index)
+    elif isinstance(inj, ScalarCorruptor):
+        cfg.update(factor=inj.factor, target=inj.target, index=inj.index)
+    elif isinstance(inj, CommFaultInjector):
+        cfg.update(
+            mode=inj.mode, magnitude=inj.magnitude, extra_latency=inj.extra_latency
+        )
+    else:
+        cfg["site"] = inj.site
+    return cfg
+
+
+_CONFIG_KINDS: dict[str, type[FaultInjector]] = {
+    "BitFlipInjector": BitFlipInjector,
+    "PerturbInjector": PerturbInjector,
+    "ScalarCorruptor": ScalarCorruptor,
+    "CommFaultInjector": CommFaultInjector,
+}
+
+
+def injector_from_config(cfg: dict[str, Any]) -> FaultInjector:
+    """Rebuild one injector from :func:`injector_config` output."""
+    kwargs = dict(cfg)
+    kind = kwargs.pop("kind", None)
+    cls = _CONFIG_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown injector kind {kind!r}; expected one of "
+            f"{', '.join(sorted(_CONFIG_KINDS))}"
+        )
+    return cls(**kwargs)
+
+
+def plan_from_config(cfg: dict[str, Any]) -> FaultPlan:
+    """Rebuild a :class:`FaultPlan` from :meth:`FaultPlan.config` output."""
+    return FaultPlan(
+        [injector_from_config(c) for c in cfg.get("injectors", ())],
+        seed=int(cfg.get("seed", 0)),
     )
 
 

@@ -458,6 +458,7 @@ def solve(
             "fault injection and recovery are not supported on the "
             "preconditioned drivers; drop precond= or faults=/recovery="
         )
+    _notify_solve_call(telemetry, a, b, entry.name, options)
     result = _run_guarded(
         lambda: entry.runner(
             a, b, precond=precond, telemetry=telemetry, **options
@@ -466,6 +467,19 @@ def solve(
     )
     result.method = entry.name
     return result
+
+
+def _notify_solve_call(
+    telemetry: Any, a: Any, b: Any, method: str, options: dict
+) -> None:
+    """Forward the about-to-run call to capture-capable sinks (the
+    flight recorder records the system, right-hand side, and fault
+    seeds so a failed solve is replayable from its postmortem)."""
+    if telemetry is None:
+        return
+    notify = getattr(telemetry, "notify_solve_call", None)
+    if callable(notify):
+        notify(a, b, method, options)
 
 
 def _rescue_zero_threshold(a: Any, b: Any, options: dict) -> None:
@@ -548,8 +562,13 @@ def _run_guarded(runner: Any, telemetry: Any) -> Any:
     depth = telemetry.open_solves
     try:
         return runner()
-    except BaseException:
+    except BaseException as exc:
         telemetry.unwind(depth)
+        notify = getattr(telemetry, "notify_failure", None)
+        if callable(notify):
+            # After the unwind so spans are closed and sinks flushed:
+            # the flight recorder snapshots a complete postmortem.
+            notify(exc)
         raise
 
 
@@ -673,6 +692,7 @@ def solve_batched(
             "and does not support kernel-backend selection (backend=/workspace=)"
         )
     telemetry = _consume_trace(telemetry, options)
+    _notify_solve_call(telemetry, a, b, entry.name, options)
     result = _run_guarded(
         lambda: entry.batched_runner(a, b, telemetry=telemetry, **options),
         telemetry,

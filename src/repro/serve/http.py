@@ -1,12 +1,20 @@
 """A thin stdlib-asyncio HTTP front over :class:`SolverService`.
 
-Three routes, JSON bodies, no third-party dependencies:
+Four routes, JSON bodies, no third-party dependencies:
 
 * ``POST /solve`` -- submit one solve against a server-registered
   operator; blocks until the response (served, shed, or error) and maps
   the outcome to an HTTP status (200 ok, 429 rate-limited, 503
   queue-full/draining, 500 solver error);
 * ``GET /healthz`` -- liveness + queue/served/shed counters as JSON;
+  ``GET /healthz?detail=1`` additionally inlines the numerical-health
+  summary from the session's
+  :class:`~repro.trace.HealthMonitor` (status, worst recent solve,
+  per-solve digests);
+* ``GET /status`` -- the full operational snapshot
+  (:meth:`SolverService.status`): queue depth and peak, per-tenant
+  token buckets, recent request outcomes with trace ids, postmortem
+  bundles written, health summaries;
 * ``GET /metrics`` -- the service's
   :class:`~repro.trace.MetricsRegistry` in Prometheus text exposition
   format (0.0.4), scrapeable by any Prometheus.
@@ -21,6 +29,7 @@ from __future__ import annotations
 import asyncio
 import json
 from typing import Any
+from urllib.parse import parse_qs
 
 import numpy as np
 
@@ -154,8 +163,15 @@ class HttpFrontend:
     async def _route(
         self, method: str, path: str, body: bytes
     ) -> tuple[int, str, str]:
+        path, _, query = path.partition("?")
+        params = parse_qs(query) if query else {}
         if path == "/healthz" and method == "GET":
-            return 200, "application/json", json.dumps(self._health())
+            detail = params.get("detail", ["0"])[-1].lower()
+            return 200, "application/json", json.dumps(
+                self._health(detail=detail not in ("", "0", "false"))
+            )
+        if path == "/status" and method == "GET":
+            return 200, "application/json", json.dumps(self.service.status())
         if path == "/metrics" and method == "GET":
             return (
                 200,
@@ -179,9 +195,9 @@ class HttpFrontend:
             {"error": f"no route {method} {path}"}
         )
 
-    def _health(self) -> dict[str, Any]:
+    def _health(self, *, detail: bool = False) -> dict[str, Any]:
         service = self.service
-        return {
+        out: dict[str, Any] = {
             "status": "draining" if service.draining else "ok",
             "queue_depth": service.queue_depth,
             "submitted": service.submitted,
@@ -190,6 +206,14 @@ class HttpFrontend:
             "errors": service.errors,
             "operators": service.operators,
         }
+        monitor = getattr(service.telemetry, "health", None)
+        if monitor is not None:
+            # Liveness stays liveness, but the numerical assessment is
+            # worth one word even without ?detail=1.
+            out["numerical_status"] = monitor.status
+            if detail:
+                out["health"] = monitor.summary()
+        return out
 
     # ------------------------------------------------------------------
     # the solve route

@@ -36,7 +36,9 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 
@@ -46,6 +48,7 @@ from repro.core.results import CGResult
 from repro.core.stopping import StoppingCriterion
 from repro.serve.admission import AdmissionController
 from repro.serve.coalescer import compat_key, plan_batches
+from repro.trace.context import TraceContext
 
 __all__ = ["ServiceConfig", "SolveRequest", "SolveResponse", "SolverService"]
 
@@ -145,6 +148,17 @@ class ServiceConfig:
         :func:`asyncio.sleep`); the deterministic scheduling tests
         inject an event-gated fake so "the window elapsed" is an
         explicit test action instead of a race.
+    flight_ring:
+        Capacity of the attached
+        :class:`~repro.trace.FlightRecorder` event ring.  ``0``
+        disables the recorder (and postmortem bundles) entirely.
+    postmortem_dir:
+        When set, failure and shed snapshots are written there as
+        ``postmortem-*.json`` bundles (``repro replay`` input); without
+        it the recorder keeps the last bundle in memory only.
+    recent_outcomes:
+        How many recently-answered requests :meth:`SolverService.status`
+        reports (a bounded ring; oldest entries fall off).
     """
 
     max_queue_depth: int = 64
@@ -154,6 +168,9 @@ class ServiceConfig:
     tenant_burst: float = 8.0
     clock: Callable[[], float] = time.monotonic
     sleep: Callable[[float], Awaitable[None]] | None = None
+    flight_ring: int = 256
+    postmortem_dir: str | None = None
+    recent_outcomes: int = 32
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -167,6 +184,14 @@ class ServiceConfig:
         if self.coalesce_window < 0:
             raise ValueError(
                 f"coalesce_window must be >= 0, got {self.coalesce_window}"
+            )
+        if self.flight_ring < 0:
+            raise ValueError(
+                f"flight_ring must be >= 0, got {self.flight_ring}"
+            )
+        if self.recent_outcomes < 1:
+            raise ValueError(
+                f"recent_outcomes must be >= 1, got {self.recent_outcomes}"
             )
 
 
@@ -216,7 +241,7 @@ class SolverService:
         metrics: Any = None,
         tracer: Any = None,
     ) -> None:
-        from repro.trace import MetricsRegistry, MetricsSink
+        from repro.trace import FlightRecorder, HealthMonitor, MetricsRegistry, MetricsSink
 
         self.config = config if config is not None else ServiceConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -227,6 +252,27 @@ class SolverService:
                 MetricsSink(self.metrics), count_ops=False, tracer=tracer
             )
         self.telemetry = telemetry
+        # Health monitor: attach one unless the caller's session already
+        # carries its own.
+        if getattr(telemetry, "health", None) is None and hasattr(
+            telemetry, "health"
+        ):
+            telemetry.health = HealthMonitor()
+        # Flight recorder: a bounded ring of recent observability, the
+        # source of postmortem bundles on failure or shed.
+        self.recorder: FlightRecorder | None = None
+        add_sink = getattr(telemetry, "add_sink", None)
+        if self.config.flight_ring > 0 and callable(add_sink):
+            # REPRO_POSTMORTEM_DIR lets operators (and CI) turn on bundle
+            # writes without touching configuration code.
+            postmortem_dir = self.config.postmortem_dir or os.environ.get(
+                "REPRO_POSTMORTEM_DIR"
+            )
+            self.recorder = FlightRecorder(
+                ring=self.config.flight_ring,
+                directory=postmortem_dir,
+            )
+            add_sink(self.recorder)
         self._admission = AdmissionController(
             self.config.tenant_rate,
             self.config.tenant_burst,
@@ -247,6 +293,11 @@ class SolverService:
         self.errors = 0
         self.deduped = 0
         self.peak_queue_depth = 0
+        # Recently-answered requests, newest last (the /status ring).
+        self.recent: deque[dict[str, Any]] = deque(
+            maxlen=self.config.recent_outcomes
+        )
+        self._shed_snapshotted: set[str] = set()
         reg = self.metrics
         self._metric_requests = {
             status: reg.counter(
@@ -411,25 +462,108 @@ class SolverService:
             "repro_serve_shed_total", "Requests rejected by admission control",
             reason=reason,
         ).inc()
+        self._count_tenant("shed", request.tenant)
         self._event("shed", request, detail=reason)
-        return SolveResponse(
+        response = SolveResponse(
             request_id=request.request_id,
             tenant=request.tenant,
             status="shed",
             reason=reason,
         )
+        self._record_outcome(request, response)
+        if self.recorder is not None and reason not in self._shed_snapshotted:
+            # A shed is a capacity event worth a postmortem, but under
+            # overload they arrive in bursts: one bundle per distinct
+            # reason, not one per rejected request.
+            self._shed_snapshotted.add(reason)
+            bundle = self.recorder.snapshot(
+                f"shed:{reason}", detail=request.request_id
+            )
+            if self.recorder.directory is not None:
+                self.recorder.write(bundle)
+        return response
+
+    def _count_tenant(self, status: str, tenant: str) -> None:
+        # Lazily-created per-tenant series; the unlabelled-by-tenant
+        # repro_serve_requests_total family is kept unchanged for
+        # dashboards that predate tenant attribution.
+        self.metrics.counter(
+            "repro_serve_tenant_requests_total",
+            "Requests by tenant and terminal status",
+            tenant=tenant, status=status,
+        ).inc()
+
+    def _record_outcome(
+        self, request: SolveRequest, response: SolveResponse
+    ) -> None:
+        self.recent.append(
+            {
+                "request_id": request.request_id,
+                "trace_id": response.trace_id,
+                "tenant": request.tenant,
+                "method": request.method,
+                "status": response.status,
+                "reason": response.reason,
+                "coalesce_width": response.coalesce_width,
+                "queue_seconds": response.queue_seconds,
+            }
+        )
 
     def _event(self, action: str, request: SolveRequest, detail: str = "") -> None:
         from repro.telemetry import ServiceEvent
 
-        self.telemetry.emit(
-            ServiceEvent(
-                action=action,
-                request_id=request.request_id,
-                tenant=request.tenant,
-                detail=detail,
-            )
+        event = ServiceEvent(
+            action=action,
+            request_id=request.request_id,
+            tenant=request.tenant,
+            detail=detail,
         )
+        # Stamp the request's trace context directly: service events are
+        # emitted from the event loop, outside any worker-thread context.
+        event.ctx = TraceContext.for_request(request.request_id, request.tenant)
+        self.telemetry.emit(event)
+
+    # ------------------------------------------------------------------
+    # introspection (the /status wire format)
+    # ------------------------------------------------------------------
+    def status(self) -> dict[str, Any]:
+        """Operational snapshot: queue, tenants, recent outcomes, health.
+
+        Everything in the returned dict is JSON-serializable; the HTTP
+        front's ``GET /status`` route returns it verbatim.
+        """
+        tenants: dict[str, Any] = {}
+        for tenant in self._admission.tenants:
+            bucket = self._admission.bucket(tenant)
+            tenants[tenant] = {
+                "rate": bucket.rate,
+                "burst": bucket.burst,
+                "tokens_available": (
+                    None if bucket.rate is None else bucket.available()
+                ),
+            }
+        out: dict[str, Any] = {
+            "draining": self.draining,
+            "queue_depth": self.queue_depth,
+            "peak_queue_depth": self.peak_queue_depth,
+            "submitted": self.submitted,
+            "served": self.served,
+            "shed": self.shed,
+            "errors": self.errors,
+            "deduped": self.deduped,
+            "operators": self.operators,
+            "tenants": tenants,
+            "recent": list(self.recent),
+            "postmortems_written": (
+                [str(p) for p in self.recorder.written]
+                if self.recorder is not None
+                else []
+            ),
+        }
+        health = getattr(self.telemetry, "health", None)
+        if health is not None:
+            out["health"] = health.summary()
+        return out
 
     # ------------------------------------------------------------------
     # dispatch
@@ -485,6 +619,8 @@ class SolverService:
             else:
                 self.errors += 1
                 self._metric_requests["error"].inc()
+            self._count_tenant(response.status, pending.request.tenant)
+            self._record_outcome(pending.request, response)
             self._event("respond", pending.request, detail=response.status)
             if not pending.future.done():
                 pending.future.set_result(response)
@@ -506,9 +642,26 @@ class SolverService:
         ids = [p.request.request_id for p in group]
         span_name = "request_batch" if width > 1 else "request"
         depth = telemetry.open_solves
+        # Request-correlated tracing: every event and span of this group
+        # carries the requests' identity.  Member tuples map each request
+        # to its column in the coalesced block.
+        if width == 1:
+            ctx = TraceContext.for_request(ids[0], group[0].request.tenant)
+        else:
+            ctx = TraceContext.for_batch(
+                [
+                    (p.request.request_id, p.request.request_id, p.request.tenant, j)
+                    for j, p in enumerate(group)
+                ]
+            )
+        push_context = getattr(telemetry, "push_context", None)
+        pop_context = getattr(telemetry, "pop_context", None)
+        if callable(push_context):
+            push_context(ctx)
         if tracer is not None:
             tracer.begin(span_name)
             tracer.annotate(
+                trace_id=ctx.trace_id,
                 request_ids=",".join(ids),
                 width=width,
                 tenants=",".join(sorted({p.request.tenant for p in group})),
@@ -550,6 +703,12 @@ class SolverService:
             # this also covers failures outside the front door (stacking,
             # option validation) and flushes buffered sinks either way.
             telemetry.unwind(depth)
+            notify = getattr(telemetry, "notify_failure", None)
+            if callable(notify):
+                # The flight recorder dedups per exception object, so a
+                # failure the registry already snapshotted is not
+                # bundled twice.
+                notify(exc)
             reason = f"{type(exc).__name__}: {exc}"
             return [
                 SolveResponse(
@@ -564,3 +723,5 @@ class SolverService:
         finally:
             if tracer is not None:
                 tracer.end(span_name)
+            if callable(pop_context) and callable(push_context):
+                pop_context()

@@ -56,6 +56,7 @@ __all__ = [
     "ReductionEvent",
     "PhaseEvent",
     "ServiceEvent",
+    "HealthEvent",
     "CountersEvent",
     "SolveEndEvent",
 ]
@@ -63,7 +64,15 @@ __all__ = [
 
 @dataclass
 class TelemetryEvent:
-    """Base class: every event carries a ``kind`` discriminator."""
+    """Base class: every event carries a ``kind`` discriminator.
+
+    Events emitted while a :class:`~repro.trace.context.TraceContext`
+    is active on the session carry it as a dynamically-attached ``ctx``
+    attribute (set by :class:`~repro.telemetry.Telemetry`, not a
+    dataclass field -- the hot-path constructors stay positional); its
+    ``trace_id``/``request_id``/``tenant``/``members`` fields are merged
+    into :meth:`to_payload` so JSONL streams carry attribution.
+    """
 
     kind = "event"
 
@@ -72,6 +81,9 @@ class TelemetryEvent:
         payload: dict[str, Any] = {"kind": self.kind}
         for key, value in asdict(self).items():
             payload[key] = value
+        ctx = getattr(self, "ctx", None)
+        if ctx is not None:
+            payload.update(ctx.to_payload())
         return payload
 
 
@@ -335,6 +347,30 @@ class ServiceEvent(TelemetryEvent):
 
 
 @dataclass
+class HealthEvent(TelemetryEvent):
+    """The online numerical-health monitor changed its assessment.
+
+    Emitted by :class:`repro.trace.health.HealthMonitor` (via the
+    telemetry session) when a solve's health status transitions or a
+    watched condition fires.  ``status`` is ``"ok"``/``"watch"``/
+    ``"critical"``; ``reason`` names the observation (``drift``/
+    ``clamp``/``stagnation``/``recovered``); ``residual_gap`` is the
+    relative recurred-vs-true gap that fired; ``floor_estimate`` is the
+    running attainable-accuracy floor (Cools et al.: the residual norm
+    below which the recurrence can no longer be trusted), as a residual
+    norm.
+    """
+
+    kind = "health"
+
+    iteration: int
+    status: str
+    reason: str
+    residual_gap: float = 0.0
+    floor_estimate: float = 0.0
+
+
+@dataclass
 class CountersEvent(TelemetryEvent):
     """Operation totals booked between solve start and solve end."""
 
@@ -344,7 +380,7 @@ class CountersEvent(TelemetryEvent):
 
     def to_payload(self) -> dict[str, Any]:
         c = self.counts
-        return {
+        payload = {
             "kind": self.kind,
             "dots": c.dots,
             "dot_flops": c.dot_flops,
@@ -359,6 +395,10 @@ class CountersEvent(TelemetryEvent):
             "bytes_moved": c.bytes_moved,
             "labels": dict(c._labels),
         }
+        ctx = getattr(self, "ctx", None)
+        if ctx is not None:
+            payload.update(ctx.to_payload())
+        return payload
 
 
 @dataclass

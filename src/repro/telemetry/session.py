@@ -35,6 +35,7 @@ without the caller wrapping anything in ``counting()``.
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from contextlib import contextmanager
@@ -112,6 +113,12 @@ class Telemetry:
         iteration marks, and :meth:`phase` records spans alongside its
         :class:`PhaseEvent` -- see :mod:`repro.trace.spans`.  Solvers
         read :attr:`tracer` directly for their per-phase spans.
+    health:
+        Optional :class:`repro.trace.health.HealthMonitor`.  When
+        attached, the session feeds it from the solve bracket, iteration
+        and drift/clamp calls and emits any :class:`HealthEvent` it
+        returns; solvers honour its ``check_every`` cadence for direct
+        residual checks even without a recovery policy.
     """
 
     def __init__(
@@ -121,6 +128,7 @@ class Telemetry:
         on_state: Callable[[Any], None] | None = None,
         count_ops: bool = True,
         tracer: Any = None,
+        health: Any = None,
     ) -> None:
         self._sinks: tuple[Sink, ...] = sinks if sinks else (MemorySink(),)
         self.capture_iterates = bool(capture_iterates)
@@ -128,7 +136,17 @@ class Telemetry:
         self.on_state = on_state
         self.count_ops = bool(count_ops)
         self.tracer = tracer
+        self.health = health
         self._active: list[_ActiveSolve] = []
+        # Trace contexts are thread-local: the serve layer emits service
+        # events on the event-loop thread while a batched solve narrates
+        # on a worker thread, and a session-global context would stamp
+        # one request's attribution onto another's events.
+        self._ctxlocal = threading.local()
+        for sink in self._sinks:
+            bind = getattr(sink, "bind_session", None)
+            if callable(bind):
+                bind(self)
 
     # ------------------------------------------------------------------
     # introspection
@@ -158,10 +176,54 @@ class Telemetry:
         return mem.of_kind(kind) if mem is not None else []
 
     # ------------------------------------------------------------------
+    # trace context
+    # ------------------------------------------------------------------
+    @property
+    def current_context(self) -> Any:
+        """The active :class:`TraceContext` on this thread (or ``None``)."""
+        stack = self._ctxlocal.__dict__.get("stack")
+        return stack[-1] if stack else None
+
+    def push_context(self, ctx: Any) -> None:
+        """Activate a trace context for events emitted on this thread."""
+        stack = self._ctxlocal.__dict__.setdefault("stack", [])
+        stack.append(ctx)
+        if self.tracer is not None:
+            self.tracer.activate(ctx)
+
+    def pop_context(self) -> Any:
+        """Deactivate the innermost trace context on this thread."""
+        stack = self._ctxlocal.__dict__.get("stack")
+        if not stack:
+            return None
+        ctx = stack.pop()
+        if self.tracer is not None:
+            self.tracer.activate(stack[-1] if stack else None)
+        return ctx
+
+    @contextmanager
+    def context(self, ctx: Any) -> Iterator[None]:
+        """``with tele.context(ctx): ...`` sugar over push/pop."""
+        self.push_context(ctx)
+        try:
+            yield
+        finally:
+            self.pop_context()
+
+    # ------------------------------------------------------------------
     # emission
     # ------------------------------------------------------------------
-    def emit(self, event: TelemetryEvent) -> None:
-        """Deliver one event to every sink."""
+    def emit(self, event: TelemetryEvent, ctx: Any = None) -> None:
+        """Deliver one event to every sink.
+
+        ``ctx`` overrides the thread's active trace context for this
+        event (used by the serve layer to stamp per-request attribution
+        on service events emitted from the shared event-loop thread).
+        """
+        if ctx is None:
+            ctx = self.current_context
+        if ctx is not None:
+            event.ctx = ctx
         for sink in self._sinks:
             sink.emit(event)
 
@@ -172,6 +234,8 @@ class Telemetry:
         if self.tracer is not None:
             self.tracer.begin("solve")
             self.tracer.annotate(method=method, label=label, n=n)
+        if self.health is not None:
+            self.health.begin_solve(method, label, n)
         self.emit(SolveStartEvent(method=method, label=label, n=n, options=options))
 
     def iteration(
@@ -187,8 +251,16 @@ class Telemetry:
         # The once-per-iteration hot path: positional construction and an
         # inlined sink loop (bench_telemetry_overhead.py budget).
         event = IterationEvent(iteration, residual_norm, lam, alpha, recurred_rr)
+        stack = self._ctxlocal.__dict__.get("stack")
+        if stack:
+            event.ctx = stack[-1]
         for sink in self._sinks:
             sink.emit(event)
+        health = self.health
+        if health is not None:
+            health_event = health.observe_iteration(iteration, residual_norm)
+            if health_event is not None:
+                self.emit(health_event)
         if self.tracer is not None:
             self.tracer.mark_iteration(iteration)
 
@@ -202,9 +274,13 @@ class Telemetry:
         """
         denom = max(direct_rr, np.finfo(np.float64).tiny)
         rel = abs(recurred_rr - direct_rr) / denom
-        event = DriftEvent(iteration, recurred_rr, direct_rr, rel)
-        for sink in self._sinks:
-            sink.emit(event)
+        self.emit(DriftEvent(iteration, recurred_rr, direct_rr, rel))
+        if self.health is not None:
+            health_event = self.health.observe_drift(
+                iteration, recurred_rr, direct_rr, rel
+            )
+            if health_event is not None:
+                self.emit(health_event)
 
     def clamp(self, iteration: int, recurred_rr: float) -> None:
         """The recurred ``(r, r)`` went negative and was clamped to zero.
@@ -217,9 +293,11 @@ class Telemetry:
         drift consumers (and the adaptive controller) see the event
         without a new vocabulary entry.
         """
-        event = DriftEvent(iteration, recurred_rr, 0.0, abs(recurred_rr))
-        for sink in self._sinks:
-            sink.emit(event)
+        self.emit(DriftEvent(iteration, recurred_rr, 0.0, abs(recurred_rr)))
+        if self.health is not None:
+            health_event = self.health.observe_clamp(iteration, recurred_rr)
+            if health_event is not None:
+                self.emit(health_event)
 
     def adaptive(
         self,
@@ -246,9 +324,7 @@ class Telemetry:
         self, column: int, iteration: int, residual_norm: float
     ) -> None:
         """One column of a batched solve completed an iteration."""
-        event = ColumnIterationEvent(column, iteration, residual_norm)
-        for sink in self._sinks:
-            sink.emit(event)
+        self.emit(ColumnIterationEvent(column, iteration, residual_norm))
 
     def column_converged(
         self,
@@ -339,6 +415,8 @@ class Telemetry:
             seconds = time.perf_counter() - active.started_at
             if active.counter is not None:
                 self.emit(CountersEvent(counts=pop_scope(active.counter).snapshot()))
+        if self.health is not None:
+            self.health.end_solve(result)
         self.emit(
             SolveEndEvent(
                 label=result.label,
@@ -371,13 +449,41 @@ class Telemetry:
         event emitted before the failure.  No solve-end event is emitted
         -- the stream honestly ends where the solver died.
         """
+        unwound = len(self._active) > max(depth, 0)
         while len(self._active) > max(depth, 0):
             active = self._active.pop()
             if active.counter is not None:
                 pop_scope(active.counter)
             if self.tracer is not None:
                 self.tracer.end("solve")
+        if unwound and self.health is not None:
+            self.health.abandon_solve()
         self.flush()
+
+    def add_sink(self, sink: Sink) -> None:
+        """Attach one more sink to the running session."""
+        self._sinks = self._sinks + (sink,)
+        bind = getattr(sink, "bind_session", None)
+        if callable(bind):
+            bind(self)
+
+    def notify_solve_call(
+        self, a: Any, b: Any, method: str, options: dict[str, Any]
+    ) -> None:
+        """The front door is about to run a solve: forward the call's
+        inputs to sinks that record them (the flight recorder captures
+        the system, right-hand side, and fault seeds for replay)."""
+        for sink in self._sinks:
+            hook = getattr(sink, "on_solve_call", None)
+            if callable(hook):
+                hook(a, b, method, options)
+
+    def notify_failure(self, exc: BaseException) -> None:
+        """A solve died: forward to sinks that snapshot postmortems."""
+        for sink in self._sinks:
+            hook = getattr(sink, "on_solve_failure", None)
+            if callable(hook):
+                hook(exc)
 
     def flush(self) -> None:
         """Flush every sink that supports flushing (keeps them open)."""

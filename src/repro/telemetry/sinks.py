@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import IO, Any, Protocol, runtime_checkable
 
 from repro.telemetry.events import (
+    AdaptiveEvent,
     CountersEvent,
     DriftEvent,
     FaultEvent,
@@ -30,6 +31,7 @@ from repro.telemetry.events import (
     PhaseEvent,
     RecoveryEvent,
     ReductionEvent,
+    ServiceEvent,
     SolveEndEvent,
     SolveStartEvent,
     TelemetryEvent,
@@ -129,6 +131,11 @@ class AsciiSummarySink:
 
     def __init__(self, stream: IO[str] | None = None) -> None:
         self._stream = stream if stream is not None else sys.stdout
+        # Service counters persist across solve brackets: the service
+        # narrates admissions/sheds on the event-loop thread between
+        # solves, and a per-solve reset would lose them.
+        self._service: dict[str, int] = {}
+        self._coalesce_widths: list[int] = []
         self._reset()
 
     def _reset(self) -> None:
@@ -140,6 +147,7 @@ class AsciiSummarySink:
         self._faults = 0
         self._recoveries = 0
         self._peak_drift = 0.0
+        self._adaptive: list[AdaptiveEvent] = []
 
     def emit(self, event: TelemetryEvent) -> None:
         if isinstance(event, SolveStartEvent):
@@ -159,6 +167,18 @@ class AsciiSummarySink:
             self._faults += 1
         elif isinstance(event, RecoveryEvent):
             self._recoveries += 1
+        elif isinstance(event, AdaptiveEvent):
+            self._adaptive.append(event)
+        elif isinstance(event, ServiceEvent):
+            self._service[event.action] = self._service.get(event.action, 0) + 1
+            if event.action == "dispatch":
+                # Dispatch details read "width=N" (see the service's
+                # ``_dispatch_group``); accept a bare integer too.
+                detail = str(event.detail).rpartition("=")[2]
+                try:
+                    self._coalesce_widths.append(int(detail))
+                except (TypeError, ValueError):
+                    pass
         elif isinstance(event, SolveEndEvent):
             self._render(event)
 
@@ -195,6 +215,27 @@ class AsciiSummarySink:
         if self._faults or self._recoveries:
             table.add("faults injected", self._faults)
             table.add("recovery actions", self._recoveries)
+        if self._adaptive:
+            k0 = self._adaptive[0].k_old
+            k_final = self._adaptive[-1].k_new
+            resizes = sum(
+                1 for e in self._adaptive if e.action in ("shrink", "grow")
+            )
+            fallbacks = sum(1 for e in self._adaptive if e.action == "fallback")
+            summary = f"k {k0} -> {k_final}, {resizes} resizes"
+            if fallbacks:
+                summary += f", {fallbacks} fallback"
+            table.add("adaptive window", summary)
+        if self._service:
+            admitted = self._service.get("admitted", 0)
+            shed = self._service.get("shed", 0)
+            parts = [f"{admitted} admitted", f"{shed} shed"]
+            if self._coalesce_widths:
+                parts.append(
+                    "widths "
+                    + "/".join(str(w) for w in self._coalesce_widths[-8:])
+                )
+            table.add("service", ", ".join(parts))
         self._stream.write(table.render() + "\n")
 
     def close(self) -> None:

@@ -13,7 +13,14 @@ iteration spend its time?* -- on live runs instead of only in the
 * :mod:`repro.trace.chrome` -- Chrome trace-event (Perfetto) export for
   both live traces and :mod:`repro.machine` schedules;
 * :mod:`repro.trace.profile` -- the critical-path profiler behind
-  ``python -m repro profile``.
+  ``python -m repro profile``;
+* :mod:`repro.trace.context` -- request-correlated
+  :class:`TraceContext` attribution threaded from the serve layer
+  through coalesced batches;
+* :mod:`repro.trace.flightrecorder` -- bounded black-box event ring
+  with atomic postmortem bundles and ``repro replay``;
+* :mod:`repro.trace.health` -- the online numerical-health monitor
+  (residual gap, drift trend, attainable-accuracy floor).
 
 Entry points::
 
@@ -28,6 +35,14 @@ Entry points::
     write_chrome_trace(report.tracer, "run.json")   # open in Perfetto
 """
 
+from repro.trace.context import TraceContext, new_trace_id
+from repro.trace.flightrecorder import (
+    FlightRecorder,
+    ReplayReport,
+    load_bundle,
+    replay_bundle,
+)
+from repro.trace.health import HealthMonitor, HealthSummary
 from repro.trace.chrome import (
     chrome_trace,
     events_from_graph,
@@ -56,6 +71,14 @@ __all__ = [
     "Span",
     "Tracer",
     "build_spans",
+    "TraceContext",
+    "new_trace_id",
+    "FlightRecorder",
+    "ReplayReport",
+    "load_bundle",
+    "replay_bundle",
+    "HealthMonitor",
+    "HealthSummary",
     "Counter",
     "Gauge",
     "Histogram",

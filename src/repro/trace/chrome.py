@@ -59,6 +59,15 @@ def events_from_spans(
         name = root.attrs.get("label") or root.attrs.get("method") or root.name
         events.append(_thread_name(pid, tid, str(name)))
         for span in root.walk():
+            args = _jsonable(span.attrs)
+            # Correlation ids join a trace slice to the JSONL telemetry
+            # stream of the same request (see repro.trace.context).
+            if span.trace_id is not None:
+                args["trace_id"] = span.trace_id
+            if span.span_id is not None:
+                args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
             events.append(
                 {
                     "name": span.name,
@@ -68,7 +77,7 @@ def events_from_spans(
                     "dur": span.seconds * 1e6,
                     "pid": pid,
                     "tid": tid,
-                    "args": _jsonable(span.attrs),
+                    "args": args,
                 }
             )
     return events

@@ -1,0 +1,126 @@
+"""Request-correlated trace context.
+
+The serve layer folds many client requests into one batched solve
+(:mod:`repro.serve.coalescer`), which breaks naive attribution: a span
+or telemetry event emitted inside ``solve_batched`` belongs to *m*
+tenants at once.  :class:`TraceContext` is the attribution record that
+travels from request admission through the coalescer into the solve --
+a trace id for the unit of work actually executed, plus the member
+table mapping batch columns back to the requests that caused them.
+
+The context is carried out-of-band (thread-local on the
+:class:`~repro.telemetry.Telemetry` session, activation records on the
+:class:`~repro.trace.Tracer`) so the solver hot path stays untouched:
+solvers emit exactly the events they always did, and the observability
+layer stamps them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TraceContext", "new_trace_id"]
+
+_counter = itertools.count(1)
+
+
+def new_trace_id(prefix: str = "t") -> str:
+    """A process-unique trace id (monotonic counter + random tail).
+
+    The counter keeps ids readable and ordered within a process; the
+    random tail keeps them unique across processes writing into one
+    JSONL stream or bundle directory.
+    """
+    return f"{prefix}-{next(_counter):06d}-{os.urandom(3).hex()}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Attribution for one executed solve (single request or batch).
+
+    Attributes
+    ----------
+    trace_id:
+        Stable id of the executed unit of work.  For an uncoalesced
+        request this is the request's own trace id; for a coalesced
+        batch it is a fresh batch id and :attr:`members` carries the
+        per-request ids.
+    request_id:
+        The originating request id (single-request contexts), or the
+        batch id for coalesced work.
+    tenant:
+        Tenant attribution.  For a batch of mixed tenants this is
+        ``"batch"`` and the member table carries the real tenants.
+    parent_id:
+        Span id of the caller's span, when the context was derived from
+        an enclosing one.
+    members:
+        Per-member attribution for coalesced batches: tuples of
+        ``(trace_id, request_id, tenant, column)`` where ``column`` is
+        the member's column index in the batched right-hand side.
+    """
+
+    trace_id: str
+    request_id: str | None = None
+    tenant: str | None = None
+    parent_id: str | None = None
+    members: tuple[tuple[str, str, str, int], ...] = field(default=())
+
+    @property
+    def is_batch(self) -> bool:
+        """Whether this context covers a coalesced multi-request batch."""
+        return len(self.members) > 1
+
+    def member_for_column(self, column: int) -> tuple[str, str, str, int] | None:
+        """The ``(trace_id, request_id, tenant, column)`` member row."""
+        for row in self.members:
+            if row[3] == column:
+                return row
+        return None
+
+    def to_payload(self) -> dict[str, Any]:
+        """Flat JSON-serializable attribution fields for event payloads."""
+        payload: dict[str, Any] = {"trace_id": self.trace_id}
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        if self.tenant is not None:
+            payload["tenant"] = self.tenant
+        if self.members:
+            payload["members"] = [list(row) for row in self.members]
+        return payload
+
+    @classmethod
+    def for_request(
+        cls, request_id: str, tenant: str, *, parent_id: str | None = None
+    ) -> "TraceContext":
+        """Context for one uncoalesced request (trace id = request id)."""
+        return cls(
+            trace_id=request_id,
+            request_id=request_id,
+            tenant=tenant,
+            parent_id=parent_id,
+            members=((request_id, request_id, tenant, 0),),
+        )
+
+    @classmethod
+    def for_batch(
+        cls,
+        members: list[tuple[str, str, str, int]] | tuple[tuple[str, str, str, int], ...],
+        *,
+        trace_id: str | None = None,
+    ) -> "TraceContext":
+        """Context for a coalesced batch of requests.
+
+        ``members`` rows are ``(trace_id, request_id, tenant, column)``.
+        """
+        rows = tuple(tuple(row) for row in members)
+        tenants = {row[2] for row in rows}
+        return cls(
+            trace_id=trace_id or new_trace_id("batch"),
+            request_id=None,
+            tenant=tenants.pop() if len(tenants) == 1 else "batch",
+            members=rows,
+        )

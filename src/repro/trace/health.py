@@ -1,0 +1,282 @@
+"""Online numerical-health monitoring for running solves.
+
+The drift telemetry (PR 3) and the adaptive controller (PR 7) already
+*react* to finite-precision trouble; this module *assesses* it
+continuously, in the terms the rounding-error literature uses:
+
+* **residual gap** -- the relative gap between the recurred ``(r, r)``
+  and the directly computed one, the quantity Cools et al.'s analysis
+  bounds per variant;
+* **drift trend** -- an exponentially-weighted average of that gap, so
+  a monotone build-up (the moment-window failure mode) is visible
+  before any single check crosses a threshold;
+* **attainable-accuracy floor** -- ``sqrt(max |recurred - direct|)``
+  over the solve so far: once the true residual norm approaches this
+  floor, further iterations refine the *recurrence*, not the solution,
+  and convergence claims below it are not trustworthy;
+* **stagnation** -- no meaningful best-residual improvement over a
+  window of iterations.
+
+A :class:`HealthMonitor` attaches to a :class:`~repro.telemetry.Telemetry`
+session (``Telemetry(health=monitor)``); the session feeds it from
+``solve_start``/``iteration``/``drift``/``clamp``/``solve_end`` and
+emits the :class:`~repro.telemetry.events.HealthEvent` objects it
+returns, so sinks (JSONL, metrics gauges, the flight recorder) see
+health transitions with no solver changes.  The solvers' drift-check
+sites additionally honour :attr:`HealthMonitor.check_every` so direct
+residual checks run even when no recovery policy is configured.
+
+Per-solve summaries are kept in a bounded history ring; the serve layer
+surfaces them through ``/healthz?detail=1`` and ``/status``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.telemetry.events import HealthEvent
+
+__all__ = ["HealthMonitor", "HealthSummary"]
+
+#: Ordering for status escalation: transitions only ever emit when the
+#: assessment actually changes rank or a new reason fires at the same
+#: rank.
+_STATUS_RANK = {"ok": 0, "watch": 1, "critical": 2}
+
+
+@dataclass
+class HealthSummary:
+    """Digest of one solve's numerical health, kept in the history ring."""
+
+    method: str = ""
+    label: str = ""
+    n: int = 0
+    iterations: int = 0
+    status: str = "ok"
+    reason: str = ""
+    last_gap: float = 0.0
+    peak_gap: float = 0.0
+    drift_trend: float = 0.0
+    floor_estimate: float = 0.0
+    checks: int = 0
+    clamps: int = 0
+    converged: bool | None = None
+    stop_reason: str = ""
+    final_residual: float = 0.0
+
+    def to_payload(self) -> dict[str, Any]:
+        """Flat JSON-serializable dict (the ``/status`` wire format)."""
+        return {
+            "method": self.method,
+            "label": self.label,
+            "n": self.n,
+            "iterations": self.iterations,
+            "status": self.status,
+            "reason": self.reason,
+            "last_gap": self.last_gap,
+            "peak_gap": self.peak_gap,
+            "drift_trend": self.drift_trend,
+            "floor_estimate": self.floor_estimate,
+            "checks": self.checks,
+            "clamps": self.clamps,
+            "converged": self.converged,
+            "stop_reason": self.stop_reason,
+            "final_residual": self.final_residual,
+        }
+
+
+class HealthMonitor:
+    """Per-solve numerical-health estimator.
+
+    Parameters
+    ----------
+    gap_watch, gap_critical:
+        Relative residual-gap thresholds for the ``watch`` and
+        ``critical`` statuses.  The defaults (1e-6 / 1e-2) bracket the
+        region between "finite precision doing its usual thing" and
+        "the recurrence has decoupled from the true residual".
+    check_every:
+        Cadence hint for solvers: when the monitor is attached, the
+        drift-check sites compute a direct residual every this many
+        iterations even without a recovery policy.  Each check costs
+        one extra matvec, so the overhead scales as ``1/check_every``;
+        the default of 25 prices the monitor under the benchmarked 5%
+        budget (~4% of one matvec per iteration).
+    stagnation_window:
+        Emit a ``watch`` event when the best residual norm has not
+        improved by ``stagnation_rtol`` over this many iterations.
+    history:
+        Number of per-solve :class:`HealthSummary` records retained.
+    """
+
+    def __init__(
+        self,
+        *,
+        gap_watch: float = 1e-6,
+        gap_critical: float = 1e-2,
+        check_every: int = 25,
+        stagnation_window: int = 100,
+        stagnation_rtol: float = 1e-2,
+        trend_decay: float = 0.8,
+        history: int = 64,
+    ) -> None:
+        self.gap_watch = float(gap_watch)
+        self.gap_critical = float(gap_critical)
+        self.check_every = int(check_every)
+        self.stagnation_window = int(stagnation_window)
+        self.stagnation_rtol = float(stagnation_rtol)
+        self.trend_decay = float(trend_decay)
+        self.history: deque[HealthSummary] = deque(maxlen=max(1, int(history)))
+        self._current: HealthSummary | None = None
+        self._best_res = math.inf
+        self._best_iteration = 0
+        self._stagnation_reported_at = -1
+        self._max_abs_gap = 0.0
+
+    # ------------------------------------------------------------------
+    # feeding (called by Telemetry)
+    # ------------------------------------------------------------------
+    def begin_solve(self, method: str, label: str, n: int) -> None:
+        """A solve bracket opened: reset the per-solve estimators."""
+        self._current = HealthSummary(method=method, label=label, n=n)
+        self._best_res = math.inf
+        self._best_iteration = 0
+        self._stagnation_reported_at = -1
+        self._max_abs_gap = 0.0
+
+    def observe_iteration(
+        self, iteration: int, residual_norm: float
+    ) -> HealthEvent | None:
+        """One iteration completed; detects stagnation."""
+        cur = self._current
+        if cur is None:
+            return None
+        cur.iterations = iteration
+        if residual_norm < self._best_res * (1.0 - self.stagnation_rtol):
+            self._best_res = residual_norm
+            self._best_iteration = iteration
+            return None
+        if (
+            iteration - self._best_iteration >= self.stagnation_window
+            and self._stagnation_reported_at < self._best_iteration
+        ):
+            self._stagnation_reported_at = iteration
+            return self._transition(iteration, "watch", "stagnation", 0.0)
+        return None
+
+    def observe_drift(
+        self, iteration: int, recurred_rr: float, direct_rr: float, rel_gap: float
+    ) -> HealthEvent | None:
+        """A recurred-vs-direct check happened (``Telemetry.drift``)."""
+        cur = self._current
+        if cur is None:
+            return None
+        cur.checks += 1
+        cur.last_gap = rel_gap
+        cur.peak_gap = max(cur.peak_gap, rel_gap)
+        cur.drift_trend = (
+            self.trend_decay * cur.drift_trend + (1.0 - self.trend_decay) * rel_gap
+        )
+        abs_gap = abs(recurred_rr - direct_rr)
+        if math.isfinite(abs_gap):
+            self._max_abs_gap = max(self._max_abs_gap, abs_gap)
+            cur.floor_estimate = math.sqrt(self._max_abs_gap)
+        if rel_gap > self.gap_critical or not math.isfinite(rel_gap):
+            return self._transition(iteration, "critical", "drift", rel_gap)
+        if rel_gap > self.gap_watch:
+            return self._transition(iteration, "watch", "drift", rel_gap)
+        if _STATUS_RANK[cur.status] > 0 and cur.drift_trend <= self.gap_watch:
+            return self._transition(iteration, "ok", "recovered", rel_gap)
+        return None
+
+    def observe_clamp(self, iteration: int, recurred_rr: float) -> HealthEvent | None:
+        """The recurred ``(r, r)`` went negative and was clamped."""
+        cur = self._current
+        if cur is None:
+            return None
+        cur.clamps += 1
+        abs_gap = abs(recurred_rr)
+        if math.isfinite(abs_gap):
+            self._max_abs_gap = max(self._max_abs_gap, abs_gap)
+            cur.floor_estimate = math.sqrt(self._max_abs_gap)
+        return self._transition(iteration, "watch", "clamp", abs_gap)
+
+    def end_solve(self, result: Any) -> HealthSummary | None:
+        """A solve bracket closed; archive and return its summary."""
+        cur = self._current
+        if cur is None:
+            return None
+        cur.converged = bool(result.converged)
+        cur.stop_reason = str(getattr(result.stop_reason, "value", result.stop_reason))
+        cur.iterations = int(result.iterations)
+        cur.final_residual = float(result.true_residual_norm)
+        if not cur.converged and _STATUS_RANK[cur.status] == 0:
+            cur.status, cur.reason = "watch", cur.stop_reason
+        self.history.append(cur)
+        self._current = None
+        return cur
+
+    def abandon_solve(self, reason: str = "exception") -> HealthSummary | None:
+        """The solve died mid-flight: archive what was observed."""
+        cur = self._current
+        if cur is None:
+            return None
+        cur.status, cur.reason = "critical", reason
+        cur.stop_reason = reason
+        self.history.append(cur)
+        self._current = None
+        return cur
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> HealthSummary | None:
+        """The in-flight solve's summary (``None`` between solves)."""
+        return self._current
+
+    @property
+    def status(self) -> str:
+        """Current assessment: the in-flight solve's, else the last one's."""
+        if self._current is not None:
+            return self._current.status
+        if self.history:
+            return self.history[-1].status
+        return "ok"
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregate view for ``/healthz?detail=1`` and ``/status``."""
+        recent = list(self.history)
+        worst = "ok"
+        for item in recent:
+            if _STATUS_RANK[item.status] > _STATUS_RANK[worst]:
+                worst = item.status
+        return {
+            "status": self.status,
+            "worst_recent": worst,
+            "solves": len(recent),
+            "recent": [item.to_payload() for item in recent[-8:]],
+        }
+
+    # ------------------------------------------------------------------
+    def _transition(
+        self, iteration: int, status: str, reason: str, gap: float
+    ) -> HealthEvent | None:
+        cur = self._current
+        assert cur is not None
+        demotion = _STATUS_RANK[status] < _STATUS_RANK[cur.status]
+        if demotion and reason != "recovered":
+            return None
+        if cur.status == status and cur.reason == reason:
+            return None
+        cur.status, cur.reason = status, reason
+        return HealthEvent(
+            iteration=iteration,
+            status=status,
+            reason=reason,
+            residual_gap=float(gap),
+            floor_estimate=cur.floor_estimate,
+        )

@@ -252,6 +252,13 @@ class MetricsRegistry:
 
 
 def _fmt(value: float) -> str:
+    # Non-finite values must use the 0.0.4 spellings (+Inf/-Inf/NaN) --
+    # Python's repr ("inf"/"nan") is not valid exposition text, and
+    # drift gauges can legitimately hold either.
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))
@@ -295,6 +302,9 @@ class MetricsSink:
     repro_solve_seconds             gauge      solve_end
     repro_solve_iterations          gauge      solve_end
     repro_flops_total               counter    counters event
+    repro_health_status             gauge      health events (0/1/2)
+    repro_health_residual_gap       gauge      health events
+    repro_health_floor              gauge      health events
     ==============================  =========  ==============================
 
     The per-iteration path is kept flat (cached instruments, single
@@ -375,6 +385,23 @@ class MetricsSink:
                 "repro_flops_total", "Floating-point operations booked",
                 method=method,
             ).inc(event.counts.total_flops)
+        elif kind == "health":
+            rank = {"ok": 0.0, "watch": 1.0, "critical": 2.0}.get(event.status, 1.0)
+            reg.gauge(
+                "repro_health_status",
+                "Numerical-health assessment (0=ok, 1=watch, 2=critical)",
+                method=method,
+            ).set(rank)
+            reg.gauge(
+                "repro_health_residual_gap",
+                "Last recurred-vs-true relative residual gap seen by the monitor",
+                method=method,
+            ).set(event.residual_gap)
+            reg.gauge(
+                "repro_health_floor",
+                "Attainable-accuracy floor estimate (residual norm)",
+                method=method,
+            ).set(event.floor_estimate)
         elif kind == "solve_end":
             reg.counter(
                 "repro_solves_total", "Completed solves",

@@ -68,6 +68,15 @@ class Span:
     (method/label/n on ``solve`` spans, op/words/stall_iterations on
     ``allreduce_wait`` spans, the iteration number on synthesized
     ``iteration`` spans).
+
+    ``trace_id``/``span_id``/``parent_id`` are stable correlation ids
+    assigned by :func:`build_spans`: every span in a tree shares the
+    root's trace id (taken from the active
+    :class:`~repro.trace.context.TraceContext` at recording time, else
+    the builder's default), ``span_id`` is depth-first sequential
+    within the build, and ``parent_id`` links to the enclosing span.
+    They let a span in a Chrome trace be joined against the JSONL
+    telemetry stream of the same request.
     """
 
     name: str
@@ -75,6 +84,9 @@ class Span:
     end: float
     attrs: dict[str, Any] = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_id: str | None = None
 
     @property
     def seconds(self) -> float:
@@ -123,14 +135,17 @@ class Tracer:
     :meth:`repro.telemetry.Telemetry.unwind`).
     """
 
-    __slots__ = ("_records", "_clock", "begin", "end", "mark_iteration")
+    __slots__ = ("_records", "_clock", "begin", "end", "mark_iteration", "trace_id")
 
-    def __init__(self) -> None:
+    def __init__(self, *, trace_id: str | None = None) -> None:
         records: list[tuple[str, Any, float]] = []
         clock = perf_counter
         append = records.append
         self._records = records
         self._clock = clock
+        #: Default trace id stamped on root spans recorded with no
+        #: active :class:`~repro.trace.context.TraceContext`.
+        self.trace_id = trace_id
         # Hot path: begin/end/mark_iteration are bound closures over the
         # record list's append and the clock, skipping the attribute
         # loads and descriptor binding a plain method pays on every call
@@ -143,6 +158,16 @@ class Tracer:
     def annotate(self, **attrs: Any) -> None:
         """Attach attributes to the innermost open span."""
         self._records.append(("A", attrs, self._clock()))
+
+    def activate(self, ctx: Any) -> None:
+        """Activate a trace context for subsequently recorded spans.
+
+        ``ctx`` is a :class:`~repro.trace.context.TraceContext` (or a
+        bare trace-id string, or ``None`` to deactivate).  Root spans
+        opened while a context is active adopt its trace id; their
+        descendants inherit it during :func:`build_spans`.
+        """
+        self._records.append(("C", ctx, self._clock()))
 
     # -- convenience ---------------------------------------------------
     @contextmanager
@@ -173,7 +198,11 @@ class Tracer:
         consecutive iteration marks are regrouped under synthesized
         ``iteration`` spans as described in the module docstring.
         """
-        return build_spans(self._records, group_iterations=group_iterations)
+        return build_spans(
+            self._records,
+            group_iterations=group_iterations,
+            default_trace_id=self.trace_id,
+        )
 
     def solve_spans(self) -> list[Span]:
         """The top-level ``solve`` spans, in recording order."""
@@ -181,17 +210,29 @@ class Tracer:
 
 
 def build_spans(
-    records: list[tuple[str, Any, float]], *, group_iterations: bool = True
+    records: list[tuple[str, Any, float]],
+    *,
+    group_iterations: bool = True,
+    default_trace_id: str | None = None,
 ) -> list[Span]:
-    """Turn a flat record list into a forest of :class:`Span` trees."""
+    """Turn a flat record list into a forest of :class:`Span` trees.
+
+    ``default_trace_id`` is stamped on root spans recorded while no
+    trace context was active; roots recorded under an activation record
+    take the context's trace id instead.  Every span then receives a
+    stable depth-first ``span_id`` and its ``parent_id``.
+    """
     roots: list[Span] = []
     stack: list[Span] = []
     marks: dict[int, list[tuple[int, float]]] = {}
     last_t = 0.0
+    active_trace: str | None = None
     for tag, payload, t in records:
         last_t = t
         if tag == "B":
             span = Span(name=payload, start=t, end=t)
+            if not stack:
+                span.trace_id = active_trace
             (stack[-1].children if stack else roots).append(span)
             stack.append(span)
         elif tag == "E":
@@ -207,6 +248,14 @@ def build_spans(
         elif tag == "A":
             if stack:
                 stack[-1].attrs.update(payload)
+        elif tag == "C":
+            active_trace = getattr(payload, "trace_id", payload)
+            if stack and active_trace is not None:
+                # A context activated mid-span re-tags the enclosing
+                # tree: the service opens its request span and then
+                # activates, and attribution must cover that span too.
+                root = stack[0]
+                root.trace_id = active_trace
     # Auto-close anything left open (aborted solve) at the last record.
     while stack:
         span = stack.pop()
@@ -214,7 +263,27 @@ def build_spans(
     if group_iterations:
         for root in roots:
             _group_iterations(root, marks)
+    _assign_ids(roots, default_trace_id)
     return roots
+
+
+def _assign_ids(roots: list[Span], default_trace_id: str | None) -> None:
+    """Assign stable depth-first span/parent/trace ids over the forest."""
+    counter = 0
+    for root in roots:
+        if root.trace_id is None:
+            root.trace_id = default_trace_id
+        pending: list[tuple[Span, Span | None]] = [(root, None)]
+        while pending:
+            span, parent = pending.pop()
+            counter += 1
+            span.span_id = f"s{counter:04d}"
+            if parent is not None:
+                span.parent_id = parent.span_id
+                if span.trace_id is None:
+                    span.trace_id = parent.trace_id
+            for child in reversed(span.children):
+                pending.append((child, span))
 
 
 def _group_iterations(span: Span, marks: dict[int, list[tuple[int, float]]]) -> None:

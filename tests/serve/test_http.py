@@ -253,3 +253,64 @@ def test_run_server_lifecycle():
 
     svc = asyncio.run(main())
     assert svc.draining
+
+
+def test_status_route_reports_the_operational_snapshot():
+    async def main():
+        async with HttpFrontend(service(), port=0) as front:
+            host, port = front.address
+            await http(
+                host, port, "POST", "/solve",
+                {"operator": "poisson", "b": [1.0] * N, "tenant": "alice"},
+            )
+            return await http(host, port, "GET", "/status")
+
+    status, body = asyncio.run(main())
+    assert status == 200
+    assert body["served"] == 1 and body["queue_depth"] == 0
+    assert body["operators"] == ["poisson"]
+    [outcome] = body["recent"]
+    assert outcome["tenant"] == "alice" and outcome["status"] == "ok"
+    assert outcome["trace_id"] == outcome["request_id"]
+    assert body["health"]["solves"] == 1
+    assert body["postmortems_written"] == []
+
+
+def test_healthz_detail_inlines_the_health_summary():
+    async def main():
+        async with HttpFrontend(service(), port=0) as front:
+            host, port = front.address
+            await http(
+                host, port, "POST", "/solve",
+                {"operator": "poisson", "b": [1.0] * N},
+            )
+            plain = await http(host, port, "GET", "/healthz")
+            detail = await http(host, port, "GET", "/healthz?detail=1")
+        return plain, detail
+
+    (pstatus, plain), (dstatus, detail) = asyncio.run(main())
+    assert pstatus == dstatus == 200
+    # The one-word assessment is always there; the full summary only
+    # behind ?detail=1.
+    assert plain["numerical_status"] == "ok"
+    assert "health" not in plain
+    assert detail["health"]["solves"] == 1
+    assert detail["health"]["recent"][0]["converged"] is True
+
+
+def test_metrics_route_exports_tenant_series():
+    async def main():
+        async with HttpFrontend(service(), port=0) as front:
+            host, port = front.address
+            await http(
+                host, port, "POST", "/solve",
+                {"operator": "poisson", "b": [1.0] * N, "tenant": "alice"},
+            )
+            return await http(host, port, "GET", "/metrics")
+
+    status, text = asyncio.run(main())
+    assert status == 200
+    assert (
+        'repro_serve_tenant_requests_total{status="ok",tenant="alice"} 1'
+        in text
+    )

@@ -384,3 +384,73 @@ class TestServe:
 
         asyncio.run(main())
         assert service.draining
+
+
+class TestReplay:
+    @pytest.fixture
+    def bundle(self, tmp_path):
+        """A real postmortem: the pinned divergence recipe under a
+        directory-armed flight recorder."""
+        from repro.core.stopping import StoppingCriterion
+        from repro.faults import (
+            FaultPlan,
+            RecoveryPolicy,
+            ScalarCorruptor,
+            UnrecoverableDivergence,
+        )
+        from repro import solve
+        from repro.telemetry import Telemetry
+        from repro.trace import FlightRecorder
+
+        recorder = FlightRecorder(directory=tmp_path)
+        a = poisson2d(10)
+        b = np.random.default_rng(42).standard_normal(a.nrows)
+        with pytest.raises(UnrecoverableDivergence):
+            solve(
+                a, b, "vr", k=3,
+                stop=StoppingCriterion(rtol=1e-8, max_iter=12),
+                faults=FaultPlan(
+                    [ScalarCorruptor(at_iteration=5, factor=1e12)], seed=0
+                ),
+                recovery=RecoveryPolicy(
+                    max_restarts=0, on_unrecoverable="raise"
+                ),
+                telemetry=Telemetry(recorder),
+            )
+        [path] = recorder.written
+        return path
+
+    def test_replay_matches_the_recorded_history(self, bundle, capsys):
+        rc = main(["replay", str(bundle)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "MATCH" in out and "MISMATCH" not in out
+        assert "reason : exception:UnrecoverableDivergence" in out
+        assert "method : vr" in out
+
+    def test_replay_mismatch_exits_nonzero(self, bundle, capsys):
+        payload = json.loads(bundle.read_text())
+        payload["residual_norms"][3] *= 2.0
+        bundle.write_text(json.dumps(payload))
+        rc = main(["replay", str(bundle)])
+        assert rc == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_replay_missing_bundle_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read bundle"):
+            main(["replay", str(tmp_path / "nope.json")])
+
+    def test_solve_postmortem_flag_is_quiet_on_success(self, tmp_path, capsys):
+        rc = main(["solve", "--generate", "poisson2d", "--size", "8",
+                   "--solver", "cg", "--postmortem", str(tmp_path)])
+        assert rc == 0
+        assert list(tmp_path.glob("postmortem-*.json")) == []
+
+    def test_replay_and_postmortem_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["replay", "b.json", "--rtol", "1e-6"])
+        assert args.bundle == "b.json" and args.rtol == 1e-6
+        args = parser.parse_args(
+            ["serve", "--generate", "poisson2d", "--postmortem-dir", "pm"]
+        )
+        assert args.postmortem_dir == "pm"

@@ -1,0 +1,67 @@
+"""The metric-name lint (tools/check_metric_names.py).
+
+Run as a subprocess, exactly as the CI step invokes it: stdlib-only,
+works before the project is installed.  The vocabulary rule it
+enforces: every ``repro_*`` metric registered in ``src/`` is
+snake_case and carries a help string.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "tools" / "check_metric_names.py"
+
+
+def _run(*argv: str):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *argv],
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_the_repo_is_clean():
+    proc = _run()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_violations_are_reported_with_locations(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(textwrap.dedent(
+        """
+        def register(reg):
+            reg.counter("repro_BadName_total", "has help")      # case
+            reg.gauge("repro_no_help")                          # missing help
+            reg.histogram("repro_empty_help", "")               # empty help
+            reg.counter("repro_fine_total", "described")        # ok
+            reg.counter(dynamic_name, "skipped: not a literal") # ok
+            reg.counter("unprefixed_total")                     # ok: not repro_*
+        """
+    ))
+    proc = _run("--src", str(tmp_path))
+    assert proc.returncode == 1
+    out = proc.stdout
+    assert "repro_BadName_total" in out
+    assert "repro_no_help" in out
+    assert "repro_empty_help" in out
+    assert "repro_fine_total" not in out
+    assert "unprefixed_total" not in out
+    assert "bad.py" in out
+
+
+def test_keyword_help_counts(tmp_path):
+    ok = tmp_path / "ok.py"
+    ok.write_text('reg.counter("repro_kw_total", help="keyword help")\n')
+    proc = _run("--src", str(tmp_path))
+    assert proc.returncode == 0, proc.stdout
+
+
+def test_missing_source_dir_is_an_error(tmp_path):
+    proc = _run("--src", str(tmp_path / "nowhere"))
+    assert proc.returncode == 2

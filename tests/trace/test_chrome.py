@@ -142,3 +142,21 @@ def test_machine_export_unification(cg_dag, tmp_path):
     on_disk = json.loads(out.read_text())
     assert on_disk["otherData"] == {"processors": 8}
     assert on_disk["traceEvents"]
+
+
+def test_span_correlation_ids_land_in_chrome_args():
+    from repro.trace.context import TraceContext
+
+    tracer = Tracer()
+    tracer.activate(TraceContext.for_request("req-chrome", "alice"))
+    a = poisson2d(6)
+    solve(a, np.ones(a.nrows), "cg", telemetry=Telemetry(tracer=tracer))
+    events = events_from_spans(tracer.spans())
+    slices = [e for e in events if e.get("ph") == "X"]
+    assert slices
+    [solve_slice] = [e for e in slices if e["name"] == "solve"]
+    assert solve_slice["args"]["trace_id"] == "req-chrome"
+    assert solve_slice["args"]["span_id"] == "s0001"
+    children = [e for e in slices if e["args"].get("parent_id") == "s0001"]
+    assert children, "child slices link to the solve span"
+    assert all(e["args"]["trace_id"] == "req-chrome" for e in slices)

@@ -1,0 +1,201 @@
+"""TraceContext, the thread-local context stack, and span identity.
+
+The attribution chain the serve layer depends on: a
+:class:`~repro.trace.context.TraceContext` pushed onto the telemetry
+session stamps every event emitted on that thread, activates on the
+tracer so spans adopt its trace id, and -- for coalesced batches --
+carries the member table mapping batch columns back to requests.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.telemetry import Telemetry
+from repro.telemetry.events import IterationEvent, ServiceEvent
+from repro.trace import Tracer
+from repro.trace.context import TraceContext, new_trace_id
+
+
+# ---------------------------------------------------------------------------
+# the context record itself
+# ---------------------------------------------------------------------------
+def test_new_trace_ids_are_unique_and_prefixed():
+    ids = [new_trace_id("batch") for _ in range(50)]
+    assert len(set(ids)) == 50
+    assert all(i.startswith("batch-") for i in ids)
+
+
+def test_for_request_trace_id_is_the_request_id():
+    ctx = TraceContext.for_request("req-00000007", "alice")
+    assert ctx.trace_id == "req-00000007"
+    assert ctx.request_id == "req-00000007"
+    assert ctx.tenant == "alice"
+    assert not ctx.is_batch
+    assert ctx.members == (("req-00000007", "req-00000007", "alice", 0),)
+
+
+def test_for_batch_members_and_mixed_tenants():
+    ctx = TraceContext.for_batch(
+        [("req-1", "req-1", "alice", 0), ("req-2", "req-2", "bob", 1)]
+    )
+    assert ctx.is_batch
+    assert ctx.trace_id.startswith("batch-")
+    assert ctx.tenant == "batch"  # mixed tenants
+    assert ctx.member_for_column(1) == ("req-2", "req-2", "bob", 1)
+    assert ctx.member_for_column(9) is None
+
+
+def test_for_batch_single_tenant_is_attributed_directly():
+    ctx = TraceContext.for_batch(
+        [("req-1", "req-1", "alice", 0), ("req-2", "req-2", "alice", 1)]
+    )
+    assert ctx.tenant == "alice"
+
+
+def test_to_payload_is_flat_and_json_shaped():
+    ctx = TraceContext.for_batch(
+        [("req-1", "req-1", "alice", 0), ("req-2", "req-2", "bob", 1)],
+        trace_id="batch-x",
+    )
+    payload = ctx.to_payload()
+    assert payload["trace_id"] == "batch-x"
+    assert payload["tenant"] == "batch"
+    assert payload["members"] == [
+        ["req-1", "req-1", "alice", 0],
+        ["req-2", "req-2", "bob", 1],
+    ]
+    # Single-request payloads carry the request id instead of members>1.
+    single = TraceContext.for_request("req-9", "t").to_payload()
+    assert single["request_id"] == "req-9"
+
+
+# ---------------------------------------------------------------------------
+# the telemetry-side stack
+# ---------------------------------------------------------------------------
+def test_events_emitted_under_a_context_are_stamped():
+    tele = Telemetry()
+    ctx = TraceContext.for_request("req-1", "alice")
+    with tele.context(ctx):
+        tele.iteration(0, 1.0)
+        tele.emit(ServiceEvent(action="dispatch", request_id="req-1",
+                               tenant="alice", detail="width=1"))
+    tele.iteration(1, 0.5)  # after pop: unstamped
+    events = tele.events
+    assert events[0].to_payload()["trace_id"] == "req-1"
+    assert events[0].to_payload()["tenant"] == "alice"
+    assert events[1].to_payload()["trace_id"] == "req-1"
+    assert "trace_id" not in events[2].to_payload()
+
+
+def test_context_stack_nests_and_pops():
+    tele = Telemetry()
+    outer = TraceContext.for_request("req-outer", "t")
+    inner = TraceContext.for_request("req-inner", "t")
+    assert tele.current_context is None
+    tele.push_context(outer)
+    tele.push_context(inner)
+    assert tele.current_context is inner
+    assert tele.pop_context() is inner
+    assert tele.current_context is outer
+    tele.pop_context()
+    assert tele.current_context is None
+    assert tele.pop_context() is None  # empty pop is harmless
+
+
+def test_explicit_ctx_argument_overrides_the_stack():
+    tele = Telemetry()
+    stacked = TraceContext.for_request("req-stacked", "t")
+    override = TraceContext.for_request("req-override", "t")
+    with tele.context(stacked):
+        tele.emit(IterationEvent(0, 1.0, None, None, None), ctx=override)
+    assert tele.events[0].to_payload()["trace_id"] == "req-override"
+
+
+def test_contexts_are_thread_local():
+    tele = Telemetry()
+    tele.push_context(TraceContext.for_request("req-main", "t"))
+    seen: list = []
+
+    def worker():
+        seen.append(tele.current_context)
+        tele.push_context(TraceContext.for_request("req-worker", "t"))
+        tele.iteration(0, 1.0)
+        tele.pop_context()
+
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join()
+    # The worker saw no inherited context, and its push never leaked back.
+    assert seen == [None]
+    assert tele.current_context.trace_id == "req-main"
+    assert tele.events[0].to_payload()["trace_id"] == "req-worker"
+    tele.pop_context()
+
+
+# ---------------------------------------------------------------------------
+# span identity
+# ---------------------------------------------------------------------------
+def test_span_ids_are_depth_first_and_parents_link():
+    tracer = Tracer()
+    tracer.begin("solve")
+    tracer.begin("matvec")
+    tracer.end("matvec")
+    tracer.begin("axpy")
+    tracer.end("axpy")
+    tracer.end("solve")
+    [solve] = tracer.spans(group_iterations=False)
+    assert solve.span_id == "s0001"
+    assert solve.parent_id is None
+    matvec, axpy = solve.children
+    assert (matvec.span_id, axpy.span_id) == ("s0002", "s0003")
+    assert matvec.parent_id == axpy.parent_id == "s0001"
+
+
+def test_tracer_default_trace_id_stamps_roots_and_descendants():
+    tracer = Tracer(trace_id="t-default")
+    with tracer.span("solve"):
+        with tracer.span("matvec"):
+            pass
+    [solve] = tracer.spans(group_iterations=False)
+    assert solve.trace_id == "t-default"
+    assert solve.children[0].trace_id == "t-default"
+
+
+def test_activation_tags_spans_with_the_context_trace_id():
+    tracer = Tracer(trace_id="t-default")
+    ctx = TraceContext.for_request("req-42", "alice")
+    tracer.activate(ctx)
+    with tracer.span("solve"):
+        pass
+    tracer.activate(None)
+    with tracer.span("solve"):
+        pass
+    first, second = tracer.spans(group_iterations=False)
+    assert first.trace_id == "req-42"
+    assert second.trace_id == "t-default"  # deactivated -> fallback
+
+
+def test_activation_mid_span_retags_the_open_tree():
+    # The service opens its request span *then* pushes the context (the
+    # tracer activation rides the telemetry push); the open span must be
+    # covered by the attribution too.
+    tracer = Tracer()
+    tracer.begin("request")
+    tracer.activate(TraceContext.for_request("req-7", "t"))
+    tracer.begin("solve")
+    tracer.end("solve")
+    tracer.end("request")
+    [request] = tracer.spans(group_iterations=False)
+    assert request.trace_id == "req-7"
+    assert request.children[0].trace_id == "req-7"
+
+
+def test_push_context_activates_attached_tracer():
+    tracer = Tracer()
+    tele = Telemetry(tracer=tracer)
+    with tele.context(TraceContext.for_request("req-1", "t")):
+        with tracer.span("solve"):
+            pass
+    [solve] = tracer.spans(group_iterations=False)
+    assert solve.trace_id == "req-1"

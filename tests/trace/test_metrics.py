@@ -197,3 +197,46 @@ def test_one_sink_accumulates_across_methods(small_system):
     text = sink.registry.to_prometheus()
     assert 'repro_iterations_total{method="cg"}' in text
     assert 'repro_iterations_total{method="vr"}' in text
+
+
+def test_prometheus_nonfinite_samples_use_spec_spellings():
+    # Drift gauges can legitimately hold inf/nan; Python's repr of those
+    # ("inf"/"nan") is not valid 0.0.4 exposition text.
+    reg = MetricsRegistry()
+    reg.gauge("repro_pos", "positive overflow").set(float("inf"))
+    reg.gauge("repro_neg", "negative overflow").set(float("-inf"))
+    reg.gauge("repro_nan", "not a number").set(float("nan"))
+    lines = reg.to_prometheus().splitlines()
+    assert "repro_pos +Inf" in lines
+    assert "repro_neg -Inf" in lines
+    assert "repro_nan NaN" in lines
+    assert not any("inf " in l or l.endswith("inf") for l in lines)
+
+
+def test_prometheus_hostile_label_values_regression():
+    # One series per hostile class: backslash, double quote, newline,
+    # and all three at once -- each must come back escaped per the
+    # exposition-format spec (backslash first, or quotes double-escape).
+    reg = MetricsRegistry()
+    reg.counter("repro_h_total", "hostile labels", tenant="a\\b").inc()
+    reg.counter("repro_h_total", "hostile labels", tenant='say "hi"').inc()
+    reg.counter("repro_h_total", "hostile labels", tenant="two\nlines").inc()
+    reg.counter(
+        "repro_h_total", "hostile labels", tenant='\\"\n'
+    ).inc()
+    text = reg.to_prometheus()
+    assert 'tenant="a\\\\b"' in text
+    assert 'tenant="say \\"hi\\""' in text
+    assert 'tenant="two\\nlines"' in text
+    assert 'tenant="\\\\\\"\\n"' in text
+    # No raw newline ever lands inside a sample line: every line is
+    # either a comment or exactly "name{labels} value".
+    for line in text.splitlines():
+        assert line.startswith("#") or len(line.rsplit(" ", 1)) == 2
+
+
+def test_prometheus_hostile_help_text_regression():
+    reg = MetricsRegistry()
+    reg.counter("repro_hh_total", "first\nsecond \\ slash").inc()
+    text = reg.to_prometheus()
+    assert "# HELP repro_hh_total first\\nsecond \\\\ slash" in text

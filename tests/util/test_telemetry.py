@@ -531,3 +531,76 @@ class TestClampTelemetry:
         assert ev.direct_rr == 0.0
         assert ev.recurred_rr == -3.5e-17
         assert ev.drift == pytest.approx(3.5e-17)
+
+
+def test_ascii_summary_sink_reports_adaptive_window_history(system):
+    """An adaptive solve shows the k-history digest row."""
+    from repro import solve
+
+    a, b = system
+    buf = io.StringIO()
+    solve(a, b, method="adaptive-vr", k=4,
+          telemetry=Telemetry(AsciiSummarySink(buf)))
+    out = buf.getvalue()
+    assert "adaptive window" in out
+    assert "k 4 ->" in out
+    assert "resizes" in out
+
+
+def test_ascii_summary_sink_adaptive_row_counts_fallbacks():
+    from repro.telemetry import ServiceEvent  # noqa: F401  (vocabulary)
+
+    buf = io.StringIO()
+    sink = AsciiSummarySink(buf)
+    sink.emit(SolveStartEvent(method="adaptive-vr", label="avr", n=16,
+                              options={}))
+    sink.emit(AdaptiveEvent(iteration=4, action="shrink", trigger="drift",
+                            k_old=4, k_new=2))
+    sink.emit(AdaptiveEvent(iteration=9, action="fallback", trigger="drift",
+                            k_old=2, k_new=1))
+    sink.emit(SolveEndEvent(label="avr", converged=True,
+                            stop_reason="converged", iterations=12,
+                            residual_norm=1e-9, true_residual_norm=1e-9,
+                            seconds=0.01))
+    out = buf.getvalue()
+    assert "k 4 -> 1, 1 resizes, 1 fallback" in out
+
+
+def test_ascii_summary_sink_reports_service_row():
+    """Service narration between solves lands in a service row with the
+    dispatch widths, and survives across solve brackets."""
+    from repro.telemetry import ServiceEvent
+
+    buf = io.StringIO()
+    sink = AsciiSummarySink(buf)
+    for j in range(3):
+        sink.emit(ServiceEvent(action="admitted", request_id=f"req-{j}",
+                               tenant="alice"))
+    sink.emit(ServiceEvent(action="shed", request_id="req-9",
+                           tenant="bob", detail="queue_full"))
+    for j in range(3):
+        sink.emit(ServiceEvent(action="dispatch", request_id=f"req-{j}",
+                               tenant="alice", detail="width=3"))
+    sink.emit(SolveStartEvent(method="cg", label="cg", n=16, options={}))
+    sink.emit(SolveEndEvent(label="cg", converged=True,
+                            stop_reason="converged", iterations=5,
+                            residual_norm=1e-9, true_residual_norm=1e-9,
+                            seconds=0.01))
+    out = buf.getvalue()
+    assert "service" in out
+    assert "3 admitted, 1 shed, widths 3/3/3" in out
+    # The counters persist: a second solve still reports them.
+    buf.truncate(0)
+    sink.emit(SolveStartEvent(method="cg", label="cg", n=16, options={}))
+    sink.emit(SolveEndEvent(label="cg", converged=True,
+                            stop_reason="converged", iterations=5,
+                            residual_norm=1e-9, true_residual_norm=1e-9,
+                            seconds=0.01))
+    assert "3 admitted, 1 shed" in buf.getvalue()
+
+
+def test_ascii_summary_sink_no_service_row_without_service_events(system):
+    a, b = system
+    buf = io.StringIO()
+    conjugate_gradient(a, b, telemetry=Telemetry(AsciiSummarySink(buf)))
+    assert "service" not in buf.getvalue()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Lint Prometheus metric names and help strings in the source tree.
+
+Walks every ``*.py`` under ``--src`` (default ``src/``) with ``ast`` and
+inspects each ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)``
+call whose first argument is a string literal starting with ``repro_``.
+Two rules, both cheap to keep and expensive to violate after dashboards
+exist:
+
+* the metric name must be snake_case --
+  ``repro_`` followed by ``[a-z0-9]`` groups joined by single
+  underscores (the Prometheus naming convention; camelCase or doubled
+  underscores break recording rules and grep-ability);
+* a non-empty help string must be registered at the call site (second
+  positional argument or ``help=``), because ``/metrics`` emits
+  ``# HELP`` from it and an empty help renders scrapes undocumented.
+
+A name built dynamically (not a string literal) is skipped -- the lint
+is for the declared vocabulary, not an escape-proof gate.  Exit status
+is 0 when clean, 1 with one line per violation otherwise.  Stdlib only,
+so CI can run it before any install step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+
+METRIC_FACTORIES = ("counter", "gauge", "histogram")
+NAME_RE = re.compile(r"^repro_[a-z0-9]+(_[a-z0-9]+)*$")
+
+
+def _string_literal(node: ast.AST | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def check_file(path: Path) -> list[str]:
+    """Violation lines (``path:line: message``) for one source file."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as exc:  # pragma: no cover - source tree parses
+        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
+    violations: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in METRIC_FACTORIES):
+            continue
+        name = _string_literal(node.args[0]) if node.args else None
+        if name is None or not name.startswith("repro_"):
+            continue
+        where = f"{path}:{node.lineno}"
+        if not NAME_RE.match(name):
+            violations.append(
+                f"{where}: metric name {name!r} is not snake_case "
+                f"(expected {NAME_RE.pattern})"
+            )
+        help_node: ast.AST | None = None
+        if len(node.args) > 1:
+            help_node = node.args[1]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "help":
+                    help_node = keyword.value
+                    break
+        if help_node is None:
+            violations.append(
+                f"{where}: metric {name!r} registers no help string "
+                f"(pass it as the second argument or help=)"
+            )
+        else:
+            help_text = _string_literal(help_node)
+            if help_text is not None and not help_text.strip():
+                violations.append(
+                    f"{where}: metric {name!r} has an empty help string"
+                )
+    return violations
+
+
+def run(src: Path) -> list[str]:
+    """All violations under ``src``, sorted for stable output."""
+    violations: list[str] = []
+    for path in sorted(src.rglob("*.py")):
+        violations.extend(check_file(path))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--src", type=Path, default=Path("src"),
+        help="source root to lint (default: src)",
+    )
+    args = parser.parse_args(argv)
+    if not args.src.is_dir():
+        print(f"source root {args.src} is not a directory", file=sys.stderr)
+        return 2
+    violations = run(args.src)
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"{len(violations)} metric-name violation(s)", file=sys.stderr)
+        return 1
+    print("metric names: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
