@@ -48,6 +48,7 @@ __all__ = [
     "matrix_fingerprint",
     "cached_ell",
     "available_backends",
+    "close_backends",
     "get_backend",
     "resolve_backend",
 ]
@@ -91,6 +92,22 @@ def get_backend(name: str) -> Backend:
         instance = cls()
         _INSTANCES[key] = instance
     return instance
+
+
+def close_backends() -> None:
+    """Release every shared backend instance's resources.
+
+    Backends are process-global singletons, so anything they hold --
+    the threaded backend's worker pool in particular -- lives for the
+    process unless explicitly released.  Long-lived hosts (the serve
+    drain path, test fixtures) call this on the way out; the next
+    :func:`get_backend` simply builds a fresh instance.
+    """
+    for instance in list(_INSTANCES.values()):
+        close = getattr(instance, "close", None)
+        if callable(close):
+            close()
+    _INSTANCES.clear()
 
 
 def resolve_backend(spec: "Backend | str | None") -> Backend:

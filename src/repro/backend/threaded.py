@@ -53,6 +53,25 @@ class ThreadedBackend(ReferenceBackend):
         """Needs at least two CPUs to be worth selecting."""
         return (os.cpu_count() or 1) >= 2
 
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Shut down the thread pool (idempotent).
+
+        The pool is lazily created, so a backend that never ran a
+        parallel kernel has nothing to release.  After ``close()`` the
+        backend remains usable: the next parallel kernel simply starts a
+        fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadedBackend":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
     # -- internals -----------------------------------------------------
     def _executor(self) -> ThreadPoolExecutor:
         if self._pool is None:

@@ -355,6 +355,8 @@ def _build_service(args):
             tenant_rate=args.rate,
             tenant_burst=args.burst,
             postmortem_dir=getattr(args, "postmortem_dir", None),
+            workers=getattr(args, "workers", 4),
+            warm_start=getattr(args, "warm_start", 64),
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
@@ -381,13 +383,20 @@ def _serve(args) -> int:
         f"on http://{args.host}:{args.port}"
     )
     print(
-        "routes: POST /solve, GET /healthz, GET /status, GET /metrics "
-        "(Ctrl-C drains and exits)"
+        "routes: POST /solve, POST /solve_batched, GET /healthz, "
+        "GET /status, GET /metrics (Ctrl-C drains and exits)"
     )
     try:
         asyncio.run(run_server(service, args.host, args.port))
     except KeyboardInterrupt:
         print("draining")
+    finally:
+        # The service's own executor is drained by run_server; shared
+        # backend singletons (the threaded backend's pool) are released
+        # here so a serve process exits with zero live worker threads.
+        from repro.backend import close_backends
+
+        close_backends()
     return 0
 
 
@@ -590,6 +599,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--postmortem-dir", default=None, metavar="DIR",
                        help="write flight-recorder postmortem bundles "
                             "(failures and sheds) to DIR")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="dispatch worker threads: groups against "
+                            "distinct operator fingerprints solve "
+                            "concurrently, same-operator groups stay FIFO "
+                            "(1 restores the single-worker dispatcher)")
+    serve.add_argument("--warm-start", type=int, default=64, metavar="N",
+                       help="cross-request warm-start cache capacity in "
+                            "entries; converged solutions seed x0 for "
+                            "bytes-identical repeat solves, verified "
+                            "against the true residual (0 disables)")
     serve.set_defaults(func=_serve)
 
     replay = sub.add_parser(

@@ -51,6 +51,7 @@ __all__ = [
     "available_methods",
     "batched_methods",
     "coalescable_methods",
+    "warmstartable_methods",
     "operator_methods",
     "method_entry",
     "SolverEntry",
@@ -101,6 +102,12 @@ class SolverEntry:
         sweeps that split the matrix, the distributed row-partitioned
         solvers -- leave this unset and :func:`solve` refuses operator
         inputs for them with the nearest capable method in the message.
+    supports_x0:
+        Whether the method accepts an ``x0=`` initial-guess keyword.
+        The serve layer's cross-request warm start consults this flag
+        (via :func:`warmstartable_methods`) before seeding a cached
+        solution -- the flag is the contract, not a ``try/except``
+        around the runner.
     """
 
     name: str
@@ -114,6 +121,7 @@ class SolverEntry:
     supports_recovery: bool = False
     supports_backend: bool = False
     supports_operator: bool = False
+    supports_x0: bool = False
 
 
 _REGISTRY: dict[str, SolverEntry] = {}
@@ -129,6 +137,7 @@ def register(
     supports_recovery: bool = False,
     supports_backend: bool = False,
     supports_operator: bool = False,
+    supports_x0: bool = False,
 ) -> Callable[[Callable[..., CGResult]], Callable[..., CGResult]]:
     """Class the decorated runner under ``name`` in the method registry."""
 
@@ -145,6 +154,7 @@ def register(
             supports_recovery=supports_recovery,
             supports_backend=supports_backend,
             supports_operator=supports_operator,
+            supports_x0=supports_x0,
         )
         return runner
 
@@ -195,6 +205,21 @@ def coalescable_methods() -> list[str]:
     """
     return sorted(
         name for name, e in _REGISTRY.items() if e.batched and not e.distributed
+    )
+
+
+def warmstartable_methods() -> list[str]:
+    """Method names the serve layer may seed with a cached ``x0``, sorted.
+
+    The cross-request warm start only applies where both capability
+    flags line up: the method must be coalescable (so its requests carry
+    a compat key identifying operator, tolerance and options) *and*
+    accept an initial guess (``supports_x0``).
+    """
+    return sorted(
+        name
+        for name, e in _REGISTRY.items()
+        if e.batched and not e.distributed and e.supports_x0
     )
 
 
@@ -731,6 +756,7 @@ def _check_auto_k(method: str, precond, options) -> None:
     supports_recovery=True,
     supports_backend=True,
     supports_operator=True,
+    supports_x0=True,
 )
 def _run_cg(a, b, *, precond, telemetry, **options):
     from repro.core.standard import conjugate_gradient
@@ -752,6 +778,7 @@ def _run_cg(a, b, *, precond, telemetry, **options):
     supports_recovery=True,
     supports_backend=True,
     supports_operator=True,
+    supports_x0=True,
 )
 def _run_vr(a, b, *, precond, telemetry, **options):
     from repro.core.vr_cg import vr_conjugate_gradient
@@ -804,6 +831,7 @@ def _run_vr(a, b, *, precond, telemetry, **options):
     supports_recovery=True,
     supports_backend=True,
     supports_operator=True,
+    supports_x0=True,
 )
 def _run_pipelined_vr(a, b, *, precond, telemetry, **options):
     from repro.core.pipeline import pipelined_vr_cg
@@ -831,6 +859,7 @@ def _run_pipelined_vr(a, b, *, precond, telemetry, **options):
     "eager Van Rosendale CG with online adaptive window size",
     supports_backend=True,
     supports_operator=True,
+    supports_x0=True,
 )
 def _run_adaptive_vr(a, b, *, precond, telemetry, **options):
     from repro.core.adaptive import adaptive_vr_cg
@@ -843,6 +872,7 @@ def _run_adaptive_vr(a, b, *, precond, telemetry, **options):
     "pipelined Van Rosendale CG with online adaptive window size",
     supports_backend=True,
     supports_operator=True,
+    supports_x0=True,
 )
 def _run_adaptive_pipelined_vr(a, b, *, precond, telemetry, **options):
     from repro.core.adaptive import adaptive_pipelined_vr_cg
@@ -858,6 +888,7 @@ def _run_adaptive_pipelined_vr(a, b, *, precond, telemetry, **options):
     "three-term recurrence CG (Rutishauser form)",
     supports_backend=True,
     supports_operator=True,
+    supports_x0=True,
 )
 def _run_three_term(a, b, *, precond, telemetry, **options):
     from repro.variants import three_term_cg
@@ -872,6 +903,7 @@ def _run_three_term(a, b, *, precond, telemetry, **options):
     supports_recovery=True,
     supports_backend=True,
     supports_operator=True,
+    supports_x0=True,
 )
 def _run_cgcg(a, b, *, precond, telemetry, **options):
     from repro.variants import chronopoulos_gear_cg
@@ -886,6 +918,7 @@ def _run_cgcg(a, b, *, precond, telemetry, **options):
     supports_recovery=True,
     supports_backend=True,
     supports_operator=True,
+    supports_x0=True,
 )
 def _run_gv(a, b, *, precond, telemetry, **options):
     from repro.variants import ghysels_vanroose_cg
@@ -900,6 +933,7 @@ def _run_gv(a, b, *, precond, telemetry, **options):
     supports_recovery=True,
     supports_backend=True,
     supports_operator=True,
+    supports_x0=True,
 )
 def _run_pr_cg(a, b, *, precond, telemetry, **options):
     from repro.variants import pr_cg
@@ -914,6 +948,7 @@ def _run_pr_cg(a, b, *, precond, telemetry, **options):
     supports_recovery=True,
     supports_backend=True,
     supports_operator=True,
+    supports_x0=True,
 )
 def _run_pr_pipe_cg(a, b, *, precond, telemetry, **options):
     from repro.variants import pr_pipe_cg
@@ -932,6 +967,7 @@ def _run_sstep(a, b, *, precond, telemetry, **options):
     "chebyshev",
     "Chebyshev iteration (no inner products)",
     supports_operator=True,
+    supports_x0=True,
 )
 def _run_chebyshev(a, b, *, precond, telemetry, **options):
     from repro.variants import chebyshev_iteration
@@ -968,6 +1004,7 @@ def _run_sor(a, b, *, precond, telemetry, **options):
     "richardson",
     "Richardson iteration (optimal fixed step)",
     supports_operator=True,
+    supports_x0=True,
 )
 def _run_richardson(a, b, *, precond, telemetry, **options):
     from repro.variants import richardson_solve

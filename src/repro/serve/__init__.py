@@ -15,8 +15,14 @@ clients:
 * per-request **trace ids** on the span tracer and
   queue-depth/shed/coalesce-width **metrics** through the Prometheus
   endpoint;
-* a stdlib-asyncio **HTTP front** (``/solve``, ``/healthz``,
-  ``/metrics``) and the ``repro serve`` CLI subcommand
+* a fingerprint-keyed **worker pool** -- dispatch groups against
+  different operators execute concurrently, same-operator groups stay
+  FIFO on their lane (``ServiceConfig.workers``);
+* a **cross-request warm start** -- converged solutions seed ``x0`` for
+  bytes-identical repeat solves, verified against the directly computed
+  true residual on every warm exit (:mod:`repro.serve.warmstart`);
+* a stdlib-asyncio **HTTP front** (``/solve``, ``/solve_batched``,
+  ``/healthz``, ``/metrics``) and the ``repro serve`` CLI subcommand
   (:mod:`repro.serve.http`).
 
 Quickstart::
@@ -51,6 +57,7 @@ from repro.serve.service import (
     SolveResponse,
     SolverService,
 )
+from repro.serve.warmstart import WarmStartCache
 
 __all__ = [
     "AdmissionController",
@@ -63,4 +70,5 @@ __all__ = [
     "SolveRequest",
     "SolveResponse",
     "SolverService",
+    "WarmStartCache",
 ]

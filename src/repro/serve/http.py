@@ -6,6 +6,12 @@ Four routes, JSON bodies, no third-party dependencies:
   operator; blocks until the response (served, shed, or error) and maps
   the outcome to an HTTP status (200 ok, 429 rate-limited, 503
   queue-full/draining, 500 solver error);
+* ``POST /solve_batched`` -- submit a block of right-hand sides against
+  one operator in a single round trip; the block is admitted atomically
+  so compatible columns coalesce into one fused batched solve, and the
+  body carries one result record per column (the aggregate HTTP status
+  is the worst per-column outcome: any error 500, else any shed
+  429/503, else 200);
 * ``GET /healthz`` -- liveness + queue/served/shed counters as JSON;
   ``GET /healthz?detail=1`` additionally inlines the numerical-health
   summary from the session's
@@ -178,13 +184,14 @@ class HttpFrontend:
                 "text/plain; version=0.0.4",
                 self.service.metrics.to_prometheus(),
             )
-        if path == "/solve":
+        if path in ("/solve", "/solve_batched"):
             if method != "POST":
                 return 405, "application/json", json.dumps(
-                    {"error": "POST /solve"}
+                    {"error": f"POST {path}"}
                 )
+            handler = self._solve if path == "/solve" else self._solve_batched
             try:
-                return await self._solve(body)
+                return await handler(body)
             except _BadRequest as exc:
                 return 400, "application/json", json.dumps({"error": str(exc)})
             except KeyError as exc:
@@ -219,18 +226,75 @@ class HttpFrontend:
     # the solve route
     # ------------------------------------------------------------------
     async def _solve(self, body: bytes) -> tuple[int, str, str]:
+        payload = self._parse_payload(body)
+        a = self.service.operator(self._operator_name(payload))  # KeyError -> 404
+        request = self._build_request(payload, a)
+        response = await self.service.submit(request)
+        out = self._response_record(
+            response, return_x=bool(payload.get("return_x", False))
+        )
+        if response.shed:
+            return _SHED_STATUS.get(response.reason, 503), "application/json", (
+                json.dumps(out)
+            )
+        if response.status == "error":
+            return 500, "application/json", json.dumps(out)
+        return 200, "application/json", json.dumps(out)
+
+    async def _solve_batched(self, body: bytes) -> tuple[int, str, str]:
+        """One operator, many right-hand sides, one atomic admission.
+
+        The per-column records mirror ``POST /solve`` responses exactly;
+        the aggregate HTTP status is the worst column outcome so load
+        generators and retry loops can branch on the status line alone.
+        """
+        payload = self._parse_payload(body)
+        a = self.service.operator(self._operator_name(payload))  # KeyError -> 404
+        bs_raw = payload.get("bs")
+        if not isinstance(bs_raw, list) or not bs_raw:
+            raise _BadRequest(
+                '"bs" (list of right-hand-side rows) is required'
+            )
+        requests = []
+        for i, row in enumerate(bs_raw):
+            if not isinstance(row, list) or not row:
+                raise _BadRequest(f'"bs"[{i}] must be a non-empty JSON array')
+            requests.append(self._build_request({**payload, "b": row}, a))
+        return_x = bool(payload.get("return_x", False))
+        responses = await self.service.submit_batched(requests)
+        results = [self._response_record(r, return_x=return_x) for r in responses]
+        status = 200
+        aggregate = "ok"
+        for response in responses:
+            if response.status == "error":
+                status, aggregate = 500, "error"
+                break
+            if response.shed and status == 200:
+                status = _SHED_STATUS.get(response.reason, 503)
+                aggregate = "shed"
+        return status, "application/json", json.dumps(
+            {"status": aggregate, "count": len(results), "results": results}
+        )
+
+    def _parse_payload(self, body: bytes) -> dict[str, Any]:
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise _BadRequest(f"body is not valid JSON: {exc}") from None
         if not isinstance(payload, dict):
             raise _BadRequest("body must be a JSON object")
+        return payload
+
+    def _operator_name(self, payload: dict[str, Any]) -> str:
         operator_name = payload.get("operator")
         if not isinstance(operator_name, str):
             raise _BadRequest('"operator" (registered operator name) is required')
-        a = self.service.operator(operator_name)  # KeyError -> 404
-        request = self._build_request(payload, a)
-        response = await self.service.submit(request)
+        return operator_name
+
+    def _response_record(
+        self, response: Any, *, return_x: bool = False
+    ) -> dict[str, Any]:
+        """The JSON record for one served/shed/errored response."""
         out: dict[str, Any] = {
             "request_id": response.request_id,
             "trace_id": response.trace_id,
@@ -239,14 +303,9 @@ class HttpFrontend:
             "coalesce_width": response.coalesce_width,
             "queue_seconds": response.queue_seconds,
         }
-        if response.shed:
+        if response.shed or response.status == "error":
             out["reason"] = response.reason
-            return _SHED_STATUS.get(response.reason, 503), "application/json", (
-                json.dumps(out)
-            )
-        if response.status == "error":
-            out["reason"] = response.reason
-            return 500, "application/json", json.dumps(out)
+            return out
         result = response.result
         out.update(
             {
@@ -255,11 +314,12 @@ class HttpFrontend:
                 "stop_reason": result.stop_reason.value,
                 "iterations": int(result.iterations),
                 "true_residual_norm": float(result.true_residual_norm),
+                "warm_started": bool(response.warm_started),
             }
         )
-        if payload.get("return_x", False):
+        if return_x:
             out["x"] = [float(v) for v in np.asarray(result.x)]
-        return 200, "application/json", json.dumps(out)
+        return out
 
     def _build_request(self, payload: dict[str, Any], a: Any) -> SolveRequest:
         b_raw = payload.get("b")

@@ -24,12 +24,21 @@
 * **graceful drain** -- :meth:`SolverService.drain` stops admitting,
   answers everything already queued, then parks the dispatcher.
 
-The solves themselves run on a worker thread (``asyncio.to_thread``),
-one dispatch group at a time, so the event loop keeps admitting and
-shedding while the numerics run.  Repeated solves against the same
-operator hit the process-global :class:`~repro.backend.SetupCache`
-exactly as the ROADMAP promises -- the fingerprint the coalescer groups
-by is the same key the cache memoizes under.
+The solves themselves run on a bounded **worker pool keyed by operator
+fingerprint**: dispatch groups against *different* operators share no
+data dependency and execute concurrently, while groups against the
+*same* operator are chained FIFO on a per-fingerprint lane -- so the
+coalescer's ordering guarantees (and the bit-identical-to-direct
+``solve_batched`` differential) survive the parallelism.  With
+``workers=1`` the dispatcher degrades to the strictly sequential
+one-group-at-a-time behaviour (the baseline arm of
+``benchmarks/bench_serve_throughput.py``).  The event loop keeps
+admitting, shedding and opening the next coalesce window while the
+numerics run.  Repeated solves against the same operator hit the
+process-global :class:`~repro.backend.SetupCache` exactly as the
+ROADMAP promises -- the fingerprint the coalescer groups by is the same
+key the cache memoizes under -- and converged solutions additionally
+seed the cross-request warm start (:mod:`repro.serve.warmstart`).
 """
 
 from __future__ import annotations
@@ -44,10 +53,13 @@ from typing import Any, Awaitable, Callable
 
 import numpy as np
 
+from concurrent.futures import ThreadPoolExecutor
+
 from repro.core.results import CGResult
 from repro.core.stopping import StoppingCriterion
 from repro.serve.admission import AdmissionController
 from repro.serve.coalescer import compat_key, plan_batches
+from repro.serve.warmstart import WarmStartCache
 from repro.trace.context import TraceContext
 
 __all__ = ["ServiceConfig", "SolveRequest", "SolveResponse", "SolverService"]
@@ -102,6 +114,9 @@ class SolveResponse:
     result: CGResult | None = None
     coalesce_width: int = 0
     queue_seconds: float = 0.0
+    #: Whether the solve was seeded from the cross-request warm-start
+    #: cache (and passed the mandatory true-residual verification).
+    warm_started: bool = False
 
     @property
     def ok(self) -> bool:
@@ -159,6 +174,17 @@ class ServiceConfig:
     recent_outcomes:
         How many recently-answered requests :meth:`SolverService.status`
         reports (a bounded ring; oldest entries fall off).
+    workers:
+        Size of the dispatch worker pool.  Groups keyed to *different*
+        operator fingerprints run concurrently, up to this many at
+        once; groups sharing a fingerprint stay FIFO regardless.
+        ``1`` restores the strictly sequential dispatcher (one group at
+        a time, the pre-pool behaviour and the throughput bench's
+        baseline arm).
+    warm_start:
+        Capacity (entry count) of the cross-request warm-start cache
+        (:mod:`repro.serve.warmstart`).  ``0`` disables warm starting
+        entirely.
     """
 
     max_queue_depth: int = 64
@@ -171,11 +197,19 @@ class ServiceConfig:
     flight_ring: int = 256
     postmortem_dir: str | None = None
     recent_outcomes: int = 32
+    workers: int = 4
+    warm_start: int = 64
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
             raise ValueError(
                 f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.warm_start < 0:
+            raise ValueError(
+                f"warm_start capacity must be >= 0, got {self.warm_start}"
             )
         if self.max_coalesce_width < 1:
             raise ValueError(
@@ -285,6 +319,20 @@ class SolverService:
         self._dispatcher: asyncio.Task | None = None
         self._draining = False
         self._stopped = False
+        # Worker pool: lazily-built executor, per-fingerprint FIFO lanes
+        # (lane key -> the completion future of the lane's newest
+        # dispatch), and the set of in-flight dispatch tasks the drain
+        # path awaits.
+        self._executor: ThreadPoolExecutor | None = None
+        self._lane_tails: dict[Any, "asyncio.Future[None]"] = {}
+        self._dispatch_tasks: set[asyncio.Task] = set()
+        self._inflight_dispatches = 0
+        self.peak_inflight_dispatches = 0
+        # Cross-request warm start: converged solutions keyed by
+        # (compat key, RHS digest); every warm-started exit is verified
+        # against the directly-computed true residual before the client
+        # sees it.
+        self.warmstart = WarmStartCache(self.config.warm_start)
         # Plain-int mirrors of the metric counters: the conservation law
         # (served + shed + errors == submitted) the property tests pin.
         self.submitted = 0
@@ -318,6 +366,18 @@ class SolverService:
         )
         self._metric_wait = reg.histogram(
             "repro_serve_queue_seconds", "Admission-to-dispatch latency"
+        )
+        self._metric_workers = reg.gauge(
+            "repro_serve_workers", "Configured dispatch worker-pool size"
+        )
+        self._metric_workers.set(self.config.workers)
+        self._metric_dispatch_inflight = reg.gauge(
+            "repro_serve_dispatch_inflight",
+            "Dispatch groups currently executing on the worker pool",
+        )
+        self._metric_dispatch_inflight_peak = reg.gauge(
+            "repro_serve_dispatch_inflight_peak",
+            "High-water mark of concurrently executing dispatch groups",
         )
 
     # ------------------------------------------------------------------
@@ -362,11 +422,14 @@ class SolverService:
         """Stop admitting, answer everything queued, park the dispatcher.
 
         Every request admitted before the drain began still receives its
-        response; requests submitted after it are shed with reason
-        ``draining``.  Idempotent.
+        response -- including groups already executing on the worker
+        pool: the dispatcher waits for every in-flight dispatch task
+        before the pool shuts down.  Requests submitted after the drain
+        began are shed with reason ``draining``.  Idempotent.
         """
         self._draining = True
         if self._dispatcher is None:
+            await self._finish_dispatches()
             self._stopped = True
             return
         await self._queue.put(None)  # FIFO: lands after all admitted work
@@ -397,22 +460,25 @@ class SolverService:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    async def submit(self, request: SolveRequest) -> SolveResponse:
-        """Admit one request and await its response.
+    def _admit(
+        self, request: SolveRequest
+    ) -> "SolveResponse | asyncio.Future[SolveResponse]":
+        """Synchronous admission core: a shed response or an enqueue.
 
-        Never raises for per-request problems: admission rejections come
-        back as ``status="shed"`` responses, solver failures as
-        ``status="error"`` ones.  The returned response is the single
-        source of truth -- exactly one exists per request id.
+        Returns either an immediate ``status="shed"`` response or the
+        future the dispatcher will resolve.  Deliberately contains no
+        awaits: :meth:`submit_batched` admits a whole block between two
+        scheduling points, so all of its columns land in the queue
+        before the dispatcher can drain it -- the property that lets a
+        batched submission ride ONE coalesced dispatch.
         """
-        await self.start()
         self.submitted += 1
         existing = self._inflight.get(request.request_id)
         if existing is not None:
             # Idempotent resubmission: ride the original solve.
             self.deduped += 1
             self._event("dedup", request)
-            return await asyncio.shield(existing)
+            return existing
         if self._draining:
             return self._shed(request, "draining")
         if not self._admission.admit(request.tenant):
@@ -431,11 +497,55 @@ class SolverService:
         self._metric_depth_peak.set_max(depth)
         self.peak_queue_depth = max(self.peak_queue_depth, depth)
         self._event("admitted", request)
+        return future
+
+    async def _await_admitted(
+        self,
+        request: SolveRequest,
+        outcome: "SolveResponse | asyncio.Future[SolveResponse]",
+    ) -> SolveResponse:
+        if isinstance(outcome, SolveResponse):
+            return outcome
         try:
-            return await asyncio.shield(future)
+            return await asyncio.shield(outcome)
         finally:
-            if future.done():
+            if outcome.done():
                 self._inflight.pop(request.request_id, None)
+
+    async def submit(self, request: SolveRequest) -> SolveResponse:
+        """Admit one request and await its response.
+
+        Never raises for per-request problems: admission rejections come
+        back as ``status="shed"`` responses, solver failures as
+        ``status="error"`` ones.  The returned response is the single
+        source of truth -- exactly one exists per request id.
+        """
+        await self.start()
+        return await self._await_admitted(request, self._admit(request))
+
+    async def submit_batched(
+        self, requests: list[SolveRequest]
+    ) -> list[SolveResponse]:
+        """Admit a block of requests together and await every response.
+
+        The whole block is admitted synchronously -- no scheduling point
+        between columns -- so compatible columns are all in the queue
+        when the dispatcher wakes and coalesce into one
+        :func:`repro.solve_batched` call (bit-identical to calling it
+        directly, per the differential tests).  Each column still gets
+        its own admission decision: a rate-limited or queue-full column
+        sheds individually without poisoning its siblings.
+        """
+        await self.start()
+        outcomes = [self._admit(request) for request in requests]
+        return list(
+            await asyncio.gather(
+                *(
+                    self._await_admitted(request, outcome)
+                    for request, outcome in zip(requests, outcomes)
+                )
+            )
+        )
 
     async def solve(
         self,
@@ -553,6 +663,13 @@ class SolverService:
             "deduped": self.deduped,
             "operators": self.operators,
             "tenants": tenants,
+            "workers": {
+                "configured": self.config.workers,
+                "inflight_dispatches": self._inflight_dispatches,
+                "peak_inflight_dispatches": self.peak_inflight_dispatches,
+                "active_lanes": len(self._lane_tails),
+            },
+            "warm_start": self.warmstart.stats(),
             "recent": list(self.recent),
             "postmortems_written": (
                 [str(p) for p in self.recorder.written]
@@ -571,6 +688,7 @@ class SolverService:
     async def _run_dispatcher(self) -> None:
         config = self.config
         sleep = config.sleep if config.sleep is not None else asyncio.sleep
+        sequential = config.workers == 1
         while not self._stopped:
             first = await self._queue.get()
             if first is None:
@@ -595,49 +713,187 @@ class SolverService:
             for group in plan_batches(
                 batch, key=lambda p: p.key, max_width=config.max_coalesce_width
             ):
-                await self._dispatch_group(group)
+                if sequential:
+                    # workers=1: the pre-pool dispatcher, one group at a
+                    # time with the loop head-of-line blocked on it.
+                    await self._dispatch_group(group)
+                else:
+                    self._spawn_dispatch(group)
             if saw_sentinel:
                 break
+        await self._finish_dispatches()
         self._stopped = True
 
-    async def _dispatch_group(self, group: list[_Pending]) -> None:
-        now = self.config.clock()
-        width = len(group)
-        self._metric_width.observe(width)
-        for pending in group:
-            waited = max(0.0, now - pending.submitted_at)
-            self._metric_wait.observe(waited)
-            self._event(
-                "dispatch", pending.request, detail=f"width={width}"
+    def _lane_key(self, group: list[_Pending]) -> Any:
+        """The FIFO lane a dispatch group serializes on.
+
+        Groups against the same operator share a lane (keyed by the
+        operator's content fingerprint) so their relative order -- and
+        with it the coalescing and bit-identical-to-direct-batched
+        guarantees -- is exactly what the sequential dispatcher gave.
+        Unfingerprintable operators (bare callables without a
+        ``fingerprint()`` hook) get a private lane object: they can
+        never coalesce with anything, so there is no order to protect.
+        """
+        from repro.backend import matrix_fingerprint
+
+        try:
+            fingerprint = matrix_fingerprint(group[0].request.a)
+        except Exception:
+            fingerprint = None
+        if fingerprint is None:
+            return object()
+        return ("op", fingerprint)
+
+    def _spawn_dispatch(self, group: list[_Pending]) -> None:
+        """Queue one dispatch group onto its lane (worker-pool mode).
+
+        The lane tail is claimed *synchronously* -- before the dispatch
+        task first runs -- so two same-lane groups spawned back-to-back
+        chain in spawn order no matter how the event loop schedules
+        their tasks.
+        """
+        loop = asyncio.get_running_loop()
+        lane = self._lane_key(group)
+        prev = self._lane_tails.get(lane)
+        done: "asyncio.Future[None]" = loop.create_future()
+        self._lane_tails[lane] = done
+        task = loop.create_task(
+            self._dispatch_group(group, prev=prev, done=done, lane=lane)
+        )
+        self._dispatch_tasks.add(task)
+        task.add_done_callback(self._dispatch_tasks.discard)
+
+    async def _finish_dispatches(self) -> None:
+        """Await every in-flight dispatch task, then park the pool."""
+        while self._dispatch_tasks:
+            await asyncio.gather(
+                *list(self._dispatch_tasks), return_exceptions=True
             )
-        responses = await asyncio.to_thread(self._solve_group, group)
-        for pending, response in zip(group, responses):
-            response.queue_seconds = max(0.0, now - pending.submitted_at)
-            if response.ok:
-                self.served += 1
-                self._metric_requests["ok"].inc()
-            else:
-                self.errors += 1
-                self._metric_requests["error"].inc()
-            self._count_tenant(response.status, pending.request.tenant)
-            self._record_outcome(pending.request, response)
-            self._event("respond", pending.request, detail=response.status)
-            if not pending.future.done():
-                pending.future.set_result(response)
+        self._lane_tails.clear()
+        pool, self._executor = self._executor, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="repro-serve",
+            )
+        return self._executor
+
+    async def _dispatch_group(
+        self,
+        group: list[_Pending],
+        *,
+        prev: "asyncio.Future[None] | None" = None,
+        done: "asyncio.Future[None] | None" = None,
+        lane: Any = None,
+    ) -> None:
+        try:
+            if prev is not None:
+                # FIFO within the lane: wait for the previous same-
+                # operator dispatch to finish before this one starts.
+                await prev
+            now = self.config.clock()
+            width = len(group)
+            self._metric_width.observe(width)
+            for pending in group:
+                waited = max(0.0, now - pending.submitted_at)
+                self._metric_wait.observe(waited)
+                self._event(
+                    "dispatch", pending.request, detail=f"width={width}"
+                )
+            self._inflight_dispatches += 1
+            self.peak_inflight_dispatches = max(
+                self.peak_inflight_dispatches, self._inflight_dispatches
+            )
+            self._metric_dispatch_inflight.set(self._inflight_dispatches)
+            self._metric_dispatch_inflight_peak.set_max(
+                self._inflight_dispatches
+            )
+            try:
+                if self.config.workers == 1:
+                    responses = await asyncio.to_thread(
+                        self._solve_group, group
+                    )
+                else:
+                    responses = await asyncio.get_running_loop().run_in_executor(
+                        self._pool(), self._solve_group, group
+                    )
+            finally:
+                self._inflight_dispatches -= 1
+                self._metric_dispatch_inflight.set(self._inflight_dispatches)
+            for pending, response in zip(group, responses):
+                response.queue_seconds = max(0.0, now - pending.submitted_at)
+                self._account_response(pending, response)
+        except Exception as exc:  # noqa: BLE001 -- answer, don't leak
+            # The solve half never raises (it answers errors in-band);
+            # this covers executor-level failures (e.g. a pool shut down
+            # mid-flight).  Conservation demands every member still gets
+            # exactly one response.
+            reason = f"{type(exc).__name__}: {exc}"
+            for pending in group:
+                if pending.future.done():
+                    continue
+                response = SolveResponse(
+                    request_id=pending.request.request_id,
+                    tenant=pending.request.tenant,
+                    status="error",
+                    reason=reason,
+                    coalesce_width=len(group),
+                )
+                self._account_response(pending, response)
+        finally:
+            if done is not None and not done.done():
+                done.set_result(None)
+            if lane is not None and self._lane_tails.get(lane) is done:
+                # Last dispatch on this lane: drop the tail entry so the
+                # lane table stays bounded by *active* operators.
+                del self._lane_tails[lane]
+
+    def _account_response(
+        self, pending: _Pending, response: SolveResponse
+    ) -> None:
+        """Terminal accounting for one served/errored request
+        (event-loop thread only -- the counters are unsynchronized)."""
+        if response.ok:
+            self.served += 1
+            self._metric_requests["ok"].inc()
+        else:
+            self.errors += 1
+            self._metric_requests["error"].inc()
+        self._count_tenant(response.status, pending.request.tenant)
+        self._record_outcome(pending.request, response)
+        self._event("respond", pending.request, detail=response.status)
+        if not pending.future.done():
+            pending.future.set_result(response)
 
     # -- the worker-thread half ----------------------------------------
     def _solve_group(self, group: list[_Pending]) -> list[SolveResponse]:
-        """Run one dispatch group to completion (worker thread).
+        """Run one dispatch group to completion (worker-pool thread).
 
         A raising solve must not take the service down, must not leave
         the telemetry session unbalanced (the JsonlSink tail-loss
         guarantee extends to the service path), and must answer *every*
         member of the group -- the error responses carry the exception.
+
+        Concurrency: each dispatch runs under a *worker view* of the
+        session (:meth:`repro.telemetry.Telemetry.worker_view`) -- own
+        bracket stack, own tracer -- so concurrent groups cannot
+        interleave their solve brackets or span records.  The view's
+        balanced record block is merged back into the session tracer
+        when the dispatch finishes, preserving PR 9's request-correlated
+        span attribution exactly.
         """
         from repro.registry import solve, solve_batched
 
-        telemetry = self.telemetry
-        tracer = telemetry.tracer if telemetry is not None else None
+        session = self.telemetry
+        view_maker = getattr(session, "worker_view", None)
+        telemetry = view_maker() if callable(view_maker) else session
+        tracer = getattr(telemetry, "tracer", None)
+        parent_tracer = getattr(session, "tracer", None)
         width = len(group)
         ids = [p.request.request_id for p in group]
         span_name = "request_batch" if width > 1 else "request"
@@ -666,16 +922,33 @@ class SolverService:
                 width=width,
                 tenants=",".join(sorted({p.request.tenant for p in group})),
             )
+        finalized = False
+
+        def finalize() -> None:
+            # Close the request span, deactivate the context, and merge
+            # the worker view's balanced record block into the session
+            # tracer.  Runs exactly once, on both the happy and the
+            # failure path (the failure path runs it early so the
+            # postmortem snapshot sees the merged spans).
+            nonlocal finalized
+            if finalized:
+                return
+            finalized = True
+            if tracer is not None:
+                tracer.end(span_name)
+            if callable(pop_context) and callable(push_context):
+                pop_context()
+            if (
+                parent_tracer is not None
+                and tracer is not None
+                and tracer is not parent_tracer
+            ):
+                parent_tracer.absorb(tracer)
+
         try:
+            warm_flags = [False] * width
             if width == 1:
-                request = group[0].request
-                options = dict(request.options)
-                if request.stop is not None:
-                    options.setdefault("stop", request.stop)
-                result = solve(
-                    request.a, request.b, request.method,
-                    telemetry=telemetry, **options,
-                )
+                result, warm_flags[0] = self._solve_single(group[0], telemetry)
                 results = [result]
             else:
                 first = group[0].request
@@ -688,6 +961,16 @@ class SolverService:
                     telemetry=telemetry, **options,
                 )
                 results = [batched.column(j) for j in range(width)]
+                # Converged columns seed the warm-start cache: a later
+                # single request repeating any of these right-hand sides
+                # starts from the converged answer.  Batched dispatches
+                # themselves never *consume* seeds -- injecting x0 would
+                # break the bit-identical-to-direct-batched guarantee.
+                for pending, result in zip(group, results):
+                    if pending.key is not None and result.converged:
+                        self.warmstart.store(
+                            pending.key, pending.request.b, result.x
+                        )
             return [
                 SolveResponse(
                     request_id=p.request.request_id,
@@ -695,15 +978,17 @@ class SolverService:
                     status="ok",
                     result=r,
                     coalesce_width=width,
+                    warm_started=w,
                 )
-                for p, r in zip(group, results)
+                for p, r, w in zip(group, results, warm_flags)
             ]
         except Exception as exc:  # noqa: BLE001 -- answered, not swallowed
             # solve()/solve_batched() already unwound their own bracket;
             # this also covers failures outside the front door (stacking,
             # option validation) and flushes buffered sinks either way.
             telemetry.unwind(depth)
-            notify = getattr(telemetry, "notify_failure", None)
+            finalize()
+            notify = getattr(session, "notify_failure", None)
             if callable(notify):
                 # The flight recorder dedups per exception object, so a
                 # failure the registry already snapshotted is not
@@ -721,7 +1006,104 @@ class SolverService:
                 for p in group
             ]
         finally:
-            if tracer is not None:
-                tracer.end(span_name)
-            if callable(pop_context) and callable(push_context):
-                pop_context()
+            finalize()
+
+    def _solve_single(
+        self, pending: _Pending, telemetry: Any
+    ) -> tuple[CGResult, bool]:
+        """One width-1 dispatch, warm-started when the cache allows it.
+
+        Returns ``(result, warm_started)``.  The warm path is
+        trust-but-verify: a cache hit seeds ``x0``, and the resulting
+        solve only reaches the client after
+        :meth:`_verify_warm_result` recomputes the true residual
+        directly -- a failed verification drops the seed and re-solves
+        cold, so a poisoned or stale cache entry costs time, never
+        correctness.
+        """
+        from repro.registry import solve, warmstartable_methods
+
+        request = pending.request
+        options = dict(request.options)
+        if request.stop is not None:
+            options.setdefault("stop", request.stop)
+        seed = None
+        eligible = (
+            self.warmstart.enabled
+            and pending.key is not None
+            and "x0" not in options
+            and request.method in warmstartable_methods()
+        )
+        if eligible:
+            seed = self.warmstart.lookup(pending.key, request.b)
+        if seed is not None:
+            depth = telemetry.open_solves
+            try:
+                warm = solve(
+                    request.a, request.b, request.method,
+                    telemetry=telemetry, x0=seed, **options,
+                )
+            except Exception:
+                # A seed the solver itself rejects (bad values the cache
+                # validation missed) must cost a retry, never turn a
+                # servable request into an error response.  Rebalance any
+                # bracket the aborted solve left open before going cold.
+                telemetry.unwind(depth)
+                warm = None
+            if warm is not None and self._verify_warm_result(
+                request, options, warm
+            ):
+                self._count_warmstart("hit")
+                return warm, True
+            # Verification failed: the seed earned no trust.  Drop it,
+            # count the rejection, and answer from a cold start.
+            self.warmstart.reject(pending.key, request.b)
+            self._count_warmstart("rejected")
+        elif eligible:
+            self._count_warmstart("miss")
+        result = solve(
+            request.a, request.b, request.method,
+            telemetry=telemetry, **options,
+        )
+        if eligible and result.converged:
+            self.warmstart.store(pending.key, request.b, result.x)
+            self._count_warmstart("stored")
+        return result, False
+
+    def _verify_warm_result(
+        self, request: SolveRequest, options: dict[str, Any], result: CGResult
+    ) -> bool:
+        """Mandatory true-residual check on a warm-started exit.
+
+        Inherited ``x0`` error is exactly the drift a recurred residual
+        hides (Cools et al.), so the solver's own convergence claim is
+        not taken at face value: the residual is recomputed here, from
+        scratch, with one independent operator application.  The
+        acceptance bound mirrors :func:`repro.core.results.verified_exit`
+        -- the family-wide rule that a CONVERGED claim more than 100x
+        above the stopping threshold is not trustworthy.
+        """
+        if result is None or not result.converged:
+            return False
+        try:
+            x = np.asarray(result.x)
+            matvec = getattr(request.a, "matvec", None)
+            ax = matvec(x) if callable(matvec) else request.a @ x
+            b = np.asarray(request.b)
+            residual = float(np.linalg.norm(b - np.asarray(ax)))
+            stop = options.get("stop")
+            if not isinstance(stop, StoppingCriterion):
+                stop = StoppingCriterion()
+            threshold = stop.threshold(float(np.linalg.norm(b)))
+        except Exception:
+            # An operator that cannot be applied here cannot be
+            # verified here; the cold path's own guarantees apply.
+            return False
+        return residual <= 100.0 * threshold
+
+    def _count_warmstart(self, outcome: str) -> None:
+        self.metrics.counter(
+            "repro_serve_warmstart_total",
+            "Warm-start cache outcomes per eligible dispatch",
+            outcome=outcome,
+        ).inc()

@@ -467,6 +467,41 @@ class Telemetry:
         if callable(bind):
             bind(self)
 
+    def worker_view(self) -> "Telemetry":
+        """A view of this session safe to drive from one worker thread.
+
+        The serve layer's worker pool runs several dispatches
+        concurrently, but a session's solve-bracket list and tracer
+        record list assume one solve at a time: two threads pushing
+        brackets on ``_active`` or begin/end marks on one tracer would
+        interleave unrelated dispatches.  A worker view shares
+        everything that is already concurrency-tolerant -- the sinks
+        (without rebinding: ``bind_session`` backrefs such as the flight
+        recorder's stay on the parent), the health monitor (whose
+        per-solve state is thread-local), the context stack object
+        (itself thread-local, so the worker's pushes are invisible to
+        other threads) -- and owns the rest: its own bracket list and a
+        fresh tracer whose balanced record block the caller merges back
+        via ``parent.tracer.absorb(view.tracer)`` when the dispatch
+        finishes.
+        """
+        view = Telemetry.__new__(Telemetry)
+        view._sinks = self._sinks
+        view.capture_iterates = self.capture_iterates
+        view.iterates = self.iterates
+        view.on_state = self.on_state
+        view.count_ops = self.count_ops
+        view.health = self.health
+        view._active = []
+        view._ctxlocal = self._ctxlocal
+        if self.tracer is not None:
+            from repro.trace.spans import Tracer
+
+            view.tracer = Tracer(trace_id=self.tracer.trace_id)
+        else:
+            view.tracer = None
+        return view
+
     def notify_solve_call(
         self, a: Any, b: Any, method: str, options: dict[str, Any]
     ) -> None:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -124,16 +125,90 @@ class FlightRecorder:
         self._clock = clock
         self._events: deque[tuple[float, Any]] = deque(maxlen=self.ring)
         self._session: Any = None
-        self._call: dict[str, Any] | None = None
-        self._residuals: list[float] = []
-        self._k_history: list[dict[str, Any]] = []
-        self._comm: dict[str, dict[str, int]] = {}
-        self._faults: list[dict[str, Any]] = []
-        self._solve_info: dict[str, Any] | None = None
+        # Per-solve accumulators are thread-local: the serve layer's
+        # worker pool runs concurrent solves through one recorder, and a
+        # failure snapshot must capture the *failing thread's* solve, not
+        # whichever solve last emitted on another worker.  The event ring
+        # stays shared (deque appends are atomic) so the telemetry tail
+        # keeps its cross-request production semantics.
+        self._solvelocal = threading.local()
         self.snapshots = 0
         self.last_bundle: dict[str, Any] | None = None
         self.written: list[Path] = []
-        self._last_failure: BaseException | None = None
+
+    # Thread-local per-solve accumulators, exposed as plain attributes so
+    # the emit/snapshot bodies read naturally.
+    @property
+    def _call(self) -> dict[str, Any] | None:
+        return getattr(self._solvelocal, "call", None)
+
+    @_call.setter
+    def _call(self, value: dict[str, Any] | None) -> None:
+        self._solvelocal.call = value
+
+    @property
+    def _residuals(self) -> list[float]:
+        try:
+            return self._solvelocal.residuals
+        except AttributeError:
+            self._solvelocal.residuals = []
+            return self._solvelocal.residuals
+
+    @_residuals.setter
+    def _residuals(self, value: list[float]) -> None:
+        self._solvelocal.residuals = value
+
+    @property
+    def _k_history(self) -> list[dict[str, Any]]:
+        try:
+            return self._solvelocal.k_history
+        except AttributeError:
+            self._solvelocal.k_history = []
+            return self._solvelocal.k_history
+
+    @_k_history.setter
+    def _k_history(self, value: list[dict[str, Any]]) -> None:
+        self._solvelocal.k_history = value
+
+    @property
+    def _comm(self) -> dict[str, dict[str, int]]:
+        try:
+            return self._solvelocal.comm
+        except AttributeError:
+            self._solvelocal.comm = {}
+            return self._solvelocal.comm
+
+    @_comm.setter
+    def _comm(self, value: dict[str, dict[str, int]]) -> None:
+        self._solvelocal.comm = value
+
+    @property
+    def _faults(self) -> list[dict[str, Any]]:
+        try:
+            return self._solvelocal.faults
+        except AttributeError:
+            self._solvelocal.faults = []
+            return self._solvelocal.faults
+
+    @_faults.setter
+    def _faults(self, value: list[dict[str, Any]]) -> None:
+        self._solvelocal.faults = value
+
+    @property
+    def _solve_info(self) -> dict[str, Any] | None:
+        return getattr(self._solvelocal, "solve_info", None)
+
+    @_solve_info.setter
+    def _solve_info(self, value: dict[str, Any] | None) -> None:
+        self._solvelocal.solve_info = value
+
+    @property
+    def _last_failure(self) -> BaseException | None:
+        return getattr(self._solvelocal, "last_failure", None)
+
+    @_last_failure.setter
+    def _last_failure(self, value: BaseException | None) -> None:
+        self._solvelocal.last_failure = value
 
     # ------------------------------------------------------------------
     # sink protocol (+ session hooks)

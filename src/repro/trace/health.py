@@ -33,6 +33,7 @@ surfaces them through ``/healthz?detail=1`` and ``/status``.
 from __future__ import annotations
 
 import math
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
@@ -130,11 +131,54 @@ class HealthMonitor:
         self.stagnation_rtol = float(stagnation_rtol)
         self.trend_decay = float(trend_decay)
         self.history: deque[HealthSummary] = deque(maxlen=max(1, int(history)))
-        self._current: HealthSummary | None = None
-        self._best_res = math.inf
-        self._best_iteration = 0
-        self._stagnation_reported_at = -1
-        self._max_abs_gap = 0.0
+        # Per-solve estimator state is thread-local: one monitor is
+        # shared across the serve layer's worker pool, where several
+        # solves run concurrently on different threads.  Each thread
+        # tracks its own in-flight solve; the history ring (deque
+        # appends are atomic under the GIL) aggregates all of them.
+        self._solvelocal = threading.local()
+
+    # Thread-local per-solve fields.  Properties keep the estimator
+    # method bodies written against plain attributes.
+    @property
+    def _current(self) -> HealthSummary | None:
+        return getattr(self._solvelocal, "current", None)
+
+    @_current.setter
+    def _current(self, value: HealthSummary | None) -> None:
+        self._solvelocal.current = value
+
+    @property
+    def _best_res(self) -> float:
+        return getattr(self._solvelocal, "best_res", math.inf)
+
+    @_best_res.setter
+    def _best_res(self, value: float) -> None:
+        self._solvelocal.best_res = value
+
+    @property
+    def _best_iteration(self) -> int:
+        return getattr(self._solvelocal, "best_iteration", 0)
+
+    @_best_iteration.setter
+    def _best_iteration(self, value: int) -> None:
+        self._solvelocal.best_iteration = value
+
+    @property
+    def _stagnation_reported_at(self) -> int:
+        return getattr(self._solvelocal, "stagnation_reported_at", -1)
+
+    @_stagnation_reported_at.setter
+    def _stagnation_reported_at(self, value: int) -> None:
+        self._solvelocal.stagnation_reported_at = value
+
+    @property
+    def _max_abs_gap(self) -> float:
+        return getattr(self._solvelocal, "max_abs_gap", 0.0)
+
+    @_max_abs_gap.setter
+    def _max_abs_gap(self, value: float) -> None:
+        self._solvelocal.max_abs_gap = value
 
     # ------------------------------------------------------------------
     # feeding (called by Telemetry)

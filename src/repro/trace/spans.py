@@ -169,6 +169,20 @@ class Tracer:
         """
         self._records.append(("C", ctx, self._clock()))
 
+    def absorb(self, other: "Tracer") -> None:
+        """Merge another tracer's records into this one.
+
+        The serve layer's worker pool records each dispatch on a
+        per-worker tracer (concurrent begin/end on one shared record
+        list would interleave two dispatches into a corrupt tree) and
+        merges the finished dispatch back into the session tracer here.
+        Each dispatch's block is balanced -- the worker closes its spans
+        and deactivates its context before the merge -- so a single
+        list-extend keeps the forest well-formed, and the extend itself
+        is atomic under the GIL.
+        """
+        self._records.extend(other._records)
+
     # -- convenience ---------------------------------------------------
     @contextmanager
     def span(self, name: str) -> Iterator[None]:

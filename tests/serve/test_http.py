@@ -314,3 +314,126 @@ def test_metrics_route_exports_tenant_series():
         'repro_serve_tenant_requests_total{status="ok",tenant="alice"} 1'
         in text
     )
+
+
+def test_solve_batched_roundtrip_matches_direct():
+    from repro import solve_batched as direct_batched
+
+    gate = GatedSleep()
+    bs = [list(np.eye(N)[j]) for j in range(4)]
+
+    async def main():
+        svc = service(coalesce_window=10.0, sleep=gate)
+        async with HttpFrontend(svc, port=0) as front:
+            host, port = front.address
+            gate.open_gate()  # windows elapse immediately
+            return await http(
+                host, port, "POST", "/solve_batched",
+                {"operator": "poisson", "bs": bs, "return_x": True},
+            )
+
+    status, body = asyncio.run(main())
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["count"] == 4
+    # One atomic admission: all four columns rode ONE fused dispatch.
+    assert [r["coalesce_width"] for r in body["results"]] == [4] * 4
+    assert all(r["converged"] for r in body["results"])
+    # Bit-identical to calling solve_batched directly.
+    reference = direct_batched(A, np.asarray(bs, dtype=np.float64).T, "cg")
+    for j, record in enumerate(body["results"]):
+        assert np.array_equal(np.asarray(record["x"]), reference.column(j).x)
+
+
+def test_solve_batched_validation_and_status_mapping():
+    async def main():
+        svc = service()
+        async with HttpFrontend(svc, port=0) as front:
+            host, port = front.address
+            results = {}
+            results["missing_bs"] = await http(
+                host, port, "POST", "/solve_batched", {"operator": "poisson"}
+            )
+            results["empty_bs"] = await http(
+                host, port, "POST", "/solve_batched",
+                {"operator": "poisson", "bs": []},
+            )
+            results["ragged_row"] = await http(
+                host, port, "POST", "/solve_batched",
+                {"operator": "poisson", "bs": [[1.0] * N, [1.0, 2.0]]},
+            )
+            results["unknown_operator"] = await http(
+                host, port, "POST", "/solve_batched",
+                {"operator": "nope", "bs": [[1.0] * N]},
+            )
+            results["bad_method_verb"] = await http(
+                host, port, "GET", "/solve_batched"
+            )
+            # Per-column solver failure maps the aggregate to 500, with
+            # each column's record carrying the reason.
+            results["solver_error"] = await http(
+                host, port, "POST", "/solve_batched",
+                {
+                    "operator": "poisson",
+                    "bs": [[1.0] * N],
+                    "options": {"bogus_option": True},
+                },
+            )
+        return results
+
+    results = asyncio.run(main())
+    assert results["missing_bs"][0] == 400
+    assert results["empty_bs"][0] == 400
+    assert results["ragged_row"][0] == 400
+    assert results["unknown_operator"][0] == 404
+    assert results["bad_method_verb"][0] == 405
+    status, body = results["solver_error"]
+    assert status == 500
+    assert body["status"] == "error"
+    assert body["results"][0]["status"] == "error"
+    assert body["results"][0]["reason"]
+
+
+def test_solve_batched_shed_columns_map_to_shed_status():
+    clock = FakeClock()
+
+    async def main():
+        # burst=2: the third column sheds individually while its two
+        # siblings are served.
+        svc = service(tenant_rate=1.0, tenant_burst=2.0, clock=clock)
+        async with HttpFrontend(svc, port=0) as front:
+            host, port = front.address
+            return await http(
+                host, port, "POST", "/solve_batched",
+                {"operator": "poisson", "bs": [[1.0] * N] * 3},
+            )
+
+    status, body = asyncio.run(main())
+    assert status == 429
+    assert body["status"] == "shed"
+    statuses = [r["status"] for r in body["results"]]
+    assert statuses.count("ok") == 2 and statuses.count("shed") == 1
+    shed = next(r for r in body["results"] if r["status"] == "shed")
+    assert shed["reason"] == "rate_limited"
+
+
+def test_solve_reports_warm_started():
+    async def main():
+        svc = service()
+        async with HttpFrontend(svc, port=0) as front:
+            host, port = front.address
+            first = await http(
+                host, port, "POST", "/solve",
+                {"operator": "poisson", "b": [1.0] * N},
+            )
+            second = await http(
+                host, port, "POST", "/solve",
+                {"operator": "poisson", "b": [1.0] * N},
+            )
+        return first, second
+
+    (s1, b1), (s2, b2) = asyncio.run(main())
+    assert s1 == s2 == 200
+    assert b1["warm_started"] is False
+    assert b2["warm_started"] is True
+    assert b2["converged"] is True

@@ -58,8 +58,13 @@ def build_request(index: int, spec: tuple[str, str]) -> SolveRequest:
     specs=st.lists(ENTRIES, min_size=1, max_size=10),
     max_queue_depth=st.integers(min_value=1, max_value=8),
     max_width=st.integers(min_value=1, max_value=8),
+    workers=st.sampled_from([1, 4]),
 )
-def test_conservation_and_bounded_queue(specs, max_queue_depth, max_width):
+def test_conservation_and_bounded_queue(
+    specs, max_queue_depth, max_width, workers
+):
+    # workers=1 is the sequential dispatcher, workers=4 the fingerprint-
+    # keyed pool: the invariants must hold identically in both modes.
     requests = [build_request(i, spec) for i, spec in enumerate(specs)]
     gate = GatedSleep()
 
@@ -69,6 +74,7 @@ def test_conservation_and_bounded_queue(specs, max_queue_depth, max_width):
             coalesce_window=10.0,
             max_coalesce_width=max_width,
             sleep=gate,
+            workers=workers,
         )
         async with SolverService(config) as svc:
             tasks = [

@@ -357,3 +357,56 @@ class TestEnvVarDiagnostics:
         b = np.ones(a.nrows)
         with pytest.raises(ValueError, match="REPRO_BACKEND"):
             solve(a, b, method="cg")
+
+
+# ----------------------------------------------------------------------
+# lifecycle: the pool must be releasable (regression: leaked executor)
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    @staticmethod
+    def _live_pool_threads():
+        import threading
+
+        return [
+            t for t in threading.enumerate()
+            if t.name.startswith("repro-backend")
+        ]
+
+    def test_close_joins_pool_threads(self):
+        # Constructed directly: feature detection (>= 2 CPUs) must not
+        # gate the leak regression on single-core CI hosts.
+        bk = ThreadedBackend(min_size=1)
+        before = len(self._live_pool_threads())
+        x = np.ones(1 << 10)
+        out = np.empty_like(x)
+        bk.axpy(2.0, x, x, out=out)
+        assert len(self._live_pool_threads()) > before  # pool spun up
+        bk.close()
+        assert len(self._live_pool_threads()) == before  # joined, not leaked
+        bk.close()  # idempotent
+        # The backend stays usable: the next kernel starts a fresh pool.
+        bk.axpy(2.0, x, x, out=out)
+        assert np.array_equal(out, 3.0 * x)
+        bk.close()
+
+    def test_close_without_use_is_a_noop(self):
+        ThreadedBackend(min_size=1).close()
+
+    def test_context_manager_closes(self):
+        x = np.ones(1 << 10)
+        out = np.empty_like(x)
+        with ThreadedBackend(min_size=1) as bk:
+            bk.axpy(1.0, x, x, out=out)
+            assert self._live_pool_threads()
+        assert not self._live_pool_threads()
+
+    def test_close_backends_releases_shared_instances(self, monkeypatch):
+        from repro.backend import close_backends
+
+        bk = ThreadedBackend(min_size=1)
+        x = np.ones(1 << 10)
+        bk.axpy(1.0, x, x, out=np.empty_like(x))
+        monkeypatch.setitem(backend_mod._INSTANCES, "threaded-test", bk)
+        close_backends()
+        assert not self._live_pool_threads()
+        assert backend_mod._INSTANCES == {}

@@ -207,7 +207,9 @@ def test_bench_serve_smoke_emits_json(tmp_path):
     bench = _load_by_path("bench_serve_throughput", SERVE_BENCH_PATH)
     out = tmp_path / "BENCH_serve.json"
     payload = bench.run(
-        grid=8, clients=4, repeats=1, window_ms=5.0, out_path=out
+        grid=8, clients=4, repeats=1, window_ms=5.0, out_path=out,
+        mixed_grids=(6, 8), mixed_clients_per_op=2, mixed_rounds=2,
+        mixed_window_ms=5.0, mixed_repeats=1,
     )
 
     on_disk = json.loads(out.read_text())
@@ -225,3 +227,17 @@ def test_bench_serve_smoke_emits_json(tmp_path):
     # the full-scale benchmark run, not a shared CI runner.
     assert max(record["coalesce_widths"]) > 1
     assert len(record["iterations"]) == 4
+
+    # The mixed-operator (worker pool vs single dispatcher) scenario
+    # emits its record too; again no speedup floor at smoke scale --
+    # the bench itself asserts conservation and bit-identical results
+    # on every run, including this one.
+    mixed = on_disk["mixed_operator"]
+    assert mixed["distinct_fingerprints"] == 2
+    assert mixed["clients"] == 4
+    assert mixed["requests"] == 8
+    assert mixed["pool_seconds"] > 0.0
+    assert mixed["single_worker_seconds"] > 0.0
+    assert mixed["speedup"] > 0.0
+    assert mixed["workers"] > 1
+    assert sum(mixed["pool_coalesce_widths"].values()) == 8
