@@ -46,6 +46,7 @@ from repro.core.results import BatchedResult, CGResult, StopReason
 __all__ = [
     "solve",
     "solve_batched",
+    "effective_stop",
     "register",
     "register_batched",
     "available_methods",
@@ -507,6 +508,45 @@ def _notify_solve_call(
         notify(a, b, method, options)
 
 
+def effective_stop(a: Any, b: Any, options: dict, x0: Any = None) -> Any:
+    """The stopping criterion a ``solve(a, b, x0=x0, **options)`` call
+    actually runs under.
+
+    Mirrors the front door exactly: an absent (or ``None``) ``stop``
+    means the family default, and an initial guess triggers the ``b = 0``
+    threshold rescue (:meth:`StoppingCriterion.with_initial_residual`,
+    see :func:`_rescue_zero_threshold`).  Callers that need to judge a
+    finished solve against its own tolerance -- the serve layer's
+    warm-start verification, for one -- resolve it here instead of
+    re-deriving the rule locally and silently diverging from what the
+    solver enforced.  ``x0`` defaults to ``options["x0"]`` when not
+    passed separately.
+    """
+    from repro.core.stopping import StoppingCriterion
+
+    stop = options.get("stop") or StoppingCriterion()
+    if not isinstance(stop, StoppingCriterion):
+        return StoppingCriterion()
+    if x0 is None:
+        x0 = options.get("x0")
+    if x0 is None:
+        return stop
+    try:
+        arr = np.asarray(b)
+        if arr.dtype.kind not in "fc":
+            arr = arr.astype(np.float64)
+        b_norm = float(np.linalg.norm(arr))
+        if stop.threshold(b_norm) > 0.0:
+            return stop
+        x0_arr = np.asarray(x0)
+        matvec = getattr(a, "matvec", None)
+        ax0 = matvec(x0_arr) if callable(matvec) else a @ x0_arr
+        r0_norm = float(np.linalg.norm(arr - ax0))
+    except Exception:
+        return stop  # malformed b/x0: the solver's own validation diagnoses it
+    return stop.with_initial_residual(b_norm, r0_norm)
+
+
 def _rescue_zero_threshold(a: Any, b: Any, options: dict) -> None:
     """Make the stopping rule satisfiable when ``x0`` disabled the
     ``b = 0`` short-circuit.
@@ -514,30 +554,17 @@ def _rescue_zero_threshold(a: Any, b: Any, options: dict) -> None:
     With ``b = 0`` and a caller-supplied ``x0``, a pure-``rtol``
     criterion has threshold exactly 0 and the solver would stall through
     its whole budget.  Rewrite ``options["stop"]`` via
-    :meth:`StoppingCriterion.with_initial_residual` using
-    ``‖r⁰‖ = ‖b − A x0‖`` (one matvec, only in this corner).
+    :func:`effective_stop` using ``‖r⁰‖ = ‖b − A x0‖`` (one matvec, only
+    in this corner).
     """
     if options.get("x0") is None:
         return
     from repro.core.stopping import StoppingCriterion
 
-    stop = options.get("stop") or StoppingCriterion()
-    if not isinstance(stop, StoppingCriterion):
+    stop = options.get("stop")
+    if stop is not None and not isinstance(stop, StoppingCriterion):
         return
-    try:
-        arr = np.asarray(b)
-        if arr.dtype.kind not in "fc":
-            arr = arr.astype(np.float64)
-        b_norm = float(np.linalg.norm(arr))
-        if stop.threshold(b_norm) > 0.0:
-            return
-        x0 = np.asarray(options["x0"])
-        matvec = getattr(a, "matvec", None)
-        ax0 = matvec(x0) if callable(matvec) else a @ x0
-        r0_norm = float(np.linalg.norm(arr - ax0))
-    except Exception:
-        return  # malformed b/x0: the solver's own validation diagnoses it
-    options["stop"] = stop.with_initial_residual(b_norm, r0_norm)
+    options["stop"] = effective_stop(a, b, options)
 
 
 def _consume_trace(telemetry: Any, options: dict) -> Any:

@@ -247,6 +247,13 @@ class HttpFrontend:
         The per-column records mirror ``POST /solve`` responses exactly;
         the aggregate HTTP status is the worst column outcome so load
         generators and retry loops can branch on the status line alone.
+
+        A caller-supplied ``request_id`` names the *batch*: each column
+        gets the derived id ``{request_id}-{i}``.  Copying the one id
+        into every column verbatim would make columns 2..N dedup onto
+        column 1's in-flight future (``request_id`` is the idempotency
+        key) and silently answer different right-hand sides with column
+        1's solution.
         """
         payload = self._parse_payload(body)
         a = self.service.operator(self._operator_name(payload))  # KeyError -> 404
@@ -255,11 +262,19 @@ class HttpFrontend:
             raise _BadRequest(
                 '"bs" (list of right-hand-side rows) is required'
             )
+        batch_id = payload.get("request_id")
+        if batch_id is not None and (
+            not isinstance(batch_id, str) or not batch_id
+        ):
+            raise _BadRequest('"request_id" must be a non-empty string')
         requests = []
         for i, row in enumerate(bs_raw):
             if not isinstance(row, list) or not row:
                 raise _BadRequest(f'"bs"[{i}] must be a non-empty JSON array')
-            requests.append(self._build_request({**payload, "b": row}, a))
+            column = {**payload, "b": row}
+            if batch_id is not None:
+                column["request_id"] = f"{batch_id}-{i}"
+            requests.append(self._build_request(column, a))
         return_x = bool(payload.get("return_x", False))
         responses = await self.service.submit_batched(requests)
         results = [self._response_record(r, return_x=return_x) for r in responses]
@@ -272,9 +287,10 @@ class HttpFrontend:
             if response.shed and status == 200:
                 status = _SHED_STATUS.get(response.reason, 503)
                 aggregate = "shed"
-        return status, "application/json", json.dumps(
-            {"status": aggregate, "count": len(results), "results": results}
-        )
+        out = {"status": aggregate, "count": len(results), "results": results}
+        if batch_id is not None:
+            out["request_id"] = batch_id
+        return status, "application/json", json.dumps(out)
 
     def _parse_payload(self, body: bytes) -> dict[str, Any]:
         try:

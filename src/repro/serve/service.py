@@ -728,22 +728,20 @@ class SolverService:
         """The FIFO lane a dispatch group serializes on.
 
         Groups against the same operator share a lane (keyed by the
-        operator's content fingerprint) so their relative order -- and
+        fingerprint component of the compat key admission already
+        computed -- never re-hashed here, where it would stall the event
+        loop on large dense operators) so their relative order -- and
         with it the coalescing and bit-identical-to-direct-batched
         guarantees -- is exactly what the sequential dispatcher gave.
-        Unfingerprintable operators (bare callables without a
-        ``fingerprint()`` hook) get a private lane object: they can
-        never coalesce with anything, so there is no order to protect.
+        Uncoalescable requests (``key is None``: unfingerprintable
+        operators, single-solve-only options, non-batched methods) get a
+        private lane object: they can never coalesce with anything, so
+        there is no order to protect.
         """
-        from repro.backend import matrix_fingerprint
-
-        try:
-            fingerprint = matrix_fingerprint(group[0].request.a)
-        except Exception:
-            fingerprint = None
-        if fingerprint is None:
+        key = group[0].key
+        if key is None:
             return object()
-        return ("op", fingerprint)
+        return ("op", key[1])
 
     def _spawn_dispatch(self, group: list[_Pending]) -> None:
         """Queue one dispatch group onto its lane (worker-pool mode).
@@ -1051,7 +1049,7 @@ class SolverService:
                 telemetry.unwind(depth)
                 warm = None
             if warm is not None and self._verify_warm_result(
-                request, options, warm
+                request, options, warm, seed
             ):
                 self._count_warmstart("hit")
                 return warm, True
@@ -1071,7 +1069,11 @@ class SolverService:
         return result, False
 
     def _verify_warm_result(
-        self, request: SolveRequest, options: dict[str, Any], result: CGResult
+        self,
+        request: SolveRequest,
+        options: dict[str, Any],
+        result: CGResult,
+        seed: np.ndarray,
     ) -> bool:
         """Mandatory true-residual check on a warm-started exit.
 
@@ -1081,8 +1083,15 @@ class SolverService:
         scratch, with one independent operator application.  The
         acceptance bound mirrors :func:`repro.core.results.verified_exit`
         -- the family-wide rule that a CONVERGED claim more than 100x
-        above the stopping threshold is not trustworthy.
+        above the stopping threshold is not trustworthy.  The threshold
+        comes from :func:`repro.registry.effective_stop` with the seed
+        as ``x0``: the exact criterion the warm solve ran under,
+        including the registry's ``b = 0`` threshold rescue -- not a
+        locally re-derived default that could silently judge against a
+        different tolerance.
         """
+        from repro.registry import effective_stop
+
         if result is None or not result.converged:
             return False
         try:
@@ -1091,9 +1100,7 @@ class SolverService:
             ax = matvec(x) if callable(matvec) else request.a @ x
             b = np.asarray(request.b)
             residual = float(np.linalg.norm(b - np.asarray(ax)))
-            stop = options.get("stop")
-            if not isinstance(stop, StoppingCriterion):
-                stop = StoppingCriterion()
+            stop = effective_stop(request.a, request.b, options, x0=seed)
             threshold = stop.threshold(float(np.linalg.norm(b)))
         except Exception:
             # An operator that cannot be applied here cannot be

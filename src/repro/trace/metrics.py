@@ -26,6 +26,7 @@ from __future__ import annotations
 import bisect
 import json
 import math
+import threading
 import time
 from typing import Any
 
@@ -50,29 +51,37 @@ def _labelkey(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
 
 
 class Counter:
-    """Monotonically increasing value."""
+    """Monotonically increasing value.
 
-    __slots__ = ("labels", "value")
+    Mutation is lock-guarded: the serve layer's worker pool increments
+    shared instruments from several threads at once, and an unguarded
+    read-modify-write would drop increments under that interleaving.
+    """
+
+    __slots__ = ("labels", "value", "_lock")
 
     def __init__(self, labels: dict[str, str]) -> None:
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
         if amount < 0:
             raise ValueError("counters only go up; use a gauge")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """Last-observed value (may go up or down)."""
 
-    __slots__ = ("labels", "value")
+    __slots__ = ("labels", "value", "_lock")
 
     def __init__(self, labels: dict[str, str]) -> None:
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Replace the gauge's value."""
@@ -80,14 +89,21 @@ class Gauge:
 
     def set_max(self, value: float) -> None:
         """Keep the running maximum (peak-drift style gauges)."""
-        if value > self.value:
-            self.value = float(value)
+        with self._lock:
+            if value > self.value:
+                self.value = float(value)
 
 
 class Histogram:
-    """Cumulative-bucket histogram in the Prometheus style."""
+    """Cumulative-bucket histogram in the Prometheus style.
 
-    __slots__ = ("labels", "buckets", "counts", "sum", "count")
+    ``observe`` updates three fields that must stay mutually consistent
+    (bucket count, sum, count); the lock keeps concurrent worker-thread
+    observations from tearing them, and :meth:`cumulative` snapshots
+    under the same lock so exports never see a half-applied observation.
+    """
+
+    __slots__ = ("labels", "buckets", "counts", "sum", "count", "_lock")
 
     def __init__(
         self, labels: dict[str, str], buckets: tuple[float, ...] = DEFAULT_BUCKETS
@@ -97,22 +113,30 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)  # trailing +Inf bucket
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self.counts[bisect.bisect_left(self.buckets, value)] += 1
-        self.sum += value
-        self.count += 1
+        with self._lock:
+            self.counts[bisect.bisect_left(self.buckets, value)] += 1
+            self.sum += value
+            self.count += 1
 
     def cumulative(self) -> list[tuple[float, int]]:
         """``(le, cumulative_count)`` pairs ending with ``(+Inf, count)``."""
+        return self.snapshot()[2]
+
+    def snapshot(self) -> tuple[float, int, list[tuple[float, int]]]:
+        """``(sum, count, cumulative)`` read atomically, so an export
+        never pairs a bucket table with a sum/count it disagrees with."""
         out: list[tuple[float, int]] = []
         running = 0
-        for le, c in zip(self.buckets, self.counts):
-            running += c
-            out.append((le, running))
-        out.append((math.inf, self.count))
-        return out
+        with self._lock:
+            for le, c in zip(self.buckets, self.counts):
+                running += c
+                out.append((le, running))
+            out.append((math.inf, self.count))
+            return self.sum, self.count, out
 
 
 class _Family:
@@ -141,10 +165,17 @@ class MetricsRegistry:
     same name and labels, so emitters need no caching of their own (though
     :class:`MetricsSink` caches anyway for hot-path economy).  Registering
     the same name with a different instrument type raises.
+
+    Get-or-create and export are lock-guarded: the serve layer's worker
+    pool lazily creates labelled series from several threads at once, and
+    an unguarded race there could hand two threads *different* instrument
+    objects for the same series -- one of which would silently drop every
+    update made through it.
     """
 
     def __init__(self) -> None:
         self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
 
     def _family(
         self,
@@ -153,6 +184,7 @@ class MetricsRegistry:
         help: str,
         buckets: tuple[float, ...] | None = None,
     ) -> _Family:
+        # Caller holds self._lock.
         if not name or any(ch not in _NAME_OK for ch in name):
             raise ValueError(f"invalid metric name: {name!r}")
         family = self._families.get(name)
@@ -167,21 +199,23 @@ class MetricsRegistry:
 
     def counter(self, name: str, help: str = "", **labels: str) -> Counter:
         """Get or create a counter."""
-        family = self._family(name, "counter", help)
-        key = _labelkey(labels)
-        inst = family.instruments.get(key)
-        if inst is None:
-            inst = family.instruments[key] = Counter(dict(labels))
-        return inst
+        with self._lock:
+            family = self._family(name, "counter", help)
+            key = _labelkey(labels)
+            inst = family.instruments.get(key)
+            if inst is None:
+                inst = family.instruments[key] = Counter(dict(labels))
+            return inst
 
     def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
         """Get or create a gauge."""
-        family = self._family(name, "gauge", help)
-        key = _labelkey(labels)
-        inst = family.instruments.get(key)
-        if inst is None:
-            inst = family.instruments[key] = Gauge(dict(labels))
-        return inst
+        with self._lock:
+            family = self._family(name, "gauge", help)
+            key = _labelkey(labels)
+            inst = family.instruments.get(key)
+            if inst is None:
+                inst = family.instruments[key] = Gauge(dict(labels))
+            return inst
 
     def histogram(
         self,
@@ -191,35 +225,51 @@ class MetricsRegistry:
         **labels: str,
     ) -> Histogram:
         """Get or create a histogram (buckets fixed at first creation)."""
-        family = self._family(name, "histogram", help, buckets)
-        key = _labelkey(labels)
-        inst = family.instruments.get(key)
-        if inst is None:
-            inst = family.instruments[key] = Histogram(
-                dict(labels), family.buckets or DEFAULT_BUCKETS
-            )
-        return inst
+        with self._lock:
+            family = self._family(name, "histogram", help, buckets)
+            key = _labelkey(labels)
+            inst = family.instruments.get(key)
+            if inst is None:
+                inst = family.instruments[key] = Histogram(
+                    dict(labels), family.buckets or DEFAULT_BUCKETS
+                )
+            return inst
 
     # -- export --------------------------------------------------------
+    def _snapshot(self) -> list[tuple[_Family, list[tuple[Any, Any]]]]:
+        """Family/instrument listing frozen under the lock, so exports
+        never iterate a dict a worker thread is concurrently growing."""
+        with self._lock:
+            return [
+                (
+                    self._families[name],
+                    [
+                        (key, self._families[name].instruments[key])
+                        for key in sorted(self._families[name].instruments)
+                    ],
+                )
+                for name in sorted(self._families)
+            ]
+
     def to_prometheus(self) -> str:
         """Prometheus text exposition (format version 0.0.4)."""
         lines: list[str] = []
-        for name in sorted(self._families):
-            family = self._families[name]
+        for family, instruments in self._snapshot():
+            name = family.name
             if family.help:
                 lines.append(f"# HELP {name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {name} {family.kind}")
-            for key in sorted(family.instruments):
-                inst = family.instruments[key]
+            for key, inst in instruments:
                 labels = dict(key)
                 if family.kind == "histogram":
-                    for le, cum in inst.cumulative():
+                    total, count, cumulative = inst.snapshot()
+                    for le, cum in cumulative:
                         le_str = "+Inf" if math.isinf(le) else _fmt(le)
                         lines.append(
                             f"{name}_bucket{_labelstr(labels, le=le_str)} {cum}"
                         )
-                    lines.append(f"{name}_sum{_labelstr(labels)} {_fmt(inst.sum)}")
-                    lines.append(f"{name}_count{_labelstr(labels)} {inst.count}")
+                    lines.append(f"{name}_sum{_labelstr(labels)} {_fmt(total)}")
+                    lines.append(f"{name}_count{_labelstr(labels)} {count}")
                 else:
                     lines.append(f"{name}{_labelstr(labels)} {_fmt(inst.value)}")
         return "\n".join(lines) + "\n" if lines else ""
@@ -227,18 +277,18 @@ class MetricsRegistry:
     def to_json(self) -> dict[str, Any]:
         """Nested JSON-serializable snapshot of every instrument."""
         out: dict[str, Any] = {}
-        for name in sorted(self._families):
-            family = self._families[name]
+        for family, instruments in self._snapshot():
+            name = family.name
             series = []
-            for key in sorted(family.instruments):
-                inst = family.instruments[key]
+            for key, inst in instruments:
                 entry: dict[str, Any] = {"labels": dict(key)}
                 if family.kind == "histogram":
-                    entry["sum"] = inst.sum
-                    entry["count"] = inst.count
+                    total, count, cumulative = inst.snapshot()
+                    entry["sum"] = total
+                    entry["count"] = count
                     entry["buckets"] = [
                         {"le": ("+Inf" if math.isinf(le) else le), "count": cum}
-                        for le, cum in inst.cumulative()
+                        for le, cum in cumulative
                     ]
                 else:
                     entry["value"] = inst.value

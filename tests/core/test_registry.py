@@ -219,6 +219,33 @@ def test_zero_rhs_with_nonzero_x0_is_not_short_circuited(system):
     np.testing.assert_allclose(result.x, 0.0, atol=1e-7)
 
 
+def test_effective_stop_mirrors_the_front_door(system):
+    """:func:`repro.registry.effective_stop` must report the criterion a
+    solve with those options actually runs under -- the caller-supplied
+    rule when one is given, the family default when absent, and the
+    ``b = 0`` threshold rescue when an initial guess disables the
+    short-circuit."""
+    from repro.registry import effective_stop
+
+    a, b = system
+    custom = StoppingCriterion(rtol=1e-4)
+    assert effective_stop(a, b, {"stop": custom}) is custom
+    assert effective_stop(a, b, {}) == StoppingCriterion()
+    assert effective_stop(a, b, {"stop": None}) == StoppingCriterion()
+    # A nonzero threshold never triggers the rescue, x0 or not.
+    assert effective_stop(a, b, {"stop": custom}, x0=np.ones(a.nrows)) is custom
+    # The b=0 + x0 corner: the resolved criterion is exactly the rescued
+    # rule the front door rewrites options["stop"] to.
+    zero = np.zeros(a.nrows)
+    x0 = np.ones(a.nrows)
+    resolved = effective_stop(a, zero, {"stop": custom}, x0=x0)
+    r0_norm = float(np.linalg.norm(zero - a.matvec(x0)))
+    assert resolved == custom.with_initial_residual(0.0, r0_norm)
+    assert resolved.threshold(0.0) > 0.0
+    # x0 may ride inside options too (the front door's own shape).
+    assert effective_stop(a, zero, {"stop": custom, "x0": x0}) == resolved
+
+
 # ----------------------------------------------------------------------
 # batched capability flag + solve_batched routing
 # ----------------------------------------------------------------------

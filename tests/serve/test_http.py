@@ -417,6 +417,51 @@ def test_solve_batched_shed_columns_map_to_shed_status():
     assert shed["reason"] == "rate_limited"
 
 
+def test_solve_batched_client_request_id_names_batch_not_columns():
+    # Regression: a batch payload carrying a client request_id must NOT
+    # copy it into every column -- identical ids would make columns
+    # 2..N dedup onto column 1's in-flight future and silently answer
+    # different right-hand sides with column 1's solution.
+    bs = [list(np.eye(N)[0]), list(np.eye(N)[1])]
+
+    async def main():
+        svc = service()
+        async with HttpFrontend(svc, port=0) as front:
+            host, port = front.address
+            ok = await http(
+                host, port, "POST", "/solve_batched",
+                {
+                    "operator": "poisson",
+                    "bs": bs,
+                    "request_id": "req-batch-7",
+                    "return_x": True,
+                },
+            )
+            bad = await http(
+                host, port, "POST", "/solve_batched",
+                {"operator": "poisson", "bs": bs, "request_id": ""},
+            )
+        return svc, ok, bad
+
+    svc, (status, body), (bad_status, _) = asyncio.run(main())
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["request_id"] == "req-batch-7"  # batch id echoed
+    # Per-column ids are derived from the batch id, in column order.
+    assert [r["request_id"] for r in body["results"]] == [
+        "req-batch-7-0", "req-batch-7-1"
+    ]
+    # No column rode another's future: distinct right-hand sides got
+    # distinct solutions and the dedup counter never ticked.
+    assert svc.deduped == 0
+    x0, x1 = (np.asarray(r["x"]) for r in body["results"])
+    assert not np.array_equal(x0, x1)
+    assert np.linalg.norm(A.matvec(x0) - np.asarray(bs[0])) <= 1e-6
+    assert np.linalg.norm(A.matvec(x1) - np.asarray(bs[1])) <= 1e-6
+    # The batch id is validated exactly like /solve's request_id.
+    assert bad_status == 400
+
+
 def test_solve_reports_warm_started():
     async def main():
         svc = service()

@@ -152,8 +152,8 @@ class TestServiceWarmStart:
             async with SolverService(ServiceConfig()) as svc:
                 orig = svc._verify_warm_result
 
-                def counting(request, options, result):
-                    ok = orig(request, options, result)
+                def counting(request, options, result, seed):
+                    ok = orig(request, options, result, seed)
                     calls.append(ok)
                     return ok
 

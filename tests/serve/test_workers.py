@@ -210,6 +210,41 @@ class TestPoolConcurrency:
         assert svc.peak_inflight_dispatches <= 1
         assert conservation(svc)
 
+    def test_lane_key_reuses_admission_fingerprint(self):
+        # The lane must come from the compat key admission already
+        # computed -- re-hashing the operator per dispatch group would
+        # stall the event loop on large dense operators.
+        from repro.serve.service import _Pending
+
+        class CountingOp(GatedOperator):
+            def __init__(self, tag):
+                super().__init__(tag)
+                self.fingerprint_calls = 0
+
+            def fingerprint(self):
+                self.fingerprint_calls += 1
+                return super().fingerprint()
+
+        op = CountingOp("counted")
+        svc = SolverService(ServiceConfig())
+        pending = _Pending(SolveRequest(a=op, b=rhs(0)), None, 0.0)
+        assert pending.key is not None
+        hashed_at_admission = op.fingerprint_calls
+        lane = svc._lane_key([pending])
+        assert op.fingerprint_calls == hashed_at_admission  # no re-hash
+        assert lane == ("op", pending.key[1])
+        # Same operator, second group: same lane (FIFO preserved).
+        again = _Pending(SolveRequest(a=op, b=rhs(1)), None, 0.0)
+        assert svc._lane_key([again]) == lane
+        # Uncoalescable requests (key=None: single-solve-only options)
+        # get a private lane object per group -- nothing to serialize.
+        single = _Pending(
+            SolveRequest(a=op, b=rhs(2), options={"x0": np.zeros(N)}),
+            None, 0.0,
+        )
+        assert single.key is None
+        assert svc._lane_key([single]) != svc._lane_key([single])
+
     def test_workers_config_validation(self):
         with pytest.raises(ValueError, match="workers"):
             ServiceConfig(workers=0)

@@ -55,6 +55,51 @@ def test_histogram_buckets_are_cumulative():
 # ---------------------------------------------------------------------------
 # registry semantics
 # ---------------------------------------------------------------------------
+def test_instruments_survive_concurrent_mutation_exactly():
+    # The serve worker pool updates shared instruments from several
+    # threads at once; unsynchronized read-modify-write would lose
+    # increments and let histogram sum/count drift apart.  Exact totals
+    # under a thread hammer are the regression.
+    import threading
+
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_total")
+    histogram = registry.histogram("repro_test_seconds", buckets=(1.0, 2.0))
+    gauge = registry.gauge("repro_test_peak")
+    threads, per_thread = 8, 2000
+    start = threading.Barrier(threads)
+
+    def hammer(worker: int) -> None:
+        start.wait()
+        for i in range(per_thread):
+            counter.inc()
+            histogram.observe(0.5)
+            gauge.set_max(float(worker * per_thread + i))
+            # Lazy get-or-create from racing threads must hand every
+            # thread the same instrument object.
+            registry.counter("repro_test_lazy_total", shard=str(worker % 2)).inc()
+
+    workers = [
+        threading.Thread(target=hammer, args=(w,)) for w in range(threads)
+    ]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+    total = threads * per_thread
+    assert counter.value == float(total)
+    total_sum, count, cumulative = histogram.snapshot()
+    assert count == total
+    assert total_sum == pytest.approx(0.5 * total)
+    assert cumulative[-1] == (float("inf"), total)
+    assert gauge.value == float(total - 1)
+    lazy = sum(
+        registry.counter("repro_test_lazy_total", shard=str(s)).value
+        for s in range(2)
+    )
+    assert lazy == float(total)
+
+
 def test_registry_get_or_create_returns_same_instrument():
     reg = MetricsRegistry()
     a = reg.counter("x_total", method="cg")
